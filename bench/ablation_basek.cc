@@ -1,0 +1,50 @@
+// Ablation: choice of the index's base k. The paper builds at base k=5 and
+// serves every requested granularity by leaf scan. A smaller base gives
+// finer leaves (better boxes after regrouping) at higher build cost; a base
+// close to the requested k skips regrouping but loses flexibility.
+
+#include "anon/rtree_anonymizer.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "data/landsend_generator.h"
+#include "metrics/quality_report.h"
+
+int main() {
+  using namespace kanon;
+  bench::PrintHeader(
+      "ablation_basek — index base k vs requested k=50",
+      "Design-choice ablation for Section 5.1 (base k selection)");
+
+  const size_t n = bench::Scaled(60000);
+  const Dataset data = LandsEndGenerator(14).Generate(n);
+  const size_t requested_k = 50;
+
+  bench::TablePrinter table({"base_k", "build_sec", "avg_ncp", "kl",
+                             "partitions", "leaves"});
+  for (const size_t base_k : {2, 5, 10, 25, 50}) {
+    RTreeAnonymizerOptions options;
+    options.base_k = base_k;
+    const RTreeAnonymizer anonymizer(options);
+    Timer t;
+    auto built = anonymizer.BuildLeaves(data);
+    const double sec = t.ElapsedSeconds();
+    if (!built.ok()) {
+      std::cerr << built.status() << "\n";
+      return 1;
+    }
+    const PartitionSet ps =
+        anonymizer.Granularize(data, built->leaves, requested_k);
+    if (!ps.CheckKAnonymous(requested_k).ok()) return 1;
+    const QualityReport q = ComputeQuality(data, ps);
+    table.AddRow({bench::FmtInt(base_k), bench::Fmt(sec),
+                  bench::Fmt(q.average_ncp, 4), bench::Fmt(q.kl_divergence),
+                  bench::FmtInt(q.num_partitions),
+                  bench::FmtInt(built->leaves.size())});
+  }
+  table.Print();
+  std::cout << "\nExpected shape: build_sec falls as base_k grows. Matching "
+               "base_k to the requested k gives the tightest boxes (no "
+               "leaf-scan unions); a small base_k trades a little quality "
+               "for serving every granularity from one index.\n";
+  return 0;
+}

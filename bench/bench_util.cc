@@ -1,0 +1,72 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "common/sysinfo.h"
+
+namespace kanon::bench {
+
+double ScaleFactor() {
+  const char* env = std::getenv("KANON_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::strtod(env, nullptr);
+  return v > 0.0 ? v : 1.0;
+}
+
+size_t Scaled(size_t base) {
+  const double scaled = static_cast<double>(base) * ScaleFactor();
+  return std::max<size_t>(1, static_cast<size_t>(scaled));
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==========================================================\n";
+  std::cout << title << "\n";
+  std::cout << "Reproduces: " << paper_ref << "\n";
+  std::cout << "Scale factor (KANON_SCALE): " << ScaleFactor() << "\n";
+  std::cout << FormatSystemInfoTable(QuerySystemInfo());
+  std::cout << "==========================================================\n";
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c]) + 2)
+         << (c < row.size() ? row[c] : "");
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  size_t total = 2 * columns_.size();
+  for (size_t w : widths) total += w;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string FmtInt(size_t v) { return std::to_string(v); }
+
+}  // namespace kanon::bench

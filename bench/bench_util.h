@@ -1,0 +1,43 @@
+#ifndef KANON_BENCH_BENCH_UTIL_H_
+#define KANON_BENCH_BENCH_UTIL_H_
+
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace kanon::bench {
+
+/// Global size multiplier taken from the KANON_SCALE environment variable
+/// (default 1.0). The paper ran on multi-million-record data sets; the
+/// default bench sizes reproduce each figure's *shape* at laptop scale and
+/// KANON_SCALE grows them toward paper scale.
+double ScaleFactor();
+
+/// base * ScaleFactor(), at least 1.
+size_t Scaled(size_t base);
+
+/// Prints the standard bench banner: title, the paper artifact it
+/// regenerates, the host configuration (paper Table 1 analogue), and the
+/// active scale factor.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+/// Fixed-width text table matching the series the paper plots.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string Fmt(double v, int precision = 3);
+std::string FmtInt(size_t v);
+
+}  // namespace kanon::bench
+
+#endif  // KANON_BENCH_BENCH_UTIL_H_

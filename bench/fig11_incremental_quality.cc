@@ -1,0 +1,47 @@
+// Fig 11: quality of incrementally maintained anonymization vs full
+// re-anonymization, per batch (k=10). Paper shape: incremental R⁺-tree
+// quality does not degrade with batches and stays at least as good as
+// re-anonymized Mondrian.
+
+#include "anon/mondrian.h"
+#include "anon/rtree_anonymizer.h"
+#include "bench_util.h"
+#include "data/landsend_generator.h"
+#include "metrics/quality_report.h"
+
+int main() {
+  using namespace kanon;
+  bench::PrintHeader(
+      "fig11_incremental_quality — incremental vs re-anonymized quality "
+      "(k=10)",
+      "Figure 11, Lands End data, 0.5M batches in the paper (scaled)");
+
+  const size_t batch = bench::Scaled(25000);
+  const size_t num_batches = 6;
+  const Dataset data = LandsEndGenerator(11).Generate(batch * num_batches);
+
+  const Domain domain = data.ComputeDomain();
+  IncrementalAnonymizer inc(data.dim(), {}, &domain);
+  bench::TablePrinter table({"batches", "records", "rtree_inc_CM",
+                             "mondrian_re_CM", "rtree_inc_KL",
+                             "mondrian_re_KL", "rtree_inc_DM",
+                             "mondrian_re_DM"});
+  for (size_t b = 0; b < num_batches; ++b) {
+    inc.InsertBatch(data, b * batch, (b + 1) * batch);
+    const Dataset so_far = data.Slice(0, (b + 1) * batch);
+    const PartitionSet inc_ps = inc.Snapshot(so_far, 10);
+    const PartitionSet re_ps = Mondrian().Anonymize(so_far, 10);
+    const QualityReport qi = ComputeQuality(so_far, inc_ps);
+    const QualityReport qr = ComputeQuality(so_far, re_ps);
+    table.AddRow({bench::FmtInt(b + 1), bench::FmtInt(so_far.num_records()),
+                  bench::Fmt(qi.certainty, 0), bench::Fmt(qr.certainty, 0),
+                  bench::Fmt(qi.kl_divergence), bench::Fmt(qr.kl_divergence),
+                  bench::Fmt(qi.discernibility, 0),
+                  bench::Fmt(qr.discernibility, 0)});
+  }
+  table.Print();
+  std::cout << "\nExpected shape: rtree_inc_* stays flat/comparable across "
+               "batches and below the re-anonymized Mondrian columns for CM "
+               "and KL.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Fig 4: what biased splitting does to the partition layout. The paper's
+// Figure 4 contrasts an unbiased R⁺-tree (partitions cut on both
+// attributes) with one targeted at the Zipcode attribute (all cuts on
+// zipcode: thin vertical stripes). This bench renders both layouts as
+// ASCII over a 2-attribute data set and reports the single-attribute
+// query accuracy of each, making the Section 2.4 intuition visible.
+
+#include <iostream>
+#include <vector>
+
+#include "anon/rtree_anonymizer.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+
+namespace {
+
+using namespace kanon;
+
+constexpr size_t kWidth = 72;
+constexpr size_t kHeight = 20;
+
+/// Renders partition boundaries: a cell prints '#' if it straddles two
+/// partitions horizontally or vertically (an edge), '.' otherwise.
+void RenderPartitions(const Dataset& data, const PartitionSet& ps) {
+  const Domain domain = data.ComputeDomain();
+  auto partition_at = [&](double x, double y) -> int {
+    for (size_t i = 0; i < ps.partitions.size(); ++i) {
+      const double probe[] = {x, y};
+      if (ps.partitions[i].box.ContainsPoint({probe, 2})) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;  // a gap (compacted boxes leave them)
+  };
+  std::vector<std::vector<int>> cell(kHeight, std::vector<int>(kWidth));
+  for (size_t r = 0; r < kHeight; ++r) {
+    for (size_t c = 0; c < kWidth; ++c) {
+      const double x = domain.lo[0] + domain.Extent(0) *
+                                          (static_cast<double>(c) + 0.5) /
+                                          kWidth;
+      const double y = domain.lo[1] + domain.Extent(1) *
+                                          (static_cast<double>(r) + 0.5) /
+                                          kHeight;
+      cell[r][c] = partition_at(x, y);
+    }
+  }
+  for (size_t r = 0; r < kHeight; ++r) {
+    std::cout << "  ";
+    for (size_t c = 0; c < kWidth; ++c) {
+      const bool edge =
+          (c + 1 < kWidth && cell[r][c] != cell[r][c + 1]) ||
+          (r + 1 < kHeight && cell[r][c] != cell[r + 1][c]);
+      std::cout << (cell[r][c] < 0 ? ' ' : (edge ? '#' : '.'));
+    }
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "fig4_bias_partitions — biased vs unbiased partition layout",
+      "Figure 4 (Section 2.4): targeting the index at one attribute");
+
+  // Two attributes, zipcode-like x and a second uniform attribute.
+  Dataset data(Schema::Numeric(2));
+  Rng rng(4);
+  const size_t n = bench::Scaled(4000);
+  for (size_t i = 0; i < n; ++i) {
+    data.Append({rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)},
+                static_cast<int32_t>(i % 4));
+  }
+  const size_t k = n / 16;  // a handful of large partitions, as in Fig 4
+
+  RTreeAnonymizerOptions unbiased;
+  unbiased.base_k = k;
+  RTreeAnonymizerOptions biased = unbiased;
+  biased.split.biased_axes = {0};
+
+  auto unbiased_ps = RTreeAnonymizer(unbiased).Anonymize(data, k);
+  auto biased_ps = RTreeAnonymizer(biased).Anonymize(data, k);
+  if (!unbiased_ps.ok() || !biased_ps.ok()) return 1;
+
+  std::cout << "\n(a) Unbiased R⁺-tree — cuts on both attributes ("
+            << unbiased_ps->num_partitions() << " partitions):\n";
+  RenderPartitions(data, *unbiased_ps);
+  std::cout << "\n(b) R⁺-tree biased to attribute 0 (zipcode) — "
+               "vertical stripes (" << biased_ps->num_partitions()
+            << " partitions):\n";
+  RenderPartitions(data, *biased_ps);
+
+  Rng qrng(5);
+  const auto queries = MakeSingleAttributeWorkload(data, 0, 300, &qrng);
+  std::cout << "\nZipcode-workload accuracy (paper: biased is ~2x better "
+               "for this layout):\n";
+  std::cout << "  unbiased avg error: "
+            << EvaluateWorkload(data, *unbiased_ps, queries).average_error
+            << "\n  biased avg error:   "
+            << EvaluateWorkload(data, *biased_ps, queries).average_error
+            << "\n";
+  return 0;
+}

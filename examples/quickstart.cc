@@ -1,0 +1,75 @@
+// Quickstart: the paper's Figure 1 worked end to end — a six-row patient
+// table 2-anonymized with the R⁺-tree anonymizer, printed alongside the
+// original.
+//
+//   $ ./build/examples/quickstart
+
+#include <iostream>
+
+#include "kanon/kanon.h"
+
+int main() {
+  using namespace kanon;
+
+  // Schema of the paper's example: Age, Sex, Zipcode quasi-identifiers and
+  // the sensitive Ailment. Sex is a categorical with the trivial hierarchy
+  // so mixed groups print as "*".
+  auto sex_hierarchy = std::make_shared<Hierarchy>(
+      Hierarchy::FromLeafLabels("*", {"M", "F"}));
+  Schema schema({{"age", AttributeType::kNumeric, {}},
+                 {"sex", AttributeType::kCategorical, sex_hierarchy},
+                 {"zipcode", AttributeType::kNumeric, {}}},
+                "ailment");
+  const char* ailments[] = {"anemia", "flu", "cancer", "torn acl",
+                            "whiplash"};
+
+  Dataset patients(schema);
+  patients.Append({21, 0, 53706}, 0);  // R1: anemia
+  patients.Append({26, 0, 53706}, 1);  // R2: flu
+  patients.Append({32, 1, 53710}, 2);  // R3: cancer
+  patients.Append({36, 1, 53715}, 3);  // R4: torn acl
+  patients.Append({48, 0, 52108}, 1);  // R5: flu
+  patients.Append({56, 1, 52100}, 4);  // R6: whiplash
+
+  std::cout << "Original table (paper Fig 1a):\n";
+  for (RecordId r = 0; r < patients.num_records(); ++r) {
+    const auto row = patients.row(r);
+    std::cout << "  " << row[0] << ", " << (row[1] == 0 ? "M" : "F") << ", "
+              << row[2] << ", " << ailments[patients.sensitive(r)] << "\n";
+  }
+
+  // Anonymize with k=2; base_k=2 with tight leaves so groups stay small,
+  // like the paper's pairs.
+  RTreeAnonymizerOptions options;
+  options.base_k = 2;
+  options.leaf_capacity_factor = 2;  // leaves hold 2-4 records
+  RTreeAnonymizer anonymizer(options);
+  auto partitions = anonymizer.Anonymize(patients, /*k=*/2);
+  if (!partitions.ok()) {
+    std::cerr << "anonymization failed: " << partitions.status() << "\n";
+    return 1;
+  }
+
+  // Safety checks every release should run.
+  if (auto s = partitions->CheckCovers(patients); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  if (auto s = partitions->CheckKAnonymous(2); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  auto table = AnonymizedTable::FromPartitions(patients,
+                                               *std::move(partitions));
+  std::cout << "\n2-anonymous table (cf. paper Fig 1b):\n";
+  for (RecordId r = 0; r < patients.num_records(); ++r) {
+    std::cout << "  " << table->RenderRow(schema, r) << "    (ailment: "
+              << ailments[patients.sensitive(r)] << ")\n";
+  }
+
+  std::cout << "\nQuality: "
+            << FormatQuality(ComputeQuality(patients, table->partitions()))
+            << "\n";
+  return 0;
+}

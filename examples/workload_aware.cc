@@ -1,0 +1,65 @@
+// Workload-aware anonymization (paper Section 2.4): when the analyst's
+// queries are known to target one attribute (here: zipcode), biasing the
+// index's split policy toward that attribute roughly doubles query
+// accuracy — at zero cost to the anonymity guarantee.
+//
+//   $ ./build/examples/workload_aware
+
+#include <iostream>
+
+#include "kanon/kanon.h"
+
+int main() {
+  using namespace kanon;
+
+  const Dataset orders = LandsEndGenerator(31).Generate(30000);
+  const size_t zipcode = 0;
+  const size_t k = 25;
+
+  // The anticipated workload: zipcode range COUNT queries.
+  Rng rng(7);
+  const auto workload = MakeSingleAttributeWorkload(orders, zipcode, 400,
+                                                    &rng);
+  // A generic workload the bias was NOT tuned for, as a control.
+  const auto generic = MakeRecordPairWorkload(orders, 400, &rng);
+
+  RTreeAnonymizerOptions unbiased_options;
+  RTreeAnonymizerOptions biased_options;
+  biased_options.split.biased_axes = {zipcode};
+  // Soft alternative: weight zipcode higher instead of hard-biasing.
+  RTreeAnonymizerOptions weighted_options;
+  weighted_options.split.weights = std::vector<double>(orders.dim(), 1.0);
+  weighted_options.split.weights[zipcode] = 8.0;
+
+  struct Variant {
+    const char* name;
+    RTreeAnonymizerOptions options;
+  };
+  const Variant variants[] = {{"unbiased", unbiased_options},
+                              {"hard-biased(zip)", biased_options},
+                              {"weighted(zip x8)", weighted_options}};
+
+  std::cout << "k=" << k << ", " << orders.num_records() << " records\n\n";
+  std::cout << "variant            zip-workload-err   generic-err   avgNCP\n";
+  std::cout << "-----------------------------------------------------------\n";
+  for (const Variant& v : variants) {
+    auto ps = RTreeAnonymizer(v.options).Anonymize(orders, k);
+    if (!ps.ok()) {
+      std::cerr << ps.status() << "\n";
+      return 1;
+    }
+    if (auto s = ps->CheckKAnonymous(k); !s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+    const double zip_err = EvaluateWorkload(orders, *ps, workload)
+                               .average_error;
+    const double gen_err = EvaluateWorkload(orders, *ps, generic)
+                               .average_error;
+    printf("%-18s %-18.4f %-13.4f %.4f\n", v.name, zip_err, gen_err,
+           AverageNcp(orders, *ps));
+  }
+  std::cout << "\nThe biased variants trade generic accuracy for large "
+               "gains on the anticipated workload (paper Fig 12c).\n";
+  return 0;
+}

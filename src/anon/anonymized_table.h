@@ -1,0 +1,55 @@
+#ifndef KANON_ANON_ANONYMIZED_TABLE_H_
+#define KANON_ANON_ANONYMIZED_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "anon/partition.h"
+#include "data/dataset.h"
+
+namespace kanon {
+
+/// The published form of an anonymization: every record's quasi-identifier
+/// vector replaced by its partition's generalized box, sensitive value kept.
+/// This is the "anonymized table" the paper's query experiments run against.
+class AnonymizedTable {
+ public:
+  /// Materializes the table. `ps` must cover the dataset.
+  static StatusOr<AnonymizedTable> FromPartitions(const Dataset& dataset,
+                                                  PartitionSet ps);
+
+  size_t num_records() const { return record_to_partition_.size(); }
+  size_t num_partitions() const { return partitions_.num_partitions(); }
+  const PartitionSet& partitions() const { return partitions_; }
+
+  /// Generalized box published for record `rid`.
+  const Mbr& BoxOf(RecordId rid) const {
+    return partitions_.partitions[record_to_partition_[rid]].box;
+  }
+
+  uint32_t PartitionOf(RecordId rid) const {
+    return record_to_partition_[rid];
+  }
+
+  int32_t SensitiveOf(RecordId rid) const { return sensitive_[rid]; }
+
+  /// Renders one published row: numeric attributes as "[lo-hi]" (or the
+  /// plain value when degenerate), categoricals via their hierarchy's LCA
+  /// label when available ("*" style), mirroring the paper's Figure 1(b).
+  std::string RenderRow(const Schema& schema, RecordId rid) const;
+
+  /// Writes the full generalized table as CSV (one "lo..hi" cell per QI
+  /// attribute plus the sensitive code).
+  Status WriteCsv(const std::string& path, const Schema& schema) const;
+
+ private:
+  AnonymizedTable() = default;
+
+  PartitionSet partitions_;
+  std::vector<uint32_t> record_to_partition_;
+  std::vector<int32_t> sensitive_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ANON_ANONYMIZED_TABLE_H_

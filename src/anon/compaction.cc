@@ -1,0 +1,35 @@
+#include "anon/compaction.h"
+
+#include <cmath>
+
+namespace kanon {
+
+Mbr CompactedBox(const Dataset& dataset, const Partition& p) {
+  Mbr box(dataset.dim());
+  for (RecordId r : p.rids) box.ExpandToInclude(dataset.row(r));
+  if (box.empty()) return box;
+  // Hierarchy-aware widening for categorical attributes: the published
+  // value must correspond to a hierarchy node, so take the LCA's range.
+  std::vector<double> lo = box.lo();
+  std::vector<double> hi = box.hi();
+  const Schema& schema = dataset.schema();
+  for (size_t a = 0; a < dataset.dim(); ++a) {
+    const AttributeSpec& spec = schema.attribute(a);
+    if (spec.type == AttributeType::kCategorical && spec.hierarchy) {
+      const Hierarchy& h = *spec.hierarchy;
+      const auto& node = h.node(h.Lca(static_cast<int>(std::floor(lo[a])),
+                                      static_cast<int>(std::ceil(hi[a]))));
+      lo[a] = node.lo;
+      hi[a] = node.hi;
+    }
+  }
+  return Mbr::FromBounds(std::move(lo), std::move(hi));
+}
+
+void CompactPartitions(const Dataset& dataset, PartitionSet* ps) {
+  for (Partition& p : ps->partitions) {
+    p.box = CompactedBox(dataset, p);
+  }
+}
+
+}  // namespace kanon

@@ -1,0 +1,27 @@
+#ifndef KANON_ANON_COMPACTION_H_
+#define KANON_ANON_COMPACTION_H_
+
+#include "anon/partition.h"
+#include "data/dataset.h"
+
+namespace kanon {
+
+/// The compaction procedure of Section 4: replaces every partition's
+/// generalized box by the minimum bounding box of the records it actually
+/// contains. Numeric attributes shrink to [min, max]; categorical
+/// attributes with a generalization hierarchy widen the raw code range to
+/// the range of the values' lowest common ancestor (the paper: "the
+/// procedure chooses the lowest common ancestor in the hierarchy"); ordered
+/// categoricals without a hierarchy behave like numerics.
+///
+/// Compaction is deliberately independent of how the partitions were
+/// produced — the paper's point is that it retrofits onto *any*
+/// k-anonymization algorithm (it is applied to Mondrian output in Fig 9/10).
+void CompactPartitions(const Dataset& dataset, PartitionSet* ps);
+
+/// Compacts a single partition; returns the new box without mutating `p`.
+Mbr CompactedBox(const Dataset& dataset, const Partition& p);
+
+}  // namespace kanon
+
+#endif  // KANON_ANON_COMPACTION_H_

@@ -1,0 +1,107 @@
+#include "anon/constraints.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace kanon {
+
+bool PartitionConstraint::Admissible(const Dataset& dataset,
+                                     std::span<const RecordId> rids) const {
+  std::vector<int32_t> codes;
+  codes.reserve(rids.size());
+  for (RecordId r : rids) codes.push_back(dataset.sensitive(r));
+  return AdmissibleCodes(codes);
+}
+
+std::function<bool(std::span<const int32_t>)>
+PartitionConstraint::AsLeafPredicate() const {
+  return [this](std::span<const int32_t> codes) {
+    return AdmissibleCodes(codes);
+  };
+}
+
+bool KAnonymity::AdmissibleCodes(std::span<const int32_t> codes) const {
+  return codes.size() >= k_;
+}
+
+std::string KAnonymity::Name() const {
+  return std::to_string(k_) + "-anonymity";
+}
+
+bool DistinctLDiversity::AdmissibleCodes(
+    std::span<const int32_t> codes) const {
+  if (codes.size() < k_) return false;
+  std::unordered_set<int32_t> distinct;
+  for (int32_t c : codes) {
+    distinct.insert(c);
+    if (distinct.size() >= l_) return true;
+  }
+  return distinct.size() >= l_;
+}
+
+std::string DistinctLDiversity::Name() const {
+  return std::to_string(k_) + "-anonymity + distinct " + std::to_string(l_) +
+         "-diversity";
+}
+
+bool AlphaKAnonymity::AdmissibleCodes(std::span<const int32_t> codes) const {
+  if (codes.size() < k_) return false;
+  std::unordered_map<int32_t, size_t> freq;
+  size_t max_freq = 0;
+  for (int32_t c : codes) {
+    max_freq = std::max(max_freq, ++freq[c]);
+  }
+  return static_cast<double>(max_freq) <=
+         alpha_ * static_cast<double>(codes.size());
+}
+
+std::string AlphaKAnonymity::Name() const {
+  return "(" + std::to_string(alpha_) + ", " + std::to_string(k_) +
+         ")-anonymity";
+}
+
+bool EntropyLDiversity::AdmissibleCodes(
+    std::span<const int32_t> codes) const {
+  if (codes.size() < k_ || codes.empty()) return false;
+  std::unordered_map<int32_t, size_t> freq;
+  for (int32_t c : codes) ++freq[c];
+  const double n = static_cast<double>(codes.size());
+  double entropy = 0.0;
+  for (const auto& [code, count] : freq) {
+    const double p = static_cast<double>(count) / n;
+    entropy -= p * std::log(p);
+  }
+  return entropy >= std::log(l_) - 1e-12;
+}
+
+std::string EntropyLDiversity::Name() const {
+  return std::to_string(k_) + "-anonymity + entropy " +
+         std::to_string(l_) + "-diversity";
+}
+
+bool RecursiveCLDiversity::AdmissibleCodes(
+    std::span<const int32_t> codes) const {
+  if (codes.size() < k_ || codes.empty()) return false;
+  std::unordered_map<int32_t, size_t> freq;
+  for (int32_t c : codes) ++freq[c];
+  std::vector<size_t> counts;
+  counts.reserve(freq.size());
+  for (const auto& [code, count] : freq) counts.push_back(count);
+  std::sort(counts.begin(), counts.end(), std::greater<size_t>());
+  if (counts.size() < l_) return false;  // fewer than l distinct values
+  size_t tail = 0;
+  for (size_t i = l_ - 1; i < counts.size(); ++i) tail += counts[i];
+  return static_cast<double>(counts[0]) <
+         c_ * static_cast<double>(tail);
+}
+
+std::string RecursiveCLDiversity::Name() const {
+  return "recursive (" + std::to_string(c_) + ", " + std::to_string(l_) +
+         ")-diversity + " + std::to_string(k_) + "-anonymity";
+}
+
+}  // namespace kanon

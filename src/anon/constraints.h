@@ -1,0 +1,110 @@
+#ifndef KANON_ANON_CONSTRAINTS_H_
+#define KANON_ANON_CONSTRAINTS_H_
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace kanon {
+
+/// A publication predicate deciding whether a candidate group of records is
+/// admissible as one equivalence class. The paper's position (Section 4/6)
+/// is that the *definition* of an allowable partition is an input — plain
+/// k-anonymity, l-diversity, (α,k)-anonymity — and the anonymizer's job is
+/// the most precise partitioning that respects it. Constraints must be
+/// monotone upward: a superset of an admissible group stays admissible
+/// (true for all three provided here), which is what makes overfull leaves
+/// and leaf-scan accumulation safe.
+class PartitionConstraint {
+ public:
+  virtual ~PartitionConstraint() = default;
+
+  /// Decides on the multiset of sensitive codes of the candidate group.
+  virtual bool AdmissibleCodes(std::span<const int32_t> codes) const = 0;
+
+  /// Convenience overload gathering codes from the dataset.
+  bool Admissible(const Dataset& dataset,
+                  std::span<const RecordId> rids) const;
+
+  virtual std::string Name() const = 0;
+
+  /// Adapter usable as RTreeConfig::leaf_admissible.
+  std::function<bool(std::span<const int32_t>)> AsLeafPredicate() const;
+};
+
+/// Plain k-anonymity: the group has at least k members.
+class KAnonymity : public PartitionConstraint {
+ public:
+  explicit KAnonymity(size_t k) : k_(k) {}
+  bool AdmissibleCodes(std::span<const int32_t> codes) const override;
+  std::string Name() const override;
+  size_t k() const { return k_; }
+
+ private:
+  size_t k_;
+};
+
+/// Distinct l-diversity on top of k-anonymity: at least l distinct
+/// sensitive values in the group (Machanavajjhala et al.).
+class DistinctLDiversity : public PartitionConstraint {
+ public:
+  DistinctLDiversity(size_t k, size_t l) : k_(k), l_(l) {}
+  bool AdmissibleCodes(std::span<const int32_t> codes) const override;
+  std::string Name() const override;
+
+ private:
+  size_t k_;
+  size_t l_;
+};
+
+/// (α,k)-anonymity (Wong et al.): at least k members and no sensitive value
+/// occupying more than an α fraction of the group.
+class AlphaKAnonymity : public PartitionConstraint {
+ public:
+  AlphaKAnonymity(double alpha, size_t k) : alpha_(alpha), k_(k) {}
+  bool AdmissibleCodes(std::span<const int32_t> codes) const override;
+  std::string Name() const override;
+
+ private:
+  double alpha_;
+  size_t k_;
+};
+
+/// Entropy l-diversity (Machanavajjhala et al.): the entropy of the
+/// sensitive-value distribution within the group must be at least log(l)
+/// (on top of the k-anonymity size floor). Strictly stronger than distinct
+/// l-diversity for the same l.
+class EntropyLDiversity : public PartitionConstraint {
+ public:
+  EntropyLDiversity(size_t k, double l) : k_(k), l_(l) {}
+  bool AdmissibleCodes(std::span<const int32_t> codes) const override;
+  std::string Name() const override;
+
+ private:
+  size_t k_;
+  double l_;
+};
+
+/// Recursive (c,l)-diversity (Machanavajjhala et al.): with sensitive value
+/// frequencies r_1 >= r_2 >= ... >= r_m, require
+/// r_1 < c * (r_l + r_{l+1} + ... + r_m) — the most frequent value must not
+/// dominate the tail beyond factor c. Also enforces the k size floor.
+class RecursiveCLDiversity : public PartitionConstraint {
+ public:
+  RecursiveCLDiversity(size_t k, double c, size_t l)
+      : k_(k), c_(c), l_(l) {}
+  bool AdmissibleCodes(std::span<const int32_t> codes) const override;
+  std::string Name() const override;
+
+ private:
+  size_t k_;
+  double c_;
+  size_t l_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_ANON_CONSTRAINTS_H_

@@ -1,0 +1,126 @@
+#include "anon/grid_anonymizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "anon/compaction.h"
+#include "common/check.h"
+#include "index/hilbert.h"
+
+namespace kanon {
+
+StatusOr<PartitionSet> GridAnonymizer::Anonymize(const Dataset& dataset,
+                                                 size_t k) const {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot anonymize an empty dataset");
+  }
+  if (k < 1) return Status::InvalidArgument("k must be positive");
+  const size_t dim = dataset.dim();
+  const Domain domain = dataset.ComputeDomain();
+
+  // Pick the gridded axes: the widest ones have the most to gain from
+  // being cut (ties to the Mondrian heuristic). Normalization is by the
+  // domain itself, so "width" means having distinct values at all.
+  std::vector<size_t> axes(dim);
+  std::iota(axes.begin(), axes.end(), 0);
+  std::sort(axes.begin(), axes.end(), [&](size_t a, size_t b) {
+    return domain.Extent(a) > domain.Extent(b);
+  });
+  std::vector<size_t> gridded;
+  for (size_t a : axes) {
+    if (gridded.size() >= options_.max_grid_axes) break;
+    if (domain.Extent(a) > 0.0) gridded.push_back(a);
+  }
+  if (gridded.empty()) {
+    // Fully degenerate data: one partition.
+    PartitionSet out;
+    Partition p;
+    p.rids.resize(dataset.num_records());
+    std::iota(p.rids.begin(), p.rids.end(), RecordId{0});
+    p.box = Mbr::FromBounds(domain.lo, domain.hi);
+    out.partitions.push_back(std::move(p));
+    return out;
+  }
+
+  size_t cells = options_.cells_per_axis;
+  if (cells == 0) {
+    // Aim at ~2k records per cell: cells_per_axis^|gridded| ~ n / (2k).
+    const double target_cells =
+        static_cast<double>(dataset.num_records()) /
+        (2.0 * static_cast<double>(k));
+    cells = static_cast<size_t>(std::floor(std::pow(
+        std::max(1.0, target_cells), 1.0 / static_cast<double>(
+                                             gridded.size()))));
+    cells = std::clamp<size_t>(cells, 1, 64);
+  }
+  const int bits = std::max(
+      1, static_cast<int>(std::ceil(std::log2(static_cast<double>(cells)))));
+
+  // Assign every record to its cell; cells are keyed by the Z-order of
+  // their coordinates so the later merge walks spatially adjacent cells.
+  struct Cell {
+    std::vector<RecordId> rids;
+    std::vector<size_t> coords;
+  };
+  std::map<CurveKey, Cell> cell_map;  // ordered: Z-order walk for free
+  std::vector<uint32_t> zcoord(gridded.size());
+  for (RecordId r = 0; r < dataset.num_records(); ++r) {
+    const auto row = dataset.row(r);
+    for (size_t i = 0; i < gridded.size(); ++i) {
+      const size_t a = gridded[i];
+      const double frac = (row[a] - domain.lo[a]) / domain.Extent(a);
+      auto c = static_cast<size_t>(frac * static_cast<double>(cells));
+      if (c >= cells) c = cells - 1;
+      zcoord[i] = static_cast<uint32_t>(c);
+    }
+    const CurveKey key =
+        ZOrderKey({zcoord.data(), zcoord.size()}, bits);
+    Cell& cell = cell_map[key];
+    if (cell.rids.empty()) {
+      cell.coords.assign(zcoord.begin(), zcoord.end());
+    }
+    cell.rids.push_back(r);
+  }
+
+  // Box of one cell: gridded axes get their cell slice, others the full
+  // domain — the uncompacted grid-file view.
+  auto cell_box = [&](const Cell& cell) {
+    std::vector<double> lo = domain.lo;
+    std::vector<double> hi = domain.hi;
+    for (size_t i = 0; i < gridded.size(); ++i) {
+      const size_t a = gridded[i];
+      const double step = domain.Extent(a) / static_cast<double>(cells);
+      lo[a] = domain.lo[a] + step * static_cast<double>(cell.coords[i]);
+      hi[a] = cell.coords[i] + 1 == cells
+                  ? domain.hi[a]
+                  : lo[a] + step;
+    }
+    return Mbr::FromBounds(std::move(lo), std::move(hi));
+  };
+
+  // Merge whole cells in Z-order until every group reaches k, folding a
+  // too-small tail into the last group (the leaf-scan discipline).
+  PartitionSet out;
+  Partition current;
+  current.box = Mbr(dim);
+  size_t remaining = dataset.num_records();
+  for (const auto& [key, cell] : cell_map) {
+    current.rids.insert(current.rids.end(), cell.rids.begin(),
+                        cell.rids.end());
+    current.box.ExpandToInclude(cell_box(cell));
+    remaining -= cell.rids.size();
+    if (current.size() >= k && remaining >= k) {
+      out.partitions.push_back(std::move(current));
+      current = Partition();
+      current.box = Mbr(dim);
+    }
+  }
+  if (!current.rids.empty()) out.partitions.push_back(std::move(current));
+
+  if (options_.compact) CompactPartitions(dataset, &out);
+  return out;
+}
+
+}  // namespace kanon

@@ -1,0 +1,127 @@
+#include "anon/leaf_scan.h"
+
+#include <algorithm>
+
+namespace kanon {
+
+Mbr ClipRegionToDomain(const Region& region, const Domain& domain) {
+  std::vector<double> lo(region.dim()), hi(region.dim());
+  for (size_t d = 0; d < region.dim(); ++d) {
+    lo[d] = std::max(region.lo[d], domain.lo[d]);
+    hi[d] = std::min(region.hi[d], domain.hi[d]);
+    if (lo[d] > hi[d]) lo[d] = hi[d];  // region beyond the data: collapse
+  }
+  return Mbr::FromBounds(std::move(lo), std::move(hi));
+}
+
+std::vector<LeafGroup> ExtractLeafGroups(const RPlusTree& tree,
+                                         const Domain* domain) {
+  std::vector<LeafGroup> out;
+  for (const Node* leaf : tree.OrderedLeaves()) {
+    if (leaf->leaf_size() == 0) continue;  // post-deletion empty leaf
+    LeafGroup g;
+    g.rids = leaf->rids;
+    g.mbr = leaf->mbr;
+    if (domain != nullptr) {
+      g.region = ClipRegionToDomain(leaf->region, *domain);
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+StatusOr<std::vector<LeafGroup>> ExtractLeafGroups(const BufferTree& tree,
+                                                   const Domain* domain) {
+  std::vector<LeafGroup> out;
+  for (const BufferNode* leaf : tree.OrderedLeaves()) {
+    if (leaf->record_count == 0) continue;
+    LeafGroup g;
+    g.mbr = leaf->mbr;
+    if (domain != nullptr) {
+      g.region = ClipRegionToDomain(leaf->region, *domain);
+    }
+    g.rids.reserve(leaf->record_count);
+    KANON_RETURN_IF_ERROR(tree.ScanLeaf(
+        leaf, [&g](uint64_t rid, int32_t, std::span<const double>) {
+          g.rids.push_back(rid);
+        }));
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+PartitionSet LeafScan(std::span<const LeafGroup> leaves, size_t k1) {
+  PartitionSet out;
+  Partition current;
+  size_t dim = leaves.empty() ? 0 : leaves.front().mbr.dim();
+  current.box = Mbr(dim);
+  size_t remaining = 0;
+  for (const LeafGroup& g : leaves) remaining += g.rids.size();
+
+  for (const LeafGroup& g : leaves) {
+    current.rids.insert(current.rids.end(), g.rids.begin(), g.rids.end());
+    current.box.ExpandToInclude(g.mbr);
+    remaining -= g.rids.size();
+    // LS4: if the leftovers cannot form a full group, absorb them here
+    // rather than emitting an undersized final partition.
+    if (current.size() >= k1 && remaining >= k1) {
+      out.partitions.push_back(std::move(current));
+      current = Partition();
+      current.box = Mbr(dim);
+    }
+  }
+  if (!current.rids.empty()) out.partitions.push_back(std::move(current));
+  return out;
+}
+
+PartitionSet LeafScanWithConstraint(std::span<const LeafGroup> leaves,
+                                    const Dataset& dataset,
+                                    const PartitionConstraint& constraint) {
+  PartitionSet out;
+  const size_t dim = dataset.dim();
+  const size_t num_leaves = leaves.size();
+
+  // Constraints are monotone upward, so "the suffix of leaves starting at i
+  // forms an admissible group" is monotone in i: one backward sweep finds
+  // the last admissible suffix start. A group may be closed after leaf i
+  // only if the remainder (suffix i+1) is still admissible — the constraint
+  // analogue of step LS4, which folds the tail into the final group.
+  std::vector<char> suffix_admissible(num_leaves + 1, 0);
+  {
+    std::vector<int32_t> codes;
+    for (size_t i = num_leaves; i-- > 0;) {
+      for (RecordId r : leaves[i].rids) {
+        codes.push_back(dataset.sensitive(r));
+      }
+      suffix_admissible[i] =
+          suffix_admissible[i + 1] || constraint.AdmissibleCodes(codes)
+              ? 1
+              : 0;
+      if (suffix_admissible[i] && suffix_admissible[i + 1]) {
+        // Once both are known admissible, all earlier suffixes are too.
+        for (size_t j = 0; j < i; ++j) suffix_admissible[j] = 1;
+        break;
+      }
+    }
+  }
+
+  Partition current;
+  current.box = Mbr(dim);
+  std::vector<int32_t> codes;
+  for (size_t i = 0; i < num_leaves; ++i) {
+    const LeafGroup& g = leaves[i];
+    current.rids.insert(current.rids.end(), g.rids.begin(), g.rids.end());
+    current.box.ExpandToInclude(g.mbr);
+    for (RecordId r : g.rids) codes.push_back(dataset.sensitive(r));
+    if (!constraint.AdmissibleCodes(codes)) continue;
+    if (!suffix_admissible[i + 1]) continue;  // absorb the tail (LS4)
+    out.partitions.push_back(std::move(current));
+    current = Partition();
+    current.box = Mbr(dim);
+    codes.clear();
+  }
+  if (!current.rids.empty()) out.partitions.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace kanon

@@ -1,0 +1,162 @@
+#include "anon/mondrian.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace kanon {
+
+namespace {
+
+/// Workspace for the recursive partitioning: records are permuted in place
+/// inside one rid array, so recursion costs O(1) extra memory per frame.
+struct MondrianRun {
+  const Dataset* dataset;
+  const MondrianConfig* config;
+  size_t k;
+  KAnonymity default_constraint;
+  Domain domain;
+  std::vector<RecordId> rids;
+  PartitionSet out;
+
+  MondrianRun(const Dataset& d, const MondrianConfig& c, size_t k_in)
+      : dataset(&d),
+        config(&c),
+        k(k_in),
+        default_constraint(k_in),
+        domain(d.ComputeDomain()) {
+    rids.resize(d.num_records());
+    std::iota(rids.begin(), rids.end(), RecordId{0});
+  }
+
+  const PartitionConstraint& constraint() const {
+    return config->constraint != nullptr ? *config->constraint
+                                         : default_constraint;
+  }
+
+  bool Admissible(RecordId* begin, RecordId* end) const {
+    std::vector<int32_t> codes;
+    codes.reserve(end - begin);
+    for (RecordId* it = begin; it != end; ++it) {
+      codes.push_back(dataset->sensitive(*it));
+    }
+    return constraint().AdmissibleCodes(codes);
+  }
+
+  void Emit(RecordId* begin, RecordId* end, const Mbr& box) {
+    Partition p;
+    p.rids.assign(begin, end);
+    p.box = box;
+    out.partitions.push_back(std::move(p));
+  }
+
+  void Recurse(RecordId* begin, RecordId* end, const Mbr& box) {
+    const size_t n = static_cast<size_t>(end - begin);
+    const size_t dim = dataset->dim();
+    if (n < 2 * k) {  // cannot possibly produce two >= k halves
+      Emit(begin, end, box);
+      return;
+    }
+
+    // Rank attributes by normalized extent of the *actual* values (the
+    // Mondrian heuristic: "split the quasi-identifier attribute with the
+    // largest range of values").
+    std::vector<std::pair<double, size_t>> ranked;
+    ranked.reserve(dim);
+    for (size_t a = 0; a < dim; ++a) {
+      double lo = dataset->value(*begin, a);
+      double hi = lo;
+      for (RecordId* it = begin; it != end; ++it) {
+        const double v = dataset->value(*it, a);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      const double norm = domain.Extent(a) > 0.0
+                              ? (hi - lo) / domain.Extent(a)
+                              : 0.0;
+      ranked.emplace_back(-norm, a);
+    }
+    std::sort(ranked.begin(), ranked.end());
+
+    for (const auto& [neg_extent, attr] : ranked) {
+      // Strict mode cannot cut an attribute without spread; relaxed mode
+      // may still halve a duplicate run by count (ties land on both sides),
+      // which is what lets relaxed Mondrian keep improving discernibility
+      // on duplicate-heavy data.
+      if (neg_extent >= 0.0 && config->strict) break;
+      // Median of the attribute over this range.
+      RecordId* mid = begin + n / 2;
+      std::nth_element(begin, mid, end, [&](RecordId x, RecordId y) {
+        return dataset->value(x, attr) < dataset->value(y, attr);
+      });
+      const double median = dataset->value(*mid, attr);
+
+      RecordId* cut = nullptr;
+      double left_hi = median;
+      if (config->strict) {
+        // Strict partitioning: a record's membership depends only on its
+        // value. Try v <= median | v > median, then v < median | v >=.
+        RecordId* cut_le = std::partition(begin, end, [&](RecordId r) {
+          return dataset->value(r, attr) <= median;
+        });
+        if (SidesOk(begin, cut_le, end)) {
+          cut = cut_le;
+        } else {
+          RecordId* cut_lt = std::partition(begin, end, [&](RecordId r) {
+            return dataset->value(r, attr) < median;
+          });
+          if (SidesOk(begin, cut_lt, end)) {
+            cut = cut_lt;
+            left_hi = median;  // boundary value owned by the right side
+          }
+        }
+      } else {
+        // Relaxed partitioning: balance exactly, letting median ties land
+        // on either side.
+        std::nth_element(begin, mid, end, [&](RecordId x, RecordId y) {
+          return dataset->value(x, attr) < dataset->value(y, attr);
+        });
+        if (SidesOk(begin, mid, end)) cut = mid;
+      }
+      if (cut == nullptr) continue;
+
+      Mbr left_box = box;
+      Mbr right_box = box;
+      {
+        std::vector<double> lo = box.lo(), hi = box.hi();
+        hi[attr] = left_hi;
+        left_box = Mbr::FromBounds(std::move(lo), std::move(hi));
+        std::vector<double> lo2 = box.lo(), hi2 = box.hi();
+        lo2[attr] = left_hi;
+        right_box = Mbr::FromBounds(std::move(lo2), std::move(hi2));
+      }
+      Recurse(begin, cut, left_box);
+      Recurse(cut, end, right_box);
+      return;
+    }
+    Emit(begin, end, box);
+  }
+
+  bool SidesOk(RecordId* begin, RecordId* cut, RecordId* end) const {
+    const auto left = static_cast<size_t>(cut - begin);
+    const auto right = static_cast<size_t>(end - cut);
+    if (left < k || right < k) return false;
+    if (config->constraint == nullptr) return true;  // size check suffices
+    return Admissible(begin, cut) && Admissible(cut, end);
+  }
+};
+
+}  // namespace
+
+PartitionSet Mondrian::Anonymize(const Dataset& dataset, size_t k) const {
+  KANON_CHECK(k >= 1);
+  if (dataset.empty()) return PartitionSet{};
+  MondrianRun run(dataset, config_, k);
+  const Domain& d = run.domain;
+  Mbr root_box = Mbr::FromBounds(d.lo, d.hi);
+  run.Recurse(run.rids.data(), run.rids.data() + run.rids.size(), root_box);
+  return std::move(run.out);
+}
+
+}  // namespace kanon

@@ -1,0 +1,70 @@
+#include "anon/partition.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace kanon {
+
+size_t PartitionSet::total_records() const {
+  size_t n = 0;
+  for (const auto& p : partitions) n += p.size();
+  return n;
+}
+
+size_t PartitionSet::min_partition_size() const {
+  size_t m = std::numeric_limits<size_t>::max();
+  for (const auto& p : partitions) m = std::min(m, p.size());
+  return partitions.empty() ? 0 : m;
+}
+
+size_t PartitionSet::max_partition_size() const {
+  size_t m = 0;
+  for (const auto& p : partitions) m = std::max(m, p.size());
+  return m;
+}
+
+Status PartitionSet::CheckCovers(const Dataset& dataset) const {
+  std::vector<char> seen(dataset.num_records(), 0);
+  for (const auto& p : partitions) {
+    for (RecordId r : p.rids) {
+      if (r >= dataset.num_records()) {
+        return Status::Corruption("partition references unknown record");
+      }
+      if (seen[r]) {
+        return Status::Corruption("record appears in two partitions");
+      }
+      seen[r] = 1;
+      if (!p.box.ContainsPoint(dataset.row(r))) {
+        return Status::Corruption(
+            "record lies outside its partition's generalized box");
+      }
+    }
+  }
+  for (RecordId r = 0; r < dataset.num_records(); ++r) {
+    if (!seen[r]) return Status::Corruption("record not covered");
+  }
+  return Status::OK();
+}
+
+Status PartitionSet::CheckKAnonymous(size_t k) const {
+  for (const auto& p : partitions) {
+    if (p.size() < k) {
+      return Status::FailedPrecondition(
+          "partition of size " + std::to_string(p.size()) +
+          " violates k=" + std::to_string(k));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<uint32_t> RecordToPartition(const PartitionSet& ps, size_t n) {
+  std::vector<uint32_t> map(n, std::numeric_limits<uint32_t>::max());
+  for (uint32_t i = 0; i < ps.partitions.size(); ++i) {
+    for (RecordId r : ps.partitions[i].rids) {
+      if (r < n) map[r] = i;
+    }
+  }
+  return map;
+}
+
+}  // namespace kanon

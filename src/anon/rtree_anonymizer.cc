@@ -1,0 +1,233 @@
+#include "anon/rtree_anonymizer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace kanon {
+
+namespace {
+
+RTreeConfig MakeTreeConfig(const RTreeAnonymizerOptions& options) {
+  RTreeConfig config;
+  config.min_leaf = options.base_k;
+  config.max_leaf =
+      std::max(options.base_k * options.leaf_capacity_factor,
+               2 * options.base_k);  // splittable into two >= base_k halves
+  config.max_fanout = options.max_fanout;
+  config.split = options.split;
+  if (options.constraint != nullptr) {
+    config.leaf_admissible = options.constraint->AsLeafPredicate();
+  }
+  return config;
+}
+
+/// Picks the page size for the buffer-tree backend: one leaf per page (the
+/// paper's model — leaves *are* index pages), rounded up to a 256-byte
+/// boundary and capped at the configured page size. An 8 KiB page holding a
+/// 15-record leaf would waste ~85% of every frame and thrash the pool.
+size_t LeafPageSize(const RTreeAnonymizerOptions& options, size_t dim) {
+  const RecordCodec codec(dim);
+  const size_t max_leaf =
+      std::max(options.base_k * options.leaf_capacity_factor,
+               2 * options.base_k);
+  const size_t natural = RecordPageView::kHeaderSize +
+                         (max_leaf + 1) * codec.record_size();
+  const size_t rounded = (natural + 255) / 256 * 256;
+  return std::min(std::max<size_t>(512, rounded), options.page_size);
+}
+
+BufferTreeConfig MakeBufferConfig(const RTreeAnonymizerOptions& options,
+                                  size_t page_size, size_t dim) {
+  BufferTreeConfig config;
+  const RTreeConfig base = MakeTreeConfig(options);
+  config.min_leaf = base.min_leaf;
+  config.max_leaf = base.max_leaf;
+  config.max_fanout = base.max_fanout;
+  config.split = base.split;
+  config.leaf_admissible = base.leaf_admissible;
+  // options.buffer_pages is expressed in default-size pages; convert so the
+  // clear threshold (in records) is independent of the actual page size.
+  const RecordCodec codec(dim);
+  const size_t per_page =
+      (page_size - RecordPageView::kHeaderSize) / codec.record_size();
+  const size_t per_default_page =
+      (kDefaultPageSize - RecordPageView::kHeaderSize) / codec.record_size();
+  const size_t target_records =
+      std::max<size_t>(1, options.buffer_pages * per_default_page);
+  config.buffer_pages = std::max<size_t>(1, target_records / per_page);
+  return config;
+}
+
+}  // namespace
+
+RTreeAnonymizer::RTreeAnonymizer(RTreeAnonymizerOptions options)
+    : options_(options) {
+  KANON_CHECK(options_.base_k >= 1);
+  KANON_CHECK(options_.leaf_capacity_factor >= 2);
+}
+
+StatusOr<RTreeAnonymizer::BuildResult> RTreeAnonymizer::BuildLeaves(
+    const Dataset& dataset) const {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot anonymize an empty dataset");
+  }
+  const Domain domain = dataset.ComputeDomain();
+  BuildResult result;
+
+  // Split decisions must compare attribute extents on a normalized scale
+  // (a raw zipcode range dwarfs a raw quantity range); fill the
+  // normalizer from the data unless the caller provided one.
+  RTreeAnonymizerOptions options = options_;
+  if (options.split.domain_extent.empty()) {
+    options.split.domain_extent.reserve(dataset.dim());
+    for (size_t a = 0; a < dataset.dim(); ++a) {
+      options.split.domain_extent.push_back(domain.Extent(a));
+    }
+  }
+
+  if (options.backend == RTreeAnonymizerOptions::Backend::kTupleLoading) {
+    RPlusTree tree(dataset.dim(), MakeTreeConfig(options));
+    for (RecordId r = 0; r < dataset.num_records(); ++r) {
+      tree.Insert(dataset.row(r), r, dataset.sensitive(r));
+    }
+    result.leaves = ExtractLeafGroups(tree, &domain);
+    result.tree_height = tree.height();
+    return result;
+  }
+
+  // Buffer-tree bulk load through a bounded buffer pool.
+  const size_t page_size = LeafPageSize(options, dataset.dim());
+  std::unique_ptr<Pager> pager;
+  if (options.use_disk) {
+    KANON_ASSIGN_OR_RETURN(auto file_pager, FilePager::Create(page_size));
+    pager = std::move(file_pager);
+  } else {
+    pager = std::make_unique<MemPager>(page_size);
+  }
+  const size_t frames =
+      std::max<size_t>(8, options.memory_budget_bytes / page_size);
+  BufferPool pool(pager.get(), frames);
+  BufferTree tree(dataset.dim(),
+                  MakeBufferConfig(options, page_size, dataset.dim()),
+                  &pool);
+  for (RecordId r = 0; r < dataset.num_records(); ++r) {
+    KANON_RETURN_IF_ERROR(
+        tree.Insert(dataset.row(r), r, dataset.sensitive(r)));
+  }
+  KANON_RETURN_IF_ERROR(tree.Flush());
+  KANON_ASSIGN_OR_RETURN(result.leaves, ExtractLeafGroups(tree, &domain));
+  result.tree_height = tree.height();
+  result.io = pager->stats();
+  return result;
+}
+
+PartitionSet RTreeAnonymizer::Granularize(const Dataset& dataset,
+                                          std::span<const LeafGroup> leaves,
+                                          size_t k) const {
+  const size_t k1 = std::max(k, options_.base_k);
+  PartitionSet out;
+  if (options_.compact) {
+    if (options_.constraint != nullptr) {
+      out = LeafScanWithConstraint(leaves, dataset, *options_.constraint);
+    } else {
+      out = LeafScan(leaves, k1);
+    }
+    return out;
+  }
+  // Uncompacted emission: scan over the leaf *regions* so the published
+  // boxes are the index cells rather than tight record bounds.
+  std::vector<LeafGroup> region_view(leaves.begin(), leaves.end());
+  for (LeafGroup& g : region_view) {
+    if (!g.region.empty()) g.mbr = g.region;
+  }
+  if (options_.constraint != nullptr) {
+    return LeafScanWithConstraint(region_view, dataset, *options_.constraint);
+  }
+  return LeafScan(region_view, k1);
+}
+
+StatusOr<PartitionSet> RTreeAnonymizer::Anonymize(const Dataset& dataset,
+                                                  size_t k) const {
+  KANON_ASSIGN_OR_RETURN(BuildResult built, BuildLeaves(dataset));
+  return Granularize(dataset, built.leaves, k);
+}
+
+namespace {
+
+RTreeAnonymizerOptions WithDomainHint(RTreeAnonymizerOptions options,
+                                      const Domain* domain_hint) {
+  if (domain_hint != nullptr && options.split.domain_extent.empty()) {
+    for (size_t a = 0; a < domain_hint->dim(); ++a) {
+      options.split.domain_extent.push_back(domain_hint->Extent(a));
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+IncrementalAnonymizer::IncrementalAnonymizer(size_t dim,
+                                             RTreeAnonymizerOptions options,
+                                             const Domain* domain_hint)
+    : options_(WithDomainHint(std::move(options), domain_hint)),
+      tree_(dim, MakeTreeConfig(options_)) {}
+
+void IncrementalAnonymizer::Insert(std::span<const double> point,
+                                   RecordId rid, int32_t sensitive) {
+  tree_.Insert(point, rid, sensitive);
+}
+
+bool IncrementalAnonymizer::Delete(std::span<const double> point,
+                                   RecordId rid) {
+  return tree_.Delete(point, rid);
+}
+
+void IncrementalAnonymizer::InsertBatch(const Dataset& dataset,
+                                        RecordId begin, RecordId end) {
+  KANON_CHECK(begin <= end && end <= dataset.num_records());
+  for (RecordId r = begin; r < end; ++r) {
+    tree_.Insert(dataset.row(r), r, dataset.sensitive(r));
+  }
+}
+
+void IncrementalAnonymizer::Vacuum() {
+  // Collect the live records, then reinsert in a shuffled order: leaf
+  // (spatial) order would feed the adaptive splitter a sorted stream and
+  // produce systematically skewed early cuts.
+  struct Rec {
+    std::vector<double> point;
+    RecordId rid;
+    int32_t sensitive;
+  };
+  std::vector<Rec> records;
+  records.reserve(tree_.size());
+  for (const Node* leaf : tree_.OrderedLeaves()) {
+    for (size_t i = 0; i < leaf->leaf_size(); ++i) {
+      const auto p = leaf->point(i);
+      records.push_back(Rec{{p.begin(), p.end()},
+                            leaf->rids[i],
+                            leaf->sensitive[i]});
+    }
+  }
+  Rng rng(0x5eedULL + records.size());
+  for (size_t i = records.size(); i > 1; --i) {
+    std::swap(records[i - 1], records[rng.Uniform(i)]);
+  }
+  RPlusTree rebuilt(tree_.dim(), MakeTreeConfig(options_));
+  for (const Rec& r : records) {
+    rebuilt.Insert(r.point, r.rid, r.sensitive);
+  }
+  tree_ = std::move(rebuilt);
+}
+
+PartitionSet IncrementalAnonymizer::Snapshot(const Dataset& dataset,
+                                             size_t k) const {
+  const Domain domain = dataset.ComputeDomain();
+  const std::vector<LeafGroup> leaves = ExtractLeafGroups(tree_, &domain);
+  RTreeAnonymizer granularizer(options_);
+  return granularizer.Granularize(dataset, leaves, k);
+}
+
+}  // namespace kanon

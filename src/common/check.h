@@ -1,0 +1,36 @@
+#ifndef KANON_COMMON_CHECK_H_
+#define KANON_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+
+/// Invariant checks that stay on in release builds. Violations indicate
+/// programming errors inside the library, never bad user input (bad input is
+/// reported through Status).
+#define KANON_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::cerr << "KANON_CHECK failed at " << __FILE__ << ":"           \
+                << __LINE__ << ": " #cond << std::endl;                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define KANON_CHECK_MSG(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::cerr << "KANON_CHECK failed at " << __FILE__ << ":"          \
+                << __LINE__ << ": " #cond << " — " << msg << std::endl; \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#ifndef NDEBUG
+#define KANON_DCHECK(cond) KANON_CHECK(cond)
+#else
+#define KANON_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#endif
+
+#endif  // KANON_COMMON_CHECK_H_

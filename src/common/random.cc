@@ -1,0 +1,103 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kanon {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  KANON_DCHECK(bound > 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  KANON_DCHECK(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  // Avoid log(0).
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  KANON_DCHECK(n > 0);
+  if (s <= 0.0) return Uniform(n);
+  // Inverse-CDF on the continuous bounded-Pareto approximation of the Zipf
+  // distribution; exact normalization is unnecessary for workload skew.
+  const double u = NextDouble();
+  double rank;
+  if (std::abs(s - 1.0) < 1e-9) {
+    rank = std::exp(u * std::log(static_cast<double>(n) + 1.0)) - 1.0;
+  } else {
+    const double t =
+        std::pow(static_cast<double>(n) + 1.0, 1.0 - s);
+    rank = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s)) - 1.0;
+  }
+  auto idx = static_cast<uint64_t>(rank);
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+}  // namespace kanon

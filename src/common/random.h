@@ -1,0 +1,49 @@
+#ifndef KANON_COMMON_RANDOM_H_
+#define KANON_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace kanon {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256** with a
+/// SplitMix64-seeded state). Used everywhere instead of std::mt19937 so
+/// experiment runs are reproducible across platforms and standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal variate (Box–Muller).
+  double NextGaussian();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Zipf-like skewed integer in [0, n) with exponent `s` (s = 0 is uniform).
+  /// Implemented by inverse-CDF over a precomputation-free approximation,
+  /// adequate for workload generation.
+  uint64_t Zipf(uint64_t n, double s);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_COMMON_RANDOM_H_

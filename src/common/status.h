@@ -1,0 +1,153 @@
+#ifndef KANON_COMMON_STATUS_H_
+#define KANON_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace kanon {
+
+/// Error categories used across the library. Mirrors the small set of
+/// conditions a caller can meaningfully react to.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIoError,
+  kCorruption,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. The library does not throw across
+/// public API boundaries; fallible operations return Status or StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored StatusOr aborts the process (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites (`return value;` / `return Status::NotFound(...)`) readable.
+  StatusOr(T value) : repr_(std::move(value)) {}  // NOLINT: intentional
+  StatusOr(Status status) : repr_(std::move(status)) {  // NOLINT: intentional
+    if (std::get<Status>(repr_).ok()) {
+      std::cerr << "StatusOr constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "StatusOr::value() on error: " << status().ToString()
+                << "\n";
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace kanon
+
+/// Propagates a non-OK Status to the caller.
+#define KANON_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::kanon::Status _kanon_status = (expr);          \
+    if (!_kanon_status.ok()) return _kanon_status;   \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors, else binds the value.
+#define KANON_ASSIGN_OR_RETURN(lhs, expr)       \
+  KANON_ASSIGN_OR_RETURN_IMPL_(                 \
+      KANON_STATUS_CONCAT_(_kanon_sor_, __LINE__), lhs, expr)
+#define KANON_STATUS_CONCAT_INNER_(a, b) a##b
+#define KANON_STATUS_CONCAT_(a, b) KANON_STATUS_CONCAT_INNER_(a, b)
+#define KANON_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // KANON_COMMON_STATUS_H_

@@ -1,0 +1,89 @@
+#include "common/sysinfo.h"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace kanon {
+
+namespace {
+
+std::string ReadCpuModel() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto pos = line.find(':');
+      if (pos != std::string::npos && pos + 2 <= line.size()) {
+        return line.substr(pos + 2);
+      }
+    }
+  }
+  return "unknown";
+}
+
+long ReadMemoryMb() {
+  std::ifstream in("/proc/meminfo");
+  std::string key;
+  long kb = 0;
+  while (in >> key >> kb) {
+    if (key == "MemTotal:") return kb / 1024;
+    std::string rest;
+    std::getline(in, rest);
+  }
+  return 0;
+}
+
+std::string CompilerString() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string OsString() {
+  std::ifstream in("/etc/os-release");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("PRETTY_NAME=", 0) == 0) {
+      std::string v = line.substr(12);
+      if (v.size() >= 2 && v.front() == '"') v = v.substr(1, v.size() - 2);
+      return v;
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+SystemInfo QuerySystemInfo() {
+  SystemInfo info;
+  info.compiler = CompilerString();
+  info.os = OsString();
+  info.cpu = ReadCpuModel();
+  info.memory_mb = ReadMemoryMb();
+  info.logical_cores =
+      static_cast<int>(std::thread::hardware_concurrency());
+  return info;
+}
+
+std::string FormatSystemInfoTable(const SystemInfo& info) {
+  std::ostringstream os;
+  os << "System configuration (cf. paper Table 1):\n";
+  os << "  Compiler         " << info.compiler << "\n";
+  os << "  Operating system " << info.os << "\n";
+  os << "  CPU              " << info.cpu << " (" << info.logical_cores
+     << " logical cores)\n";
+  os << "  Memory           " << info.memory_mb << " MB\n";
+  return os.str();
+}
+
+}  // namespace kanon

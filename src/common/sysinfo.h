@@ -1,0 +1,29 @@
+#ifndef KANON_COMMON_SYSINFO_H_
+#define KANON_COMMON_SYSINFO_H_
+
+#include <string>
+
+namespace kanon {
+
+/// Describes the host the experiments run on. The paper's Table 1 lists the
+/// authors' 2007 testbed; every bench binary prints the equivalent of that
+/// table for the current machine so paper-vs-measured comparisons carry the
+/// hardware context.
+struct SystemInfo {
+  std::string compiler;
+  std::string os;
+  std::string cpu;
+  long memory_mb = 0;
+  int logical_cores = 0;
+};
+
+/// Collects best-effort host information (from /proc on Linux; fields may be
+/// "unknown" elsewhere).
+SystemInfo QuerySystemInfo();
+
+/// Renders `info` as the paper's Table 1 layout.
+std::string FormatSystemInfoTable(const SystemInfo& info);
+
+}  // namespace kanon
+
+#endif  // KANON_COMMON_SYSINFO_H_

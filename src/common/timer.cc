@@ -1,0 +1,5 @@
+#include "common/timer.h"
+
+// Timer is header-only; this translation unit exists so the target always
+// has at least one symbol per module and to anchor future additions.
+namespace kanon {}

@@ -1,0 +1,31 @@
+#ifndef KANON_COMMON_TIMER_H_
+#define KANON_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace kanon {
+
+/// Simple monotonic wall-clock stopwatch used by the bench harnesses.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_COMMON_TIMER_H_

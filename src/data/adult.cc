@@ -1,0 +1,171 @@
+#include "data/adult.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <map>
+
+#include "common/random.h"
+#include "data/csv.h"
+
+namespace kanon {
+
+namespace {
+
+// Categorical vocabularies of the raw UCI file, in recoding order.
+const std::array<const char*, 8> kWorkclass = {
+    "Private",      "Self-emp-not-inc", "Self-emp-inc", "Federal-gov",
+    "Local-gov",    "State-gov",        "Without-pay",  "Never-worked"};
+const std::array<const char*, 7> kMarital = {
+    "Married-civ-spouse", "Divorced",      "Never-married",
+    "Separated",          "Widowed",       "Married-spouse-absent",
+    "Married-AF-spouse"};
+const std::array<const char*, 14> kOccupation = {
+    "Tech-support",      "Craft-repair",   "Other-service",
+    "Sales",             "Exec-managerial","Prof-specialty",
+    "Handlers-cleaners", "Machine-op-inspct", "Adm-clerical",
+    "Farming-fishing",   "Transport-moving",  "Priv-house-serv",
+    "Protective-serv",   "Armed-Forces"};
+const std::array<const char*, 5> kRace = {
+    "White", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other", "Black"};
+const std::array<const char*, 2> kSex = {"Male", "Female"};
+
+template <size_t N>
+int CodeOf(const std::array<const char*, N>& vocab, const std::string& v) {
+  for (size_t i = 0; i < N; ++i) {
+    if (v == vocab[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::shared_ptr<const Hierarchy> WorkclassHierarchy() {
+  // Private | self-employed | government | unemployed
+  auto h = std::make_shared<Hierarchy>("*", 8);
+  (void)h->AddChild(0, "private", 0, 0);
+  (void)h->AddChild(0, "self-employed", 1, 2);
+  (void)h->AddChild(0, "government", 3, 5);
+  (void)h->AddChild(0, "not-working", 6, 7);
+  return h;
+}
+
+std::shared_ptr<const Hierarchy> MaritalHierarchy() {
+  // spouse-present(0) | once-married(1-4) | AF(5-6) — codes grouped so the
+  // leaf ordering keeps similar statuses adjacent.
+  auto h = std::make_shared<Hierarchy>("*", 7);
+  (void)h->AddChild(0, "married", 0, 0);
+  (void)h->AddChild(0, "was-married", 1, 4);
+  (void)h->AddChild(0, "other-married", 5, 6);
+  return h;
+}
+
+std::shared_ptr<const Hierarchy> RaceHierarchy() {
+  auto h = std::make_shared<Hierarchy>("*", 5);
+  (void)h->AddChild(0, "white", 0, 0);
+  (void)h->AddChild(0, "non-white", 1, 4);
+  return h;
+}
+
+}  // namespace
+
+Schema Adult::MakeSchema() {
+  std::vector<AttributeSpec> attrs = {
+      {"age", AttributeType::kNumeric, {}},
+      {"workclass", AttributeType::kCategorical, WorkclassHierarchy()},
+      {"education_num", AttributeType::kNumeric, {}},
+      {"marital_status", AttributeType::kCategorical, MaritalHierarchy()},
+      // Occupation and sex carry no generalization grouping — a flat
+      // hierarchy would make any mixed group pay the full-domain penalty
+      // and let compaction widen ranges to the root, so they stay ordered
+      // categoricals that generalize to code ranges.
+      {"occupation", AttributeType::kCategorical, {}},
+      {"race", AttributeType::kCategorical, RaceHierarchy()},
+      {"sex", AttributeType::kCategorical, {}},
+      {"hours_per_week", AttributeType::kNumeric, {}},
+  };
+  return Schema(std::move(attrs), "occupation");
+}
+
+StatusOr<Dataset> Adult::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  Dataset out(MakeSchema());
+  std::string line;
+  // Raw UCI columns: age, workclass, fnlwgt, education, education-num,
+  // marital-status, occupation, relationship, race, sex, capital-gain,
+  // capital-loss, hours-per-week, native-country, income.
+  while (std::getline(in, line)) {
+    const auto f = SplitCsvLine(line, ',');
+    if (f.size() < 15) continue;
+    const int workclass = CodeOf(kWorkclass, f[1]);
+    const int marital = CodeOf(kMarital, f[5]);
+    const int occupation = CodeOf(kOccupation, f[6]);
+    const int race = CodeOf(kRace, f[8]);
+    const int sex = CodeOf(kSex, f[9]);
+    if (workclass < 0 || marital < 0 || occupation < 0 || race < 0 ||
+        sex < 0) {
+      continue;  // missing or unknown categorical
+    }
+    char* end = nullptr;
+    const double age = std::strtod(f[0].c_str(), &end);
+    if (end == f[0].c_str()) continue;
+    const double edu = std::strtod(f[4].c_str(), nullptr);
+    const double hours = std::strtod(f[12].c_str(), nullptr);
+    const std::array<double, 8> v = {
+        age,
+        static_cast<double>(workclass),
+        edu,
+        static_cast<double>(marital),
+        static_cast<double>(occupation),
+        static_cast<double>(race),
+        static_cast<double>(sex),
+        hours};
+    out.Append(std::span<const double>(v.data(), v.size()), occupation);
+  }
+  if (out.empty()) return Status::Corruption("no parsable rows in " + path);
+  return out;
+}
+
+Dataset Adult::Synthesize(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset out(MakeSchema());
+  out.Reserve(n);
+  std::array<double, 8> v{};
+  for (size_t i = 0; i < n; ++i) {
+    // Age: right-skewed, mode mid-30s, clamped to the published 17..90.
+    double age = 17.0 + std::abs(19.0 * rng.NextGaussian()) +
+                 rng.UniformDouble(0.0, 8.0);
+    age = std::clamp(std::floor(age), 17.0, 90.0);
+    // Workclass: ~70% Private, tail over the rest.
+    const double workclass =
+        rng.Bernoulli(0.70) ? 0.0 : static_cast<double>(1 + rng.Zipf(7, 0.8));
+    // Education-num: 1..16, peaked at HS-grad (9) and some-college (10).
+    double edu = 9.0 + 2.4 * rng.NextGaussian();
+    edu = std::clamp(std::floor(edu), 1.0, 16.0);
+    const double marital = static_cast<double>(rng.Zipf(7, 0.7));
+    const double occupation = static_cast<double>(rng.Zipf(14, 0.3));
+    // Race: ~85% White.
+    const double race =
+        rng.Bernoulli(0.85) ? 0.0 : static_cast<double>(1 + rng.Zipf(4, 0.5));
+    const double sex = rng.Bernoulli(0.67) ? 0.0 : 1.0;  // 2:1 male
+    // Hours: spike at 40 plus spread 1..99.
+    double hours = rng.Bernoulli(0.45)
+                       ? 40.0
+                       : std::clamp(40.0 + 13.0 * rng.NextGaussian(), 1.0,
+                                    99.0);
+    hours = std::floor(hours);
+    v = {age, workclass, edu, marital, occupation, race, sex, hours};
+    out.Append(std::span<const double>(v.data(), v.size()),
+               static_cast<int32_t>(occupation));
+  }
+  return out;
+}
+
+Dataset Adult::LoadOrSynthesize(const std::string& path, size_t fallback_n,
+                                uint64_t seed) {
+  auto loaded = Load(path);
+  if (loaded.ok()) return std::move(loaded).value();
+  return Synthesize(fallback_n, seed);
+}
+
+}  // namespace kanon

@@ -1,0 +1,95 @@
+#include "data/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace kanon {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == delimiter) {
+      fields.push_back(Trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(Trim(cur));
+  return fields;
+}
+
+StatusOr<Dataset> ReadNumericCsv(const std::string& path, const Schema& schema,
+                                 const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  Dataset out(schema);
+  std::string line;
+  bool first = true;
+  std::vector<double> values(schema.dim());
+  while (std::getline(in, line)) {
+    if (first && options.skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (Trim(line).empty()) continue;
+    const auto fields = SplitCsvLine(line, options.delimiter);
+    if (fields.size() != schema.dim() && fields.size() != schema.dim() + 1) {
+      continue;  // malformed row
+    }
+    bool bad = false;
+    for (size_t i = 0; i < schema.dim(); ++i) {
+      if (fields[i] == options.missing_token) {
+        bad = true;
+        break;
+      }
+      char* end = nullptr;
+      values[i] = std::strtod(fields[i].c_str(), &end);
+      if (end == fields[i].c_str()) {
+        bad = true;
+        break;
+      }
+    }
+    if (bad) continue;
+    int32_t sensitive = 0;
+    if (fields.size() == schema.dim() + 1 &&
+        fields.back() != options.missing_token) {
+      sensitive = static_cast<int32_t>(std::strtol(fields.back().c_str(),
+                                                   nullptr, 10));
+    }
+    out.Append(values, sensitive);
+  }
+  return out;
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (size_t a = 0; a < dataset.dim(); ++a) {
+    out << dataset.schema().attribute(a).name << ",";
+  }
+  out << dataset.schema().sensitive_name() << "\n";
+  for (RecordId r = 0; r < dataset.num_records(); ++r) {
+    const auto row = dataset.row(r);
+    for (double v : row) out << v << ",";
+    out << dataset.sensitive(r) << "\n";
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace kanon

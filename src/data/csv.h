@@ -1,0 +1,36 @@
+#ifndef KANON_DATA_CSV_H_
+#define KANON_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace kanon {
+
+/// Options controlling CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  bool skip_header = false;
+  /// Rows containing this token in any field are dropped (the Adult data set
+  /// marks missing values with "?").
+  std::string missing_token = "?";
+};
+
+/// Parses one CSV line into trimmed fields.
+std::vector<std::string> SplitCsvLine(const std::string& line,
+                                      char delimiter);
+
+/// Reads a purely numeric CSV whose columns match `schema` (QI columns first,
+/// then optionally one extra column holding the sensitive code). Rows with
+/// missing values or a wrong column count are skipped.
+StatusOr<Dataset> ReadNumericCsv(const std::string& path, const Schema& schema,
+                                 const CsvOptions& options = {});
+
+/// Writes the dataset's QI values plus the sensitive code as CSV.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_CSV_H_

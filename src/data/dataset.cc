@@ -1,0 +1,35 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace kanon {
+
+Domain Dataset::ComputeDomain() const {
+  KANON_CHECK(!empty());
+  Domain d;
+  d.lo.assign(dim(), 0.0);
+  d.hi.assign(dim(), 0.0);
+  for (size_t a = 0; a < dim(); ++a) {
+    d.lo[a] = d.hi[a] = value(0, a);
+  }
+  for (RecordId r = 1; r < num_records(); ++r) {
+    const auto row_span = row(r);
+    for (size_t a = 0; a < dim(); ++a) {
+      d.lo[a] = std::min(d.lo[a], row_span[a]);
+      d.hi[a] = std::max(d.hi[a], row_span[a]);
+    }
+  }
+  return d;
+}
+
+Dataset Dataset::Slice(RecordId begin, RecordId end) const {
+  KANON_CHECK(begin <= end && end <= num_records());
+  Dataset out(schema_);
+  out.Reserve(end - begin);
+  for (RecordId r = begin; r < end; ++r) {
+    out.Append(row(r), sensitive(r));
+  }
+  return out;
+}
+
+}  // namespace kanon

@@ -1,0 +1,92 @@
+#ifndef KANON_DATA_DATASET_H_
+#define KANON_DATA_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace kanon {
+
+/// Identifies a record by its position in the dataset.
+using RecordId = uint64_t;
+
+/// Per-attribute [lo, hi] bounds of a dataset — the full quasi-identifier
+/// domain, used to normalize the certainty penalty and query workloads.
+struct Domain {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  size_t dim() const { return lo.size(); }
+  double Extent(size_t attr) const { return hi[attr] - lo[attr]; }
+};
+
+/// An in-memory table of records. Quasi-identifier values are stored as a
+/// flat row-major double array (the paper numerically recodes every
+/// attribute, including categoricals); each record also carries one int32
+/// sensitive-attribute code used by l-diversity-style constraints.
+///
+/// Datasets are append-only: anonymization never mutates the input.
+class Dataset {
+ public:
+  explicit Dataset(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t dim() const { return schema_.dim(); }
+  size_t num_records() const { return sensitive_.size(); }
+  bool empty() const { return sensitive_.empty(); }
+
+  void Reserve(size_t n) {
+    values_.reserve(n * dim());
+    sensitive_.reserve(n);
+  }
+
+  /// Appends one record; `values` must have exactly dim() entries.
+  /// Returns the new record's id.
+  RecordId Append(std::span<const double> values, int32_t sensitive = 0) {
+    KANON_DCHECK(values.size() == dim());
+    values_.insert(values_.end(), values.begin(), values.end());
+    sensitive_.push_back(sensitive);
+    return num_records() - 1;
+  }
+
+  RecordId Append(std::initializer_list<double> values,
+                  int32_t sensitive = 0) {
+    return Append(std::span<const double>(values.begin(), values.size()),
+                  sensitive);
+  }
+
+  /// The QI vector of record `rid`.
+  std::span<const double> row(RecordId rid) const {
+    KANON_DCHECK(rid < num_records());
+    return {values_.data() + rid * dim(), dim()};
+  }
+
+  double value(RecordId rid, size_t attr) const {
+    KANON_DCHECK(rid < num_records() && attr < dim());
+    return values_[rid * dim() + attr];
+  }
+
+  int32_t sensitive(RecordId rid) const {
+    KANON_DCHECK(rid < num_records());
+    return sensitive_[rid];
+  }
+
+  /// Min/max of every attribute over all records. Dataset must be non-empty.
+  Domain ComputeDomain() const;
+
+  /// Copies records [begin, end) into a new dataset with the same schema.
+  Dataset Slice(RecordId begin, RecordId end) const;
+
+ private:
+  Schema schema_;
+  std::vector<double> values_;     // row-major, num_records * dim
+  std::vector<int32_t> sensitive_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_DATASET_H_

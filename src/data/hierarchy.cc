@@ -1,0 +1,112 @@
+#include "data/hierarchy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace kanon {
+
+Hierarchy::Hierarchy(std::string root_label, int num_leaves) {
+  KANON_CHECK(num_leaves > 0);
+  Node root;
+  root.label = std::move(root_label);
+  root.lo = 0;
+  root.hi = num_leaves - 1;
+  nodes_.push_back(std::move(root));
+}
+
+Hierarchy Hierarchy::Flat(int num_leaves) {
+  return Hierarchy("*", num_leaves);
+}
+
+Hierarchy Hierarchy::FromLeafLabels(std::string root_label,
+                                    std::vector<std::string> labels) {
+  KANON_CHECK(!labels.empty());
+  Hierarchy h(std::move(root_label), static_cast<int>(labels.size()));
+  for (int i = 0; i < static_cast<int>(labels.size()); ++i) {
+    const auto id = h.AddChild(0, std::move(labels[i]), i, i);
+    KANON_CHECK(id.ok());
+  }
+  return h;
+}
+
+StatusOr<int> Hierarchy::AddChild(int parent, std::string label, int lo,
+                                  int hi) {
+  if (parent < 0 || parent >= num_nodes()) {
+    return Status::InvalidArgument("hierarchy parent id out of range");
+  }
+  const Node& p = nodes_[parent];
+  if (lo > hi || lo < p.lo || hi > p.hi) {
+    return Status::InvalidArgument(
+        "child range must be non-empty and within the parent range");
+  }
+  if (!p.children.empty()) {
+    const Node& prev = nodes_[p.children.back()];
+    if (lo != prev.hi + 1) {
+      return Status::InvalidArgument(
+          "children must be added left-to-right with contiguous ranges");
+    }
+  } else if (lo != p.lo) {
+    return Status::InvalidArgument(
+        "first child must start at the parent's lower bound");
+  }
+  Node n;
+  n.label = std::move(label);
+  n.lo = lo;
+  n.hi = hi;
+  n.parent = parent;
+  const int id = num_nodes();
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+Status Hierarchy::Validate() const {
+  for (int i = 0; i < num_nodes(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.children.empty()) continue;
+    if (nodes_[n.children.front()].lo != n.lo ||
+        nodes_[n.children.back()].hi != n.hi) {
+      return Status::Corruption("children of node " + std::to_string(i) +
+                                " do not tile its range");
+    }
+    for (size_t c = 1; c < n.children.size(); ++c) {
+      if (nodes_[n.children[c]].lo != nodes_[n.children[c - 1]].hi + 1) {
+        return Status::Corruption("gap between children of node " +
+                                  std::to_string(i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int Hierarchy::Lca(int lo_code, int hi_code) const {
+  lo_code = std::clamp(lo_code, nodes_[0].lo, nodes_[0].hi);
+  hi_code = std::clamp(hi_code, nodes_[0].lo, nodes_[0].hi);
+  if (lo_code > hi_code) std::swap(lo_code, hi_code);
+  int cur = 0;
+  for (;;) {
+    const Node& n = nodes_[cur];
+    int descend = -1;
+    for (int child : n.children) {
+      const Node& c = nodes_[child];
+      if (c.lo <= lo_code && hi_code <= c.hi) {
+        descend = child;
+        break;
+      }
+    }
+    if (descend < 0) return cur;
+    cur = descend;
+  }
+}
+
+int Hierarchy::LcaLeafCount(int lo_code, int hi_code) const {
+  const Node& n = nodes_[Lca(lo_code, hi_code)];
+  return n.hi - n.lo + 1;
+}
+
+const std::string& Hierarchy::LcaLabel(int lo_code, int hi_code) const {
+  return nodes_[Lca(lo_code, hi_code)].label;
+}
+
+}  // namespace kanon

@@ -1,0 +1,75 @@
+#ifndef KANON_DATA_HIERARCHY_H_
+#define KANON_DATA_HIERARCHY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kanon {
+
+/// A generalization hierarchy over a categorical attribute whose values have
+/// been numerically recoded to the contiguous leaf codes 0..num_leaves-1 (the
+/// paper "eliminated hierarchical constraints by imposing an intuitive
+/// ordering on the values for each categorical attribute"; the hierarchy is
+/// retained so the compaction procedure can pick lowest common ancestors and
+/// the certainty metric can count leaves).
+///
+/// Every node covers a contiguous code range [lo, hi]; a node's children
+/// partition its range. The tree is built top-down with AddChild.
+class Hierarchy {
+ public:
+  struct Node {
+    std::string label;
+    int lo = 0;               // first leaf code covered (inclusive)
+    int hi = 0;               // last leaf code covered (inclusive)
+    int parent = -1;          // -1 for the root
+    std::vector<int> children;
+  };
+
+  /// Creates a hierarchy whose root covers codes [0, num_leaves-1].
+  Hierarchy(std::string root_label, int num_leaves);
+
+  /// A two-level hierarchy: the root directly covers every leaf. This is the
+  /// degenerate hierarchy used when only an ordering (no grouping) exists.
+  static Hierarchy Flat(int num_leaves);
+
+  /// A two-level hierarchy with one labeled leaf node per code, so single
+  /// values render as their label ("M"/"F") and any mixture as the root
+  /// ("*") — the rendering style of the paper's Figure 1(b).
+  static Hierarchy FromLeafLabels(std::string root_label,
+                                  std::vector<std::string> labels);
+
+  /// Adds an internal or leaf node labeled `label` covering [lo, hi] under
+  /// `parent` (a node id previously returned by this function; 0 is the
+  /// root). Children of a node must be added left to right and must tile the
+  /// parent's range when the hierarchy is later validated. Returns the new
+  /// node id.
+  StatusOr<int> AddChild(int parent, std::string label, int lo, int hi);
+
+  /// Verifies that every node's children exactly tile the node's range.
+  Status Validate() const;
+
+  int num_leaves() const { return nodes_[0].hi - nodes_[0].lo + 1; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int id) const { return nodes_[id]; }
+
+  /// Returns the id of the lowest (deepest) node whose range covers
+  /// [lo_code, hi_code]. The root always qualifies, so this never fails for
+  /// in-range arguments; out-of-range arguments are clamped.
+  int Lca(int lo_code, int hi_code) const;
+
+  /// Number of leaf codes covered by the LCA of [lo_code, hi_code]. This is
+  /// the |t.A_i| term of the certainty penalty for categorical attributes.
+  int LcaLeafCount(int lo_code, int hi_code) const;
+
+  /// Label of the LCA node (for rendering anonymized output).
+  const std::string& LcaLabel(int lo_code, int hi_code) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_HIERARCHY_H_

@@ -1,0 +1,113 @@
+#include "data/landsend_generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace kanon {
+
+Schema LandsEndGenerator::MakeSchema() {
+  // Matching the paper's treatment of this data set: "hierarchical
+  // constraints were eliminated by imposing an intuitive ordering on the
+  // values for each categorical attribute" — categoricals carry no
+  // hierarchy and generalize to code ranges like numerics do.
+  std::vector<AttributeSpec> attrs = {
+      {"zipcode", AttributeType::kNumeric, {}},
+      {"order_date", AttributeType::kNumeric, {}},
+      {"gender", AttributeType::kCategorical, {}},
+      {"style", AttributeType::kCategorical, {}},
+      {"price", AttributeType::kNumeric, {}},
+      {"quantity", AttributeType::kNumeric, {}},
+      {"cost", AttributeType::kNumeric, {}},
+      {"shipment", AttributeType::kCategorical, {}},
+  };
+  return Schema(std::move(attrs), "category");
+}
+
+namespace {
+
+// Metro-area zip "centers" spanning the US zip range, with weights roughly
+// proportional to population.
+struct ZipCluster {
+  double center;
+  double sigma;
+  double weight;
+};
+constexpr std::array<ZipCluster, 8> kZipClusters = {{
+    {10001, 900, 0.22},   // NYC
+    {60601, 1200, 0.15},  // Chicago
+    {90001, 1500, 0.18},  // LA
+    {77001, 1100, 0.10},  // Houston
+    {30301, 1000, 0.09},  // Atlanta
+    {98101, 800, 0.08},   // Seattle
+    {2101, 700, 0.08},    // Boston
+    {53701, 600, 0.10},   // Madison
+}};
+
+void GenerateRecords(Dataset* out, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::array<double, 8> v{};
+  for (size_t i = 0; i < n; ++i) {
+    // zipcode: pick a cluster by weight, then a Gaussian around its center.
+    double pick = rng.NextDouble();
+    double zip = 53706;
+    for (const auto& c : kZipClusters) {
+      if (pick < c.weight) {
+        zip = c.center + c.sigma * rng.NextGaussian();
+        break;
+      }
+      pick -= c.weight;
+    }
+    zip = std::clamp(zip, 501.0, 99950.0);
+    zip = std::floor(zip);
+
+    // order date: day index in [0, 3652) with an annual sinusoidal peak
+    // (holiday season) implemented via rejection.
+    double day;
+    for (;;) {
+      day = rng.UniformDouble(0.0, 3652.0);
+      const double season = 0.5 + 0.5 * std::cos(2.0 * M_PI *
+                                                 (day - 3287.0) / 365.25);
+      if (rng.NextDouble() < 0.35 + 0.65 * season) break;
+    }
+    day = std::floor(day);
+
+    const double gender = rng.Bernoulli(0.65) ? 0.0 : 1.0;
+    const double style = static_cast<double>(rng.Zipf(600, 0.9));
+
+    // price: lognormal-ish in roughly [5, 500].
+    double price = std::exp(3.3 + 0.75 * rng.NextGaussian());
+    price = std::clamp(price, 5.0, 500.0);
+    price = std::floor(price * 100.0) / 100.0;
+
+    // quantity: geometric-like small count in [1, 10].
+    double quantity = 1.0;
+    while (quantity < 10.0 && rng.Bernoulli(0.35)) quantity += 1.0;
+
+    const double cost =
+        std::floor(price * rng.UniformDouble(0.4, 0.7) * 100.0) / 100.0;
+    const double shipment = static_cast<double>(rng.Zipf(5, 1.1));
+
+    v = {zip, day, gender, style, price, quantity, cost, shipment};
+    const auto category = static_cast<int32_t>(style) / 30;  // 20 categories
+    out->Append(std::span<const double>(v.data(), v.size()), category);
+  }
+}
+
+}  // namespace
+
+Dataset LandsEndGenerator::Generate(size_t n) const {
+  Dataset out(MakeSchema());
+  out.Reserve(n);
+  GenerateRecords(&out, n, seed_);
+  return out;
+}
+
+void LandsEndGenerator::AppendTo(Dataset* dataset, size_t n,
+                                 uint64_t stream_offset) const {
+  GenerateRecords(dataset, n, seed_ + 0x51ed2701ULL * (stream_offset + 1));
+}
+
+}  // namespace kanon

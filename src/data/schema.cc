@@ -1,0 +1,26 @@
+#include "data/schema.h"
+
+namespace kanon {
+
+Schema::Schema(std::vector<AttributeSpec> attributes,
+               std::string sensitive_name)
+    : attributes_(std::move(attributes)),
+      sensitive_name_(std::move(sensitive_name)) {}
+
+Schema Schema::Numeric(size_t n) {
+  std::vector<AttributeSpec> attrs;
+  attrs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    attrs.push_back({"a" + std::to_string(i), AttributeType::kNumeric, {}});
+  }
+  return Schema(std::move(attrs));
+}
+
+StatusOr<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named " + name);
+}
+
+}  // namespace kanon

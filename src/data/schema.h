@@ -1,0 +1,57 @@
+#ifndef KANON_DATA_SCHEMA_H_
+#define KANON_DATA_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/hierarchy.h"
+
+namespace kanon {
+
+/// How an attribute's values behave: numeric attributes generalize to real
+/// intervals; categorical attributes are numerically recoded (see Hierarchy)
+/// and generalize either to code intervals or to hierarchy nodes.
+enum class AttributeType {
+  kNumeric,
+  kCategorical,
+};
+
+/// Description of one quasi-identifier attribute.
+struct AttributeSpec {
+  std::string name;
+  AttributeType type = AttributeType::kNumeric;
+  /// Present for categorical attributes that carry a generalization
+  /// hierarchy; may be null for purely ordered categoricals.
+  std::shared_ptr<const Hierarchy> hierarchy;
+};
+
+/// The quasi-identifier schema of a table: the ordered list of QI attributes
+/// plus the (optional) name of the single sensitive attribute. Every record
+/// stores one double per QI attribute and one int32 sensitive code.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeSpec> attributes,
+                  std::string sensitive_name = "sensitive");
+
+  /// Convenience: n unnamed numeric attributes (common in benchmarks).
+  static Schema Numeric(size_t n);
+
+  size_t dim() const { return attributes_.size(); }
+  const AttributeSpec& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<AttributeSpec>& attributes() const { return attributes_; }
+  const std::string& sensitive_name() const { return sensitive_name_; }
+
+  /// Index of the attribute named `name`, or NotFound.
+  StatusOr<size_t> IndexOf(const std::string& name) const;
+
+ private:
+  std::vector<AttributeSpec> attributes_;
+  std::string sensitive_name_ = "sensitive";
+};
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_SCHEMA_H_

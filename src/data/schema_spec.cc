@@ -1,0 +1,150 @@
+#include "data/schema_spec.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace kanon {
+
+namespace {
+
+struct HierarchyBuild {
+  std::unique_ptr<Hierarchy> hierarchy;
+  std::map<std::string, int> node_ids;  // label -> node id (root = "*")
+};
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;  // comment until end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+}  // namespace
+
+StatusOr<Schema> ParseSchemaSpec(const std::string& text) {
+  std::vector<AttributeSpec> attributes;
+  std::map<std::string, size_t> attribute_index;
+  std::map<std::string, HierarchyBuild> hierarchies;
+  std::string sensitive_name = "sensitive";
+
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string where = "schema spec line " + std::to_string(line_no);
+    const std::string& keyword = tokens[0];
+
+    if (keyword == "attribute") {
+      if (tokens.size() != 3) {
+        return Status::InvalidArgument(where +
+                                       ": expected 'attribute NAME TYPE'");
+      }
+      AttributeSpec spec;
+      spec.name = tokens[1];
+      if (tokens[2] == "numeric") {
+        spec.type = AttributeType::kNumeric;
+      } else if (tokens[2] == "categorical") {
+        spec.type = AttributeType::kCategorical;
+      } else {
+        return Status::InvalidArgument(where + ": unknown type '" +
+                                       tokens[2] + "'");
+      }
+      if (attribute_index.count(spec.name)) {
+        return Status::InvalidArgument(where + ": duplicate attribute '" +
+                                       spec.name + "'");
+      }
+      attribute_index[spec.name] = attributes.size();
+      attributes.push_back(std::move(spec));
+    } else if (keyword == "sensitive") {
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument(where + ": expected 'sensitive NAME'");
+      }
+      sensitive_name = tokens[1];
+    } else if (keyword == "hierarchy") {
+      if (tokens.size() != 3) {
+        return Status::InvalidArgument(
+            where + ": expected 'hierarchy ATTRIBUTE NUM_LEAVES'");
+      }
+      const auto it = attribute_index.find(tokens[1]);
+      if (it == attribute_index.end()) {
+        return Status::InvalidArgument(where + ": unknown attribute '" +
+                                       tokens[1] + "'");
+      }
+      if (attributes[it->second].type != AttributeType::kCategorical) {
+        return Status::InvalidArgument(
+            where + ": hierarchies require a categorical attribute");
+      }
+      const long leaves = std::strtol(tokens[2].c_str(), nullptr, 10);
+      if (leaves < 1) {
+        return Status::InvalidArgument(where + ": bad leaf count");
+      }
+      HierarchyBuild build;
+      build.hierarchy =
+          std::make_unique<Hierarchy>("*", static_cast<int>(leaves));
+      build.node_ids["*"] = 0;
+      hierarchies[tokens[1]] = std::move(build);
+    } else if (keyword == "node") {
+      if (tokens.size() != 5 && tokens.size() != 6) {
+        return Status::InvalidArgument(
+            where + ": expected 'node ATTRIBUTE LABEL LO HI [PARENT]'");
+      }
+      const auto it = hierarchies.find(tokens[1]);
+      if (it == hierarchies.end()) {
+        return Status::InvalidArgument(
+            where + ": no hierarchy declared for '" + tokens[1] + "'");
+      }
+      HierarchyBuild& build = it->second;
+      const std::string& parent_label =
+          tokens.size() == 6 ? tokens[5] : std::string("*");
+      const auto parent_it = build.node_ids.find(parent_label);
+      if (parent_it == build.node_ids.end()) {
+        return Status::InvalidArgument(where + ": unknown parent '" +
+                                       parent_label + "'");
+      }
+      const int lo = static_cast<int>(
+          std::strtol(tokens[3].c_str(), nullptr, 10));
+      const int hi = static_cast<int>(
+          std::strtol(tokens[4].c_str(), nullptr, 10));
+      auto id = build.hierarchy->AddChild(parent_it->second, tokens[2], lo,
+                                          hi);
+      if (!id.ok()) {
+        return Status::InvalidArgument(where + ": " + id.status().message());
+      }
+      build.node_ids[tokens[2]] = *id;
+    } else {
+      return Status::InvalidArgument(where + ": unknown keyword '" +
+                                     keyword + "'");
+    }
+  }
+
+  if (attributes.empty()) {
+    return Status::InvalidArgument("schema spec declares no attributes");
+  }
+  for (auto& [name, build] : hierarchies) {
+    // Hierarchies may be partial (only top groups declared); only fully
+    // tiled levels are validated here.
+    (void)name;
+    attributes[attribute_index[name]].hierarchy = std::move(build.hierarchy);
+  }
+  return Schema(std::move(attributes), std::move(sensitive_name));
+}
+
+StatusOr<Schema> LoadSchemaSpec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseSchemaSpec(buffer.str());
+}
+
+}  // namespace kanon

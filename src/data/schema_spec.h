@@ -1,0 +1,47 @@
+#ifndef KANON_DATA_SCHEMA_SPEC_H_
+#define KANON_DATA_SCHEMA_SPEC_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace kanon {
+
+/// Parses a textual schema description (used by the CLI's --schema flag so
+/// published tables carry real attribute names and hierarchies).
+///
+/// Line-based format; '#' starts a comment:
+///
+///   attribute <name> numeric
+///   attribute <name> categorical
+///   sensitive <name>
+///   hierarchy <attribute> <num_leaves>
+///   node <attribute> <label> <lo> <hi> [<parent_label>]
+///
+/// `hierarchy` declares a generalization hierarchy for a categorical
+/// attribute (root labeled "*", covering codes 0..num_leaves-1); `node`
+/// adds a labeled node covering the code range [lo, hi] under the named
+/// parent (the root when omitted). Nodes must be declared top-down and
+/// left-to-right, mirroring Hierarchy::AddChild.
+///
+/// Example:
+///
+///   attribute age numeric
+///   attribute workclass categorical
+///   hierarchy workclass 8
+///   node workclass private 0 0
+///   node workclass self-employed 1 2
+///   node workclass government 3 5
+///   node workclass federal 3 3 government
+///   node workclass local-state 4 5 government
+///   node workclass not-working 6 7
+///   sensitive occupation
+StatusOr<Schema> ParseSchemaSpec(const std::string& text);
+
+/// Reads and parses a schema spec file.
+StatusOr<Schema> LoadSchemaSpec(const std::string& path);
+
+}  // namespace kanon
+
+#endif  // KANON_DATA_SCHEMA_SPEC_H_

@@ -1,0 +1,525 @@
+#include "index/buffer_tree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace kanon {
+
+BufferTree::BufferTree(size_t dim, BufferTreeConfig config, BufferPool* pool)
+    : dim_(dim), config_(config), pool_(pool), codec_(dim) {
+  KANON_CHECK(config_.min_leaf >= 1);
+  KANON_CHECK(config_.max_leaf + 1 >= 2 * config_.min_leaf);
+  KANON_CHECK(config_.max_fanout >= 2);
+  KANON_CHECK(config_.buffer_pages >= 1);
+  root_ = std::make_unique<BufferNode>(dim_, /*leaf=*/true);
+  root_->region = Region::Whole(dim_);
+  root_->records = std::make_unique<PageChain>(pool_, &codec_);
+}
+
+size_t BufferTree::BufferThresholdRecords() const {
+  const size_t per_page =
+      (pool_->page_size() - RecordPageView::kHeaderSize) /
+      codec_.record_size();
+  return std::max<size_t>(1, config_.buffer_pages * per_page);
+}
+
+Status BufferTree::Insert(std::span<const double> point, uint64_t rid,
+                          int32_t sensitive) {
+  KANON_DCHECK(point.size() == dim_);
+  KANON_CHECK_MSG(!flushed_, "Insert after Flush");
+  KANON_CHECK_MSG((rid & kDeleteFlag) == 0,
+                  "record id uses the reserved deletion bit");
+  if (root_->is_leaf) {
+    KANON_RETURN_IF_ERROR(root_->records->Append(rid, sensitive, point));
+    root_->mbr.ExpandToInclude(point);
+    ++root_->record_count;
+    if (root_->record_count > config_.max_leaf) {
+      std::vector<std::unique_ptr<BufferNode>> pieces;
+      BufferNode* old_root = root_.get();
+      KANON_RETURN_IF_ERROR(SplitLeafRecursive(old_root, &pieces));
+      // Even a single piece replaces the old leaf: SplitLeafRecursive
+      // drained the old node's records into the pieces.
+      KANON_RETURN_IF_ERROR(ReplaceChild(old_root, std::move(pieces)));
+    }
+    return Status::OK();
+  }
+  KANON_RETURN_IF_ERROR(root_->buffer->Append(rid, sensitive, point));
+  if (root_->buffer->record_count() >= BufferThresholdRecords()) {
+    KANON_RETURN_IF_ERROR(Clear(root_.get(), /*recurse=*/true));
+  }
+  return Status::OK();
+}
+
+Status BufferTree::Delete(std::span<const double> point, uint64_t rid) {
+  KANON_DCHECK(point.size() == dim_);
+  KANON_CHECK_MSG(!flushed_, "Delete after Flush");
+  KANON_CHECK_MSG((rid & kDeleteFlag) == 0,
+                  "record id uses the reserved deletion bit");
+  had_deletes_ = true;
+  if (root_->is_leaf) {
+    RecordBatch ops(dim_);
+    ops.Append(rid | kDeleteFlag, 0, point);
+    return ApplyOpsToLeaf(root_.get(), ops);
+  }
+  KANON_RETURN_IF_ERROR(
+      root_->buffer->Append(rid | kDeleteFlag, 0, point));
+  if (root_->buffer->record_count() >= BufferThresholdRecords()) {
+    KANON_RETURN_IF_ERROR(Clear(root_.get(), /*recurse=*/true));
+  }
+  return Status::OK();
+}
+
+Status BufferTree::ApplyOpsToLeaf(BufferNode* leaf, const RecordBatch& ops) {
+  RecordBatch records(dim_);
+  KANON_RETURN_IF_ERROR(leaf->records->DrainTo(&records));
+  const size_t before = records.size();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const uint64_t tagged = ops.rids[i];
+    if ((tagged & kDeleteFlag) == 0) {
+      records.Append(tagged, ops.sensitive[i], ops.row(i));
+      continue;
+    }
+    const uint64_t rid = tagged & ~kDeleteFlag;
+    bool found = false;
+    for (size_t r = records.size(); r-- > 0;) {
+      if (records.rids[r] == rid) {
+        // Swap-remove; record order within a leaf carries no meaning.
+        const size_t last = records.size() - 1;
+        records.rids[r] = records.rids[last];
+        records.sensitive[r] = records.sensitive[last];
+        for (size_t d = 0; d < dim_; ++d) {
+          records.values[r * dim_ + d] = records.values[last * dim_ + d];
+        }
+        records.rids.pop_back();
+        records.sensitive.pop_back();
+        records.values.resize(records.values.size() - dim_);
+        found = true;
+        break;
+      }
+    }
+    if (!found) ++unmatched_deletes_;
+  }
+  KANON_RETURN_IF_ERROR(leaf->records->AppendBatch(records));
+  leaf->mbr = Mbr(dim_);
+  for (size_t i = 0; i < records.size(); ++i) {
+    leaf->mbr.ExpandToInclude(records.row(i));
+  }
+  leaf->record_count = records.size();
+  // Ancestor counts track the delta; their MBRs may stay conservatively
+  // loose after shrinks and are tightened once at Flush.
+  const auto after = static_cast<ptrdiff_t>(records.size());
+  const ptrdiff_t delta = after - static_cast<ptrdiff_t>(before);
+  for (BufferNode* n = leaf->parent; n != nullptr; n = n->parent) {
+    n->record_count = static_cast<size_t>(
+        static_cast<ptrdiff_t>(n->record_count) + delta);
+    n->mbr.ExpandToInclude(leaf->mbr);
+  }
+  return Status::OK();
+}
+
+Status BufferTree::AppendBatchToLeaf(BufferNode* leaf,
+                                     const RecordBatch& batch) {
+  KANON_RETURN_IF_ERROR(leaf->records->AppendBatch(batch));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    leaf->mbr.ExpandToInclude(batch.row(i));
+  }
+  leaf->record_count += batch.size();
+  // Ancestor MBRs only need to absorb the (tight) leaf MBR; counts grow by
+  // the batch size.
+  for (BufferNode* n = leaf->parent; n != nullptr; n = n->parent) {
+    n->mbr.ExpandToInclude(leaf->mbr);
+    n->record_count += batch.size();
+  }
+  return Status::OK();
+}
+
+Status BufferTree::Clear(BufferNode* node, bool recurse) {
+  KANON_DCHECK(!node->is_leaf);
+  RecordBatch batch(dim_);
+  KANON_RETURN_IF_ERROR(node->buffer->DrainTo(&batch));
+  if (batch.empty()) return Status::OK();
+
+  // Route every record to its child by region, staging per-child flat
+  // batches so each child's pages are pinned once per page, not per record.
+  const size_t num_children = node->children.size();
+  std::vector<RecordBatch> staged(num_children, RecordBatch(dim_));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto row = batch.row(i);
+    size_t dst = num_children;
+    for (size_t c = 0; c < num_children; ++c) {
+      if (node->children[c]->region.ContainsPoint(row)) {
+        dst = c;
+        break;
+      }
+    }
+    KANON_CHECK_MSG(dst < num_children, "buffer-tree routing hole");
+    staged[dst].Append(batch.rids[i], batch.sensitive[i], row);
+  }
+  batch.Clear();
+
+  const bool leaf_children = node->children.front()->is_leaf;
+  if (leaf_children) {
+    for (size_t c = 0; c < num_children; ++c) {
+      if (staged[c].empty()) continue;
+      bool has_delete = false;
+      for (uint64_t rid : staged[c].rids) {
+        if ((rid & kDeleteFlag) != 0) {
+          has_delete = true;
+          break;
+        }
+      }
+      if (has_delete) {
+        KANON_RETURN_IF_ERROR(
+            ApplyOpsToLeaf(node->children[c].get(), staged[c]));
+      } else {
+        KANON_RETURN_IF_ERROR(
+            AppendBatchToLeaf(node->children[c].get(), staged[c]));
+      }
+    }
+    // Split any leaves the batch overfilled. The child list mutates during
+    // replacement, so scan by index and skip past the inserted pieces.
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      BufferNode* child = node->children[i].get();
+      if (child->record_count > config_.max_leaf) {
+        std::vector<std::unique_ptr<BufferNode>> pieces;
+        KANON_RETURN_IF_ERROR(SplitLeafRecursive(child, &pieces));
+        const size_t added = pieces.size() - 1;
+        for (auto& piece : pieces) piece->parent = node;
+        node->children[i] = std::move(pieces[0]);
+        node->children.insert(
+            node->children.begin() + i + 1,
+            std::make_move_iterator(pieces.begin() + 1),
+            std::make_move_iterator(pieces.end()));
+        i += added;
+      }
+    }
+    KANON_RETURN_IF_ERROR(ResolveOverflow(node));
+  } else {
+    for (size_t c = 0; c < num_children; ++c) {
+      if (staged[c].empty()) continue;
+      KANON_RETURN_IF_ERROR(
+          node->children[c]->buffer->AppendBatch(staged[c]));
+    }
+    if (recurse) {
+      // Cascading clears: children whose buffers overflowed are cleared in
+      // turn (paper Section 2.1). Child pointers are stable even if a
+      // clear restructures this node's ancestry.
+      std::vector<BufferNode*> full;
+      const size_t threshold = BufferThresholdRecords();
+      for (auto& c : node->children) {
+        if (c->buffer->record_count() >= threshold) full.push_back(c.get());
+      }
+      for (BufferNode* c : full) {
+        KANON_RETURN_IF_ERROR(Clear(c, true));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferTree::SplitLeafRecursive(
+    BufferNode* leaf, std::vector<std::unique_ptr<BufferNode>>* out) {
+  RecordBatch records(dim_);
+  KANON_RETURN_IF_ERROR(leaf->records->DrainTo(&records));
+
+  // Recursively cut the record set until every piece fits in a leaf.
+  std::function<Status(RecordBatch&&, Region)> build =
+      [&](RecordBatch&& recs, Region region) -> Status {
+    std::optional<PointSplit> split;
+    if (recs.size() > config_.max_leaf) {
+      split = ChoosePointSplit(recs.values.data(), recs.size(), dim_,
+                               config_.min_leaf, config_.split, &region);
+      if (split && config_.leaf_admissible) {
+        std::vector<int32_t> left_codes, right_codes;
+        for (size_t i = 0; i < recs.size(); ++i) {
+          (recs.values[i * dim_ + split->axis] < split->value ? left_codes
+                                                              : right_codes)
+              .push_back(recs.sensitive[i]);
+        }
+        if (!config_.leaf_admissible(left_codes) ||
+            !config_.leaf_admissible(right_codes)) {
+          split.reset();  // keep as one (overfull) admissible leaf
+        }
+      }
+    }
+    if (!split) {
+      auto piece = std::make_unique<BufferNode>(dim_, /*leaf=*/true);
+      piece->region = std::move(region);
+      piece->records = std::make_unique<PageChain>(pool_, &codec_);
+      KANON_RETURN_IF_ERROR(piece->records->AppendBatch(recs));
+      for (size_t i = 0; i < recs.size(); ++i) {
+        piece->mbr.ExpandToInclude(recs.row(i));
+      }
+      piece->record_count = recs.size();
+      out->push_back(std::move(piece));
+      return Status::OK();
+    }
+    auto [left_region, right_region] = region.Cut(split->axis, split->value);
+    RecordBatch left(dim_), right(dim_);
+    left.Reserve(split->left_count);
+    right.Reserve(split->right_count);
+    for (size_t i = 0; i < recs.size(); ++i) {
+      RecordBatch& dst =
+          recs.values[i * dim_ + split->axis] < split->value ? left : right;
+      dst.Append(recs.rids[i], recs.sensitive[i], recs.row(i));
+    }
+    recs.Clear();
+    KANON_RETURN_IF_ERROR(build(std::move(left), std::move(left_region)));
+    return build(std::move(right), std::move(right_region));
+  };
+  return build(std::move(records), leaf->region);
+}
+
+Status BufferTree::SplitInternal(BufferNode* node) {
+  std::vector<const Region*> regions;
+  regions.reserve(node->fanout());
+  for (const auto& c : node->children) regions.push_back(&c->region);
+  const auto split = ChooseRegionSeparator(
+      std::span<const Region* const>(regions.data(), regions.size()),
+      config_.split);
+  KANON_CHECK_MSG(split.has_value(), "no separating plane (buffer tree)");
+
+  auto [left_region, right_region] =
+      node->region.Cut(split->axis, split->value);
+  auto make_half = [&](Region region) {
+    auto half = std::make_unique<BufferNode>(dim_, /*leaf=*/false);
+    half->region = std::move(region);
+    half->buffer = std::make_unique<PageChain>(pool_, &codec_);
+    return half;
+  };
+  auto left = make_half(std::move(left_region));
+  auto right = make_half(std::move(right_region));
+  for (auto& child : node->children) {
+    BufferNode* dst = child->region.hi[split->axis] <= split->value
+                          ? left.get()
+                          : right.get();
+    child->parent = dst;
+    dst->mbr.ExpandToInclude(child->mbr);
+    dst->record_count += child->record_count;
+    dst->children.push_back(std::move(child));
+  }
+  node->children.clear();
+  // Re-route any records still buffered at the split node.
+  RecordBatch buffered(dim_);
+  KANON_RETURN_IF_ERROR(node->buffer->DrainTo(&buffered));
+  if (!buffered.empty()) {
+    RecordBatch left_stage(dim_), right_stage(dim_);
+    for (size_t i = 0; i < buffered.size(); ++i) {
+      const auto row = buffered.row(i);
+      RecordBatch& dst =
+          left->region.ContainsPoint(row) ? left_stage : right_stage;
+      dst.Append(buffered.rids[i], buffered.sensitive[i], row);
+    }
+    KANON_RETURN_IF_ERROR(left->buffer->AppendBatch(left_stage));
+    KANON_RETURN_IF_ERROR(right->buffer->AppendBatch(right_stage));
+  }
+  std::vector<std::unique_ptr<BufferNode>> replacements;
+  replacements.push_back(std::move(left));
+  replacements.push_back(std::move(right));
+  return ReplaceChild(node, std::move(replacements));
+}
+
+Status BufferTree::ResolveOverflow(BufferNode* node) {
+  while (node != nullptr && node->fanout() > config_.max_fanout) {
+    BufferNode* parent = node->parent;
+    KANON_RETURN_IF_ERROR(SplitInternal(node));  // destroys `node`
+    node = parent;
+  }
+  return Status::OK();
+}
+
+Status BufferTree::ReplaceChild(
+    BufferNode* old_child,
+    std::vector<std::unique_ptr<BufferNode>> replacements) {
+  KANON_CHECK(!replacements.empty());
+  BufferNode* parent = old_child->parent;
+  if (parent == nullptr) {
+    KANON_CHECK(old_child == root_.get());
+    if (replacements.size() == 1) {
+      replacements[0]->parent = nullptr;
+      root_ = std::move(replacements[0]);
+      return Status::OK();
+    }
+    auto new_root = std::make_unique<BufferNode>(dim_, /*leaf=*/false);
+    new_root->region = Region::Whole(dim_);
+    new_root->buffer = std::make_unique<PageChain>(pool_, &codec_);
+    for (auto& r : replacements) {
+      r->parent = new_root.get();
+      new_root->mbr.ExpandToInclude(r->mbr);
+      new_root->record_count += r->record_count;
+      new_root->children.push_back(std::move(r));
+    }
+    root_ = std::move(new_root);
+    // A fresh root can immediately exceed the fanout (a leaf-root shattered
+    // into many pieces); resolve before returning.
+    return ResolveOverflow(root_.get());
+  }
+  const size_t idx = [&] {
+    for (size_t i = 0; i < parent->children.size(); ++i) {
+      if (parent->children[i].get() == old_child) return i;
+    }
+    KANON_CHECK_MSG(false, "child not found in parent");
+    return size_t{0};
+  }();
+  for (auto& r : replacements) r->parent = parent;
+  parent->children[idx] = std::move(replacements[0]);
+  parent->children.insert(parent->children.begin() + idx + 1,
+                          std::make_move_iterator(replacements.begin() + 1),
+                          std::make_move_iterator(replacements.end()));
+  return ResolveOverflow(parent);
+}
+
+Status BufferTree::Flush() {
+  KANON_CHECK_MSG(!flushed_, "Flush called twice");
+  flushed_ = true;
+  if (root_->is_leaf) return Status::OK();
+  // Clear buffers level by level, top-down. Splits during a clear only add
+  // nodes whose buffers are empty (the split drains them), so one pass per
+  // depth suffices; a root split shifts depth numbering by one, which only
+  // causes an already-emptied level to be re-scanned (a no-op).
+  for (int depth = 0;; ++depth) {
+    std::vector<BufferNode*> level;
+    std::function<void(BufferNode*, int)> collect = [&](BufferNode* n,
+                                                        int d) {
+      if (n->is_leaf) return;
+      if (d == depth) {
+        level.push_back(n);
+        return;
+      }
+      for (auto& c : n->children) collect(c.get(), d + 1);
+    };
+    collect(root_.get(), 0);
+    if (level.empty()) break;
+    for (BufferNode* n : level) {
+      if (n->buffer->record_count() > 0) {
+        KANON_RETURN_IF_ERROR(Clear(n, /*recurse=*/false));
+      }
+    }
+  }
+  // Deletions leave internal MBRs conservatively loose; tighten bottom-up.
+  if (had_deletes_) {
+    std::function<void(BufferNode*)> tighten = [&](BufferNode* n) {
+      if (n->is_leaf) return;
+      n->mbr = Mbr(dim_);
+      for (auto& c : n->children) {
+        tighten(c.get());
+        n->mbr.ExpandToInclude(c->mbr);
+      }
+    };
+    tighten(root_.get());
+  }
+  return Status::OK();
+}
+
+int BufferTree::height() const {
+  int h = 1;
+  const BufferNode* n = root_.get();
+  while (!n->is_leaf) {
+    n = n->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+std::vector<const BufferNode*> BufferTree::OrderedLeaves() const {
+  std::vector<const BufferNode*> leaves;
+  std::vector<const BufferNode*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const BufferNode* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      leaves.push_back(n);
+      continue;
+    }
+    for (auto it = n->children.rbegin(); it != n->children.rend(); ++it) {
+      stack.push_back(it->get());
+    }
+  }
+  return leaves;
+}
+
+std::vector<const BufferNode*> BufferTree::NodesAtDepth(int d) const {
+  std::vector<const BufferNode*> out;
+  std::function<void(const BufferNode*, int)> visit =
+      [&](const BufferNode* n, int depth) {
+        if (depth == d || n->is_leaf) {
+          out.push_back(n);
+          return;
+        }
+        for (const auto& c : n->children) visit(c.get(), depth + 1);
+      };
+  visit(root_.get(), 0);
+  return out;
+}
+
+Status BufferTree::ScanLeaf(
+    const BufferNode* leaf,
+    const std::function<void(uint64_t, int32_t, std::span<const double>)>& fn)
+    const {
+  KANON_CHECK(leaf->is_leaf);
+  return leaf->records->Scan(fn);
+}
+
+Status BufferTree::CheckNode(const BufferNode* node) const {
+  if (node->is_leaf) {
+    if (node->records->record_count() != node->record_count) {
+      return Status::Corruption("leaf chain count mismatch");
+    }
+    if (!had_deletes_ && node->parent != nullptr &&
+        node->record_count < config_.min_leaf) {
+      return Status::Corruption("underfull buffer-tree leaf");
+    }
+    Status scan_status = Status::OK();
+    const Status s = node->records->Scan(
+        [&](uint64_t, int32_t, std::span<const double> p) {
+          if (!node->region.ContainsPoint(p) || !node->mbr.ContainsPoint(p)) {
+            scan_status = Status::Corruption("record escapes leaf bounds");
+          }
+        });
+    KANON_RETURN_IF_ERROR(s);
+    return scan_status;
+  }
+  if (flushed_ && node->buffer->record_count() != 0) {
+    return Status::Corruption("non-empty buffer after flush");
+  }
+  if (node->children.empty()) {
+    return Status::Corruption("internal node with no children");
+  }
+  size_t count = 0;
+  for (const auto& c : node->children) {
+    if (c->parent != node) return Status::Corruption("broken parent link");
+    for (size_t d = 0; d < dim_; ++d) {
+      if (c->region.lo[d] < node->region.lo[d] ||
+          c->region.hi[d] > node->region.hi[d]) {
+        return Status::Corruption("child region escapes parent");
+      }
+    }
+    count += c->record_count;
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    for (size_t j = i + 1; j < node->children.size(); ++j) {
+      const Region& a = node->children[i]->region;
+      const Region& b = node->children[j]->region;
+      bool disjoint = false;
+      for (size_t d = 0; d < dim_; ++d) {
+        if (a.hi[d] <= b.lo[d] || b.hi[d] <= a.lo[d]) {
+          disjoint = true;
+          break;
+        }
+      }
+      if (!disjoint) return Status::Corruption("overlapping sibling regions");
+    }
+  }
+  if (count != node->record_count) {
+    return Status::Corruption("internal count mismatch");
+  }
+  for (const auto& c : node->children) {
+    KANON_RETURN_IF_ERROR(CheckNode(c.get()));
+  }
+  return Status::OK();
+}
+
+Status BufferTree::CheckInvariants() const { return CheckNode(root_.get()); }
+
+}  // namespace kanon

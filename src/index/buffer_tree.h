@@ -1,0 +1,145 @@
+#ifndef KANON_INDEX_BUFFER_TREE_H_
+#define KANON_INDEX_BUFFER_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "index/rplus_tree.h"
+#include "index/split.h"
+#include "storage/buffer_pool.h"
+#include "storage/spill_file.h"
+
+namespace kanon {
+
+/// A node of the buffer tree. Structure mirrors the in-memory R⁺-tree node
+/// (region + MBR + children), but record payloads live in paged storage:
+/// leaves keep their records in a PageChain, and every internal node owns an
+/// "external buffer" PageChain in which arriving insertions are blocked
+/// until the buffer fills (van den Bercken/Seeger/Widmayer bulk loading, as
+/// adopted by the paper's Section 2.1).
+struct BufferNode {
+  BufferNode(size_t dim, bool leaf) : is_leaf(leaf), mbr(dim) {}
+
+  bool is_leaf;
+  Region region;
+  Mbr mbr;
+  BufferNode* parent = nullptr;
+  size_t record_count = 0;  // records stored in the subtree's *leaves*
+
+  std::unique_ptr<PageChain> records;  // leaf payload
+  std::vector<std::unique_ptr<BufferNode>> children;
+  std::unique_ptr<PageChain> buffer;   // internal-node external buffer
+
+  size_t fanout() const { return children.size(); }
+};
+
+/// Configuration of the buffer-tree loader.
+struct BufferTreeConfig {
+  size_t min_leaf = 5;    // base anonymity parameter k
+  size_t max_leaf = 15;   // c*k
+  size_t max_fanout = 16;
+  /// Pages per internal-node buffer before the buffer is cleared and its
+  /// records pushed one level down.
+  size_t buffer_pages = 8;
+  SplitConfig split;
+  /// See RTreeConfig::leaf_admissible — same contract.
+  std::function<bool(std::span<const int32_t>)> leaf_admissible;
+};
+
+/// Bulk-loads a non-overlapping R⁺-tree with bounded memory: insertions
+/// accumulate in node buffers and move down the tree a batch at a time, so
+/// the I/O cost is O(N/B log_{M/B} N/B) — external-sort-like — instead of
+/// one root-to-leaf traversal per record. All page traffic flows through the
+/// provided BufferPool, whose capacity is the experiment's memory budget and
+/// whose Pager counts the explicit I/Os reported in the paper's Fig 8(b).
+///
+/// Usage: Insert(...) for every record, then Flush() exactly once, then read
+/// the structure (OrderedLeaves / ScanLeaf / NodesAtDepth).
+class BufferTree {
+ public:
+  BufferTree(size_t dim, BufferTreeConfig config, BufferPool* pool);
+
+  BufferTree(const BufferTree&) = delete;
+  BufferTree& operator=(const BufferTree&) = delete;
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return root_->record_count; }
+
+  /// Buffered insertion of one record. Record ids must leave the top bit
+  /// clear (it tags buffered deletions).
+  Status Insert(std::span<const double> point, uint64_t rid,
+                int32_t sensitive);
+
+  /// Buffered deletion of the record `rid` located at `point`. The
+  /// deletion travels down the same buffers as insertions, in FIFO order,
+  /// so it always observes a preceding buffered insert of the same record.
+  /// Deletions that reach a leaf without finding their record are counted
+  /// in unmatched_deletes(). Leaves may drop below min occupancy; regions
+  /// stay intact and the anonymization layer's leaf scan restores the
+  /// anonymity floor on emission (same policy as RPlusTree::Delete).
+  Status Delete(std::span<const double> point, uint64_t rid);
+
+  /// Deletions applied at a leaf without finding their record.
+  size_t unmatched_deletes() const { return unmatched_deletes_; }
+
+  /// Pushes every buffered operation to its leaf and tightens internal
+  /// MBRs. Must be called once, after the last Insert/Delete and before
+  /// reading the tree.
+  Status Flush();
+
+  const BufferNode* root() const { return root_.get(); }
+  int height() const;
+
+  /// Leaves in left-to-right order (see RPlusTree::OrderedLeaves).
+  std::vector<const BufferNode*> OrderedLeaves() const;
+
+  /// Nodes at depth d, leaves standing in below their depth (for the
+  /// hierarchical multi-granular algorithm).
+  std::vector<const BufferNode*> NodesAtDepth(int d) const;
+
+  /// Streams a leaf's records.
+  Status ScanLeaf(const BufferNode* leaf,
+                  const std::function<void(uint64_t rid, int32_t sensitive,
+                                           std::span<const double> values)>&
+                      fn) const;
+
+  /// Structural invariants (region tiling, occupancy, counts). Leaves must
+  /// have been flushed.
+  Status CheckInvariants() const;
+
+ private:
+  /// Top bit of a buffered rid marks a deletion op.
+  static constexpr uint64_t kDeleteFlag = 1ull << 63;
+
+  size_t BufferThresholdRecords() const;
+  Status AppendBatchToLeaf(BufferNode* leaf, const RecordBatch& batch);
+  /// Applies a mixed insert/delete op sequence to a leaf (rewrites its
+  /// record chain).
+  Status ApplyOpsToLeaf(BufferNode* leaf, const RecordBatch& ops);
+  /// Distributes the node's buffer one level down; splits overfull leaves
+  /// and overflowing nodes; with `recurse` also clears children whose
+  /// buffers filled up (the paper's cascading clears).
+  Status Clear(BufferNode* node, bool recurse);
+  Status SplitLeafRecursive(BufferNode* leaf,
+                            std::vector<std::unique_ptr<BufferNode>>* out);
+  Status SplitInternal(BufferNode* node);
+  Status ResolveOverflow(BufferNode* node);
+  Status ReplaceChild(BufferNode* old_child,
+                      std::vector<std::unique_ptr<BufferNode>> replacements);
+  Status CheckNode(const BufferNode* node) const;
+
+  size_t dim_;
+  BufferTreeConfig config_;
+  BufferPool* pool_;
+  RecordCodec codec_;
+  std::unique_ptr<BufferNode> root_;
+  bool flushed_ = false;
+  bool had_deletes_ = false;
+  size_t unmatched_deletes_ = 0;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_INDEX_BUFFER_TREE_H_

@@ -1,0 +1,143 @@
+#include "index/bulk_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "index/hilbert.h"
+#include "storage/external_sort.h"
+
+namespace kanon {
+
+namespace {
+
+/// Chunks an ordered rid list into groups of target_size, folding a
+/// too-small tail into the previous group, and computes group MBRs.
+std::vector<LeafGroup> ChunkOrdered(const Dataset& dataset,
+                                    const std::vector<RecordId>& ordered,
+                                    const SortLoadConfig& config) {
+  KANON_CHECK(config.target_size >= config.min_size);
+  std::vector<LeafGroup> groups;
+  const size_t n = ordered.size();
+  size_t begin = 0;
+  while (begin < n) {
+    size_t end = std::min(begin + config.target_size, n);
+    // If the remainder after this group would be a too-small fragment, take
+    // it now.
+    if (n - end > 0 && n - end < config.min_size) end = n;
+    LeafGroup g;
+    g.mbr = Mbr(dataset.dim());
+    for (size_t i = begin; i < end; ++i) {
+      g.rids.push_back(ordered[i]);
+      g.mbr.ExpandToInclude(dataset.row(ordered[i]));
+    }
+    groups.push_back(std::move(g));
+    begin = end;
+  }
+  // A single undersized group can only happen when the dataset itself has
+  // fewer than min_size records; nothing more can be done in that case.
+  return groups;
+}
+
+}  // namespace
+
+std::vector<LeafGroup> CurveBulkLoad(const Dataset& dataset, CurveOrder order,
+                                     const SortLoadConfig& config) {
+  if (dataset.empty()) return {};
+  const Domain domain = dataset.ComputeDomain();
+  const GridQuantizer quantizer(domain, config.grid_bits);
+  const size_t n = dataset.num_records();
+  std::vector<std::pair<CurveKey, RecordId>> keyed(n);
+  std::vector<uint32_t> grid(dataset.dim());
+  for (RecordId r = 0; r < n; ++r) {
+    quantizer.Quantize(dataset.row(r), grid.data());
+    const std::span<const uint32_t> g(grid.data(), grid.size());
+    keyed[r] = {order == CurveOrder::kHilbert
+                    ? HilbertKey(g, config.grid_bits)
+                    : ZOrderKey(g, config.grid_bits),
+                r};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<RecordId> ordered(n);
+  for (size_t i = 0; i < n; ++i) ordered[i] = keyed[i].second;
+  return ChunkOrdered(dataset, ordered, config);
+}
+
+StatusOr<std::vector<LeafGroup>> CurveBulkLoadExternal(
+    const Dataset& dataset, CurveOrder order, const SortLoadConfig& config,
+    BufferPool* pool, size_t run_records) {
+  if (dataset.empty()) return std::vector<LeafGroup>{};
+  const Domain domain = dataset.ComputeDomain();
+  const GridQuantizer quantizer(domain, config.grid_bits);
+  const int shift = std::max(
+      0, config.grid_bits * static_cast<int>(dataset.dim()) - 64);
+
+  ExternalSorter sorter(dataset.dim(), run_records, pool);
+  std::vector<uint32_t> grid(dataset.dim());
+  for (RecordId r = 0; r < dataset.num_records(); ++r) {
+    quantizer.Quantize(dataset.row(r), grid.data());
+    const std::span<const uint32_t> g(grid.data(), grid.size());
+    const CurveKey key = order == CurveOrder::kHilbert
+                             ? HilbertKey(g, config.grid_bits)
+                             : ZOrderKey(g, config.grid_bits);
+    KANON_RETURN_IF_ERROR(sorter.Add(static_cast<uint64_t>(key >> shift), r,
+                                     dataset.sensitive(r), dataset.row(r)));
+  }
+  std::vector<RecordId> ordered;
+  ordered.reserve(dataset.num_records());
+  KANON_RETURN_IF_ERROR(sorter.Finish(
+      [&ordered](uint64_t, uint64_t rid, int32_t, std::span<const double>) {
+        ordered.push_back(rid);
+      }));
+  return ChunkOrdered(dataset, ordered, config);
+}
+
+namespace {
+
+void StrRecurse(const Dataset& dataset, std::vector<RecordId>& rids,
+                size_t attr, const SortLoadConfig& config,
+                std::vector<LeafGroup>* out) {
+  const size_t dim = dataset.dim();
+  std::sort(rids.begin(), rids.end(), [&](RecordId a, RecordId b) {
+    return dataset.value(a, attr) < dataset.value(b, attr);
+  });
+  if (attr + 1 == dim) {
+    auto groups = ChunkOrdered(dataset, rids, config);
+    out->insert(out->end(), std::make_move_iterator(groups.begin()),
+                std::make_move_iterator(groups.end()));
+    return;
+  }
+  // Number of leaves this set will produce, sliced into ~P^((d-a-1)/(d-a))
+  // slabs along the current attribute per the STR recipe.
+  const double leaves = std::max(
+      1.0, static_cast<double>(rids.size()) / config.target_size);
+  const double remaining_dims = static_cast<double>(dim - attr);
+  const auto slabs = static_cast<size_t>(std::ceil(
+      std::pow(leaves, 1.0 / remaining_dims)));
+  const size_t slab_size =
+      (rids.size() + slabs - 1) / std::max<size_t>(1, slabs);
+  size_t begin = 0;
+  while (begin < rids.size()) {
+    size_t end = std::min(begin + slab_size, rids.size());
+    if (rids.size() - end > 0 && rids.size() - end < config.min_size) {
+      end = rids.size();
+    }
+    std::vector<RecordId> slab(rids.begin() + begin, rids.begin() + end);
+    StrRecurse(dataset, slab, attr + 1, config, out);
+    begin = end;
+  }
+}
+
+}  // namespace
+
+std::vector<LeafGroup> StrBulkLoad(const Dataset& dataset,
+                                   const SortLoadConfig& config) {
+  if (dataset.empty()) return {};
+  std::vector<RecordId> rids(dataset.num_records());
+  for (RecordId r = 0; r < rids.size(); ++r) rids[r] = r;
+  std::vector<LeafGroup> out;
+  StrRecurse(dataset, rids, 0, config, &out);
+  return out;
+}
+
+}  // namespace kanon

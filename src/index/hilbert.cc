@@ -1,0 +1,81 @@
+#include "index/hilbert.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace kanon {
+
+namespace {
+
+/// Packs the "transposed" representation (bit (b-1-row) of X[col] is bit
+/// (b-1-row)*n + (n-1-col) of the key) into a single integer, matching the
+/// bit order of Skilling's algorithm.
+CurveKey PackTransposed(std::span<const uint32_t> x, int bits) {
+  CurveKey key = 0;
+  for (int row = bits - 1; row >= 0; --row) {
+    for (size_t col = 0; col < x.size(); ++col) {
+      key = (key << 1) | ((x[col] >> row) & 1u);
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+CurveKey HilbertKey(std::span<const uint32_t> coords, int bits) {
+  const int n = static_cast<int>(coords.size());
+  KANON_CHECK(bits >= 1 && bits * n <= 128);
+  if (n == 1) return coords[0];
+  // Skilling (2004): axes -> transposed Hilbert coordinates, in place.
+  std::vector<uint32_t> x(coords.begin(), coords.end());
+  const uint32_t m = 1u << (bits - 1);
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    const uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert low bits of x[0]
+      } else {
+        const uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  for (int i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  uint32_t t = 0;
+  for (uint32_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) t ^= q - 1;
+  }
+  for (int i = 0; i < n; ++i) x[i] ^= t;
+  return PackTransposed({x.data(), x.size()}, bits);
+}
+
+CurveKey ZOrderKey(std::span<const uint32_t> coords, int bits) {
+  KANON_CHECK(bits >= 1 &&
+              bits * static_cast<int>(coords.size()) <= 128);
+  return PackTransposed(coords, bits);
+}
+
+GridQuantizer::GridQuantizer(const Domain& domain, int bits)
+    : domain_(domain), bits_(bits) {
+  KANON_CHECK(bits >= 1 && bits <= 31);
+}
+
+void GridQuantizer::Quantize(std::span<const double> point,
+                             uint32_t* out) const {
+  KANON_DCHECK(point.size() == domain_.dim());
+  const double cells = static_cast<double>(1u << bits_);
+  for (size_t d = 0; d < domain_.dim(); ++d) {
+    const double extent = domain_.Extent(d);
+    double frac =
+        extent > 0.0 ? (point[d] - domain_.lo[d]) / extent : 0.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    auto cell = static_cast<uint32_t>(frac * cells);
+    if (cell >= (1u << bits_)) cell = (1u << bits_) - 1;
+    out[d] = cell;
+  }
+}
+
+}  // namespace kanon

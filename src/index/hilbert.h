@@ -1,0 +1,42 @@
+#ifndef KANON_INDEX_HILBERT_H_
+#define KANON_INDEX_HILBERT_H_
+
+#include <cstdint>
+#include <span>
+
+#include "data/dataset.h"
+
+namespace kanon {
+
+/// A position on a space-filling curve. 128 bits accommodate up to
+/// bits*dim <= 128 (e.g. nine attributes at 14 bits each).
+using CurveKey = unsigned __int128;
+
+/// d-dimensional Hilbert curve index of a grid point (Skilling's compact
+/// transform). `coords` are grid coordinates with `bits` significant bits
+/// each; requires bits * coords.size() <= 128.
+CurveKey HilbertKey(std::span<const uint32_t> coords, int bits);
+
+/// Z-order (Morton) index: plain bit interleaving.
+CurveKey ZOrderKey(std::span<const uint32_t> coords, int bits);
+
+/// Maps real-valued points of a known domain onto the 2^bits grid used by
+/// the space-filling curves.
+class GridQuantizer {
+ public:
+  GridQuantizer(const Domain& domain, int bits);
+
+  int bits() const { return bits_; }
+  size_t dim() const { return domain_.dim(); }
+
+  /// Writes dim() grid coordinates for `point` into `out`.
+  void Quantize(std::span<const double> point, uint32_t* out) const;
+
+ private:
+  Domain domain_;
+  int bits_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_INDEX_HILBERT_H_

@@ -1,0 +1,77 @@
+#ifndef KANON_INDEX_NODE_H_
+#define KANON_INDEX_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "index/mbr.h"
+
+namespace kanon {
+
+/// One node of the in-memory R⁺-tree.
+///
+/// Every node owns a half-open *region* (its cell of the recursive space
+/// partition; regions of siblings are disjoint and tile the parent's region)
+/// and maintains the *MBR* of the records stored beneath it. The region is
+/// what routes insertions deterministically and keeps partitions
+/// non-overlapping; the MBR is the compact generalized value the paper's
+/// anonymization emits.
+///
+/// Leaves store their records inline (row-major coordinates plus record id
+/// and sensitive code); internal nodes own their children.
+struct Node {
+  Node(size_t dim, bool leaf) : is_leaf(leaf), mbr(dim), dim_(dim) {}
+
+  bool is_leaf;
+  Region region;
+  Mbr mbr;
+  Node* parent = nullptr;
+
+  // Leaf payload.
+  std::vector<uint64_t> rids;
+  std::vector<int32_t> sensitive;
+  std::vector<double> points;  // row-major, rids.size() * dim
+
+  // Internal payload.
+  std::vector<std::unique_ptr<Node>> children;
+
+  /// Number of records in the subtree (maintained incrementally).
+  size_t record_count = 0;
+
+  size_t dim() const { return dim_; }
+  size_t fanout() const { return children.size(); }
+  size_t leaf_size() const { return rids.size(); }
+
+  std::span<const double> point(size_t i) const {
+    return {points.data() + i * dim_, dim_};
+  }
+
+  /// Appends a record to a leaf and grows the leaf MBR.
+  void AppendRecord(std::span<const double> p, uint64_t rid, int32_t sens) {
+    rids.push_back(rid);
+    sensitive.push_back(sens);
+    points.insert(points.end(), p.begin(), p.end());
+    mbr.ExpandToInclude(p);
+    ++record_count;
+  }
+
+  /// Removes leaf record at position i (swap-with-last; order within a leaf
+  /// carries no meaning). Does not recompute the MBR — callers that need a
+  /// tight box call RecomputeLeafMbr().
+  void RemoveRecordAt(size_t i);
+
+  /// Rebuilds the leaf MBR from the stored points.
+  void RecomputeLeafMbr();
+
+  /// Index of this node within parent->children. Node must have a parent.
+  size_t IndexInParent() const;
+
+ private:
+  size_t dim_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_INDEX_NODE_H_

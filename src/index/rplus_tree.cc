@@ -1,0 +1,340 @@
+#include "index/rplus_tree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace kanon {
+
+RPlusTree::RPlusTree(size_t dim, RTreeConfig config)
+    : dim_(dim), config_(config) {
+  KANON_CHECK_MSG(config_.min_leaf >= 1, "min_leaf must be positive");
+  KANON_CHECK_MSG(config_.max_leaf + 1 >= 2 * config_.min_leaf,
+                  "max_leaf too small to split into two >= min_leaf halves");
+  KANON_CHECK_MSG(config_.max_fanout >= 2, "fanout must be at least 2");
+  root_ = std::make_unique<Node>(dim_, /*leaf=*/true);
+  root_->region = Region::Whole(dim_);
+}
+
+RPlusTree RPlusTree::FromRoot(size_t dim, RTreeConfig config,
+                              std::unique_ptr<Node> root) {
+  RPlusTree tree(dim, std::move(config));
+  KANON_CHECK(root != nullptr && root->parent == nullptr);
+  tree.root_ = std::move(root);
+  return tree;
+}
+
+Node* RPlusTree::ChooseLeaf(std::span<const double> point) {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    Node* next = nullptr;
+    for (auto& child : node->children) {
+      if (child->region.ContainsPoint(point)) {
+        next = child.get();
+        break;
+      }
+    }
+    KANON_CHECK_MSG(next != nullptr,
+                    "region tiling violated: point routed into a hole");
+    node = next;
+  }
+  return node;
+}
+
+void RPlusTree::Insert(std::span<const double> point, uint64_t rid,
+                       int32_t sensitive) {
+  KANON_DCHECK(point.size() == dim_);
+  Node* leaf = ChooseLeaf(point);
+  leaf->AppendRecord(point, rid, sensitive);
+  // Maintain subtree MBRs and counts along the ancestor path.
+  for (Node* n = leaf->parent; n != nullptr; n = n->parent) {
+    n->mbr.ExpandToInclude(point);
+    ++n->record_count;
+  }
+  if (leaf->leaf_size() > config_.max_leaf) SplitLeaf(leaf);
+}
+
+void RPlusTree::SplitLeaf(Node* leaf) {
+  const auto split =
+      ChoosePointSplit(leaf->points.data(), leaf->leaf_size(), dim_,
+                       config_.min_leaf, config_.split, &leaf->region);
+  if (!split) return;  // duplicate-dominated leaf: stays overfull
+  if (config_.leaf_admissible) {
+    std::vector<int32_t> left_codes, right_codes;
+    for (size_t i = 0; i < leaf->leaf_size(); ++i) {
+      (leaf->points[i * dim_ + split->axis] < split->value ? left_codes
+                                                           : right_codes)
+          .push_back(leaf->sensitive[i]);
+    }
+    if (!config_.leaf_admissible(left_codes) ||
+        !config_.leaf_admissible(right_codes)) {
+      return;  // split would violate the publication constraint
+    }
+  }
+
+  auto [left_region, right_region] =
+      leaf->region.Cut(split->axis, split->value);
+  auto left = std::make_unique<Node>(dim_, /*leaf=*/true);
+  auto right = std::make_unique<Node>(dim_, /*leaf=*/true);
+  left->region = std::move(left_region);
+  right->region = std::move(right_region);
+  for (size_t i = 0; i < leaf->leaf_size(); ++i) {
+    Node* dst = leaf->points[i * dim_ + split->axis] < split->value
+                    ? left.get()
+                    : right.get();
+    dst->AppendRecord(leaf->point(i), leaf->rids[i], leaf->sensitive[i]);
+  }
+  KANON_DCHECK(left->leaf_size() >= config_.min_leaf);
+  KANON_DCHECK(right->leaf_size() >= config_.min_leaf);
+  ReplaceChild(leaf, std::move(left), std::move(right));
+}
+
+void RPlusTree::SplitInternal(Node* node) {
+  std::vector<const Region*> regions;
+  regions.reserve(node->fanout());
+  for (const auto& c : node->children) regions.push_back(&c->region);
+  const auto split = ChooseRegionSeparator(
+      std::span<const Region* const>(regions.data(), regions.size()),
+      config_.split);
+  KANON_CHECK_MSG(split.has_value(),
+                  "no separating plane found for internal node");
+
+  auto [left_region, right_region] =
+      node->region.Cut(split->axis, split->value);
+  auto left = std::make_unique<Node>(dim_, /*leaf=*/false);
+  auto right = std::make_unique<Node>(dim_, /*leaf=*/false);
+  left->region = std::move(left_region);
+  right->region = std::move(right_region);
+  for (auto& child : node->children) {
+    Node* dst = child->region.hi[split->axis] <= split->value ? left.get()
+                                                              : right.get();
+    child->parent = dst;
+    dst->mbr.ExpandToInclude(child->mbr);
+    dst->record_count += child->record_count;
+    dst->children.push_back(std::move(child));
+  }
+  node->children.clear();
+  KANON_DCHECK(!left->children.empty() && !right->children.empty());
+  ReplaceChild(node, std::move(left), std::move(right));
+}
+
+void RPlusTree::ResolveOverflow(Node* node) {
+  while (node != nullptr && node->fanout() > config_.max_fanout) {
+    Node* parent = node->parent;
+    SplitInternal(node);  // destroys `node`, adds one entry to its parent
+    node = parent;
+  }
+}
+
+void RPlusTree::ReplaceChild(Node* old_child, std::unique_ptr<Node> a,
+                             std::unique_ptr<Node> b) {
+  Node* parent = old_child->parent;
+  if (parent == nullptr) {
+    // The root split: grow a new root above the two halves.
+    KANON_CHECK(old_child == root_.get());
+    auto new_root = std::make_unique<Node>(dim_, /*leaf=*/false);
+    new_root->region = Region::Whole(dim_);
+    new_root->mbr = Mbr::Union(a->mbr, b->mbr);
+    new_root->record_count = a->record_count + b->record_count;
+    a->parent = new_root.get();
+    b->parent = new_root.get();
+    new_root->children.push_back(std::move(a));
+    new_root->children.push_back(std::move(b));
+    root_ = std::move(new_root);
+    return;
+  }
+  const size_t idx = old_child->IndexInParent();
+  a->parent = parent;
+  b->parent = parent;
+  parent->children[idx] = std::move(a);
+  parent->children.insert(parent->children.begin() + idx + 1, std::move(b));
+  ResolveOverflow(parent);
+}
+
+bool RPlusTree::Delete(std::span<const double> point, uint64_t rid) {
+  KANON_DCHECK(point.size() == dim_);
+  Node* leaf = ChooseLeaf(point);
+  size_t idx = leaf->leaf_size();
+  for (size_t i = 0; i < leaf->leaf_size(); ++i) {
+    if (leaf->rids[i] == rid) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == leaf->leaf_size()) return false;
+  leaf->RemoveRecordAt(idx);
+  leaf->RecomputeLeafMbr();
+  for (Node* n = leaf->parent; n != nullptr; n = n->parent) {
+    --n->record_count;
+    // Exact MBR maintenance: rebuild from children boxes.
+    n->mbr = Mbr(dim_);
+    for (const auto& c : n->children) n->mbr.ExpandToInclude(c->mbr);
+  }
+  return true;
+}
+
+int RPlusTree::height() const {
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->is_leaf) {
+    n = n->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+std::vector<const Node*> RPlusTree::OrderedLeaves() const {
+  std::vector<const Node*> leaves;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      leaves.push_back(n);
+      continue;
+    }
+    for (auto it = n->children.rbegin(); it != n->children.rend(); ++it) {
+      stack.push_back(it->get());
+    }
+  }
+  return leaves;
+}
+
+std::vector<const Node*> RPlusTree::NodesAtDepth(int d) const {
+  std::vector<const Node*> out;
+  std::function<void(const Node*, int)> visit = [&](const Node* n,
+                                                    int depth) {
+    if (depth == d || n->is_leaf) {
+      // Leaves shallower than `d` stand in for their (absent) descendants so
+      // every record appears in the level view exactly once.
+      out.push_back(n);
+      return;
+    }
+    for (const auto& c : n->children) visit(c.get(), depth + 1);
+  };
+  visit(root_.get(), 0);
+  return out;
+}
+
+size_t RPlusTree::SearchRange(const Mbr& query,
+                              std::vector<uint64_t>* out) const {
+  size_t leaves_visited = 0;
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (!n->mbr.Intersects(query)) continue;
+    if (n->is_leaf) {
+      ++leaves_visited;
+      if (out != nullptr) {
+        for (size_t i = 0; i < n->leaf_size(); ++i) {
+          if (query.ContainsPoint(n->point(i))) out->push_back(n->rids[i]);
+        }
+      }
+      continue;
+    }
+    for (const auto& c : n->children) stack.push_back(c.get());
+  }
+  return leaves_visited;
+}
+
+Status RPlusTree::CheckNode(const Node* node, bool allow_underfull) const {
+  // MBR within region (MBRs are closed; regions half-open — containment is
+  // lo <= mbr.lo and mbr.hi <= region.hi, strict at finite hi boundaries
+  // except for degenerate tolerance).
+  if (!node->mbr.empty()) {
+    for (size_t d = 0; d < dim_; ++d) {
+      if (node->mbr.lo(d) < node->region.lo[d] ||
+          node->mbr.hi(d) > node->region.hi[d]) {
+        return Status::Corruption("node MBR escapes its region");
+      }
+    }
+  }
+  if (node->is_leaf) {
+    if (node->record_count != node->leaf_size()) {
+      return Status::Corruption("leaf record_count mismatch");
+    }
+    const bool is_root = node->parent == nullptr;
+    if (!is_root && !allow_underfull &&
+        node->leaf_size() < config_.min_leaf) {
+      return Status::Corruption("underfull leaf");
+    }
+    for (size_t i = 0; i < node->leaf_size(); ++i) {
+      if (!node->region.ContainsPoint(node->point(i))) {
+        return Status::Corruption("leaf point outside leaf region");
+      }
+      if (!node->mbr.ContainsPoint(node->point(i))) {
+        return Status::Corruption("leaf point outside leaf MBR");
+      }
+    }
+    return Status::OK();
+  }
+  if (node->children.empty()) {
+    return Status::Corruption("internal node with no children");
+  }
+  size_t count = 0;
+  Mbr expect(dim_);
+  for (const auto& c : node->children) {
+    if (c->parent != node) return Status::Corruption("broken parent link");
+    for (size_t d = 0; d < dim_; ++d) {
+      if (c->region.lo[d] < node->region.lo[d] ||
+          c->region.hi[d] > node->region.hi[d]) {
+        return Status::Corruption("child region escapes parent region");
+      }
+    }
+    count += c->record_count;
+    expect.ExpandToInclude(c->mbr);
+  }
+  // Sibling regions must be pairwise interior-disjoint.
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    for (size_t j = i + 1; j < node->children.size(); ++j) {
+      const Region& a = node->children[i]->region;
+      const Region& b = node->children[j]->region;
+      bool disjoint = false;
+      for (size_t d = 0; d < dim_; ++d) {
+        if (a.hi[d] <= b.lo[d] || b.hi[d] <= a.lo[d]) {
+          disjoint = true;
+          break;
+        }
+      }
+      if (!disjoint) return Status::Corruption("overlapping sibling regions");
+    }
+  }
+  if (count != node->record_count) {
+    return Status::Corruption("internal record_count mismatch");
+  }
+  if (node->record_count > 0 && !(expect == node->mbr)) {
+    return Status::Corruption("internal MBR is not the union of children");
+  }
+  for (const auto& c : node->children) {
+    KANON_RETURN_IF_ERROR(CheckNode(c.get(), allow_underfull));
+  }
+  return Status::OK();
+}
+
+Status RPlusTree::CheckInvariants(bool allow_underfull_leaves) const {
+  return CheckNode(root_.get(), allow_underfull_leaves);
+}
+
+RPlusTree::TreeStats RPlusTree::ComputeStats() const {
+  TreeStats stats;
+  stats.height = height();
+  stats.min_leaf_size = static_cast<size_t>(-1);
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    stack.pop_back();
+    if (n->is_leaf) {
+      ++stats.num_leaves;
+      stats.min_leaf_size = std::min(stats.min_leaf_size, n->leaf_size());
+      stats.max_leaf_size = std::max(stats.max_leaf_size, n->leaf_size());
+    } else {
+      ++stats.num_internal;
+      for (const auto& c : n->children) stack.push_back(c.get());
+    }
+  }
+  if (stats.num_leaves == 0) stats.min_leaf_size = 0;
+  return stats;
+}
+
+}  // namespace kanon

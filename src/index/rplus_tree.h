@@ -1,0 +1,122 @@
+#ifndef KANON_INDEX_RPLUS_TREE_H_
+#define KANON_INDEX_RPLUS_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "index/node.h"
+#include "index/split.h"
+
+namespace kanon {
+
+/// Structural parameters of the tree. The leaf occupancy window [min_leaf,
+/// max_leaf] is the paper's "leaf nodes contain between k and ck records":
+/// min_leaf is the base anonymity parameter k, max_leaf = c*k.
+struct RTreeConfig {
+  size_t min_leaf = 5;
+  size_t max_leaf = 15;    // must satisfy max_leaf + 1 >= 2 * min_leaf
+  size_t max_fanout = 16;  // internal node capacity
+  SplitConfig split;
+  /// Optional publication predicate over the sensitive codes of a candidate
+  /// leaf. When set, a leaf split is applied only if *both* halves satisfy
+  /// it — this is how l-diversity or (α,k)-style requirements plug into the
+  /// index splitting routine (paper Section 6). An inadmissible split
+  /// leaves the leaf overfull, which never weakens the guarantee.
+  std::function<bool(std::span<const int32_t>)> leaf_admissible;
+};
+
+/// A non-overlapping R-tree variant (R⁺-tree style) over points, used as a
+/// k-anonymization engine:
+///
+///  * every node owns a half-open region; sibling regions are disjoint and
+///    tile the parent's region, so insertions route deterministically and
+///    leaf partitions never overlap — the property the k-anonymization
+///    literature universally assumes;
+///  * every node maintains the MBR of its records, which is the *compacted*
+///    generalized quasi-identifier value (Section 4 of the paper);
+///  * leaves hold between min_leaf and max_leaf records. A leaf that cannot
+///    be split without a side dropping below min_leaf (duplicate-heavy data)
+///    is left overfull — that preserves k-anonymity trivially. Deletions may
+///    leave leaves underfull; the tree keeps their regions intact (so
+///    routing still works) and the anonymization layer's leaf scan merges
+///    deficient leaves back above k when emitting partitions.
+///
+/// Record-at-a-time Insert is the paper's incremental anonymization
+/// mechanism; for bulk loads see BufferTree (index/buffer_tree.h).
+class RPlusTree {
+ public:
+  RPlusTree(size_t dim, RTreeConfig config);
+
+  /// Adopts a fully built node structure (used by tree persistence, see
+  /// index/tree_persistence.h). The structure is trusted; callers that
+  /// load from untrusted storage should run CheckInvariants afterwards.
+  static RPlusTree FromRoot(size_t dim, RTreeConfig config,
+                            std::unique_ptr<Node> root);
+
+  RPlusTree(const RPlusTree&) = delete;
+  RPlusTree& operator=(const RPlusTree&) = delete;
+  RPlusTree(RPlusTree&&) = default;
+  RPlusTree& operator=(RPlusTree&&) = default;
+
+  size_t dim() const { return dim_; }
+  const RTreeConfig& config() const { return config_; }
+
+  /// Inserts one record. `point` must have dim() coordinates.
+  void Insert(std::span<const double> point, uint64_t rid, int32_t sensitive);
+
+  /// Deletes the record `rid` located at `point`. Returns false when no such
+  /// record exists. Never restructures the tree (see class comment).
+  bool Delete(std::span<const double> point, uint64_t rid);
+
+  size_t size() const { return root_->record_count; }
+  int height() const;
+  const Node* root() const { return root_.get(); }
+
+  /// Leaves in left-to-right tree order — the "sequential ordering of nodes
+  /// on the same tree level" the leaf-scan algorithm (Fig 5) relies on.
+  std::vector<const Node*> OrderedLeaves() const;
+
+  /// All nodes at depth `d` (root = depth 0), in left-to-right order. Used
+  /// by the hierarchical multi-granular release algorithm.
+  std::vector<const Node*> NodesAtDepth(int d) const;
+
+  /// Collects record ids of points inside the closed box `query`, pruning
+  /// subtrees by MBR. Returns the number of leaves whose MBR intersected
+  /// the query (the |W| of Section 2.3).
+  size_t SearchRange(const Mbr& query, std::vector<uint64_t>* out) const;
+
+  /// Verifies every structural invariant (region tiling, MBR containment,
+  /// occupancy, counts, parent links). `allow_underfull_leaves` tolerates
+  /// post-deletion deficits.
+  Status CheckInvariants(bool allow_underfull_leaves = false) const;
+
+  struct TreeStats {
+    size_t num_leaves = 0;
+    size_t num_internal = 0;
+    size_t min_leaf_size = 0;
+    size_t max_leaf_size = 0;
+    int height = 0;
+  };
+  TreeStats ComputeStats() const;
+
+ private:
+  Node* ChooseLeaf(std::span<const double> point);
+  void SplitLeaf(Node* leaf);
+  void SplitInternal(Node* node);
+  /// Splits `node` (and then ancestors) while over max_fanout.
+  void ResolveOverflow(Node* node);
+  /// Swaps `old_child` in its parent for `a` and `b` (or grows a new root).
+  void ReplaceChild(Node* old_child, std::unique_ptr<Node> a,
+                    std::unique_ptr<Node> b);
+  Status CheckNode(const Node* node, bool allow_underfull) const;
+
+  size_t dim_;
+  RTreeConfig config_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_INDEX_RPLUS_TREE_H_

@@ -1,0 +1,272 @@
+#include "index/tree_persistence.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+
+namespace kanon {
+
+namespace {
+
+constexpr uint32_t kTreeMagic = 0x6b414e54;  // "kANT"
+
+/// Sequential byte-stream writer over chained pager pages. Each page
+/// starts with the PageId of its successor (kInvalidPageId on the tail)
+/// followed by payload bytes.
+class PageStreamWriter {
+ public:
+  explicit PageStreamWriter(Pager* pager)
+      : pager_(pager), buffer_(pager->page_size()) {
+    current_ = pager_->Allocate();
+    first_ = current_;
+    ResetBuffer();
+  }
+
+  PageId first_page() const { return first_; }
+  size_t bytes_written() const { return bytes_written_; }
+
+  Status Write(const void* data, size_t n) {
+    const char* src = static_cast<const char*>(data);
+    while (n > 0) {
+      if (offset_ == buffer_.size()) {
+        KANON_RETURN_IF_ERROR(FlushPage(/*more=*/true));
+      }
+      const size_t take = std::min(n, buffer_.size() - offset_);
+      std::memcpy(buffer_.data() + offset_, src, take);
+      offset_ += take;
+      src += take;
+      n -= take;
+      bytes_written_ += take;
+    }
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status WriteValue(const T& v) {
+    return Write(&v, sizeof(v));
+  }
+
+  Status Finish() { return FlushPage(/*more=*/false); }
+
+ private:
+  void ResetBuffer() {
+    const PageId invalid = kInvalidPageId;
+    std::memcpy(buffer_.data(), &invalid, sizeof(invalid));
+    offset_ = sizeof(PageId);
+  }
+
+  Status FlushPage(bool more) {
+    PageId next = kInvalidPageId;
+    if (more) {
+      next = pager_->Allocate();
+      std::memcpy(buffer_.data(), &next, sizeof(next));
+    }
+    KANON_RETURN_IF_ERROR(pager_->Write(current_, buffer_.data()));
+    if (more) {
+      current_ = next;
+      ResetBuffer();
+    }
+    return Status::OK();
+  }
+
+  Pager* pager_;
+  std::vector<char> buffer_;
+  PageId first_ = kInvalidPageId;
+  PageId current_ = kInvalidPageId;
+  size_t offset_ = 0;
+  size_t bytes_written_ = 0;
+};
+
+/// Counterpart reader.
+class PageStreamReader {
+ public:
+  PageStreamReader(Pager* pager, PageId first)
+      : pager_(pager), buffer_(pager->page_size()), next_(first) {}
+
+  Status Read(void* data, size_t n) {
+    char* dst = static_cast<char*>(data);
+    while (n > 0) {
+      if (offset_ == 0 || offset_ == buffer_.size()) {
+        KANON_RETURN_IF_ERROR(LoadNextPage());
+      }
+      const size_t take = std::min(n, buffer_.size() - offset_);
+      std::memcpy(dst, buffer_.data() + offset_, take);
+      offset_ += take;
+      dst += take;
+      n -= take;
+    }
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadValue(T* v) {
+    return Read(v, sizeof(*v));
+  }
+
+ private:
+  Status LoadNextPage() {
+    if (next_ == kInvalidPageId) {
+      return Status::Corruption("tree snapshot stream truncated");
+    }
+    KANON_RETURN_IF_ERROR(pager_->Read(next_, buffer_.data()));
+    std::memcpy(&next_, buffer_.data(), sizeof(next_));
+    offset_ = sizeof(PageId);
+    return Status::OK();
+  }
+
+  Pager* pager_;
+  std::vector<char> buffer_;
+  PageId next_;
+  size_t offset_ = 0;
+};
+
+Status WriteBounds(PageStreamWriter* w, const std::vector<double>& values) {
+  return w->Write(values.data(), values.size() * sizeof(double));
+}
+
+Status WriteNode(PageStreamWriter* w, const Node& node, size_t dim) {
+  const uint8_t leaf_flag = node.is_leaf ? 1 : 0;
+  KANON_RETURN_IF_ERROR(w->WriteValue(leaf_flag));
+  KANON_RETURN_IF_ERROR(WriteBounds(w, node.region.lo));
+  KANON_RETURN_IF_ERROR(WriteBounds(w, node.region.hi));
+  const uint8_t mbr_empty = node.mbr.empty() ? 1 : 0;
+  KANON_RETURN_IF_ERROR(w->WriteValue(mbr_empty));
+  if (!mbr_empty) {
+    KANON_RETURN_IF_ERROR(WriteBounds(w, node.mbr.lo()));
+    KANON_RETURN_IF_ERROR(WriteBounds(w, node.mbr.hi()));
+  }
+  if (node.is_leaf) {
+    const uint64_t count = node.leaf_size();
+    KANON_RETURN_IF_ERROR(w->WriteValue(count));
+    KANON_RETURN_IF_ERROR(
+        w->Write(node.rids.data(), count * sizeof(uint64_t)));
+    KANON_RETURN_IF_ERROR(
+        w->Write(node.sensitive.data(), count * sizeof(int32_t)));
+    KANON_RETURN_IF_ERROR(
+        w->Write(node.points.data(), count * dim * sizeof(double)));
+    return Status::OK();
+  }
+  const uint64_t fanout = node.fanout();
+  KANON_RETURN_IF_ERROR(w->WriteValue(fanout));
+  for (const auto& child : node.children) {
+    KANON_RETURN_IF_ERROR(WriteNode(w, *child, dim));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Node>> ReadNode(PageStreamReader* r, size_t dim,
+                                         size_t max_fanout) {
+  uint8_t leaf_flag = 0;
+  KANON_RETURN_IF_ERROR(r->ReadValue(&leaf_flag));
+  if (leaf_flag > 1) return Status::Corruption("bad node tag");
+  auto node = std::make_unique<Node>(dim, leaf_flag == 1);
+  node->region.lo.resize(dim);
+  node->region.hi.resize(dim);
+  KANON_RETURN_IF_ERROR(
+      r->Read(node->region.lo.data(), dim * sizeof(double)));
+  KANON_RETURN_IF_ERROR(
+      r->Read(node->region.hi.data(), dim * sizeof(double)));
+  uint8_t mbr_empty = 0;
+  KANON_RETURN_IF_ERROR(r->ReadValue(&mbr_empty));
+  if (!mbr_empty) {
+    std::vector<double> lo(dim), hi(dim);
+    KANON_RETURN_IF_ERROR(r->Read(lo.data(), dim * sizeof(double)));
+    KANON_RETURN_IF_ERROR(r->Read(hi.data(), dim * sizeof(double)));
+    node->mbr = Mbr::FromBounds(std::move(lo), std::move(hi));
+  }
+  if (node->is_leaf) {
+    uint64_t count = 0;
+    KANON_RETURN_IF_ERROR(r->ReadValue(&count));
+    node->rids.resize(count);
+    node->sensitive.resize(count);
+    node->points.resize(count * dim);
+    KANON_RETURN_IF_ERROR(
+        r->Read(node->rids.data(), count * sizeof(uint64_t)));
+    KANON_RETURN_IF_ERROR(
+        r->Read(node->sensitive.data(), count * sizeof(int32_t)));
+    KANON_RETURN_IF_ERROR(
+        r->Read(node->points.data(), count * dim * sizeof(double)));
+    node->record_count = count;
+    return node;
+  }
+  uint64_t fanout = 0;
+  KANON_RETURN_IF_ERROR(r->ReadValue(&fanout));
+  if (fanout == 0 || fanout > max_fanout + 1) {
+    return Status::Corruption("implausible internal fanout");
+  }
+  for (uint64_t i = 0; i < fanout; ++i) {
+    KANON_ASSIGN_OR_RETURN(auto child, ReadNode(r, dim, max_fanout));
+    child->parent = node.get();
+    node->record_count += child->record_count;
+    node->children.push_back(std::move(child));
+  }
+  return node;
+}
+
+}  // namespace
+
+StatusOr<TreeSnapshot> SaveTree(const RPlusTree& tree, Pager* pager) {
+  PageStreamWriter writer(pager);
+  KANON_RETURN_IF_ERROR(writer.WriteValue(kTreeMagic));
+  const uint64_t dim = tree.dim();
+  const uint64_t min_leaf = tree.config().min_leaf;
+  const uint64_t max_leaf = tree.config().max_leaf;
+  const uint64_t max_fanout = tree.config().max_fanout;
+  const uint64_t records = tree.size();
+  KANON_RETURN_IF_ERROR(writer.WriteValue(dim));
+  KANON_RETURN_IF_ERROR(writer.WriteValue(min_leaf));
+  KANON_RETURN_IF_ERROR(writer.WriteValue(max_leaf));
+  KANON_RETURN_IF_ERROR(writer.WriteValue(max_fanout));
+  KANON_RETURN_IF_ERROR(writer.WriteValue(records));
+  KANON_RETURN_IF_ERROR(WriteNode(&writer, *tree.root(), tree.dim()));
+  KANON_RETURN_IF_ERROR(writer.Finish());
+  TreeSnapshot snapshot;
+  snapshot.first_page = writer.first_page();
+  snapshot.byte_size = writer.bytes_written();
+  snapshot.record_count = tree.size();
+  return snapshot;
+}
+
+StatusOr<RPlusTree> LoadTree(Pager* pager, const TreeSnapshot& snapshot,
+                             size_t dim, const RTreeConfig& config) {
+  PageStreamReader reader(pager, snapshot.first_page);
+  uint32_t magic = 0;
+  KANON_RETURN_IF_ERROR(reader.ReadValue(&magic));
+  if (magic != kTreeMagic) return Status::Corruption("not a tree snapshot");
+  uint64_t stored_dim, min_leaf, max_leaf, max_fanout, records;
+  KANON_RETURN_IF_ERROR(reader.ReadValue(&stored_dim));
+  KANON_RETURN_IF_ERROR(reader.ReadValue(&min_leaf));
+  KANON_RETURN_IF_ERROR(reader.ReadValue(&max_leaf));
+  KANON_RETURN_IF_ERROR(reader.ReadValue(&max_fanout));
+  KANON_RETURN_IF_ERROR(reader.ReadValue(&records));
+  if (stored_dim != dim) {
+    return Status::InvalidArgument("snapshot dimensionality mismatch");
+  }
+  if (min_leaf != config.min_leaf || max_leaf != config.max_leaf ||
+      max_fanout != config.max_fanout) {
+    return Status::InvalidArgument(
+        "snapshot was built with different structural parameters");
+  }
+  KANON_ASSIGN_OR_RETURN(auto root,
+                         ReadNode(&reader, dim, config.max_fanout));
+  if (root->record_count != records) {
+    return Status::Corruption("snapshot record count mismatch");
+  }
+  return RPlusTree::FromRoot(dim, config, std::move(root));
+}
+
+Status FreeSnapshot(Pager* pager, const TreeSnapshot& snapshot) {
+  std::vector<char> buffer(pager->page_size());
+  PageId page = snapshot.first_page;
+  while (page != kInvalidPageId) {
+    KANON_RETURN_IF_ERROR(pager->Read(page, buffer.data()));
+    PageId next;
+    std::memcpy(&next, buffer.data(), sizeof(next));
+    pager->Free(page);
+    page = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace kanon

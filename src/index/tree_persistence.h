@@ -1,0 +1,35 @@
+#ifndef KANON_INDEX_TREE_PERSISTENCE_H_
+#define KANON_INDEX_TREE_PERSISTENCE_H_
+
+#include "common/status.h"
+#include "index/rplus_tree.h"
+#include "storage/pager.h"
+
+namespace kanon {
+
+/// Serialized-tree metadata returned by SaveTree and consumed by LoadTree.
+struct TreeSnapshot {
+  PageId first_page = kInvalidPageId;
+  size_t byte_size = 0;
+  size_t record_count = 0;
+};
+
+/// Persists an R⁺-tree into a chain of pager pages (a depth-first byte
+/// stream: regions, MBRs, leaf payloads). The anonymizing index can thus
+/// outlive the process — re-opening it restores incremental anonymization
+/// exactly where it stopped, with the same leaf partitioning (hence the
+/// same published equivalence classes and k-bound groups).
+StatusOr<TreeSnapshot> SaveTree(const RPlusTree& tree, Pager* pager);
+
+/// Restores a tree saved by SaveTree. `config` must match the structural
+/// parameters the tree was built with (it is validated against the stored
+/// header where possible).
+StatusOr<RPlusTree> LoadTree(Pager* pager, const TreeSnapshot& snapshot,
+                             size_t dim, const RTreeConfig& config);
+
+/// Releases the snapshot's pages back to the pager.
+Status FreeSnapshot(Pager* pager, const TreeSnapshot& snapshot);
+
+}  // namespace kanon
+
+#endif  // KANON_INDEX_TREE_PERSISTENCE_H_

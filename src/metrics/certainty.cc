@@ -1,0 +1,52 @@
+#include "metrics/certainty.h"
+
+#include <cmath>
+
+namespace kanon {
+
+double NcpOfBox(const Dataset& dataset, const Domain& domain, const Mbr& box,
+                const CertaintyOptions& options) {
+  const Schema& schema = dataset.schema();
+  double ncp = 0.0;
+  for (size_t a = 0; a < dataset.dim(); ++a) {
+    const double w =
+        a < options.weights.size() ? options.weights[a] : 1.0;
+    const AttributeSpec& spec = schema.attribute(a);
+    double term = 0.0;
+    if (spec.type == AttributeType::kCategorical && spec.hierarchy) {
+      const Hierarchy& h = *spec.hierarchy;
+      const int lo = static_cast<int>(std::floor(box.lo(a)));
+      const int hi = static_cast<int>(std::ceil(box.hi(a)));
+      if (lo != hi) {
+        term = static_cast<double>(h.LcaLeafCount(lo, hi)) /
+               static_cast<double>(h.num_leaves());
+      }
+    } else {
+      const double extent = domain.Extent(a);
+      if (extent > 0.0) term = box.Extent(a) / extent;
+    }
+    ncp += w * term;
+  }
+  return ncp;
+}
+
+double CertaintyPenalty(const Dataset& dataset, const PartitionSet& ps,
+                        const CertaintyOptions& options) {
+  const Domain domain = dataset.ComputeDomain();
+  double cm = 0.0;
+  for (const Partition& p : ps.partitions) {
+    cm += static_cast<double>(p.size()) *
+          NcpOfBox(dataset, domain, p.box, options);
+  }
+  return cm;
+}
+
+double AverageNcp(const Dataset& dataset, const PartitionSet& ps,
+                  const CertaintyOptions& options) {
+  const size_t n = ps.total_records();
+  if (n == 0 || dataset.dim() == 0) return 0.0;
+  return CertaintyPenalty(dataset, ps, options) /
+         (static_cast<double>(n) * static_cast<double>(dataset.dim()));
+}
+
+}  // namespace kanon

@@ -1,0 +1,38 @@
+#ifndef KANON_METRICS_CERTAINTY_H_
+#define KANON_METRICS_CERTAINTY_H_
+
+#include <vector>
+
+#include "anon/partition.h"
+#include "data/dataset.h"
+
+namespace kanon {
+
+/// Options for the certainty metric.
+struct CertaintyOptions {
+  /// Per-attribute importance weights w_i (empty = all 1.0) — the weighted
+  /// NCP of Xu et al. that the paper adopts.
+  std::vector<double> weights;
+};
+
+/// Normalized certainty penalty of one generalized box for one attribute
+/// set: NCP(t) = sum_i w_i * |t.A_i| / |T.A_i|. Numeric attributes use
+/// extent ratios; categorical attributes with a hierarchy charge the leaf
+/// count under the published node (0 when the value is a single leaf),
+/// following Xu et al.
+double NcpOfBox(const Dataset& dataset, const Domain& domain, const Mbr& box,
+                const CertaintyOptions& options = {});
+
+/// Certainty penalty of the whole anonymization:
+/// CM(T) = sum over records of NCP(record's box).
+double CertaintyPenalty(const Dataset& dataset, const PartitionSet& ps,
+                        const CertaintyOptions& options = {});
+
+/// CM / (n * dim): average per-record, per-attribute penalty in [0, 1]
+/// (assuming unit weights). Comparable across data sets.
+double AverageNcp(const Dataset& dataset, const PartitionSet& ps,
+                  const CertaintyOptions& options = {});
+
+}  // namespace kanon
+
+#endif  // KANON_METRICS_CERTAINTY_H_

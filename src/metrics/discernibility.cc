@@ -1,0 +1,20 @@
+#include "metrics/discernibility.h"
+
+namespace kanon {
+
+double DiscernibilityPenalty(const PartitionSet& ps) {
+  double dm = 0.0;
+  for (const Partition& p : ps.partitions) {
+    const double s = static_cast<double>(p.size());
+    dm += s * s;
+  }
+  return dm;
+}
+
+double NormalizedDiscernibility(const PartitionSet& ps, size_t k) {
+  const double n = static_cast<double>(ps.total_records());
+  if (n == 0.0 || k == 0) return 0.0;
+  return DiscernibilityPenalty(ps) / (n * static_cast<double>(k));
+}
+
+}  // namespace kanon

@@ -1,0 +1,20 @@
+#ifndef KANON_METRICS_DISCERNIBILITY_H_
+#define KANON_METRICS_DISCERNIBILITY_H_
+
+#include "anon/partition.h"
+
+namespace kanon {
+
+/// Discernibility penalty (Bayardo & Agrawal): DM(T) = sum over partitions
+/// of |P|^2 — every record is charged the size of its equivalence class.
+/// Depends only on partition cardinalities, which is why compaction cannot
+/// change it (paper Fig 10a).
+double DiscernibilityPenalty(const PartitionSet& ps);
+
+/// DM normalized by its lower bound n*k (all partitions exactly k): 1.0 is
+/// optimal. Convenient for cross-size comparisons.
+double NormalizedDiscernibility(const PartitionSet& ps, size_t k);
+
+}  // namespace kanon
+
+#endif  // KANON_METRICS_DISCERNIBILITY_H_

@@ -1,0 +1,76 @@
+#include "metrics/kl_divergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace kanon {
+
+namespace {
+
+/// Hashable byte-key of a quasi-identifier vector.
+std::string RowKey(std::span<const double> row) {
+  std::string key(row.size() * sizeof(double), '\0');
+  std::memcpy(key.data(), row.data(), key.size());
+  return key;
+}
+
+}  // namespace
+
+double KlDivergence(const Dataset& dataset, const PartitionSet& ps) {
+  const size_t n = dataset.num_records();
+  if (n == 0) return 0.0;
+  const size_t dim = dataset.dim();
+
+  // Multiplicity of each exact QI vector.
+  std::unordered_map<std::string, size_t> mult;
+  mult.reserve(n * 2);
+  for (RecordId r = 0; r < n; ++r) {
+    ++mult[RowKey(dataset.row(r))];
+  }
+
+  // Active domain per attribute: sorted distinct values.
+  std::vector<std::vector<double>> active(dim);
+  for (size_t a = 0; a < dim; ++a) {
+    std::vector<double>& vals = active[a];
+    vals.reserve(n);
+    for (RecordId r = 0; r < n; ++r) vals.push_back(dataset.value(r, a));
+    std::sort(vals.begin(), vals.end());
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  }
+
+  // Number of active-domain cells inside a box.
+  auto cells_in_box = [&](const Mbr& box) {
+    double cells = 1.0;
+    for (size_t a = 0; a < dim; ++a) {
+      const auto& vals = active[a];
+      const auto lo_it =
+          std::lower_bound(vals.begin(), vals.end(), box.lo(a));
+      const auto hi_it =
+          std::upper_bound(vals.begin(), vals.end(), box.hi(a));
+      const auto count = static_cast<double>(hi_it - lo_it);
+      cells *= std::max(1.0, count);
+    }
+    return cells;
+  };
+
+  const double dn = static_cast<double>(n);
+  double kl = 0.0;
+  for (const Partition& p : ps.partitions) {
+    const double cells = cells_in_box(p.box);
+    const double p2 = (static_cast<double>(p.size()) / dn) / cells;
+    for (RecordId r : p.rids) {
+      const double p1 =
+          static_cast<double>(mult.at(RowKey(dataset.row(r)))) / dn;
+      // Each record contributes with weight 1/n (the sum over distinct
+      // tuples of p1*log(p1/p2) equals the per-record average).
+      kl += (1.0 / dn) * std::log(p1 / p2);
+    }
+  }
+  return kl;
+}
+
+}  // namespace kanon

@@ -1,0 +1,24 @@
+#ifndef KANON_METRICS_KL_DIVERGENCE_H_
+#define KANON_METRICS_KL_DIVERGENCE_H_
+
+#include "anon/partition.h"
+#include "data/dataset.h"
+
+namespace kanon {
+
+/// KL divergence between the original and anonymized distributions (Kifer &
+/// Gehrke, "Injecting utility into anonymized datasets"):
+///
+///   KL(T) = sum over records t of p1(t) * log(p1(t) / p2(t))
+///
+/// where p1(t) = mult(t)/n is the empirical probability of t's exact
+/// quasi-identifier vector, and p2(t) spreads each partition's mass
+/// uniformly over the discrete cells of its generalized box:
+/// p2(t) = (|P_t|/n) / cells(P_t), with cells counted over each attribute's
+/// active domain (the distinct values occurring in the data). Lower is
+/// better; 0 means the anonymized table preserves the exact distribution.
+double KlDivergence(const Dataset& dataset, const PartitionSet& ps);
+
+}  // namespace kanon
+
+#endif  // KANON_METRICS_KL_DIVERGENCE_H_

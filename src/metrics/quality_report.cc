@@ -1,0 +1,32 @@
+#include "metrics/quality_report.h"
+
+#include <sstream>
+
+#include "metrics/discernibility.h"
+#include "metrics/kl_divergence.h"
+
+namespace kanon {
+
+QualityReport ComputeQuality(const Dataset& dataset, const PartitionSet& ps,
+                             const CertaintyOptions& options) {
+  QualityReport report;
+  report.discernibility = DiscernibilityPenalty(ps);
+  report.certainty = CertaintyPenalty(dataset, ps, options);
+  report.average_ncp = AverageNcp(dataset, ps, options);
+  report.kl_divergence = KlDivergence(dataset, ps);
+  report.num_partitions = ps.num_partitions();
+  report.min_partition = ps.min_partition_size();
+  report.max_partition = ps.max_partition_size();
+  return report;
+}
+
+std::string FormatQuality(const QualityReport& report) {
+  std::ostringstream os;
+  os << "DM=" << report.discernibility << " CM=" << report.certainty
+     << " avgNCP=" << report.average_ncp << " KL=" << report.kl_divergence
+     << " partitions=" << report.num_partitions << " ["
+     << report.min_partition << ".." << report.max_partition << "]";
+  return os.str();
+}
+
+}  // namespace kanon

@@ -1,0 +1,32 @@
+#ifndef KANON_METRICS_QUALITY_REPORT_H_
+#define KANON_METRICS_QUALITY_REPORT_H_
+
+#include <string>
+
+#include "anon/partition.h"
+#include "data/dataset.h"
+#include "metrics/certainty.h"
+
+namespace kanon {
+
+/// The three quality measures the paper evaluates, computed together.
+struct QualityReport {
+  double discernibility = 0.0;
+  double certainty = 0.0;
+  double average_ncp = 0.0;
+  double kl_divergence = 0.0;
+  size_t num_partitions = 0;
+  size_t min_partition = 0;
+  size_t max_partition = 0;
+};
+
+/// Computes every metric over one anonymization.
+QualityReport ComputeQuality(const Dataset& dataset, const PartitionSet& ps,
+                             const CertaintyOptions& options = {});
+
+/// One-line rendering for bench output.
+std::string FormatQuality(const QualityReport& report);
+
+}  // namespace kanon
+
+#endif  // KANON_METRICS_QUALITY_REPORT_H_

@@ -1,0 +1,103 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kanon {
+
+size_t CountOriginal(const Dataset& dataset, const RangeQuery& query) {
+  size_t count = 0;
+  for (RecordId r = 0; r < dataset.num_records(); ++r) {
+    if (query.MatchesPoint(dataset.row(r))) ++count;
+  }
+  return count;
+}
+
+double CountAnonymized(const PartitionSet& ps, const RangeQuery& query,
+                       EstimationMode mode) {
+  double count = 0.0;
+  for (const Partition& p : ps.partitions) {
+    if (!query.MatchesBox(p.box)) continue;
+    switch (mode) {
+      case EstimationMode::kAllMatching:
+        count += static_cast<double>(p.size());
+        break;
+      case EstimationMode::kUniform:
+        count += static_cast<double>(p.size()) *
+                 p.box.IntersectionFraction(query.box);
+        break;
+    }
+  }
+  return count;
+}
+
+QueryOutcome EvaluateQuery(const Dataset& dataset, const PartitionSet& ps,
+                           const RangeQuery& query, EstimationMode mode) {
+  QueryOutcome out;
+  out.original = CountOriginal(dataset, query);
+  out.anonymized = CountAnonymized(ps, query, mode);
+  if (out.original > 0) {
+    out.error = (out.anonymized - static_cast<double>(out.original)) /
+                static_cast<double>(out.original);
+    out.valid = true;
+  } else {
+    out.error = std::nan("");
+  }
+  return out;
+}
+
+WorkloadStats EvaluateWorkload(const Dataset& dataset, const PartitionSet& ps,
+                               std::span<const RangeQuery> queries,
+                               EstimationMode mode) {
+  WorkloadStats stats;
+  double sum = 0.0;
+  for (const RangeQuery& q : queries) {
+    const QueryOutcome outcome = EvaluateQuery(dataset, ps, q, mode);
+    if (!outcome.valid) {
+      ++stats.skipped_empty;
+      continue;
+    }
+    sum += std::abs(outcome.error);
+    ++stats.evaluated;
+  }
+  stats.average_error =
+      stats.evaluated > 0 ? sum / static_cast<double>(stats.evaluated) : 0.0;
+  return stats;
+}
+
+std::vector<SelectivityBin> EvaluateBySelectivity(
+    const Dataset& dataset, const PartitionSet& ps,
+    std::span<const RangeQuery> queries, size_t num_bins,
+    EstimationMode mode) {
+  // Logarithmic bins over selectivity: (0, 10^-(b-1)], ..., (0.1, 1].
+  std::vector<SelectivityBin> bins(num_bins);
+  for (size_t b = 0; b < num_bins; ++b) {
+    bins[b].selectivity_hi =
+        std::pow(10.0, -static_cast<double>(num_bins - 1 - b));
+    bins[b].selectivity_lo =
+        b == 0 ? 0.0
+               : std::pow(10.0, -static_cast<double>(num_bins - b));
+  }
+  std::vector<double> sums(num_bins, 0.0);
+  const double n = static_cast<double>(dataset.num_records());
+  for (const RangeQuery& q : queries) {
+    const QueryOutcome outcome = EvaluateQuery(dataset, ps, q, mode);
+    if (!outcome.valid) continue;
+    const double sel = static_cast<double>(outcome.original) / n;
+    for (size_t b = 0; b < num_bins; ++b) {
+      if (sel > bins[b].selectivity_lo && sel <= bins[b].selectivity_hi) {
+        sums[b] += std::abs(outcome.error);
+        ++bins[b].count;
+        break;
+      }
+    }
+  }
+  for (size_t b = 0; b < num_bins; ++b) {
+    if (bins[b].count > 0) {
+      bins[b].average_error = sums[b] / static_cast<double>(bins[b].count);
+    }
+  }
+  return bins;
+}
+
+}  // namespace kanon

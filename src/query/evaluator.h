@@ -1,0 +1,75 @@
+#ifndef KANON_QUERY_EVALUATOR_H_
+#define KANON_QUERY_EVALUATOR_H_
+
+#include <span>
+#include <vector>
+
+#include "anon/partition.h"
+#include "data/dataset.h"
+#include "query/query.h"
+
+namespace kanon {
+
+/// How a COUNT over anonymized data is computed (Section 2.3 of the paper).
+enum class EstimationMode {
+  /// Every record of every intersecting partition counts (the paper's main
+  /// experimental semantics: "a COUNT query on a partition returns the
+  /// cardinality of that partition if the query region intersects it").
+  kAllMatching,
+  /// Uniform-distribution estimate: each intersecting partition contributes
+  /// |P| times the fraction of its box covered by the query.
+  kUniform,
+};
+
+/// Exact COUNT on the original data.
+size_t CountOriginal(const Dataset& dataset, const RangeQuery& query);
+
+/// COUNT on the anonymized data under the chosen semantics.
+double CountAnonymized(const PartitionSet& ps, const RangeQuery& query,
+                       EstimationMode mode = EstimationMode::kAllMatching);
+
+/// Per-query evaluation record.
+struct QueryOutcome {
+  size_t original = 0;
+  double anonymized = 0.0;
+  /// Error(Q) = (count(anonymized) - count(original)) / count(original);
+  /// NaN when the original count is zero (such queries are skipped in
+  /// aggregates, as in the paper).
+  double error = 0.0;
+  bool valid = false;
+};
+
+QueryOutcome EvaluateQuery(const Dataset& dataset, const PartitionSet& ps,
+                           const RangeQuery& query,
+                           EstimationMode mode = EstimationMode::kAllMatching);
+
+/// Aggregate over a workload: average normalized error over queries with a
+/// non-zero original count.
+struct WorkloadStats {
+  double average_error = 0.0;
+  size_t evaluated = 0;
+  size_t skipped_empty = 0;
+};
+
+WorkloadStats EvaluateWorkload(const Dataset& dataset, const PartitionSet& ps,
+                               std::span<const RangeQuery> queries,
+                               EstimationMode mode =
+                                   EstimationMode::kAllMatching);
+
+/// Error broken down by result selectivity (Fig 12b/d): queries are bucketed
+/// by original-count fraction of the table into `num_bins` logarithmic bins.
+struct SelectivityBin {
+  double selectivity_lo = 0.0;  // inclusive fraction bound
+  double selectivity_hi = 0.0;
+  double average_error = 0.0;
+  size_t count = 0;
+};
+
+std::vector<SelectivityBin> EvaluateBySelectivity(
+    const Dataset& dataset, const PartitionSet& ps,
+    std::span<const RangeQuery> queries, size_t num_bins = 5,
+    EstimationMode mode = EstimationMode::kAllMatching);
+
+}  // namespace kanon
+
+#endif  // KANON_QUERY_EVALUATOR_H_

@@ -1,0 +1,4 @@
+#include "query/query.h"
+
+// RangeQuery is header-only; this file anchors the query target.
+namespace kanon {}

@@ -1,0 +1,35 @@
+#ifndef KANON_QUERY_QUERY_H_
+#define KANON_QUERY_QUERY_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "index/mbr.h"
+
+namespace kanon {
+
+/// A conjunctive range (COUNT) query: one closed interval per
+/// quasi-identifier attribute — the paper's
+///   SELECT COUNT(*) FROM T WHERE a1 <= A1 <= b1 AND ... (Section 5.4).
+struct RangeQuery {
+  Mbr box;
+
+  size_t dim() const { return box.dim(); }
+
+  /// Original-data semantics: the record's point lies inside the query box.
+  bool MatchesPoint(std::span<const double> point) const {
+    return box.ContainsPoint(point);
+  }
+
+  /// Anonymized-data semantics: a generalized record matches if its box has
+  /// a non-null intersection with the query region on every attribute.
+  bool MatchesBox(const Mbr& generalized) const {
+    return box.Intersects(generalized);
+  }
+
+  std::string ToString() const { return box.ToString(); }
+};
+
+}  // namespace kanon
+
+#endif  // KANON_QUERY_QUERY_H_

@@ -1,0 +1,50 @@
+#include "query/workload.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace kanon {
+
+std::vector<RangeQuery> MakeRecordPairWorkload(const Dataset& dataset,
+                                               size_t count, Rng* rng) {
+  KANON_CHECK(!dataset.empty());
+  const size_t dim = dataset.dim();
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    const auto r1 = dataset.row(rng->Uniform(dataset.num_records()));
+    const auto r2 = dataset.row(rng->Uniform(dataset.num_records()));
+    std::vector<double> lo(dim), hi(dim);
+    for (size_t a = 0; a < dim; ++a) {
+      lo[a] = std::min(r1[a], r2[a]);
+      hi[a] = std::max(r1[a], r2[a]);
+    }
+    queries.push_back({Mbr::FromBounds(std::move(lo), std::move(hi))});
+  }
+  return queries;
+}
+
+std::vector<RangeQuery> MakeSingleAttributeWorkload(const Dataset& dataset,
+                                                    size_t attr, size_t count,
+                                                    Rng* rng) {
+  KANON_CHECK(!dataset.empty());
+  KANON_CHECK(attr < dataset.dim());
+  const Domain domain = dataset.ComputeDomain();
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    const double v1 =
+        dataset.value(rng->Uniform(dataset.num_records()), attr);
+    const double v2 =
+        dataset.value(rng->Uniform(dataset.num_records()), attr);
+    std::vector<double> lo = domain.lo;
+    std::vector<double> hi = domain.hi;
+    lo[attr] = std::min(v1, v2);
+    hi[attr] = std::max(v1, v2);
+    queries.push_back({Mbr::FromBounds(std::move(lo), std::move(hi))});
+  }
+  return queries;
+}
+
+}  // namespace kanon

@@ -1,0 +1,28 @@
+#ifndef KANON_QUERY_WORKLOAD_H_
+#define KANON_QUERY_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "data/dataset.h"
+#include "query/query.h"
+
+namespace kanon {
+
+/// The paper's random range workload (Section 5.4): for each query, two
+/// records r1, r2 are drawn at random and every attribute's bounds are
+/// [min(r1.Ai, r2.Ai), max(r1.Ai, r2.Ai)] — an all-attribute hyper-rectangle
+/// anchored at real data.
+std::vector<RangeQuery> MakeRecordPairWorkload(const Dataset& dataset,
+                                               size_t count, Rng* rng);
+
+/// The paper's single-attribute workload (used for the biased-splitting
+/// experiment, Fig 12c/d): a random range on `attr` from two random records;
+/// every other attribute spans the full domain.
+std::vector<RangeQuery> MakeSingleAttributeWorkload(const Dataset& dataset,
+                                                    size_t attr, size_t count,
+                                                    Rng* rng);
+
+}  // namespace kanon
+
+#endif  // KANON_QUERY_WORKLOAD_H_

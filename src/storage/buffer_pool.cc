@@ -1,0 +1,155 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace kanon {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    frame_ = other.frame_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::MarkDirty() {
+  KANON_DCHECK(valid());
+  pool_->MarkDirty(frame_);
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_frames)
+    : pager_(pager) {
+  KANON_CHECK(capacity_frames >= 1);
+  frames_.resize(capacity_frames);
+  free_frames_.reserve(capacity_frames);
+  // Frame memory is allocated lazily in GrabFrame: a pool sized for a large
+  // memory budget must not pay allocation and page-fault cost for frames a
+  // small workload never touches.
+  for (size_t i = 0; i < capacity_frames; ++i) {
+    free_frames_.push_back(capacity_frames - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() { (void)FlushAll(); }
+
+StatusOr<PageHandle> BufferPool::Fetch(PageId id, bool initialize) {
+  KANON_CHECK(id != kInvalidPageId);
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    ++stats_.hits;
+    Frame& f = frames_[it->second];
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    ++f.pins;
+    return PageHandle(this, id, it->second, f.data.get());
+  }
+  ++stats_.misses;
+  KANON_ASSIGN_OR_RETURN(size_t frame_index, GrabFrame());
+  Frame& f = frames_[frame_index];
+  if (initialize) {
+    std::memset(f.data.get(), 0, pager_->page_size());
+  } else {
+    KANON_RETURN_IF_ERROR(pager_->Read(id, f.data.get()));
+  }
+  f.page = id;
+  f.pins = 1;
+  f.dirty = initialize;  // a fresh page must reach disk eventually
+  f.in_lru = false;
+  page_to_frame_[id] = frame_index;
+  return PageHandle(this, id, frame_index, f.data.get());
+}
+
+StatusOr<PageHandle> BufferPool::New() {
+  const PageId id = pager_->Allocate();
+  return Fetch(id, /*initialize=*/true);
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.page != kInvalidPageId && f.dirty) {
+      KANON_RETURN_IF_ERROR(pager_->Write(f.page, f.data.get()));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::Discard(PageId id) {
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    Frame& f = frames_[it->second];
+    KANON_CHECK_MSG(f.pins == 0, "discarding a pinned page");
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    f.page = kInvalidPageId;
+    f.dirty = false;
+    free_frames_.push_back(it->second);
+    page_to_frame_.erase(it);
+  }
+  pager_->Free(id);
+}
+
+void BufferPool::Unpin(size_t frame_index) {
+  Frame& f = frames_[frame_index];
+  KANON_DCHECK(f.pins > 0);
+  if (--f.pins == 0) {
+    lru_.push_front(frame_index);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+void BufferPool::MarkDirty(size_t frame_index) {
+  frames_[frame_index].dirty = true;
+}
+
+StatusOr<size_t> BufferPool::GrabFrame() {
+  if (!free_frames_.empty()) {
+    const size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    if (frames_[idx].data == nullptr) {
+      frames_[idx].data = std::make_unique<char[]>(pager_->page_size());
+    }
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::FailedPrecondition(
+        "buffer pool exhausted: all frames pinned");
+  }
+  // Evict the least recently used unpinned frame.
+  const size_t victim = lru_.back();
+  lru_.pop_back();
+  Frame& f = frames_[victim];
+  f.in_lru = false;
+  if (f.dirty) {
+    KANON_RETURN_IF_ERROR(pager_->Write(f.page, f.data.get()));
+    f.dirty = false;
+  }
+  page_to_frame_.erase(f.page);
+  f.page = kInvalidPageId;
+  ++stats_.evictions;
+  return victim;
+}
+
+}  // namespace kanon

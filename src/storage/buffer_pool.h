@@ -1,0 +1,115 @@
+#ifndef KANON_STORAGE_BUFFER_POOL_H_
+#define KANON_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace kanon {
+
+class BufferPool;
+
+/// Counters exposed by the buffer pool. `pager` I/O counts live on the
+/// underlying Pager; these add cache behaviour.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// RAII pin on a buffered page. While a handle is alive the frame cannot be
+/// evicted. Mutating the contents requires MarkDirty() so the pool writes
+/// the page back before reuse.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  char* data() const { return data_; }
+
+  void MarkDirty();
+
+  /// Explicitly releases the pin (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, PageId id, size_t frame, char* data)
+      : pool_(pool), id_(id), frame_(frame), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+  size_t frame_ = 0;
+  char* data_ = nullptr;
+};
+
+/// A fixed-capacity LRU buffer pool over a Pager. This is the memory budget
+/// of the anonymization process: the paper's Figure 8(b) varies exactly this
+/// capacity and reports the resulting explicit I/O count.
+class BufferPool {
+ public:
+  /// `capacity_frames` pages of pager->page_size() bytes are held in memory.
+  BufferPool(Pager* pager, size_t capacity_frames);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  size_t capacity() const { return frames_.size(); }
+  size_t page_size() const { return pager_->page_size(); }
+  const BufferPoolStats& stats() const { return stats_; }
+  Pager* pager() const { return pager_; }
+
+  /// Pins page `id`, reading it from the pager on a miss. With
+  /// `initialize` = true the page is assumed fresh: no read I/O is issued
+  /// and the frame is zeroed (used right after Pager::Allocate()).
+  StatusOr<PageHandle> Fetch(PageId id, bool initialize = false);
+
+  /// Allocates a new page on the pager and pins it zero-filled.
+  StatusOr<PageHandle> New();
+
+  /// Writes back every dirty frame.
+  Status FlushAll();
+
+  /// Drops `id` from the pool (no write-back) and frees it on the pager.
+  void Discard(PageId id);
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId page = kInvalidPageId;
+    std::unique_ptr<char[]> data;
+    int pins = 0;
+    bool dirty = false;
+    std::list<size_t>::iterator lru_pos;  // valid only when unpinned
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame_index);
+  void MarkDirty(size_t frame_index);
+  StatusOr<size_t> GrabFrame();  // evicts an unpinned LRU victim if needed
+
+  Pager* pager_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::list<size_t> lru_;  // front = most recent
+  std::unordered_map<PageId, size_t> page_to_frame_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_STORAGE_BUFFER_POOL_H_

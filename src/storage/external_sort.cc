@@ -1,0 +1,169 @@
+#include "storage/external_sort.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <queue>
+
+#include "common/check.h"
+
+namespace kanon {
+
+namespace {
+
+/// The sort key travels in values[0] of a (dim+1)-wide record, as the
+/// bit-pattern of the uint64 key. memcpy round-trips exactly; the value is
+/// never used as a number.
+double KeyToDouble(uint64_t key) {
+  double d;
+  std::memcpy(&d, &key, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToKey(double d) {
+  uint64_t key;
+  std::memcpy(&key, &d, sizeof(key));
+  return key;
+}
+
+}  // namespace
+
+ExternalSorter::ExternalSorter(size_t dim, size_t run_records,
+                               BufferPool* pool)
+    : dim_(dim),
+      run_records_(std::max<size_t>(2, run_records)),
+      pool_(pool),
+      codec_(dim + 1),
+      staging_(dim + 1) {
+  staging_.Reserve(run_records_);
+}
+
+Status ExternalSorter::Add(uint64_t key, uint64_t rid, int32_t sensitive,
+                           std::span<const double> values) {
+  KANON_CHECK_MSG(!finished_, "Add after Finish");
+  KANON_DCHECK(values.size() == dim_);
+  staging_.rids.push_back(rid);
+  staging_.sensitive.push_back(sensitive);
+  staging_.values.push_back(KeyToDouble(key));
+  staging_.values.insert(staging_.values.end(), values.begin(),
+                         values.end());
+  ++record_count_;
+  if (staging_.size() >= run_records_) {
+    KANON_RETURN_IF_ERROR(SpillRun());
+  }
+  return Status::OK();
+}
+
+Status ExternalSorter::SpillRun() {
+  if (staging_.empty()) return Status::OK();
+  // Sort the staging batch by key (indirect, then emit in order).
+  std::vector<uint32_t> order(staging_.size());
+  std::iota(order.begin(), order.end(), 0);
+  const size_t width = dim_ + 1;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return DoubleToKey(staging_.values[a * width]) <
+           DoubleToKey(staging_.values[b * width]);
+  });
+  auto run = std::make_unique<PageChain>(pool_, &codec_);
+  RecordBatch sorted(width);
+  sorted.Reserve(staging_.size());
+  for (uint32_t i : order) {
+    sorted.Append(staging_.rids[i], staging_.sensitive[i], staging_.row(i));
+  }
+  KANON_RETURN_IF_ERROR(run->AppendBatch(sorted));
+  runs_.push_back(std::move(run));
+  staging_.Clear();
+  return Status::OK();
+}
+
+Status ExternalSorter::Finish(
+    const std::function<void(uint64_t, uint64_t, int32_t,
+                             std::span<const double>)>& emit) {
+  KANON_CHECK_MSG(!finished_, "Finish called twice");
+  finished_ = true;
+  KANON_RETURN_IF_ERROR(SpillRun());
+
+  // The merge fan-in is limited by the pool (one pinned page per cursor,
+  // plus headroom for the output run). Merge in passes until one pass can
+  // cover all remaining runs.
+  const size_t max_fanin = std::max<size_t>(2, pool_->capacity() - 4);
+  while (runs_.size() > max_fanin) {
+    std::vector<std::unique_ptr<PageChain>> next;
+    for (size_t begin = 0; begin < runs_.size(); begin += max_fanin) {
+      const size_t end = std::min(begin + max_fanin, runs_.size());
+      auto merged = std::make_unique<PageChain>(pool_, &codec_);
+      RecordBatch chunk(dim_ + 1);
+      KANON_RETURN_IF_ERROR(MergeRuns(
+          begin, end,
+          [&](uint64_t key, uint64_t rid, int32_t sens,
+              std::span<const double> values) {
+            chunk.rids.push_back(rid);
+            chunk.sensitive.push_back(sens);
+            chunk.values.push_back(KeyToDouble(key));
+            chunk.values.insert(chunk.values.end(), values.begin(),
+                                values.end());
+          },
+          &chunk, merged.get()));
+      next.push_back(std::move(merged));
+    }
+    runs_ = std::move(next);
+  }
+  return MergeRuns(
+      0, runs_.size(),
+      [&](uint64_t key, uint64_t rid, int32_t sens,
+          std::span<const double> values) { emit(key, rid, sens, values); },
+      nullptr, nullptr);
+}
+
+Status ExternalSorter::MergeRuns(
+    size_t begin, size_t end,
+    const std::function<void(uint64_t, uint64_t, int32_t,
+                             std::span<const double>)>& emit,
+    RecordBatch* chunk, PageChain* sink) {
+  struct HeapEntry {
+    uint64_t key;
+    size_t run;
+  };
+  const auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
+    return a.key > b.key;  // min-heap
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(cmp)> heap(
+      cmp);
+  std::vector<std::unique_ptr<PageChainCursor>> cursors;
+  cursors.reserve(end - begin);
+  for (size_t r = begin; r < end; ++r) {
+    cursors.push_back(std::make_unique<PageChainCursor>(runs_[r].get()));
+    if (cursors.back()->valid()) {
+      heap.push({DoubleToKey(cursors.back()->values()[0]),
+                 cursors.size() - 1});
+    }
+  }
+  constexpr size_t kSinkChunkRecords = 4096;
+  while (!heap.empty()) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    PageChainCursor& cursor = *cursors[top.run];
+    const auto full = cursor.values();
+    emit(top.key, cursor.rid(), cursor.sensitive(),
+         full.subspan(1));  // strip the key slot for the caller
+    KANON_RETURN_IF_ERROR(cursor.Next());
+    if (cursor.valid()) {
+      heap.push({DoubleToKey(cursor.values()[0]), top.run});
+    }
+    if (sink != nullptr && chunk->size() >= kSinkChunkRecords) {
+      KANON_RETURN_IF_ERROR(sink->AppendBatch(*chunk));
+      chunk->Clear();
+    }
+  }
+  if (sink != nullptr && !chunk->empty()) {
+    KANON_RETURN_IF_ERROR(sink->AppendBatch(*chunk));
+    chunk->Clear();
+  }
+  // Release the merged inputs.
+  for (size_t r = begin; r < end; ++r) {
+    runs_[r]->Clear();
+  }
+  return Status::OK();
+}
+
+}  // namespace kanon

@@ -1,0 +1,71 @@
+#ifndef KANON_STORAGE_EXTERNAL_SORT_H_
+#define KANON_STORAGE_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/spill_file.h"
+
+namespace kanon {
+
+/// Bounded-memory external merge sort over records, used by the
+/// space-filling-curve bulk loaders when the data exceeds memory (the
+/// classical alternative to the buffer tree; both achieve
+/// O(N/B log_{M/B} N/B) I/Os and this substrate makes the comparison
+/// measurable through the same pager counters).
+///
+/// The caller streams records in with Add(); each record carries a 64-bit
+/// sort key (e.g. a truncated Hilbert key). When the in-memory staging
+/// batch reaches `run_records`, it is sorted and spilled as a run (a
+/// PageChain). Finish() merges the runs (k-way, all runs at once — one pin
+/// per run) and emits records in key order.
+class ExternalSorter {
+ public:
+  /// `run_records` is the memory budget expressed in records (the M of the
+  /// I/O model).
+  ExternalSorter(size_t dim, size_t run_records, BufferPool* pool);
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  size_t record_count() const { return record_count_; }
+  size_t run_count() const { return runs_.size(); }
+
+  /// Adds one record with its sort key.
+  Status Add(uint64_t key, uint64_t rid, int32_t sensitive,
+             std::span<const double> values);
+
+  /// Sorts and merges; calls `emit` once per record, in non-decreasing key
+  /// order. The sorter is consumed (runs are released).
+  Status Finish(
+      const std::function<void(uint64_t key, uint64_t rid, int32_t sensitive,
+                               std::span<const double> values)>& emit);
+
+ private:
+  Status SpillRun();
+  /// Merges runs [begin, end) emitting records in key order; when `sink` is
+  /// set, the caller's emit stages into `chunk` and this function flushes
+  /// it into `sink` periodically (intermediate multi-pass merging).
+  Status MergeRuns(
+      size_t begin, size_t end,
+      const std::function<void(uint64_t key, uint64_t rid, int32_t sensitive,
+                               std::span<const double> values)>& emit,
+      RecordBatch* chunk, PageChain* sink);
+
+  size_t dim_;
+  size_t run_records_;
+  BufferPool* pool_;
+  RecordCodec codec_;  // dim_ + 1 doubles: the key rides in slot 0
+  std::vector<std::unique_ptr<PageChain>> runs_;
+  // In-memory staging batch; the key is stored as values[0] so a run page
+  // is self-contained.
+  RecordBatch staging_;
+  size_t record_count_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_STORAGE_EXTERNAL_SORT_H_

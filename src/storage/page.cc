@@ -1,0 +1,4 @@
+#include "storage/page.h"
+
+// Page views are header-only; this file anchors the storage target.
+namespace kanon {}

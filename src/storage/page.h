@@ -1,0 +1,120 @@
+#ifndef KANON_STORAGE_PAGE_H_
+#define KANON_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/check.h"
+
+namespace kanon {
+
+/// Identifies a page within a Pager. Pages are allocated densely from 0.
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
+
+/// Default page size. 8 KiB matches common database defaults; the I/O
+/// experiments size the buffer pool in pages of this size.
+inline constexpr size_t kDefaultPageSize = 8192;
+
+/// Fixed-width record serialization for data pages: each slot holds
+/// (record id, sensitive code, dim quasi-identifier doubles). All pages that
+/// store records — leaf pages and buffer-tree node buffers — use this codec.
+class RecordCodec {
+ public:
+  explicit RecordCodec(size_t dim) : dim_(dim) {}
+
+  size_t dim() const { return dim_; }
+  size_t record_size() const {
+    return sizeof(uint64_t) + sizeof(int32_t) + dim_ * sizeof(double);
+  }
+
+  void Encode(char* dst, uint64_t rid, int32_t sensitive,
+              std::span<const double> values) const {
+    KANON_DCHECK(values.size() == dim_);
+    std::memcpy(dst, &rid, sizeof(rid));
+    std::memcpy(dst + sizeof(rid), &sensitive, sizeof(sensitive));
+    std::memcpy(dst + sizeof(rid) + sizeof(sensitive), values.data(),
+                dim_ * sizeof(double));
+  }
+
+  void Decode(const char* src, uint64_t* rid, int32_t* sensitive,
+              double* values) const {
+    std::memcpy(rid, src, sizeof(*rid));
+    std::memcpy(sensitive, src + sizeof(*rid), sizeof(*sensitive));
+    std::memcpy(values, src + sizeof(*rid) + sizeof(*sensitive),
+                dim_ * sizeof(double));
+  }
+
+ private:
+  size_t dim_;
+};
+
+/// View over a raw page buffer laid out as a slotted record page:
+///   header { uint32 record_count; PageId next; }  then fixed-width slots.
+/// `next` chains pages into unbounded record runs (buffer-tree node buffers).
+class RecordPageView {
+ public:
+  RecordPageView(char* data, size_t page_size, const RecordCodec* codec)
+      : data_(data), page_size_(page_size), codec_(codec) {}
+
+  static constexpr size_t kHeaderSize = sizeof(uint32_t) + sizeof(PageId);
+
+  size_t capacity() const {
+    return (page_size_ - kHeaderSize) / codec_->record_size();
+  }
+
+  uint32_t count() const {
+    uint32_t c;
+    std::memcpy(&c, data_, sizeof(c));
+    return c;
+  }
+
+  PageId next() const {
+    PageId n;
+    std::memcpy(&n, data_ + sizeof(uint32_t), sizeof(n));
+    return n;
+  }
+
+  void set_next(PageId next) {
+    std::memcpy(data_ + sizeof(uint32_t), &next, sizeof(next));
+  }
+
+  /// Resets the page to an empty record page with no successor.
+  void Init() {
+    uint32_t zero = 0;
+    std::memcpy(data_, &zero, sizeof(zero));
+    set_next(kInvalidPageId);
+  }
+
+  bool full() const { return count() >= capacity(); }
+
+  /// Appends one record; the caller must ensure !full().
+  void Append(uint64_t rid, int32_t sensitive,
+              std::span<const double> values) {
+    const uint32_t c = count();
+    KANON_DCHECK(c < capacity());
+    codec_->Encode(slot(c), rid, sensitive, values);
+    const uint32_t nc = c + 1;
+    std::memcpy(data_, &nc, sizeof(nc));
+  }
+
+  void Read(size_t i, uint64_t* rid, int32_t* sensitive,
+            double* values) const {
+    KANON_DCHECK(i < count());
+    codec_->Decode(slot(i), rid, sensitive, values);
+  }
+
+ private:
+  char* slot(size_t i) const {
+    return data_ + kHeaderSize + i * codec_->record_size();
+  }
+
+  char* data_;
+  size_t page_size_;
+  const RecordCodec* codec_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_STORAGE_PAGE_H_

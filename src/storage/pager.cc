@@ -1,0 +1,92 @@
+#include "storage/pager.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace kanon {
+
+PageId Pager::Allocate() {
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  KANON_CHECK(num_pages_ < kInvalidPageId);
+  return static_cast<PageId>(num_pages_++);
+}
+
+void Pager::Free(PageId id) {
+  KANON_DCHECK(id < num_pages_);
+  free_list_.push_back(id);
+}
+
+Status Pager::Read(PageId id, char* buf) {
+  ++stats_.reads;
+  return DoRead(id, buf);
+}
+
+Status Pager::Write(PageId id, const char* buf) {
+  ++stats_.writes;
+  return DoWrite(id, buf);
+}
+
+FilePager::~FilePager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<std::unique_ptr<FilePager>> FilePager::Create(
+    size_t page_size, const std::string& dir) {
+  std::string templ =
+      (dir.empty() ? std::string("/tmp") : dir) + "/kanon_pager_XXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  const int fd = mkstemp(buf.data());
+  if (fd < 0) return Status::IoError("mkstemp failed for " + templ);
+  // Unlink immediately: the file lives only as long as the descriptor.
+  std::remove(buf.data());
+  std::FILE* file = fdopen(fd, "w+b");
+  if (file == nullptr) return Status::IoError("fdopen failed");
+  return std::unique_ptr<FilePager>(new FilePager(page_size, file));
+}
+
+Status FilePager::DoRead(PageId id, char* buf) {
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
+    return Status::IoError("fseek failed");
+  }
+  const size_t n = std::fread(buf, 1, page_size_, file_);
+  if (n != page_size_) {
+    // Reading a page that was allocated but never written: return zeros.
+    std::memset(buf + n, 0, page_size_ - n);
+  }
+  return Status::OK();
+}
+
+Status FilePager::DoWrite(PageId id, const char* buf) {
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
+    return Status::IoError("fseek failed");
+  }
+  if (std::fwrite(buf, 1, page_size_, file_) != page_size_) {
+    return Status::IoError("fwrite failed");
+  }
+  return Status::OK();
+}
+
+Status MemPager::DoRead(PageId id, char* buf) {
+  if (id >= pages_.size() || pages_[id] == nullptr) {
+    std::memset(buf, 0, page_size_);
+    return Status::OK();
+  }
+  std::memcpy(buf, pages_[id].get(), page_size_);
+  return Status::OK();
+}
+
+Status MemPager::DoWrite(PageId id, const char* buf) {
+  if (id >= pages_.size()) pages_.resize(id + 1);
+  if (pages_[id] == nullptr) pages_[id] = std::make_unique<char[]>(page_size_);
+  std::memcpy(pages_[id].get(), buf, page_size_);
+  return Status::OK();
+}
+
+}  // namespace kanon

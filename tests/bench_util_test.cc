@@ -1,0 +1,72 @@
+#include "bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+namespace kanon::bench {
+namespace {
+
+class ScaleGuard {
+ public:
+  ~ScaleGuard() { unsetenv("KANON_SCALE"); }
+};
+
+TEST(BenchUtilTest, ScaleDefaultsToOne) {
+  ScaleGuard guard;
+  unsetenv("KANON_SCALE");
+  EXPECT_DOUBLE_EQ(ScaleFactor(), 1.0);
+  EXPECT_EQ(Scaled(1000), 1000u);
+}
+
+TEST(BenchUtilTest, ScaleFromEnvironment) {
+  ScaleGuard guard;
+  setenv("KANON_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(ScaleFactor(), 2.5);
+  EXPECT_EQ(Scaled(1000), 2500u);
+}
+
+TEST(BenchUtilTest, BogusScaleFallsBackToOne) {
+  ScaleGuard guard;
+  setenv("KANON_SCALE", "-3", 1);
+  EXPECT_DOUBLE_EQ(ScaleFactor(), 1.0);
+  setenv("KANON_SCALE", "banana", 1);
+  EXPECT_DOUBLE_EQ(ScaleFactor(), 1.0);
+}
+
+TEST(BenchUtilTest, ScaledNeverReturnsZero) {
+  ScaleGuard guard;
+  setenv("KANON_SCALE", "0.0001", 1);
+  EXPECT_GE(Scaled(1), 1u);
+}
+
+TEST(BenchUtilTest, TablePrinterAlignsColumns) {
+  TablePrinter table({"k", "value"});
+  table.AddRow({"5", "1.25"});
+  table.AddRow({"1000", "0.5"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  // Every line is equally wide (fixed-width table).
+  std::istringstream lines(out);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(BenchUtilTest, FmtPrecision) {
+  EXPECT_EQ(Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Fmt(2.0, 0), "2");
+  EXPECT_EQ(FmtInt(42), "42");
+}
+
+}  // namespace
+}  // namespace kanon::bench

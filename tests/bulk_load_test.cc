@@ -1,0 +1,114 @@
+#include "index/bulk_load.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "data/dataset.h"
+
+namespace kanon {
+namespace {
+
+Dataset RandomDataset(size_t n, size_t dim, uint64_t seed) {
+  Dataset d(Schema::Numeric(dim));
+  Rng rng(seed);
+  std::vector<double> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : p) v = rng.UniformDouble(0, 1000);
+    d.Append(p, static_cast<int32_t>(i % 3));
+  }
+  return d;
+}
+
+void CheckGroups(const Dataset& data, const std::vector<LeafGroup>& groups,
+                 const SortLoadConfig& config) {
+  std::set<RecordId> seen;
+  for (const LeafGroup& g : groups) {
+    EXPECT_GE(g.rids.size(), config.min_size);
+    for (RecordId r : g.rids) {
+      EXPECT_TRUE(seen.insert(r).second);
+      EXPECT_TRUE(g.mbr.ContainsPoint(data.row(r)));
+    }
+  }
+  EXPECT_EQ(seen.size(), data.num_records());
+}
+
+TEST(CurveBulkLoadTest, HilbertCoversAllRecordsAboveMinSize) {
+  const Dataset data = RandomDataset(1000, 3, 1);
+  SortLoadConfig config{.min_size = 5, .target_size = 10, .grid_bits = 8};
+  const auto groups = CurveBulkLoad(data, CurveOrder::kHilbert, config);
+  CheckGroups(data, groups, config);
+  EXPECT_GE(groups.size(), 90u);
+}
+
+TEST(CurveBulkLoadTest, ZOrderCoversAllRecords) {
+  const Dataset data = RandomDataset(777, 2, 2);
+  SortLoadConfig config{.min_size = 4, .target_size = 8, .grid_bits = 8};
+  CheckGroups(data, CurveBulkLoad(data, CurveOrder::kZOrder, config), config);
+}
+
+TEST(CurveBulkLoadTest, TailFoldsIntoLastGroup) {
+  // 23 records, target 10, min 5: groups of 10 and 13 (3-record tail folds).
+  const Dataset data = RandomDataset(23, 2, 3);
+  SortLoadConfig config{.min_size = 5, .target_size = 10, .grid_bits = 6};
+  const auto groups = CurveBulkLoad(data, CurveOrder::kHilbert, config);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].rids.size(), 10u);
+  EXPECT_EQ(groups[1].rids.size(), 13u);
+}
+
+TEST(CurveBulkLoadTest, EmptyDatasetYieldsNoGroups) {
+  Dataset d(Schema::Numeric(2));
+  SortLoadConfig config;
+  EXPECT_TRUE(CurveBulkLoad(d, CurveOrder::kHilbert, config).empty());
+}
+
+TEST(StrBulkLoadTest, CoversAllRecordsAboveMinSize) {
+  const Dataset data = RandomDataset(2000, 3, 4);
+  SortLoadConfig config{.min_size = 5, .target_size = 15, .grid_bits = 8};
+  const auto groups = StrBulkLoad(data, config);
+  CheckGroups(data, groups, config);
+}
+
+TEST(StrBulkLoadTest, TilesHaveSmallerBoxesThanRandomChunks) {
+  // STR's whole point: spatial tiling shrinks group boxes versus chunking
+  // records in arrival (random) order.
+  const Dataset data = RandomDataset(2000, 2, 5);
+  SortLoadConfig config{.min_size = 5, .target_size = 20, .grid_bits = 8};
+  const auto str_groups = StrBulkLoad(data, config);
+
+  // Arrival-order chunks of the same size.
+  double str_volume = 0.0, chunk_volume = 0.0;
+  for (const auto& g : str_groups) str_volume += g.mbr.Volume();
+  for (size_t begin = 0; begin < data.num_records(); begin += 20) {
+    Mbr box(2);
+    for (size_t r = begin; r < std::min<size_t>(begin + 20,
+                                                data.num_records());
+         ++r) {
+      box.ExpandToInclude(data.row(r));
+    }
+    chunk_volume += box.Volume();
+  }
+  EXPECT_LT(str_volume, chunk_volume / 4);
+}
+
+TEST(CurveBulkLoadTest, HilbertBeatsArrivalOrderOnVolume) {
+  const Dataset data = RandomDataset(2000, 2, 6);
+  SortLoadConfig config{.min_size = 5, .target_size = 20, .grid_bits = 10};
+  const auto groups = CurveBulkLoad(data, CurveOrder::kHilbert, config);
+  double curve_volume = 0.0, chunk_volume = 0.0;
+  for (const auto& g : groups) curve_volume += g.mbr.Volume();
+  for (size_t begin = 0; begin < data.num_records(); begin += 20) {
+    Mbr box(2);
+    for (size_t r = begin;
+         r < std::min<size_t>(begin + 20, data.num_records()); ++r) {
+      box.ExpandToInclude(data.row(r));
+    }
+    chunk_volume += box.Volume();
+  }
+  EXPECT_LT(curve_volume, chunk_volume / 4);
+}
+
+}  // namespace
+}  // namespace kanon

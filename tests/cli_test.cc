@@ -1,0 +1,173 @@
+#include "cli_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/random.h"
+#include "data/csv.h"
+#include "data/schema.h"
+
+namespace kanon {
+namespace {
+
+using cli::CliOptions;
+using cli::InferColumns;
+using cli::ParseArgs;
+
+
+bool Parse(std::initializer_list<const char*> args, CliOptions* options) {
+  std::vector<const char*> argv = {"kanon_cli"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ParseArgs(static_cast<int>(argv.size()), argv.data(), options);
+}
+
+TEST(CliParseTest, RequiredFlags) {
+  CliOptions options;
+  EXPECT_FALSE(Parse({}, &options));
+  EXPECT_FALSE(Parse({"--input", "a.csv"}, &options));
+  CliOptions ok;
+  EXPECT_TRUE(Parse({"--input", "a.csv", "--output", "b.csv"}, &ok));
+  EXPECT_EQ(ok.k, 10u);  // default
+}
+
+TEST(CliParseTest, AllFlagsParse) {
+  CliOptions o;
+  ASSERT_TRUE(Parse({"--input", "a", "--output", "b", "--k", "25",
+                     "--columns", "4", "--skip-header", "--algorithm",
+                     "mondrian", "--recursive", "3.5,2", "--uncompacted",
+                     "--bias", "0,2", "--metrics"},
+                    &o));
+  EXPECT_EQ(o.k, 25u);
+  EXPECT_EQ(o.columns, 4u);
+  EXPECT_TRUE(o.skip_header);
+  EXPECT_EQ(o.algorithm, "mondrian");
+  EXPECT_DOUBLE_EQ(o.recursive_c, 3.5);
+  EXPECT_EQ(o.recursive_l, 2u);
+  EXPECT_TRUE(o.uncompacted);
+  EXPECT_EQ(o.bias, (std::vector<size_t>{0, 2}));
+  EXPECT_TRUE(o.metrics);
+}
+
+TEST(CliParseTest, RejectsUnknownFlagAndMissingValue) {
+  CliOptions o;
+  EXPECT_FALSE(Parse({"--input", "a", "--output", "b", "--frobnicate"}, &o));
+  CliOptions o2;
+  EXPECT_FALSE(Parse({"--input", "a", "--output", "b", "--k"}, &o2));
+  CliOptions o3;
+  EXPECT_FALSE(
+      Parse({"--input", "a", "--output", "b", "--recursive", "3"}, &o3));
+}
+
+class CliRunTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    input_ = ::testing::TempDir() + "/cli_in.csv";
+    output_ = ::testing::TempDir() + "/cli_out.csv";
+    Rng rng(1);
+    std::ofstream out(input_);
+    for (int i = 0; i < 1000; ++i) {
+      out << rng.UniformDouble(0, 100) << "," << rng.UniformDouble(0, 50)
+          << "," << rng.Uniform(8) << "\n";
+    }
+  }
+  void TearDown() override {
+    std::remove(input_.c_str());
+    std::remove(output_.c_str());
+  }
+
+  size_t CountOutputRows() {
+    std::ifstream in(output_);
+    std::string line;
+    size_t rows = 0;
+    while (std::getline(in, line)) ++rows;
+    return rows;
+  }
+
+  std::string input_;
+  std::string output_;
+};
+
+TEST_F(CliRunTest, InferColumnsTreatsLastAsSensitive) {
+  EXPECT_EQ(InferColumns(input_), 2u);
+  EXPECT_EQ(InferColumns("/nonexistent/x.csv"), 0u);
+}
+
+TEST_F(CliRunTest, RTreePipelineEndToEnd) {
+  CliOptions o;
+  o.input = input_;
+  o.output = output_;
+  o.k = 20;
+  o.metrics = true;
+  std::ostringstream log;
+  EXPECT_EQ(cli::Run(o, log), 0);
+  EXPECT_EQ(CountOutputRows(), 1001u);  // header + records
+  EXPECT_NE(log.str().find("read 1000 records"), std::string::npos);
+  EXPECT_NE(log.str().find("marginal utility"), std::string::npos);
+}
+
+TEST_F(CliRunTest, EveryAlgorithmRuns) {
+  for (const char* algorithm : {"rtree", "mondrian", "grid"}) {
+    CliOptions o;
+    o.input = input_;
+    o.output = output_;
+    o.k = 15;
+    o.algorithm = algorithm;
+    std::ostringstream log;
+    EXPECT_EQ(cli::Run(o, log), 0) << algorithm << ": " << log.str();
+  }
+}
+
+TEST_F(CliRunTest, ConstraintSelectionLogsName) {
+  CliOptions o;
+  o.input = input_;
+  o.output = output_;
+  o.k = 15;
+  o.entropy_l = 2.0;
+  std::ostringstream log;
+  EXPECT_EQ(cli::Run(o, log), 0);
+  EXPECT_NE(log.str().find("entropy"), std::string::npos);
+}
+
+TEST_F(CliRunTest, UnknownAlgorithmFails) {
+  CliOptions o;
+  o.input = input_;
+  o.output = output_;
+  o.algorithm = "magic";
+  std::ostringstream log;
+  EXPECT_EQ(cli::Run(o, log), 1);
+}
+
+TEST_F(CliRunTest, MissingInputFails) {
+  CliOptions o;
+  o.input = "/nonexistent/in.csv";
+  o.output = output_;
+  std::ostringstream log;
+  EXPECT_EQ(cli::Run(o, log), 1);
+}
+
+TEST_F(CliRunTest, SchemaSpecDrivesNames) {
+  const std::string spec_path = ::testing::TempDir() + "/cli_spec.txt";
+  {
+    std::ofstream out(spec_path);
+    out << "attribute alpha numeric\nattribute beta numeric\n"
+        << "sensitive code\n";
+  }
+  CliOptions o;
+  o.input = input_;
+  o.output = output_;
+  o.schema_path = spec_path;
+  o.k = 15;
+  std::ostringstream log;
+  EXPECT_EQ(cli::Run(o, log), 0);
+  std::ifstream in(output_);
+  std::string header;
+  std::getline(in, header);
+  std::remove(spec_path.c_str());
+  EXPECT_EQ(header, "alpha,beta,code");
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,120 @@
+#include "anon/compaction.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(CompactionTest, NumericShrinksToMinMax) {
+  Dataset d(Schema::Numeric(2));
+  d.Append({20.0, 5.0});
+  d.Append({24.0, 7.0});
+  d.Append({22.0, 6.0});
+  PartitionSet ps;
+  Partition p;
+  p.rids = {0, 1, 2};
+  p.box = Mbr::FromBounds({0.0, 0.0}, {100.0, 100.0});  // loose region box
+  ps.partitions.push_back(p);
+  CompactPartitions(d, &ps);
+  EXPECT_EQ(ps.partitions[0].box.lo(0), 20.0);
+  EXPECT_EQ(ps.partitions[0].box.hi(0), 24.0);
+  EXPECT_EQ(ps.partitions[0].box.lo(1), 5.0);
+  EXPECT_EQ(ps.partitions[0].box.hi(1), 7.0);
+}
+
+TEST(CompactionTest, NeverEnlargesNumericBoxes) {
+  Rng rng(1);
+  Dataset d(Schema::Numeric(3));
+  for (int i = 0; i < 200; ++i) {
+    d.Append({rng.UniformDouble(0, 10), rng.UniformDouble(0, 10),
+              rng.UniformDouble(0, 10)});
+  }
+  PartitionSet ps;
+  for (int g = 0; g < 10; ++g) {
+    Partition p;
+    for (int i = 0; i < 20; ++i) p.rids.push_back(g * 20 + i);
+    p.box = Mbr::FromBounds({0, 0, 0}, {10, 10, 10});
+    ps.partitions.push_back(p);
+  }
+  PartitionSet compacted = ps;
+  CompactPartitions(d, &compacted);
+  for (size_t i = 0; i < ps.partitions.size(); ++i) {
+    EXPECT_TRUE(
+        ps.partitions[i].box.ContainsBox(compacted.partitions[i].box));
+    EXPECT_LE(compacted.partitions[i].box.Volume(),
+              ps.partitions[i].box.Volume());
+  }
+  // Still a valid cover.
+  EXPECT_TRUE(compacted.CheckCovers(d).ok());
+}
+
+TEST(CompactionTest, CategoricalWidensToLca) {
+  // Hierarchy *(0-5): a(0-2), b(3-5). Values {1, 2} compact to node "a"
+  // = [0, 2], wider than the raw [1, 2] but a publishable hierarchy node.
+  auto h = std::make_shared<Hierarchy>("*", 6);
+  ASSERT_TRUE(h->AddChild(0, "a", 0, 2).ok());
+  ASSERT_TRUE(h->AddChild(0, "b", 3, 5).ok());
+  Schema schema({{"cat", AttributeType::kCategorical, h},
+                 {"num", AttributeType::kNumeric, {}}});
+  Dataset d(schema);
+  d.Append({1.0, 50.0});
+  d.Append({2.0, 60.0});
+  PartitionSet ps;
+  Partition p;
+  p.rids = {0, 1};
+  p.box = Mbr::FromBounds({0.0, 0.0}, {5.0, 100.0});
+  ps.partitions.push_back(p);
+  CompactPartitions(d, &ps);
+  EXPECT_EQ(ps.partitions[0].box.lo(0), 0.0);  // LCA "a" covers 0..2
+  EXPECT_EQ(ps.partitions[0].box.hi(0), 2.0);
+  EXPECT_EQ(ps.partitions[0].box.lo(1), 50.0);
+  EXPECT_EQ(ps.partitions[0].box.hi(1), 60.0);
+}
+
+TEST(CompactionTest, CategoricalSpanningGroupsGoesToRoot) {
+  auto h = std::make_shared<Hierarchy>("*", 6);
+  ASSERT_TRUE(h->AddChild(0, "a", 0, 2).ok());
+  ASSERT_TRUE(h->AddChild(0, "b", 3, 5).ok());
+  Schema schema({{"cat", AttributeType::kCategorical, h}});
+  Dataset d(schema);
+  d.Append({2.0});
+  d.Append({3.0});
+  PartitionSet ps;
+  Partition p;
+  p.rids = {0, 1};
+  p.box = Mbr::FromBounds({0.0}, {5.0});
+  ps.partitions.push_back(p);
+  CompactPartitions(d, &ps);
+  EXPECT_EQ(ps.partitions[0].box.lo(0), 0.0);
+  EXPECT_EQ(ps.partitions[0].box.hi(0), 5.0);
+}
+
+TEST(CompactionTest, SingleValuePartitionBecomesDegenerate) {
+  Dataset d(Schema::Numeric(1));
+  d.Append({7.0});
+  d.Append({7.0});
+  PartitionSet ps;
+  Partition p;
+  p.rids = {0, 1};
+  p.box = Mbr::FromBounds({0.0}, {10.0});
+  ps.partitions.push_back(p);
+  CompactPartitions(d, &ps);
+  EXPECT_EQ(ps.partitions[0].box.lo(0), 7.0);
+  EXPECT_EQ(ps.partitions[0].box.hi(0), 7.0);
+}
+
+TEST(CompactedBoxTest, DoesNotMutateInput) {
+  Dataset d(Schema::Numeric(1));
+  d.Append({1.0});
+  Partition p;
+  p.rids = {0};
+  p.box = Mbr::FromBounds({0.0}, {10.0});
+  const Mbr tight = CompactedBox(d, p);
+  EXPECT_EQ(tight.lo(0), 1.0);
+  EXPECT_EQ(p.box.lo(0), 0.0);  // untouched
+}
+
+}  // namespace
+}  // namespace kanon

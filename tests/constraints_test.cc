@@ -1,0 +1,159 @@
+#include "anon/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "anon/rtree_anonymizer.h"
+#include "common/random.h"
+
+namespace kanon {
+namespace {
+
+TEST(KAnonymityTest, SizeThreshold) {
+  KAnonymity c(3);
+  const std::vector<int32_t> two = {1, 1};
+  const std::vector<int32_t> three = {1, 1, 1};
+  EXPECT_FALSE(c.AdmissibleCodes(two));
+  EXPECT_TRUE(c.AdmissibleCodes(three));
+  EXPECT_EQ(c.Name(), "3-anonymity");
+}
+
+TEST(LDiversityTest, RequiresDistinctValues) {
+  DistinctLDiversity c(/*k=*/2, /*l=*/3);
+  const std::vector<int32_t> uniform = {5, 5, 5, 5};
+  const std::vector<int32_t> two_vals = {5, 6, 5, 6};
+  const std::vector<int32_t> three_vals = {5, 6, 7};
+  EXPECT_FALSE(c.AdmissibleCodes(uniform));
+  EXPECT_FALSE(c.AdmissibleCodes(two_vals));
+  EXPECT_TRUE(c.AdmissibleCodes(three_vals));
+}
+
+TEST(LDiversityTest, SizeFloorStillApplies) {
+  DistinctLDiversity c(/*k=*/5, /*l=*/2);
+  const std::vector<int32_t> diverse_but_small = {1, 2, 3};
+  EXPECT_FALSE(c.AdmissibleCodes(diverse_but_small));
+}
+
+TEST(AlphaKTest, FrequencyCap) {
+  AlphaKAnonymity c(/*alpha=*/0.5, /*k=*/2);
+  const std::vector<int32_t> balanced = {1, 1, 2, 2};
+  const std::vector<int32_t> skewed = {1, 1, 1, 2};
+  EXPECT_TRUE(c.AdmissibleCodes(balanced));
+  EXPECT_FALSE(c.AdmissibleCodes(skewed));  // 3/4 > 0.5
+}
+
+TEST(AlphaKTest, SizeFloor) {
+  AlphaKAnonymity c(0.9, 3);
+  const std::vector<int32_t> small = {1, 2};
+  EXPECT_FALSE(c.AdmissibleCodes(small));
+}
+
+TEST(EntropyLDiversityTest, UniformDistributionPasses) {
+  EntropyLDiversity c(/*k=*/2, /*l=*/3.0);
+  // Three equally frequent values: entropy = log(3) exactly.
+  const std::vector<int32_t> uniform3 = {1, 2, 3, 1, 2, 3};
+  EXPECT_TRUE(c.AdmissibleCodes(uniform3));
+  // Two values can never reach entropy log(3).
+  const std::vector<int32_t> two = {1, 2, 1, 2, 1, 2};
+  EXPECT_FALSE(c.AdmissibleCodes(two));
+}
+
+TEST(EntropyLDiversityTest, SkewReducesEntropy) {
+  EntropyLDiversity c(2, 3.0);
+  // Three distinct values but heavily skewed: entropy < log(3).
+  const std::vector<int32_t> skewed = {1, 1, 1, 1, 1, 1, 1, 1, 2, 3};
+  EXPECT_FALSE(c.AdmissibleCodes(skewed));
+}
+
+TEST(EntropyLDiversityTest, StrongerThanDistinct) {
+  // Any group passing entropy l also passes distinct l.
+  EntropyLDiversity entropy(2, 2.0);
+  DistinctLDiversity distinct(2, 2);
+  const std::vector<std::vector<int32_t>> groups = {
+      {1, 2}, {1, 1, 2, 2}, {1, 1, 1, 2}, {5, 5, 6, 7, 8}};
+  for (const auto& g : groups) {
+    if (entropy.AdmissibleCodes(g)) {
+      EXPECT_TRUE(distinct.AdmissibleCodes(g));
+    }
+  }
+}
+
+TEST(RecursiveCLDiversityTest, TopFrequencyBoundedByTail) {
+  RecursiveCLDiversity c(/*k=*/2, /*c=*/2.0, /*l=*/2);
+  // freqs {3, 2}: r1=3 < 2 * (r2=2)=4 -> admissible.
+  const std::vector<int32_t> ok = {1, 1, 1, 2, 2};
+  EXPECT_TRUE(c.AdmissibleCodes(ok));
+  // freqs {5, 2}: 5 < 2*2=4 fails.
+  const std::vector<int32_t> bad = {1, 1, 1, 1, 1, 2, 2};
+  EXPECT_FALSE(c.AdmissibleCodes(bad));
+}
+
+TEST(RecursiveCLDiversityTest, RequiresAtLeastLDistinct) {
+  RecursiveCLDiversity c(2, 10.0, 3);
+  const std::vector<int32_t> two_vals = {1, 2, 1, 2};
+  EXPECT_FALSE(c.AdmissibleCodes(two_vals));
+  const std::vector<int32_t> three_vals = {1, 2, 3, 1, 2, 3};
+  EXPECT_TRUE(c.AdmissibleCodes(three_vals));
+}
+
+TEST(RecursiveCLDiversityTest, EndToEndThroughAnonymizer) {
+  Dataset d(Schema::Numeric(2));
+  Rng rng(77);
+  for (int i = 0; i < 1500; ++i) {
+    d.Append({rng.UniformDouble(0, 100), rng.UniformDouble(0, 100)},
+             static_cast<int32_t>(rng.Uniform(6)));
+  }
+  RecursiveCLDiversity constraint(10, 3.0, 2);
+  RTreeAnonymizerOptions options;
+  options.base_k = 10;
+  options.constraint = &constraint;
+  auto ps = RTreeAnonymizer(options).Anonymize(d, 10);
+  ASSERT_TRUE(ps.ok());
+  EXPECT_TRUE(ps->CheckCovers(d).ok());
+  for (const auto& p : ps->partitions) {
+    EXPECT_TRUE(constraint.Admissible(d, p.rids));
+  }
+}
+
+TEST(ConstraintTest, MonotoneUnderSupersets) {
+  // Adding records never flips admissible -> inadmissible (the property
+  // leaf-scan accumulation depends on).
+  DistinctLDiversity ld(2, 2);
+  AlphaKAnonymity ak(0.6, 2);
+  std::vector<int32_t> codes = {1, 2};
+  ASSERT_TRUE(ld.AdmissibleCodes(codes));
+  ASSERT_TRUE(ak.AdmissibleCodes(codes));
+  // Grow with adversarial additions; (α,k) is monotone only when additions
+  // don't concentrate a single value past α — grow with balanced pairs.
+  for (int i = 0; i < 20; ++i) {
+    codes.push_back(1);
+    codes.push_back(2);
+    EXPECT_TRUE(ld.AdmissibleCodes(codes));
+    EXPECT_TRUE(ak.AdmissibleCodes(codes));
+  }
+}
+
+TEST(ConstraintTest, AdmissibleGathersFromDataset) {
+  Dataset d(Schema::Numeric(1));
+  d.Append({1.0}, 10);
+  d.Append({2.0}, 20);
+  d.Append({3.0}, 10);
+  DistinctLDiversity c(2, 2);
+  const std::vector<RecordId> diverse = {0, 1};
+  const std::vector<RecordId> uniform = {0, 2};
+  EXPECT_TRUE(c.Admissible(d, diverse));
+  EXPECT_FALSE(c.Admissible(d, uniform));
+}
+
+TEST(ConstraintTest, LeafPredicateAdapter) {
+  KAnonymity c(4);
+  auto pred = c.AsLeafPredicate();
+  const std::vector<int32_t> three = {0, 0, 0};
+  const std::vector<int32_t> four = {0, 0, 0, 0};
+  EXPECT_FALSE(pred(three));
+  EXPECT_TRUE(pred(four));
+}
+
+}  // namespace
+}  // namespace kanon

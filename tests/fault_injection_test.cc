@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "index/buffer_tree.h"
+#include "storage/buffer_pool.h"
+#include "storage/external_sort.h"
+#include "storage/spill_file.h"
+
+namespace kanon {
+namespace {
+
+/// A pager that starts failing every I/O after a fuse burns down. Exercises
+/// the error paths: every layer above must propagate the Status rather
+/// than crash, corrupt memory, or lose track of its own bookkeeping.
+class FaultyPager : public Pager {
+ public:
+  explicit FaultyPager(size_t fuse, size_t page_size = 512)
+      : Pager(page_size), inner_(page_size), fuse_(fuse) {}
+
+  void Rearm(size_t fuse) { fuse_ = fuse; }
+
+ private:
+  Status DoRead(PageId id, char* buf) override {
+    if (fuse_ == 0) return Status::IoError("injected read failure");
+    --fuse_;
+    return inner_.Read(id, buf);
+  }
+  Status DoWrite(PageId id, const char* buf) override {
+    if (fuse_ == 0) return Status::IoError("injected write failure");
+    --fuse_;
+    return inner_.Write(id, buf);
+  }
+
+  MemPager inner_;
+  size_t fuse_;
+};
+
+TEST(FaultInjectionTest, BufferPoolPropagatesWriteFailure) {
+  FaultyPager pager(/*fuse=*/0);
+  BufferPool pool(&pager, 2);
+  // Fill both frames dirty, then a third page forces an eviction whose
+  // write-back fails.
+  auto h1 = pool.New();
+  ASSERT_TRUE(h1.ok());
+  h1->MarkDirty();
+  h1->Release();
+  auto h2 = pool.New();
+  ASSERT_TRUE(h2.ok());
+  h2->MarkDirty();
+  h2->Release();
+  auto h3 = pool.New();
+  ASSERT_FALSE(h3.ok());
+  EXPECT_EQ(h3.status().code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, BufferPoolFlushAllPropagates) {
+  FaultyPager pager(0);
+  BufferPool pool(&pager, 4);
+  {
+    auto h = pool.New();
+    ASSERT_TRUE(h.ok());
+    h->MarkDirty();
+  }
+  EXPECT_EQ(pool.FlushAll().code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, PageChainAppendPropagates) {
+  // A two-frame pool (the minimum for chain linking) forces write-backs as
+  // the chain grows; the fuse lets a handful through and then fails.
+  FaultyPager pager(3);
+  BufferPool pool(&pager, 2);
+  RecordCodec codec(4);
+  PageChain chain(&pool, &codec);
+  const double v[] = {1, 2, 3, 4};
+  Status status = Status::OK();
+  for (int i = 0; i < 10000 && status.ok(); ++i) {
+    status = chain.Append(i, 0, {v, 4});
+  }
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, BufferTreeInsertPathPropagates) {
+  FaultyPager pager(/*fuse=*/200);
+  BufferPool pool(&pager, 2);  // tiny pool: constant eviction traffic
+  BufferTreeConfig config;
+  config.min_leaf = 3;
+  config.max_leaf = 9;
+  config.max_fanout = 4;
+  config.buffer_pages = 1;
+  BufferTree tree(2, config, &pool);
+  Rng rng(1);
+  Status status = Status::OK();
+  for (size_t i = 0; i < 100000 && status.ok(); ++i) {
+    const double p[] = {rng.UniformDouble(0, 100),
+                        rng.UniformDouble(0, 100)};
+    status = tree.Insert({p, 2}, i, 0);
+  }
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, ExternalSorterFinishPropagates) {
+  FaultyPager pager(/*fuse=*/50);
+  BufferPool pool(&pager, 4);
+  ExternalSorter sorter(1, /*run_records=*/16, &pool);
+  Rng rng(2);
+  Status status = Status::OK();
+  for (size_t i = 0; i < 10000 && status.ok(); ++i) {
+    const double v[] = {0.0};
+    status = sorter.Add(rng.Next(), i, 0, {v, 1});
+  }
+  if (status.ok()) {
+    status = sorter.Finish(
+        [](uint64_t, uint64_t, int32_t, std::span<const double>) {});
+  }
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectionTest, RecoveryAfterRearm) {
+  // After the fault clears, the pool remains usable (no frame leaked in a
+  // broken state).
+  FaultyPager pager(0);
+  BufferPool pool(&pager, 2);
+  {
+    auto h = pool.New();
+    ASSERT_TRUE(h.ok());
+    h->MarkDirty();
+  }
+  {
+    auto h = pool.New();
+    ASSERT_TRUE(h.ok());
+    h->MarkDirty();
+  }
+  auto failed = pool.New();
+  ASSERT_FALSE(failed.ok());
+  pager.Rearm(1000000);
+  auto ok = pool.New();
+  ASSERT_TRUE(ok.ok());
+  ok->data()[0] = 'x';
+  ok->MarkDirty();
+  ok->Release();
+  EXPECT_TRUE(pool.FlushAll().ok());
+}
+
+}  // namespace
+}  // namespace kanon

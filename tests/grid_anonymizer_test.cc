@@ -1,0 +1,102 @@
+#include "anon/grid_anonymizer.h"
+
+#include <gtest/gtest.h>
+
+#include "anon/compaction.h"
+#include "common/random.h"
+#include "data/landsend_generator.h"
+#include "metrics/certainty.h"
+
+namespace kanon {
+namespace {
+
+Dataset RandomData(size_t n, size_t dim, uint64_t seed) {
+  Dataset d(Schema::Numeric(dim));
+  Rng rng(seed);
+  std::vector<double> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : p) v = rng.UniformDouble(0, 100);
+    d.Append(p, static_cast<int32_t>(i % 4));
+  }
+  return d;
+}
+
+TEST(GridAnonymizerTest, ProducesKAnonymousCover) {
+  const Dataset d = RandomData(2000, 3, 1);
+  auto ps = GridAnonymizer().Anonymize(d, 10);
+  ASSERT_TRUE(ps.ok());
+  EXPECT_TRUE(ps->CheckCovers(d).ok());
+  EXPECT_TRUE(ps->CheckKAnonymous(10).ok());
+}
+
+TEST(GridAnonymizerTest, SweepOverK) {
+  const Dataset d = RandomData(3000, 4, 2);
+  size_t prev = static_cast<size_t>(-1);
+  for (size_t k : {5, 10, 50, 200}) {
+    auto ps = GridAnonymizer().Anonymize(d, k);
+    ASSERT_TRUE(ps.ok());
+    EXPECT_TRUE(ps->CheckCovers(d).ok()) << "k=" << k;
+    EXPECT_TRUE(ps->CheckKAnonymous(k).ok()) << "k=" << k;
+    EXPECT_LE(ps->num_partitions(), prev);
+    prev = ps->num_partitions();
+  }
+}
+
+TEST(GridAnonymizerTest, EmptyDatasetRejected) {
+  Dataset d(Schema::Numeric(2));
+  EXPECT_EQ(GridAnonymizer().Anonymize(d, 5).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GridAnonymizerTest, DegenerateDataSinglePartition) {
+  Dataset d(Schema::Numeric(2));
+  for (int i = 0; i < 50; ++i) d.Append({3.0, 4.0});
+  auto ps = GridAnonymizer().Anonymize(d, 5);
+  ASSERT_TRUE(ps.ok());
+  EXPECT_EQ(ps->num_partitions(), 1u);
+  EXPECT_TRUE(ps->CheckCovers(d).ok());
+}
+
+TEST(GridAnonymizerTest, TotalBelowKSinglePartition) {
+  const Dataset d = RandomData(7, 2, 3);
+  auto ps = GridAnonymizer().Anonymize(d, 100);
+  ASSERT_TRUE(ps.ok());
+  EXPECT_EQ(ps->num_partitions(), 1u);
+}
+
+TEST(GridAnonymizerTest, CompactionRetrofitHelpsDramatically) {
+  // The paper's Section 4 point: grid cells carry no MBRs, so retrofitted
+  // compaction gives a large certainty improvement.
+  const Dataset d = LandsEndGenerator(4).Generate(3000);
+  GridAnonymizerOptions raw_options;
+  raw_options.compact = false;
+  GridAnonymizerOptions compact_options;
+  compact_options.compact = true;
+  auto raw = GridAnonymizer(raw_options).Anonymize(d, 10);
+  auto compacted = GridAnonymizer(compact_options).Anonymize(d, 10);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(compacted.ok());
+  const double raw_cm = CertaintyPenalty(d, *raw);
+  const double compact_cm = CertaintyPenalty(d, *compacted);
+  EXPECT_LT(compact_cm, 0.7 * raw_cm);
+  // Cardinalities identical: compaction only tightens boxes.
+  ASSERT_EQ(raw->num_partitions(), compacted->num_partitions());
+  for (size_t i = 0; i < raw->num_partitions(); ++i) {
+    EXPECT_EQ(raw->partitions[i].size(), compacted->partitions[i].size());
+  }
+}
+
+TEST(GridAnonymizerTest, ExplicitResolutionHonored) {
+  const Dataset d = RandomData(2000, 2, 5);
+  GridAnonymizerOptions options;
+  options.cells_per_axis = 4;
+  options.max_grid_axes = 2;
+  auto ps = GridAnonymizer(options).Anonymize(d, 10);
+  ASSERT_TRUE(ps.ok());
+  EXPECT_TRUE(ps->CheckCovers(d).ok());
+  // With a 4x4 grid there are at most 16 cells, so at most 16 partitions.
+  EXPECT_LE(ps->num_partitions(), 16u);
+}
+
+}  // namespace
+}  // namespace kanon

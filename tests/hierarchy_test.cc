@@ -1,0 +1,97 @@
+#include "data/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace kanon {
+namespace {
+
+Hierarchy MakeWorkclass() {
+  // *(0-7) -> private(0), self(1-2), gov(3-5), none(6-7)
+  Hierarchy h("*", 8);
+  EXPECT_TRUE(h.AddChild(0, "private", 0, 0).ok());
+  EXPECT_TRUE(h.AddChild(0, "self", 1, 2).ok());
+  const auto gov = h.AddChild(0, "gov", 3, 5);
+  EXPECT_TRUE(gov.ok());
+  EXPECT_TRUE(h.AddChild(*gov, "federal", 3, 3).ok());
+  EXPECT_TRUE(h.AddChild(*gov, "local-state", 4, 5).ok());
+  EXPECT_TRUE(h.AddChild(0, "none", 6, 7).ok());
+  return h;
+}
+
+TEST(HierarchyTest, FlatHierarchyRootCoversEverything) {
+  Hierarchy h = Hierarchy::Flat(5);
+  EXPECT_EQ(h.num_leaves(), 5);
+  EXPECT_EQ(h.LcaLeafCount(0, 4), 5);
+  EXPECT_EQ(h.LcaLeafCount(1, 3), 5);  // no finer node exists
+  EXPECT_EQ(h.LcaLabel(0, 4), "*");
+}
+
+TEST(HierarchyTest, FromLeafLabelsRendersLeavesAndRoot) {
+  Hierarchy h = Hierarchy::FromLeafLabels("*", {"M", "F"});
+  EXPECT_TRUE(h.Validate().ok());
+  EXPECT_EQ(h.num_leaves(), 2);
+  EXPECT_EQ(h.LcaLabel(0, 0), "M");
+  EXPECT_EQ(h.LcaLabel(1, 1), "F");
+  EXPECT_EQ(h.LcaLabel(0, 1), "*");
+  EXPECT_EQ(h.LcaLeafCount(0, 0), 1);
+  EXPECT_EQ(h.LcaLeafCount(0, 1), 2);
+}
+
+TEST(HierarchyTest, LcaDescendsToTightestNode) {
+  Hierarchy h = MakeWorkclass();
+  EXPECT_TRUE(h.Validate().ok());
+  EXPECT_EQ(h.LcaLabel(3, 5), "gov");
+  EXPECT_EQ(h.LcaLabel(4, 5), "local-state");
+  EXPECT_EQ(h.LcaLabel(3, 3), "federal");
+  EXPECT_EQ(h.LcaLabel(0, 0), "private");
+  EXPECT_EQ(h.LcaLabel(1, 6), "*");  // spans groups
+}
+
+TEST(HierarchyTest, LcaLeafCounts) {
+  Hierarchy h = MakeWorkclass();
+  EXPECT_EQ(h.LcaLeafCount(3, 5), 3);
+  EXPECT_EQ(h.LcaLeafCount(4, 4), 2);  // local-state covers codes 4-5
+  EXPECT_EQ(h.LcaLeafCount(0, 7), 8);
+}
+
+TEST(HierarchyTest, LcaClampsOutOfRange) {
+  Hierarchy h = MakeWorkclass();
+  EXPECT_EQ(h.LcaLeafCount(-3, 99), 8);
+  EXPECT_EQ(h.LcaLabel(-1, 0), "private");
+}
+
+TEST(HierarchyTest, LcaSwapsInvertedArguments) {
+  Hierarchy h = MakeWorkclass();
+  EXPECT_EQ(h.LcaLabel(5, 3), "gov");
+}
+
+TEST(HierarchyTest, AddChildRejectsGaps) {
+  Hierarchy h("*", 10);
+  EXPECT_TRUE(h.AddChild(0, "a", 0, 4).ok());
+  // Next child must start at 5.
+  EXPECT_FALSE(h.AddChild(0, "b", 6, 9).ok());
+  EXPECT_TRUE(h.AddChild(0, "b", 5, 9).ok());
+}
+
+TEST(HierarchyTest, AddChildRejectsFirstChildNotAtLowerBound) {
+  Hierarchy h("*", 10);
+  EXPECT_FALSE(h.AddChild(0, "a", 1, 4).ok());
+}
+
+TEST(HierarchyTest, AddChildRejectsOutOfParentRange) {
+  Hierarchy h("*", 4);
+  EXPECT_FALSE(h.AddChild(0, "a", 0, 4).ok());
+  EXPECT_FALSE(h.AddChild(7, "a", 0, 1).ok());  // bad parent id
+}
+
+TEST(HierarchyTest, ValidateDetectsUntiledChildren) {
+  Hierarchy h("*", 6);
+  ASSERT_TRUE(h.AddChild(0, "a", 0, 2).ok());
+  // children don't reach the parent's hi.
+  EXPECT_FALSE(h.Validate().ok());
+  ASSERT_TRUE(h.AddChild(0, "b", 3, 5).ok());
+  EXPECT_TRUE(h.Validate().ok());
+}
+
+}  // namespace
+}  // namespace kanon

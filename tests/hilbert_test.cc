@@ -1,0 +1,123 @@
+#include "index/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+namespace kanon {
+namespace {
+
+TEST(HilbertTest, OneDimensionIsIdentity) {
+  const uint32_t c[] = {37};
+  EXPECT_EQ(static_cast<uint64_t>(HilbertKey({c, 1}, 8)), 37u);
+}
+
+TEST(HilbertTest, TwoDimBijectiveOnSmallGrid) {
+  // 16x16 grid, 4 bits: keys must be a permutation of 0..255.
+  std::set<uint64_t> keys;
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      const uint32_t c[] = {x, y};
+      keys.insert(static_cast<uint64_t>(HilbertKey({c, 2}, 4)));
+    }
+  }
+  EXPECT_EQ(keys.size(), 256u);
+  EXPECT_EQ(*keys.begin(), 0u);
+  EXPECT_EQ(*keys.rbegin(), 255u);
+}
+
+TEST(HilbertTest, ThreeDimBijectiveOnSmallGrid) {
+  std::set<uint64_t> keys;
+  for (uint32_t x = 0; x < 8; ++x) {
+    for (uint32_t y = 0; y < 8; ++y) {
+      for (uint32_t z = 0; z < 8; ++z) {
+        const uint32_t c[] = {x, y, z};
+        keys.insert(static_cast<uint64_t>(HilbertKey({c, 3}, 3)));
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), 512u);
+}
+
+TEST(HilbertTest, CurveIsContinuous2d) {
+  // Consecutive keys on the Hilbert curve correspond to grid neighbours
+  // (Manhattan distance exactly 1) — the property Z-order lacks.
+  const int bits = 4;
+  std::vector<std::pair<uint32_t, uint32_t>> by_key(256);
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      const uint32_t c[] = {x, y};
+      by_key[static_cast<size_t>(HilbertKey({c, 2}, bits))] = {x, y};
+    }
+  }
+  for (size_t k = 1; k < 256; ++k) {
+    const int dx = std::abs(static_cast<int>(by_key[k].first) -
+                            static_cast<int>(by_key[k - 1].first));
+    const int dy = std::abs(static_cast<int>(by_key[k].second) -
+                            static_cast<int>(by_key[k - 1].second));
+    EXPECT_EQ(dx + dy, 1) << "jump at key " << k;
+  }
+}
+
+TEST(ZOrderTest, InterleavesBits) {
+  // (x=0b11, y=0b00) with 2 bits: key = x1 y1 x0 y0 = 0b1010.
+  const uint32_t c[] = {3, 0};
+  EXPECT_EQ(static_cast<uint64_t>(ZOrderKey({c, 2}, 2)), 0b1010u);
+}
+
+TEST(ZOrderTest, BijectiveOnSmallGrid) {
+  std::set<uint64_t> keys;
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      const uint32_t c[] = {x, y};
+      keys.insert(static_cast<uint64_t>(ZOrderKey({c, 2}, 4)));
+    }
+  }
+  EXPECT_EQ(keys.size(), 256u);
+}
+
+TEST(HilbertTest, HighDimensionFitsIn128Bits) {
+  // 9 attributes x 14 bits = 126 bits: must not trip the capacity check.
+  std::vector<uint32_t> c(9, (1u << 14) - 1);
+  const CurveKey key = HilbertKey({c.data(), c.size()}, 14);
+  EXPECT_NE(key, CurveKey{0});
+}
+
+TEST(GridQuantizerTest, MapsDomainCorners) {
+  Domain d;
+  d.lo = {0.0, -10.0};
+  d.hi = {100.0, 10.0};
+  GridQuantizer q(d, 8);
+  uint32_t out[2];
+  const double lo_corner[] = {0.0, -10.0};
+  q.Quantize({lo_corner, 2}, out);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 0u);
+  const double hi_corner[] = {100.0, 10.0};
+  q.Quantize({hi_corner, 2}, out);
+  EXPECT_EQ(out[0], 255u);
+  EXPECT_EQ(out[1], 255u);
+  const double mid[] = {50.0, 0.0};
+  q.Quantize({mid, 2}, out);
+  EXPECT_EQ(out[0], 128u);
+}
+
+TEST(GridQuantizerTest, ClampsOutOfDomainAndDegenerate) {
+  Domain d;
+  d.lo = {0.0, 5.0};
+  d.hi = {10.0, 5.0};  // second attribute degenerate
+  GridQuantizer q(d, 4);
+  uint32_t out[2];
+  const double p[] = {-100.0, 5.0};
+  q.Quantize({p, 2}, out);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 0u);
+  const double p2[] = {1e9, 5.0};
+  q.Quantize({p2, 2}, out);
+  EXPECT_EQ(out[0], 15u);
+}
+
+}  // namespace
+}  // namespace kanon

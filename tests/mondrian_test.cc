@@ -1,0 +1,131 @@
+#include "anon/mondrian.h"
+
+#include <gtest/gtest.h>
+
+#include "anon/compaction.h"
+#include "common/random.h"
+#include "data/landsend_generator.h"
+
+namespace kanon {
+namespace {
+
+Dataset RandomData(size_t n, size_t dim, uint64_t seed) {
+  Dataset d(Schema::Numeric(dim));
+  Rng rng(seed);
+  std::vector<double> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : p) v = rng.UniformDouble(0, 1000);
+    d.Append(p, static_cast<int32_t>(i % 6));
+  }
+  return d;
+}
+
+TEST(MondrianTest, ProducesKAnonymousCover) {
+  const Dataset d = RandomData(1000, 4, 1);
+  const PartitionSet ps = Mondrian().Anonymize(d, 10);
+  EXPECT_TRUE(ps.CheckCovers(d).ok());
+  EXPECT_TRUE(ps.CheckKAnonymous(10).ok());
+  // Greedy median splitting bounds partitions at < 2k on splittable data…
+  // up to duplicate ties; allow 4k slack.
+  EXPECT_LE(ps.max_partition_size(), 40u);
+}
+
+TEST(MondrianTest, PartitionCountScalesInverselyWithK) {
+  const Dataset d = RandomData(2000, 3, 2);
+  const size_t p5 = Mondrian().Anonymize(d, 5).num_partitions();
+  const size_t p50 = Mondrian().Anonymize(d, 50).num_partitions();
+  EXPECT_GT(p5, 3 * p50);
+}
+
+TEST(MondrianTest, SmallInputSinglePartition) {
+  const Dataset d = RandomData(7, 2, 3);
+  const PartitionSet ps = Mondrian().Anonymize(d, 5);
+  ASSERT_EQ(ps.num_partitions(), 1u);
+  EXPECT_EQ(ps.partitions[0].size(), 7u);
+}
+
+TEST(MondrianTest, AllDuplicatesSinglePartition) {
+  Dataset d(Schema::Numeric(2));
+  for (int i = 0; i < 100; ++i) d.Append({1.0, 2.0});
+  const PartitionSet ps = Mondrian().Anonymize(d, 5);
+  EXPECT_EQ(ps.num_partitions(), 1u);
+}
+
+TEST(MondrianTest, StrictKeepsEqualValuesTogether) {
+  // 50 records share x=10; strict partitioning must never separate them
+  // on x. With one dimension they all land in one partition together with
+  // whatever side of the cut owns value 10.
+  Dataset d(Schema::Numeric(1));
+  for (int i = 0; i < 50; ++i) d.Append({10.0});
+  for (int i = 0; i < 50; ++i) d.Append({20.0});
+  MondrianConfig config;
+  config.strict = true;
+  const PartitionSet ps = Mondrian(config).Anonymize(d, 5);
+  ASSERT_EQ(ps.num_partitions(), 2u);
+  EXPECT_EQ(ps.partitions[0].size(), 50u);
+  EXPECT_EQ(ps.partitions[1].size(), 50u);
+}
+
+TEST(MondrianTest, RelaxedSplitsDuplicateRuns) {
+  // Same data: relaxed partitioning may cut through the tie group.
+  Dataset d(Schema::Numeric(1));
+  for (int i = 0; i < 100; ++i) d.Append({10.0});
+  for (int i = 0; i < 100; ++i) d.Append({20.0});
+  MondrianConfig config;
+  config.strict = false;
+  const PartitionSet ps = Mondrian(config).Anonymize(d, 5);
+  EXPECT_GT(ps.num_partitions(), 2u);
+  EXPECT_TRUE(ps.CheckKAnonymous(5).ok());
+  EXPECT_TRUE(ps.CheckCovers(d).ok());
+}
+
+TEST(MondrianTest, UncompactedBoxesTileTheDomain) {
+  const Dataset d = RandomData(500, 2, 4);
+  const PartitionSet ps = Mondrian().Anonymize(d, 10);
+  const Domain dom = d.ComputeDomain();
+  // Total volume of cut boxes equals the domain volume (cuts tile).
+  double total = 0.0;
+  for (const auto& p : ps.partitions) total += p.box.Volume();
+  const double domain_volume =
+      dom.Extent(0) * dom.Extent(1);
+  EXPECT_NEAR(total, domain_volume, domain_volume * 1e-9);
+}
+
+TEST(MondrianTest, CompactionImprovesCertaintyNotCardinalities) {
+  const Dataset d = RandomData(800, 3, 5);
+  PartitionSet raw = Mondrian().Anonymize(d, 10);
+  PartitionSet compacted = raw;
+  CompactPartitions(d, &compacted);
+  ASSERT_EQ(raw.num_partitions(), compacted.num_partitions());
+  double raw_volume = 0.0, compact_volume = 0.0;
+  for (size_t i = 0; i < raw.num_partitions(); ++i) {
+    EXPECT_EQ(raw.partitions[i].size(), compacted.partitions[i].size());
+    raw_volume += raw.partitions[i].box.Volume();
+    compact_volume += compacted.partitions[i].box.Volume();
+  }
+  EXPECT_LT(compact_volume, raw_volume);
+}
+
+TEST(MondrianTest, HonorsLDiversityConstraint) {
+  Dataset d = RandomData(600, 2, 6);
+  DistinctLDiversity constraint(/*k=*/10, /*l=*/3);
+  MondrianConfig config;
+  config.constraint = &constraint;
+  const PartitionSet ps = Mondrian(config).Anonymize(d, 10);
+  EXPECT_TRUE(ps.CheckCovers(d).ok());
+  for (const auto& p : ps.partitions) {
+    EXPECT_TRUE(constraint.Admissible(d, p.rids));
+  }
+}
+
+TEST(MondrianTest, WorksOnSkewedRealisticData) {
+  const Dataset d = LandsEndGenerator(7).Generate(3000);
+  for (size_t k : {5, 25, 100}) {
+    const PartitionSet ps = Mondrian().Anonymize(d, k);
+    EXPECT_TRUE(ps.CheckCovers(d).ok()) << "k=" << k;
+    EXPECT_TRUE(ps.CheckKAnonymous(k).ok()) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace kanon

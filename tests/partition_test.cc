@@ -1,0 +1,87 @@
+#include "anon/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace kanon {
+namespace {
+
+Dataset TinyData() {
+  Dataset d(Schema::Numeric(2));
+  d.Append({0.0, 0.0}, 1);
+  d.Append({1.0, 1.0}, 2);
+  d.Append({10.0, 10.0}, 3);
+  d.Append({11.0, 11.0}, 4);
+  return d;
+}
+
+PartitionSet TwoPartitions() {
+  PartitionSet ps;
+  Partition a;
+  a.rids = {0, 1};
+  a.box = Mbr::FromBounds({0.0, 0.0}, {1.0, 1.0});
+  Partition b;
+  b.rids = {2, 3};
+  b.box = Mbr::FromBounds({10.0, 10.0}, {11.0, 11.0});
+  ps.partitions = {a, b};
+  return ps;
+}
+
+TEST(PartitionSetTest, Aggregates) {
+  const PartitionSet ps = TwoPartitions();
+  EXPECT_EQ(ps.num_partitions(), 2u);
+  EXPECT_EQ(ps.total_records(), 4u);
+  EXPECT_EQ(ps.min_partition_size(), 2u);
+  EXPECT_EQ(ps.max_partition_size(), 2u);
+}
+
+TEST(PartitionSetTest, EmptySetAggregates) {
+  PartitionSet ps;
+  EXPECT_EQ(ps.total_records(), 0u);
+  EXPECT_EQ(ps.min_partition_size(), 0u);
+  EXPECT_EQ(ps.max_partition_size(), 0u);
+}
+
+TEST(PartitionSetTest, CheckCoversAccepts) {
+  EXPECT_TRUE(TwoPartitions().CheckCovers(TinyData()).ok());
+}
+
+TEST(PartitionSetTest, CheckCoversRejectsMissingRecord) {
+  PartitionSet ps = TwoPartitions();
+  ps.partitions[1].rids.pop_back();
+  EXPECT_FALSE(ps.CheckCovers(TinyData()).ok());
+}
+
+TEST(PartitionSetTest, CheckCoversRejectsDuplicate) {
+  PartitionSet ps = TwoPartitions();
+  ps.partitions[1].rids.push_back(0);  // record 0 in both partitions
+  EXPECT_FALSE(ps.CheckCovers(TinyData()).ok());
+}
+
+TEST(PartitionSetTest, CheckCoversRejectsPointOutsideBox) {
+  PartitionSet ps = TwoPartitions();
+  ps.partitions[0].box = Mbr::FromBounds({0.0, 0.0}, {0.5, 0.5});
+  EXPECT_FALSE(ps.CheckCovers(TinyData()).ok());
+}
+
+TEST(PartitionSetTest, CheckCoversRejectsUnknownRid) {
+  PartitionSet ps = TwoPartitions();
+  ps.partitions[0].rids.push_back(99);
+  EXPECT_FALSE(ps.CheckCovers(TinyData()).ok());
+}
+
+TEST(PartitionSetTest, CheckKAnonymous) {
+  const PartitionSet ps = TwoPartitions();
+  EXPECT_TRUE(ps.CheckKAnonymous(2).ok());
+  EXPECT_FALSE(ps.CheckKAnonymous(3).ok());
+}
+
+TEST(PartitionSetTest, RecordToPartitionMapsCorrectly) {
+  const auto map = RecordToPartition(TwoPartitions(), 4);
+  EXPECT_EQ(map[0], 0u);
+  EXPECT_EQ(map[1], 0u);
+  EXPECT_EQ(map[2], 1u);
+  EXPECT_EQ(map[3], 1u);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "anon/compaction.h"
+#include "anon/mondrian.h"
+#include "anon/rtree_anonymizer.h"
+#include "common/random.h"
+#include "query/evaluator.h"
+#include "query/workload.h"
+
+namespace kanon {
+namespace {
+
+Dataset RandomData(size_t n, size_t dim, uint64_t seed) {
+  Dataset d(Schema::Numeric(dim));
+  Rng rng(seed);
+  std::vector<double> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : p) v = rng.UniformDouble(0, 100);
+    d.Append(p, static_cast<int32_t>(i % 4));
+  }
+  return d;
+}
+
+TEST(QueryTest, MatchSemantics) {
+  RangeQuery q{Mbr::FromBounds({0.0, 0.0}, {10.0, 10.0})};
+  const double inside[] = {5.0, 5.0};
+  const double edge[] = {10.0, 0.0};
+  const double outside[] = {10.5, 5.0};
+  EXPECT_TRUE(q.MatchesPoint({inside, 2}));
+  EXPECT_TRUE(q.MatchesPoint({edge, 2}));
+  EXPECT_FALSE(q.MatchesPoint({outside, 2}));
+  EXPECT_TRUE(q.MatchesBox(Mbr::FromBounds({9.0, 9.0}, {20.0, 20.0})));
+  EXPECT_FALSE(q.MatchesBox(Mbr::FromBounds({11.0, 0.0}, {20.0, 5.0})));
+}
+
+TEST(WorkloadTest, RecordPairBoundsComeFromData) {
+  const Dataset d = RandomData(100, 3, 1);
+  Rng rng(2);
+  const auto queries = MakeRecordPairWorkload(d, 50, &rng);
+  ASSERT_EQ(queries.size(), 50u);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.dim(), 3u);
+    for (size_t a = 0; a < 3; ++a) {
+      EXPECT_LE(q.box.lo(a), q.box.hi(a));
+      EXPECT_GE(q.box.lo(a), 0.0);
+      EXPECT_LE(q.box.hi(a), 100.0);
+    }
+    // Anchored at real records: at least the two anchor records match — so
+    // the original count is never zero for pair queries.
+    EXPECT_GE(CountOriginal(d, q), 1u);
+  }
+}
+
+TEST(WorkloadTest, SingleAttributeWorkloadSpansOtherAttrs) {
+  const Dataset d = RandomData(100, 3, 3);
+  const Domain dom = d.ComputeDomain();
+  Rng rng(4);
+  const auto queries = MakeSingleAttributeWorkload(d, 1, 20, &rng);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.box.lo(0), dom.lo[0]);
+    EXPECT_EQ(q.box.hi(0), dom.hi[0]);
+    EXPECT_EQ(q.box.lo(2), dom.lo[2]);
+    EXPECT_GE(q.box.lo(1), dom.lo[1]);
+    EXPECT_LE(q.box.hi(1), dom.hi[1]);
+  }
+}
+
+TEST(EvaluatorTest, CountOriginalExact) {
+  Dataset d(Schema::Numeric(1));
+  for (int i = 0; i < 10; ++i) d.Append({static_cast<double>(i)});
+  RangeQuery q{Mbr::FromBounds({2.0}, {5.0})};
+  EXPECT_EQ(CountOriginal(d, q), 4u);  // 2,3,4,5
+}
+
+TEST(EvaluatorTest, AllMatchingOvercounts) {
+  Dataset d(Schema::Numeric(1));
+  for (int i = 0; i < 10; ++i) d.Append({static_cast<double>(i)});
+  PartitionSet ps;
+  Partition a;  // covers 0..4
+  a.rids = {0, 1, 2, 3, 4};
+  a.box = Mbr::FromBounds({0.0}, {4.0});
+  Partition b;  // covers 5..9
+  b.rids = {5, 6, 7, 8, 9};
+  b.box = Mbr::FromBounds({5.0}, {9.0});
+  ps.partitions = {a, b};
+  RangeQuery q{Mbr::FromBounds({4.0}, {5.0})};
+  // Original: records 4 and 5. Anonymized: both partitions intersect.
+  EXPECT_EQ(CountOriginal(d, q), 2u);
+  EXPECT_EQ(CountAnonymized(ps, q, EstimationMode::kAllMatching), 10.0);
+  const QueryOutcome outcome = EvaluateQuery(d, ps, q);
+  EXPECT_TRUE(outcome.valid);
+  EXPECT_DOUBLE_EQ(outcome.error, 4.0);  // (10-2)/2
+}
+
+TEST(EvaluatorTest, UniformEstimateInterpolates) {
+  PartitionSet ps;
+  Partition a;
+  a.rids = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  a.box = Mbr::FromBounds({0.0}, {10.0});
+  ps.partitions = {a};
+  RangeQuery q{Mbr::FromBounds({0.0}, {5.0})};
+  // 10 records x 50% overlap = 5 (the paper's Section 2.3 worked example).
+  EXPECT_DOUBLE_EQ(CountAnonymized(ps, q, EstimationMode::kUniform), 5.0);
+}
+
+TEST(EvaluatorTest, ErrorIsNonNegativeUnderAllMatching) {
+  const Dataset d = RandomData(1000, 3, 5);
+  auto ps = RTreeAnonymizer().Anonymize(d, 10);
+  ASSERT_TRUE(ps.ok());
+  Rng rng(6);
+  for (const auto& q : MakeRecordPairWorkload(d, 100, &rng)) {
+    const QueryOutcome outcome = EvaluateQuery(d, *ps, q);
+    if (outcome.valid) {
+      EXPECT_GE(outcome.error, 0.0);
+    }
+  }
+}
+
+TEST(EvaluatorTest, WorkloadStatsSkipEmptyQueries) {
+  Dataset d(Schema::Numeric(1));
+  d.Append({0.0});
+  d.Append({100.0});
+  PartitionSet ps;
+  Partition p;
+  p.rids = {0, 1};
+  p.box = Mbr::FromBounds({0.0}, {100.0});
+  ps.partitions = {p};
+  std::vector<RangeQuery> queries = {
+      {Mbr::FromBounds({40.0}, {60.0})},  // empty original result
+      {Mbr::FromBounds({0.0}, {0.0})},    // hits record 0
+  };
+  const WorkloadStats stats = EvaluateWorkload(d, ps, queries);
+  EXPECT_EQ(stats.skipped_empty, 1u);
+  EXPECT_EQ(stats.evaluated, 1u);
+  EXPECT_DOUBLE_EQ(stats.average_error, 1.0);  // (2-1)/1
+}
+
+TEST(EvaluatorTest, CompactionImprovesQueryAccuracy) {
+  // The paper's Fig 12a effect: compacted partitions intersect fewer
+  // queries, so the average error drops.
+  const Dataset d = RandomData(2000, 3, 7);
+  PartitionSet raw = Mondrian().Anonymize(d, 25);
+  PartitionSet compacted = raw;
+  CompactPartitions(d, &compacted);
+  Rng rng(8);
+  const auto queries = MakeRecordPairWorkload(d, 300, &rng);
+  const double raw_error = EvaluateWorkload(d, raw, queries).average_error;
+  const double compact_error =
+      EvaluateWorkload(d, compacted, queries).average_error;
+  EXPECT_LT(compact_error, raw_error);
+}
+
+TEST(EvaluatorTest, SelectivityBinsPartitionTheWorkload) {
+  const Dataset d = RandomData(1000, 2, 9);
+  auto ps = RTreeAnonymizer().Anonymize(d, 10);
+  ASSERT_TRUE(ps.ok());
+  Rng rng(10);
+  const auto queries = MakeRecordPairWorkload(d, 200, &rng);
+  const auto bins = EvaluateBySelectivity(d, *ps, queries, 5);
+  ASSERT_EQ(bins.size(), 5u);
+  size_t total = 0;
+  for (const auto& b : bins) {
+    total += b.count;
+    EXPECT_LT(b.selectivity_lo, b.selectivity_hi);
+  }
+  const WorkloadStats stats = EvaluateWorkload(d, *ps, queries);
+  EXPECT_EQ(total, stats.evaluated);
+}
+
+TEST(EvaluatorTest, ErrorDropsWithSelectivity) {
+  // Fig 12b shape: high-selectivity (large-result) queries have lower
+  // relative error.
+  const Dataset d = RandomData(3000, 2, 11);
+  auto ps = RTreeAnonymizer().Anonymize(d, 25);
+  ASSERT_TRUE(ps.ok());
+  Rng rng(12);
+  const auto queries = MakeRecordPairWorkload(d, 400, &rng);
+  const auto bins = EvaluateBySelectivity(d, *ps, queries, 4);
+  // Find the lowest and highest populated bins.
+  const SelectivityBin* low = nullptr;
+  const SelectivityBin* high = nullptr;
+  for (const auto& b : bins) {
+    if (b.count < 10) continue;
+    if (low == nullptr) low = &b;
+    high = &b;
+  }
+  ASSERT_NE(low, nullptr);
+  ASSERT_NE(high, nullptr);
+  if (low != high) {
+    EXPECT_GT(low->average_error, high->average_error);
+  }
+}
+
+}  // namespace
+}  // namespace kanon

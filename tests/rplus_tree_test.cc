@@ -1,0 +1,241 @@
+#include "index/rplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace kanon {
+namespace {
+
+RTreeConfig SmallConfig() {
+  RTreeConfig config;
+  config.min_leaf = 3;
+  config.max_leaf = 9;
+  config.max_fanout = 4;
+  return config;
+}
+
+void InsertRandom(RPlusTree* tree, size_t n, uint64_t seed, size_t dim,
+                  std::vector<std::vector<double>>* points = nullptr) {
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> p(dim);
+    for (auto& v : p) v = rng.UniformDouble(0.0, 1000.0);
+    tree->Insert(p, i, static_cast<int32_t>(i % 5));
+    if (points != nullptr) points->push_back(std::move(p));
+  }
+}
+
+TEST(RPlusTreeTest, EmptyTreeIsALeafRoot) {
+  RPlusTree tree(2, SmallConfig());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.root()->is_leaf);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RPlusTreeTest, InsertBelowCapacityKeepsSingleLeaf) {
+  RPlusTree tree(2, SmallConfig());
+  InsertRandom(&tree, 9, 1, 2);
+  EXPECT_EQ(tree.size(), 9u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RPlusTreeTest, OverflowSplitsAndGrowsRoot) {
+  RPlusTree tree(2, SmallConfig());
+  InsertRandom(&tree, 10, 2, 2);
+  EXPECT_EQ(tree.size(), 10u);
+  EXPECT_EQ(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RPlusTreeTest, ManyInsertsKeepInvariants) {
+  RPlusTree tree(3, SmallConfig());
+  InsertRandom(&tree, 5000, 3, 3);
+  EXPECT_EQ(tree.size(), 5000u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  const auto stats = tree.ComputeStats();
+  EXPECT_GE(stats.min_leaf_size, 3u);
+  EXPECT_GT(stats.num_leaves, 300u);
+  EXPECT_GT(stats.height, 2);
+}
+
+TEST(RPlusTreeTest, LeavesPartitionAllRecords) {
+  RPlusTree tree(2, SmallConfig());
+  InsertRandom(&tree, 1000, 4, 2);
+  std::set<uint64_t> seen;
+  for (const Node* leaf : tree.OrderedLeaves()) {
+    for (uint64_t rid : leaf->rids) {
+      EXPECT_TRUE(seen.insert(rid).second) << "duplicate rid " << rid;
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(RPlusTreeTest, DuplicateHeavyDataLeavesOverfullLeaf) {
+  RPlusTree tree(2, SmallConfig());
+  const double p[] = {1.0, 2.0};
+  for (size_t i = 0; i < 50; ++i) tree.Insert({p, 2}, i, 0);
+  // All identical points: unsplittable, single overfull leaf.
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.root()->leaf_size(), 50u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RPlusTreeTest, SearchRangeFindsExactlyMatchingRecords) {
+  RPlusTree tree(2, SmallConfig());
+  std::vector<std::vector<double>> points;
+  InsertRandom(&tree, 2000, 5, 2, &points);
+  const Mbr query = Mbr::FromBounds({100.0, 100.0}, {400.0, 400.0});
+  std::vector<uint64_t> got;
+  tree.SearchRange(query, &got);
+  std::set<uint64_t> expect;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (query.ContainsPoint(points[i])) expect.insert(i);
+  }
+  EXPECT_EQ(std::set<uint64_t>(got.begin(), got.end()), expect);
+}
+
+TEST(RPlusTreeTest, SearchPrunesWithMbrs) {
+  RPlusTree tree(2, SmallConfig());
+  InsertRandom(&tree, 2000, 6, 2);
+  // Query far outside the data: no leaf should be visited.
+  const Mbr query = Mbr::FromBounds({5000.0, 5000.0}, {6000.0, 6000.0});
+  std::vector<uint64_t> got;
+  const size_t visited = tree.SearchRange(query, &got);
+  EXPECT_EQ(visited, 0u);
+  EXPECT_TRUE(got.empty());
+  // Small query visits far fewer leaves than exist.
+  const Mbr small = Mbr::FromBounds({0.0, 0.0}, {50.0, 50.0});
+  const size_t visited_small = tree.SearchRange(small, &got);
+  EXPECT_LT(visited_small, tree.ComputeStats().num_leaves / 4);
+}
+
+TEST(RPlusTreeTest, DeleteRemovesRecord) {
+  RPlusTree tree(2, SmallConfig());
+  std::vector<std::vector<double>> points;
+  InsertRandom(&tree, 500, 7, 2, &points);
+  EXPECT_TRUE(tree.Delete(points[123], 123));
+  EXPECT_EQ(tree.size(), 499u);
+  EXPECT_FALSE(tree.Delete(points[123], 123));  // already gone
+  std::vector<uint64_t> got;
+  tree.SearchRange(Mbr::FromBounds({0.0, 0.0}, {1000.0, 1000.0}), &got);
+  EXPECT_EQ(got.size(), 499u);
+  for (uint64_t r : got) EXPECT_NE(r, 123u);
+  EXPECT_TRUE(tree.CheckInvariants(/*allow_underfull_leaves=*/true).ok());
+}
+
+TEST(RPlusTreeTest, DeleteAbsentRidFails) {
+  RPlusTree tree(2, SmallConfig());
+  std::vector<std::vector<double>> points;
+  InsertRandom(&tree, 100, 8, 2, &points);
+  // A rid that was never inserted is never deleted, regardless of where the
+  // probe point routes.
+  EXPECT_FALSE(tree.Delete(points[5], 999999));
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RPlusTreeTest, DeleteManyThenReinsert) {
+  RPlusTree tree(2, SmallConfig());
+  std::vector<std::vector<double>> points;
+  InsertRandom(&tree, 1000, 9, 2, &points);
+  for (size_t i = 0; i < 800; ++i) {
+    ASSERT_TRUE(tree.Delete(points[i], i));
+  }
+  EXPECT_EQ(tree.size(), 200u);
+  ASSERT_TRUE(tree.CheckInvariants(true).ok());
+  // Regions stay intact, so reinsertion into the holes works.
+  for (size_t i = 0; i < 800; ++i) {
+    tree.Insert(points[i], i, 0);
+  }
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_TRUE(tree.CheckInvariants(true).ok());
+}
+
+TEST(RPlusTreeTest, MbrsAreTight) {
+  RPlusTree tree(1, SmallConfig());
+  for (int i = 0; i < 100; ++i) {
+    const double p[] = {static_cast<double>(i)};
+    tree.Insert({p, 1}, i, 0);
+  }
+  EXPECT_EQ(tree.root()->mbr.lo(0), 0.0);
+  EXPECT_EQ(tree.root()->mbr.hi(0), 99.0);
+  // Delete the extremes and check the root MBR shrinks.
+  const double lo[] = {0.0};
+  const double hi[] = {99.0};
+  ASSERT_TRUE(tree.Delete({lo, 1}, 0));
+  ASSERT_TRUE(tree.Delete({hi, 1}, 99));
+  EXPECT_EQ(tree.root()->mbr.lo(0), 1.0);
+  EXPECT_EQ(tree.root()->mbr.hi(0), 98.0);
+}
+
+TEST(RPlusTreeTest, OrderedLeavesAreSpatiallyCoherentIn1d) {
+  RPlusTree tree(1, SmallConfig());
+  Rng rng(10);
+  for (int i = 0; i < 500; ++i) {
+    const double p[] = {rng.UniformDouble(0, 1000)};
+    tree.Insert({p, 1}, i, 0);
+  }
+  // In 1-D, left-to-right leaf order must be sorted by region.
+  const auto leaves = tree.OrderedLeaves();
+  for (size_t i = 1; i < leaves.size(); ++i) {
+    EXPECT_LE(leaves[i - 1]->region.hi[0], leaves[i]->region.lo[0] + 1e-12);
+  }
+}
+
+TEST(RPlusTreeTest, NodesAtDepthCoverAllRecords) {
+  RPlusTree tree(2, SmallConfig());
+  InsertRandom(&tree, 2000, 11, 2);
+  for (int d = 0; d < tree.height(); ++d) {
+    size_t total = 0;
+    for (const Node* n : tree.NodesAtDepth(d)) total += n->record_count;
+    EXPECT_EQ(total, 2000u) << "depth " << d;
+  }
+}
+
+TEST(RPlusTreeTest, LeafConstraintVetoesSplit) {
+  RTreeConfig config = SmallConfig();
+  // Require every leaf to contain at least 2 distinct sensitive values.
+  config.leaf_admissible = [](std::span<const int32_t> codes) {
+    std::set<int32_t> distinct(codes.begin(), codes.end());
+    return distinct.size() >= 2;
+  };
+  RPlusTree tree(1, config);
+  // Left half of the line has sensitive 0, right half sensitive 1 — a
+  // median split would create single-valued leaves once subdivided enough.
+  Rng rng(12);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.UniformDouble(0, 1000);
+    const double p[] = {x};
+    tree.Insert({p, 1}, i, x < 500 ? 0 : 1);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  std::set<int32_t> distinct;
+  for (const Node* leaf : tree.OrderedLeaves()) {
+    distinct.clear();
+    distinct.insert(leaf->sensitive.begin(), leaf->sensitive.end());
+    EXPECT_GE(distinct.size(), 2u);
+  }
+}
+
+TEST(RPlusTreeTest, BiasedSplittingOnlyCutsChosenAxis) {
+  RTreeConfig config = SmallConfig();
+  config.split.biased_axes = {0};
+  RPlusTree tree(2, config);
+  InsertRandom(&tree, 1000, 13, 2);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  // All leaf regions must span the full extent of axis 1 (never cut).
+  for (const Node* leaf : tree.OrderedLeaves()) {
+    EXPECT_TRUE(std::isinf(leaf->region.lo[1]));
+    EXPECT_TRUE(std::isinf(leaf->region.hi[1]));
+  }
+}
+
+}  // namespace
+}  // namespace kanon

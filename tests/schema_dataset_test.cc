@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace kanon {
+namespace {
+
+TEST(SchemaTest, NumericFactoryNamesAttributes) {
+  Schema s = Schema::Numeric(3);
+  EXPECT_EQ(s.dim(), 3u);
+  EXPECT_EQ(s.attribute(0).name, "a0");
+  EXPECT_EQ(s.attribute(2).name, "a2");
+  EXPECT_EQ(s.attribute(1).type, AttributeType::kNumeric);
+}
+
+TEST(SchemaTest, IndexOfFindsAndFails) {
+  Schema s({{"age", AttributeType::kNumeric, {}},
+            {"zip", AttributeType::kNumeric, {}}},
+           "ailment");
+  auto idx = s.IndexOf("zip");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_EQ(s.IndexOf("salary").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.sensitive_name(), "ailment");
+}
+
+TEST(DatasetTest, AppendAndRead) {
+  Dataset d(Schema::Numeric(2));
+  EXPECT_TRUE(d.empty());
+  const RecordId r0 = d.Append({1.0, 2.0}, 7);
+  const RecordId r1 = d.Append({3.0, 4.0}, 8);
+  EXPECT_EQ(r0, 0u);
+  EXPECT_EQ(r1, 1u);
+  EXPECT_EQ(d.num_records(), 2u);
+  EXPECT_EQ(d.value(0, 1), 2.0);
+  EXPECT_EQ(d.value(1, 0), 3.0);
+  EXPECT_EQ(d.sensitive(0), 7);
+  EXPECT_EQ(d.sensitive(1), 8);
+  const auto row = d.row(1);
+  EXPECT_EQ(row[0], 3.0);
+  EXPECT_EQ(row[1], 4.0);
+}
+
+TEST(DatasetTest, ComputeDomain) {
+  Dataset d(Schema::Numeric(2));
+  d.Append({5.0, -1.0});
+  d.Append({2.0, 10.0});
+  d.Append({7.0, 3.0});
+  const Domain dom = d.ComputeDomain();
+  EXPECT_EQ(dom.lo[0], 2.0);
+  EXPECT_EQ(dom.hi[0], 7.0);
+  EXPECT_EQ(dom.lo[1], -1.0);
+  EXPECT_EQ(dom.hi[1], 10.0);
+  EXPECT_EQ(dom.Extent(0), 5.0);
+}
+
+TEST(DatasetTest, SliceCopiesRange) {
+  Dataset d(Schema::Numeric(1));
+  for (int i = 0; i < 10; ++i) d.Append({static_cast<double>(i)}, i);
+  Dataset s = d.Slice(3, 7);
+  EXPECT_EQ(s.num_records(), 4u);
+  EXPECT_EQ(s.value(0, 0), 3.0);
+  EXPECT_EQ(s.sensitive(3), 6);
+}
+
+TEST(DatasetTest, SingleRecordDomainIsDegenerate) {
+  Dataset d(Schema::Numeric(2));
+  d.Append({4.0, 5.0});
+  const Domain dom = d.ComputeDomain();
+  EXPECT_EQ(dom.lo[0], dom.hi[0]);
+  EXPECT_EQ(dom.Extent(1), 0.0);
+}
+
+}  // namespace
+}  // namespace kanon

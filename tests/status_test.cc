@@ -1,0 +1,88 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace kanon {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing row");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing row");
+  EXPECT_EQ(s.ToString(), "NotFound: missing row");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Corruption("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  KANON_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseHalf(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+Status Fails() { return Status::IoError("disk"); }
+
+Status Chains() {
+  KANON_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Chains().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,146 @@
+#include "index/tree_persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace kanon {
+namespace {
+
+RTreeConfig SmallConfig() {
+  RTreeConfig config;
+  config.min_leaf = 3;
+  config.max_leaf = 9;
+  config.max_fanout = 4;
+  return config;
+}
+
+RPlusTree BuildRandom(size_t n, uint64_t seed,
+                      std::vector<std::vector<double>>* points = nullptr) {
+  RPlusTree tree(2, SmallConfig());
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> p = {rng.UniformDouble(0, 1000),
+                             rng.UniformDouble(0, 1000)};
+    tree.Insert(p, i, static_cast<int32_t>(i % 5));
+    if (points != nullptr) points->push_back(std::move(p));
+  }
+  return tree;
+}
+
+TEST(TreePersistenceTest, RoundTripPreservesStructureAndRecords) {
+  std::vector<std::vector<double>> points;
+  const RPlusTree tree = BuildRandom(2000, 1, &points);
+  MemPager pager(1024);  // small pages force a long stream chain
+  auto snapshot = SaveTree(tree, &pager);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_GT(snapshot->byte_size, 2000u * 2 * sizeof(double));
+  EXPECT_EQ(snapshot->record_count, 2000u);
+
+  auto loaded = LoadTree(&pager, *snapshot, 2, SmallConfig());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2000u);
+  EXPECT_EQ(loaded->height(), tree.height());
+  ASSERT_TRUE(loaded->CheckInvariants().ok());
+
+  // Same leaf partitioning (hence the same published equivalence classes).
+  const auto original_leaves = tree.OrderedLeaves();
+  const auto loaded_leaves = loaded->OrderedLeaves();
+  ASSERT_EQ(original_leaves.size(), loaded_leaves.size());
+  for (size_t i = 0; i < original_leaves.size(); ++i) {
+    EXPECT_EQ(original_leaves[i]->rids, loaded_leaves[i]->rids);
+    EXPECT_TRUE(original_leaves[i]->mbr == loaded_leaves[i]->mbr);
+  }
+}
+
+TEST(TreePersistenceTest, LoadedTreeAcceptsFurtherInserts) {
+  const RPlusTree tree = BuildRandom(500, 2);
+  MemPager pager;
+  auto snapshot = SaveTree(tree, &pager);
+  ASSERT_TRUE(snapshot.ok());
+  auto loaded = LoadTree(&pager, *snapshot, 2, SmallConfig());
+  ASSERT_TRUE(loaded.ok());
+  Rng rng(3);
+  for (size_t i = 500; i < 1500; ++i) {
+    const double p[] = {rng.UniformDouble(0, 1000),
+                        rng.UniformDouble(0, 1000)};
+    loaded->Insert({p, 2}, i, 0);
+  }
+  EXPECT_EQ(loaded->size(), 1500u);
+  EXPECT_TRUE(loaded->CheckInvariants().ok());
+}
+
+TEST(TreePersistenceTest, EmptyTreeRoundTrips) {
+  RPlusTree tree(3, SmallConfig());
+  MemPager pager;
+  auto snapshot = SaveTree(tree, &pager);
+  ASSERT_TRUE(snapshot.ok());
+  auto loaded = LoadTree(&pager, *snapshot, 3, SmallConfig());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+  EXPECT_TRUE(loaded->root()->is_leaf);
+}
+
+TEST(TreePersistenceTest, DimensionMismatchRejected) {
+  const RPlusTree tree = BuildRandom(100, 4);
+  MemPager pager;
+  auto snapshot = SaveTree(tree, &pager);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(LoadTree(&pager, *snapshot, 3, SmallConfig()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TreePersistenceTest, ConfigMismatchRejected) {
+  const RPlusTree tree = BuildRandom(100, 5);
+  MemPager pager;
+  auto snapshot = SaveTree(tree, &pager);
+  ASSERT_TRUE(snapshot.ok());
+  RTreeConfig other = SmallConfig();
+  other.min_leaf = 4;
+  EXPECT_EQ(LoadTree(&pager, *snapshot, 2, other).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TreePersistenceTest, GarbageRejected) {
+  MemPager pager;
+  const PageId page = pager.Allocate();
+  std::vector<char> junk(pager.page_size(), 0x5a);
+  // Terminate the chain so the reader fails on content, not on traversal.
+  const PageId invalid = kInvalidPageId;
+  std::memcpy(junk.data(), &invalid, sizeof(invalid));
+  ASSERT_TRUE(pager.Write(page, junk.data()).ok());
+  TreeSnapshot snapshot;
+  snapshot.first_page = page;
+  EXPECT_EQ(LoadTree(&pager, snapshot, 2, SmallConfig()).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(TreePersistenceTest, FreeSnapshotRecyclesPages) {
+  const RPlusTree tree = BuildRandom(1000, 6);
+  MemPager pager(512);
+  auto snapshot = SaveTree(tree, &pager);
+  ASSERT_TRUE(snapshot.ok());
+  const size_t used = pager.num_pages();
+  ASSERT_TRUE(FreeSnapshot(&pager, *snapshot).ok());
+  // All pages returned: the next save reuses them without growing the file.
+  auto again = SaveTree(tree, &pager);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pager.num_pages(), used);
+}
+
+TEST(TreePersistenceTest, WorksOnRealFilePager) {
+  const RPlusTree tree = BuildRandom(800, 7);
+  auto pager = FilePager::Create(4096);
+  ASSERT_TRUE(pager.ok());
+  auto snapshot = SaveTree(tree, pager->get());
+  ASSERT_TRUE(snapshot.ok());
+  auto loaded = LoadTree(pager->get(), *snapshot, 2, SmallConfig());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 800u);
+  EXPECT_TRUE(loaded->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace kanon

@@ -1,0 +1,207 @@
+#include "cli_lib.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+
+#include "kanon/kanon.h"
+
+namespace kanon::cli {
+
+bool ParseArgs(int argc, const char* const* argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--input") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->input = v;
+    } else if (arg == "--output") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->output = v;
+    } else if (arg == "--k") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->k = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--columns") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->columns = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--skip-header") {
+      options->skip_header = true;
+    } else if (arg == "--algorithm") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->algorithm = v;
+    } else if (arg == "--schema") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->schema_path = v;
+    } else if (arg == "--ldiversity") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->ldiversity = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--entropy") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->entropy_l = std::strtod(v, nullptr);
+    } else if (arg == "--recursive") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const auto parts = SplitCsvLine(v, ',');
+      if (parts.size() != 2) return false;
+      options->recursive_c = std::strtod(parts[0].c_str(), nullptr);
+      options->recursive_l = std::strtoul(parts[1].c_str(), nullptr, 10);
+    } else if (arg == "--alpha") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->alpha = std::strtod(v, nullptr);
+    } else if (arg == "--uncompacted") {
+      options->uncompacted = true;
+    } else if (arg == "--bias") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      for (const std::string& field : SplitCsvLine(v, ',')) {
+        options->bias.push_back(std::strtoul(field.c_str(), nullptr, 10));
+      }
+    } else if (arg == "--metrics") {
+      options->metrics = true;
+    } else {
+      return false;
+    }
+  }
+  return !options->input.empty() && !options->output.empty() &&
+         options->k >= 1;
+}
+
+size_t InferColumns(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (!std::getline(in, line)) return 0;
+  const size_t fields = SplitCsvLine(line, ',').size();
+  // Treat the final column as the sensitive attribute when there are at
+  // least two columns.
+  return fields >= 2 ? fields - 1 : fields;
+}
+
+int Run(const CliOptions& options, std::ostream& log) {
+  Schema schema;
+  if (!options.schema_path.empty()) {
+    auto parsed = LoadSchemaSpec(options.schema_path);
+    if (!parsed.ok()) {
+      log << parsed.status() << "\n";
+      return 1;
+    }
+    schema = *std::move(parsed);
+    log << "schema: " << schema.dim() << " attributes\n";
+  } else {
+    size_t columns = options.columns;
+    if (columns == 0) {
+      columns = InferColumns(options.input);
+      if (columns == 0) {
+        log << "cannot infer column count from " << options.input << "\n";
+        return 1;
+      }
+      log << "inferred " << columns << " quasi-identifier columns\n";
+    }
+    schema = Schema::Numeric(columns);
+  }
+
+  CsvOptions csv;
+  csv.skip_header = options.skip_header;
+  auto dataset = ReadNumericCsv(options.input, schema, csv);
+  if (!dataset.ok()) {
+    log << dataset.status() << "\n";
+    return 1;
+  }
+  log << "read " << dataset->num_records() << " records\n";
+  if (dataset->empty()) return 1;
+
+  std::unique_ptr<PartitionConstraint> constraint;
+  if (options.ldiversity > 0) {
+    constraint = std::make_unique<DistinctLDiversity>(options.k,
+                                                      options.ldiversity);
+  } else if (options.entropy_l > 0.0) {
+    constraint =
+        std::make_unique<EntropyLDiversity>(options.k, options.entropy_l);
+  } else if (options.recursive_c > 0.0 && options.recursive_l > 0) {
+    constraint = std::make_unique<RecursiveCLDiversity>(
+        options.k, options.recursive_c, options.recursive_l);
+  } else if (options.alpha > 0.0) {
+    constraint = std::make_unique<AlphaKAnonymity>(options.alpha, options.k);
+  }
+  if (constraint != nullptr) {
+    log << "constraint: " << constraint->Name() << "\n";
+  }
+
+  PartitionSet partitions;
+  if (options.algorithm == "rtree") {
+    RTreeAnonymizerOptions ro;
+    ro.base_k = options.k;
+    ro.constraint = constraint.get();
+    ro.compact = !options.uncompacted;
+    ro.split.biased_axes = options.bias;
+    auto ps = RTreeAnonymizer(ro).Anonymize(*dataset, options.k);
+    if (!ps.ok()) {
+      log << ps.status() << "\n";
+      return 1;
+    }
+    partitions = *std::move(ps);
+  } else if (options.algorithm == "mondrian") {
+    MondrianConfig mc;
+    mc.constraint = constraint.get();
+    partitions = Mondrian(mc).Anonymize(*dataset, options.k);
+    if (!options.uncompacted) CompactPartitions(*dataset, &partitions);
+  } else if (options.algorithm == "grid") {
+    GridAnonymizerOptions go;
+    go.compact = !options.uncompacted;
+    auto ps = GridAnonymizer(go).Anonymize(*dataset, options.k);
+    if (!ps.ok()) {
+      log << ps.status() << "\n";
+      return 1;
+    }
+    partitions = *std::move(ps);
+  } else {
+    log << "unknown algorithm " << options.algorithm << "\n";
+    return 1;
+  }
+
+  if (auto s = partitions.CheckCovers(*dataset); !s.ok()) {
+    log << "internal error, refusing to publish: " << s << "\n";
+    return 1;
+  }
+  if (auto s = partitions.CheckKAnonymous(
+          std::min<size_t>(options.k, dataset->num_records()));
+      !s.ok()) {
+    log << "internal error, refusing to publish: " << s << "\n";
+    return 1;
+  }
+
+  if (options.metrics) {
+    log << FormatQuality(ComputeQuality(*dataset, partitions)) << "\n";
+    const MarginalUtilityReport utility =
+        ComputeMarginalUtility(*dataset, partitions);
+    log << "marginal utility: meanTV=" << utility.mean_tv
+        << " meanEMD=" << utility.mean_emd << "\n";
+  }
+
+  auto table = AnonymizedTable::FromPartitions(*dataset,
+                                               std::move(partitions));
+  if (!table.ok()) {
+    log << table.status() << "\n";
+    return 1;
+  }
+  if (auto s = table->WriteCsv(options.output, dataset->schema()); !s.ok()) {
+    log << s << "\n";
+    return 1;
+  }
+  log << "wrote " << table->num_records() << " generalized records ("
+      << table->num_partitions() << " partitions) to " << options.output
+      << "\n";
+  return 0;
+}
+
+}  // namespace kanon::cli

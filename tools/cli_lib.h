@@ -1,0 +1,46 @@
+#ifndef KANON_TOOLS_CLI_LIB_H_
+#define KANON_TOOLS_CLI_LIB_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace kanon::cli {
+
+/// Parsed command-line options of kanon_cli (see tools/kanon_cli.cc for
+/// the flag reference). Split out of main() so the full pipeline is unit
+/// testable.
+struct CliOptions {
+  std::string input;
+  std::string output;
+  std::string schema_path;
+  size_t k = 10;
+  size_t columns = 0;  // 0 = infer from the first row
+  bool skip_header = false;
+  std::string algorithm = "rtree";
+  size_t ldiversity = 0;
+  double entropy_l = 0.0;
+  double recursive_c = 0.0;
+  size_t recursive_l = 0;
+  double alpha = 0.0;
+  bool uncompacted = false;
+  std::vector<size_t> bias;
+  bool metrics = false;
+};
+
+/// Parses argv into options. Returns false on malformed or missing
+/// required flags (the caller prints usage).
+bool ParseArgs(int argc, const char* const* argv, CliOptions* options);
+
+/// Number of quasi-identifier columns implied by the file's first row
+/// (fields minus one for the sensitive column when there are >= 2 fields);
+/// 0 if the file is empty/unreadable.
+size_t InferColumns(const std::string& path);
+
+/// Runs the anonymization pipeline; diagnostics go to `log`. Returns the
+/// process exit code.
+int Run(const CliOptions& options, std::ostream& log = std::cerr);
+
+}  // namespace kanon::cli
+
+#endif  // KANON_TOOLS_CLI_LIB_H_

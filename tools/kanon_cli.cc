@@ -1,0 +1,44 @@
+// kanon_cli — anonymize a numeric CSV from the command line.
+//
+//   kanon_cli --input data.csv --output anon.csv --k 10
+//             [--schema spec.txt | --columns 8] [--skip-header]
+//             [--algorithm rtree|mondrian|grid]
+//             [--ldiversity L | --entropy L | --recursive C,L | --alpha A]
+//             [--uncompacted] [--bias COL[,COL...]] [--metrics]
+//
+// The input's quasi-identifier fields are parsed as numbers (categoricals
+// numerically recoded upstream); an optional final integer column is the
+// sensitive attribute. With --schema (see data/schema_spec.h) attributes
+// get names, types and generalization hierarchies, which compaction and
+// the certainty metric then honor. The output CSV holds one "lo..hi" cell
+// per quasi-identifier plus the sensitive code.
+//
+// The pipeline lives in tools/cli_lib.{h,cc} (unit tested); this file is
+// the thin executable wrapper.
+
+#include <iostream>
+
+#include "cli_lib.h"
+
+namespace {
+
+void Usage() {
+  std::cerr <<
+      "usage: kanon_cli --input FILE --output FILE --k K\n"
+      "                 [--schema SPEC | --columns N] [--skip-header]\n"
+      "                 [--algorithm rtree|mondrian|grid]\n"
+      "                 [--ldiversity L | --entropy L | --recursive C,L |\n"
+      "                  --alpha A] [--uncompacted]\n"
+      "                 [--bias COL[,COL...]] [--metrics]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kanon::cli::CliOptions options;
+  if (!kanon::cli::ParseArgs(argc, argv, &options)) {
+    Usage();
+    return 2;
+  }
+  return kanon::cli::Run(options);
+}
