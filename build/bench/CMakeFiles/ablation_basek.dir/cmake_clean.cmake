@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_basek.dir/ablation_basek.cc.o"
+  "CMakeFiles/ablation_basek.dir/ablation_basek.cc.o.d"
+  "ablation_basek"
+  "ablation_basek.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_basek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

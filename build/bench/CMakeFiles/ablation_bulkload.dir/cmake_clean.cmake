@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bulkload.dir/ablation_bulkload.cc.o"
+  "CMakeFiles/ablation_bulkload.dir/ablation_bulkload.cc.o.d"
+  "ablation_bulkload"
+  "ablation_bulkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bulkload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_quality.dir/fig10_quality.cc.o"
+  "CMakeFiles/fig10_quality.dir/fig10_quality.cc.o.d"
+  "fig10_quality"
+  "fig10_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_incremental_quality.dir/fig11_incremental_quality.cc.o"
+  "CMakeFiles/fig11_incremental_quality.dir/fig11_incremental_quality.cc.o.d"
+  "fig11_incremental_quality"
+  "fig11_incremental_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_incremental_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

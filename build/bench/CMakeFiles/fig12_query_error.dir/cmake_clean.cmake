@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_query_error.dir/fig12_query_error.cc.o"
+  "CMakeFiles/fig12_query_error.dir/fig12_query_error.cc.o.d"
+  "fig12_query_error"
+  "fig12_query_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_query_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

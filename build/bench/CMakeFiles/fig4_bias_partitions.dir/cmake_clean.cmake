@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bias_partitions.dir/fig4_bias_partitions.cc.o"
+  "CMakeFiles/fig4_bias_partitions.dir/fig4_bias_partitions.cc.o.d"
+  "fig4_bias_partitions"
+  "fig4_bias_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bias_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_bulkload.dir/fig7a_bulkload.cc.o"
+  "CMakeFiles/fig7a_bulkload.dir/fig7a_bulkload.cc.o.d"
+  "fig7a_bulkload"
+  "fig7a_bulkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_bulkload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_incremental.dir/fig7b_incremental.cc.o"
+  "CMakeFiles/fig7b_incremental.dir/fig7b_incremental.cc.o.d"
+  "fig7b_incremental"
+  "fig7b_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_scaling.dir/fig8a_scaling.cc.o"
+  "CMakeFiles/fig8a_scaling.dir/fig8a_scaling.cc.o.d"
+  "fig8a_scaling"
+  "fig8a_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_io.dir/fig8b_io.cc.o"
+  "CMakeFiles/fig8b_io.dir/fig8b_io.cc.o.d"
+  "fig8b_io"
+  "fig8b_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_compaction.dir/fig9_compaction.cc.o"
+  "CMakeFiles/fig9_compaction.dir/fig9_compaction.cc.o.d"
+  "fig9_compaction"
+  "fig9_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

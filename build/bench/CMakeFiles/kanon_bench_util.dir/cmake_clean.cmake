@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/kanon_bench_util.dir/bench_util.cc.o.d"
+  "libkanon_bench_util.a"
+  "libkanon_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

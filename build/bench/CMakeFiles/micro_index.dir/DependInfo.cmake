@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_index.cc" "bench/CMakeFiles/micro_index.dir/micro_index.cc.o" "gcc" "bench/CMakeFiles/micro_index.dir/micro_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kanon_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_index.dir/micro_index.cc.o"
+  "CMakeFiles/micro_index.dir/micro_index.cc.o.d"
+  "micro_index"
+  "micro_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adult_anonymization.dir/adult_anonymization.cc.o"
+  "CMakeFiles/adult_anonymization.dir/adult_anonymization.cc.o.d"
+  "adult_anonymization"
+  "adult_anonymization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adult_anonymization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for adult_anonymization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for adult_anonymization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_stream.dir/incremental_stream.cc.o"
+  "CMakeFiles/incremental_stream.dir/incremental_stream.cc.o.d"
+  "incremental_stream"
+  "incremental_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for incremental_stream.
+# This may be replaced when dependencies are built.

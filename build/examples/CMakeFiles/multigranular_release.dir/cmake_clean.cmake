@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigranular_release.dir/multigranular_release.cc.o"
+  "CMakeFiles/multigranular_release.dir/multigranular_release.cc.o.d"
+  "multigranular_release"
+  "multigranular_release.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigranular_release.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multigranular_release.
+# This may be replaced when dependencies are built.

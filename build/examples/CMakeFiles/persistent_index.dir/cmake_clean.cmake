@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_index.dir/persistent_index.cc.o"
+  "CMakeFiles/persistent_index.dir/persistent_index.cc.o.d"
+  "persistent_index"
+  "persistent_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

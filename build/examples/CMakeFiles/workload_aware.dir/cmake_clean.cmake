@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_aware.dir/workload_aware.cc.o"
+  "CMakeFiles/workload_aware.dir/workload_aware.cc.o.d"
+  "workload_aware"
+  "workload_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anon/anonymized_table.cc" "src/CMakeFiles/kanon_anon.dir/anon/anonymized_table.cc.o" "gcc" "src/CMakeFiles/kanon_anon.dir/anon/anonymized_table.cc.o.d"
+  "/root/repo/src/anon/compaction.cc" "src/CMakeFiles/kanon_anon.dir/anon/compaction.cc.o" "gcc" "src/CMakeFiles/kanon_anon.dir/anon/compaction.cc.o.d"
+  "/root/repo/src/anon/constraints.cc" "src/CMakeFiles/kanon_anon.dir/anon/constraints.cc.o" "gcc" "src/CMakeFiles/kanon_anon.dir/anon/constraints.cc.o.d"
+  "/root/repo/src/anon/grid_anonymizer.cc" "src/CMakeFiles/kanon_anon.dir/anon/grid_anonymizer.cc.o" "gcc" "src/CMakeFiles/kanon_anon.dir/anon/grid_anonymizer.cc.o.d"
+  "/root/repo/src/anon/leaf_scan.cc" "src/CMakeFiles/kanon_anon.dir/anon/leaf_scan.cc.o" "gcc" "src/CMakeFiles/kanon_anon.dir/anon/leaf_scan.cc.o.d"
+  "/root/repo/src/anon/mondrian.cc" "src/CMakeFiles/kanon_anon.dir/anon/mondrian.cc.o" "gcc" "src/CMakeFiles/kanon_anon.dir/anon/mondrian.cc.o.d"
+  "/root/repo/src/anon/multigranular.cc" "src/CMakeFiles/kanon_anon.dir/anon/multigranular.cc.o" "gcc" "src/CMakeFiles/kanon_anon.dir/anon/multigranular.cc.o.d"
+  "/root/repo/src/anon/partition.cc" "src/CMakeFiles/kanon_anon.dir/anon/partition.cc.o" "gcc" "src/CMakeFiles/kanon_anon.dir/anon/partition.cc.o.d"
+  "/root/repo/src/anon/rtree_anonymizer.cc" "src/CMakeFiles/kanon_anon.dir/anon/rtree_anonymizer.cc.o" "gcc" "src/CMakeFiles/kanon_anon.dir/anon/rtree_anonymizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kanon_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

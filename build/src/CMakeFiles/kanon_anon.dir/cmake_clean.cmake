@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_anon.dir/anon/anonymized_table.cc.o"
+  "CMakeFiles/kanon_anon.dir/anon/anonymized_table.cc.o.d"
+  "CMakeFiles/kanon_anon.dir/anon/compaction.cc.o"
+  "CMakeFiles/kanon_anon.dir/anon/compaction.cc.o.d"
+  "CMakeFiles/kanon_anon.dir/anon/constraints.cc.o"
+  "CMakeFiles/kanon_anon.dir/anon/constraints.cc.o.d"
+  "CMakeFiles/kanon_anon.dir/anon/grid_anonymizer.cc.o"
+  "CMakeFiles/kanon_anon.dir/anon/grid_anonymizer.cc.o.d"
+  "CMakeFiles/kanon_anon.dir/anon/leaf_scan.cc.o"
+  "CMakeFiles/kanon_anon.dir/anon/leaf_scan.cc.o.d"
+  "CMakeFiles/kanon_anon.dir/anon/mondrian.cc.o"
+  "CMakeFiles/kanon_anon.dir/anon/mondrian.cc.o.d"
+  "CMakeFiles/kanon_anon.dir/anon/multigranular.cc.o"
+  "CMakeFiles/kanon_anon.dir/anon/multigranular.cc.o.d"
+  "CMakeFiles/kanon_anon.dir/anon/partition.cc.o"
+  "CMakeFiles/kanon_anon.dir/anon/partition.cc.o.d"
+  "CMakeFiles/kanon_anon.dir/anon/rtree_anonymizer.cc.o"
+  "CMakeFiles/kanon_anon.dir/anon/rtree_anonymizer.cc.o.d"
+  "libkanon_anon.a"
+  "libkanon_anon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_anon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

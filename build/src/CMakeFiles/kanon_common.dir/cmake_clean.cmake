@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_common.dir/common/random.cc.o"
+  "CMakeFiles/kanon_common.dir/common/random.cc.o.d"
+  "CMakeFiles/kanon_common.dir/common/status.cc.o"
+  "CMakeFiles/kanon_common.dir/common/status.cc.o.d"
+  "CMakeFiles/kanon_common.dir/common/sysinfo.cc.o"
+  "CMakeFiles/kanon_common.dir/common/sysinfo.cc.o.d"
+  "CMakeFiles/kanon_common.dir/common/timer.cc.o"
+  "CMakeFiles/kanon_common.dir/common/timer.cc.o.d"
+  "libkanon_common.a"
+  "libkanon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/adult.cc" "src/CMakeFiles/kanon_data.dir/data/adult.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/adult.cc.o.d"
+  "/root/repo/src/data/agrawal_generator.cc" "src/CMakeFiles/kanon_data.dir/data/agrawal_generator.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/agrawal_generator.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/kanon_data.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/kanon_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/hierarchy.cc" "src/CMakeFiles/kanon_data.dir/data/hierarchy.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/hierarchy.cc.o.d"
+  "/root/repo/src/data/landsend_generator.cc" "src/CMakeFiles/kanon_data.dir/data/landsend_generator.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/landsend_generator.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/kanon_data.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/schema_spec.cc" "src/CMakeFiles/kanon_data.dir/data/schema_spec.cc.o" "gcc" "src/CMakeFiles/kanon_data.dir/data/schema_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kanon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_data.dir/data/adult.cc.o"
+  "CMakeFiles/kanon_data.dir/data/adult.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/agrawal_generator.cc.o"
+  "CMakeFiles/kanon_data.dir/data/agrawal_generator.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/csv.cc.o"
+  "CMakeFiles/kanon_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/dataset.cc.o"
+  "CMakeFiles/kanon_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/hierarchy.cc.o"
+  "CMakeFiles/kanon_data.dir/data/hierarchy.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/landsend_generator.cc.o"
+  "CMakeFiles/kanon_data.dir/data/landsend_generator.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/schema.cc.o"
+  "CMakeFiles/kanon_data.dir/data/schema.cc.o.d"
+  "CMakeFiles/kanon_data.dir/data/schema_spec.cc.o"
+  "CMakeFiles/kanon_data.dir/data/schema_spec.cc.o.d"
+  "libkanon_data.a"
+  "libkanon_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/buffer_tree.cc" "src/CMakeFiles/kanon_index.dir/index/buffer_tree.cc.o" "gcc" "src/CMakeFiles/kanon_index.dir/index/buffer_tree.cc.o.d"
+  "/root/repo/src/index/bulk_load.cc" "src/CMakeFiles/kanon_index.dir/index/bulk_load.cc.o" "gcc" "src/CMakeFiles/kanon_index.dir/index/bulk_load.cc.o.d"
+  "/root/repo/src/index/hilbert.cc" "src/CMakeFiles/kanon_index.dir/index/hilbert.cc.o" "gcc" "src/CMakeFiles/kanon_index.dir/index/hilbert.cc.o.d"
+  "/root/repo/src/index/mbr.cc" "src/CMakeFiles/kanon_index.dir/index/mbr.cc.o" "gcc" "src/CMakeFiles/kanon_index.dir/index/mbr.cc.o.d"
+  "/root/repo/src/index/node.cc" "src/CMakeFiles/kanon_index.dir/index/node.cc.o" "gcc" "src/CMakeFiles/kanon_index.dir/index/node.cc.o.d"
+  "/root/repo/src/index/rplus_tree.cc" "src/CMakeFiles/kanon_index.dir/index/rplus_tree.cc.o" "gcc" "src/CMakeFiles/kanon_index.dir/index/rplus_tree.cc.o.d"
+  "/root/repo/src/index/split.cc" "src/CMakeFiles/kanon_index.dir/index/split.cc.o" "gcc" "src/CMakeFiles/kanon_index.dir/index/split.cc.o.d"
+  "/root/repo/src/index/tree_persistence.cc" "src/CMakeFiles/kanon_index.dir/index/tree_persistence.cc.o" "gcc" "src/CMakeFiles/kanon_index.dir/index/tree_persistence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kanon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_index.dir/index/buffer_tree.cc.o"
+  "CMakeFiles/kanon_index.dir/index/buffer_tree.cc.o.d"
+  "CMakeFiles/kanon_index.dir/index/bulk_load.cc.o"
+  "CMakeFiles/kanon_index.dir/index/bulk_load.cc.o.d"
+  "CMakeFiles/kanon_index.dir/index/hilbert.cc.o"
+  "CMakeFiles/kanon_index.dir/index/hilbert.cc.o.d"
+  "CMakeFiles/kanon_index.dir/index/mbr.cc.o"
+  "CMakeFiles/kanon_index.dir/index/mbr.cc.o.d"
+  "CMakeFiles/kanon_index.dir/index/node.cc.o"
+  "CMakeFiles/kanon_index.dir/index/node.cc.o.d"
+  "CMakeFiles/kanon_index.dir/index/rplus_tree.cc.o"
+  "CMakeFiles/kanon_index.dir/index/rplus_tree.cc.o.d"
+  "CMakeFiles/kanon_index.dir/index/split.cc.o"
+  "CMakeFiles/kanon_index.dir/index/split.cc.o.d"
+  "CMakeFiles/kanon_index.dir/index/tree_persistence.cc.o"
+  "CMakeFiles/kanon_index.dir/index/tree_persistence.cc.o.d"
+  "libkanon_index.a"
+  "libkanon_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/certainty.cc" "src/CMakeFiles/kanon_metrics.dir/metrics/certainty.cc.o" "gcc" "src/CMakeFiles/kanon_metrics.dir/metrics/certainty.cc.o.d"
+  "/root/repo/src/metrics/discernibility.cc" "src/CMakeFiles/kanon_metrics.dir/metrics/discernibility.cc.o" "gcc" "src/CMakeFiles/kanon_metrics.dir/metrics/discernibility.cc.o.d"
+  "/root/repo/src/metrics/histogram.cc" "src/CMakeFiles/kanon_metrics.dir/metrics/histogram.cc.o" "gcc" "src/CMakeFiles/kanon_metrics.dir/metrics/histogram.cc.o.d"
+  "/root/repo/src/metrics/kl_divergence.cc" "src/CMakeFiles/kanon_metrics.dir/metrics/kl_divergence.cc.o" "gcc" "src/CMakeFiles/kanon_metrics.dir/metrics/kl_divergence.cc.o.d"
+  "/root/repo/src/metrics/quality_report.cc" "src/CMakeFiles/kanon_metrics.dir/metrics/quality_report.cc.o" "gcc" "src/CMakeFiles/kanon_metrics.dir/metrics/quality_report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kanon_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

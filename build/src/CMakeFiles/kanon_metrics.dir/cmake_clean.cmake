@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_metrics.dir/metrics/certainty.cc.o"
+  "CMakeFiles/kanon_metrics.dir/metrics/certainty.cc.o.d"
+  "CMakeFiles/kanon_metrics.dir/metrics/discernibility.cc.o"
+  "CMakeFiles/kanon_metrics.dir/metrics/discernibility.cc.o.d"
+  "CMakeFiles/kanon_metrics.dir/metrics/histogram.cc.o"
+  "CMakeFiles/kanon_metrics.dir/metrics/histogram.cc.o.d"
+  "CMakeFiles/kanon_metrics.dir/metrics/kl_divergence.cc.o"
+  "CMakeFiles/kanon_metrics.dir/metrics/kl_divergence.cc.o.d"
+  "CMakeFiles/kanon_metrics.dir/metrics/quality_report.cc.o"
+  "CMakeFiles/kanon_metrics.dir/metrics/quality_report.cc.o.d"
+  "libkanon_metrics.a"
+  "libkanon_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_query.dir/query/evaluator.cc.o"
+  "CMakeFiles/kanon_query.dir/query/evaluator.cc.o.d"
+  "CMakeFiles/kanon_query.dir/query/query.cc.o"
+  "CMakeFiles/kanon_query.dir/query/query.cc.o.d"
+  "CMakeFiles/kanon_query.dir/query/workload.cc.o"
+  "CMakeFiles/kanon_query.dir/query/workload.cc.o.d"
+  "libkanon_query.a"
+  "libkanon_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

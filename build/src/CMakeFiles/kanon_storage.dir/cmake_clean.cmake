@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/kanon_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/kanon_storage.dir/storage/external_sort.cc.o"
+  "CMakeFiles/kanon_storage.dir/storage/external_sort.cc.o.d"
+  "CMakeFiles/kanon_storage.dir/storage/page.cc.o"
+  "CMakeFiles/kanon_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/kanon_storage.dir/storage/pager.cc.o"
+  "CMakeFiles/kanon_storage.dir/storage/pager.cc.o.d"
+  "CMakeFiles/kanon_storage.dir/storage/spill_file.cc.o"
+  "CMakeFiles/kanon_storage.dir/storage/spill_file.cc.o.d"
+  "libkanon_storage.a"
+  "libkanon_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/anonymized_table_test.cc" "tests/CMakeFiles/kanon_tests.dir/anonymized_table_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/anonymized_table_test.cc.o.d"
+  "/root/repo/tests/bench_util_test.cc" "tests/CMakeFiles/kanon_tests.dir/bench_util_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/bench_util_test.cc.o.d"
+  "/root/repo/tests/buffer_tree_test.cc" "tests/CMakeFiles/kanon_tests.dir/buffer_tree_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/buffer_tree_test.cc.o.d"
+  "/root/repo/tests/bulk_load_test.cc" "tests/CMakeFiles/kanon_tests.dir/bulk_load_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/bulk_load_test.cc.o.d"
+  "/root/repo/tests/cli_test.cc" "tests/CMakeFiles/kanon_tests.dir/cli_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/cli_test.cc.o.d"
+  "/root/repo/tests/common_util_test.cc" "tests/CMakeFiles/kanon_tests.dir/common_util_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/common_util_test.cc.o.d"
+  "/root/repo/tests/compaction_test.cc" "tests/CMakeFiles/kanon_tests.dir/compaction_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/compaction_test.cc.o.d"
+  "/root/repo/tests/constraints_test.cc" "tests/CMakeFiles/kanon_tests.dir/constraints_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/constraints_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/kanon_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/external_sort_test.cc" "tests/CMakeFiles/kanon_tests.dir/external_sort_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/external_sort_test.cc.o.d"
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/kanon_tests.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/fault_injection_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/kanon_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/generators_test.cc.o.d"
+  "/root/repo/tests/grid_anonymizer_test.cc" "tests/CMakeFiles/kanon_tests.dir/grid_anonymizer_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/grid_anonymizer_test.cc.o.d"
+  "/root/repo/tests/hierarchy_test.cc" "tests/CMakeFiles/kanon_tests.dir/hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/hierarchy_test.cc.o.d"
+  "/root/repo/tests/hilbert_test.cc" "tests/CMakeFiles/kanon_tests.dir/hilbert_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/hilbert_test.cc.o.d"
+  "/root/repo/tests/histogram_test.cc" "tests/CMakeFiles/kanon_tests.dir/histogram_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/kanon_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/leaf_scan_test.cc" "tests/CMakeFiles/kanon_tests.dir/leaf_scan_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/leaf_scan_test.cc.o.d"
+  "/root/repo/tests/mbr_test.cc" "tests/CMakeFiles/kanon_tests.dir/mbr_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/mbr_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/kanon_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/mondrian_test.cc" "tests/CMakeFiles/kanon_tests.dir/mondrian_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/mondrian_test.cc.o.d"
+  "/root/repo/tests/multigranular_test.cc" "tests/CMakeFiles/kanon_tests.dir/multigranular_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/multigranular_test.cc.o.d"
+  "/root/repo/tests/partition_test.cc" "tests/CMakeFiles/kanon_tests.dir/partition_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/partition_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/kanon_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/kanon_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/kanon_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/rplus_tree_test.cc" "tests/CMakeFiles/kanon_tests.dir/rplus_tree_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/rplus_tree_test.cc.o.d"
+  "/root/repo/tests/rtree_anonymizer_test.cc" "tests/CMakeFiles/kanon_tests.dir/rtree_anonymizer_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/rtree_anonymizer_test.cc.o.d"
+  "/root/repo/tests/schema_dataset_test.cc" "tests/CMakeFiles/kanon_tests.dir/schema_dataset_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/schema_dataset_test.cc.o.d"
+  "/root/repo/tests/schema_spec_test.cc" "tests/CMakeFiles/kanon_tests.dir/schema_spec_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/schema_spec_test.cc.o.d"
+  "/root/repo/tests/split_test.cc" "tests/CMakeFiles/kanon_tests.dir/split_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/split_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/kanon_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/kanon_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/tree_persistence_test.cc" "tests/CMakeFiles/kanon_tests.dir/tree_persistence_test.cc.o" "gcc" "tests/CMakeFiles/kanon_tests.dir/tree_persistence_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tools/CMakeFiles/kanon_cli_lib.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/kanon_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kanon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_cli.dir/kanon_cli.cc.o"
+  "CMakeFiles/kanon_cli.dir/kanon_cli.cc.o.d"
+  "kanon_cli"
+  "kanon_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanon_cli_lib.dir/cli_lib.cc.o"
+  "CMakeFiles/kanon_cli_lib.dir/cli_lib.cc.o.d"
+  "libkanon_cli_lib.a"
+  "libkanon_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanon_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
