@@ -19,8 +19,8 @@ int main() {
             << " MB of QI data)...\n";
   const Dataset data = AgrawalGenerator(2).Generate(n);
 
-  bench::TablePrinter table(
-      {"memory_mb", "io_ops", "io_reads", "io_writes", "vs_prev"});
+  bench::TablePrinter table({"memory_mb", "io_ops", "io_reads", "io_writes",
+                             "hit_rate", "vs_prev"});
   double prev_io = 0.0;
   for (const size_t mb : {32, 16, 8, 4, 2, 1}) {
     RTreeAnonymizerOptions options;
@@ -34,6 +34,7 @@ int main() {
     table.AddRow({bench::FmtInt(mb), bench::FmtInt(built->io.total()),
                   bench::FmtInt(built->io.reads),
                   bench::FmtInt(built->io.writes),
+                  bench::Fmt(built->cache.hit_rate(), 3),
                   prev_io > 0 ? bench::Fmt(io / prev_io, 2) + "x" : "-"});
     prev_io = io;
   }

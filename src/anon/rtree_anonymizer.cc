@@ -120,6 +120,7 @@ StatusOr<RTreeAnonymizer::BuildResult> RTreeAnonymizer::BuildLeaves(
   KANON_ASSIGN_OR_RETURN(result.leaves, ExtractLeafGroups(tree, &domain));
   result.tree_height = tree.height();
   result.io = pager->stats();
+  result.cache = pool.stats();
   return result;
 }
 

@@ -61,10 +61,12 @@ class RTreeAnonymizer {
 
   /// Builds the index once and returns its ordered leaf groups, letting the
   /// caller run leaf scans at several granularities (how the k-sweep
-  /// benchmarks amortize the build). Also reports pager I/O stats.
+  /// benchmarks amortize the build). Also reports pager I/O and buffer-pool
+  /// cache stats (both zero for the in-memory tuple-loading backend).
   struct BuildResult {
     std::vector<LeafGroup> leaves;
     PagerStats io;
+    BufferPoolStats cache;
     int tree_height = 0;
   };
   StatusOr<BuildResult> BuildLeaves(const Dataset& dataset) const;

@@ -367,7 +367,10 @@ Status BufferTree::ReplaceChild(
   parent->children.insert(parent->children.begin() + idx + 1,
                           std::make_move_iterator(replacements.begin() + 1),
                           std::make_move_iterator(replacements.end()));
-  return ResolveOverflow(parent);
+  // Overflow of `parent` is the caller's job: ResolveOverflow's loop (which
+  // reaches here via SplitInternal) advances to the parent itself, and
+  // resolving it here too would walk ancestors the loop is about to free.
+  return Status::OK();
 }
 
 Status BufferTree::Flush() {

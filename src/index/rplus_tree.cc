@@ -86,7 +86,9 @@ void RPlusTree::SplitLeaf(Node* leaf) {
   }
   KANON_DCHECK(left->leaf_size() >= config_.min_leaf);
   KANON_DCHECK(right->leaf_size() >= config_.min_leaf);
+  Node* parent = leaf->parent;  // survives the replacement below
   ReplaceChild(leaf, std::move(left), std::move(right));
+  ResolveOverflow(parent);
 }
 
 void RPlusTree::SplitInternal(Node* node) {
@@ -148,7 +150,6 @@ void RPlusTree::ReplaceChild(Node* old_child, std::unique_ptr<Node> a,
   b->parent = parent;
   parent->children[idx] = std::move(a);
   parent->children.insert(parent->children.begin() + idx + 1, std::move(b));
-  ResolveOverflow(parent);
 }
 
 bool RPlusTree::Delete(std::span<const double> point, uint64_t rid) {

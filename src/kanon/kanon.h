@@ -49,6 +49,10 @@
 #include "query/evaluator.h"
 #include "query/query.h"
 #include "query/workload.h"
+#include "service/anonymization_service.h"
+#include "service/ingest_queue.h"
+#include "service/service_stats.h"
+#include "service/snapshot.h"
 #include "storage/buffer_pool.h"
 #include "storage/external_sort.h"
 #include "storage/page.h"

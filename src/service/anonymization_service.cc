@@ -1,0 +1,170 @@
+#include "service/anonymization_service.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace kanon {
+
+AnonymizationService::AnonymizationService(size_t dim, Domain domain,
+                                           ServiceOptions options)
+    : dim_(dim),
+      options_(options),
+      domain_(std::move(domain)),
+      queue_(dim, options_.queue_capacity, options_.backpressure),
+      anonymizer_(dim, options_.anonymizer, &domain_),
+      ingest_thread_([this] { IngestLoop(); }) {
+  KANON_CHECK(dim >= 1 && domain_.dim() == dim);
+  KANON_CHECK(options_.max_batch >= 1);
+}
+
+AnonymizationService::~AnonymizationService() { Stop(); }
+
+Status AnonymizationService::Ingest(std::span<const double> point,
+                                    int32_t sensitive) {
+  KANON_CHECK(point.size() == dim_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("service is stopped");
+  }
+  return queue_.Enqueue(point, sensitive);
+}
+
+StatusOr<PartitionSet> AnonymizationService::GetRelease(size_t k1) const {
+  const std::shared_ptr<const Snapshot> snapshot = CurrentSnapshot();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition("no snapshot published yet");
+  }
+  return snapshot->Release(k1);
+}
+
+std::shared_ptr<const Snapshot> AnonymizationService::PublishNow() {
+  if (ingest_done_.load(std::memory_order_acquire)) return CurrentSnapshot();
+  const uint64_t ticket =
+      publish_requested_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  queue_.Notify();
+  std::unique_lock<std::mutex> lock(publish_mu_);
+  publish_cv_.wait(lock, [&] {
+    return publish_serviced_.load(std::memory_order_acquire) >= ticket ||
+           ingest_done_.load(std::memory_order_acquire);
+  });
+  lock.unlock();
+  return CurrentSnapshot();
+}
+
+void AnonymizationService::Stop() {
+  std::call_once(stop_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+    queue_.Close();
+    ingest_thread_.Join();
+  });
+}
+
+ServiceStats AnonymizationService::Stats() const {
+  ServiceStats stats;
+  stats.enqueued = queue_.total_enqueued();
+  stats.rejected = queue_.total_rejected();
+  stats.inserted = inserted_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.snapshots = snapshots_.load(std::memory_order_relaxed);
+  stats.queue_depth = queue_.pending();
+  stats.last_snapshot_build_ms =
+      last_build_ms_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(samples_mu_);
+    stats.batch_sizes = SampleHistogram(batch_samples_, 16);
+  }
+  if (const auto snapshot = CurrentSnapshot()) {
+    stats.snapshot_age_s = snapshot->info().AgeSeconds();
+  }
+  return stats;
+}
+
+void AnonymizationService::IngestLoop() {
+  // One reusable batch: after warm-up the drain/apply cycle allocates
+  // nothing (Clear keeps the vectors' capacity).
+  IngestBatch batch;
+  batch.points.reserve(options_.max_batch * dim_);
+  batch.sensitives.reserve(options_.max_batch);
+  for (;;) {
+    batch.Clear();
+    const size_t n = queue_.DrainBatch(&batch, options_.max_batch,
+                                       [this] { return PublishPending(); });
+    if (n > 0) ApplyBatch(batch);
+    if (PublishPending()) {
+      // Drain whatever producers managed to enqueue before the request so
+      // the published snapshot is current, then service every waiter that
+      // had a ticket when the build started.
+      if (queue_.pending() > 0) continue;
+      const uint64_t req =
+          publish_requested_.load(std::memory_order_acquire);
+      Publish();
+      {
+        std::lock_guard<std::mutex> lock(publish_mu_);
+        publish_serviced_.store(req, std::memory_order_release);
+      }
+      publish_cv_.notify_all();
+    } else if (options_.snapshot_every > 0 &&
+               since_snapshot_ >= options_.snapshot_every) {
+      Publish();
+    }
+    if (n == 0 && queue_.closed() && queue_.pending() == 0) break;
+  }
+  // Final snapshot: cover every record that was ever ingested.
+  if (since_snapshot_ > 0 ||
+      snapshots_.load(std::memory_order_relaxed) == 0) {
+    Publish();
+  }
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    ingest_done_.store(true, std::memory_order_release);
+  }
+  publish_cv_.notify_all();
+}
+
+void AnonymizationService::ApplyBatch(const IngestBatch& batch) {
+  for (size_t i = 0; i < batch.size(); ++i) {
+    anonymizer_.Insert(batch.point(i), next_rid_++, batch.sensitives[i]);
+  }
+  inserted_.fetch_add(batch.size(), std::memory_order_release);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  since_snapshot_ += batch.size();
+  std::lock_guard<std::mutex> lock(samples_mu_);
+  if (batch_samples_.size() < kMaxBatchSamples) {
+    batch_samples_.push_back(static_cast<double>(batch.size()));
+  }
+}
+
+bool AnonymizationService::Publish() {
+  const RPlusTree& tree = anonymizer_.tree();
+  if (tree.size() < options_.anonymizer.base_k) return false;
+  Timer timer;
+  std::vector<LeafGroup> leaves = ExtractLeafGroups(tree, &domain_);
+  if (!options_.anonymizer.compact) {
+    // Publish index regions instead of tight MBRs (the uncompacted view).
+    for (LeafGroup& group : leaves) {
+      if (!group.region.empty()) group.mbr = group.region;
+    }
+  }
+  SnapshotInfo info;
+  info.records = tree.size();
+  info.base_k = options_.anonymizer.base_k;
+  const PartitionSet base = LeafScan(leaves, info.base_k);
+  info.num_partitions = base.num_partitions();
+  info.min_partition = base.min_partition_size();
+  info.max_partition = base.max_partition_size();
+  info.avg_ncp = AverageBoxNcp(base, domain_);
+  info.build_ms = timer.ElapsedMillis();
+  info.created = std::chrono::steady_clock::now();
+  info.epoch = snapshots_.fetch_add(1, std::memory_order_relaxed) + 1;
+  last_build_ms_.store(info.build_ms, std::memory_order_relaxed);
+  auto snapshot =
+      std::make_shared<const Snapshot>(std::move(leaves), domain_, info);
+  {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    current_ = std::move(snapshot);
+  }
+  since_snapshot_ = 0;
+  return true;
+}
+
+}  // namespace kanon

@@ -1,0 +1,171 @@
+#ifndef KANON_SERVICE_ANONYMIZATION_SERVICE_H_
+#define KANON_SERVICE_ANONYMIZATION_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "anon/rtree_anonymizer.h"
+#include "common/status.h"
+#include "common/thread.h"
+#include "service/ingest_queue.h"
+#include "service/service_stats.h"
+#include "service/snapshot.h"
+
+namespace kanon {
+
+/// Tuning knobs of the serving layer.
+struct ServiceOptions {
+  /// Index configuration (base_k, split heuristics, constraints...). The
+  /// bulk-loading backend knobs are ignored — the service is the
+  /// record-at-a-time path by construction.
+  RTreeAnonymizerOptions anonymizer;
+
+  /// Capacity of the ingest queue, in records. This is the burst the
+  /// service absorbs before backpressure engages.
+  size_t queue_capacity = 4096;
+
+  /// Maximum records applied to the index per critical section. Larger
+  /// batches amortize the single-writer section over more records.
+  size_t max_batch = 256;
+
+  /// What producers experience when the queue is full.
+  BackpressureMode backpressure = BackpressureMode::kBlock;
+
+  /// Publish a fresh snapshot every this many inserts (0 = only on demand
+  /// and at Stop). Publication is skipped while fewer than base_k records
+  /// are indexed — fewer than k records cannot be k-anonymized.
+  uint64_t snapshot_every = 10000;
+};
+
+/// A concurrent incremental anonymization service (the serving layer of the
+/// ROADMAP's "heavy traffic" north star) built on the paper's central
+/// property: the R⁺-tree index *is* the anonymization, and maintaining it
+/// under record-at-a-time inserts is cheap.
+///
+/// Architecture — single writer, readers decoupled from ingest:
+///
+///   producers --Ingest()--> [bounded MPSC queue] --batch--> ingest thread
+///                                                              |
+///                                      owns RPlusTree, applies batches,
+///                                      republishes an immutable Snapshot
+///                                                              v
+///   readers  --GetRelease(k1)-- <--shared_ptr swap-- [current snapshot]
+///
+/// The live tree is touched by exactly one thread, so the index needs no
+/// locks and keeps its single-threaded insert speed. Readers never see the
+/// live tree: they copy the current Snapshot pointer (a constant-time
+/// critical section — snapshots are built entirely off-lock) and run the
+/// leaf scan over its frozen leaf groups, so GetRelease neither blocks
+/// ingest nor is blocked by it, at any requested granularity k1 >= base_k
+/// (Lemma 1 keeps any set of such releases jointly safe).
+class AnonymizationService {
+ public:
+  /// `domain` is the quasi-identifier domain the stream is drawn from
+  /// (from schema metadata in practice). It normalizes split decisions and
+  /// anchors the uncompacted regions and NCP summaries of every snapshot.
+  AnonymizationService(size_t dim, Domain domain, ServiceOptions options = {});
+
+  /// Stops the service (drains + final publish) if still running.
+  ~AnonymizationService();
+
+  AnonymizationService(const AnonymizationService&) = delete;
+  AnonymizationService& operator=(const AnonymizationService&) = delete;
+
+  size_t dim() const { return dim_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Submits one record from any thread. Blocks or returns
+  /// ResourceExhausted under backpressure (per options().backpressure);
+  /// returns FailedPrecondition after Stop().
+  Status Ingest(std::span<const double> point, int32_t sensitive = 0);
+
+  /// The most recent published snapshot (nullptr before the first
+  /// publication). Constant time — the lock guards only a pointer copy,
+  /// never tree or snapshot work — and the snapshot stays valid as long
+  /// as the caller holds the pointer, even across Stop().
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    return current_;
+  }
+
+  /// Releases the k1-anonymization of the current snapshot's records.
+  /// FailedPrecondition when nothing has been published yet.
+  StatusOr<PartitionSet> GetRelease(size_t k1) const;
+
+  /// Asks the ingest thread to drain currently queued records and publish,
+  /// then blocks until that publication (or shutdown) happens. Returns the
+  /// snapshot current after the request was serviced.
+  std::shared_ptr<const Snapshot> PublishNow();
+
+  /// Graceful shutdown: rejects new records, drains the queue, publishes a
+  /// final snapshot covering every ingested record, and joins the ingest
+  /// thread. Idempotent.
+  void Stop();
+
+  /// Total records ingested into the index so far (monotonic).
+  uint64_t inserted() const {
+    return inserted_.load(std::memory_order_relaxed);
+  }
+
+  ServiceStats Stats() const;
+
+ private:
+  void IngestLoop();
+  void ApplyBatch(const IngestBatch& batch);
+  /// Publishes iff at least base_k records are indexed. Returns true when
+  /// a snapshot was actually published.
+  bool Publish();
+  bool PublishPending() const {
+    return publish_requested_.load(std::memory_order_acquire) >
+           publish_serviced_.load(std::memory_order_acquire);
+  }
+
+  const size_t dim_;
+  const ServiceOptions options_;
+  const Domain domain_;
+
+  IngestQueue queue_;
+  IncrementalAnonymizer anonymizer_;  // ingest thread only
+  uint64_t next_rid_ = 0;             // ingest thread only
+  uint64_t since_snapshot_ = 0;       // ingest thread only
+
+  // The published snapshot. A plain mutex rather than
+  // std::atomic<std::shared_ptr>: snapshots are built entirely outside
+  // the lock, so the critical section is one shared_ptr copy — and
+  // libstdc++'s atomic shared_ptr spinlock is opaque to TSan, which this
+  // code is required to run clean under.
+  mutable std::mutex current_mu_;
+  std::shared_ptr<const Snapshot> current_;
+
+  // Counters (see ServiceStats for meanings; enqueued/rejected live in
+  // the queue, under its lock).
+  std::atomic<uint64_t> inserted_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> snapshots_{0};
+  std::atomic<double> last_build_ms_{0.0};
+
+  // Batch-size samples for the histogram, capped so a long-running service
+  // cannot grow them unboundedly (counters keep exact totals regardless).
+  static constexpr size_t kMaxBatchSamples = 1 << 16;
+  mutable std::mutex samples_mu_;
+  std::vector<double> batch_samples_;
+
+  // On-demand publication handshake (see PublishNow / IngestLoop).
+  std::atomic<uint64_t> publish_requested_{0};
+  std::atomic<uint64_t> publish_serviced_{0};
+  std::atomic<bool> ingest_done_{false};
+  std::mutex publish_mu_;
+  std::condition_variable publish_cv_;
+
+  std::atomic<bool> stopping_{false};
+  std::once_flag stop_once_;
+  JoinableThread ingest_thread_;  // last member: joins before the rest dies
+};
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_ANONYMIZATION_SERVICE_H_

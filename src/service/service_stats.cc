@@ -1,0 +1,27 @@
+#include "service/service_stats.h"
+
+#include <sstream>
+
+namespace kanon {
+
+std::string FormatServiceStats(const ServiceStats& stats) {
+  std::ostringstream os;
+  os << "ingest: enqueued=" << stats.enqueued
+     << " rejected=" << stats.rejected << " inserted=" << stats.inserted
+     << " queued=" << stats.queue_depth << "\n";
+  os << "batches: count=" << stats.batches << " mean_size=";
+  os.precision(1);
+  os << std::fixed << stats.mean_batch();
+  if (!stats.batch_sizes.mass.empty()) {
+    os << " size_range=[" << stats.batch_sizes.lo << ", "
+       << stats.batch_sizes.hi << "]";
+  }
+  os << "\n";
+  os.precision(2);
+  os << "snapshots: published=" << stats.snapshots
+     << " last_build_ms=" << stats.last_snapshot_build_ms
+     << " age_s=" << stats.snapshot_age_s;
+  return os.str();
+}
+
+}  // namespace kanon

@@ -1,0 +1,40 @@
+#ifndef KANON_SERVICE_SERVICE_STATS_H_
+#define KANON_SERVICE_SERVICE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "metrics/histogram.h"
+
+namespace kanon {
+
+/// A point-in-time view of the service's counters, assembled by
+/// AnonymizationService::Stats(). All counts are cumulative since start.
+struct ServiceStats {
+  uint64_t enqueued = 0;   // records accepted into the queue
+  uint64_t rejected = 0;   // records refused by kReject backpressure
+  uint64_t inserted = 0;   // records applied to the index
+  uint64_t batches = 0;    // tree critical sections taken
+  uint64_t snapshots = 0;  // snapshot publications (== current epoch)
+  size_t queue_depth = 0;  // records waiting right now
+
+  /// Distribution of drained batch sizes — how well batching amortizes the
+  /// tree critical section (mean batch size = inserted / batches).
+  Histogram batch_sizes;
+
+  double last_snapshot_build_ms = 0.0;
+  double snapshot_age_s = 0.0;  // 0 before the first publication
+
+  double mean_batch() const {
+    return batches == 0
+               ? 0.0
+               : static_cast<double>(inserted) / static_cast<double>(batches);
+  }
+};
+
+/// One-paragraph rendering for CLI / bench output.
+std::string FormatServiceStats(const ServiceStats& stats);
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_SERVICE_STATS_H_

@@ -1,0 +1,28 @@
+#include "service/snapshot.h"
+
+#include <algorithm>
+
+namespace kanon {
+
+PartitionSet Snapshot::Release(size_t k1) const {
+  return LeafScan(leaves_, std::max(k1, info_.base_k));
+}
+
+double AverageBoxNcp(const PartitionSet& ps, const Domain& domain) {
+  size_t records = 0;
+  double penalty = 0.0;
+  for (const Partition& p : ps.partitions) {
+    double ncp = 0.0;
+    for (size_t a = 0; a < domain.dim(); ++a) {
+      const double extent = domain.Extent(a);
+      if (extent > 0.0) ncp += p.box.Extent(a) / extent;
+    }
+    penalty += ncp * static_cast<double>(p.size());
+    records += p.size();
+  }
+  if (records == 0 || domain.dim() == 0) return 0.0;
+  return penalty / (static_cast<double>(records) *
+                    static_cast<double>(domain.dim()));
+}
+
+}  // namespace kanon

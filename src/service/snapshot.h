@@ -1,0 +1,77 @@
+#ifndef KANON_SERVICE_SNAPSHOT_H_
+#define KANON_SERVICE_SNAPSHOT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "anon/leaf_scan.h"
+#include "anon/partition.h"
+#include "data/dataset.h"
+#include "index/bulk_load.h"
+
+namespace kanon {
+
+/// Metadata of one published snapshot, including the quality summary of its
+/// base-granularity release.
+struct SnapshotInfo {
+  uint64_t epoch = 0;       // monotonically increasing publication counter
+  uint64_t records = 0;     // live records covered by this snapshot
+  size_t base_k = 0;        // minimum granularity any release can request
+  double build_ms = 0.0;    // leaf extraction + base release + summary time
+  std::chrono::steady_clock::time_point created{};
+
+  // Quality of the base_k release (the finest publishable view).
+  size_t num_partitions = 0;
+  size_t min_partition = 0;
+  size_t max_partition = 0;
+  double avg_ncp = 0.0;  // mean per-record, per-attribute extent ratio
+
+  double AgeSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         created)
+        .count();
+  }
+};
+
+/// An immutable, shareable release point of the anonymization service: the
+/// ordered leaf groups of the index at publication time (MBRs already
+/// compacted) plus the data domain. Because partitions released from a
+/// snapshot are unions of whole leaves, Lemma 1 makes every granularity
+/// k1 >= base_k — and any number of them — jointly k-anonymous, so a
+/// snapshot can serve arbitrarily many Release calls from arbitrarily many
+/// threads with no synchronization at all.
+class Snapshot {
+ public:
+  Snapshot(std::vector<LeafGroup> leaves, Domain domain, SnapshotInfo info)
+      : leaves_(std::move(leaves)),
+        domain_(std::move(domain)),
+        info_(info) {}
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  const SnapshotInfo& info() const { return info_; }
+  const Domain& domain() const { return domain_; }
+  const std::vector<LeafGroup>& leaves() const { return leaves_; }
+
+  /// Emits the k1-granular anonymization of this snapshot's records via the
+  /// leaf-scan algorithm. k1 below base_k is clamped up to base_k (the index
+  /// cannot publish finer than its leaves). Const, allocation-local,
+  /// lock-free: safe from any thread while the service keeps ingesting.
+  PartitionSet Release(size_t k1) const;
+
+ private:
+  std::vector<LeafGroup> leaves_;
+  Domain domain_;
+  SnapshotInfo info_;
+};
+
+/// Mean per-record, per-attribute extent ratio of a partition set against
+/// `domain` — the numeric-attribute NCP, computable without the backing
+/// dataset (which the serving layer never exposes to readers).
+double AverageBoxNcp(const PartitionSet& ps, const Domain& domain);
+
+}  // namespace kanon
+
+#endif  // KANON_SERVICE_SNAPSHOT_H_

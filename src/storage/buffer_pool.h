@@ -21,6 +21,15 @@ struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+
+  /// Fraction of fetches served from memory, in [0, 1] (0 when the pool
+  /// was never touched). The cache-behaviour companion to the explicit
+  /// I/O counts of Fig 8(b).
+  double hit_rate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
 };
 
 /// RAII pin on a buffered page. While a handle is alive the frame cannot be

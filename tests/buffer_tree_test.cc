@@ -52,6 +52,22 @@ TEST(BufferTreeTest, BulkLoadKeepsAllRecordsAndInvariants) {
   ASSERT_TRUE(rig.tree->CheckInvariants().ok());
 }
 
+// Regression: ReplaceChild used to resolve the parent's overflow itself
+// while ResolveOverflow's loop also advanced to that parent, so ≥2-level
+// split cascades walked freed nodes. Minimum fanout forces deep cascades.
+TEST(BufferTreeTest, CascadingSplitsKeepInvariants) {
+  Rig rig(2);
+  rig.config.min_leaf = 2;
+  rig.config.max_leaf = 5;
+  rig.config.max_fanout = 2;
+  rig.tree = std::make_unique<BufferTree>(2, rig.config, &rig.pool);
+  InsertRandom(rig.tree.get(), 2000, 7, 2);
+  ASSERT_TRUE(rig.tree->Flush().ok());
+  EXPECT_EQ(rig.tree->size(), 2000u);
+  ASSERT_TRUE(rig.tree->CheckInvariants().ok());
+  EXPECT_GT(rig.tree->height(), 5);
+}
+
 TEST(BufferTreeTest, LeavesPartitionRecordsExactlyOnce) {
   Rig rig(2);
   InsertRandom(rig.tree.get(), 3000, 3, 2);

@@ -91,8 +91,38 @@ class CliRunTest : public ::testing::Test {
 };
 
 TEST_F(CliRunTest, InferColumnsTreatsLastAsSensitive) {
-  EXPECT_EQ(InferColumns(input_), 2u);
-  EXPECT_EQ(InferColumns("/nonexistent/x.csv"), 0u);
+  auto columns = InferColumns(input_);
+  ASSERT_TRUE(columns.ok());
+  EXPECT_EQ(*columns, 2u);
+}
+
+TEST_F(CliRunTest, InferColumnsReportsUnreadableFile) {
+  auto columns = InferColumns("/nonexistent/x.csv");
+  ASSERT_FALSE(columns.ok());
+  EXPECT_EQ(columns.status().code(), StatusCode::kIoError);
+  EXPECT_NE(columns.status().message().find("/nonexistent/x.csv"),
+            std::string::npos);
+}
+
+TEST_F(CliRunTest, InferColumnsReportsEmptyFile) {
+  const std::string empty = ::testing::TempDir() + "/cli_empty.csv";
+  { std::ofstream out(empty); }
+  auto columns = InferColumns(empty);
+  ASSERT_FALSE(columns.ok());
+  EXPECT_EQ(columns.status().code(), StatusCode::kInvalidArgument);
+  std::remove(empty.c_str());
+}
+
+TEST_F(CliRunTest, EmptyInputProducesClearCliError) {
+  const std::string empty = ::testing::TempDir() + "/cli_empty_in.csv";
+  { std::ofstream out(empty); }
+  CliOptions o;
+  o.input = empty;
+  o.output = output_;
+  std::ostringstream log;
+  EXPECT_EQ(cli::Run(o, log), 1);
+  EXPECT_NE(log.str().find("empty"), std::string::npos) << log.str();
+  std::remove(empty.c_str());
 }
 
 TEST_F(CliRunTest, RTreePipelineEndToEnd) {
@@ -146,6 +176,59 @@ TEST_F(CliRunTest, MissingInputFails) {
   o.output = output_;
   std::ostringstream log;
   EXPECT_EQ(cli::Run(o, log), 1);
+}
+
+TEST(CliServeParseTest, ParsesFlagsAndRejectsUnknown) {
+  cli::ServeOptions o;
+  std::vector<const char*> argv = {"serve",  "--input", "a.csv",
+                                   "--k",    "25",      "--producers",
+                                   "4",      "--rate",  "5000",
+                                   "--queue", "128",    "--batch",
+                                   "32",     "--snapshot-every", "500",
+                                   "--reject", "--release", "25,100"};
+  ASSERT_TRUE(cli::ParseServeArgs(static_cast<int>(argv.size()),
+                                  argv.data(), &o));
+  EXPECT_EQ(o.input, "a.csv");
+  EXPECT_EQ(o.k, 25u);
+  EXPECT_EQ(o.producers, 4u);
+  EXPECT_DOUBLE_EQ(o.rate, 5000.0);
+  EXPECT_EQ(o.queue_capacity, 128u);
+  EXPECT_EQ(o.max_batch, 32u);
+  EXPECT_EQ(o.snapshot_every, 500u);
+  EXPECT_TRUE(o.reject);
+  EXPECT_EQ(o.releases, (std::vector<size_t>{25, 100}));
+
+  cli::ServeOptions missing;
+  const char* none[] = {"serve"};
+  EXPECT_FALSE(cli::ParseServeArgs(1, none, &missing));  // --input required
+  cli::ServeOptions unknown;
+  const char* bad[] = {"serve", "--input", "a", "--frobnicate"};
+  EXPECT_FALSE(cli::ParseServeArgs(4, bad, &unknown));
+}
+
+TEST_F(CliRunTest, ServeModeEndToEnd) {
+  cli::ServeOptions o;
+  o.input = input_;
+  o.k = 20;
+  o.producers = 3;
+  o.queue_capacity = 64;
+  o.max_batch = 16;
+  o.snapshot_every = 250;
+  o.releases = {20, 50};
+  std::ostringstream log;
+  EXPECT_EQ(cli::RunServe(o, log), 0) << log.str();
+  EXPECT_NE(log.str().find("read 1000 records"), std::string::npos);
+  EXPECT_NE(log.str().find("inserted=1000"), std::string::npos);
+  EXPECT_NE(log.str().find("records=1000"), std::string::npos);
+  EXPECT_NE(log.str().find("release k1=50"), std::string::npos);
+}
+
+TEST_F(CliRunTest, ServeModeMissingInputFails) {
+  cli::ServeOptions o;
+  o.input = "/nonexistent/in.csv";
+  std::ostringstream log;
+  EXPECT_EQ(cli::RunServe(o, log), 1);
+  EXPECT_NE(log.str().find("/nonexistent/in.csv"), std::string::npos);
 }
 
 TEST_F(CliRunTest, SchemaSpecDrivesNames) {

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "common/sysinfo.h"
+#include "common/thread.h"
 #include "common/timer.h"
 #include "storage/spill_file.h"
 
@@ -33,6 +35,85 @@ TEST(SysinfoTest, QueryProducesPlausibleValues) {
   const std::string table = FormatSystemInfoTable(info);
   EXPECT_NE(table.find("Compiler"), std::string::npos);
   EXPECT_NE(table.find("Memory"), std::string::npos);
+}
+
+TEST(JoinableThreadTest, JoinsOnDestruction) {
+  std::atomic<bool> ran{false};
+  {
+    JoinableThread t([&] { ran.store(true); });
+  }  // destructor joins
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(BoundedQueueTest, FifoOrderAndCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.TryPush(3));
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_EQ(v, 3);
+}
+
+TEST(BoundedQueueTest, PopBatchChunksInOrder) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.TryPush(i));
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 4), 4u);
+  EXPECT_EQ(q.PopBatch(&out, 4), 4u);
+  EXPECT_EQ(q.PopBatch(&out, 4), 2u);
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenReportsExhaustion) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.TryPush(7));
+  q.Close();
+  EXPECT_FALSE(q.TryPush(8));  // closed
+  EXPECT_FALSE(q.Push(9));
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));  // queued item survives Close
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(q.Pop(&v));  // drained + closed
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 4), 0u);
+}
+
+TEST(BoundedQueueTest, PushUnblocksWhenConsumerDrains) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.TryPush(0));
+  std::atomic<bool> pushed{false};
+  JoinableThread producer([&] {
+    EXPECT_TRUE(q.Push(1));  // blocks until the pop below
+    pushed.store(true);
+  });
+  int v = 0;
+  EXPECT_TRUE(q.Pop(&v));
+  EXPECT_TRUE(q.Pop(&v));  // waits for the producer's item
+  EXPECT_EQ(v, 1);
+  producer.Join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(BoundedQueueTest, PopBatchWakeConditionInterruptsWait) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> wake{false};
+  JoinableThread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    wake.store(true);
+    q.Notify();
+  });
+  std::vector<int> out;
+  // Blocks on the empty queue until the wake condition fires; returns 0.
+  EXPECT_EQ(q.PopBatch(&out, 4, [&] { return wake.load(); }), 0u);
+  EXPECT_TRUE(out.empty());
 }
 
 TEST(RecordBatchTest, AppendRowAndClear) {

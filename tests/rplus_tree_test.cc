@@ -65,6 +65,22 @@ TEST(RPlusTreeTest, ManyInsertsKeepInvariants) {
   EXPECT_GT(stats.height, 2);
 }
 
+// Regression: with a tiny fanout every leaf split cascades several
+// internal levels. ResolveOverflow used to walk back onto a node the
+// recursive resolution had already destroyed (a use-after-free that read
+// as fanout 0 and went unnoticed without sanitizers).
+TEST(RPlusTreeTest, CascadingSplitsKeepInvariants) {
+  RTreeConfig config;
+  config.min_leaf = 2;
+  config.max_leaf = 5;
+  config.max_fanout = 2;  // minimum: every internal split overflows parent
+  RPlusTree tree(2, config);
+  InsertRandom(&tree, 2000, 11, 2);
+  EXPECT_EQ(tree.size(), 2000u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_GT(tree.ComputeStats().height, 5);
+}
+
 TEST(RPlusTreeTest, LeavesPartitionAllRecords) {
   RPlusTree tree(2, SmallConfig());
   InsertRandom(&tree, 1000, 4, 2);

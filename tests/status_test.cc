@@ -29,12 +29,16 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Unimplemented("").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("").code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(StatusTest, CodeToStringCoversAllCodes) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -129,6 +129,14 @@ TEST(BufferPoolTest, HitAvoidsIo) {
   EXPECT_EQ(pool.stats().hits, 1u);
 }
 
+TEST(BufferPoolTest, HitRateSummarizesStats) {
+  EXPECT_EQ(BufferPoolStats{}.hit_rate(), 0.0);  // untouched pool: defined
+  BufferPoolStats stats;
+  stats.hits = 3;
+  stats.misses = 1;
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.75);
+}
+
 TEST(BufferPoolTest, EvictionWritesBackDirtyAndRereads) {
   MemPager pager(4096);
   BufferPool pool(&pager, 2);

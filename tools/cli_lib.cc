@@ -1,12 +1,41 @@
 #include "cli_lib.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <thread>
 
+#include "common/thread.h"
 #include "kanon/kanon.h"
 
 namespace kanon::cli {
+
+namespace {
+
+/// Builds the schema (from a spec file, an explicit column count, or the
+/// input's first row) and reads the CSV. Shared by Run and RunServe.
+StatusOr<Dataset> LoadInput(const std::string& input,
+                            const std::string& schema_path, size_t columns,
+                            bool skip_header, std::ostream& log) {
+  Schema schema;
+  if (!schema_path.empty()) {
+    KANON_ASSIGN_OR_RETURN(schema, LoadSchemaSpec(schema_path));
+    log << "schema: " << schema.dim() << " attributes\n";
+  } else {
+    if (columns == 0) {
+      KANON_ASSIGN_OR_RETURN(columns, InferColumns(input));
+      log << "inferred " << columns << " quasi-identifier columns\n";
+    }
+    schema = Schema::Numeric(columns);
+  }
+  CsvOptions csv;
+  csv.skip_header = skip_header;
+  return ReadNumericCsv(input, schema, csv);
+}
+
+}  // namespace
 
 bool ParseArgs(int argc, const char* const* argv, CliOptions* options) {
   for (int i = 1; i < argc; ++i) {
@@ -77,10 +106,16 @@ bool ParseArgs(int argc, const char* const* argv, CliOptions* options) {
          options->k >= 1;
 }
 
-size_t InferColumns(const std::string& path) {
+StatusOr<size_t> InferColumns(const std::string& path) {
   std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open input file " + path);
+  }
   std::string line;
-  if (!std::getline(in, line)) return 0;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("input file " + path +
+                                   " is empty; nothing to anonymize");
+  }
   const size_t fields = SplitCsvLine(line, ',').size();
   // Treat the final column as the sensitive attribute when there are at
   // least two columns.
@@ -88,31 +123,8 @@ size_t InferColumns(const std::string& path) {
 }
 
 int Run(const CliOptions& options, std::ostream& log) {
-  Schema schema;
-  if (!options.schema_path.empty()) {
-    auto parsed = LoadSchemaSpec(options.schema_path);
-    if (!parsed.ok()) {
-      log << parsed.status() << "\n";
-      return 1;
-    }
-    schema = *std::move(parsed);
-    log << "schema: " << schema.dim() << " attributes\n";
-  } else {
-    size_t columns = options.columns;
-    if (columns == 0) {
-      columns = InferColumns(options.input);
-      if (columns == 0) {
-        log << "cannot infer column count from " << options.input << "\n";
-        return 1;
-      }
-      log << "inferred " << columns << " quasi-identifier columns\n";
-    }
-    schema = Schema::Numeric(columns);
-  }
-
-  CsvOptions csv;
-  csv.skip_header = options.skip_header;
-  auto dataset = ReadNumericCsv(options.input, schema, csv);
+  auto dataset = LoadInput(options.input, options.schema_path,
+                           options.columns, options.skip_header, log);
   if (!dataset.ok()) {
     log << dataset.status() << "\n";
     return 1;
@@ -201,6 +213,162 @@ int Run(const CliOptions& options, std::ostream& log) {
   log << "wrote " << table->num_records() << " generalized records ("
       << table->num_partitions() << " partitions) to " << options.output
       << "\n";
+  return 0;
+}
+
+bool ParseServeArgs(int argc, const char* const* argv,
+                    ServeOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--input") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->input = v;
+    } else if (arg == "--schema") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->schema_path = v;
+    } else if (arg == "--k") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->k = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--columns") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->columns = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--skip-header") {
+      options->skip_header = true;
+    } else if (arg == "--producers") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->producers = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--rate") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->rate = std::strtod(v, nullptr);
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->queue_capacity = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->max_batch = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--snapshot-every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->snapshot_every = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--reject") {
+      options->reject = true;
+    } else if (arg == "--release") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      for (const std::string& field : SplitCsvLine(v, ',')) {
+        options->releases.push_back(std::strtoul(field.c_str(), nullptr, 10));
+      }
+    } else {
+      return false;
+    }
+  }
+  return !options->input.empty() && options->k >= 1 &&
+         options->producers >= 1 && options->queue_capacity >= 1 &&
+         options->max_batch >= 1;
+}
+
+int RunServe(const ServeOptions& options, std::ostream& log) {
+  auto dataset = LoadInput(options.input, options.schema_path,
+                           options.columns, options.skip_header, log);
+  if (!dataset.ok()) {
+    log << dataset.status() << "\n";
+    return 1;
+  }
+  const size_t n = dataset->num_records();
+  log << "read " << n << " records\n";
+  if (dataset->empty()) return 1;
+
+  ServiceOptions service_options;
+  service_options.anonymizer.base_k = options.k;
+  service_options.queue_capacity = options.queue_capacity;
+  service_options.max_batch = options.max_batch;
+  service_options.backpressure = options.reject ? BackpressureMode::kReject
+                                                : BackpressureMode::kBlock;
+  service_options.snapshot_every = options.snapshot_every;
+  const Domain domain = dataset->ComputeDomain();
+  AnonymizationService service(dataset->dim(), domain, service_options);
+
+  // Each producer streams a stripe of the file at its share of the target
+  // rate, which interleaves into an approximately file-ordered stream.
+  const size_t producers = options.producers;
+  const double per_producer_rate =
+      options.rate > 0.0 ? options.rate / static_cast<double>(producers)
+                         : 0.0;
+  Timer timer;
+  {
+    std::vector<JoinableThread> threads;
+    for (size_t t = 0; t < producers; ++t) {
+      threads.emplace_back([&, t] {
+        using Clock = std::chrono::steady_clock;
+        const auto start = Clock::now();
+        size_t sent = 0;
+        for (RecordId r = t; r < n; r += producers) {
+          if (per_producer_rate > 0.0) {
+            std::this_thread::sleep_until(
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                static_cast<double>(sent) /
+                                per_producer_rate)));
+          }
+          // In kReject mode drops are expected under burst; they are
+          // counted by the service and reported below.
+          (void)service.Ingest(dataset->row(r), dataset->sensitive(r));
+          ++sent;
+        }
+      });
+    }
+  }  // joins the producers
+  service.Stop();
+  const double elapsed_s = timer.ElapsedSeconds();
+
+  const ServiceStats stats = service.Stats();
+  log << FormatServiceStats(stats) << "\n";
+  log << "streamed " << n << " records with " << producers
+      << " producers in " << elapsed_s << "s ("
+      << static_cast<double>(stats.inserted) / elapsed_s << " rec/s)\n";
+
+  const auto snapshot = service.CurrentSnapshot();
+  if (snapshot == nullptr) {
+    log << "no snapshot published: fewer than k=" << options.k
+        << " records were ingested\n";
+    return 1;
+  }
+  const SnapshotInfo& info = snapshot->info();
+  log << "final snapshot: epoch=" << info.epoch
+      << " records=" << info.records
+      << " partitions=" << info.num_partitions << " min_partition="
+      << info.min_partition << " max_partition=" << info.max_partition
+      << " avgNCP=" << info.avg_ncp << "\n";
+
+  for (const size_t k1 : options.releases) {
+    auto release = service.GetRelease(k1);
+    if (!release.ok()) {
+      log << release.status() << "\n";
+      return 1;
+    }
+    const size_t effective_k = std::min<size_t>(std::max(k1, options.k),
+                                                info.records);
+    if (auto s = release->CheckKAnonymous(effective_k); !s.ok()) {
+      log << "internal error, refusing to publish k1=" << k1 << ": " << s
+          << "\n";
+      return 1;
+    }
+    log << "release k1=" << k1 << ": partitions="
+        << release->num_partitions() << " min_partition="
+        << release->min_partition_size() << " avgNCP="
+        << AverageBoxNcp(*release, snapshot->domain()) << "\n";
+  }
   return 0;
 }
 

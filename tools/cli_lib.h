@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace kanon::cli {
 
 /// Parsed command-line options of kanon_cli (see tools/kanon_cli.cc for
@@ -33,13 +35,41 @@ struct CliOptions {
 bool ParseArgs(int argc, const char* const* argv, CliOptions* options);
 
 /// Number of quasi-identifier columns implied by the file's first row
-/// (fields minus one for the sensitive column when there are >= 2 fields);
-/// 0 if the file is empty/unreadable.
-size_t InferColumns(const std::string& path);
+/// (fields minus one for the sensitive column when there are >= 2 fields).
+/// Errors with IoError when the file cannot be opened and InvalidArgument
+/// when it is empty — so a bad --input fails with a message naming the
+/// file instead of a confusing downstream parse error.
+StatusOr<size_t> InferColumns(const std::string& path);
 
 /// Runs the anonymization pipeline; diagnostics go to `log`. Returns the
 /// process exit code.
 int Run(const CliOptions& options, std::ostream& log = std::cerr);
+
+/// Options of the `kanon_cli serve` subcommand: stream a CSV through the
+/// concurrent AnonymizationService and report serving statistics.
+struct ServeOptions {
+  std::string input;
+  std::string schema_path;
+  size_t k = 10;
+  size_t columns = 0;  // 0 = infer from the first row
+  bool skip_header = false;
+  size_t producers = 2;     // concurrent client threads
+  double rate = 0.0;        // target records/sec across producers (0 = max)
+  size_t queue_capacity = 4096;
+  size_t max_batch = 256;
+  uint64_t snapshot_every = 10000;
+  bool reject = false;      // kReject backpressure instead of blocking
+  std::vector<size_t> releases;  // extra k1 granularities to report
+};
+
+/// Parses the argv *after* the `serve` token. Returns false on malformed
+/// or missing required flags.
+bool ParseServeArgs(int argc, const char* const* argv, ServeOptions* options);
+
+/// Streams the input through an AnonymizationService with the configured
+/// producer count and target rate, then prints ServiceStats and the final
+/// snapshot's releases. Returns the process exit code.
+int RunServe(const ServeOptions& options, std::ostream& log = std::cerr);
 
 }  // namespace kanon::cli
 

@@ -6,6 +6,15 @@
 //             [--ldiversity L | --entropy L | --recursive C,L | --alpha A]
 //             [--uncompacted] [--bias COL[,COL...]] [--metrics]
 //
+// Serve mode streams the CSV through the concurrent incremental
+// anonymization service (src/service/) and reports serving statistics:
+//
+//   kanon_cli serve --input data.csv --k 10
+//             [--schema spec.txt | --columns 8] [--skip-header]
+//             [--producers P] [--rate RECORDS_PER_SEC] [--queue N]
+//             [--batch B] [--snapshot-every N] [--reject]
+//             [--release K1[,K1...]]
+//
 // The input's quasi-identifier fields are parsed as numbers (categoricals
 // numerically recoded upstream); an optional final integer column is the
 // sensitive attribute. With --schema (see data/schema_spec.h) attributes
@@ -29,12 +38,25 @@ void Usage() {
       "                 [--algorithm rtree|mondrian|grid]\n"
       "                 [--ldiversity L | --entropy L | --recursive C,L |\n"
       "                  --alpha A] [--uncompacted]\n"
-      "                 [--bias COL[,COL...]] [--metrics]\n";
+      "                 [--bias COL[,COL...]] [--metrics]\n"
+      "   or: kanon_cli serve --input FILE --k K\n"
+      "                 [--schema SPEC | --columns N] [--skip-header]\n"
+      "                 [--producers P] [--rate R] [--queue N] [--batch B]\n"
+      "                 [--snapshot-every N] [--reject]\n"
+      "                 [--release K1[,K1...]]\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "serve") {
+    kanon::cli::ServeOptions options;
+    if (!kanon::cli::ParseServeArgs(argc - 1, argv + 1, &options)) {
+      Usage();
+      return 2;
+    }
+    return kanon::cli::RunServe(options);
+  }
   kanon::cli::CliOptions options;
   if (!kanon::cli::ParseArgs(argc, argv, &options)) {
     Usage();
