@@ -180,6 +180,16 @@ void IncrementalAnonymizer::Insert(std::span<const double> point,
   tree_.Insert(point, rid, sensitive);
 }
 
+void IncrementalAnonymizer::AdoptTree(RPlusTree tree) {
+  KANON_CHECK_MSG(tree.dim() == tree_.dim(),
+                  "adopted tree dimensionality mismatch");
+  KANON_CHECK_MSG(tree.config().min_leaf == tree_.config().min_leaf &&
+                      tree.config().max_leaf == tree_.config().max_leaf &&
+                      tree.config().max_fanout == tree_.config().max_fanout,
+                  "adopted tree structural config mismatch");
+  tree_ = std::move(tree);
+}
+
 bool IncrementalAnonymizer::Delete(std::span<const double> point,
                                    RecordId rid) {
   return tree_.Delete(point, rid);

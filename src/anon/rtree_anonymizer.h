@@ -104,6 +104,14 @@ class IncrementalAnonymizer {
   size_t size() const { return tree_.size(); }
   const RPlusTree& tree() const { return tree_; }
 
+  /// Replaces the (empty) tree with one restored from persistent storage —
+  /// the crash-recovery entry point (src/durability/recovery.h). The
+  /// adopted tree must share this anonymizer's dimensionality and
+  /// structural configuration; note the restored tree keeps its original
+  /// leaf_admissible predicate semantics only if this anonymizer was
+  /// constructed with the same constraint.
+  void AdoptTree(RPlusTree tree);
+
   /// Publishes the current records as a k-anonymization (k >= base_k).
   PartitionSet Snapshot(const Dataset& dataset, size_t k) const;
 

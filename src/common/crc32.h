@@ -1,0 +1,18 @@
+#ifndef KANON_COMMON_CRC32_H_
+#define KANON_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace kanon {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `n` bytes,
+/// slice-by-4 table driven. `seed` chains incremental computations:
+/// Crc32(a+b) == Crc32(b, nb, Crc32(a, na)). Shared by the write-ahead
+/// log's entry framing and the pager's page checksums, so a single codec
+/// guards every byte the durability subsystem puts on disk.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace kanon
+
+#endif  // KANON_COMMON_CRC32_H_

@@ -1,0 +1,167 @@
+#include "durability/checkpoint.h"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/crc32.h"
+#include "durability/wal.h"
+
+namespace kanon {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x6b4d4e46u;  // "FNMk" little-endian
+constexpr uint32_t kManifestVersion = 1;
+
+/// Serialized manifest layout (all little-endian, trailing CRC32 over every
+/// preceding byte):
+///   u32 magic | u32 version | u32 dim | u32 min_leaf | u32 max_leaf |
+///   u32 max_fanout | u32 page_size | u64 checkpoint_lsn |
+///   u64 first_page | u64 byte_size | u64 record_count | u32 tree_crc |
+///   u32 file_name_length | file_name bytes | u32 crc
+std::vector<char> EncodeManifest(const CheckpointManifest& m) {
+  std::vector<char> buf;
+  auto put = [&](const void* p, size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf.insert(buf.end(), c, c + n);
+  };
+  auto put32 = [&](uint32_t x) { put(&x, sizeof(x)); };
+  auto put64 = [&](uint64_t x) { put(&x, sizeof(x)); };
+  put32(kManifestMagic);
+  put32(kManifestVersion);
+  put32(m.dim);
+  put32(m.min_leaf);
+  put32(m.max_leaf);
+  put32(m.max_fanout);
+  put32(m.page_size);
+  put64(m.checkpoint_lsn);
+  put64(static_cast<uint64_t>(m.snapshot.first_page));
+  put64(m.snapshot.byte_size);
+  put64(m.snapshot.record_count);
+  put32(m.snapshot.crc32);
+  put32(static_cast<uint32_t>(m.file.size()));
+  put(m.file.data(), m.file.size());
+  put32(Crc32(buf.data(), buf.size()));
+  return buf;
+}
+
+StatusOr<CheckpointManifest> DecodeManifest(const std::vector<char>& buf) {
+  const Status corrupt = Status::Corruption("manifest failed validation");
+  size_t off = 0;
+  auto get = [&](void* p, size_t n) -> bool {
+    if (off + n > buf.size()) return false;
+    std::memcpy(p, buf.data() + off, n);
+    off += n;
+    return true;
+  };
+  if (buf.size() < 2 * sizeof(uint32_t)) return corrupt;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + buf.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  if (Crc32(buf.data(), buf.size() - sizeof(stored_crc)) != stored_crc) {
+    return corrupt;
+  }
+  uint32_t magic = 0, version = 0;
+  CheckpointManifest m;
+  uint64_t first_page = 0, byte_size = 0, record_count = 0;
+  uint32_t name_length = 0;
+  if (!get(&magic, 4) || !get(&version, 4) || !get(&m.dim, 4) ||
+      !get(&m.min_leaf, 4) || !get(&m.max_leaf, 4) || !get(&m.max_fanout, 4) ||
+      !get(&m.page_size, 4) || !get(&m.checkpoint_lsn, 8) ||
+      !get(&first_page, 8) || !get(&byte_size, 8) || !get(&record_count, 8) ||
+      !get(&m.snapshot.crc32, 4) || !get(&name_length, 4)) {
+    return corrupt;
+  }
+  if (magic != kManifestMagic || version != kManifestVersion) return corrupt;
+  if (off + name_length + sizeof(uint32_t) != buf.size()) return corrupt;
+  m.file.assign(buf.data() + off, name_length);
+  m.snapshot.first_page = static_cast<PageId>(first_page);
+  m.snapshot.byte_size = static_cast<size_t>(byte_size);
+  m.snapshot.record_count = static_cast<size_t>(record_count);
+  return m;
+}
+
+std::string ManifestPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "MANIFEST").string();
+}
+
+}  // namespace
+
+Status StoreManifest(const std::string& dir,
+                     const CheckpointManifest& manifest) {
+  const std::vector<char> buf = EncodeManifest(manifest);
+  const std::string tmp_path =
+      (std::filesystem::path(dir) / "MANIFEST.tmp").string();
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) return Status::IoError("cannot create " + tmp_path);
+  const bool written = std::fwrite(buf.data(), 1, buf.size(), file) ==
+                           buf.size() &&
+                       std::fflush(file) == 0 && fsync(fileno(file)) == 0;
+  std::fclose(file);
+  if (!written) return Status::IoError("manifest write failed");
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, ManifestPath(dir), ec);
+  if (ec) return Status::IoError("manifest rename failed: " + ec.message());
+  return SyncDirectory(dir);
+}
+
+StatusOr<CheckpointManifest> LoadManifest(const std::string& dir) {
+  const std::string path = ManifestPath(dir);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::NotFound("no manifest in " + dir);
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::vector<char> buf(static_cast<size_t>(size));
+  const bool read_ok =
+      std::fread(buf.data(), 1, buf.size(), file) == buf.size();
+  std::fclose(file);
+  if (!read_ok) return Status::IoError("cannot read " + path);
+  return DecodeManifest(buf);
+}
+
+Status Checkpointer::Checkpoint(const RPlusTree& tree,
+                                uint64_t checkpoint_lsn) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "checkpoint-%020" PRIu64 ".db",
+                checkpoint_lsn);
+  const std::string path = (std::filesystem::path(dir_) / name).string();
+  KANON_ASSIGN_OR_RETURN(const TreeSnapshot snapshot,
+                         SaveTreeToFile(tree, path, page_size_));
+
+  CheckpointManifest manifest;
+  manifest.dim = static_cast<uint32_t>(tree.dim());
+  manifest.min_leaf = static_cast<uint32_t>(tree.config().min_leaf);
+  manifest.max_leaf = static_cast<uint32_t>(tree.config().max_leaf);
+  manifest.max_fanout = static_cast<uint32_t>(tree.config().max_fanout);
+  manifest.page_size = static_cast<uint32_t>(page_size_);
+  manifest.checkpoint_lsn = checkpoint_lsn;
+  manifest.snapshot = snapshot;
+  manifest.file = name;
+  KANON_RETURN_IF_ERROR(StoreManifest(dir_, manifest));
+
+  // The manifest is now the durable truth; everything below is cleanup of
+  // state the checkpoint superseded.
+  KANON_ASSIGN_OR_RETURN(const size_t removed,
+                         TruncateWalBefore(dir_, checkpoint_lsn));
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string other = entry.path().filename().string();
+    if (other.rfind("checkpoint-", 0) == 0 && other != name) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+
+  ++stats_.checkpoints;
+  stats_.last_checkpoint_lsn = checkpoint_lsn;
+  stats_.bytes_written += snapshot.byte_size;
+  stats_.wal_segments_removed += removed;
+  return Status::OK();
+}
+
+}  // namespace kanon

@@ -1,0 +1,90 @@
+#ifndef KANON_DURABILITY_CHECKPOINT_H_
+#define KANON_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "index/rplus_tree.h"
+#include "index/tree_persistence.h"
+#include "storage/pager.h"
+
+namespace kanon {
+
+/// Metadata of the durable checkpoint a recovery starts from. Persisted as
+/// the `MANIFEST` file via an atomic write-new-then-rename protocol: the
+/// manifest is written to `MANIFEST.tmp`, fsynced, renamed over `MANIFEST`,
+/// and the directory fsynced — so a crash at any point leaves either the
+/// old manifest or the new one, never a torn mix.
+struct CheckpointManifest {
+  /// Structural parameters the checkpointed tree was built with; recovery
+  /// refuses to adopt a checkpoint into a differently-configured service.
+  uint32_t dim = 0;
+  uint32_t min_leaf = 0;
+  uint32_t max_leaf = 0;
+  uint32_t max_fanout = 0;
+  uint32_t page_size = 0;
+  /// Every record with lsn <= checkpoint_lsn is inside the tree file;
+  /// replay resumes at checkpoint_lsn + 1.
+  uint64_t checkpoint_lsn = 0;
+  /// SaveTreeToFile snapshot of the tree file named by `file`.
+  TreeSnapshot snapshot;
+  /// Checkpoint file name, relative to the durability directory.
+  std::string file;
+};
+
+/// Counters of a Checkpointer.
+struct CheckpointerStats {
+  uint64_t checkpoints = 0;
+  uint64_t last_checkpoint_lsn = 0;
+  uint64_t bytes_written = 0;        // tree bytes across all checkpoints
+  uint64_t wal_segments_removed = 0; // segments truncated behind checkpoints
+};
+
+/// Periodically persists the live tree into `<dir>/checkpoint-<lsn>.db`,
+/// publishes it through the manifest, then truncates WAL segments the
+/// checkpoint made obsolete and removes superseded checkpoint files. Runs
+/// on the single ingest thread (the tree has one writer), so a checkpoint
+/// sees a quiescent tree.
+///
+/// Crash-safety of the sequence (save tree → publish manifest → truncate
+/// WAL → remove old checkpoints):
+///  * crash before the rename: old manifest still in place, orphan
+///    checkpoint file is garbage-collected by the next checkpoint;
+///  * crash after the rename but before WAL truncation: replay skips
+///    entries at or below checkpoint_lsn, so nothing is applied twice.
+class Checkpointer {
+ public:
+  /// Checkpoint files default to large pages: the file is written once,
+  /// sequentially, so big pages mean few syscalls (the manifest records
+  /// the size, so recovery reads whatever was written).
+  static constexpr size_t kCheckpointPageSize = 1u << 16;
+
+  explicit Checkpointer(std::string dir,
+                        size_t page_size = kCheckpointPageSize)
+      : dir_(std::move(dir)), page_size_(page_size) {}
+
+  /// Persists `tree`, which must contain exactly the records with LSNs in
+  /// [1, checkpoint_lsn].
+  Status Checkpoint(const RPlusTree& tree, uint64_t checkpoint_lsn);
+
+  const CheckpointerStats& stats() const { return stats_; }
+
+ private:
+  const std::string dir_;
+  const size_t page_size_;
+  CheckpointerStats stats_;
+};
+
+/// Reads and validates `<dir>/MANIFEST`. NotFound when no manifest exists
+/// (fresh directory); Corruption when one exists but fails its checksum.
+StatusOr<CheckpointManifest> LoadManifest(const std::string& dir);
+
+/// Writes `manifest` atomically as `<dir>/MANIFEST` (tmp + fsync + rename +
+/// directory fsync). Exposed for tests; Checkpointer calls it internally.
+Status StoreManifest(const std::string& dir,
+                     const CheckpointManifest& manifest);
+
+}  // namespace kanon
+
+#endif  // KANON_DURABILITY_CHECKPOINT_H_

@@ -1,0 +1,47 @@
+#ifndef KANON_DURABILITY_RECOVERY_H_
+#define KANON_DURABILITY_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "anon/rtree_anonymizer.h"
+#include "common/status.h"
+#include "storage/pager.h"
+
+namespace kanon {
+
+struct RecoveryOptions {
+  /// Durability directory holding MANIFEST, checkpoint files and WAL
+  /// segments. A missing or empty directory recovers to a fresh state.
+  std::string dir;
+  size_t page_size = kDefaultPageSize;
+};
+
+/// What a recovery pass reconstructed.
+struct RecoveryResult {
+  uint64_t recovered = 0;           // live records after recovery
+  uint64_t checkpoint_records = 0;  // of which came from the checkpoint
+  uint64_t checkpoint_lsn = 0;      // 0 = no checkpoint loaded
+  uint64_t replayed = 0;            // WAL entries re-inserted
+  uint64_t skipped = 0;             // WAL entries already in the checkpoint
+  uint64_t next_lsn = 1;            // first LSN the resumed writer assigns
+  bool loaded_checkpoint = false;
+  bool truncated_torn_tail = false; // a crash mid-append was cleaned up
+};
+
+/// Rebuilds `anonymizer`'s tree from the durability directory: load the
+/// manifest's checkpoint (validating dimensionality and structural config
+/// against the anonymizer), then replay the WAL tail through the normal
+/// insert path. Replay is idempotent via LSNs — entries at or below the
+/// checkpoint LSN are skipped — so a crash between a checkpoint and the WAL
+/// truncation behind it costs nothing. A torn final WAL entry (crash
+/// mid-append) is truncated away, not fatal.
+///
+/// The anonymizer must be freshly constructed (empty). On success the
+/// caller resumes ingest with rid == next_lsn - 1 for the next record.
+StatusOr<RecoveryResult> RecoverInto(const RecoveryOptions& options,
+                                     IncrementalAnonymizer* anonymizer);
+
+}  // namespace kanon
+
+#endif  // KANON_DURABILITY_RECOVERY_H_

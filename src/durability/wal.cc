@@ -1,0 +1,367 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstring>
+#include <filesystem>
+
+#include "common/check.h"
+#include "common/crc32.h"
+
+namespace kanon {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x6b57414cu;  // "LAWk" little-endian
+constexpr uint32_t kWalVersion = 1;
+
+// magic u32 | version u32 | dim u32 | reserved u32 | first_lsn u64 | crc u32
+constexpr size_t kSegmentHeaderSize = 4 * sizeof(uint32_t) + sizeof(uint64_t) +
+                                      sizeof(uint32_t);
+
+size_t PayloadSize(size_t dim) {
+  return sizeof(uint64_t) + sizeof(int32_t) + dim * sizeof(double);
+}
+
+size_t EntrySize(size_t dim) { return 2 * sizeof(uint32_t) + PayloadSize(dim); }
+
+std::string SegmentName(uint64_t first_lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%020" PRIu64 ".log", first_lsn);
+  return buf;
+}
+
+/// Parses `wal-<20 digits>.log`; returns false for any other file name.
+bool ParseSegmentName(const std::string& name, uint64_t* first_lsn) {
+  if (name.size() != 28 || name.rfind("wal-", 0) != 0 ||
+      name.compare(24, 4, ".log") != 0) {
+    return false;
+  }
+  uint64_t lsn = 0;
+  for (size_t i = 4; i < 24; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    lsn = lsn * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *first_lsn = lsn;
+  return true;
+}
+
+struct SegmentFile {
+  std::string path;
+  uint64_t first_lsn = 0;
+};
+
+/// Segment files in `dir`, ordered by first LSN.
+std::vector<SegmentFile> ListSegments(const std::string& dir) {
+  std::vector<SegmentFile> segments;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    uint64_t first_lsn = 0;
+    if (ParseSegmentName(entry.path().filename().string(), &first_lsn)) {
+      segments.push_back({entry.path().string(), first_lsn});
+    }
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const SegmentFile& a, const SegmentFile& b) {
+              return a.first_lsn < b.first_lsn;
+            });
+  return segments;
+}
+
+void EncodeHeader(char* buf, size_t dim, uint64_t first_lsn) {
+  uint32_t v;
+  size_t off = 0;
+  auto put32 = [&](uint32_t x) {
+    std::memcpy(buf + off, &x, sizeof(x));
+    off += sizeof(x);
+  };
+  put32(kWalMagic);
+  put32(kWalVersion);
+  put32(static_cast<uint32_t>(dim));
+  put32(0);  // reserved
+  std::memcpy(buf + off, &first_lsn, sizeof(first_lsn));
+  off += sizeof(first_lsn);
+  v = Crc32(buf, off);
+  std::memcpy(buf + off, &v, sizeof(v));
+}
+
+/// Returns InvalidArgument on a header that is well-formed but for a
+/// different stream shape, Corruption on a damaged one.
+Status DecodeHeader(const char* buf, size_t dim, uint64_t* first_lsn) {
+  uint32_t magic, version, stored_dim, reserved, crc;
+  size_t off = 0;
+  auto get32 = [&](uint32_t* x) {
+    std::memcpy(x, buf + off, sizeof(*x));
+    off += sizeof(*x);
+  };
+  get32(&magic);
+  get32(&version);
+  get32(&stored_dim);
+  get32(&reserved);
+  std::memcpy(first_lsn, buf + off, sizeof(*first_lsn));
+  off += sizeof(*first_lsn);
+  get32(&crc);
+  if (Crc32(buf, off - sizeof(crc)) != crc) {
+    return Status::Corruption("wal segment header failed checksum");
+  }
+  if (magic != kWalMagic || version != kWalVersion) {
+    return Status::Corruption("not a wal segment");
+  }
+  if (stored_dim != dim) {
+    return Status::InvalidArgument("wal segment dimensionality mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SyncDirectory(const std::string& dir) {
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IoError("cannot open directory " + dir);
+  const int rc = fsync(fd);
+  close(fd);
+  if (rc != 0) return Status::IoError("fsync failed for directory " + dir);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
+                                                     size_t dim,
+                                                     uint64_t next_lsn,
+                                                     WalOptions options) {
+  KANON_CHECK(next_lsn >= 1);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create wal directory " + dir + ": " +
+                           ec.message());
+  }
+  std::unique_ptr<WalWriter> writer(new WalWriter(dir, dim, options));
+  writer->entry_buf_.resize(EntrySize(dim));
+  writer->last_lsn_ = next_lsn - 1;
+  writer->synced_lsn_.store(next_lsn - 1, std::memory_order_relaxed);
+  KANON_RETURN_IF_ERROR(writer->OpenSegment(next_lsn));
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) {
+    // Best-effort flush; durable shutdown goes through Sync() explicitly.
+    std::fclose(file_);
+  }
+}
+
+Status WalWriter::OpenSegment(uint64_t first_lsn) {
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0) return Status::IoError("wal segment close");
+    file_ = nullptr;
+  }
+  const std::string path =
+      (std::filesystem::path(dir_) / SegmentName(first_lsn)).string();
+  // Truncate: any prior file of this name held only bytes that recovery
+  // already discarded (otherwise next_lsn would be higher).
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return Status::IoError("cannot create " + path);
+  // A generous stdio buffer keeps a group-commit window's appends in user
+  // space: the kernel sees one write per flush instead of one per record.
+  std::setvbuf(file_, nullptr, _IOFBF, 1u << 18);
+  char header[kSegmentHeaderSize];
+  EncodeHeader(header, dim_, first_lsn);
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+    return Status::IoError("wal header write failed");
+  }
+  // Make the segment's existence itself durable before logging into it.
+  if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
+    return Status::IoError("wal header fsync failed");
+  }
+  KANON_RETURN_IF_ERROR(SyncDirectory(dir_));
+  segment_bytes_written_ = sizeof(header);
+  segments_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(sizeof(header), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status WalWriter::Append(uint64_t lsn, std::span<const double> point,
+                         int32_t sensitive) {
+  KANON_CHECK(point.size() == dim_);
+  KANON_CHECK_MSG(lsn == last_lsn_ + 1, "wal LSNs must be dense");
+  if (segment_bytes_written_ >= options_.segment_bytes) {
+    // Rotation seals the old segment: sync it so ReplayWal may treat any
+    // damage there as bit rot rather than a torn tail.
+    KANON_RETURN_IF_ERROR(Sync());
+    KANON_RETURN_IF_ERROR(OpenSegment(lsn));
+  }
+  const uint32_t payload_size = static_cast<uint32_t>(PayloadSize(dim_));
+  char* buf = entry_buf_.data();
+  char* payload = buf + 2 * sizeof(uint32_t);
+  std::memcpy(payload, &lsn, sizeof(lsn));
+  std::memcpy(payload + sizeof(lsn), &sensitive, sizeof(sensitive));
+  std::memcpy(payload + sizeof(lsn) + sizeof(sensitive), point.data(),
+              dim_ * sizeof(double));
+  const uint32_t crc = Crc32(payload, payload_size);
+  std::memcpy(buf, &payload_size, sizeof(payload_size));
+  std::memcpy(buf + sizeof(payload_size), &crc, sizeof(crc));
+  if (std::fwrite(buf, 1, entry_buf_.size(), file_) != entry_buf_.size()) {
+    return Status::IoError("wal append failed (disk full?)");
+  }
+  segment_bytes_written_ += entry_buf_.size();
+  last_lsn_ = lsn;
+  appended_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(entry_buf_.size(), std::memory_order_relaxed);
+  if (options_.fsync_every > 0 && ++unsynced_ >= options_.fsync_every) {
+    KANON_RETURN_IF_ERROR(Sync());
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  // fdatasync: the data (and the file size it implies) is what must be
+  // durable; other metadata (mtime) is not load-bearing — a short or torn
+  // tail after a crash is exactly what replay's truncation handles.
+  if (std::fflush(file_) != 0 || fdatasync(fileno(file_)) != 0) {
+    return Status::IoError("wal fsync failed");
+  }
+  unsynced_ = 0;
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  synced_lsn_.store(last_lsn_, std::memory_order_release);
+  return Status::OK();
+}
+
+WalStats WalWriter::stats() const {
+  WalStats stats;
+  stats.appended = appended_.load(std::memory_order_relaxed);
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  stats.syncs = syncs_.load(std::memory_order_relaxed);
+  stats.segments = segments_.load(std::memory_order_relaxed);
+  stats.synced_lsn = synced_lsn_.load(std::memory_order_acquire);
+  return stats;
+}
+
+namespace {
+
+/// Replays one segment. `offset_of_tear` is set (and the file truncated)
+/// only when `may_tear` — i.e. this is the newest segment.
+Status ReplaySegment(const SegmentFile& segment, size_t dim,
+                     uint64_t from_lsn, bool may_tear,
+                     const std::function<void(uint64_t, std::span<const double>,
+                                              int32_t)>& apply,
+                     WalReplayResult* result) {
+  std::FILE* file = std::fopen(segment.path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + segment.path);
+  }
+  // RAII close.
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{file};
+
+  auto tear = [&](long valid_bytes) -> Status {
+    if (!may_tear) {
+      return Status::Corruption("corrupt entry in sealed wal segment " +
+                                segment.path);
+    }
+    std::fseek(file, 0, SEEK_END);
+    const long size = std::ftell(file);
+    result->truncated_tail = true;
+    result->truncated_bytes += static_cast<uint64_t>(size - valid_bytes);
+    if (truncate(segment.path.c_str(), valid_bytes) != 0) {
+      return Status::IoError("cannot truncate torn tail of " + segment.path);
+    }
+    return Status::OK();
+  };
+
+  char header[kSegmentHeaderSize];
+  if (std::fread(header, 1, sizeof(header), file) != sizeof(header)) {
+    // Not even a whole header: a crash between segment creation and the
+    // header fsync. Nothing in the file is meaningful.
+    return tear(0);
+  }
+  uint64_t first_lsn = 0;
+  {
+    const Status s = DecodeHeader(header, dim, &first_lsn);
+    if (s.code() == StatusCode::kCorruption) return tear(0);
+    KANON_RETURN_IF_ERROR(s);
+  }
+
+  const size_t payload_size = PayloadSize(dim);
+  std::vector<char> payload(payload_size);
+  std::vector<double> point(dim);
+  long valid_end = static_cast<long>(sizeof(header));
+  for (;;) {
+    uint32_t stored_size = 0, stored_crc = 0;
+    char frame[2 * sizeof(uint32_t)];
+    const size_t got = std::fread(frame, 1, sizeof(frame), file);
+    if (got == 0) break;  // clean end of segment
+    if (got != sizeof(frame)) return tear(valid_end);
+    std::memcpy(&stored_size, frame, sizeof(stored_size));
+    std::memcpy(&stored_crc, frame + sizeof(stored_size),
+                sizeof(stored_crc));
+    if (stored_size != payload_size) return tear(valid_end);
+    if (std::fread(payload.data(), 1, payload_size, file) != payload_size) {
+      return tear(valid_end);
+    }
+    if (Crc32(payload.data(), payload_size) != stored_crc) {
+      return tear(valid_end);
+    }
+    uint64_t lsn = 0;
+    int32_t sensitive = 0;
+    std::memcpy(&lsn, payload.data(), sizeof(lsn));
+    std::memcpy(&sensitive, payload.data() + sizeof(lsn), sizeof(sensitive));
+    std::memcpy(point.data(), payload.data() + sizeof(lsn) + sizeof(sensitive),
+                dim * sizeof(double));
+    if (lsn <= result->max_lsn || lsn < segment.first_lsn) {
+      return Status::Corruption("non-monotonic LSN in " + segment.path);
+    }
+    result->max_lsn = lsn;
+    valid_end += static_cast<long>(sizeof(frame) + payload_size);
+    if (lsn < from_lsn) {
+      ++result->skipped;
+    } else {
+      apply(lsn, point, sensitive);
+      ++result->replayed;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReplayWal(
+    const std::string& dir, size_t dim, uint64_t from_lsn,
+    const std::function<void(uint64_t lsn, std::span<const double> point,
+                             int32_t sensitive)>& apply,
+    WalReplayResult* result) {
+  *result = WalReplayResult();
+  if (!std::filesystem::exists(dir)) return Status::OK();
+  const std::vector<SegmentFile> segments = ListSegments(dir);
+  result->segments = segments.size();
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const bool newest = i + 1 == segments.size();
+    KANON_RETURN_IF_ERROR(
+        ReplaySegment(segments[i], dim, from_lsn, newest, apply, result));
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> TruncateWalBefore(const std::string& dir,
+                                   uint64_t checkpoint_lsn) {
+  const std::vector<SegmentFile> segments = ListSegments(dir);
+  size_t removed = 0;
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i + 1].first_lsn > checkpoint_lsn + 1) break;
+    std::error_code ec;
+    std::filesystem::remove(segments[i].path, ec);
+    if (ec) {
+      return Status::IoError("cannot remove " + segments[i].path + ": " +
+                             ec.message());
+    }
+    ++removed;
+  }
+  if (removed > 0) KANON_RETURN_IF_ERROR(SyncDirectory(dir));
+  return removed;
+}
+
+}  // namespace kanon

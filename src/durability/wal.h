@@ -1,0 +1,137 @@
+#ifndef KANON_DURABILITY_WAL_H_
+#define KANON_DURABILITY_WAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kanon {
+
+/// Tuning knobs of the write-ahead log.
+struct WalOptions {
+  /// Group-commit cadence: fsync once per this many appended records. 1
+  /// makes every record synchronously durable before Append returns; 0
+  /// never fsyncs explicitly (the OS page cache decides — cheapest,
+  /// weakest). Amortizing the fsync over a group is what keeps a durable
+  /// ingest path within a small factor of the WAL-off throughput.
+  size_t fsync_every = 256;
+  /// Rotate to a fresh segment once the current file exceeds this size.
+  size_t segment_bytes = 16u << 20;
+};
+
+/// Monotone counters of a WalWriter, readable from any thread.
+struct WalStats {
+  uint64_t appended = 0;    // records appended
+  uint64_t bytes = 0;       // framing + payload bytes written
+  uint64_t syncs = 0;       // fsyncs issued
+  uint64_t segments = 0;    // segment files created by this writer
+  uint64_t synced_lsn = 0;  // highest LSN known crash-durable (0 = none)
+};
+
+/// Append-only segmented record log. Each segment file `wal-<lsn>.log`
+/// (named by the first LSN it may contain) starts with a checksummed fixed
+/// header and holds length-prefixed, CRC32-checksummed entries:
+///
+///   [u32 payload length][u32 crc32(payload)]
+///   payload = u64 lsn | i32 sensitive | dim × f64 point
+///
+/// LSNs are assigned by the single ingest writer, start at 1 and are dense:
+/// record id == lsn - 1, which is what makes replay idempotent (an entry at
+/// or below the checkpoint LSN is already inside the checkpointed tree and
+/// is skipped, never double-inserted).
+class WalWriter {
+ public:
+  /// Opens a fresh segment in `dir` (created if missing) whose first record
+  /// will carry `next_lsn`. Existing segments are never appended to — a
+  /// torn tail in an old segment stays quarantined behind recovery's
+  /// truncation — so Open after ReplayWal is always safe.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(const std::string& dir,
+                                                   size_t dim,
+                                                   uint64_t next_lsn,
+                                                   WalOptions options = {});
+
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record under group commit: the entry reaches the OS before
+  /// return, and every options.fsync_every appends the segment is fsynced.
+  /// stats().synced_lsn is the crash-durable horizon.
+  Status Append(uint64_t lsn, std::span<const double> point,
+                int32_t sensitive);
+
+  /// Flushes and fsyncs the current segment, advancing synced_lsn to the
+  /// last appended LSN.
+  Status Sync();
+
+  const WalOptions& options() const { return options_; }
+  WalStats stats() const;
+
+ private:
+  WalWriter(std::string dir, size_t dim, WalOptions options)
+      : dir_(std::move(dir)), dim_(dim), options_(options) {}
+
+  Status OpenSegment(uint64_t first_lsn);
+
+  const std::string dir_;
+  const size_t dim_;
+  const WalOptions options_;
+
+  std::FILE* file_ = nullptr;
+  size_t segment_bytes_written_ = 0;
+  size_t unsynced_ = 0;
+  uint64_t last_lsn_ = 0;
+  std::vector<char> entry_buf_;
+
+  std::atomic<uint64_t> appended_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> segments_{0};
+  std::atomic<uint64_t> synced_lsn_{0};
+};
+
+/// Outcome of a ReplayWal pass.
+struct WalReplayResult {
+  uint64_t replayed = 0;   // entries delivered to `apply`
+  uint64_t skipped = 0;    // intact entries below `from_lsn` (idempotence)
+  uint64_t max_lsn = 0;    // highest LSN seen (0 = empty log)
+  uint64_t segments = 0;   // segment files visited
+  bool truncated_tail = false;    // a torn final entry was cut off
+  uint64_t truncated_bytes = 0;   // bytes removed by that truncation
+};
+
+/// Replays every intact entry with lsn >= from_lsn in log order. A torn or
+/// corrupt suffix of the *final* segment — the signature of a crash
+/// mid-append — is physically truncated back to the last intact entry, so
+/// the next replay (and the next writer) sees a clean log. Corruption in
+/// any earlier segment is a hard error: those bytes were complete before a
+/// later segment was opened, so damage there is bit rot, not a torn write.
+Status ReplayWal(
+    const std::string& dir, size_t dim, uint64_t from_lsn,
+    const std::function<void(uint64_t lsn, std::span<const double> point,
+                             int32_t sensitive)>& apply,
+    WalReplayResult* result);
+
+/// Deletes segments made obsolete by a checkpoint at `checkpoint_lsn`: a
+/// segment is removable when the next segment starts at or below
+/// checkpoint_lsn + 1 (every entry it holds is inside the checkpoint). The
+/// newest segment is always kept. Returns the number of files removed.
+StatusOr<size_t> TruncateWalBefore(const std::string& dir,
+                                   uint64_t checkpoint_lsn);
+
+/// fsyncs a directory so renames/creations/unlinks inside it survive a
+/// crash. Shared by the WAL (segment creation) and the checkpoint manifest
+/// protocol.
+Status SyncDirectory(const std::string& dir);
+
+}  // namespace kanon
+
+#endif  // KANON_DURABILITY_WAL_H_

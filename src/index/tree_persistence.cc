@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/crc32.h"
 
 namespace kanon {
 
@@ -25,8 +26,10 @@ class PageStreamWriter {
 
   PageId first_page() const { return first_; }
   size_t bytes_written() const { return bytes_written_; }
+  uint32_t crc() const { return crc_; }
 
   Status Write(const void* data, size_t n) {
+    crc_ = Crc32(data, n, crc_);
     const char* src = static_cast<const char*>(data);
     while (n > 0) {
       if (offset_ == buffer_.size()) {
@@ -76,6 +79,7 @@ class PageStreamWriter {
   PageId current_ = kInvalidPageId;
   size_t offset_ = 0;
   size_t bytes_written_ = 0;
+  uint32_t crc_ = 0;
 };
 
 /// Counterpart reader.
@@ -84,7 +88,10 @@ class PageStreamReader {
   PageStreamReader(Pager* pager, PageId first)
       : pager_(pager), buffer_(pager->page_size()), next_(first) {}
 
+  uint32_t crc() const { return crc_; }
+
   Status Read(void* data, size_t n) {
+    const size_t total = n;
     char* dst = static_cast<char*>(data);
     while (n > 0) {
       if (offset_ == 0 || offset_ == buffer_.size()) {
@@ -96,6 +103,7 @@ class PageStreamReader {
       dst += take;
       n -= take;
     }
+    crc_ = Crc32(data, total, crc_);
     return Status::OK();
   }
 
@@ -119,6 +127,7 @@ class PageStreamReader {
   std::vector<char> buffer_;
   PageId next_;
   size_t offset_ = 0;
+  uint32_t crc_ = 0;
 };
 
 Status WriteBounds(PageStreamWriter* w, const std::vector<double>& values) {
@@ -225,6 +234,7 @@ StatusOr<TreeSnapshot> SaveTree(const RPlusTree& tree, Pager* pager) {
   snapshot.first_page = writer.first_page();
   snapshot.byte_size = writer.bytes_written();
   snapshot.record_count = tree.size();
+  snapshot.crc32 = writer.crc();
   return snapshot;
 }
 
@@ -253,7 +263,30 @@ StatusOr<RPlusTree> LoadTree(Pager* pager, const TreeSnapshot& snapshot,
   if (root->record_count != records) {
     return Status::Corruption("snapshot record count mismatch");
   }
+  if (snapshot.crc32 != 0 && reader.crc() != snapshot.crc32) {
+    return Status::Corruption("tree snapshot failed checksum verification");
+  }
   return RPlusTree::FromRoot(dim, config, std::move(root));
+}
+
+StatusOr<TreeSnapshot> SaveTreeToFile(const RPlusTree& tree,
+                                      const std::string& path,
+                                      size_t page_size) {
+  KANON_ASSIGN_OR_RETURN(auto pager,
+                         NamedFilePager::Open(path, page_size,
+                                              /*truncate=*/true));
+  KANON_ASSIGN_OR_RETURN(TreeSnapshot snapshot, SaveTree(tree, pager.get()));
+  KANON_CHECK(snapshot.first_page == 0);  // fresh pager allocates from 0
+  KANON_RETURN_IF_ERROR(pager->Sync());
+  return snapshot;
+}
+
+StatusOr<RPlusTree> LoadTreeFromFile(const std::string& path,
+                                     const TreeSnapshot& snapshot, size_t dim,
+                                     const RTreeConfig& config,
+                                     size_t page_size) {
+  KANON_ASSIGN_OR_RETURN(auto pager, NamedFilePager::Open(path, page_size));
+  return LoadTree(pager.get(), snapshot, dim, config);
 }
 
 Status FreeSnapshot(Pager* pager, const TreeSnapshot& snapshot) {

@@ -12,6 +12,10 @@ struct TreeSnapshot {
   PageId first_page = kInvalidPageId;
   size_t byte_size = 0;
   size_t record_count = 0;
+  /// CRC32 of the logical byte stream. LoadTree re-computes it while
+  /// reading and rejects a mismatch (0 = unknown, verification skipped —
+  /// snapshots taken before checksumming existed).
+  uint32_t crc32 = 0;
 };
 
 /// Persists an R⁺-tree into a chain of pager pages (a depth-first byte
@@ -29,6 +33,19 @@ StatusOr<RPlusTree> LoadTree(Pager* pager, const TreeSnapshot& snapshot,
 
 /// Releases the snapshot's pages back to the pager.
 Status FreeSnapshot(Pager* pager, const TreeSnapshot& snapshot);
+
+/// Saves `tree` as the sole content of the named file (the snapshot starts
+/// at page 0) and fsyncs it before returning — the checkpoint primitive of
+/// the durability subsystem (src/durability/checkpoint.h).
+StatusOr<TreeSnapshot> SaveTreeToFile(const RPlusTree& tree,
+                                      const std::string& path,
+                                      size_t page_size = kDefaultPageSize);
+
+/// Restores a tree written by SaveTreeToFile.
+StatusOr<RPlusTree> LoadTreeFromFile(const std::string& path,
+                                     const TreeSnapshot& snapshot, size_t dim,
+                                     const RTreeConfig& config,
+                                     size_t page_size = kDefaultPageSize);
 
 }  // namespace kanon
 

@@ -22,6 +22,7 @@
 #include "anon/multigranular.h"
 #include "anon/partition.h"
 #include "anon/rtree_anonymizer.h"
+#include "common/crc32.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/sysinfo.h"
@@ -34,6 +35,9 @@
 #include "data/landsend_generator.h"
 #include "data/schema.h"
 #include "data/schema_spec.h"
+#include "durability/checkpoint.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
 #include "index/buffer_tree.h"
 #include "index/bulk_load.h"
 #include "index/hilbert.h"

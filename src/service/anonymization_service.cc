@@ -1,21 +1,71 @@
 #include "service/anonymization_service.h"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "common/timer.h"
 
 namespace kanon {
 
-AnonymizationService::AnonymizationService(size_t dim, Domain domain,
+AnonymizationService::AnonymizationService(Deferred, size_t dim,
+                                           Domain domain,
                                            ServiceOptions options)
     : dim_(dim),
       options_(options),
       domain_(std::move(domain)),
       queue_(dim, options_.queue_capacity, options_.backpressure),
-      anonymizer_(dim, options_.anonymizer, &domain_),
-      ingest_thread_([this] { IngestLoop(); }) {
+      anonymizer_(dim, options_.anonymizer, &domain_) {
   KANON_CHECK(dim >= 1 && domain_.dim() == dim);
   KANON_CHECK(options_.max_batch >= 1);
+}
+
+AnonymizationService::AnonymizationService(size_t dim, Domain domain,
+                                           ServiceOptions options)
+    : AnonymizationService(Deferred{}, dim, std::move(domain), options) {
+  const Status status = InitDurability();
+  KANON_CHECK_MSG(status.ok(), "durability init failed: " << status);
+  StartIngest();
+}
+
+StatusOr<std::unique_ptr<AnonymizationService>> AnonymizationService::Create(
+    size_t dim, Domain domain, ServiceOptions options) {
+  std::unique_ptr<AnonymizationService> service(
+      new AnonymizationService(Deferred{}, dim, std::move(domain), options));
+  KANON_RETURN_IF_ERROR(service->InitDurability());
+  service->StartIngest();
+  return service;
+}
+
+Status AnonymizationService::InitDurability() {
+  const DurabilityOptions& d = options_.durability;
+  if (!d.enabled()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(d.wal_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create wal directory " + d.wal_dir +
+                           ": " + ec.message());
+  }
+  RecoveryOptions recovery_options;
+  recovery_options.dir = d.wal_dir;
+  KANON_ASSIGN_OR_RETURN(recovery_,
+                         RecoverInto(recovery_options, &anonymizer_));
+  next_rid_ = recovery_.next_lsn - 1;
+  WalOptions wal_options;
+  wal_options.fsync_every = d.fsync_every;
+  wal_options.segment_bytes = d.segment_bytes;
+  KANON_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Open(d.wal_dir, dim_, recovery_.next_lsn,
+                            wal_options));
+  checkpointer_ = std::make_unique<Checkpointer>(d.wal_dir);
+  // Recovered records are pre-thread state: publishing here is safe (no
+  // ingest thread exists yet) and lets readers see the restored release
+  // immediately after a restart.
+  if (recovery_.recovered > 0) Publish();
+  return Status::OK();
+}
+
+void AnonymizationService::StartIngest() {
+  ingest_thread_ = JoinableThread([this] { IngestLoop(); });
 }
 
 AnonymizationService::~AnonymizationService() { Stop(); }
@@ -76,6 +126,18 @@ ServiceStats AnonymizationService::Stats() const {
   if (const auto snapshot = CurrentSnapshot()) {
     stats.snapshot_age_s = snapshot->info().AgeSeconds();
   }
+  if (wal_ != nullptr) {
+    stats.durable = true;
+    stats.recovered = recovery_.recovered;
+    const WalStats wal = wal_->stats();
+    stats.wal_appended = wal.appended;
+    stats.wal_bytes = wal.bytes;
+    stats.wal_syncs = wal.syncs;
+    stats.wal_synced_lsn = wal.synced_lsn;
+    stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+    stats.last_checkpoint_lsn =
+        last_checkpoint_lsn_.load(std::memory_order_relaxed);
+  }
   return stats;
 }
 
@@ -107,12 +169,20 @@ void AnonymizationService::IngestLoop() {
                since_snapshot_ >= options_.snapshot_every) {
       Publish();
     }
+    MaybeCheckpoint(/*force=*/false);
     if (n == 0 && queue_.closed() && queue_.pending() == 0) break;
   }
   // Final snapshot: cover every record that was ever ingested.
   if (since_snapshot_ > 0 ||
       snapshots_.load(std::memory_order_relaxed) == 0) {
     Publish();
+  }
+  // Graceful stop makes everything durable: every record fsynced, and a
+  // final checkpoint so the next start replays an empty WAL tail.
+  if (wal_ != nullptr) {
+    const Status status = wal_->Sync();
+    KANON_CHECK_MSG(status.ok(), "final wal sync failed: " << status);
+    MaybeCheckpoint(/*force=*/true);
   }
   {
     std::lock_guard<std::mutex> lock(publish_mu_);
@@ -122,16 +192,47 @@ void AnonymizationService::IngestLoop() {
 }
 
 void AnonymizationService::ApplyBatch(const IngestBatch& batch) {
+  if (wal_ != nullptr) {
+    // Log before apply: a record is never in the tree without being in the
+    // WAL, so a crash at any point loses only un-fsynced suffix records —
+    // never reorders or duplicates. A WAL write failure is fatal by
+    // design: continuing would silently demote the service to volatile.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Status status =
+          wal_->Append(next_rid_ + i + 1, batch.point(i), batch.sensitives[i]);
+      KANON_CHECK_MSG(status.ok(), "wal append failed: " << status);
+    }
+  }
   for (size_t i = 0; i < batch.size(); ++i) {
     anonymizer_.Insert(batch.point(i), next_rid_++, batch.sensitives[i]);
   }
   inserted_.fetch_add(batch.size(), std::memory_order_release);
   batches_.fetch_add(1, std::memory_order_relaxed);
   since_snapshot_ += batch.size();
+  since_checkpoint_ += batch.size();
   std::lock_guard<std::mutex> lock(samples_mu_);
   if (batch_samples_.size() < kMaxBatchSamples) {
     batch_samples_.push_back(static_cast<double>(batch.size()));
   }
+}
+
+void AnonymizationService::MaybeCheckpoint(bool force) {
+  if (checkpointer_ == nullptr) return;
+  const uint64_t cadence = options_.durability.checkpoint_every;
+  if (force ? since_checkpoint_ == 0
+            : (cadence == 0 || since_checkpoint_ < cadence)) {
+    return;
+  }
+  // Everything at or below the checkpoint LSN must survive a crash even if
+  // its WAL segment is truncated right after, so sync first.
+  Status status = wal_->Sync();
+  KANON_CHECK_MSG(status.ok(), "wal sync before checkpoint failed: "
+                                   << status);
+  status = checkpointer_->Checkpoint(anonymizer_.tree(), next_rid_);
+  KANON_CHECK_MSG(status.ok(), "checkpoint failed: " << status);
+  since_checkpoint_ = 0;
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  last_checkpoint_lsn_.store(next_rid_, std::memory_order_relaxed);
 }
 
 bool AnonymizationService::Publish() {

@@ -11,11 +11,31 @@
 #include "anon/rtree_anonymizer.h"
 #include "common/status.h"
 #include "common/thread.h"
+#include "durability/checkpoint.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
 #include "service/ingest_queue.h"
 #include "service/service_stats.h"
 #include "service/snapshot.h"
 
 namespace kanon {
+
+/// Durability knobs of the serving layer. Durability is off by default
+/// (wal_dir empty): the seed service was purely in-memory and stays that
+/// way unless a WAL directory is configured.
+struct DurabilityOptions {
+  /// Directory for WAL segments, checkpoint files and the MANIFEST
+  /// (created if missing). Empty disables durability entirely.
+  std::string wal_dir;
+  /// Group-commit cadence (see WalOptions::fsync_every).
+  size_t fsync_every = 256;
+  /// Checkpoint the tree every this many inserts (0 = only at Stop).
+  uint64_t checkpoint_every = 100000;
+  /// WAL segment rotation size.
+  size_t segment_bytes = 16u << 20;
+
+  bool enabled() const { return !wal_dir.empty(); }
+};
 
 /// Tuning knobs of the serving layer.
 struct ServiceOptions {
@@ -39,6 +59,10 @@ struct ServiceOptions {
   /// and at Stop). Publication is skipped while fewer than base_k records
   /// are indexed — fewer than k records cannot be k-anonymized.
   uint64_t snapshot_every = 10000;
+
+  /// Write-ahead logging, checkpointing and crash recovery (off unless a
+  /// WAL directory is set — see DurabilityOptions).
+  DurabilityOptions durability;
 };
 
 /// A concurrent incremental anonymization service (the serving layer of the
@@ -67,7 +91,16 @@ class AnonymizationService {
   /// `domain` is the quasi-identifier domain the stream is drawn from
   /// (from schema metadata in practice). It normalizes split decisions and
   /// anchors the uncompacted regions and NCP summaries of every snapshot.
+  /// When durability is configured, recovery runs inside the constructor
+  /// (before the ingest thread starts) and any durability failure aborts —
+  /// use Create to handle such failures as a Status instead.
   AnonymizationService(size_t dim, Domain domain, ServiceOptions options = {});
+
+  /// Like the constructor, but surfaces recovery / WAL-open failures (a
+  /// corrupt manifest, an unwritable directory, a checkpoint from a
+  /// differently-configured service...) as a Status.
+  static StatusOr<std::unique_ptr<AnonymizationService>> Create(
+      size_t dim, Domain domain, ServiceOptions options = {});
 
   /// Stops the service (drains + final publish) if still running.
   ~AnonymizationService();
@@ -111,11 +144,28 @@ class AnonymizationService {
     return inserted_.load(std::memory_order_relaxed);
   }
 
+  /// What startup recovery reconstructed (all-zero when durability is off
+  /// or the directory was fresh).
+  const RecoveryResult& recovery() const { return recovery_; }
+
   ServiceStats Stats() const;
 
  private:
+  struct Deferred {};  // tag: construct members without starting the thread
+
+  AnonymizationService(Deferred, size_t dim, Domain domain,
+                       ServiceOptions options);
+
+  /// Recovers from the WAL directory and opens the WAL writer. Must run
+  /// before StartIngest — the tree is single-writer, and recovery is the
+  /// constructor's turn at it.
+  Status InitDurability();
+  void StartIngest();
+
   void IngestLoop();
   void ApplyBatch(const IngestBatch& batch);
+  /// Checkpoints when since_checkpoint_ crosses the configured cadence.
+  void MaybeCheckpoint(bool force);
   /// Publishes iff at least base_k records are indexed. Returns true when
   /// a snapshot was actually published.
   bool Publish();
@@ -132,6 +182,18 @@ class AnonymizationService {
   IncrementalAnonymizer anonymizer_;  // ingest thread only
   uint64_t next_rid_ = 0;             // ingest thread only
   uint64_t since_snapshot_ = 0;       // ingest thread only
+
+  // Durability (null / unused when options_.durability is disabled). The
+  // WAL writer and checkpointer are driven exclusively by the ingest
+  // thread, preserving the single-writer architecture: a record is
+  // appended to the WAL before it is applied to the tree, and checkpoints
+  // run between batches, when the tree is quiescent.
+  std::unique_ptr<WalWriter> wal_;              // ingest thread only
+  std::unique_ptr<Checkpointer> checkpointer_;  // ingest thread only
+  uint64_t since_checkpoint_ = 0;               // ingest thread only
+  RecoveryResult recovery_;  // written in ctor, read-only afterwards
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> last_checkpoint_lsn_{0};
 
   // The published snapshot. A plain mutex rather than
   // std::atomic<std::shared_ptr>: snapshots are built entirely outside

@@ -21,6 +21,14 @@ std::string FormatServiceStats(const ServiceStats& stats) {
   os << "snapshots: published=" << stats.snapshots
      << " last_build_ms=" << stats.last_snapshot_build_ms
      << " age_s=" << stats.snapshot_age_s;
+  if (stats.durable) {
+    os << "\ndurability: recovered=" << stats.recovered
+       << " wal_appended=" << stats.wal_appended
+       << " wal_bytes=" << stats.wal_bytes << " wal_syncs=" << stats.wal_syncs
+       << " synced_lsn=" << stats.wal_synced_lsn
+       << " checkpoints=" << stats.checkpoints
+       << " last_checkpoint_lsn=" << stats.last_checkpoint_lsn;
+  }
   return os.str();
 }
 

@@ -25,6 +25,16 @@ struct ServiceStats {
   double last_snapshot_build_ms = 0.0;
   double snapshot_age_s = 0.0;  // 0 before the first publication
 
+  // Durability counters (all zero when the service runs without a WAL).
+  bool durable = false;          // a WAL directory is configured
+  uint64_t recovered = 0;        // records restored at startup
+  uint64_t wal_appended = 0;     // records logged
+  uint64_t wal_bytes = 0;        // WAL bytes written (framing + payload)
+  uint64_t wal_syncs = 0;        // fsyncs issued by group commit
+  uint64_t wal_synced_lsn = 0;   // crash-durable LSN horizon
+  uint64_t checkpoints = 0;      // checkpoints taken
+  uint64_t last_checkpoint_lsn = 0;
+
   double mean_batch() const {
     return batches == 0
                ? 0.0

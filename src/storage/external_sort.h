@@ -27,6 +27,10 @@ class ExternalSorter {
   /// I/O model).
   ExternalSorter(size_t dim, size_t run_records, BufferPool* pool);
 
+  /// An interrupted sort (destroyed before Finish) releases its spilled
+  /// runs back to the pager — see ~PageChain.
+  ~ExternalSorter() = default;
+
   ExternalSorter(const ExternalSorter&) = delete;
   ExternalSorter& operator=(const ExternalSorter&) = delete;
 

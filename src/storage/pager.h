@@ -21,9 +21,15 @@ struct PagerStats {
   uint64_t total() const { return reads + writes; }
 };
 
-/// Page-granular backing store. Two implementations: a real temp-file pager
-/// and an in-memory pager (identical accounting, used by unit tests and by
-/// benches that want repeatable timings without disk noise).
+/// Page-granular backing store. Three implementations: a real temp-file
+/// pager, a named-file pager (durable artifacts), and an in-memory pager
+/// (identical accounting, used by unit tests and by benches that want
+/// repeatable timings without disk noise).
+///
+/// Every page is CRC32-checksummed on Write and verified on Read, so bit
+/// rot in the backing store surfaces as a Corruption Status instead of
+/// silently returning garbage records. Pages that were never written (or
+/// were freed, making their contents undefined) are not verified.
 class Pager {
  public:
   virtual ~Pager() = default;
@@ -48,6 +54,12 @@ class Pager {
   Status Read(PageId id, char* buf);
   Status Write(PageId id, const char* buf);
 
+  /// Disables read-side checksum verification (checksums are still
+  /// recorded). Only the fault-injection harness, which feeds deliberately
+  /// inconsistent pages, should need this.
+  void set_verify_checksums(bool verify) { verify_checksums_ = verify; }
+  bool verify_checksums() const { return verify_checksums_; }
+
  protected:
   explicit Pager(size_t page_size) : page_size_(page_size) {}
 
@@ -58,6 +70,11 @@ class Pager {
   PagerStats stats_;
   size_t num_pages_ = 0;
   std::vector<PageId> free_list_;
+
+ private:
+  bool verify_checksums_ = true;
+  std::vector<uint32_t> checksums_;   // indexed by PageId
+  std::vector<uint8_t> checksummed_;  // 1 iff checksums_[id] is meaningful
 };
 
 /// Pager over an anonymous temporary file (unlinked on open, so it vanishes
@@ -78,6 +95,38 @@ class FilePager : public Pager {
   Status DoWrite(PageId id, const char* buf) override;
 
   std::FILE* file_;
+};
+
+/// Pager over a named file that outlives the process — the backing store of
+/// durable artifacts (tree checkpoints, see src/durability/). Unlike
+/// FilePager the file stays visible on disk and the caller controls its
+/// lifetime; Sync() makes the contents crash-durable. I/O is unbuffered so
+/// a Sync() never races stale stdio buffers.
+class NamedFilePager : public Pager {
+ public:
+  ~NamedFilePager() override;
+
+  /// Opens `path`, creating the file when missing. With `truncate` any
+  /// existing contents are discarded (fresh checkpoint); without it the
+  /// existing pages are addressable (recovery reads them back).
+  static StatusOr<std::unique_ptr<NamedFilePager>> Open(
+      const std::string& path, size_t page_size = kDefaultPageSize,
+      bool truncate = false);
+
+  const std::string& path() const { return path_; }
+
+  /// Flushes buffered writes and fsyncs the file descriptor.
+  Status Sync();
+
+ private:
+  NamedFilePager(size_t page_size, std::FILE* file, std::string path)
+      : Pager(page_size), file_(file), path_(std::move(path)) {}
+
+  Status DoRead(PageId id, char* buf) override;
+  Status DoWrite(PageId id, const char* buf) override;
+
+  std::FILE* file_;
+  std::string path_;
 };
 
 /// Pager over heap memory with identical I/O accounting.

@@ -67,6 +67,34 @@ class PageChain {
   PageChain(BufferPool* pool, const RecordCodec* codec)
       : pool_(pool), codec_(codec) {}
 
+  /// Releases every page on destruction: an abandoned chain (say, an
+  /// external sort interrupted before Finish) returns its spill pages to
+  /// the pager instead of leaking them for the life of the backing file.
+  ~PageChain() { Clear(); }
+
+  PageChain(PageChain&& other) noexcept
+      : pool_(other.pool_),
+        codec_(other.codec_),
+        pages_(std::move(other.pages_)),
+        record_count_(other.record_count_) {
+    other.pages_.clear();
+    other.record_count_ = 0;
+  }
+  PageChain& operator=(PageChain&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      pool_ = other.pool_;
+      codec_ = other.codec_;
+      pages_ = std::move(other.pages_);
+      record_count_ = other.record_count_;
+      other.pages_.clear();
+      other.record_count_ = 0;
+    }
+    return *this;
+  }
+  PageChain(const PageChain&) = delete;
+  PageChain& operator=(const PageChain&) = delete;
+
   size_t record_count() const { return record_count_; }
   size_t page_count() const { return pages_.size(); }
   bool empty() const { return record_count_ == 0; }

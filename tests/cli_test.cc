@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -206,6 +207,40 @@ TEST(CliServeParseTest, ParsesFlagsAndRejectsUnknown) {
   EXPECT_FALSE(cli::ParseServeArgs(4, bad, &unknown));
 }
 
+TEST(CliServeParseTest, DurabilityFlagsBothSpellings) {
+  cli::ServeOptions o;
+  std::vector<const char*> argv = {
+      "serve",        "--input",       "a.csv", "--wal-dir",
+      "/tmp/wal",     "--fsync-every", "64",    "--checkpoint-every",
+      "5000",         "--recover-only"};
+  ASSERT_TRUE(cli::ParseServeArgs(static_cast<int>(argv.size()),
+                                  argv.data(), &o));
+  EXPECT_EQ(o.wal_dir, "/tmp/wal");
+  EXPECT_EQ(o.fsync_every, 64u);
+  EXPECT_EQ(o.checkpoint_every, 5000u);
+  EXPECT_TRUE(o.recover_only);
+
+  // Underscore spellings are accepted too (matches the service option
+  // names in docs and scripts).
+  cli::ServeOptions u;
+  std::vector<const char*> underscore = {
+      "serve",      "--input",       "a.csv", "--wal_dir",
+      "/tmp/wal2",  "--fsync_every", "1",     "--checkpoint_every",
+      "100",        "--recover_only"};
+  ASSERT_TRUE(cli::ParseServeArgs(static_cast<int>(underscore.size()),
+                                  underscore.data(), &u));
+  EXPECT_EQ(u.wal_dir, "/tmp/wal2");
+  EXPECT_EQ(u.fsync_every, 1u);
+  EXPECT_TRUE(u.recover_only);
+
+  // --recover-only without --wal-dir is malformed.
+  cli::ServeOptions bad;
+  std::vector<const char*> no_dir = {"serve", "--input", "a.csv",
+                                     "--recover-only"};
+  EXPECT_FALSE(cli::ParseServeArgs(static_cast<int>(no_dir.size()),
+                                   no_dir.data(), &bad));
+}
+
 TEST_F(CliRunTest, ServeModeEndToEnd) {
   cli::ServeOptions o;
   o.input = input_;
@@ -221,6 +256,37 @@ TEST_F(CliRunTest, ServeModeEndToEnd) {
   EXPECT_NE(log.str().find("inserted=1000"), std::string::npos);
   EXPECT_NE(log.str().find("records=1000"), std::string::npos);
   EXPECT_NE(log.str().find("release k1=50"), std::string::npos);
+}
+
+TEST_F(CliRunTest, ServeModeDurableRestartRecovers) {
+  const std::string wal_dir = ::testing::TempDir() + "/cli_wal_dir";
+  std::filesystem::remove_all(wal_dir);
+
+  cli::ServeOptions o;
+  o.input = input_;
+  o.k = 10;
+  o.producers = 2;
+  o.wal_dir = wal_dir;
+  o.fsync_every = 32;
+  o.checkpoint_every = 400;
+  {
+    std::ostringstream log;
+    EXPECT_EQ(cli::RunServe(o, log), 0) << log.str();
+    EXPECT_NE(log.str().find("recovery: recovered=0"), std::string::npos)
+        << log.str();
+    EXPECT_NE(log.str().find("durability:"), std::string::npos);
+  }
+  // Restart in recover-only mode: everything the first run ingested comes
+  // back, nothing is re-ingested.
+  o.recover_only = true;
+  {
+    std::ostringstream log;
+    EXPECT_EQ(cli::RunServe(o, log), 0) << log.str();
+    EXPECT_NE(log.str().find("recovery: recovered=1000"), std::string::npos)
+        << log.str();
+    EXPECT_NE(log.str().find("records=1000"), std::string::npos);
+  }
+  std::filesystem::remove_all(wal_dir);
 }
 
 TEST_F(CliRunTest, ServeModeMissingInputFails) {

@@ -175,6 +175,30 @@ TEST(CurveBulkLoadExternalTest, MatchesInMemoryLoaderQuality) {
   EXPECT_LT(ext_volume, mem_volume * 1.5 + 1e-9);
 }
 
+TEST(ExternalSorterTest, AbandonedSortReleasesSpillPages) {
+  // An interrupted run (sorter destroyed before Finish) must hand its
+  // spill pages back: a second identical sort reuses them instead of
+  // growing the backing store.
+  SortRig rig(/*pool_frames=*/16, /*page_size=*/512);
+  auto spill = [&] {
+    ExternalSorter sorter(1, /*run_records=*/32, &rig.pool);
+    Rng rng(5);
+    for (size_t i = 0; i < 500; ++i) {
+      const double v[] = {static_cast<double>(i)};
+      ASSERT_TRUE(sorter.Add(rng.Next(), i, 0, {v, 1}).ok());
+    }
+    ASSERT_GT(sorter.run_count(), 0u);
+    // No Finish: the sorter goes out of scope mid-sort.
+  };
+  spill();
+  ASSERT_TRUE(rig.pool.FlushAll().ok());
+  const size_t high_water = rig.pager.num_pages();
+  ASSERT_GT(high_water, 0u);
+  spill();
+  ASSERT_TRUE(rig.pool.FlushAll().ok());
+  EXPECT_EQ(rig.pager.num_pages(), high_water);
+}
+
 TEST(CurveBulkLoadExternalTest, EmptyDataset) {
   Dataset data(Schema::Numeric(2));
   SortRig rig;

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "storage/buffer_pool.h"
@@ -261,6 +265,68 @@ TEST(PageChainTest, DrainEmptiesAndFreesPages) {
   PageChain chain2(&pool, &codec);
   const double v[] = {1.0};
   ASSERT_TRUE(chain2.Append(0, 0, {v, 1}).ok());
+}
+
+TEST(NamedFilePagerTest, PersistsAcrossReopen) {
+  const std::string path = ::testing::TempDir() + "/kanon_named_pager.db";
+  std::vector<char> page(512, 0);
+  {
+    auto pager = NamedFilePager::Open(path, 512, /*truncate=*/true);
+    ASSERT_TRUE(pager.ok()) << pager.status();
+    const PageId a = (*pager)->Allocate();
+    const PageId b = (*pager)->Allocate();
+    std::fill(page.begin(), page.end(), 'a');
+    ASSERT_TRUE((*pager)->Write(a, page.data()).ok());
+    std::fill(page.begin(), page.end(), 'b');
+    ASSERT_TRUE((*pager)->Write(b, page.data()).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  // Unlike FilePager (anonymous temp file), the data survives the pager.
+  auto reopened = NamedFilePager::Open(path, 512);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_pages(), 2u);
+  ASSERT_TRUE((*reopened)->Read(1, page.data()).ok());
+  EXPECT_EQ(page[0], 'b');
+  EXPECT_EQ(page[511], 'b');
+  std::remove(path.c_str());
+}
+
+TEST(NamedFilePagerTest, ExternalCorruptionSurfacesAsStatus) {
+  const std::string path = ::testing::TempDir() + "/kanon_corrupt_pager.db";
+  auto pager = NamedFilePager::Open(path, 512, /*truncate=*/true);
+  ASSERT_TRUE(pager.ok());
+  const PageId id = (*pager)->Allocate();
+  std::vector<char> page(512, 'x');
+  ASSERT_TRUE((*pager)->Write(id, page.data()).ok());
+  // Flip one byte behind the pager's back (the pager is unbuffered, so the
+  // next Read really hits the file).
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(100);
+    f.put('y');
+  }
+  const Status status = (*pager)->Read(id, page.data());
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  // The escape hatch turns verification off (fault-injection harnesses).
+  (*pager)->set_verify_checksums(false);
+  EXPECT_TRUE((*pager)->Read(id, page.data()).ok());
+  EXPECT_EQ(page[100], 'y');
+  std::remove(path.c_str());
+}
+
+TEST(PagerChecksumTest, InMemoryCorruptionDetectedOnMemPager) {
+  // MemPager "corruption" cannot happen from outside, but a freed page must
+  // not be validated against its stale checksum once recycled.
+  MemPager pager(256);
+  const PageId id = pager.Allocate();
+  std::vector<char> page(256, 'q');
+  ASSERT_TRUE(pager.Write(id, page.data()).ok());
+  pager.Free(id);
+  const PageId again = pager.Allocate();
+  EXPECT_EQ(again, id);  // recycled
+  // Unwritten recycled page: read skips verification instead of failing.
+  EXPECT_TRUE(pager.Read(again, page.data()).ok());
 }
 
 }  // namespace

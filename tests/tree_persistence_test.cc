@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
 
 #include "common/random.h"
@@ -140,6 +142,69 @@ TEST(TreePersistenceTest, WorksOnRealFilePager) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->size(), 800u);
   EXPECT_TRUE(loaded->CheckInvariants().ok());
+}
+
+TEST(TreePersistenceTest, MidIncrementalLoadMatchesUnpersistedRun) {
+  // Persisting the index halfway through an incremental load and resuming
+  // on the restored copy must be invisible: same leaf partitioning, same
+  // k-occupancy, record for record — the durability subsystem's
+  // correctness hinges on exactly this property.
+  Rng rng(8);
+  std::vector<std::vector<double>> points;
+  for (size_t i = 0; i < 3000; ++i) {
+    points.push_back({rng.UniformDouble(0, 1000), rng.UniformDouble(0, 1000)});
+  }
+
+  RPlusTree uninterrupted(2, SmallConfig());
+  RPlusTree first_half(2, SmallConfig());
+  for (size_t i = 0; i < points.size(); ++i) {
+    uninterrupted.Insert(points[i], i, static_cast<int32_t>(i % 4));
+    if (i < points.size() / 2) {
+      first_half.Insert(points[i], i, static_cast<int32_t>(i % 4));
+    }
+  }
+
+  const std::string path = ::testing::TempDir() + "/kanon_mid_load_tree.db";
+  auto snapshot = SaveTreeToFile(first_half, path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  auto resumed = LoadTreeFromFile(path, *snapshot, 2, SmallConfig());
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  for (size_t i = points.size() / 2; i < points.size(); ++i) {
+    resumed->Insert(points[i], i, static_cast<int32_t>(i % 4));
+  }
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(resumed->CheckInvariants().ok());
+  EXPECT_EQ(resumed->size(), uninterrupted.size());
+  const auto expected = uninterrupted.OrderedLeaves();
+  const auto actual = resumed->OrderedLeaves();
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i]->rids, actual[i]->rids);
+    EXPECT_TRUE(expected[i]->mbr == actual[i]->mbr);
+  }
+  // The k-constraint (min leaf occupancy) holds on the resumed tree.
+  EXPECT_GE(resumed->ComputeStats().min_leaf_size, SmallConfig().min_leaf);
+}
+
+TEST(TreePersistenceTest, FileSnapshotChecksumCatchesBitRot) {
+  const RPlusTree tree = BuildRandom(600, 9);
+  const std::string path = ::testing::TempDir() + "/kanon_bitrot_tree.db";
+  auto snapshot = SaveTreeToFile(tree, path);
+  ASSERT_TRUE(snapshot.ok());
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(777);
+    char byte = 0;
+    f.seekg(777);
+    f.get(byte);
+    f.seekp(777);
+    f.put(static_cast<char>(byte ^ 0x08));
+  }
+  auto loaded = LoadTreeFromFile(path, *snapshot, 2, SmallConfig());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -263,6 +263,20 @@ bool ParseServeArgs(int argc, const char* const* argv,
       options->snapshot_every = std::strtoul(v, nullptr, 10);
     } else if (arg == "--reject") {
       options->reject = true;
+    } else if (arg == "--wal-dir" || arg == "--wal_dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->wal_dir = v;
+    } else if (arg == "--fsync-every" || arg == "--fsync_every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->fsync_every = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--checkpoint-every" || arg == "--checkpoint_every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->checkpoint_every = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--recover-only" || arg == "--recover_only") {
+      options->recover_only = true;
     } else if (arg == "--release") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -275,7 +289,8 @@ bool ParseServeArgs(int argc, const char* const* argv,
   }
   return !options->input.empty() && options->k >= 1 &&
          options->producers >= 1 && options->queue_capacity >= 1 &&
-         options->max_batch >= 1;
+         options->max_batch >= 1 &&
+         (!options->recover_only || !options->wal_dir.empty());
 }
 
 int RunServe(const ServeOptions& options, std::ostream& log) {
@@ -296,8 +311,24 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
   service_options.backpressure = options.reject ? BackpressureMode::kReject
                                                 : BackpressureMode::kBlock;
   service_options.snapshot_every = options.snapshot_every;
+  service_options.durability.wal_dir = options.wal_dir;
+  service_options.durability.fsync_every = options.fsync_every;
+  service_options.durability.checkpoint_every = options.checkpoint_every;
   const Domain domain = dataset->ComputeDomain();
-  AnonymizationService service(dataset->dim(), domain, service_options);
+  auto service_or =
+      AnonymizationService::Create(dataset->dim(), domain, service_options);
+  if (!service_or.ok()) {
+    log << service_or.status() << "\n";
+    return 1;
+  }
+  AnonymizationService& service = **service_or;
+  if (!options.wal_dir.empty()) {
+    const RecoveryResult& r = service.recovery();
+    log << "recovery: recovered=" << r.recovered
+        << " checkpoint_lsn=" << r.checkpoint_lsn
+        << " replayed=" << r.replayed << " next_lsn=" << r.next_lsn
+        << " torn_tail=" << (r.truncated_torn_tail ? 1 : 0) << "\n";
+  }
 
   // Each producer streams a stripe of the file at its share of the target
   // rate, which interleaves into an approximately file-ordered stream.
@@ -306,7 +337,7 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
       options.rate > 0.0 ? options.rate / static_cast<double>(producers)
                          : 0.0;
   Timer timer;
-  {
+  if (!options.recover_only) {
     std::vector<JoinableThread> threads;
     for (size_t t = 0; t < producers; ++t) {
       threads.emplace_back([&, t] {
@@ -334,15 +365,18 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
 
   const ServiceStats stats = service.Stats();
   log << FormatServiceStats(stats) << "\n";
-  log << "streamed " << n << " records with " << producers
-      << " producers in " << elapsed_s << "s ("
-      << static_cast<double>(stats.inserted) / elapsed_s << " rec/s)\n";
+  if (!options.recover_only) {
+    log << "streamed " << n << " records with " << producers
+        << " producers in " << elapsed_s << "s ("
+        << static_cast<double>(stats.inserted) / elapsed_s << " rec/s)\n";
+  }
 
   const auto snapshot = service.CurrentSnapshot();
   if (snapshot == nullptr) {
     log << "no snapshot published: fewer than k=" << options.k
         << " records were ingested\n";
-    return 1;
+    // A recover-only pass over a near-empty log is not a failure.
+    return options.recover_only ? 0 : 1;
   }
   const SnapshotInfo& info = snapshot->info();
   log << "final snapshot: epoch=" << info.epoch

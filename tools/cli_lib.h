@@ -60,6 +60,14 @@ struct ServeOptions {
   uint64_t snapshot_every = 10000;
   bool reject = false;      // kReject backpressure instead of blocking
   std::vector<size_t> releases;  // extra k1 granularities to report
+
+  // Durability (off unless --wal-dir is given). On restart with the same
+  // --wal-dir, the service recovers the checkpoint + WAL tail before
+  // ingesting.
+  std::string wal_dir;
+  size_t fsync_every = 256;
+  uint64_t checkpoint_every = 100000;
+  bool recover_only = false;  // recover + report, ingest nothing
 };
 
 /// Parses the argv *after* the `serve` token. Returns false on malformed

@@ -14,6 +14,14 @@
 //             [--producers P] [--rate RECORDS_PER_SEC] [--queue N]
 //             [--batch B] [--snapshot-every N] [--reject]
 //             [--release K1[,K1...]]
+//             [--wal-dir DIR] [--fsync-every N] [--checkpoint-every N]
+//             [--recover-only]
+//
+// With --wal-dir the service write-ahead-logs every ingested record and
+// periodically checkpoints the index (src/durability/); restarting with
+// the same directory recovers the checkpoint plus the WAL tail before
+// ingesting. --recover-only performs the recovery, prints what it
+// restored, and exits without streaming the input.
 //
 // The input's quasi-identifier fields are parsed as numbers (categoricals
 // numerically recoded upstream); an optional final integer column is the
@@ -43,7 +51,9 @@ void Usage() {
       "                 [--schema SPEC | --columns N] [--skip-header]\n"
       "                 [--producers P] [--rate R] [--queue N] [--batch B]\n"
       "                 [--snapshot-every N] [--reject]\n"
-      "                 [--release K1[,K1...]]\n";
+      "                 [--release K1[,K1...]]\n"
+      "                 [--wal-dir DIR] [--fsync-every N]\n"
+      "                 [--checkpoint-every N] [--recover-only]\n";
 }
 
 }  // namespace
