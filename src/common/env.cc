@@ -1,0 +1,684 @@
+#include "common/env.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace kanon {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " failed for " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Status WritableFile::Append(const void* data, size_t n) {
+  const char* src = static_cast<const char*>(data);
+  while (n > 0) {
+    KANON_ASSIGN_OR_RETURN(const size_t written, AppendPartial(src, n));
+    KANON_CHECK(written >= 1 && written <= n);
+    src += written;
+    n -= written;
+  }
+  return Status::OK();
+}
+
+Status RandomAccessFile::ReadAt(uint64_t offset, char* buf, size_t n,
+                                size_t* bytes_read) {
+  *bytes_read = 0;
+  while (n > 0) {
+    KANON_ASSIGN_OR_RETURN(const size_t got,
+                           ReadAtPartial(offset, buf, n));
+    if (got == 0) break;  // end of file
+    KANON_CHECK(got <= n);
+    offset += got;
+    buf += got;
+    n -= got;
+    *bytes_read += got;
+  }
+  return Status::OK();
+}
+
+Status RandomRWFile::ReadAt(uint64_t offset, char* buf, size_t n,
+                            size_t* bytes_read) {
+  *bytes_read = 0;
+  while (n > 0) {
+    KANON_ASSIGN_OR_RETURN(const size_t got,
+                           ReadAtPartial(offset, buf, n));
+    if (got == 0) break;  // end of file
+    KANON_CHECK(got <= n);
+    offset += got;
+    buf += got;
+    n -= got;
+    *bytes_read += got;
+  }
+  return Status::OK();
+}
+
+Status RandomRWFile::WriteAt(uint64_t offset, const char* data, size_t n) {
+  while (n > 0) {
+    KANON_ASSIGN_OR_RETURN(const size_t written,
+                           WriteAtPartial(offset, data, n));
+    KANON_CHECK(written >= 1 && written <= n);
+    offset += written;
+    data += written;
+    n -= written;
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// fd-backed append file. A small user-space buffer keeps a group-commit
+/// window's worth of appends in one write syscall; the EINTR/short-write
+/// loop lives in WriteRaw, the single place bytes cross into the kernel.
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {
+    buffer_.reserve(kBufferSize);
+  }
+  ~PosixWritableFile() override { (void)Close(); }
+
+  Status Flush() override {
+    if (buffer_.empty()) return Status::OK();
+    KANON_RETURN_IF_ERROR(WriteRaw(buffer_.data(), buffer_.size()));
+    buffer_.clear();
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    KANON_RETURN_IF_ERROR(Flush());
+    if (fdatasync(fd_) != 0) {
+      return Status::IoError(ErrnoMessage("fdatasync", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const Status flushed = Flush();
+    const int rc = close(fd_);
+    fd_ = -1;
+    KANON_RETURN_IF_ERROR(flushed);
+    if (rc != 0) return Status::IoError(ErrnoMessage("close", path_));
+    return Status::OK();
+  }
+
+ protected:
+  StatusOr<size_t> AppendPartial(const char* data, size_t n) override {
+    if (buffer_.size() + n <= kBufferSize) {
+      buffer_.insert(buffer_.end(), data, data + n);
+      return n;
+    }
+    KANON_RETURN_IF_ERROR(Flush());
+    if (n >= kBufferSize) {
+      // Oversized append: write through, skip the copy.
+      KANON_RETURN_IF_ERROR(WriteRaw(data, n));
+      return n;
+    }
+    buffer_.insert(buffer_.end(), data, data + n);
+    return n;
+  }
+
+ private:
+  static constexpr size_t kBufferSize = 1u << 16;
+
+  Status WriteRaw(const char* data, size_t n) {
+    while (n > 0) {
+      const ssize_t written = write(fd_, data, n);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(ErrnoMessage("write", path_));
+      }
+      data += written;
+      n -= static_cast<size_t>(written);
+    }
+    return Status::OK();
+  }
+
+  int fd_;
+  const std::string path_;
+  std::vector<char> buffer_;
+};
+
+class PosixRandomAccessFile final : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixRandomAccessFile() override { close(fd_); }
+
+ protected:
+  StatusOr<size_t> ReadAtPartial(uint64_t offset, char* buf,
+                                 size_t n) override {
+    for (;;) {
+      const ssize_t got = pread(fd_, buf, n, static_cast<off_t>(offset));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(ErrnoMessage("pread", path_));
+      }
+      return static_cast<size_t>(got);
+    }
+  }
+
+ private:
+  const int fd_;
+  const std::string path_;
+};
+
+class PosixRandomRWFile final : public RandomRWFile {
+ public:
+  PosixRandomRWFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixRandomRWFile() override { close(fd_); }
+
+  Status Sync() override {
+    if (fsync(fd_) != 0) {
+      return Status::IoError(ErrnoMessage("fsync", path_));
+    }
+    return Status::OK();
+  }
+
+ protected:
+  StatusOr<size_t> ReadAtPartial(uint64_t offset, char* buf,
+                                 size_t n) override {
+    for (;;) {
+      const ssize_t got = pread(fd_, buf, n, static_cast<off_t>(offset));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(ErrnoMessage("pread", path_));
+      }
+      return static_cast<size_t>(got);
+    }
+  }
+
+  StatusOr<size_t> WriteAtPartial(uint64_t offset, const char* data,
+                                  size_t n) override {
+    for (;;) {
+      const ssize_t written = pwrite(fd_, data, n, static_cast<off_t>(offset));
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(ErrnoMessage("pwrite", path_));
+      }
+      return static_cast<size_t>(written);
+    }
+  }
+
+ private:
+  const int fd_;
+  const std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    const int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    const int fd = open(path.c_str(), flags, 0644);
+    if (fd < 0) return Status::IoError(ErrnoMessage("open", path));
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    const int fd = open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::IoError(ErrnoMessage("open", path));
+    }
+    return std::unique_ptr<RandomAccessFile>(
+        new PosixRandomAccessFile(fd, path));
+  }
+
+  StatusOr<std::unique_ptr<RandomRWFile>> NewRandomRWFile(
+      const std::string& path, bool truncate) override {
+    const int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+    const int fd = open(path.c_str(), flags, 0644);
+    if (fd < 0) return Status::IoError(ErrnoMessage("open", path));
+    return std::unique_ptr<RandomRWFile>(new PosixRandomRWFile(fd, path));
+  }
+
+  StatusOr<std::unique_ptr<RandomRWFile>> NewTempRWFile(
+      const std::string& dir) override {
+    std::string templ =
+        (dir.empty() ? std::string("/tmp") : dir) + "/kanon_tmp_XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    const int fd = mkstemp(buf.data());
+    if (fd < 0) return Status::IoError(ErrnoMessage("mkstemp", templ));
+    // Unlink immediately: the file lives only as long as the handle.
+    unlink(buf.data());
+    return std::unique_ptr<RandomRWFile>(
+        new PosixRandomRWFile(fd, buf.data()));
+  }
+
+  Status CreateDirs(const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create directory " + dir + ": " +
+                             ec.message());
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return access(path.c_str(), F_OK) == 0;
+  }
+
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::IoError(ErrnoMessage("stat", path));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = opendir(dir.c_str());
+    if (d == nullptr) {
+      if (errno == ENOENT) return Status::NotFound("no such directory: " + dir);
+      return Status::IoError(ErrnoMessage("opendir", dir));
+    }
+    std::vector<std::string> names;
+    while (struct dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    closedir(d);
+    return names;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError(ErrnoMessage("rename", from + " -> " + to));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::IoError(ErrnoMessage("unlink", path));
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Status::IoError(ErrnoMessage("truncate", path));
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Status::IoError(ErrnoMessage("open directory", dir));
+    const int rc = fsync(fd);
+    close(fd);
+    if (rc != 0) return Status::IoError(ErrnoMessage("fsync directory", dir));
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();  // intentionally leaked singleton
+  return env;
+}
+
+Status ReadFileToString(Env* env, const std::string& path, std::string* out) {
+  out->clear();
+  KANON_ASSIGN_OR_RETURN(auto file, env->NewRandomAccessFile(path));
+  uint64_t offset = 0;
+  char buf[1u << 16];
+  for (;;) {
+    size_t got = 0;
+    KANON_RETURN_IF_ERROR(file->ReadAt(offset, buf, sizeof(buf), &got));
+    out->append(buf, got);
+    offset += got;
+    if (got < sizeof(buf)) return Status::OK();
+  }
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kWriteError:
+      return "write-error";
+    case FaultKind::kTornWrite:
+      return "torn-write";
+    case FaultKind::kSyncError:
+      return "sync-error";
+    case FaultKind::kReadCorruption:
+      return "read-corruption";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status InjectedError(FaultKind kind, const std::string& path) {
+  return Status::IoError(std::string("injected ") + FaultKindName(kind) +
+                         " (" + path + ")");
+}
+
+}  // namespace
+
+/// Wraps a base WritableFile; the env decides which appends/syncs fault.
+class FaultyWritableFile final : public WritableFile {
+ public:
+  FaultyWritableFile(std::unique_ptr<WritableFile> base, std::string path,
+                     FaultInjectionEnv* env)
+      : base_(std::move(base)), path_(std::move(path)), env_(env) {}
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    FaultKind kind;
+    size_t torn = 0;
+    if (env_->MaybeInject(FaultInjectionEnv::OpType::kSync, path_, 0, 0,
+                          &kind, &torn)) {
+      // The data may or may not have reached the platter — exactly the
+      // ambiguity a real fsync failure leaves behind.
+      return InjectedError(kind, path_);
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ protected:
+  StatusOr<size_t> AppendPartial(const char* data, size_t n) override {
+    FaultKind kind;
+    size_t torn = 0;
+    if (env_->MaybeInject(FaultInjectionEnv::OpType::kWrite, path_, 0, n,
+                          &kind, &torn)) {
+      if (kind == FaultKind::kTornWrite && torn > 0) {
+        // Persist a prefix, then fail — and push it past any user-space
+        // buffer so the torn bytes really reach the file.
+        (void)base_->Append(data, torn);
+        (void)base_->Flush();
+      }
+      return InjectedError(kind, path_);
+    }
+    KANON_RETURN_IF_ERROR(base_->Append(data, n));
+    return n;
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  const std::string path_;
+  FaultInjectionEnv* const env_;
+};
+
+class FaultyRandomAccessFile final : public RandomAccessFile {
+ public:
+  FaultyRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                         std::string path, FaultInjectionEnv* env)
+      : base_(std::move(base)), path_(std::move(path)), env_(env) {}
+
+ protected:
+  StatusOr<size_t> ReadAtPartial(uint64_t offset, char* buf,
+                                 size_t n) override {
+    size_t got = 0;
+    KANON_RETURN_IF_ERROR(base_->ReadAt(offset, buf, n, &got));
+    FaultKind kind;
+    size_t torn = 0;
+    if (got > 0 &&
+        env_->MaybeInject(FaultInjectionEnv::OpType::kRead, path_, offset,
+                          got, &kind, &torn)) {
+      buf[torn % got] ^= 1u << (torn % 8);  // deterministic bit flip
+    }
+    return got;
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  const std::string path_;
+  FaultInjectionEnv* const env_;
+};
+
+class FaultyRandomRWFile final : public RandomRWFile {
+ public:
+  FaultyRandomRWFile(std::unique_ptr<RandomRWFile> base, std::string path,
+                     FaultInjectionEnv* env)
+      : base_(std::move(base)), path_(std::move(path)), env_(env) {}
+
+  Status Sync() override {
+    FaultKind kind;
+    size_t torn = 0;
+    if (env_->MaybeInject(FaultInjectionEnv::OpType::kSync, path_, 0, 0,
+                          &kind, &torn)) {
+      return InjectedError(kind, path_);
+    }
+    return base_->Sync();
+  }
+
+ protected:
+  StatusOr<size_t> ReadAtPartial(uint64_t offset, char* buf,
+                                 size_t n) override {
+    size_t got = 0;
+    KANON_RETURN_IF_ERROR(base_->ReadAt(offset, buf, n, &got));
+    FaultKind kind;
+    size_t torn = 0;
+    if (got > 0 &&
+        env_->MaybeInject(FaultInjectionEnv::OpType::kRead, path_, offset,
+                          got, &kind, &torn)) {
+      buf[torn % got] ^= 1u << (torn % 8);
+    }
+    return got;
+  }
+
+  StatusOr<size_t> WriteAtPartial(uint64_t offset, const char* data,
+                                  size_t n) override {
+    FaultKind kind;
+    size_t torn = 0;
+    if (env_->MaybeInject(FaultInjectionEnv::OpType::kWrite, path_, offset,
+                          n, &kind, &torn)) {
+      if (kind == FaultKind::kTornWrite && torn > 0) {
+        (void)base_->WriteAt(offset, data, torn);
+      }
+      return InjectedError(kind, path_);
+    }
+    KANON_RETURN_IF_ERROR(base_->WriteAt(offset, data, n));
+    return n;
+  }
+
+ private:
+  std::unique_ptr<RandomRWFile> base_;
+  const std::string path_;
+  FaultInjectionEnv* const env_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base, FaultInjectionOptions options)
+    : base_(base), options_(std::move(options)), rng_(options_.seed) {
+  if (options_.mean_ops_between_faults > 0) {
+    next_fault_at_ =
+        1 + rng_.Uniform(2ull * options_.mean_ops_between_faults);
+  }
+}
+
+bool FaultInjectionEnv::MaybeInject(OpType type, const std::string& path,
+                                    uint64_t offset, size_t n,
+                                    FaultKind* kind, size_t* torn_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.path_filter.empty() &&
+      path.find(options_.path_filter) == std::string::npos) {
+    return false;
+  }
+  ++ops_;
+  const uint64_t write_no = type == OpType::kWrite ? ++writes_ : writes_;
+  const uint64_t sync_no = type == OpType::kSync ? ++syncs_ : syncs_;
+  const uint64_t read_no = type == OpType::kRead ? ++reads_ : reads_;
+  *torn_prefix = 0;
+
+  bool inject = false;
+  if (options_.break_after_ops > 0 && ops_ >= options_.break_after_ops &&
+      type != OpType::kRead) {
+    broken_ = true;
+    *kind = type == OpType::kSync ? FaultKind::kSyncError
+                                  : FaultKind::kWriteError;
+    inject = true;
+  } else if (type == OpType::kWrite && options_.fail_nth_write > 0 &&
+             write_no == options_.fail_nth_write) {
+    *kind = options_.torn_writes ? FaultKind::kTornWrite
+                                 : FaultKind::kWriteError;
+    inject = true;
+  } else if (type == OpType::kSync && options_.fail_nth_sync > 0 &&
+             sync_no == options_.fail_nth_sync) {
+    *kind = FaultKind::kSyncError;
+    inject = true;
+  } else if (type == OpType::kRead && options_.corrupt_nth_read > 0 &&
+             read_no == options_.corrupt_nth_read) {
+    *kind = FaultKind::kReadCorruption;
+    inject = true;
+  } else if (next_fault_at_ > 0 && ops_ >= next_fault_at_) {
+    next_fault_at_ =
+        ops_ + 1 + rng_.Uniform(2ull * options_.mean_ops_between_faults);
+    switch (type) {
+      case OpType::kWrite:
+        *kind = options_.torn_writes ? FaultKind::kTornWrite
+                                     : FaultKind::kWriteError;
+        inject = true;
+        break;
+      case OpType::kSync:
+        if (options_.sync_faults) {
+          *kind = FaultKind::kSyncError;
+          inject = true;
+        }
+        break;
+      case OpType::kRead:
+        if (options_.read_faults) {
+          *kind = FaultKind::kReadCorruption;
+          inject = true;
+        }
+        break;
+    }
+  }
+  if (!inject) return false;
+  if (*kind == FaultKind::kTornWrite && n > 0) {
+    *torn_prefix = rng_.Uniform(n);
+  } else if (*kind == FaultKind::kReadCorruption && n > 0) {
+    *torn_prefix = rng_.Uniform(n * 8);  // reused as the bit index seed
+  }
+  trace_.push_back({ops_, *kind, path, offset, n});
+  return true;
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  KANON_ASSIGN_OR_RETURN(auto file, base_->NewWritableFile(path, truncate));
+  return std::unique_ptr<WritableFile>(
+      new FaultyWritableFile(std::move(file), path, this));
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>>
+FaultInjectionEnv::NewRandomAccessFile(const std::string& path) {
+  KANON_ASSIGN_OR_RETURN(auto file, base_->NewRandomAccessFile(path));
+  return std::unique_ptr<RandomAccessFile>(
+      new FaultyRandomAccessFile(std::move(file), path, this));
+}
+
+StatusOr<std::unique_ptr<RandomRWFile>> FaultInjectionEnv::NewRandomRWFile(
+    const std::string& path, bool truncate) {
+  KANON_ASSIGN_OR_RETURN(auto file, base_->NewRandomRWFile(path, truncate));
+  return std::unique_ptr<RandomRWFile>(
+      new FaultyRandomRWFile(std::move(file), path, this));
+}
+
+StatusOr<std::unique_ptr<RandomRWFile>> FaultInjectionEnv::NewTempRWFile(
+    const std::string& dir) {
+  KANON_ASSIGN_OR_RETURN(auto file, base_->NewTempRWFile(dir));
+  return std::unique_ptr<RandomRWFile>(
+      new FaultyRandomRWFile(std::move(file), "<temp>", this));
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& dir) {
+  return base_->CreateDirs(dir);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+StatusOr<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+StatusOr<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& dir) {
+  return base_->ListDir(dir);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  return base_->TruncateFile(path, size);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  return base_->SyncDir(dir);
+}
+
+uint64_t FaultInjectionEnv::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+uint64_t FaultInjectionEnv::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_.size();
+}
+
+bool FaultInjectionEnv::broken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broken_;
+}
+
+std::vector<FaultEvent> FaultInjectionEnv::trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+std::string FaultInjectionEnv::TraceSummary(size_t max_events) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trace_.empty()) return "";
+  std::ostringstream os;
+  os << "fault trace (seed=" << options_.seed << ", " << trace_.size()
+     << " injected over " << ops_ << " ops):";
+  const size_t shown = std::min(max_events, trace_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    const FaultEvent& e = trace_[i];
+    os << "\n  op " << e.op << ": " << FaultKindName(e.kind) << " " << e.path
+       << " +" << e.offset << " (" << e.bytes << " bytes)";
+  }
+  if (shown < trace_.size()) {
+    os << "\n  ... " << (trace_.size() - shown) << " more";
+  }
+  return os.str();
+}
+
+}  // namespace kanon

@@ -1,0 +1,250 @@
+#ifndef KANON_COMMON_ENV_H_
+#define KANON_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace kanon {
+
+/// File abstractions with POSIX semantics at the virtual boundary: the
+/// *Partial hooks may transfer fewer bytes than asked (a short write on a
+/// nearly-full disk, a read crossing EOF) and the non-virtual public
+/// methods wrap them in resume loops, so every caller in the tree gets
+/// full-transfer-or-error behaviour from one audited place instead of ~22
+/// hand-rolled call sites. Routing all storage, WAL and checkpoint I/O
+/// through Env is what makes FaultInjectionEnv able to exercise ENOSPC,
+/// torn writes, failed fsyncs and read bit rot deterministically in tests.
+
+/// Append-only file (WAL segments, checkpoint manifests). Close() is
+/// idempotent and implied by the destructor; only Sync() makes the
+/// appended bytes crash-durable, and its Status is the caller's only
+/// evidence of durability.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends all `n` bytes, resuming on short writes. The implementation
+  /// may buffer in user space; Flush() pushes buffered bytes to the OS and
+  /// Sync() additionally makes them durable.
+  Status Append(const void* data, size_t n);
+
+  virtual Status Flush() { return Status::OK(); }
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+
+ protected:
+  /// Accepts at least 1 and at most `n` bytes, or errors. EINTR must be
+  /// handled below this boundary (return the partial count instead).
+  virtual StatusOr<size_t> AppendPartial(const char* data, size_t n) = 0;
+};
+
+/// Read-only positional file (WAL replay, manifest load).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset`, resuming short reads; *bytes_read
+  /// < n only at end of file.
+  Status ReadAt(uint64_t offset, char* buf, size_t n, size_t* bytes_read);
+
+ protected:
+  /// Returns bytes transferred; 0 means end of file.
+  virtual StatusOr<size_t> ReadAtPartial(uint64_t offset, char* buf,
+                                         size_t n) = 0;
+};
+
+/// Positional read/write file (pager backing stores).
+class RandomRWFile {
+ public:
+  virtual ~RandomRWFile() = default;
+
+  /// Reads up to `n` bytes at `offset`; *bytes_read < n only at EOF.
+  Status ReadAt(uint64_t offset, char* buf, size_t n, size_t* bytes_read);
+
+  /// Writes all `n` bytes at `offset`, resuming on short writes.
+  Status WriteAt(uint64_t offset, const char* data, size_t n);
+
+  virtual Status Sync() = 0;
+
+ protected:
+  virtual StatusOr<size_t> ReadAtPartial(uint64_t offset, char* buf,
+                                         size_t n) = 0;
+  virtual StatusOr<size_t> WriteAtPartial(uint64_t offset, const char* data,
+                                          size_t n) = 0;
+};
+
+/// The file-system boundary of the library. Env::Default() is the real
+/// POSIX implementation; FaultInjectionEnv decorates any Env with a
+/// deterministic fault schedule. All paths are plain std::string paths.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment (never null, never deleted).
+  static Env* Default();
+
+  /// Creates/opens `path` for appending. With `truncate` existing contents
+  /// are discarded, otherwise appends after them.
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate = true) = 0;
+
+  /// Opens `path` read-only. NotFound when it does not exist.
+  virtual StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) = 0;
+
+  /// Creates/opens `path` for positional read/write.
+  virtual StatusOr<std::unique_ptr<RandomRWFile>> NewRandomRWFile(
+      const std::string& path, bool truncate = false) = 0;
+
+  /// An anonymous temp file in `dir` ("" = system default) that vanishes
+  /// with its handle.
+  virtual StatusOr<std::unique_ptr<RandomRWFile>> NewTempRWFile(
+      const std::string& dir = "") = 0;
+
+  virtual Status CreateDirs(const std::string& dir) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+  /// File (not directory) names inside `dir`, unordered.
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& dir) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  /// fsyncs the directory so renames/creations/unlinks inside it survive a
+  /// crash.
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// Reads the whole of `path` into `*out`. NotFound when it does not exist.
+Status ReadFileToString(Env* env, const std::string& path, std::string* out);
+
+/// What a FaultInjectionEnv can do to an I/O operation.
+enum class FaultKind {
+  kWriteError,      // write fails, nothing persisted (classic ENOSPC)
+  kTornWrite,       // a prefix persists, then the write fails
+  kSyncError,       // fsync/fdatasync reports failure
+  kReadCorruption,  // read succeeds but one bit is flipped
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One injected fault, recorded in the per-run trace so a failing seeded
+/// run can be diagnosed and replayed.
+struct FaultEvent {
+  uint64_t op = 0;  // data-plane operation index the fault fired at
+  FaultKind kind = FaultKind::kWriteError;
+  std::string path;
+  uint64_t offset = 0;  // 0 for append-files
+  size_t bytes = 0;     // size of the faulted transfer
+};
+
+/// Deterministic fault schedule of a FaultInjectionEnv. Two runs with the
+/// same options over the same operation sequence inject exactly the same
+/// faults — reproduce a failure by re-running with the seed its report
+/// printed.
+struct FaultInjectionOptions {
+  uint64_t seed = 1;
+
+  /// Random transient faults: about one every this many matching
+  /// data-plane operations (0 disables the random schedule). Gaps are
+  /// drawn uniformly from [1, 2*mean] with the seeded Rng.
+  uint32_t mean_ops_between_faults = 0;
+
+  /// Hard break: from this matching operation on, every write and sync
+  /// fails (a dead/full disk). 0 = never.
+  uint64_t break_after_ops = 0;
+
+  /// Only operations on paths containing this substring count and fault
+  /// ("" = all files). Lets a test kill the WAL but not the checkpoint.
+  std::string path_filter;
+
+  /// Random write faults persist a seeded prefix before failing (torn
+  /// write) instead of failing cleanly.
+  bool torn_writes = true;
+  /// Include sync failures in the random schedule.
+  bool sync_faults = false;
+  /// Include read bit-flips in the random schedule.
+  bool read_faults = false;
+
+  // One-shot deterministic triggers (1-based per-kind counters, 0 = off).
+  uint64_t fail_nth_write = 0;
+  uint64_t fail_nth_sync = 0;
+  uint64_t corrupt_nth_read = 0;
+};
+
+/// An Env decorator that executes the configured fault schedule on the
+/// data plane (writes, syncs, reads) of matching files and records every
+/// injected fault. Metadata operations (rename, remove, truncate, dir
+/// sync) pass through unfaulted — they model the *consequences* of data
+/// faults, and faulting them too makes schedules impossible to reason
+/// about. Thread-safe: the service's ingest thread and a test thread may
+/// drive it concurrently.
+class FaultInjectionEnv : public Env {
+ public:
+  FaultInjectionEnv(Env* base, FaultInjectionOptions options);
+
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate = true) override;
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override;
+  StatusOr<std::unique_ptr<RandomRWFile>> NewRandomRWFile(
+      const std::string& path, bool truncate = false) override;
+  StatusOr<std::unique_ptr<RandomRWFile>> NewTempRWFile(
+      const std::string& dir = "") override;
+  Status CreateDirs(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+
+  const FaultInjectionOptions& fault_options() const { return options_; }
+  /// Matching data-plane operations observed so far.
+  uint64_t ops() const;
+  /// Faults injected so far.
+  uint64_t injected() const;
+  /// True once the hard break (break_after_ops) has engaged.
+  bool broken() const;
+  std::vector<FaultEvent> trace() const;
+  /// Multi-line human-readable trace for run reports ("" when clean).
+  std::string TraceSummary(size_t max_events = 16) const;
+
+ private:
+  friend class FaultyWritableFile;
+  friend class FaultyRandomAccessFile;
+  friend class FaultyRandomRWFile;
+
+  enum class OpType { kWrite, kSync, kRead };
+
+  /// Counts the operation and decides whether (and how) to fault it.
+  /// Returns a prefix length to persist before failing via *torn_prefix
+  /// (only meaningful for kTornWrite).
+  bool MaybeInject(OpType type, const std::string& path, uint64_t offset,
+                   size_t n, FaultKind* kind, size_t* torn_prefix);
+
+  Env* const base_;
+  const FaultInjectionOptions options_;
+
+  mutable std::mutex mu_;
+  uint64_t ops_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t next_fault_at_ = 0;  // 0 = random schedule off
+  bool broken_ = false;
+  std::vector<FaultEvent> trace_;
+  Rng rng_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_COMMON_ENV_H_

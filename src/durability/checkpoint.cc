@@ -1,11 +1,8 @@
 #include "durability/checkpoint.h"
 
-#include <unistd.h>
-
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <vector>
 
 #include "common/crc32.h"
@@ -86,43 +83,45 @@ StatusOr<CheckpointManifest> DecodeManifest(const std::vector<char>& buf) {
   return m;
 }
 
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
 std::string ManifestPath(const std::string& dir) {
-  return (std::filesystem::path(dir) / "MANIFEST").string();
+  return JoinPath(dir, "MANIFEST");
 }
 
 }  // namespace
 
 Status StoreManifest(const std::string& dir,
-                     const CheckpointManifest& manifest) {
+                     const CheckpointManifest& manifest, Env* env) {
+  if (env == nullptr) env = Env::Default();
   const std::vector<char> buf = EncodeManifest(manifest);
-  const std::string tmp_path =
-      (std::filesystem::path(dir) / "MANIFEST.tmp").string();
-  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
-  if (file == nullptr) return Status::IoError("cannot create " + tmp_path);
-  const bool written = std::fwrite(buf.data(), 1, buf.size(), file) ==
-                           buf.size() &&
-                       std::fflush(file) == 0 && fsync(fileno(file)) == 0;
-  std::fclose(file);
-  if (!written) return Status::IoError("manifest write failed");
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, ManifestPath(dir), ec);
-  if (ec) return Status::IoError("manifest rename failed: " + ec.message());
-  return SyncDirectory(dir);
+  const std::string tmp_path = JoinPath(dir, "MANIFEST.tmp");
+  {
+    KANON_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                           env->NewWritableFile(tmp_path));
+    // The new manifest must be fully durable *before* the rename makes it
+    // the authoritative one; a failure at any point here leaves MANIFEST
+    // untouched (the stale .tmp is overwritten by the next attempt).
+    KANON_RETURN_IF_ERROR(file->Append(buf.data(), buf.size()));
+    KANON_RETURN_IF_ERROR(file->Sync());
+    KANON_RETURN_IF_ERROR(file->Close());
+  }
+  KANON_RETURN_IF_ERROR(env->RenameFile(tmp_path, ManifestPath(dir)));
+  return env->SyncDir(dir);
 }
 
-StatusOr<CheckpointManifest> LoadManifest(const std::string& dir) {
+StatusOr<CheckpointManifest> LoadManifest(const std::string& dir, Env* env) {
+  if (env == nullptr) env = Env::Default();
   const std::string path = ManifestPath(dir);
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return Status::NotFound("no manifest in " + dir);
-  std::fseek(file, 0, SEEK_END);
-  const long size = std::ftell(file);
-  std::fseek(file, 0, SEEK_SET);
-  std::vector<char> buf(static_cast<size_t>(size));
-  const bool read_ok =
-      std::fread(buf.data(), 1, buf.size(), file) == buf.size();
-  std::fclose(file);
-  if (!read_ok) return Status::IoError("cannot read " + path);
-  return DecodeManifest(buf);
+  if (!env->FileExists(path)) {
+    return Status::NotFound("no manifest in " + dir);
+  }
+  std::string contents;
+  KANON_RETURN_IF_ERROR(ReadFileToString(env, path, &contents));
+  return DecodeManifest(std::vector<char>(contents.begin(), contents.end()));
 }
 
 Status Checkpointer::Checkpoint(const RPlusTree& tree,
@@ -130,9 +129,17 @@ Status Checkpointer::Checkpoint(const RPlusTree& tree,
   char name[48];
   std::snprintf(name, sizeof(name), "checkpoint-%020" PRIu64 ".db",
                 checkpoint_lsn);
-  const std::string path = (std::filesystem::path(dir_) / name).string();
-  KANON_ASSIGN_OR_RETURN(const TreeSnapshot snapshot,
-                         SaveTreeToFile(tree, path, page_size_));
+  const std::string path = JoinPath(dir_, name);
+  const StatusOr<TreeSnapshot> saved =
+      SaveTreeToFile(tree, path, page_size_, env_);
+  if (!saved.ok()) {
+    // The half-written tree file was never referenced by any manifest;
+    // remove it best-effort so a retry (or the next recovery) never trips
+    // over it. The previous checkpoint remains fully authoritative.
+    (void)env_->RemoveFile(path);
+    return saved.status();
+  }
+  const TreeSnapshot snapshot = *saved;
 
   CheckpointManifest manifest;
   manifest.dim = static_cast<uint32_t>(tree.dim());
@@ -143,17 +150,22 @@ Status Checkpointer::Checkpoint(const RPlusTree& tree,
   manifest.checkpoint_lsn = checkpoint_lsn;
   manifest.snapshot = snapshot;
   manifest.file = name;
-  KANON_RETURN_IF_ERROR(StoreManifest(dir_, manifest));
+  // On failure the tree file is deliberately left in place: StoreManifest
+  // may fail *after* its rename (directory fsync), in which case MANIFEST
+  // already references the new file. If the rename never happened the file
+  // is an orphan and the next successful checkpoint garbage-collects it.
+  KANON_RETURN_IF_ERROR(StoreManifest(dir_, manifest, env_));
 
   // The manifest is now the durable truth; everything below is cleanup of
   // state the checkpoint superseded.
   KANON_ASSIGN_OR_RETURN(const size_t removed,
-                         TruncateWalBefore(dir_, checkpoint_lsn));
-  std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
-    const std::string other = entry.path().filename().string();
-    if (other.rfind("checkpoint-", 0) == 0 && other != name) {
-      std::filesystem::remove(entry.path(), ec);
+                         TruncateWalBefore(dir_, checkpoint_lsn, env_));
+  if (const StatusOr<std::vector<std::string>> names = env_->ListDir(dir_);
+      names.ok()) {
+    for (const std::string& other : *names) {
+      if (other.rfind("checkpoint-", 0) == 0 && other != name) {
+        (void)env_->RemoveFile(JoinPath(dir_, other));
+      }
     }
   }
 

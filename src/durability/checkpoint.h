@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "index/rplus_tree.h"
 #include "index/tree_persistence.h"
@@ -60,12 +61,19 @@ class Checkpointer {
   /// the size, so recovery reads whatever was written).
   static constexpr size_t kCheckpointPageSize = 1u << 16;
 
+  /// `env` = nullptr uses Env::Default().
   explicit Checkpointer(std::string dir,
-                        size_t page_size = kCheckpointPageSize)
-      : dir_(std::move(dir)), page_size_(page_size) {}
+                        size_t page_size = kCheckpointPageSize,
+                        Env* env = nullptr)
+      : dir_(std::move(dir)),
+        page_size_(page_size),
+        env_(env != nullptr ? env : Env::Default()) {}
 
   /// Persists `tree`, which must contain exactly the records with LSNs in
-  /// [1, checkpoint_lsn].
+  /// [1, checkpoint_lsn]. On failure the previous checkpoint (if any)
+  /// remains fully authoritative: the manifest is only replaced by the
+  /// atomic rename after the new tree file is durable, and a partially
+  /// written tree file is removed best-effort.
   Status Checkpoint(const RPlusTree& tree, uint64_t checkpoint_lsn);
 
   const CheckpointerStats& stats() const { return stats_; }
@@ -73,17 +81,19 @@ class Checkpointer {
  private:
   const std::string dir_;
   const size_t page_size_;
+  Env* const env_;
   CheckpointerStats stats_;
 };
 
 /// Reads and validates `<dir>/MANIFEST`. NotFound when no manifest exists
 /// (fresh directory); Corruption when one exists but fails its checksum.
-StatusOr<CheckpointManifest> LoadManifest(const std::string& dir);
+StatusOr<CheckpointManifest> LoadManifest(const std::string& dir,
+                                          Env* env = nullptr);
 
 /// Writes `manifest` atomically as `<dir>/MANIFEST` (tmp + fsync + rename +
 /// directory fsync). Exposed for tests; Checkpointer calls it internally.
 Status StoreManifest(const std::string& dir,
-                     const CheckpointManifest& manifest);
+                     const CheckpointManifest& manifest, Env* env = nullptr);
 
 }  // namespace kanon
 

@@ -1,7 +1,6 @@
 #include "durability/recovery.h"
 
 #include <algorithm>
-#include <filesystem>
 #include <utility>
 
 #include "common/check.h"
@@ -15,13 +14,14 @@ StatusOr<RecoveryResult> RecoverInto(const RecoveryOptions& options,
                                      IncrementalAnonymizer* anonymizer) {
   KANON_CHECK_MSG(anonymizer->size() == 0,
                   "recovery requires a fresh anonymizer");
+  Env* env = options.env != nullptr ? options.env : Env::Default();
   RecoveryResult result;
-  if (!std::filesystem::exists(options.dir)) return result;
+  if (!env->FileExists(options.dir)) return result;
 
   const size_t dim = anonymizer->tree().dim();
   const RTreeConfig& config = anonymizer->tree().config();
 
-  auto manifest_or = LoadManifest(options.dir);
+  auto manifest_or = LoadManifest(options.dir, env);
   if (manifest_or.ok()) {
     const CheckpointManifest& m = *manifest_or;
     if (m.dim != dim) {
@@ -33,11 +33,10 @@ StatusOr<RecoveryResult> RecoverInto(const RecoveryOptions& options,
           "checkpoint tree configuration mismatch (was the service "
           "restarted with different k?)");
     }
-    const std::string path =
-        (std::filesystem::path(options.dir) / m.file).string();
+    const std::string path = options.dir + "/" + m.file;
     KANON_ASSIGN_OR_RETURN(
         RPlusTree tree,
-        LoadTreeFromFile(path, m.snapshot, dim, config, m.page_size));
+        LoadTreeFromFile(path, m.snapshot, dim, config, m.page_size, env));
     result.checkpoint_records = tree.size();
     result.checkpoint_lsn = m.checkpoint_lsn;
     result.loaded_checkpoint = true;
@@ -52,7 +51,7 @@ StatusOr<RecoveryResult> RecoverInto(const RecoveryOptions& options,
       [&](uint64_t lsn, std::span<const double> point, int32_t sensitive) {
         anonymizer->Insert(point, lsn - 1, sensitive);
       },
-      &replay));
+      &replay, env));
   result.replayed = replay.replayed;
   result.skipped = replay.skipped;
   result.truncated_torn_tail = replay.truncated_tail;

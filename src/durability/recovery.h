@@ -5,6 +5,7 @@
 #include <string>
 
 #include "anon/rtree_anonymizer.h"
+#include "common/env.h"
 #include "common/status.h"
 #include "storage/pager.h"
 
@@ -15,6 +16,8 @@ struct RecoveryOptions {
   /// segments. A missing or empty directory recovers to a fresh state.
   std::string dir;
   size_t page_size = kDefaultPageSize;
+  /// Filesystem to recover from; nullptr uses Env::Default().
+  Env* env = nullptr;
 };
 
 /// What a recovery pass reconstructed.

@@ -1,12 +1,9 @@
 #include "durability/wal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cinttypes>
+#include <cstdio>
 #include <cstring>
-#include <filesystem>
 
 #include "common/check.h"
 #include "common/crc32.h"
@@ -34,6 +31,11 @@ std::string SegmentName(uint64_t first_lsn) {
   return buf;
 }
 
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
 /// Parses `wal-<20 digits>.log`; returns false for any other file name.
 bool ParseSegmentName(const std::string& name, uint64_t* first_lsn) {
   if (name.size() != 28 || name.rfind("wal-", 0) != 0 ||
@@ -55,13 +57,15 @@ struct SegmentFile {
 };
 
 /// Segment files in `dir`, ordered by first LSN.
-std::vector<SegmentFile> ListSegments(const std::string& dir) {
+StatusOr<std::vector<SegmentFile>> ListSegments(const std::string& dir,
+                                                Env* env) {
+  KANON_ASSIGN_OR_RETURN(const std::vector<std::string> names,
+                         env->ListDir(dir));
   std::vector<SegmentFile> segments;
-  std::error_code ec;
-  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+  for (const std::string& name : names) {
     uint64_t first_lsn = 0;
-    if (ParseSegmentName(entry.path().filename().string(), &first_lsn)) {
-      segments.push_back({entry.path().string(), first_lsn});
+    if (ParseSegmentName(name, &first_lsn)) {
+      segments.push_back({JoinPath(dir, name), first_lsn});
     }
   }
   std::sort(segments.begin(), segments.end(),
@@ -118,27 +122,20 @@ Status DecodeHeader(const char* buf, size_t dim, uint64_t* first_lsn) {
 
 }  // namespace
 
-Status SyncDirectory(const std::string& dir) {
-  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return Status::IoError("cannot open directory " + dir);
-  const int rc = fsync(fd);
-  close(fd);
-  if (rc != 0) return Status::IoError("fsync failed for directory " + dir);
-  return Status::OK();
+Status SyncDirectory(const std::string& dir, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  return env->SyncDir(dir);
 }
 
 StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
                                                      size_t dim,
                                                      uint64_t next_lsn,
-                                                     WalOptions options) {
+                                                     WalOptions options,
+                                                     Env* env) {
   KANON_CHECK(next_lsn >= 1);
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::IoError("cannot create wal directory " + dir + ": " +
-                           ec.message());
-  }
-  std::unique_ptr<WalWriter> writer(new WalWriter(dir, dim, options));
+  if (env == nullptr) env = Env::Default();
+  KANON_RETURN_IF_ERROR(env->CreateDirs(dir));
+  std::unique_ptr<WalWriter> writer(new WalWriter(dir, dim, options, env));
   writer->entry_buf_.resize(EntrySize(dim));
   writer->last_lsn_ = next_lsn - 1;
   writer->synced_lsn_.store(next_lsn - 1, std::memory_order_relaxed);
@@ -147,51 +144,93 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
 }
 
 WalWriter::~WalWriter() {
-  if (file_ != nullptr) {
-    // Best-effort flush; durable shutdown goes through Sync() explicitly.
-    std::fclose(file_);
-  }
+  // Best-effort flush on the WritableFile's destructor; durable shutdown
+  // goes through Sync() explicitly.
 }
 
 Status WalWriter::OpenSegment(uint64_t first_lsn) {
   if (file_ != nullptr) {
-    if (std::fclose(file_) != 0) return Status::IoError("wal segment close");
-    file_ = nullptr;
+    const Status close = file_->Close();
+    file_.reset();
+    if (!close.ok()) return close;
   }
-  const std::string path =
-      (std::filesystem::path(dir_) / SegmentName(first_lsn)).string();
+  const std::string path = JoinPath(dir_, SegmentName(first_lsn));
   // Truncate: any prior file of this name held only bytes that recovery
   // already discarded (otherwise next_lsn would be higher).
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) return Status::IoError("cannot create " + path);
-  // A generous stdio buffer keeps a group-commit window's appends in user
-  // space: the kernel sees one write per flush instead of one per record.
-  std::setvbuf(file_, nullptr, _IOFBF, 1u << 18);
+  KANON_ASSIGN_OR_RETURN(file_, env_->NewWritableFile(path));
+  segment_path_ = path;
   char header[kSegmentHeaderSize];
   EncodeHeader(header, dim_, first_lsn);
-  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
-    return Status::IoError("wal header write failed");
+  KANON_RETURN_IF_ERROR(file_->Append(header, sizeof(header)));
+  // Make the segment's existence itself durable before logging into it. A
+  // sync failure here poisons the writer like any other: the new segment's
+  // durable state is unknown.
+  {
+    const Status sync = file_->Sync();
+    if (!sync.ok()) {
+      poisoned_.store(true, std::memory_order_release);
+      return sync;
+    }
   }
-  // Make the segment's existence itself durable before logging into it.
-  if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
-    return Status::IoError("wal header fsync failed");
-  }
-  KANON_RETURN_IF_ERROR(SyncDirectory(dir_));
+  KANON_RETURN_IF_ERROR(env_->SyncDir(dir_));
   segment_bytes_written_ = sizeof(header);
+  synced_segment_bytes_ = sizeof(header);
   segments_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(sizeof(header), std::memory_order_relaxed);
   return Status::OK();
 }
 
+Status WalWriter::RecoverSegment() {
+  // A write failed somewhere past the durable prefix: the file may hold a
+  // torn entry, and the user-space buffer may hold bytes that never reached
+  // it. Quarantine rather than patch: cut the segment back to its last
+  // fsynced boundary (always an entry boundary), rotate, and re-log the
+  // appended-but-unsynced entries from their in-memory copy. This keeps the
+  // sealed-segment invariant — replay may treat damage in any non-final
+  // segment as hard corruption — and keeps LSNs dense.
+  if (file_ != nullptr) {
+    (void)file_->Close();  // dropping buffered bytes is the point
+    file_.reset();
+  }
+  KANON_RETURN_IF_ERROR(
+      env_->TruncateFile(segment_path_, synced_segment_bytes_));
+  const uint64_t synced = synced_lsn_.load(std::memory_order_relaxed);
+  KANON_RETURN_IF_ERROR(OpenSegment(synced + 1));
+  if (!unsynced_entries_.empty()) {
+    KANON_RETURN_IF_ERROR(
+        file_->Append(unsynced_entries_.data(), unsynced_entries_.size()));
+    segment_bytes_written_ += unsynced_entries_.size();
+    bytes_.fetch_add(unsynced_entries_.size(), std::memory_order_relaxed);
+  }
+  // Prove the re-logged entries durable immediately so the writer resumes
+  // from a fully known state (and so a second fault during the rewrite
+  // surfaces now, not at an arbitrary later sync).
+  KANON_RETURN_IF_ERROR(SyncInternal());
+  needs_recovery_ = false;
+  recoveries_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Status WalWriter::Append(uint64_t lsn, std::span<const double> point,
                          int32_t sensitive) {
+  if (poisoned()) {
+    return Status::IoError("wal poisoned by failed fsync (segment " +
+                           segment_path_ + ")");
+  }
   KANON_CHECK(point.size() == dim_);
+  if (needs_recovery_) KANON_RETURN_IF_ERROR(RecoverSegment());
   KANON_CHECK_MSG(lsn == last_lsn_ + 1, "wal LSNs must be dense");
   if (segment_bytes_written_ >= options_.segment_bytes) {
     // Rotation seals the old segment: sync it so ReplayWal may treat any
     // damage there as bit rot rather than a torn tail.
-    KANON_RETURN_IF_ERROR(Sync());
-    KANON_RETURN_IF_ERROR(OpenSegment(lsn));
+    KANON_RETURN_IF_ERROR(SyncInternal());
+    const Status open = OpenSegment(lsn);
+    if (!open.ok()) {
+      // The new segment is in an unknown partial state (possibly a torn
+      // header, possibly no file at all); a retry must rebuild it.
+      needs_recovery_ = true;
+      return open;
+    }
   }
   const uint32_t payload_size = static_cast<uint32_t>(PayloadSize(dim_));
   char* buf = entry_buf_.data();
@@ -203,26 +242,50 @@ Status WalWriter::Append(uint64_t lsn, std::span<const double> point,
   const uint32_t crc = Crc32(payload, payload_size);
   std::memcpy(buf, &payload_size, sizeof(payload_size));
   std::memcpy(buf + sizeof(payload_size), &crc, sizeof(crc));
-  if (std::fwrite(buf, 1, entry_buf_.size(), file_) != entry_buf_.size()) {
-    return Status::IoError("wal append failed (disk full?)");
+  {
+    const Status append = file_->Append(buf, entry_buf_.size());
+    if (!append.ok()) {
+      // The entry did not advance the log's logical state (last_lsn_ is
+      // untouched); the caller may retry this same LSN after recovery.
+      needs_recovery_ = true;
+      return append;
+    }
   }
   segment_bytes_written_ += entry_buf_.size();
   last_lsn_ = lsn;
+  unsynced_entries_.insert(unsynced_entries_.end(), entry_buf_.begin(),
+                           entry_buf_.end());
   appended_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(entry_buf_.size(), std::memory_order_relaxed);
   if (options_.fsync_every > 0 && ++unsynced_ >= options_.fsync_every) {
-    KANON_RETURN_IF_ERROR(Sync());
+    KANON_RETURN_IF_ERROR(SyncInternal());
   }
   return Status::OK();
 }
 
 Status WalWriter::Sync() {
-  // fdatasync: the data (and the file size it implies) is what must be
-  // durable; other metadata (mtime) is not load-bearing — a short or torn
-  // tail after a crash is exactly what replay's truncation handles.
-  if (std::fflush(file_) != 0 || fdatasync(fileno(file_)) != 0) {
-    return Status::IoError("wal fsync failed");
+  if (poisoned()) {
+    return Status::IoError("wal poisoned by failed fsync (segment " +
+                           segment_path_ + ")");
   }
+  // RecoverSegment ends with its own sync, so recovery alone completes this
+  // call's contract.
+  if (needs_recovery_) return RecoverSegment();
+  return SyncInternal();
+}
+
+Status WalWriter::SyncInternal() {
+  const Status sync = file_->Sync();
+  if (!sync.ok()) {
+    // fsync-gate: the kernel may have dropped the dirty pages on failure,
+    // so retrying fsync on this fd can report success without the data
+    // ever reaching disk. The writer is done; only entries at or below the
+    // current synced_lsn are proven durable.
+    poisoned_.store(true, std::memory_order_release);
+    return sync;
+  }
+  synced_segment_bytes_ = segment_bytes_written_;
+  unsynced_entries_.clear();
   unsynced_ = 0;
   syncs_.fetch_add(1, std::memory_order_relaxed);
   synced_lsn_.store(last_lsn_, std::memory_order_release);
@@ -236,48 +299,44 @@ WalStats WalWriter::stats() const {
   stats.syncs = syncs_.load(std::memory_order_relaxed);
   stats.segments = segments_.load(std::memory_order_relaxed);
   stats.synced_lsn = synced_lsn_.load(std::memory_order_acquire);
+  stats.recoveries = recoveries_.load(std::memory_order_relaxed);
   return stats;
 }
 
 namespace {
 
-/// Replays one segment. `offset_of_tear` is set (and the file truncated)
+/// Replays one segment. The file is truncated back to the last intact entry
 /// only when `may_tear` — i.e. this is the newest segment.
 Status ReplaySegment(const SegmentFile& segment, size_t dim,
                      uint64_t from_lsn, bool may_tear,
                      const std::function<void(uint64_t, std::span<const double>,
                                               int32_t)>& apply,
-                     WalReplayResult* result) {
-  std::FILE* file = std::fopen(segment.path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::IoError("cannot open " + segment.path);
-  }
-  // RAII close.
-  struct Closer {
-    std::FILE* f;
-    ~Closer() { std::fclose(f); }
-  } closer{file};
+                     WalReplayResult* result, Env* env) {
+  KANON_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                         env->NewRandomAccessFile(segment.path));
 
-  auto tear = [&](long valid_bytes) -> Status {
+  auto tear = [&](uint64_t valid_bytes) -> Status {
     if (!may_tear) {
       return Status::Corruption("corrupt entry in sealed wal segment " +
                                 segment.path);
     }
-    std::fseek(file, 0, SEEK_END);
-    const long size = std::ftell(file);
+    KANON_ASSIGN_OR_RETURN(const uint64_t size, env->FileSize(segment.path));
     result->truncated_tail = true;
-    result->truncated_bytes += static_cast<uint64_t>(size - valid_bytes);
-    if (truncate(segment.path.c_str(), valid_bytes) != 0) {
-      return Status::IoError("cannot truncate torn tail of " + segment.path);
-    }
-    return Status::OK();
+    result->truncated_bytes += size - valid_bytes;
+    return env->TruncateFile(segment.path, valid_bytes);
   };
 
+  uint64_t offset = 0;
   char header[kSegmentHeaderSize];
-  if (std::fread(header, 1, sizeof(header), file) != sizeof(header)) {
-    // Not even a whole header: a crash between segment creation and the
-    // header fsync. Nothing in the file is meaningful.
-    return tear(0);
+  {
+    size_t got = 0;
+    KANON_RETURN_IF_ERROR(file->ReadAt(0, header, sizeof(header), &got));
+    if (got != sizeof(header)) {
+      // Not even a whole header: a crash between segment creation and the
+      // header fsync. Nothing in the file is meaningful.
+      return tear(0);
+    }
+    offset = sizeof(header);
   }
   uint64_t first_lsn = 0;
   {
@@ -289,20 +348,23 @@ Status ReplaySegment(const SegmentFile& segment, size_t dim,
   const size_t payload_size = PayloadSize(dim);
   std::vector<char> payload(payload_size);
   std::vector<double> point(dim);
-  long valid_end = static_cast<long>(sizeof(header));
+  uint64_t valid_end = offset;
   for (;;) {
     uint32_t stored_size = 0, stored_crc = 0;
     char frame[2 * sizeof(uint32_t)];
-    const size_t got = std::fread(frame, 1, sizeof(frame), file);
+    size_t got = 0;
+    KANON_RETURN_IF_ERROR(file->ReadAt(offset, frame, sizeof(frame), &got));
     if (got == 0) break;  // clean end of segment
     if (got != sizeof(frame)) return tear(valid_end);
+    offset += got;
     std::memcpy(&stored_size, frame, sizeof(stored_size));
     std::memcpy(&stored_crc, frame + sizeof(stored_size),
                 sizeof(stored_crc));
     if (stored_size != payload_size) return tear(valid_end);
-    if (std::fread(payload.data(), 1, payload_size, file) != payload_size) {
-      return tear(valid_end);
-    }
+    KANON_RETURN_IF_ERROR(
+        file->ReadAt(offset, payload.data(), payload_size, &got));
+    if (got != payload_size) return tear(valid_end);
+    offset += got;
     if (Crc32(payload.data(), payload_size) != stored_crc) {
       return tear(valid_end);
     }
@@ -316,7 +378,7 @@ Status ReplaySegment(const SegmentFile& segment, size_t dim,
       return Status::Corruption("non-monotonic LSN in " + segment.path);
     }
     result->max_lsn = lsn;
-    valid_end += static_cast<long>(sizeof(frame) + payload_size);
+    valid_end = offset;
     if (lsn < from_lsn) {
       ++result->skipped;
     } else {
@@ -333,34 +395,33 @@ Status ReplayWal(
     const std::string& dir, size_t dim, uint64_t from_lsn,
     const std::function<void(uint64_t lsn, std::span<const double> point,
                              int32_t sensitive)>& apply,
-    WalReplayResult* result) {
+    WalReplayResult* result, Env* env) {
+  if (env == nullptr) env = Env::Default();
   *result = WalReplayResult();
-  if (!std::filesystem::exists(dir)) return Status::OK();
-  const std::vector<SegmentFile> segments = ListSegments(dir);
+  if (!env->FileExists(dir)) return Status::OK();
+  KANON_ASSIGN_OR_RETURN(const std::vector<SegmentFile> segments,
+                         ListSegments(dir, env));
   result->segments = segments.size();
   for (size_t i = 0; i < segments.size(); ++i) {
     const bool newest = i + 1 == segments.size();
     KANON_RETURN_IF_ERROR(
-        ReplaySegment(segments[i], dim, from_lsn, newest, apply, result));
+        ReplaySegment(segments[i], dim, from_lsn, newest, apply, result, env));
   }
   return Status::OK();
 }
 
 StatusOr<size_t> TruncateWalBefore(const std::string& dir,
-                                   uint64_t checkpoint_lsn) {
-  const std::vector<SegmentFile> segments = ListSegments(dir);
+                                   uint64_t checkpoint_lsn, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  KANON_ASSIGN_OR_RETURN(const std::vector<SegmentFile> segments,
+                         ListSegments(dir, env));
   size_t removed = 0;
   for (size_t i = 0; i + 1 < segments.size(); ++i) {
     if (segments[i + 1].first_lsn > checkpoint_lsn + 1) break;
-    std::error_code ec;
-    std::filesystem::remove(segments[i].path, ec);
-    if (ec) {
-      return Status::IoError("cannot remove " + segments[i].path + ": " +
-                             ec.message());
-    }
+    KANON_RETURN_IF_ERROR(env->RemoveFile(segments[i].path));
     ++removed;
   }
-  if (removed > 0) KANON_RETURN_IF_ERROR(SyncDirectory(dir));
+  if (removed > 0) KANON_RETURN_IF_ERROR(env->SyncDir(dir));
   return removed;
 }
 

@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
 #include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 
 namespace kanon {
@@ -33,6 +33,7 @@ struct WalStats {
   uint64_t syncs = 0;       // fsyncs issued
   uint64_t segments = 0;    // segment files created by this writer
   uint64_t synced_lsn = 0;  // highest LSN known crash-durable (0 = none)
+  uint64_t recoveries = 0;  // write-failure segment recoveries performed
 };
 
 /// Append-only segmented record log. Each segment file `wal-<lsn>.log`
@@ -46,25 +47,44 @@ struct WalStats {
 /// record id == lsn - 1, which is what makes replay idempotent (an entry at
 /// or below the checkpoint LSN is already inside the checkpointed tree and
 /// is skipped, never double-inserted).
+///
+/// Failure handling (all I/O goes through the Env, so every path below is
+/// exercised deterministically by FaultInjectionEnv):
+///
+///  * A failed *write* is recoverable: the entry (and anything a torn
+///    write smeared after the durable prefix) never advanced the log's
+///    logical state. The next Append/Sync quarantines the damage — the
+///    segment is truncated back to its last fsynced boundary, a fresh
+///    segment is opened, and the entries appended-but-not-yet-synced are
+///    re-appended from an in-memory copy and fsynced. Callers just retry.
+///  * A failed *fsync* poisons the writer permanently: the kernel may have
+///    dropped the dirty pages, so the durable prefix of the segment is
+///    unknowable and a later fsync that "succeeds" proves nothing
+///    (fsync-gate semantics). Every subsequent Append/Sync fails fast;
+///    stats().synced_lsn remains the last horizon that was proven durable.
 class WalWriter {
  public:
   /// Opens a fresh segment in `dir` (created if missing) whose first record
   /// will carry `next_lsn`. Existing segments are never appended to — a
   /// torn tail in an old segment stays quarantined behind recovery's
-  /// truncation — so Open after ReplayWal is always safe.
+  /// truncation — so Open after ReplayWal is always safe. `env` = nullptr
+  /// uses Env::Default().
   static StatusOr<std::unique_ptr<WalWriter>> Open(const std::string& dir,
                                                    size_t dim,
                                                    uint64_t next_lsn,
-                                                   WalOptions options = {});
+                                                   WalOptions options = {},
+                                                   Env* env = nullptr);
 
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  /// Appends one record under group commit: the entry reaches the OS before
-  /// return, and every options.fsync_every appends the segment is fsynced.
-  /// stats().synced_lsn is the crash-durable horizon.
+  /// Appends one record under group commit; every options.fsync_every
+  /// appends the segment is fsynced and stats().synced_lsn advances. After
+  /// a write failure the same record may be retried (the writer first runs
+  /// segment recovery, see above); after a sync failure the writer is
+  /// poisoned and every call fails.
   Status Append(uint64_t lsn, std::span<const double> point,
                 int32_t sensitive);
 
@@ -72,30 +92,48 @@ class WalWriter {
   /// last appended LSN.
   Status Sync();
 
+  /// True once an fsync has failed: the un-synced suffix can no longer be
+  /// proven durable and no retry can help (see class comment).
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
   const WalOptions& options() const { return options_; }
   WalStats stats() const;
 
  private:
-  WalWriter(std::string dir, size_t dim, WalOptions options)
-      : dir_(std::move(dir)), dim_(dim), options_(options) {}
+  WalWriter(std::string dir, size_t dim, WalOptions options, Env* env)
+      : dir_(std::move(dir)), dim_(dim), options_(options), env_(env) {}
 
   Status OpenSegment(uint64_t first_lsn);
+  /// Quarantines a write failure: truncate the current segment to its
+  /// durable prefix, rotate, re-append the un-synced entries, fsync.
+  Status RecoverSegment();
+  Status SyncInternal();
 
   const std::string dir_;
   const size_t dim_;
   const WalOptions options_;
+  Env* const env_;
 
-  std::FILE* file_ = nullptr;
-  size_t segment_bytes_written_ = 0;
-  size_t unsynced_ = 0;
+  std::unique_ptr<WritableFile> file_;
+  std::string segment_path_;
+  size_t segment_bytes_written_ = 0;  // logically appended, incl. header
+  size_t synced_segment_bytes_ = 0;   // durable prefix of current segment
+  size_t unsynced_ = 0;               // records since last fsync
   uint64_t last_lsn_ = 0;
   std::vector<char> entry_buf_;
+  /// Encoded entries appended since the last successful fsync — the replay
+  /// source for RecoverSegment. Bounded by the fsync cadence (or, with
+  /// fsync_every = 0, by segment rotation, which syncs).
+  std::vector<char> unsynced_entries_;
+  bool needs_recovery_ = false;
 
+  std::atomic<bool> poisoned_{false};
   std::atomic<uint64_t> appended_{0};
   std::atomic<uint64_t> bytes_{0};
   std::atomic<uint64_t> syncs_{0};
   std::atomic<uint64_t> segments_{0};
   std::atomic<uint64_t> synced_lsn_{0};
+  std::atomic<uint64_t> recoveries_{0};
 };
 
 /// Outcome of a ReplayWal pass.
@@ -118,19 +156,20 @@ Status ReplayWal(
     const std::string& dir, size_t dim, uint64_t from_lsn,
     const std::function<void(uint64_t lsn, std::span<const double> point,
                              int32_t sensitive)>& apply,
-    WalReplayResult* result);
+    WalReplayResult* result, Env* env = nullptr);
 
 /// Deletes segments made obsolete by a checkpoint at `checkpoint_lsn`: a
 /// segment is removable when the next segment starts at or below
 /// checkpoint_lsn + 1 (every entry it holds is inside the checkpoint). The
 /// newest segment is always kept. Returns the number of files removed.
 StatusOr<size_t> TruncateWalBefore(const std::string& dir,
-                                   uint64_t checkpoint_lsn);
+                                   uint64_t checkpoint_lsn,
+                                   Env* env = nullptr);
 
 /// fsyncs a directory so renames/creations/unlinks inside it survive a
 /// crash. Shared by the WAL (segment creation) and the checkpoint manifest
 /// protocol.
-Status SyncDirectory(const std::string& dir);
+Status SyncDirectory(const std::string& dir, Env* env = nullptr);
 
 }  // namespace kanon
 

@@ -271,10 +271,10 @@ StatusOr<RPlusTree> LoadTree(Pager* pager, const TreeSnapshot& snapshot,
 
 StatusOr<TreeSnapshot> SaveTreeToFile(const RPlusTree& tree,
                                       const std::string& path,
-                                      size_t page_size) {
+                                      size_t page_size, Env* env) {
   KANON_ASSIGN_OR_RETURN(auto pager,
                          NamedFilePager::Open(path, page_size,
-                                              /*truncate=*/true));
+                                              /*truncate=*/true, env));
   KANON_ASSIGN_OR_RETURN(TreeSnapshot snapshot, SaveTree(tree, pager.get()));
   KANON_CHECK(snapshot.first_page == 0);  // fresh pager allocates from 0
   KANON_RETURN_IF_ERROR(pager->Sync());
@@ -284,8 +284,10 @@ StatusOr<TreeSnapshot> SaveTreeToFile(const RPlusTree& tree,
 StatusOr<RPlusTree> LoadTreeFromFile(const std::string& path,
                                      const TreeSnapshot& snapshot, size_t dim,
                                      const RTreeConfig& config,
-                                     size_t page_size) {
-  KANON_ASSIGN_OR_RETURN(auto pager, NamedFilePager::Open(path, page_size));
+                                     size_t page_size, Env* env) {
+  KANON_ASSIGN_OR_RETURN(auto pager,
+                         NamedFilePager::Open(path, page_size,
+                                              /*truncate=*/false, env));
   return LoadTree(pager.get(), snapshot, dim, config);
 }
 

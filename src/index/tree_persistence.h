@@ -36,16 +36,19 @@ Status FreeSnapshot(Pager* pager, const TreeSnapshot& snapshot);
 
 /// Saves `tree` as the sole content of the named file (the snapshot starts
 /// at page 0) and fsyncs it before returning — the checkpoint primitive of
-/// the durability subsystem (src/durability/checkpoint.h).
+/// the durability subsystem (src/durability/checkpoint.h). `env` = nullptr
+/// uses Env::Default().
 StatusOr<TreeSnapshot> SaveTreeToFile(const RPlusTree& tree,
                                       const std::string& path,
-                                      size_t page_size = kDefaultPageSize);
+                                      size_t page_size = kDefaultPageSize,
+                                      Env* env = nullptr);
 
 /// Restores a tree written by SaveTreeToFile.
 StatusOr<RPlusTree> LoadTreeFromFile(const std::string& path,
                                      const TreeSnapshot& snapshot, size_t dim,
                                      const RTreeConfig& config,
-                                     size_t page_size = kDefaultPageSize);
+                                     size_t page_size = kDefaultPageSize,
+                                     Env* env = nullptr);
 
 }  // namespace kanon
 

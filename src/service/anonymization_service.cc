@@ -1,7 +1,8 @@
 #include "service/anonymization_service.h"
 
 #include <algorithm>
-#include <filesystem>
+#include <chrono>
+#include <thread>
 
 #include "common/timer.h"
 
@@ -39,14 +40,11 @@ StatusOr<std::unique_ptr<AnonymizationService>> AnonymizationService::Create(
 Status AnonymizationService::InitDurability() {
   const DurabilityOptions& d = options_.durability;
   if (!d.enabled()) return Status::OK();
-  std::error_code ec;
-  std::filesystem::create_directories(d.wal_dir, ec);
-  if (ec) {
-    return Status::IoError("cannot create wal directory " + d.wal_dir +
-                           ": " + ec.message());
-  }
+  Env* env = d.env != nullptr ? d.env : Env::Default();
+  KANON_RETURN_IF_ERROR(env->CreateDirs(d.wal_dir));
   RecoveryOptions recovery_options;
   recovery_options.dir = d.wal_dir;
+  recovery_options.env = env;
   KANON_ASSIGN_OR_RETURN(recovery_,
                          RecoverInto(recovery_options, &anonymizer_));
   next_rid_ = recovery_.next_lsn - 1;
@@ -55,8 +53,9 @@ Status AnonymizationService::InitDurability() {
   wal_options.segment_bytes = d.segment_bytes;
   KANON_ASSIGN_OR_RETURN(
       wal_, WalWriter::Open(d.wal_dir, dim_, recovery_.next_lsn,
-                            wal_options));
-  checkpointer_ = std::make_unique<Checkpointer>(d.wal_dir);
+                            wal_options, env));
+  checkpointer_ = std::make_unique<Checkpointer>(
+      d.wal_dir, Checkpointer::kCheckpointPageSize, env);
   // Recovered records are pre-thread state: publishing here is safe (no
   // ingest thread exists yet) and lets readers see the restored release
   // immediately after a restart.
@@ -75,6 +74,15 @@ Status AnonymizationService::Ingest(std::span<const double> point,
   KANON_CHECK(point.size() == dim_);
   if (stopping_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("service is stopped");
+  }
+  if (health_.load(std::memory_order_acquire) == ServiceHealth::kDegraded) {
+    // Read-only: the last snapshot keeps serving, new records are refused
+    // (an accepted record the WAL cannot log would silently lose
+    // durability). Records that slipped into the queue before the
+    // transition are drained and counted as dropped by the ingest thread.
+    unavailable_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("service is degraded to read-only: " +
+                               degraded_reason());
   }
   return queue_.Enqueue(point, sensitive);
 }
@@ -106,6 +114,10 @@ void AnonymizationService::Stop() {
     stopping_.store(true, std::memory_order_release);
     queue_.Close();
     ingest_thread_.Join();
+    // A degraded service stays degraded — the final report must show it.
+    ServiceHealth expected = ServiceHealth::kServing;
+    health_.compare_exchange_strong(expected, ServiceHealth::kStopped,
+                                    std::memory_order_acq_rel);
   });
 }
 
@@ -134,10 +146,17 @@ ServiceStats AnonymizationService::Stats() const {
     stats.wal_bytes = wal.bytes;
     stats.wal_syncs = wal.syncs;
     stats.wal_synced_lsn = wal.synced_lsn;
+    stats.wal_recoveries = wal.recoveries;
+    stats.wal_poisoned = wal_->poisoned();
     stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
     stats.last_checkpoint_lsn =
         last_checkpoint_lsn_.load(std::memory_order_relaxed);
   }
+  stats.health = health_.load(std::memory_order_acquire);
+  stats.wal_retries = wal_retries_.load(std::memory_order_relaxed);
+  stats.unavailable = unavailable_.load(std::memory_order_relaxed);
+  stats.dropped = dropped_.load(std::memory_order_relaxed);
+  stats.degraded_reason = degraded_reason();
   return stats;
 }
 
@@ -178,11 +197,18 @@ void AnonymizationService::IngestLoop() {
     Publish();
   }
   // Graceful stop makes everything durable: every record fsynced, and a
-  // final checkpoint so the next start replays an empty WAL tail.
-  if (wal_ != nullptr) {
+  // final checkpoint so the next start replays an empty WAL tail. A
+  // failure here degrades rather than aborts — the records are already
+  // served; only the durability promise for the un-synced suffix is lost,
+  // and the final report says so.
+  if (wal_ != nullptr &&
+      health_.load(std::memory_order_acquire) == ServiceHealth::kServing) {
     const Status status = wal_->Sync();
-    KANON_CHECK_MSG(status.ok(), "final wal sync failed: " << status);
-    MaybeCheckpoint(/*force=*/true);
+    if (!status.ok()) {
+      EnterDegraded("final wal sync failed: " + status.ToString());
+    } else {
+      MaybeCheckpoint(/*force=*/true);
+    }
   }
   {
     std::lock_guard<std::mutex> lock(publish_mu_);
@@ -192,44 +218,116 @@ void AnonymizationService::IngestLoop() {
 }
 
 void AnonymizationService::ApplyBatch(const IngestBatch& batch) {
+  if (health_.load(std::memory_order_acquire) == ServiceHealth::kDegraded) {
+    // Producers may have raced records into the queue before Ingest began
+    // refusing them; drain-and-discard so blocked producers are released,
+    // but never apply — degraded means the index no longer advances.
+    dropped_.fetch_add(batch.size(), std::memory_order_relaxed);
+    return;
+  }
+  size_t logged = batch.size();
   if (wal_ != nullptr) {
     // Log before apply: a record is never in the tree without being in the
     // WAL, so a crash at any point loses only un-fsynced suffix records —
-    // never reorders or duplicates. A WAL write failure is fatal by
-    // design: continuing would silently demote the service to volatile.
+    // never reorders or duplicates. Append failures are retried (the WAL
+    // rebuilds its segment between attempts); a persistent failure
+    // degrades the service instead of aborting it. Only the logged prefix
+    // of the batch is applied — continuing would put records in the tree
+    // that exist nowhere durable.
     for (size_t i = 0; i < batch.size(); ++i) {
       const Status status =
-          wal_->Append(next_rid_ + i + 1, batch.point(i), batch.sensitives[i]);
-      KANON_CHECK_MSG(status.ok(), "wal append failed: " << status);
+          AppendWithRetry(next_rid_ + i + 1, batch.point(i),
+                          batch.sensitives[i]);
+      if (!status.ok()) {
+        EnterDegraded("wal append failed: " + status.ToString());
+        dropped_.fetch_add(batch.size() - i, std::memory_order_relaxed);
+        logged = i;
+        break;
+      }
     }
   }
-  for (size_t i = 0; i < batch.size(); ++i) {
+  for (size_t i = 0; i < logged; ++i) {
     anonymizer_.Insert(batch.point(i), next_rid_++, batch.sensitives[i]);
   }
-  inserted_.fetch_add(batch.size(), std::memory_order_release);
+  if (logged == 0) return;
+  inserted_.fetch_add(logged, std::memory_order_release);
   batches_.fetch_add(1, std::memory_order_relaxed);
-  since_snapshot_ += batch.size();
-  since_checkpoint_ += batch.size();
+  since_snapshot_ += logged;
+  since_checkpoint_ += logged;
   std::lock_guard<std::mutex> lock(samples_mu_);
   if (batch_samples_.size() < kMaxBatchSamples) {
-    batch_samples_.push_back(static_cast<double>(batch.size()));
+    batch_samples_.push_back(static_cast<double>(logged));
   }
+}
+
+Status AnonymizationService::AppendWithRetry(uint64_t lsn,
+                                             std::span<const double> point,
+                                             int32_t sensitive) {
+  const DurabilityOptions& d = options_.durability;
+  Status status = wal_->Append(lsn, point, sensitive);
+  uint64_t backoff_ms = d.retry_backoff_ms;
+  for (size_t attempt = 0;
+       !status.ok() && attempt < d.wal_retry_limit && !wal_->poisoned();
+       ++attempt) {
+    wal_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, d.retry_backoff_max_ms);
+    }
+    status = wal_->Append(lsn, point, sensitive);
+  }
+  return status;
+}
+
+void AnonymizationService::EnterDegraded(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(degraded_mu_);
+    if (degraded_reason_.empty()) degraded_reason_ = reason;
+  }
+  ServiceHealth expected = ServiceHealth::kServing;
+  health_.compare_exchange_strong(expected, ServiceHealth::kDegraded,
+                                  std::memory_order_acq_rel);
 }
 
 void AnonymizationService::MaybeCheckpoint(bool force) {
   if (checkpointer_ == nullptr) return;
+  if (health_.load(std::memory_order_acquire) != ServiceHealth::kServing) {
+    return;
+  }
   const uint64_t cadence = options_.durability.checkpoint_every;
   if (force ? since_checkpoint_ == 0
             : (cadence == 0 || since_checkpoint_ < cadence)) {
     return;
   }
   // Everything at or below the checkpoint LSN must survive a crash even if
-  // its WAL segment is truncated right after, so sync first.
+  // its WAL segment is truncated right after, so sync first. A sync
+  // failure poisons the WAL: nothing past synced_lsn can be proven
+  // durable, so checkpointing at next_rid_ would overstate the truth.
   Status status = wal_->Sync();
-  KANON_CHECK_MSG(status.ok(), "wal sync before checkpoint failed: "
-                                   << status);
+  if (!status.ok()) {
+    EnterDegraded("wal sync before checkpoint failed: " + status.ToString());
+    return;
+  }
+  const DurabilityOptions& d = options_.durability;
   status = checkpointer_->Checkpoint(anonymizer_.tree(), next_rid_);
-  KANON_CHECK_MSG(status.ok(), "checkpoint failed: " << status);
+  uint64_t backoff_ms = d.retry_backoff_ms;
+  for (size_t attempt = 0; !status.ok() && attempt < d.wal_retry_limit;
+       ++attempt) {
+    wal_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, d.retry_backoff_max_ms);
+    }
+    status = checkpointer_->Checkpoint(anonymizer_.tree(), next_rid_);
+  }
+  if (!status.ok()) {
+    // Checkpoint failure alone does not lose any record (the WAL still has
+    // them all), but it means the WAL can never be truncated again —
+    // unbounded growth — and the next recovery pays a full replay. Degrade
+    // so the operator sees it; the previous checkpoint stays authoritative.
+    EnterDegraded("checkpoint failed: " + status.ToString());
+    return;
+  }
   since_checkpoint_ = 0;
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   last_checkpoint_lsn_.store(next_rid_, std::memory_order_relaxed);

@@ -33,6 +33,19 @@ struct DurabilityOptions {
   uint64_t checkpoint_every = 100000;
   /// WAL segment rotation size.
   size_t segment_bytes = 16u << 20;
+  /// Filesystem the durability artifacts live on. nullptr = Env::Default();
+  /// a FaultInjectionEnv here exercises every failure path below. Must
+  /// outlive the service.
+  Env* env = nullptr;
+  /// How many times a failed WAL append or checkpoint is retried (the WAL
+  /// runs segment recovery between attempts) before the service degrades
+  /// to read-only. Transient faults — a blip of ENOSPC, an interrupted
+  /// write — heal here; persistent ones degrade in bounded time.
+  size_t wal_retry_limit = 4;
+  /// First retry backoff; doubles per attempt up to the max. 0 retries
+  /// immediately (unit tests).
+  uint64_t retry_backoff_ms = 1;
+  uint64_t retry_backoff_max_ms = 64;
 
   bool enabled() const { return !wal_dir.empty(); }
 };
@@ -113,8 +126,21 @@ class AnonymizationService {
 
   /// Submits one record from any thread. Blocks or returns
   /// ResourceExhausted under backpressure (per options().backpressure);
-  /// returns FailedPrecondition after Stop().
+  /// returns FailedPrecondition after Stop() and Unavailable while the
+  /// service is degraded to read-only (see ServiceHealth).
   Status Ingest(std::span<const double> point, int32_t sensitive = 0);
+
+  /// Current health. Reads (CurrentSnapshot / GetRelease) work in every
+  /// state; Ingest only while kServing.
+  ServiceHealth health() const {
+    return health_.load(std::memory_order_acquire);
+  }
+
+  /// The first fatal durability error, or "" while serving.
+  std::string degraded_reason() const {
+    std::lock_guard<std::mutex> lock(degraded_mu_);
+    return degraded_reason_;
+  }
 
   /// The most recent published snapshot (nullptr before the first
   /// publication). Constant time — the lock guards only a pointer copy,
@@ -164,6 +190,14 @@ class AnonymizationService {
 
   void IngestLoop();
   void ApplyBatch(const IngestBatch& batch);
+  /// Appends to the WAL with bounded exponential-backoff retries (the WAL
+  /// recovers its segment between attempts). Gives up immediately once the
+  /// WAL is poisoned — no retry can make an unprovable fsync provable.
+  Status AppendWithRetry(uint64_t lsn, std::span<const double> point,
+                         int32_t sensitive);
+  /// Flips kServing -> kDegraded (read-only) recording the first reason.
+  /// Idempotent; later calls keep the original reason.
+  void EnterDegraded(const std::string& reason);
   /// Checkpoints when since_checkpoint_ crosses the configured cadence.
   void MaybeCheckpoint(bool force);
   /// Publishes iff at least base_k records are indexed. Returns true when
@@ -194,6 +228,15 @@ class AnonymizationService {
   RecoveryResult recovery_;  // written in ctor, read-only afterwards
   std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> last_checkpoint_lsn_{0};
+
+  // Degradation state (see ServiceHealth). health_ only moves forward;
+  // the reason string is written once, under degraded_mu_.
+  std::atomic<ServiceHealth> health_{ServiceHealth::kServing};
+  mutable std::mutex degraded_mu_;
+  std::string degraded_reason_;
+  std::atomic<uint64_t> wal_retries_{0};
+  std::atomic<uint64_t> unavailable_{0};
+  std::atomic<uint64_t> dropped_{0};
 
   // The published snapshot. A plain mutex rather than
   // std::atomic<std::shared_ptr>: snapshots are built entirely outside

@@ -4,6 +4,18 @@
 
 namespace kanon {
 
+const char* ServiceHealthName(ServiceHealth health) {
+  switch (health) {
+    case ServiceHealth::kServing:
+      return "serving";
+    case ServiceHealth::kDegraded:
+      return "degraded";
+    case ServiceHealth::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
 std::string FormatServiceStats(const ServiceStats& stats) {
   std::ostringstream os;
   os << "ingest: enqueued=" << stats.enqueued
@@ -28,6 +40,14 @@ std::string FormatServiceStats(const ServiceStats& stats) {
        << " synced_lsn=" << stats.wal_synced_lsn
        << " checkpoints=" << stats.checkpoints
        << " last_checkpoint_lsn=" << stats.last_checkpoint_lsn;
+  }
+  os << "\nhealth: state=" << ServiceHealthName(stats.health)
+     << " wal_retries=" << stats.wal_retries
+     << " wal_recoveries=" << stats.wal_recoveries
+     << " unavailable=" << stats.unavailable << " dropped=" << stats.dropped;
+  if (stats.wal_poisoned) os << " wal_poisoned=1";
+  if (!stats.degraded_reason.empty()) {
+    os << "\ndegraded: " << stats.degraded_reason;
   }
   return os.str();
 }

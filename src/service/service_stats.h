@@ -8,6 +8,21 @@
 
 namespace kanon {
 
+/// Health state machine of the serving layer. Transitions only move right:
+///
+///   kServing ──(persistent WAL/checkpoint failure)──> kDegraded
+///   kServing ──(Stop)──> kStopped
+///
+/// Degraded means read-only: ingest is rejected with Unavailable, but the
+/// last published snapshot keeps serving releases — losing durability must
+/// not take query availability down with it. A degraded service stays
+/// degraded through Stop() so the final report shows what happened; only a
+/// restart (which re-runs recovery) returns to kServing.
+enum class ServiceHealth { kServing, kDegraded, kStopped };
+
+/// Lower-case human name ("serving", "degraded", "stopped").
+const char* ServiceHealthName(ServiceHealth health);
+
 /// A point-in-time view of the service's counters, assembled by
 /// AnonymizationService::Stats(). All counts are cumulative since start.
 struct ServiceStats {
@@ -34,6 +49,15 @@ struct ServiceStats {
   uint64_t wal_synced_lsn = 0;   // crash-durable LSN horizon
   uint64_t checkpoints = 0;      // checkpoints taken
   uint64_t last_checkpoint_lsn = 0;
+
+  // Failure handling (see ServiceHealth).
+  ServiceHealth health = ServiceHealth::kServing;
+  uint64_t wal_retries = 0;      // transient append failures retried
+  uint64_t wal_recoveries = 0;   // WAL segment recoveries (torn-write cleanup)
+  uint64_t unavailable = 0;      // ingests rejected while degraded
+  uint64_t dropped = 0;          // accepted records discarded by degradation
+  bool wal_poisoned = false;     // an fsync failed; WAL permanently down
+  std::string degraded_reason;   // first fatal error ("" while serving)
 
   double mean_batch() const {
     return batches == 0

@@ -1,9 +1,5 @@
 #include "storage/pager.h"
 
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cstdlib>
 #include <cstring>
 
 #include "common/check.h"
@@ -51,104 +47,56 @@ Status Pager::Write(PageId id, const char* buf) {
   return DoWrite(id, buf);
 }
 
-FilePager::~FilePager() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
-StatusOr<std::unique_ptr<FilePager>> FilePager::Create(
-    size_t page_size, const std::string& dir) {
-  std::string templ =
-      (dir.empty() ? std::string("/tmp") : dir) + "/kanon_pager_XXXXXX";
-  std::vector<char> buf(templ.begin(), templ.end());
-  buf.push_back('\0');
-  const int fd = mkstemp(buf.data());
-  if (fd < 0) return Status::IoError("mkstemp failed for " + templ);
-  // Unlink immediately: the file lives only as long as the descriptor.
-  std::remove(buf.data());
-  std::FILE* file = fdopen(fd, "w+b");
-  if (file == nullptr) return Status::IoError("fdopen failed");
-  return std::unique_ptr<FilePager>(new FilePager(page_size, file));
+StatusOr<std::unique_ptr<FilePager>> FilePager::Create(size_t page_size,
+                                                       const std::string& dir,
+                                                       Env* env) {
+  if (env == nullptr) env = Env::Default();
+  KANON_ASSIGN_OR_RETURN(auto file, env->NewTempRWFile(dir));
+  return std::unique_ptr<FilePager>(new FilePager(page_size, std::move(file)));
 }
 
 Status FilePager::DoRead(PageId id, char* buf) {
-  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
-    return Status::IoError("fseek failed");
-  }
-  const size_t n = std::fread(buf, 1, page_size_, file_);
-  if (n != page_size_) {
-    // Reading a page that was allocated but never written: return zeros.
-    std::memset(buf + n, 0, page_size_ - n);
-  }
+  size_t n = 0;
+  KANON_RETURN_IF_ERROR(file_->ReadAt(
+      static_cast<uint64_t>(id) * page_size_, buf, page_size_, &n));
+  // Reading a page that was allocated but never written: return zeros.
+  if (n != page_size_) std::memset(buf + n, 0, page_size_ - n);
   return Status::OK();
 }
 
 Status FilePager::DoWrite(PageId id, const char* buf) {
-  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
-    return Status::IoError("fseek failed");
-  }
-  if (std::fwrite(buf, 1, page_size_, file_) != page_size_) {
-    return Status::IoError("fwrite failed");
-  }
-  return Status::OK();
-}
-
-NamedFilePager::~NamedFilePager() {
-  if (file_ != nullptr) std::fclose(file_);
+  return file_->WriteAt(static_cast<uint64_t>(id) * page_size_, buf,
+                        page_size_);
 }
 
 StatusOr<std::unique_ptr<NamedFilePager>> NamedFilePager::Open(
-    const std::string& path, size_t page_size, bool truncate) {
-  std::FILE* file = nullptr;
-  if (truncate) {
-    file = std::fopen(path.c_str(), "w+b");
-  } else {
-    file = std::fopen(path.c_str(), "r+b");
-    if (file == nullptr) file = std::fopen(path.c_str(), "w+b");
-  }
-  if (file == nullptr) return Status::IoError("cannot open " + path);
-  // Unbuffered: a page write is one syscall, and Sync() flushes exactly
-  // what has been written (no stale stdio buffer to race against).
-  std::setvbuf(file, nullptr, _IONBF, 0);
+    const std::string& path, size_t page_size, bool truncate, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  KANON_ASSIGN_OR_RETURN(auto file, env->NewRandomRWFile(path, truncate));
   std::unique_ptr<NamedFilePager> pager(
-      new NamedFilePager(page_size, file, path));
+      new NamedFilePager(page_size, std::move(file), path));
   if (!truncate) {
-    struct stat st;
-    if (fstat(fileno(file), &st) != 0) {
-      return Status::IoError("fstat failed for " + path);
-    }
+    KANON_ASSIGN_OR_RETURN(const uint64_t size, env->FileSize(path));
     pager->num_pages_ =
-        (static_cast<size_t>(st.st_size) + page_size - 1) / page_size;
+        (static_cast<size_t>(size) + page_size - 1) / page_size;
   }
   return pager;
 }
 
-Status NamedFilePager::Sync() {
-  if (std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
-    return Status::IoError("fsync failed for " + path_);
-  }
-  return Status::OK();
-}
+Status NamedFilePager::Sync() { return file_->Sync(); }
 
 Status NamedFilePager::DoRead(PageId id, char* buf) {
-  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
-    return Status::IoError("fseek failed");
-  }
-  const size_t n = std::fread(buf, 1, page_size_, file_);
-  if (n != page_size_) {
-    // Reading a page that was allocated but never written: return zeros.
-    std::memset(buf + n, 0, page_size_ - n);
-  }
+  size_t n = 0;
+  KANON_RETURN_IF_ERROR(file_->ReadAt(
+      static_cast<uint64_t>(id) * page_size_, buf, page_size_, &n));
+  // Reading a page that was allocated but never written: return zeros.
+  if (n != page_size_) std::memset(buf + n, 0, page_size_ - n);
   return Status::OK();
 }
 
 Status NamedFilePager::DoWrite(PageId id, const char* buf) {
-  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
-    return Status::IoError("fseek failed");
-  }
-  if (std::fwrite(buf, 1, page_size_, file_) != page_size_) {
-    return Status::IoError("fwrite failed");
-  }
-  return Status::OK();
+  return file_->WriteAt(static_cast<uint64_t>(id) * page_size_, buf,
+                        page_size_);
 }
 
 Status MemPager::DoRead(PageId id, char* buf) {

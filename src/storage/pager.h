@@ -1,11 +1,11 @@
 #ifndef KANON_STORAGE_PAGER_H_
 #define KANON_STORAGE_PAGER_H_
 
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "storage/page.h"
 
@@ -78,54 +78,55 @@ class Pager {
 };
 
 /// Pager over an anonymous temporary file (unlinked on open, so it vanishes
-/// with the process).
+/// with the process). All I/O goes through the Env so fault-injection
+/// harnesses can interpose on it.
 class FilePager : public Pager {
  public:
-  ~FilePager() override;
-
   /// Creates a pager over a temp file in `dir` ("" = system default).
+  /// `env` = nullptr uses Env::Default().
   static StatusOr<std::unique_ptr<FilePager>> Create(
-      size_t page_size = kDefaultPageSize, const std::string& dir = "");
+      size_t page_size = kDefaultPageSize, const std::string& dir = "",
+      Env* env = nullptr);
 
  private:
-  FilePager(size_t page_size, std::FILE* file)
-      : Pager(page_size), file_(file) {}
+  FilePager(size_t page_size, std::unique_ptr<RandomRWFile> file)
+      : Pager(page_size), file_(std::move(file)) {}
 
   Status DoRead(PageId id, char* buf) override;
   Status DoWrite(PageId id, const char* buf) override;
 
-  std::FILE* file_;
+  std::unique_ptr<RandomRWFile> file_;
 };
 
 /// Pager over a named file that outlives the process — the backing store of
 /// durable artifacts (tree checkpoints, see src/durability/). Unlike
 /// FilePager the file stays visible on disk and the caller controls its
-/// lifetime; Sync() makes the contents crash-durable. I/O is unbuffered so
-/// a Sync() never races stale stdio buffers.
+/// lifetime; Sync() makes the contents crash-durable. I/O is unbuffered
+/// positional pread/pwrite, so a Sync() never races a stale user buffer.
 class NamedFilePager : public Pager {
  public:
-  ~NamedFilePager() override;
-
   /// Opens `path`, creating the file when missing. With `truncate` any
   /// existing contents are discarded (fresh checkpoint); without it the
-  /// existing pages are addressable (recovery reads them back).
+  /// existing pages are addressable (recovery reads them back). `env` =
+  /// nullptr uses Env::Default().
   static StatusOr<std::unique_ptr<NamedFilePager>> Open(
       const std::string& path, size_t page_size = kDefaultPageSize,
-      bool truncate = false);
+      bool truncate = false, Env* env = nullptr);
 
   const std::string& path() const { return path_; }
 
-  /// Flushes buffered writes and fsyncs the file descriptor.
+  /// fsyncs the backing file; the Status is the durability evidence.
   Status Sync();
 
  private:
-  NamedFilePager(size_t page_size, std::FILE* file, std::string path)
-      : Pager(page_size), file_(file), path_(std::move(path)) {}
+  NamedFilePager(size_t page_size, std::unique_ptr<RandomRWFile> file,
+                 std::string path)
+      : Pager(page_size), file_(std::move(file)), path_(std::move(path)) {}
 
   Status DoRead(PageId id, char* buf) override;
   Status DoWrite(PageId id, const char* buf) override;
 
-  std::FILE* file_;
+  std::unique_ptr<RandomRWFile> file_;
   std::string path_;
 };
 

@@ -31,6 +31,7 @@ TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
   EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::ResourceExhausted("").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusTest, CodeToStringCoversAllCodes) {
@@ -39,6 +40,7 @@ TEST(StatusTest, CodeToStringCoversAllCodes) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
                "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(StatusOrTest, HoldsValue) {

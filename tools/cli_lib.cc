@@ -7,6 +7,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/env.h"
 #include "common/thread.h"
 #include "kanon/kanon.h"
 
@@ -314,6 +315,40 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
   service_options.durability.wal_dir = options.wal_dir;
   service_options.durability.fsync_every = options.fsync_every;
   service_options.durability.checkpoint_every = options.checkpoint_every;
+
+  // KANON_FAULT_SEED routes all durability I/O through a FaultInjectionEnv
+  // — the operational fault drill. The same seed injects the same faults,
+  // so a degraded run reported by CI reproduces locally from its seed.
+  // KANON_FAULT_MEAN_OPS (default 2000) sets the fault rate and
+  // KANON_FAULT_BREAK_AFTER (default 0 = never) makes the disk die
+  // outright after that many operations.
+  std::unique_ptr<FaultInjectionEnv> fault_env;
+  const char* fault_seed = std::getenv("KANON_FAULT_SEED");
+  if (fault_seed != nullptr && *fault_seed != '\0' &&
+      !options.wal_dir.empty() && !options.recover_only) {
+    FaultInjectionOptions fault_options;
+    fault_options.seed = std::strtoull(fault_seed, nullptr, 10);
+    fault_options.mean_ops_between_faults = 2000;
+    if (const char* v = std::getenv("KANON_FAULT_MEAN_OPS")) {
+      fault_options.mean_ops_between_faults =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    }
+    if (const char* v = std::getenv("KANON_FAULT_BREAK_AFTER")) {
+      fault_options.break_after_ops = std::strtoull(v, nullptr, 10);
+    }
+    fault_options.path_filter = options.wal_dir;
+    fault_options.sync_faults = true;
+    fault_env =
+        std::make_unique<FaultInjectionEnv>(Env::Default(), fault_options);
+    service_options.durability.env = fault_env.get();
+    // Fast, bounded degradation under a dead disk: don't spend seconds
+    // backing off when the schedule says every retry will fail too.
+    service_options.durability.retry_backoff_ms = 1;
+    service_options.durability.retry_backoff_max_ms = 8;
+    log << "fault injection: seed=" << fault_options.seed
+        << " mean_ops=" << fault_options.mean_ops_between_faults
+        << " break_after=" << fault_options.break_after_ops << "\n";
+  }
   const Domain domain = dataset->ComputeDomain();
   auto service_or =
       AnonymizationService::Create(dataset->dim(), domain, service_options);
@@ -365,6 +400,21 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
 
   const ServiceStats stats = service.Stats();
   log << FormatServiceStats(stats) << "\n";
+  if (fault_env != nullptr) {
+    log << "fault injection: ops=" << fault_env->ops()
+        << " injected=" << fault_env->injected()
+        << (fault_env->broken() ? " broken=1" : "") << "\n";
+    if (const std::string trace = fault_env->TraceSummary(); !trace.empty()) {
+      log << trace << "\n";
+    }
+  }
+  if (stats.health == ServiceHealth::kDegraded) {
+    // Degradation is graceful by definition: the snapshot below is still
+    // served and a restart recovers everything durable, so this run is
+    // reported (health line above) but not failed.
+    log << "service degraded to read-only: " << stats.degraded_reason
+        << "\n";
+  }
   if (!options.recover_only) {
     log << "streamed " << n << " records with " << producers
         << " producers in " << elapsed_s << "s ("
@@ -375,8 +425,12 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
   if (snapshot == nullptr) {
     log << "no snapshot published: fewer than k=" << options.k
         << " records were ingested\n";
-    // A recover-only pass over a near-empty log is not a failure.
-    return options.recover_only ? 0 : 1;
+    // A recover-only pass over a near-empty log is not a failure, and
+    // neither is a fault run whose disk died before k records landed.
+    return options.recover_only ||
+                   stats.health == ServiceHealth::kDegraded
+               ? 0
+               : 1;
   }
   const SnapshotInfo& info = snapshot->info();
   log << "final snapshot: epoch=" << info.epoch

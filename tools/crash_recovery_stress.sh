@@ -8,7 +8,17 @@
 #   2. the recovered release is k-anonymous (min_partition >= k once at
 #      least k records survived).
 #
+# With KANON_FAULT_SEED set, each serving run additionally executes a
+# deterministic I/O fault schedule (seed + iteration): torn writes, ENOSPC
+# and failed fsyncs land on the WAL *while* the process is also being
+# SIGKILLed — the same invariants must hold over whatever suffix of the
+# stream survived both. The recovery pass always runs fault-free (it models
+# a healthy replacement disk).
+#
 # Usage: crash_recovery_stress.sh <kanon_cli> [iterations] [workdir]
+# Env:   KANON_FAULT_SEED       base seed; enables fault injection
+#        KANON_FAULT_MEAN_OPS   mean data-plane ops between faults
+#        KANON_FAULT_BREAK_AFTER hard disk-death op index
 
 set -u
 
@@ -17,6 +27,7 @@ ITERATIONS=${2:-8}
 WORKDIR=${3:-$(mktemp -d /tmp/kanon_crash_stress_XXXXXX)}
 K=10
 ROWS=20000
+FAULT_BASE_SEED=${KANON_FAULT_SEED:-}
 
 mkdir -p "$WORKDIR"
 INPUT="$WORKDIR/stream.csv"
@@ -35,6 +46,12 @@ for i in $(seq 1 "$ITERATIONS"); do
   rm -rf "$WAL_DIR"
   LOG="$WORKDIR/serve_$i.log"
 
+  # Each iteration gets its own derived seed so the schedule varies while
+  # any single failure reproduces from the seed printed in its log.
+  if [ -n "$FAULT_BASE_SEED" ]; then
+    export KANON_FAULT_SEED=$((FAULT_BASE_SEED + i))
+  fi
+
   # Rate-limit so the kill lands mid-ingest, then SIGKILL after a random
   # 0.1-0.7s — sometimes mid-WAL-append, sometimes mid-checkpoint.
   "$CLI" serve --input "$INPUT" --k "$K" --rate 30000 \
@@ -45,8 +62,10 @@ for i in $(seq 1 "$ITERATIONS"); do
   kill -9 "$PID" 2> /dev/null
   wait "$PID" 2> /dev/null
 
+  # Recovery models restarting on healthy hardware: no fault injection.
   RECOVERY_LOG="$WORKDIR/recover_$i.log"
-  "$CLI" serve --input "$INPUT" --k "$K" --recover-only \
+  env -u KANON_FAULT_SEED "$CLI" serve --input "$INPUT" --k "$K" \
+    --recover-only \
     --wal-dir "$WAL_DIR" --fsync-every 64 --checkpoint-every 2000 \
     > "$RECOVERY_LOG" 2>&1 \
     || fail "iteration $i: recovery exited non-zero (see $RECOVERY_LOG)"
@@ -68,7 +87,10 @@ for i in $(seq 1 "$ITERATIONS"); do
     [ "$MIN_PART" -ge "$K" ] \
       || fail "iteration $i: min_partition=$MIN_PART < k=$K"
   fi
-  echo "iteration $i: recovered=$RECOVERED min_partition=${MIN_PART:-n/a} ok"
+  SEED=$(sed -n 's/^fault injection: seed=\([0-9]*\).*/\1/p' "$LOG" \
+         | head -n 1)
+  echo "iteration $i: recovered=$RECOVERED" \
+       "min_partition=${MIN_PART:-n/a} fault_seed=${SEED:-off} ok"
 done
 
 echo "PASS: $ITERATIONS crash/recover iterations survived"
