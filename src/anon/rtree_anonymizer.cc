@@ -97,6 +97,43 @@ StatusOr<RTreeAnonymizer::BuildResult> RTreeAnonymizer::BuildLeaves(
     return result;
   }
 
+  if (options.backend == RTreeAnonymizerOptions::Backend::kSortedBulkLoad) {
+    std::unique_ptr<Pager> pager;
+    if (options.use_disk) {
+      KANON_ASSIGN_OR_RETURN(auto file_pager,
+                             FilePager::Create(options.page_size));
+      pager = std::move(file_pager);
+    } else {
+      pager = std::make_unique<MemPager>(options.page_size);
+    }
+    const size_t frames =
+        std::max<size_t>(16, options.memory_budget_bytes / options.page_size);
+    BufferPool pool(pager.get(), frames);
+    // Run size from the memory budget alone: run boundaries are part of
+    // the deterministic pipeline and must not vary with the thread count.
+    const RecordCodec spill_codec(dataset.dim() + 1);
+    const size_t run_records =
+        options.sort_run_records > 0
+            ? options.sort_run_records
+            : std::max<size_t>(
+                  1024, options.memory_budget_bytes / 4 /
+                            spill_codec.record_size());
+    std::unique_ptr<ThreadPool> workers;
+    if (options.threads > 1) {
+      workers = std::make_unique<ThreadPool>(options.threads - 1);
+    }
+    KANON_ASSIGN_OR_RETURN(
+        RPlusTree tree,
+        SortedBulkLoadTree(dataset, MakeTreeConfig(options), options.curve,
+                           options.grid_bits, &pool, run_records,
+                           workers.get()));
+    result.leaves = ExtractLeafGroups(tree, &domain);
+    result.tree_height = tree.height();
+    result.io = pager->stats();
+    result.cache = pool.stats();
+    return result;
+  }
+
   // Buffer-tree bulk load through a bounded buffer pool.
   const size_t page_size = LeafPageSize(options, dataset.dim());
   std::unique_ptr<Pager> pager;

@@ -8,6 +8,7 @@
 #include "anon/partition.h"
 #include "data/dataset.h"
 #include "index/buffer_tree.h"
+#include "index/bulk_load.h"
 #include "index/rplus_tree.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
@@ -37,8 +38,9 @@ struct RTreeAnonymizerOptions {
 
   // Bulk-loading backend knobs.
   enum class Backend {
-    kBufferTree,    // paged buffer-tree load (default; larger-than-memory)
-    kTupleLoading,  // record-at-a-time inserts into the in-memory tree
+    kBufferTree,      // paged buffer-tree load (default; larger-than-memory)
+    kTupleLoading,    // record-at-a-time inserts into the in-memory tree
+    kSortedBulkLoad,  // external curve sort + top-down build (parallelizable)
   };
   Backend backend = Backend::kBufferTree;
   /// Memory budget for the buffer pool backing the buffer tree.
@@ -47,6 +49,18 @@ struct RTreeAnonymizerOptions {
   size_t buffer_pages = 8;
   /// Back the buffer tree with a real temp file instead of heap pages.
   bool use_disk = false;
+
+  // kSortedBulkLoad knobs. The build is deterministic in `threads`: any
+  // value produces the same tree and the same partitions.
+  /// Total threads for the sorted bulk load (1 = serial; N spawns N-1
+  /// workers and the calling thread participates).
+  size_t threads = 1;
+  /// Space-filling curve and quantization resolution of the sort order.
+  CurveOrder curve = CurveOrder::kHilbert;
+  int grid_bits = 10;
+  /// In-memory sorted-run size in records; 0 derives it from the memory
+  /// budget (and never from `threads`, to keep run boundaries fixed).
+  size_t sort_run_records = 0;
 };
 
 /// Bulk anonymizer: builds the spatial index at base_k, then emits a

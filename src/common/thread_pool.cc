@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace kanon {
+
+ThreadPool::ThreadPool(size_t num_threads) : queues_(num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!stop_ && !queues_.empty()) {
+      queues_[next_queue_].push_back(std::move(task));
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+      lock.unlock();
+      cv_.notify_one();
+      return;
+    }
+  }
+  // Stopped (or zero workers): the execution guarantee still holds —
+  // run the task in the submitting thread.
+  task();
+}
+
+bool ThreadPool::PopTask(size_t me, std::function<void()>* out) {
+  if (queues_.empty()) return false;  // zero-worker pool has no deques
+  if (!queues_[me].empty()) {  // own work: newest first (LIFO)
+    *out = std::move(queues_[me].back());
+    queues_[me].pop_back();
+    return true;
+  }
+  for (size_t k = 1; k < queues_.size(); ++k) {  // steal: oldest first (FIFO)
+    const size_t victim = (me + k) % queues_.size();
+    if (!queues_[victim].empty()) {
+      *out = std::move(queues_[victim].front());
+      queues_[victim].pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t me) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    std::function<void()> task;
+    if (PopTask(me, &task)) {
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
+    if (stop_) return;  // all deques drained and no more work coming
+    cv_.wait(lock);
+  }
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.Join();
+  // Workers only exit with every deque empty, and Submit runs inline
+  // once stop_ is visible, so nothing is left behind — but drain
+  // defensively so the guarantee survives future refactors.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!PopTask(0, &task)) break;
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (capacity() == 0 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    std::mutex mu;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<State>();
+  auto drain = [state, n, &fn] {
+    size_t i;
+    while ((i = state->next.fetch_add(1)) < n) {
+      fn(i);
+      if (state->completed.fetch_add(1) + 1 == n) {
+        // Lock so the finish signal cannot slip between the waiter's
+        // predicate check and its wait.
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->done.notify_all();
+      }
+    }
+  };
+  // Helper tasks capture fn by reference: ParallelFor does not return
+  // until completed == n, and a helper that outlives its useful life
+  // (claimed index >= n) never touches fn again.
+  const size_t helpers = std::min(capacity(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) Submit(drain);
+  drain();  // the caller participates
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->completed.load() == n; });
+}
+
+}  // namespace kanon

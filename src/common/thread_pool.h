@@ -1,0 +1,82 @@
+#ifndef KANON_COMMON_THREAD_POOL_H_
+#define KANON_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/thread.h"
+
+namespace kanon {
+
+/// Fixed-size pool of worker threads with per-worker task deques and
+/// work stealing: a worker pops its own deque LIFO (cache-warm, newest
+/// first) and steals FIFO from the next non-empty neighbour (oldest
+/// first, the classic Chase-Lev discipline). Tasks here are coarse —
+/// sort a run, merge a group of spill chains, build a subtree — so one
+/// pool-wide mutex guards all deques; the stealing structure is about
+/// task-ordering locality, not lock-freedom, and keeps the pool easy to
+/// prove race-free under TSan.
+///
+/// Execution guarantee: every task Submit() accepts is executed exactly
+/// once — by a worker, by Shutdown()'s drain, or (when the pool is
+/// already stopped) inline in the submitting thread. Work never
+/// silently disappears, so callers may park completion state (promises,
+/// latches, Status slots) inside task closures.
+///
+/// The pool is oblivious to task failures by design: tasks return void
+/// and report errors through whatever state they capture. Nothing in
+/// the tree throws, so no exception barrier is needed.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers. Zero is legal and makes Submit() run
+  /// everything inline and ParallelFor() degrade to the caller's loop —
+  /// the natural spelling of "--threads 1".
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();  // implies Shutdown()
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (callers typically add themselves:
+  /// ParallelFor uses capacity() workers plus the calling thread).
+  size_t capacity() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution. After Shutdown() (or with zero
+  /// workers) the task runs inline before Submit returns.
+  void Submit(std::function<void()> task);
+
+  /// Stops the pool: workers finish every queued task, then exit and
+  /// are joined. Idempotent; concurrent Submit() calls remain safe and
+  /// keep the execution guarantee.
+  void Shutdown();
+
+  /// Runs fn(0) … fn(n-1), each exactly once, distributing indices over
+  /// the workers *and* the calling thread; returns when all have
+  /// completed. Indices are claimed from one atomic counter, so any
+  /// invocation may run on any thread in any order — fn must only write
+  /// state disjoint per index. Not re-entrant from inside a pool task
+  /// (a worker blocking here could deadlock the pool).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop(size_t me);
+  /// Pops the next task for worker `me` (own back first, then steals a
+  /// neighbour's front). Requires mu_ held; returns false when all
+  /// deques are empty.
+  bool PopTask(size_t me, std::function<void()>* out);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<std::function<void()>>> queues_;  // one per worker
+  size_t next_queue_ = 0;  // round-robin Submit target
+  bool stop_ = false;
+  std::vector<JoinableThread> workers_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_COMMON_THREAD_POOL_H_

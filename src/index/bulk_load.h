@@ -4,8 +4,10 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "index/mbr.h"
+#include "index/rplus_tree.h"
 #include "storage/buffer_pool.h"
 
 namespace kanon {
@@ -57,7 +59,27 @@ std::vector<LeafGroup> StrBulkLoad(const Dataset& dataset,
 /// (ties broken arbitrarily); group quality is unaffected in practice.
 StatusOr<std::vector<LeafGroup>> CurveBulkLoadExternal(
     const Dataset& dataset, CurveOrder order, const SortLoadConfig& config,
-    BufferPool* pool, size_t run_records);
+    BufferPool* pool, size_t run_records, ThreadPool* workers = nullptr);
+
+/// Sort-based bulk construction of a complete R⁺-tree (not just leaf
+/// groups): curve keys are computed in parallel, the records are
+/// externally sorted by (curve key, rid) with spill traffic through
+/// `pool`, and the tree is then built top-down by recursive
+/// region-disciplined cuts of the sorted array — the root-level cut
+/// yields at most max_fanout pieces whose subtrees build concurrently on
+/// `workers` and are stitched under one root. The result satisfies every
+/// RPlusTree invariant (region tiling, occupancy window, admissibility-
+/// gated splits) and is **deterministic**: for a fixed dataset and
+/// config, any thread count (including the serial workers = nullptr
+/// path) produces a byte-identical tree snapshot under
+/// SaveTree/tree_persistence, because the sorted base order breaks key
+/// ties on rid and every cut decision is a pure function of the record
+/// multiset.
+StatusOr<RPlusTree> SortedBulkLoadTree(const Dataset& dataset,
+                                       const RTreeConfig& config,
+                                       CurveOrder order, int grid_bits,
+                                       BufferPool* pool, size_t run_records,
+                                       ThreadPool* workers = nullptr);
 
 }  // namespace kanon
 

@@ -8,6 +8,7 @@
 namespace kanon {
 
 PageId Pager::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!free_list_.empty()) {
     const PageId id = free_list_.back();
     free_list_.pop_back();
@@ -18,6 +19,7 @@ PageId Pager::Allocate() {
 }
 
 void Pager::Free(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   KANON_DCHECK(id < num_pages_);
   // Contents are undefined after a Free; a future reader of the recycled
   // page must not be compared against the stale checksum.
@@ -26,6 +28,7 @@ void Pager::Free(PageId id) {
 }
 
 Status Pager::Read(PageId id, char* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.reads;
   KANON_RETURN_IF_ERROR(DoRead(id, buf));
   if (verify_checksums_ && id < checksummed_.size() && checksummed_[id] &&
@@ -37,6 +40,7 @@ Status Pager::Read(PageId id, char* buf) {
 }
 
 Status Pager::Write(PageId id, const char* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.writes;
   if (id >= checksummed_.size()) {
     checksummed_.resize(id + 1, 0);

@@ -2,6 +2,7 @@
 #define KANON_STORAGE_PAGER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,13 @@ struct PagerStats {
 /// rot in the backing store surfaces as a Corruption Status instead of
 /// silently returning garbage records. Pages that were never written (or
 /// were freed, making their contents undefined) are not verified.
+///
+/// Allocate/Free/Read/Write are thread-safe (one internal mutex), so
+/// several BufferPools — each still single-threaded — can share one
+/// backing store from concurrent tasks (the parallel external merge
+/// does exactly this). stats()/ResetStats() and set_verify_checksums()
+/// are for quiesced use: call them only when no other thread is inside
+/// the pager.
 class Pager {
  public:
   virtual ~Pager() = default;
@@ -72,6 +80,7 @@ class Pager {
   std::vector<PageId> free_list_;
 
  private:
+  std::mutex mu_;  // guards all mutable pager state across threads
   bool verify_checksums_ = true;
   std::vector<uint32_t> checksums_;   // indexed by PageId
   std::vector<uint8_t> checksummed_;  // 1 iff checksums_[id] is meaningful

@@ -1,5 +1,7 @@
 #include "storage/spill_file.h"
 
+#include <utility>
+
 namespace kanon {
 
 Status PageChain::Append(uint64_t rid, int32_t sensitive,
@@ -139,21 +141,33 @@ void PageChain::Clear() {
 }
 
 PageChainCursor::PageChainCursor(const PageChain* chain)
-    : chain_(chain), values_(chain->codec_->dim()) {
+    : chain_(chain), pool_(chain->pool_), values_(chain->codec_->dim()) {
   // Position on the first record (if any). A load failure leaves the
-  // cursor invalid; callers advancing via Next() see the error.
-  (void)LoadCurrent();
+  // cursor invalid with the error retained in status().
+  status_ = LoadCurrent();
+}
+
+PageChainCursor::PageChainCursor(const PageChain* chain, BufferPool* pool,
+                                 size_t start_page)
+    : chain_(chain),
+      pool_(pool),
+      page_index_(start_page),
+      values_(chain->codec_->dim()) {
+  status_ = LoadCurrent();
 }
 
 Status PageChainCursor::LoadCurrent() {
   valid_ = false;
   while (page_index_ < chain_->pages_.size()) {
     if (!handle_.valid()) {
-      KANON_ASSIGN_OR_RETURN(
-          handle_, chain_->pool_->Fetch(chain_->pages_[page_index_]));
+      auto fetched = pool_->Fetch(chain_->pages_[page_index_]);
+      if (!fetched.ok()) {
+        status_ = fetched.status();
+        return fetched.status();
+      }
+      handle_ = std::move(*fetched);
     }
-    RecordPageView view(handle_.data(), chain_->pool_->page_size(),
-                        chain_->codec_);
+    RecordPageView view(handle_.data(), pool_->page_size(), chain_->codec_);
     if (slot_ < view.count()) {
       view.Read(slot_, &rid_, &sensitive_, values_.data());
       valid_ = true;

@@ -133,11 +133,31 @@ class PageChain {
 
 /// Streaming cursor over a PageChain, pinning one page at a time. Used by
 /// the external-sort merge, which advances one cursor per run.
+///
+/// Errors do not vanish: a failed page read (I/O error, checksum
+/// mismatch) makes the cursor invalid AND is retained in status(), so a
+/// merge loop that only tests valid() can still distinguish "run
+/// exhausted" from "run unreadable" after the fact. The constructor's
+/// initial positioning participates — before this, a cursor whose very
+/// first page was corrupt looked exactly like an empty run.
 class PageChainCursor {
  public:
   explicit PageChainCursor(const PageChain* chain);
 
+  /// Cursor that pins pages through `pool` instead of the chain's own
+  /// BufferPool, starting at page `start_page` of the chain. This is how
+  /// the parallel merge gives each concurrent task a private (BufferPool
+  /// is single-threaded) view of a shared run: the pools share the
+  /// thread-safe Pager underneath. The chain's pages must be flushed to
+  /// the pager (BufferPool::FlushAll) before the first Fetch through a
+  /// foreign pool, or it would read stale page images.
+  PageChainCursor(const PageChain* chain, BufferPool* pool,
+                  size_t start_page);
+
   bool valid() const { return valid_; }
+  /// OK while the cursor has only ever seen readable pages; the first
+  /// page-read failure is sticky.
+  const Status& status() const { return status_; }
   uint64_t rid() const { return rid_; }
   int32_t sensitive() const { return sensitive_; }
   std::span<const double> values() const {
@@ -153,10 +173,12 @@ class PageChainCursor {
   Status LoadCurrent();
 
   const PageChain* chain_;
+  BufferPool* pool_;  // the chain's own pool unless overridden
   size_t page_index_ = 0;
   uint32_t slot_ = 0;
   PageHandle handle_;
   bool valid_ = false;
+  Status status_;
   uint64_t rid_ = 0;
   int32_t sensitive_ = 0;
   std::vector<double> values_;

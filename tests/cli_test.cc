@@ -62,6 +62,19 @@ TEST(CliParseTest, RejectsUnknownFlagAndMissingValue) {
       Parse({"--input", "a", "--output", "b", "--recursive", "3"}, &o3));
 }
 
+TEST(CliParseTest, ThreadsFlag) {
+  CliOptions o;
+  ASSERT_TRUE(Parse({"--input", "a", "--output", "b", "--threads", "4"}, &o));
+  EXPECT_EQ(o.threads, 4u);
+  CliOptions off;
+  ASSERT_TRUE(Parse({"--input", "a", "--output", "b"}, &off));
+  EXPECT_EQ(off.threads, 0u);  // default backend
+  CliOptions bad;
+  EXPECT_FALSE(Parse({"--input", "a", "--output", "b", "--threads"}, &bad));
+  EXPECT_FALSE(
+      Parse({"--input", "a", "--output", "b", "--threads", "0"}, &bad));
+}
+
 class CliRunTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -149,6 +162,20 @@ TEST_F(CliRunTest, EveryAlgorithmRuns) {
     std::ostringstream log;
     EXPECT_EQ(cli::Run(o, log), 0) << algorithm << ": " << log.str();
   }
+}
+
+TEST_F(CliRunTest, ThreadsSelectsSortedBulkLoadBackend) {
+  CliOptions o;
+  o.input = input_;
+  o.output = output_;
+  o.k = 15;
+  o.threads = 2;
+  std::ostringstream log;
+  EXPECT_EQ(cli::Run(o, log), 0) << log.str();
+  EXPECT_EQ(CountOutputRows(), 1001u);
+  EXPECT_NE(log.str().find("sorted bulk load on 2 threads"),
+            std::string::npos)
+      << log.str();
 }
 
 TEST_F(CliRunTest, ConstraintSelectionLogsName) {

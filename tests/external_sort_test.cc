@@ -4,8 +4,12 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
+#include <vector>
 
+#include "common/env.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "index/bulk_load.h"
 
 namespace kanon {
@@ -197,6 +201,115 @@ TEST(ExternalSorterTest, AbandonedSortReleasesSpillPages) {
   spill();
   ASSERT_TRUE(rig.pool.FlushAll().ok());
   EXPECT_EQ(rig.pager.num_pages(), high_water);
+}
+
+TEST(ExternalSorterTest, CorruptSpillPageSurfacesStatusNotCrash) {
+  // A spill page that fails its checksum on read-back must surface as a
+  // Corruption Status from Finish — not abort the process. The fault env
+  // corrupts the first pager read; the tiny pool guarantees spill pages
+  // are evicted during Add, so that first read happens under the merge.
+  FaultInjectionOptions fo;
+  fo.corrupt_nth_read = 1;
+  FaultInjectionEnv env(Env::Default(), fo);
+  auto pager = FilePager::Create(/*page_size=*/512, /*dir=*/"", &env);
+  ASSERT_TRUE(pager.ok());
+  BufferPool pool(pager->get(), /*capacity_frames=*/4);
+  ExternalSorter sorter(2, /*run_records=*/32, &pool);
+  Rng rng(6);
+  for (size_t i = 0; i < 96; ++i) {
+    const double v[] = {rng.UniformDouble(0, 1), rng.UniformDouble(0, 1)};
+    ASSERT_TRUE(sorter.Add(rng.Next(), i, 0, {v, 2}).ok());
+  }
+  ASSERT_GE(sorter.run_count(), 3u);
+  const Status finish = sorter.Finish(
+      [](uint64_t, uint64_t, int32_t, std::span<const double>) {});
+  ASSERT_FALSE(finish.ok());
+  EXPECT_EQ(finish.code(), StatusCode::kCorruption) << finish;
+  EXPECT_GE(env.injected(), 1u);
+}
+
+// Differential harness for the parallel merge: the serial and parallel
+// sorters must emit the identical (key, rid, sensitive, values) sequence —
+// the determinism contract the parallel bulk load builds on.
+using EmittedRecord =
+    std::tuple<uint64_t, uint64_t, int32_t, std::vector<double>>;
+
+std::vector<EmittedRecord> SortWithThreads(size_t n, size_t dim,
+                                           uint64_t seed, size_t run_records,
+                                           size_t pool_frames,
+                                           size_t threads) {
+  SortRig rig(pool_frames, /*page_size=*/512);
+  ThreadPool workers(threads > 1 ? threads - 1 : 0);
+  ExternalSorter sorter(dim, run_records, &rig.pool,
+                        threads > 1 ? &workers : nullptr);
+  Rng rng(seed);
+  std::vector<double> v(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& x : v) x = rng.UniformDouble(0, 1000);
+    // Narrow key range: duplicate keys exercise the rid tie-break.
+    EXPECT_TRUE(
+        sorter.Add(rng.Uniform(97), i, static_cast<int32_t>(i % 5), v).ok());
+  }
+  std::vector<EmittedRecord> out;
+  EXPECT_TRUE(sorter
+                  .Finish([&](uint64_t key, uint64_t rid, int32_t sens,
+                              std::span<const double> values) {
+                    out.emplace_back(
+                        key, rid, sens,
+                        std::vector<double>(values.begin(), values.end()));
+                  })
+                  .ok());
+  return out;
+}
+
+TEST(ParallelMergeTest, EmitsIdenticalSequenceAtEveryThreadCount) {
+  const auto serial = SortWithThreads(4000, 2, /*seed=*/7,
+                                      /*run_records=*/64,
+                                      /*pool_frames=*/64, /*threads=*/1);
+  ASSERT_EQ(serial.size(), 4000u);
+  for (const size_t threads : {2, 4, 8}) {
+    const auto parallel = SortWithThreads(4000, 2, 7, 64, 64, threads);
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelMergeTest, MultiPassMergeIdenticalUnderTinyPool) {
+  // Pool smaller than the run count: intermediate passes happen, and the
+  // parallel group-merge path must reproduce the serial stream exactly.
+  const auto serial = SortWithThreads(3000, 1, /*seed=*/8,
+                                      /*run_records=*/32,
+                                      /*pool_frames=*/10, /*threads=*/1);
+  ASSERT_EQ(serial.size(), 3000u);
+  const auto parallel = SortWithThreads(3000, 1, 8, 32, 10, /*threads=*/4);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(ParallelMergeTest, ConcurrentSortersShareOnePager) {
+  // Several parallel sorters over private pools on one shared (thread-
+  // safe) pager — the layout the group-parallel merge pass uses. Run
+  // under TSan in CI.
+  MemPager pager(512);
+  ThreadPool workers(4);
+  std::vector<size_t> counts(4, 0);
+  workers.ParallelFor(4, [&](size_t s) {
+    BufferPool pool(&pager, 16);
+    ExternalSorter sorter(1, /*run_records=*/32, &pool);
+    Rng rng(100 + s);
+    for (size_t i = 0; i < 500; ++i) {
+      const double v[] = {static_cast<double>(i)};
+      ASSERT_TRUE(sorter.Add(rng.Next(), i, 0, {v, 1}).ok());
+    }
+    uint64_t prev = 0;
+    ASSERT_TRUE(sorter
+                    .Finish([&](uint64_t key, uint64_t, int32_t,
+                                std::span<const double>) {
+                      ASSERT_GE(key, prev);
+                      prev = key;
+                      ++counts[s];
+                    })
+                    .ok());
+  });
+  for (size_t s = 0; s < 4; ++s) EXPECT_EQ(counts[s], 500u);
 }
 
 TEST(CurveBulkLoadExternalTest, EmptyDataset) {

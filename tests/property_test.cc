@@ -4,6 +4,7 @@
 #include <set>
 #include <tuple>
 
+#include "invariants.h"
 #include "kanon/kanon.h"
 
 namespace kanon {
@@ -43,15 +44,13 @@ TEST_P(AnonymizationProperty, RTreeOutputIsKAnonymousCover) {
   const Dataset d = MakeData(n(), dim(), seed());
   auto ps = RTreeAnonymizer().Anonymize(d, k());
   ASSERT_TRUE(ps.ok());
-  EXPECT_TRUE(ps->CheckCovers(d).ok());
-  EXPECT_TRUE(ps->CheckKAnonymous(std::min<size_t>(k(), n())).ok());
+  testutil::ExpectPartitionInvariants(d, *ps, std::min<size_t>(k(), n()));
 }
 
 TEST_P(AnonymizationProperty, MondrianOutputIsKAnonymousCover) {
   const Dataset d = MakeData(n(), dim(), seed());
   const PartitionSet ps = Mondrian().Anonymize(d, k());
-  EXPECT_TRUE(ps.CheckCovers(d).ok());
-  EXPECT_TRUE(ps.CheckKAnonymous(std::min<size_t>(k(), n())).ok());
+  testutil::ExpectPartitionInvariants(d, ps, std::min<size_t>(k(), n()));
 }
 
 TEST_P(AnonymizationProperty, RelaxedMondrianOutputIsKAnonymousCover) {
@@ -59,8 +58,7 @@ TEST_P(AnonymizationProperty, RelaxedMondrianOutputIsKAnonymousCover) {
   MondrianConfig config;
   config.strict = false;
   const PartitionSet ps = Mondrian(config).Anonymize(d, k());
-  EXPECT_TRUE(ps.CheckCovers(d).ok());
-  EXPECT_TRUE(ps.CheckKAnonymous(std::min<size_t>(k(), n())).ok());
+  testutil::ExpectPartitionInvariants(d, ps, std::min<size_t>(k(), n()));
   // Relaxed halving bounds every partition below 4k (a cut is allowable
   // whenever n >= 2k, and each cut halves exactly).
   EXPECT_LT(ps.max_partition_size(), std::max<size_t>(4 * k(), n() + 1));
@@ -70,8 +68,7 @@ TEST_P(AnonymizationProperty, GridOutputIsKAnonymousCover) {
   const Dataset d = MakeData(n(), dim(), seed());
   auto ps = GridAnonymizer().Anonymize(d, k());
   ASSERT_TRUE(ps.ok());
-  EXPECT_TRUE(ps->CheckCovers(d).ok());
-  EXPECT_TRUE(ps->CheckKAnonymous(std::min<size_t>(k(), n())).ok());
+  testutil::ExpectPartitionInvariants(d, *ps, std::min<size_t>(k(), n()));
 }
 
 TEST_P(AnonymizationProperty, BufferTreeChurnKeepsRecordSetExact) {
@@ -145,6 +142,10 @@ TEST_P(AnonymizationProperty, IncrementalTreeInvariantsSurviveChurn) {
   }
   EXPECT_EQ(inc.size(), live);
   EXPECT_TRUE(inc.tree().CheckInvariants(true).ok());
+  // Deletion churn legitimately leaves deficient leaves; disjointness and
+  // exactly-once coverage must still hold.
+  testutil::ExpectTreeLeafInvariants(inc.tree(), /*k=*/5,
+                                     /*allow_underfull=*/true);
   const PartitionSet view = inc.Snapshot(d, k());
   EXPECT_EQ(view.total_records(), live);
   if (live >= k()) {

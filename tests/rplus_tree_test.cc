@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "invariants.h"
 
 namespace kanon {
 namespace {
@@ -59,6 +60,7 @@ TEST(RPlusTreeTest, ManyInsertsKeepInvariants) {
   InsertRandom(&tree, 5000, 3, 3);
   EXPECT_EQ(tree.size(), 5000u);
   ASSERT_TRUE(tree.CheckInvariants().ok());
+  testutil::ExpectTreeLeafInvariants(tree, SmallConfig().min_leaf);
   const auto stats = tree.ComputeStats();
   EXPECT_GE(stats.min_leaf_size, 3u);
   EXPECT_GT(stats.num_leaves, 300u);
@@ -84,13 +86,9 @@ TEST(RPlusTreeTest, CascadingSplitsKeepInvariants) {
 TEST(RPlusTreeTest, LeavesPartitionAllRecords) {
   RPlusTree tree(2, SmallConfig());
   InsertRandom(&tree, 1000, 4, 2);
-  std::set<uint64_t> seen;
-  for (const Node* leaf : tree.OrderedLeaves()) {
-    for (uint64_t rid : leaf->rids) {
-      EXPECT_TRUE(seen.insert(rid).second) << "duplicate rid " << rid;
-    }
-  }
-  EXPECT_EQ(seen.size(), 1000u);
+  // The shared checker asserts the full partition contract: unique rids,
+  // disjoint leaf MBRs, exactly-once coverage, occupancy >= min_leaf.
+  testutil::ExpectTreeLeafInvariants(tree, SmallConfig().min_leaf);
 }
 
 TEST(RPlusTreeTest, DuplicateHeavyDataLeavesOverfullLeaf) {

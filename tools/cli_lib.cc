@@ -99,6 +99,11 @@ bool ParseArgs(int argc, const char* const* argv, CliOptions* options) {
       }
     } else if (arg == "--metrics") {
       options->metrics = true;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->threads = std::strtoul(v, nullptr, 10);
+      if (options->threads == 0) return false;
     } else {
       return false;
     }
@@ -157,6 +162,12 @@ int Run(const CliOptions& options, std::ostream& log) {
     ro.constraint = constraint.get();
     ro.compact = !options.uncompacted;
     ro.split.biased_axes = options.bias;
+    if (options.threads > 0) {
+      ro.backend = RTreeAnonymizerOptions::Backend::kSortedBulkLoad;
+      ro.threads = options.threads;
+      log << "sorted bulk load on " << options.threads << " thread"
+          << (options.threads == 1 ? "" : "s") << "\n";
+    }
     auto ps = RTreeAnonymizer(ro).Anonymize(*dataset, options.k);
     if (!ps.ok()) {
       log << ps.status() << "\n";

@@ -28,6 +28,11 @@ struct CliOptions {
   bool uncompacted = false;
   std::vector<size_t> bias;
   bool metrics = false;
+  /// --threads N (rtree only): build the index with the parallel sorted
+  /// bulk-load backend on N threads. 0 keeps the default buffer-tree
+  /// backend; 1 runs the sorted backend serially. Any N produces the
+  /// same partitions (the pipeline is deterministic).
+  size_t threads = 0;
 };
 
 /// Parses argv into options. Returns false on malformed or missing

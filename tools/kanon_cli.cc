@@ -5,6 +5,11 @@
 //             [--algorithm rtree|mondrian|grid]
 //             [--ldiversity L | --entropy L | --recursive C,L | --alpha A]
 //             [--uncompacted] [--bias COL[,COL...]] [--metrics]
+//             [--threads N]
+//
+// --threads N (rtree only) selects the parallel sorted bulk-load backend
+// on N threads. The pipeline is deterministic: every thread count yields
+// the same partitions.
 //
 // Serve mode streams the CSV through the concurrent incremental
 // anonymization service (src/service/) and reports serving statistics:
@@ -46,7 +51,7 @@ void Usage() {
       "                 [--algorithm rtree|mondrian|grid]\n"
       "                 [--ldiversity L | --entropy L | --recursive C,L |\n"
       "                  --alpha A] [--uncompacted]\n"
-      "                 [--bias COL[,COL...]] [--metrics]\n"
+      "                 [--bias COL[,COL...]] [--metrics] [--threads N]\n"
       "   or: kanon_cli serve --input FILE --k K\n"
       "                 [--schema SPEC | --columns N] [--skip-header]\n"
       "                 [--producers P] [--rate R] [--queue N] [--batch B]\n"
