@@ -5,9 +5,10 @@
 // Generates N Agrawal records (default 1,000,000), bulk-loads the
 // R⁺-tree serially and with T threads (default 4), verifies the two
 // trees serialize to byte-identical snapshots (the pipeline's
-// determinism contract), and reports wall times plus the speedup. With
-// --json the same numbers are written as a machine-readable artifact
-// (CI uploads it as BENCH_bulkload.json).
+// determinism contract), and reports wall times plus the speedup. The
+// same numbers are always written as a machine-readable artifact —
+// BENCH_bulkload.json in the working directory unless --json names
+// another path (CI uploads it).
 //
 // Exit codes: 0 on success, 1 on a build error or a determinism
 // mismatch — so CI fails loudly when the parallel path diverges.
@@ -84,7 +85,7 @@ bool SnapshotsIdentical(MemPager* a, const TreeSnapshot& sa, MemPager* b,
 int main(int argc, char** argv) {
   size_t records = 1000000;
   size_t threads = 4;
-  std::string json_path;
+  std::string json_path = "BENCH_bulkload.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {

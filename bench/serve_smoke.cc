@@ -1,0 +1,275 @@
+// serve_smoke — CI perf smoke for the HTTP serving subsystem (src/net/).
+//
+//   serve_smoke [--records N] [--batch B] [--writers W] [--readers R]
+//               [--json PATH]
+//
+// Starts the full serving stack in-process — AnonymizationService behind
+// the epoll HTTP server on an ephemeral loopback port — then drives it
+// the way a deployment would: W keep-alive writers POST /ingest NDJSON
+// batches of B records until N records are acknowledged, while R readers
+// issue GET /release/query?k1=...&summary=1 the whole time. Reports
+// ingest and release throughput with per-request latency percentiles,
+// and always writes BENCH_serve.json (CI uploads it) unless --json names
+// another path.
+//
+// Exit codes: 0 on success, 1 when the stack misbehaves (failed request,
+// lost records, no snapshot) — so CI fails loudly, not just slowly.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "net/anon_http.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "service/anonymization_service.h"
+
+namespace {
+
+using namespace kanon;
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  std::vector<double>& v = *sorted_in_place;
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+struct SideStats {
+  uint64_t requests = 0;
+  double seconds = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+};
+
+std::string SideJson(const SideStats& s, double per_second) {
+  return "{\"requests\": " + std::to_string(s.requests) +
+         ", \"seconds\": " + std::to_string(s.seconds) +
+         ", \"per_second\": " + std::to_string(per_second) +
+         ", \"p50_ms\": " + std::to_string(s.p50) +
+         ", \"p95_ms\": " + std::to_string(s.p95) +
+         ", \"p99_ms\": " + std::to_string(s.p99) + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t records = bench::Scaled(50000);
+  size_t batch = 50;
+  size_t writers = 2;
+  size_t readers = 2;
+  std::string json_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--records") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      records = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      batch = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--writers") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      writers = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--readers") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      readers = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      json_path = v;
+    } else {
+      std::cerr << "usage: serve_smoke [--records N] [--batch B] "
+                   "[--writers W] [--readers R] [--json PATH]\n";
+      return 2;
+    }
+  }
+  if (batch == 0 || writers == 0) return 2;
+
+  bench::PrintHeader("serve_smoke — loopback HTTP serving throughput",
+                     "CI perf smoke (src/net/ ingest + release path)");
+
+  Domain domain;
+  domain.lo = {0, 0};
+  domain.hi = {100, 100};
+  ServiceOptions service_options;
+  service_options.anonymizer.base_k = 10;
+  service_options.snapshot_every = 5000;
+  auto service_or = AnonymizationService::Create(2, domain, service_options);
+  if (!service_or.ok()) {
+    std::cerr << "service: " << service_or.status() << "\n";
+    return 1;
+  }
+  AnonymizationService& service = **service_or;
+  net::AnonHttpFrontend frontend(&service);
+  net::HttpServerOptions http_options;
+  http_options.port = 0;
+  http_options.num_threads = writers + readers;
+  net::HttpServer server(http_options,
+                         [&frontend](const net::HttpRequest& request) {
+                           return frontend.Handle(request);
+                         });
+  frontend.SetServerStats([&server] { return server.stats(); });
+  if (auto s = server.Start(); !s.ok()) {
+    std::cerr << "server: " << s << "\n";
+    return 1;
+  }
+  std::cout << "listening on 127.0.0.1:" << server.port() << " ("
+            << (server.using_epoll() ? "epoll" : "poll") << ")\n";
+
+  const size_t posts_total = (records + batch - 1) / batch;
+  std::atomic<size_t> next_post{0};
+  std::atomic<bool> writers_done{false};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::vector<double> ingest_lat_ms;
+  std::vector<double> release_lat_ms;
+  uint64_t release_requests = 0;
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < writers; ++w) {
+    threads.emplace_back([&] {
+      net::HttpClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        failed.store(true);
+        return;
+      }
+      std::vector<double> lat;
+      for (size_t p = next_post.fetch_add(1); p < posts_total;
+           p = next_post.fetch_add(1)) {
+        const size_t base = p * batch;
+        const size_t n = std::min(batch, records - base);
+        std::string body;
+        body.reserve(n * 12);
+        for (size_t i = 0; i < n; ++i) {
+          const size_t v = base + i;
+          body += std::to_string(v % 97) + "," +
+                  std::to_string((v * 7) % 89) + "," +
+                  std::to_string(v % 5) + "\n";
+        }
+        Timer t;
+        auto resp = client.Post("/ingest", body);
+        if (!resp.ok() || resp->status != 200) {
+          failed.store(true);
+          return;
+        }
+        lat.push_back(t.ElapsedMillis());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      ingest_lat_ms.insert(ingest_lat_ms.end(), lat.begin(), lat.end());
+    });
+  }
+  for (size_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      net::HttpClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        failed.store(true);
+        return;
+      }
+      const std::string target =
+          "/release/query?k1=" + std::to_string(10 << (r % 3)) +
+          "&summary=1";
+      std::vector<double> lat;
+      while (!writers_done.load(std::memory_order_relaxed)) {
+        Timer t;
+        auto resp = client.Get(target);
+        // 503 before the first snapshot is expected early on.
+        if (!resp.ok() ||
+            (resp->status != 200 && resp->status != 503)) {
+          failed.store(true);
+          return;
+        }
+        if (resp->status == 200) lat.push_back(t.ElapsedMillis());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      release_requests += lat.size();
+      release_lat_ms.insert(release_lat_ms.end(), lat.begin(), lat.end());
+    });
+  }
+  for (size_t w = 0; w < writers; ++w) threads[w].join();
+  const double ingest_seconds = wall.ElapsedSeconds();
+  writers_done.store(true, std::memory_order_relaxed);
+  for (size_t t = writers; t < threads.size(); ++t) threads[t].join();
+  const double total_seconds = wall.ElapsedSeconds();
+
+  server.Shutdown();
+  service.Stop();
+
+  const auto snapshot = service.CurrentSnapshot();
+  const uint64_t accepted = frontend.accepted();
+  if (failed.load() || snapshot == nullptr || accepted != records ||
+      snapshot->info().records != records) {
+    std::cerr << "FAIL: accepted=" << accepted << " want=" << records
+              << " snapshot_records="
+              << (snapshot != nullptr ? snapshot->info().records : 0)
+              << (failed.load() ? " (request failures)" : "") << "\n";
+    return 1;
+  }
+
+  SideStats ingest;
+  ingest.requests = posts_total;
+  ingest.seconds = ingest_seconds;
+  ingest.p50 = Percentile(&ingest_lat_ms, 50);
+  ingest.p95 = Percentile(&ingest_lat_ms, 95);
+  ingest.p99 = Percentile(&ingest_lat_ms, 99);
+  const double rec_per_s =
+      static_cast<double>(records) / std::max(ingest_seconds, 1e-9);
+
+  SideStats release;
+  release.requests = release_requests;
+  release.seconds = total_seconds;
+  release.p50 = Percentile(&release_lat_ms, 50);
+  release.p95 = Percentile(&release_lat_ms, 95);
+  release.p99 = Percentile(&release_lat_ms, 99);
+  const double rel_per_s =
+      static_cast<double>(release_requests) / std::max(total_seconds, 1e-9);
+
+  bench::TablePrinter table(
+      {"side", "requests", "throughput", "p50 ms", "p95 ms", "p99 ms"});
+  table.AddRow({"ingest", bench::FmtInt(ingest.requests),
+                bench::Fmt(rec_per_s, 0) + " rec/s", bench::Fmt(ingest.p50),
+                bench::Fmt(ingest.p95), bench::Fmt(ingest.p99)});
+  table.AddRow({"release", bench::FmtInt(release.requests),
+                bench::Fmt(rel_per_s, 0) + " req/s",
+                bench::Fmt(release.p50), bench::Fmt(release.p95),
+                bench::Fmt(release.p99)});
+  table.Print();
+  std::cout << "final snapshot: epoch=" << snapshot->info().epoch
+            << " records=" << snapshot->info().records
+            << " partitions=" << snapshot->info().num_partitions << "\n";
+
+  std::ofstream out(json_path);
+  out << "{\n"
+      << "  \"records\": " << records << ",\n"
+      << "  \"batch\": " << batch << ",\n"
+      << "  \"writers\": " << writers << ",\n"
+      << "  \"readers\": " << readers << ",\n"
+      << "  \"backend\": \""
+      << (server.using_epoll() ? "epoll" : "poll") << "\",\n"
+      << "  \"ingest_records_per_second\": " << rec_per_s << ",\n"
+      << "  \"release_requests_per_second\": " << rel_per_s << ",\n"
+      << "  \"ingest\": " << SideJson(ingest, rec_per_s) << ",\n"
+      << "  \"release\": " << SideJson(release, rel_per_s) << "\n"
+      << "}\n";
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}

@@ -1,0 +1,464 @@
+#include "net/anon_http.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "metrics/histogram.h"
+#include "net/http_parser.h"
+#include "net/http_status.h"
+
+namespace kanon::net {
+
+namespace {
+
+/// %.17g round-trips every finite double exactly, so two serializations of
+/// the same release compare byte-equal.
+std::string FmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string FmtDoubleShort(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string_view TrimWs(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+void AppendMetric(std::string* out, std::string_view name,
+                  std::string_view type, double value,
+                  std::string_view labels = "") {
+  out->append("# TYPE ");
+  out->append(name);
+  out->append(" ");
+  out->append(type);
+  out->append("\n");
+  out->append(name);
+  if (!labels.empty()) {
+    out->append("{");
+    out->append(labels);
+    out->append("}");
+  }
+  out->append(" ");
+  out->append(FmtDoubleShort(value));
+  out->append("\n");
+}
+
+}  // namespace
+
+const char* EndpointName(Endpoint endpoint) {
+  switch (endpoint) {
+    case Endpoint::kIngest: return "ingest";
+    case Endpoint::kRelease: return "release";
+    case Endpoint::kHealthz: return "healthz";
+    case Endpoint::kMetrics: return "metrics";
+    case Endpoint::kOther: return "other";
+  }
+  return "other";
+}
+
+Status ParseRecordLine(std::string_view line, size_t dim,
+                       std::vector<double>* point, int32_t* sensitive) {
+  point->clear();
+  *sensitive = 0;
+  std::string_view s = TrimWs(line);
+  const bool json_array = !s.empty() && s.front() == '[';
+  if (json_array) {
+    if (s.back() != ']') {
+      return Status::InvalidArgument("unterminated JSON array: " +
+                                     std::string(line));
+    }
+    s.remove_prefix(1);
+    s.remove_suffix(1);
+  }
+  // Both accepted forms are now a comma-separated list of numbers.
+  size_t start = 0;
+  const std::string flat(s);
+  while (start <= flat.size()) {
+    size_t end = flat.find(',', start);
+    if (end == std::string::npos) end = flat.size();
+    const std::string field(TrimWs(
+        std::string_view(flat.data() + start, end - start)));
+    if (field.empty()) {
+      return Status::InvalidArgument("empty field in record: " +
+                                     std::string(line));
+    }
+    char* parse_end = nullptr;
+    const double v = std::strtod(field.c_str(), &parse_end);
+    if (parse_end == field.c_str() || *parse_end != '\0' || !std::isfinite(v)) {
+      return Status::InvalidArgument("unparseable number '" + field +
+                                     "' in record: " + std::string(line));
+    }
+    point->push_back(v);
+    start = end + 1;
+  }
+  if (point->size() == dim + 1) {
+    *sensitive = static_cast<int32_t>(point->back());
+    point->pop_back();
+  } else if (point->size() != dim) {
+    return Status::InvalidArgument(
+        "record has " + std::to_string(point->size()) + " values, want " +
+        std::to_string(dim) + " (or " + std::to_string(dim + 1) +
+        " with a sensitive code): " + std::string(line));
+  }
+  return Status::OK();
+}
+
+std::string PartitionsJson(const PartitionSet& ps, bool with_rids) {
+  std::string out = "[";
+  for (size_t p = 0; p < ps.partitions.size(); ++p) {
+    const Partition& part = ps.partitions[p];
+    if (p != 0) out += ",";
+    out += "{\"count\":" + std::to_string(part.size()) + ",\"lo\":[";
+    for (size_t i = 0; i < part.box.dim(); ++i) {
+      if (i != 0) out += ",";
+      out += FmtDouble(part.box.lo(i));
+    }
+    out += "],\"hi\":[";
+    for (size_t i = 0; i < part.box.dim(); ++i) {
+      if (i != 0) out += ",";
+      out += FmtDouble(part.box.hi(i));
+    }
+    out += "]";
+    if (with_rids) {
+      out += ",\"rids\":[";
+      for (size_t i = 0; i < part.rids.size(); ++i) {
+        if (i != 0) out += ",";
+        out += std::to_string(part.rids[i]);
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+AnonHttpFrontend::AnonHttpFrontend(AnonymizationService* service,
+                                   AnonHttpOptions options)
+    : service_(service), options_(options) {}
+
+HttpResponse AnonHttpFrontend::Handle(const HttpRequest& request) {
+  Timer timer;
+  Endpoint endpoint = Endpoint::kOther;
+  HttpResponse response = Route(request, &endpoint);
+  Observe(endpoint, response.status, timer.ElapsedMillis());
+  return response;
+}
+
+HttpResponse AnonHttpFrontend::Route(const HttpRequest& request,
+                                     Endpoint* endpoint) {
+  const std::string& path = request.path;
+  if (path == "/ingest") {
+    *endpoint = Endpoint::kIngest;
+    if (request.method != "POST") {
+      return HttpResponse::Json(
+          405, HttpErrorBody(Status::InvalidArgument(
+                   "POST records to /ingest (got " + request.method + ")")));
+    }
+    return HandleIngest(request);
+  }
+  if (path == "/release" || path == "/release/query") {
+    *endpoint = Endpoint::kRelease;
+    if (request.method != "GET") {
+      return HttpResponse::Json(
+          405, HttpErrorBody(Status::InvalidArgument(
+                   "GET releases from " + path + " (got " + request.method +
+                   ")")));
+    }
+    return HandleRelease(request);
+  }
+  if (path == "/healthz") {
+    *endpoint = Endpoint::kHealthz;
+    return HandleHealthz();
+  }
+  if (path == "/metrics") {
+    *endpoint = Endpoint::kMetrics;
+    return HandleMetrics();
+  }
+  *endpoint = Endpoint::kOther;
+  return HttpResponse::FromStatus(
+      Status::NotFound("no route for " + path +
+                       " (have /ingest, /release, /release/query, /healthz, "
+                       "/metrics)"));
+}
+
+HttpResponse AnonHttpFrontend::HandleIngest(const HttpRequest& request) {
+  const size_t dim = service_->dim();
+  std::vector<double> point;
+  int32_t sensitive = 0;
+  size_t accepted = 0;
+  size_t line_number = 0;
+
+  std::string_view body = request.body;
+  size_t start = 0;
+  while (start <= body.size()) {
+    size_t end = body.find('\n', start);
+    if (end == std::string_view::npos) end = body.size();
+    const std::string_view line =
+        TrimWs(body.substr(start, end - start));
+    start = end + 1;
+    ++line_number;
+    if (line.empty()) continue;
+
+    if (Status s = ParseRecordLine(line, dim, &point, &sensitive); !s.ok()) {
+      return HttpResponse::Json(
+          400, "{\"error\":\"InvalidArgument\",\"message\":\"" +
+                   JsonEscape(s.message()) + "\",\"line\":" +
+                   std::to_string(line_number) + ",\"accepted\":" +
+                   std::to_string(accepted) + "}");
+    }
+    Status s = service_->Ingest(point, sensitive);
+    if (!s.ok()) {
+      // The service answers FailedPrecondition while stopping; over the
+      // wire that is indistinguishable from (and handled like) temporary
+      // unavailability. Backpressure and degradation keep their codes and
+      // flow through the shared map: kResourceExhausted -> 429,
+      // kUnavailable -> 503.
+      if (s.code() == StatusCode::kFailedPrecondition) {
+        s = Status::Unavailable("service is stopping: " + s.message());
+      }
+      HttpResponse resp = HttpResponse::Json(
+          HttpStatusFromStatusCode(s.code()),
+          "{\"error\":\"" + std::string(StatusCodeToString(s.code())) +
+              "\",\"message\":\"" + JsonEscape(s.message()) +
+              "\",\"line\":" + std::to_string(line_number) +
+              ",\"accepted\":" + std::to_string(accepted) + "}");
+      resp.headers.emplace_back("Retry-After",
+                                std::to_string(options_.retry_after_s));
+      accepted_.fetch_add(accepted, std::memory_order_relaxed);
+      return resp;
+    }
+    ++accepted;
+  }
+  accepted_.fetch_add(accepted, std::memory_order_relaxed);
+  return HttpResponse::Json(
+      200, "{\"accepted\":" + std::to_string(accepted) + "}");
+}
+
+HttpResponse AnonHttpFrontend::HandleRelease(const HttpRequest& request) {
+  const auto params = ParseQuery(request.query);
+  size_t k1 = 0;  // 0 = the snapshot's base granularity
+  bool summary = false;
+  bool with_rids = false;
+  if (const std::string* v = QueryParam(params, "k1")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0' || parsed == 0) {
+      return HttpResponse::FromStatus(
+          Status::InvalidArgument("k1 must be a positive integer, got '" +
+                                  *v + "'"));
+    }
+    k1 = static_cast<size_t>(parsed);
+  }
+  if (const std::string* v = QueryParam(params, "summary")) {
+    summary = *v != "0";
+  }
+  if (const std::string* v = QueryParam(params, "rids")) {
+    with_rids = *v != "0";
+  }
+
+  const auto snapshot = service_->CurrentSnapshot();
+  if (snapshot == nullptr) {
+    HttpResponse resp = HttpResponse::FromStatus(Status::Unavailable(
+        "no snapshot published yet; ingest at least base_k records"));
+    resp.headers.emplace_back("Retry-After",
+                              std::to_string(options_.retry_after_s));
+    return resp;
+  }
+  const SnapshotInfo& info = snapshot->info();
+  const size_t effective_k1 = std::max(k1, info.base_k);
+  const PartitionSet release = snapshot->Release(effective_k1);
+
+  std::string body = "{\"epoch\":" + std::to_string(info.epoch) +
+                     ",\"records\":" + std::to_string(info.records) +
+                     ",\"base_k\":" + std::to_string(info.base_k) +
+                     ",\"k1\":" + std::to_string(effective_k1) +
+                     ",\"num_partitions\":" +
+                     std::to_string(release.num_partitions()) +
+                     ",\"min_partition\":" +
+                     std::to_string(release.min_partition_size()) +
+                     ",\"max_partition\":" +
+                     std::to_string(release.max_partition_size()) +
+                     ",\"avg_ncp\":" +
+                     FmtDouble(AverageBoxNcp(release, snapshot->domain()));
+  if (!summary) {
+    body += ",\"partitions\":" + PartitionsJson(release, with_rids);
+  }
+  body += "}";
+  return HttpResponse::Json(200, std::move(body));
+}
+
+HttpResponse AnonHttpFrontend::HandleHealthz() {
+  const ServiceHealth health = service_->health();
+  const auto snapshot = service_->CurrentSnapshot();
+  std::string body = "{\"health\":\"" +
+                     std::string(ServiceHealthName(health)) + "\"";
+  if (snapshot != nullptr) {
+    const SnapshotInfo& info = snapshot->info();
+    body += ",\"epoch\":" + std::to_string(info.epoch) +
+            ",\"records\":" + std::to_string(info.records) +
+            ",\"snapshot_age_s\":" + FmtDoubleShort(info.AgeSeconds());
+  }
+  if (health != ServiceHealth::kServing) {
+    // Reads still work in every state; only ingest is down. Say so.
+    body += ",\"reads\":\"available\",\"degraded_reason\":\"" +
+            JsonEscape(service_->degraded_reason()) + "\"";
+  }
+  body += "}";
+  return HttpResponse::Json(
+      health == ServiceHealth::kServing ? 200 : 503, std::move(body));
+}
+
+HttpResponse AnonHttpFrontend::HandleMetrics() {
+  const ServiceStats stats = service_->Stats();
+  std::string out;
+  out.reserve(8 << 10);
+
+  // Serving-layer counters.
+  AppendMetric(&out, "kanon_enqueued_total", "counter",
+               static_cast<double>(stats.enqueued));
+  AppendMetric(&out, "kanon_rejected_total", "counter",
+               static_cast<double>(stats.rejected));
+  AppendMetric(&out, "kanon_inserted_total", "counter",
+               static_cast<double>(stats.inserted));
+  AppendMetric(&out, "kanon_batches_total", "counter",
+               static_cast<double>(stats.batches));
+  AppendMetric(&out, "kanon_snapshots_total", "counter",
+               static_cast<double>(stats.snapshots));
+  AppendMetric(&out, "kanon_queue_depth", "gauge",
+               static_cast<double>(stats.queue_depth));
+  AppendMetric(&out, "kanon_snapshot_age_seconds", "gauge",
+               stats.snapshot_age_s);
+  AppendMetric(&out, "kanon_last_snapshot_build_ms", "gauge",
+               stats.last_snapshot_build_ms);
+
+  // Durability counters (all zero without a WAL; exported regardless so
+  // dashboards need no conditional wiring).
+  AppendMetric(&out, "kanon_durable", "gauge", stats.durable ? 1 : 0);
+  AppendMetric(&out, "kanon_recovered_total", "counter",
+               static_cast<double>(stats.recovered));
+  AppendMetric(&out, "kanon_wal_appended_total", "counter",
+               static_cast<double>(stats.wal_appended));
+  AppendMetric(&out, "kanon_wal_bytes_total", "counter",
+               static_cast<double>(stats.wal_bytes));
+  AppendMetric(&out, "kanon_wal_syncs_total", "counter",
+               static_cast<double>(stats.wal_syncs));
+  AppendMetric(&out, "kanon_wal_synced_lsn", "gauge",
+               static_cast<double>(stats.wal_synced_lsn));
+  AppendMetric(&out, "kanon_checkpoints_total", "counter",
+               static_cast<double>(stats.checkpoints));
+  AppendMetric(&out, "kanon_last_checkpoint_lsn", "gauge",
+               static_cast<double>(stats.last_checkpoint_lsn));
+  AppendMetric(&out, "kanon_wal_retries_total", "counter",
+               static_cast<double>(stats.wal_retries));
+  AppendMetric(&out, "kanon_wal_recoveries_total", "counter",
+               static_cast<double>(stats.wal_recoveries));
+  AppendMetric(&out, "kanon_unavailable_total", "counter",
+               static_cast<double>(stats.unavailable));
+  AppendMetric(&out, "kanon_dropped_total", "counter",
+               static_cast<double>(stats.dropped));
+  AppendMetric(&out, "kanon_wal_poisoned", "gauge",
+               stats.wal_poisoned ? 1 : 0);
+
+  // Health as a one-hot state vector (the Prometheus idiom for enums).
+  out += "# TYPE kanon_health gauge\n";
+  for (const ServiceHealth h : {ServiceHealth::kServing,
+                                ServiceHealth::kDegraded,
+                                ServiceHealth::kStopped}) {
+    out += "kanon_health{state=\"" + std::string(ServiceHealthName(h)) +
+           "\"} " + (stats.health == h ? "1" : "0") + "\n";
+  }
+
+  // Listener counters, when the server wired itself in.
+  if (server_stats_ != nullptr) {
+    const HttpServerStats http = server_stats_();
+    AppendMetric(&out, "kanon_http_connections_accepted_total", "counter",
+                 static_cast<double>(http.connections_accepted));
+    AppendMetric(&out, "kanon_http_connections_refused_total", "counter",
+                 static_cast<double>(http.connections_refused));
+    AppendMetric(&out, "kanon_http_open_connections", "gauge",
+                 static_cast<double>(http.open_connections));
+    AppendMetric(&out, "kanon_http_parse_errors_total", "counter",
+                 static_cast<double>(http.parse_errors));
+    AppendMetric(&out, "kanon_http_timeouts_total", "counter",
+                 static_cast<double>(http.timeouts));
+  }
+
+  // Per-endpoint request counts and latency distribution. The histogram is
+  // built from the bounded sample ring via metrics/histogram's equi-width
+  // SampleHistogram, rendered cumulatively the Prometheus way.
+  out += "# TYPE kanon_http_requests_total counter\n";
+  for (size_t e = 0; e < kNumEndpoints; ++e) {
+    EndpointMetrics& em = metrics_[e];
+    std::lock_guard<std::mutex> lock(em.mu);
+    for (const auto& [code, count] : em.by_code) {
+      out += "kanon_http_requests_total{endpoint=\"" +
+             std::string(EndpointName(static_cast<Endpoint>(e))) +
+             "\",code=\"" + std::to_string(code) + "\"} " +
+             std::to_string(count) + "\n";
+    }
+  }
+  out += "# TYPE kanon_http_request_latency_ms histogram\n";
+  for (size_t e = 0; e < kNumEndpoints; ++e) {
+    EndpointMetrics& em = metrics_[e];
+    std::lock_guard<std::mutex> lock(em.mu);
+    if (em.count == 0) continue;
+    const std::string label =
+        std::string(EndpointName(static_cast<Endpoint>(e)));
+    const Histogram hist =
+        SampleHistogram(em.latencies_ms, options_.latency_bins);
+    const double n = static_cast<double>(em.latencies_ms.size());
+    double cumulative = 0.0;
+    for (size_t b = 0; b < hist.num_bins(); ++b) {
+      cumulative += hist.mass[b] * n;
+      const double le = hist.lo + hist.BinWidth() * static_cast<double>(b + 1);
+      out += "kanon_http_request_latency_ms_bucket{endpoint=\"" + label +
+             "\",le=\"" + FmtDoubleShort(le) + "\"} " +
+             std::to_string(static_cast<uint64_t>(cumulative + 0.5)) + "\n";
+    }
+    out += "kanon_http_request_latency_ms_bucket{endpoint=\"" + label +
+           "\",le=\"+Inf\"} " + std::to_string(em.latencies_ms.size()) + "\n";
+    out += "kanon_http_request_latency_ms_sum{endpoint=\"" + label + "\"} " +
+           FmtDoubleShort(em.sum_ms) + "\n";
+    out += "kanon_http_request_latency_ms_count{endpoint=\"" + label +
+           "\"} " + std::to_string(em.count) + "\n";
+  }
+
+  HttpResponse resp;
+  resp.status = 200;
+  resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  resp.body = std::move(out);
+  return resp;
+}
+
+void AnonHttpFrontend::Observe(Endpoint endpoint, int http_status,
+                               double latency_ms) {
+  EndpointMetrics& em = metrics_[static_cast<size_t>(endpoint)];
+  std::lock_guard<std::mutex> lock(em.mu);
+  ++em.by_code[http_status];
+  ++em.count;
+  em.sum_ms += latency_ms;
+  if (em.latencies_ms.size() < options_.latency_samples) {
+    em.latencies_ms.push_back(latency_ms);
+  } else if (!em.latencies_ms.empty()) {
+    em.latencies_ms[em.next] = latency_ms;
+    em.next = (em.next + 1) % em.latencies_ms.size();
+  }
+}
+
+}  // namespace kanon::net

@@ -1,0 +1,122 @@
+#ifndef KANON_NET_ANON_HTTP_H_
+#define KANON_NET_ANON_HTTP_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/http_server.h"
+#include "service/anonymization_service.h"
+
+namespace kanon::net {
+
+/// Endpoint families the front-end tracks metrics for.
+enum class Endpoint : size_t {
+  kIngest = 0,
+  kRelease,
+  kHealthz,
+  kMetrics,
+  kOther,
+};
+constexpr size_t kNumEndpoints = 5;
+const char* EndpointName(Endpoint endpoint);
+
+struct AnonHttpOptions {
+  /// Per-endpoint latency reservoir (a ring of the most recent samples;
+  /// bounds memory on a long-running server while keeping the histogram
+  /// representative of current traffic).
+  size_t latency_samples = 8192;
+  /// Buckets rendered per endpoint in the /metrics latency histogram.
+  size_t latency_bins = 12;
+  /// Advisory Retry-After (seconds) attached to 429/503 ingest responses.
+  unsigned retry_after_s = 1;
+};
+
+/// The HTTP face of AnonymizationService — maps the service's concurrency
+/// and health contracts onto protocol semantics:
+///
+///   POST /ingest           NDJSON batch (or a single line): each line is a
+///                          JSON array or bare CSV of dim (or dim+1, last =
+///                          sensitive code) numbers. 200 {"accepted":N};
+///                          429 on reject-backpressure, 503 while degraded
+///                          or stopping — both with the accepted count so
+///                          far, so clients know exactly what was acked.
+///   GET  /release          base-granularity release of the current
+///                          snapshot (lock-free; never blocks ingest).
+///   GET  /release/query    ?k1=N multigranular release; &summary=1 omits
+///                          the partition list; &rids=1 includes record
+///                          ids per partition.
+///   GET  /healthz          200 while serving, 503 degraded/stopped.
+///   GET  /metrics          Prometheus text exposition: ServiceStats,
+///                          WAL/checkpoint durability counters, queue
+///                          depth, listener stats and per-endpoint latency
+///                          histograms (built on metrics/histogram).
+///
+/// Handle() is thread-safe and is exactly the HttpHandler the HttpServer
+/// worker pool runs; it may block inside Ingest under kBlock backpressure,
+/// which is the intended end-to-end backpressure path: a full queue slows
+/// HTTP clients down instead of growing memory.
+class AnonHttpFrontend {
+ public:
+  explicit AnonHttpFrontend(AnonymizationService* service,
+                            AnonHttpOptions options = {});
+
+  /// The handler to hand to HttpServer.
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// Optional: lets /metrics include listener-level counters. Set before
+  /// the server starts taking traffic.
+  void SetServerStats(std::function<HttpServerStats()> fn) {
+    server_stats_ = std::move(fn);
+  }
+
+  /// Records ingested over HTTP and acknowledged with 200 (the
+  /// zero-lost-acks invariant is stated against this counter).
+  uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct EndpointMetrics {
+    std::mutex mu;
+    std::vector<double> latencies_ms;  // ring, bounded by latency_samples
+    size_t next = 0;
+    double sum_ms = 0.0;
+    uint64_t count = 0;
+    std::map<int, uint64_t> by_code;
+  };
+
+  HttpResponse Route(const HttpRequest& request, Endpoint* endpoint);
+  HttpResponse HandleIngest(const HttpRequest& request);
+  HttpResponse HandleRelease(const HttpRequest& request);
+  HttpResponse HandleHealthz();
+  HttpResponse HandleMetrics();
+  void Observe(Endpoint endpoint, int http_status, double latency_ms);
+
+  AnonymizationService* const service_;
+  const AnonHttpOptions options_;
+  std::function<HttpServerStats()> server_stats_;
+  std::atomic<uint64_t> accepted_{0};
+  std::array<EndpointMetrics, kNumEndpoints> metrics_;
+};
+
+/// Parses one ingest line — a JSON array "[1, 2.5, 3]" or bare CSV
+/// "1,2.5,3" — into a point of exactly `dim` values plus an optional
+/// trailing sensitive code (when the line has dim+1 values). Exposed for
+/// tests.
+Status ParseRecordLine(std::string_view line, size_t dim,
+                       std::vector<double>* point, int32_t* sensitive);
+
+/// Renders the partition list of a release as a JSON array (deterministic
+/// formatting: %.17g round-trips doubles exactly). Shared by the endpoint
+/// and by tests asserting HTTP and in-process releases are identical.
+std::string PartitionsJson(const PartitionSet& ps, bool with_rids);
+
+}  // namespace kanon::net
+
+#endif  // KANON_NET_ANON_HTTP_H_

@@ -1,0 +1,202 @@
+#ifndef KANON_NET_HTTP_SERVER_H_
+#define KANON_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread.h"
+#include "common/thread_pool.h"
+#include "net/http_parser.h"
+#include "net/poller.h"
+
+namespace kanon::net {
+
+/// What a handler returns. The server adds Content-Length, Connection and
+/// Date-free framing; handlers fill status, media type and body.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Extra headers, e.g. {"Retry-After", "1"} on 429/503.
+  std::vector<std::pair<std::string, std::string>> headers;
+  /// Forces Connection: close after this response.
+  bool close_connection = false;
+
+  static HttpResponse Json(int status, std::string body);
+  static HttpResponse Text(int status, std::string body);
+  /// An error response via the shared StatusCode -> HTTP map
+  /// (net/http_status.h), with the canonical JSON error body.
+  static HttpResponse FromStatus(const Status& status);
+};
+
+/// Serializes `resp` into wire bytes. `keep_alive` decides the Connection
+/// header (and is overridden by resp.close_connection). Exposed for tests.
+std::string SerializeResponse(const HttpResponse& resp, bool keep_alive);
+
+/// Request handler. Runs on a worker-pool thread (or on the event loop
+/// when the pool is disabled); must be thread-safe and may block — e.g. on
+/// the ingest queue's kBlock backpressure — without stalling other
+/// connections.
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  /// IPv4 listen address ("127.0.0.1", "0.0.0.0"; "localhost" accepted).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Handler worker threads (the PR-4 ThreadPool). 0 runs handlers inline
+  /// on the event loop — only sensible for never-blocking handlers.
+  size_t num_threads = 4;
+  /// Connections beyond this are answered 503 and closed at accept.
+  size_t max_connections = 1024;
+  /// Parser bounds; max_body_bytes is the --max-body-bytes CLI knob.
+  HttpParserLimits parser;
+  /// A keep-alive connection with no request in flight is closed after
+  /// this long...
+  double idle_timeout_s = 60.0;
+  /// ...a connection torn mid-request is answered 408 and closed after
+  /// this long...
+  double read_timeout_s = 10.0;
+  /// ...and one that will not accept response bytes is closed after this.
+  double write_timeout_s = 10.0;
+  /// Shutdown(): how long in-flight requests may take to finish before
+  /// their connections are force-closed.
+  double drain_timeout_s = 10.0;
+  /// False forces the portable poll() event loop even where epoll exists
+  /// (tests exercise both paths on Linux this way).
+  bool use_epoll = true;
+};
+
+/// Point-in-time counters of the listener (all cumulative since Start).
+struct HttpServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_refused = 0;  // over max_connections
+  uint64_t requests = 0;             // complete requests parsed
+  uint64_t responses = 0;            // responses fully written
+  uint64_t parse_errors = 0;
+  uint64_t timeouts = 0;             // idle + read + write expiries
+  size_t open_connections = 0;
+};
+
+/// A dependency-free, multi-threaded HTTP/1.1 server: one event-loop
+/// thread multiplexes all sockets through epoll (poll fallback); complete
+/// requests are dispatched to a worker pool; responses flow back to the
+/// loop over a completion queue and a self-pipe wakeup. Connections are
+/// strictly pipelined-in-order: one request per connection is in flight at
+/// a time, later pipelined requests stay buffered until the response ships.
+///
+///   accept -> [event loop: read/parse] -> ThreadPool handler
+///                     ^                        |
+///                     +--- completion queue <--+
+///
+/// The loop never blocks on a handler and handlers never touch sockets, so
+/// a handler blocked on ingest backpressure delays only its own
+/// connection. Shutdown() is the graceful-drain half of SIGTERM handling:
+/// stop accepting, cut idle connections, let in-flight requests finish
+/// (bounded by drain_timeout_s), then join the loop and the pool.
+class HttpServer {
+ public:
+  HttpServer(HttpServerOptions options, HttpHandler handler);
+  ~HttpServer();  // implies Shutdown()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens and starts the event loop + worker pool. On success
+  /// port() returns the actual bound port (the --port 0 contract).
+  Status Start();
+
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+  bool using_epoll() const { return using_epoll_; }
+
+  /// Graceful drain (see class comment). Idempotent, thread-safe, callable
+  /// from a signal-watching thread.
+  void Shutdown();
+
+  HttpServerStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Conn {
+    uint64_t gen = 0;      // matches completions to this conn, not a
+                           // later one that reused the fd
+    HttpParser parser;
+    std::string out;       // response bytes not yet written
+    size_t out_off = 0;
+    bool handling = false; // a request of this conn is in the pool
+    bool close_after_write = false;
+    bool saw_eof = false;  // peer half-closed; no more request bytes come
+    Clock::time_point deadline = Clock::time_point::max();
+  };
+
+  struct Completion {
+    int fd = -1;
+    uint64_t gen = 0;
+    std::string bytes;
+    bool close_after = false;
+  };
+
+  void Loop();
+  void AcceptPending();
+  void HandleConnEvent(int fd, const PollEvent& ev);
+  /// Parses buffered bytes and dispatches at most one request.
+  void Advance(int fd, Conn* conn);
+  void Dispatch(int fd, uint64_t gen, HttpRequest request);
+  void QueueResponse(int fd, Conn* conn, std::string bytes, bool close_after);
+  /// Writes pending bytes; on completion re-arms reading (or closes).
+  void FlushWrites(int fd, Conn* conn);
+  void DrainCompletions();
+  void SweepTimeouts(Clock::time_point now);
+  void DestroyConn(int fd);
+  void Wake();
+  int NextTimeoutMs(Clock::time_point now) const;
+  void UpdateReadDeadline(Conn* conn);
+
+  const HttpServerOptions options_;
+  const HttpHandler handler_;
+
+  int listen_fd_ = -1;
+  int wake_r_ = -1;
+  int wake_w_ = -1;
+  uint16_t port_ = 0;
+  bool using_epoll_ = false;
+
+  std::unique_ptr<Poller> poller_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unordered_map<int, Conn> conns_;  // event-loop thread only
+  uint64_t next_gen_ = 0;                // event-loop thread only
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::once_flag shutdown_once_;
+
+  // Stats (written by the loop thread; read from anywhere).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_refused_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<size_t> open_connections_{0};
+
+  JoinableThread loop_thread_;  // last member: joins before the rest dies
+};
+
+}  // namespace kanon::net
+
+#endif  // KANON_NET_HTTP_SERVER_H_

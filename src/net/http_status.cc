@@ -1,0 +1,85 @@
+#include "net/http_status.h"
+
+#include <cstdio>
+
+namespace kanon::net {
+
+int HttpStatusFromStatusCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kIoError:
+      return 500;
+    case StatusCode::kCorruption:
+      return 500;
+    case StatusCode::kFailedPrecondition:
+      return 409;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kInternal:
+      return 500;
+    case StatusCode::kResourceExhausted:
+      return 429;  // reject-backpressure: retry later, the queue is full
+    case StatusCode::kUnavailable:
+      return 503;  // degraded / stopping: reads may still work
+  }
+  return 500;  // unreachable; keeps non-exhaustive callers defined
+}
+
+const char* HttpReasonPhrase(int http_status) {
+  switch (http_status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default:  return http_status < 500 ? "Error" : "Server Error";
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string HttpErrorBody(const Status& status) {
+  return "{\"error\":\"" + std::string(StatusCodeToString(status.code())) +
+         "\",\"message\":\"" + JsonEscape(status.message()) + "\"}";
+}
+
+}  // namespace kanon::net

@@ -1,0 +1,35 @@
+#ifndef KANON_NET_HTTP_STATUS_H_
+#define KANON_NET_HTTP_STATUS_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace kanon::net {
+
+/// The one shared StatusCode -> HTTP status mapping of the network layer.
+/// Every error response the server emits goes through this table, so the
+/// protocol contract — kUnavailable is 503, kInvalidArgument is 400,
+/// reject-backpressure (kResourceExhausted) is 429 — is defined and tested
+/// in exactly one place. The switch is exhaustive: adding a StatusCode
+/// without extending it is a compile error (-Werror=switch in CI builds
+/// with -Wall).
+int HttpStatusFromStatusCode(StatusCode code);
+
+/// Canonical reason phrase for the HTTP status codes this server emits
+/// ("OK", "Bad Request"...). Unknown codes fall back to their class
+/// ("Error") so a response line is always well-formed.
+const char* HttpReasonPhrase(int http_status);
+
+/// A minimal JSON error document for `status`:
+///   {"error":"<CodeName>","message":"<escaped message>"}
+/// Shared by every error path so clients can rely on one shape.
+std::string HttpErrorBody(const Status& status);
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace kanon::net
+
+#endif  // KANON_NET_HTTP_STATUS_H_

@@ -1,0 +1,157 @@
+#include "net/poller.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#define KANON_NET_HAVE_EPOLL 1
+#include <sys/epoll.h>
+#endif
+
+namespace kanon::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+#if KANON_NET_HAVE_EPOLL
+
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(epoll_create1(EPOLL_CLOEXEC)) {}
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  bool ok() const { return epfd_ >= 0; }
+  bool is_epoll() const override { return true; }
+
+  Status Add(int fd, bool read, bool write) override {
+    return Ctl(EPOLL_CTL_ADD, fd, read, write);
+  }
+  Status Modify(int fd, bool read, bool write) override {
+    return Ctl(EPOLL_CTL_MOD, fd, read, write);
+  }
+  void Remove(int fd) override {
+    epoll_event ev{};
+    epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  StatusOr<size_t> Wait(int timeout_ms, std::vector<PollEvent>* out) override {
+    out->clear();
+    epoll_event events[128];
+    int n;
+    do {
+      n = epoll_wait(epfd_, events, 128, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return Errno("epoll_wait");
+    for (int i = 0; i < n; ++i) {
+      PollEvent ev;
+      ev.fd = events[i].data.fd;
+      ev.readable = (events[i].events & (EPOLLIN | EPOLLRDHUP)) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out->push_back(ev);
+    }
+    return static_cast<size_t>(n);
+  }
+
+ private:
+  Status Ctl(int op, int fd, bool read, bool write) {
+    epoll_event ev{};
+    ev.data.fd = fd;
+    if (read) ev.events |= EPOLLIN | EPOLLRDHUP;
+    if (write) ev.events |= EPOLLOUT;
+    if (epoll_ctl(epfd_, op, fd, &ev) != 0) return Errno("epoll_ctl");
+    return Status::OK();
+  }
+
+  int epfd_;
+};
+
+#endif  // KANON_NET_HAVE_EPOLL
+
+class PollPoller final : public Poller {
+ public:
+  bool is_epoll() const override { return false; }
+
+  Status Add(int fd, bool read, bool write) override {
+    if (index_.count(fd) != 0) {
+      return Status::InvalidArgument("fd already registered");
+    }
+    index_[fd] = fds_.size();
+    fds_.push_back({fd, Events(read, write), 0});
+    return Status::OK();
+  }
+
+  Status Modify(int fd, bool read, bool write) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) return Status::NotFound("fd not registered");
+    fds_[it->second].events = Events(read, write);
+    return Status::OK();
+  }
+
+  void Remove(int fd) override {
+    auto it = index_.find(fd);
+    if (it == index_.end()) return;
+    const size_t i = it->second;
+    index_.erase(it);
+    if (i + 1 != fds_.size()) {  // swap-with-last keeps the scan dense
+      fds_[i] = fds_.back();
+      index_[fds_[i].fd] = i;
+    }
+    fds_.pop_back();
+  }
+
+  StatusOr<size_t> Wait(int timeout_ms, std::vector<PollEvent>* out) override {
+    out->clear();
+    int n;
+    do {
+      n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return Errno("poll");
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      PollEvent ev;
+      ev.fd = p.fd;
+      ev.readable = (p.revents & POLLIN) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out->push_back(ev);
+    }
+    return out->size();
+  }
+
+ private:
+  static short Events(bool read, bool write) {
+    short ev = 0;
+    if (read) ev |= POLLIN;
+    if (write) ev |= POLLOUT;
+    return ev;
+  }
+
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, size_t> index_;
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::Create(bool prefer_epoll) {
+#if KANON_NET_HAVE_EPOLL
+  if (prefer_epoll) {
+    auto poller = std::make_unique<EpollPoller>();
+    if (poller->ok()) return poller;
+  }
+#else
+  (void)prefer_epoll;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace kanon::net

@@ -1,0 +1,50 @@
+#ifndef KANON_NET_POLLER_H_
+#define KANON_NET_POLLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kanon::net {
+
+/// Readiness notification for one file descriptor.
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  bool error = false;  // HUP / ERR — the connection is dead
+};
+
+/// A minimal level-triggered readiness multiplexer. Two implementations:
+/// epoll(7) on Linux (scales past the poll() O(fds) scan) and a portable
+/// poll(2) fallback for everything else. The server picks epoll when the
+/// platform has it unless the caller forces the fallback — which is also
+/// how tests exercise both paths on one machine.
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  /// Registers `fd` with the given interest set. One registration per fd.
+  virtual Status Add(int fd, bool read, bool write) = 0;
+  /// Replaces the interest set of a registered fd.
+  virtual Status Modify(int fd, bool read, bool write) = 0;
+  /// Unregisters `fd` (callers close the fd themselves).
+  virtual void Remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (-1 = indefinitely) and appends ready fds
+  /// to `*out` (cleared first). Returns the number of events; 0 on timeout.
+  /// EINTR is retried internally.
+  virtual StatusOr<size_t> Wait(int timeout_ms, std::vector<PollEvent>* out) = 0;
+
+  /// True when this poller is the epoll implementation (diagnostics).
+  virtual bool is_epoll() const = 0;
+
+  /// Creates the platform's best poller, or the portable poll() fallback
+  /// when `prefer_epoll` is false (or epoll is unavailable).
+  static std::unique_ptr<Poller> Create(bool prefer_epoll = true);
+};
+
+}  // namespace kanon::net
+
+#endif  // KANON_NET_POLLER_H_

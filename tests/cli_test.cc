@@ -78,8 +78,12 @@ TEST(CliParseTest, ThreadsFlag) {
 class CliRunTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    input_ = ::testing::TempDir() + "/cli_in.csv";
-    output_ = ::testing::TempDir() + "/cli_out.csv";
+    // Per-test file names: ctest runs suites in parallel, and a shared
+    // /tmp/cli_in.csv would let concurrent CliRunTests clobber each other.
+    const std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    input_ = ::testing::TempDir() + "/cli_in_" + tag + ".csv";
+    output_ = ::testing::TempDir() + "/cli_out_" + tag + ".csv";
     Rng rng(1);
     std::ofstream out(input_);
     for (int i = 0; i < 1000; ++i) {
@@ -266,6 +270,67 @@ TEST(CliServeParseTest, DurabilityFlagsBothSpellings) {
                                      "--recover-only"};
   EXPECT_FALSE(cli::ParseServeArgs(static_cast<int>(no_dir.size()),
                                    no_dir.data(), &bad));
+}
+
+TEST(CliServeParseTest, HttpFlags) {
+  cli::ServeOptions o;
+  std::vector<const char*> argv = {
+      "serve",          "--listen", "0.0.0.0:8080", "--http-threads",
+      "8",              "--max-body-bytes", "1024", "--domain",
+      "0:100,-5:5",     "--serve-seconds", "2.5"};
+  ASSERT_TRUE(cli::ParseServeArgs(static_cast<int>(argv.size()),
+                                  argv.data(), &o));
+  EXPECT_EQ(o.listen, "0.0.0.0:8080");
+  EXPECT_EQ(o.http_threads, 8u);
+  EXPECT_EQ(o.max_body_bytes, 1024u);
+  ASSERT_EQ(o.domain.size(), 2u);
+  EXPECT_DOUBLE_EQ(o.domain[0].first, 0.0);
+  EXPECT_DOUBLE_EQ(o.domain[0].second, 100.0);
+  EXPECT_DOUBLE_EQ(o.domain[1].first, -5.0);
+  EXPECT_DOUBLE_EQ(o.domain[1].second, 5.0);
+  EXPECT_DOUBLE_EQ(o.serve_seconds, 2.5);
+  // HTTP-only serving: --input is not required when --listen + --domain
+  // supply the record source and dimensionality.
+  EXPECT_TRUE(o.input.empty());
+
+  // --listen without --domain (and no --input) has no record source.
+  cli::ServeOptions no_domain;
+  std::vector<const char*> nd = {"serve", "--listen", ":8080"};
+  EXPECT_FALSE(cli::ParseServeArgs(static_cast<int>(nd.size()), nd.data(),
+                                   &no_domain));
+
+  // Inverted ranges and bad listen specs are malformed.
+  cli::ServeOptions inverted;
+  std::vector<const char*> inv = {"serve", "--listen", ":8080", "--domain",
+                                  "5:1"};
+  EXPECT_FALSE(cli::ParseServeArgs(static_cast<int>(inv.size()), inv.data(),
+                                   &inverted));
+  cli::ServeOptions bad_listen;
+  std::vector<const char*> bl = {"serve", "--listen", "host:notaport",
+                                 "--domain", "0:1"};
+  EXPECT_FALSE(cli::ParseServeArgs(static_cast<int>(bl.size()), bl.data(),
+                                   &bad_listen));
+}
+
+TEST(CliServeParseTest, ListenAddressForms) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(cli::ParseListenAddress("0.0.0.0:8080", &host, &port));
+  EXPECT_EQ(host, "0.0.0.0");
+  EXPECT_EQ(port, 8080);
+  ASSERT_TRUE(cli::ParseListenAddress(":9000", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 9000);
+  ASSERT_TRUE(cli::ParseListenAddress("7000", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 7000);
+  ASSERT_TRUE(cli::ParseListenAddress("localhost:0", &host, &port));
+  EXPECT_EQ(host, "localhost");
+  EXPECT_EQ(port, 0);  // ephemeral
+  EXPECT_FALSE(cli::ParseListenAddress("", &host, &port));
+  EXPECT_FALSE(cli::ParseListenAddress("host:", &host, &port));
+  EXPECT_FALSE(cli::ParseListenAddress("host:70000", &host, &port));
+  EXPECT_FALSE(cli::ParseListenAddress("host:12x", &host, &port));
 }
 
 TEST_F(CliRunTest, ServeModeEndToEnd) {

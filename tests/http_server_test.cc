@@ -1,0 +1,426 @@
+#include "net/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "net/anon_http.h"
+#include "net/http_client.h"
+#include "net/http_status.h"
+#include "service/anonymization_service.h"
+
+namespace kanon::net {
+namespace {
+
+Domain SquareDomain(double lo, double hi) {
+  Domain d;
+  d.lo = {lo, lo};
+  d.hi = {hi, hi};
+  return d;
+}
+
+ServiceOptions SmallServiceOptions(size_t k) {
+  ServiceOptions options;
+  options.anonymizer.base_k = k;
+  options.queue_capacity = 256;
+  options.max_batch = 16;
+  options.snapshot_every = 0;  // publish on demand
+  return options;
+}
+
+/// One NDJSON body of `n` grid points in [0,100)^2, ids offset so
+/// successive bodies do not collide spatially.
+std::string GridBody(size_t n, size_t offset = 0) {
+  std::string body;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t v = offset + i;
+    body += std::to_string(v % 97) + "," + std::to_string((v * 7) % 89) +
+            "," + std::to_string(v % 5) + "\n";
+  }
+  return body;
+}
+
+struct ServerUnderTest {
+  std::unique_ptr<AnonymizationService> service;
+  std::unique_ptr<AnonHttpFrontend> frontend;
+  std::unique_ptr<HttpServer> server;
+};
+
+ServerUnderTest StartServer(ServiceOptions service_options, bool use_epoll,
+                            size_t num_threads = 2) {
+  ServerUnderTest s;
+  auto service_or = AnonymizationService::Create(2, SquareDomain(0, 100),
+                                                 service_options);
+  EXPECT_TRUE(service_or.ok()) << service_or.status();
+  s.service = std::move(*service_or);
+  s.frontend = std::make_unique<AnonHttpFrontend>(s.service.get());
+  HttpServerOptions options;
+  options.port = 0;  // ephemeral
+  options.num_threads = num_threads;
+  options.use_epoll = use_epoll;
+  s.server = std::make_unique<HttpServer>(
+      options, [f = s.frontend.get()](const HttpRequest& request) {
+        return f->Handle(request);
+      });
+  s.frontend->SetServerStats([srv = s.server.get()] { return srv->stats(); });
+  EXPECT_TRUE(s.server->Start().ok());
+  return s;
+}
+
+HttpClient ConnectTo(const HttpServer& server) {
+  HttpClient client;
+  EXPECT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  return client;
+}
+
+/// Both event backends must behave identically; the fixture runs every
+/// test against epoll (where available) and the portable poll fallback.
+class HttpServerBackendTest : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, HttpServerBackendTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Epoll" : "Poll";
+                         });
+
+TEST_P(HttpServerBackendTest, LoopbackIngestThenReleaseEndToEnd) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(5), GetParam());
+  HttpClient client = ConnectTo(*s.server);
+
+  auto post = client.Post("/ingest", GridBody(40));
+  ASSERT_TRUE(post.ok()) << post.status();
+  EXPECT_EQ(post->status, 200);
+  EXPECT_EQ(post->body, "{\"accepted\":40}");
+  EXPECT_EQ(s.frontend->accepted(), 40u);
+
+  const auto snapshot = s.service->PublishNow();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->info().records, 40u);
+
+  // The HTTP release must be byte-identical to the in-process release
+  // serialized through the same deterministic formatter.
+  auto get = client.Get("/release/query?k1=8&rids=1");
+  ASSERT_TRUE(get.ok()) << get.status();
+  ASSERT_EQ(get->status, 200);
+  const std::string expected =
+      "\"partitions\":" + PartitionsJson(snapshot->Release(8), true);
+  EXPECT_NE(get->body.find(expected), std::string::npos)
+      << "HTTP release differs from in-process release:\n"
+      << get->body << "\nexpected to contain\n"
+      << expected;
+  EXPECT_NE(get->body.find("\"k1\":8"), std::string::npos);
+
+  // Multigranular coarsening holds over HTTP exactly as in-process: the
+  // k1 release is k1-anonymous.
+  const PartitionSet inproc = snapshot->Release(8);
+  EXPECT_TRUE(inproc.CheckKAnonymous(8).ok());
+
+  // Base release (no k1) matches the snapshot's own granularity.
+  auto base = client.Get("/release");
+  ASSERT_TRUE(base.ok());
+  ASSERT_EQ(base->status, 200);
+  EXPECT_NE(base->body.find("\"k1\":5"), std::string::npos);
+
+  // Health + metrics round out the read side.
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_NE(health->body.find("\"health\":\"serving\""), std::string::npos);
+
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("kanon_inserted_total 40"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("kanon_http_requests_total{endpoint=\"ingest\""
+                               ",code=\"200\"} 1"),
+            std::string::npos)
+      << metrics->body;
+  EXPECT_NE(
+      metrics->body.find("kanon_http_request_latency_ms_bucket"),
+      std::string::npos);
+}
+
+TEST_P(HttpServerBackendTest, ReportsBackendInUse) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(5), GetParam());
+#if defined(__linux__)
+  EXPECT_EQ(s.server->using_epoll(), GetParam());
+#else
+  EXPECT_FALSE(s.server->using_epoll());
+#endif
+}
+
+TEST(HttpServerTest, UnknownRouteIs404AndBadK1Is400) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(5), true);
+  HttpClient client = ConnectTo(*s.server);
+
+  auto missing = client.Get("/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+  EXPECT_NE(missing->body.find("\"error\":\"NotFound\""), std::string::npos);
+
+  auto bad_k1 = client.Get("/release/query?k1=zero");
+  ASSERT_TRUE(bad_k1.ok());
+  EXPECT_EQ(bad_k1->status, 400);
+
+  auto wrong_method = client.Get("/ingest");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 405);
+}
+
+TEST(HttpServerTest, ReleaseBeforeFirstSnapshotIs503WithRetryAfter) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(5), true);
+  HttpClient client = ConnectTo(*s.server);
+  auto get = client.Get("/release");
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get->status, 503);
+  ASSERT_NE(get->FindHeader("retry-after"), nullptr);
+}
+
+TEST(HttpServerTest, MalformedIngestLineIs400WithLineNumber) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(5), true);
+  HttpClient client = ConnectTo(*s.server);
+  auto post = client.Post("/ingest", "1,2\n3,4\nnot-a-record\n5,6\n");
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->status, 400);
+  EXPECT_NE(post->body.find("\"line\":3"), std::string::npos) << post->body;
+  EXPECT_NE(post->body.find("\"accepted\":2"), std::string::npos);
+}
+
+TEST(HttpServerTest, ParserErrorsAnswered400AndConnectionCloses) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(5), true);
+  HttpClient client = ConnectTo(*s.server);
+  // Hand-roll garbage through the client's socket by abusing Get with a
+  // target containing a space — the server's parser must 400 it.
+  auto resp = client.Get("/bad target");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 400);
+}
+
+TEST(HttpServerTest, RejectBackpressureSurfacesAs429) {
+  ServiceOptions options = SmallServiceOptions(3);
+  options.backpressure = BackpressureMode::kReject;
+  options.queue_capacity = 2;
+  options.max_batch = 1;
+  options.snapshot_every = 1;  // rebuild the snapshot per record: slow
+  ServerUnderTest s = StartServer(options, true);
+  HttpClient client = ConnectTo(*s.server);
+
+  // A large single-connection burst against a 2-slot queue whose consumer
+  // rebuilds a snapshot per record must trip kReject -> 429 on some line.
+  bool saw_429 = false;
+  for (int attempt = 0; attempt < 10 && !saw_429; ++attempt) {
+    auto post = client.Post("/ingest", GridBody(500, attempt * 500));
+    ASSERT_TRUE(post.ok()) << post.status();
+    if (post->status == 429) {
+      saw_429 = true;
+      EXPECT_NE(post->body.find("\"error\":\"ResourceExhausted\""),
+                std::string::npos)
+          << post->body;
+      EXPECT_NE(post->body.find("\"accepted\":"), std::string::npos);
+      ASSERT_NE(post->FindHeader("retry-after"), nullptr);
+    } else {
+      EXPECT_EQ(post->status, 200);
+    }
+  }
+  EXPECT_TRUE(saw_429)
+      << "no 429 in 5000 records against a 2-record queue";
+}
+
+TEST(HttpServerTest, StoppedServiceSurfacesAs503AndHealthzFlips) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(3), true);
+  HttpClient client = ConnectTo(*s.server);
+  ASSERT_EQ(client.Post("/ingest", GridBody(10))->status, 200);
+  s.service->Stop();
+
+  auto post = client.Post("/ingest", GridBody(5));
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->status, 503);
+  EXPECT_NE(post->body.find("\"error\":\"Unavailable\""), std::string::npos);
+
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 503);
+  // Reads survive shutdown: the final snapshot is still served.
+  auto release = client.Get("/release");
+  ASSERT_TRUE(release.ok());
+  EXPECT_EQ(release->status, 200);
+}
+
+TEST(HttpServerTest, DegradedServiceSurfacesAs503) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "kanon_http_degraded_test")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  FaultInjectionOptions fault;
+  fault.seed = 7;
+  // Past the service's own setup I/O (manifest + WAL open) but well short
+  // of the stream: the disk dies under live HTTP ingest.
+  fault.break_after_ops = 120;
+  fault.sync_faults = true;
+  FaultInjectionEnv env(Env::Default(), fault);
+
+  ServiceOptions options = SmallServiceOptions(3);
+  options.durability.wal_dir = dir;
+  options.durability.env = &env;
+  options.durability.retry_backoff_ms = 1;
+  options.durability.retry_backoff_max_ms = 2;
+  ServerUnderTest s = StartServer(options, true);
+  HttpClient client = ConnectTo(*s.server);
+
+  // Keep posting until the broken disk degrades the service; the frontend
+  // must answer 503 Unavailable from then on.
+  bool saw_503 = false;
+  for (int attempt = 0; attempt < 200 && !saw_503; ++attempt) {
+    auto post = client.Post("/ingest", GridBody(20, attempt * 20));
+    ASSERT_TRUE(post.ok()) << post.status();
+    if (post->status == 503) {
+      saw_503 = true;
+      EXPECT_NE(post->body.find("\"error\":\"Unavailable\""),
+                std::string::npos)
+          << post->body;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(saw_503) << "service never degraded despite a broken disk";
+
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 503);
+  EXPECT_NE(health->body.find("degraded"), std::string::npos);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HttpServerTest, KeepAliveServesManySequentialRequests) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(3), true);
+  HttpClient client = ConnectTo(*s.server);
+  ASSERT_EQ(client.Post("/ingest", GridBody(10))->status, 200);
+  s.service->PublishNow();
+  for (int i = 0; i < 50; ++i) {
+    auto get = client.Get("/healthz");
+    ASSERT_TRUE(get.ok()) << "request " << i << ": " << get.status();
+    EXPECT_EQ(get->status, 200);
+  }
+  // All 51 requests flowed over one connection.
+  EXPECT_EQ(s.server->stats().connections_accepted, 1u);
+}
+
+TEST(HttpServerTest, ShutdownDrainLosesNoAcknowledgedRecords) {
+  ServiceOptions options = SmallServiceOptions(3);
+  options.queue_capacity = 64;  // small: writers block mid-drain
+  ServerUnderTest s = StartServer(options, true, /*num_threads=*/4);
+
+  // Writers hammer ingest while the main thread shuts the server down.
+  constexpr int kWriters = 3;
+  std::atomic<uint64_t> acked{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      HttpClient client;
+      if (!client.Connect("127.0.0.1", s.server->port()).ok()) return;
+      for (int i = 0; i < 200 && !stop.load(); ++i) {
+        auto post = client.Post("/ingest", GridBody(10, w * 10000 + i * 10));
+        if (!post.ok()) break;  // connection cut by drain: acceptable
+        if (post->status == 200) {
+          acked.fetch_add(10);
+        } else {
+          break;  // 503 during drain: nothing from this batch was acked
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  s.server->Shutdown();  // in-flight requests finish and are acked
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  s.service->Stop();  // drains the queue into the final snapshot
+
+  // Every record a client saw a 200 for is in the final snapshot. (The
+  // snapshot may hold more: a request cut mid-drain after enqueueing some
+  // of its lines was never acked but its lines still landed.)
+  const auto snapshot = s.service->CurrentSnapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(s.frontend->accepted(), acked.load());
+  EXPECT_GE(snapshot->info().records, acked.load());
+  EXPECT_EQ(s.service->Stats().inserted, snapshot->info().records);
+}
+
+// The TSan target: concurrent ingest POSTs and release GETs race against
+// snapshot publication. Run under -DKANON_SANITIZE=thread this validates
+// the lock discipline of the whole net + service stack.
+TEST(HttpServerTest, ConcurrentIngestAndReleaseStress) {
+  ServiceOptions options = SmallServiceOptions(4);
+  options.snapshot_every = 50;  // publish frequently mid-traffic
+  ServerUnderTest s = StartServer(options, true, /*num_threads=*/4);
+
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 2;
+  constexpr int kPostsPerWriter = 25;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      HttpClient client;
+      ASSERT_TRUE(client.Connect("127.0.0.1", s.server->port()).ok());
+      for (int i = 0; i < kPostsPerWriter; ++i) {
+        auto post =
+            client.Post("/ingest", GridBody(20, w * 100000 + i * 20));
+        ASSERT_TRUE(post.ok()) << post.status();
+        ASSERT_EQ(post->status, 200) << post->body;
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      HttpClient client;
+      ASSERT_TRUE(client.Connect("127.0.0.1", s.server->port()).ok());
+      while (!done.load(std::memory_order_relaxed)) {
+        auto get = client.Get(r % 2 == 0 ? "/release/query?k1=8&summary=1"
+                                         : "/metrics");
+        ASSERT_TRUE(get.ok()) << get.status();
+        ASSERT_TRUE(get->status == 200 || get->status == 503)
+            << get->status;
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  done.store(true, std::memory_order_relaxed);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  const auto snapshot = s.service->PublishNow();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->info().records,
+            static_cast<uint64_t>(kWriters * kPostsPerWriter * 20));
+  EXPECT_EQ(s.frontend->accepted(),
+            static_cast<uint64_t>(kWriters * kPostsPerWriter * 20));
+}
+
+TEST(HttpServerTest, SerializeResponseFramesBody) {
+  HttpResponse resp = HttpResponse::Json(200, "{\"x\":1}");
+  const std::string wire = SerializeResponse(resp, /*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"x\":1}"), std::string::npos);
+
+  HttpResponse err = HttpResponse::FromStatus(Status::Unavailable("x"));
+  EXPECT_EQ(err.status, 503);
+  const std::string closed = SerializeResponse(err, /*keep_alive=*/false);
+  EXPECT_NE(closed.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(closed.find("Connection: close\r\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kanon::net

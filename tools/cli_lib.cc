@@ -1,19 +1,38 @@
 #include "cli_lib.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #include "common/env.h"
 #include "common/thread.h"
 #include "kanon/kanon.h"
+#include "net/anon_http.h"
+#include "net/http_server.h"
 
 namespace kanon::cli {
 
 namespace {
+
+/// Set by the SIGTERM/SIGINT handler; RunServe polls it while the HTTP
+/// server is up and starts the graceful drain when it flips.
+std::atomic<int> g_signal{0};
+
+void OnSignal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+void InstallDrainSignalHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = OnSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
 
 /// Builds the schema (from a spec file, an explicit column count, or the
 /// input's first row) and reads the CSV. Shared by Run and RunServe.
@@ -228,6 +247,25 @@ int Run(const CliOptions& options, std::ostream& log) {
   return 0;
 }
 
+bool ParseListenAddress(const std::string& spec, std::string* host,
+                        uint16_t* port) {
+  if (spec.empty()) return false;
+  std::string host_part = "127.0.0.1";
+  std::string port_part = spec;
+  const size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) host_part = spec.substr(0, colon);
+    port_part = spec.substr(colon + 1);
+  }
+  if (port_part.empty()) return false;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(port_part.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value > 65535) return false;
+  *host = host_part;
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+
 bool ParseServeArgs(int argc, const char* const* argv,
                     ServeOptions* options) {
   for (int i = 1; i < argc; ++i) {
@@ -295,26 +333,83 @@ bool ParseServeArgs(int argc, const char* const* argv,
       for (const std::string& field : SplitCsvLine(v, ',')) {
         options->releases.push_back(std::strtoul(field.c_str(), nullptr, 10));
       }
+    } else if (arg == "--listen") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->listen = v;
+      std::string host;
+      uint16_t port = 0;
+      if (!ParseListenAddress(options->listen, &host, &port)) return false;
+    } else if (arg == "--http-threads" || arg == "--http_threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->http_threads = std::strtoul(v, nullptr, 10);
+      if (options->http_threads == 0) return false;
+    } else if (arg == "--max-body-bytes" || arg == "--max_body_bytes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->max_body_bytes = std::strtoul(v, nullptr, 10);
+      if (options->max_body_bytes == 0) return false;
+    } else if (arg == "--domain") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      for (const std::string& field : SplitCsvLine(v, ',')) {
+        const size_t colon = field.find(':');
+        if (colon == std::string::npos) return false;
+        const double lo = std::strtod(field.substr(0, colon).c_str(), nullptr);
+        const double hi = std::strtod(field.substr(colon + 1).c_str(), nullptr);
+        if (!(lo <= hi)) return false;
+        options->domain.emplace_back(lo, hi);
+      }
+      if (options->domain.empty()) return false;
+    } else if (arg == "--serve-seconds" || arg == "--serve_seconds") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->serve_seconds = std::strtod(v, nullptr);
+      if (options->serve_seconds < 0.0) return false;
     } else {
       return false;
     }
   }
-  return !options->input.empty() && options->k >= 1 &&
-         options->producers >= 1 && options->queue_capacity >= 1 &&
-         options->max_batch >= 1 &&
+  // A record source is required: --input, or HTTP ingest (--listen plus
+  // --domain, which supplies the dimensionality --input would have), or a
+  // recover-only replay with --domain.
+  const bool source_ok =
+      !options->input.empty() ||
+      (!options->domain.empty() &&
+       (!options->listen.empty() || options->recover_only));
+  return source_ok && options->k >= 1 && options->producers >= 1 &&
+         options->queue_capacity >= 1 && options->max_batch >= 1 &&
          (!options->recover_only || !options->wal_dir.empty());
 }
 
 int RunServe(const ServeOptions& options, std::ostream& log) {
-  auto dataset = LoadInput(options.input, options.schema_path,
-                           options.columns, options.skip_header, log);
-  if (!dataset.ok()) {
-    log << dataset.status() << "\n";
-    return 1;
+  // Two record sources: a CSV replayed by producer threads (--input) and
+  // records POSTed over HTTP (--listen). HTTP-only serving has no file to
+  // infer the dimensionality and domain from, so --domain supplies both.
+  std::optional<Dataset> dataset;
+  size_t dim = 0;
+  Domain domain;
+  if (!options.input.empty()) {
+    auto loaded = LoadInput(options.input, options.schema_path,
+                            options.columns, options.skip_header, log);
+    if (!loaded.ok()) {
+      log << loaded.status() << "\n";
+      return 1;
+    }
+    dataset = *std::move(loaded);
+    log << "read " << dataset->num_records() << " records\n";
+    if (dataset->empty()) return 1;
+    dim = dataset->dim();
+    domain = dataset->ComputeDomain();
+  } else {
+    dim = options.domain.size();
+    for (const auto& [lo, hi] : options.domain) {
+      domain.lo.push_back(lo);
+      domain.hi.push_back(hi);
+    }
   }
-  const size_t n = dataset->num_records();
-  log << "read " << n << " records\n";
-  if (dataset->empty()) return 1;
+  const size_t n = dataset ? dataset->num_records() : 0;
 
   ServiceOptions service_options;
   service_options.anonymizer.base_k = options.k;
@@ -360,9 +455,8 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
         << " mean_ops=" << fault_options.mean_ops_between_faults
         << " break_after=" << fault_options.break_after_ops << "\n";
   }
-  const Domain domain = dataset->ComputeDomain();
   auto service_or =
-      AnonymizationService::Create(dataset->dim(), domain, service_options);
+      AnonymizationService::Create(dim, domain, service_options);
   if (!service_or.ok()) {
     log << service_or.status() << "\n";
     return 1;
@@ -376,6 +470,38 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
         << " torn_tail=" << (r.truncated_torn_tail ? 1 : 0) << "\n";
   }
 
+  // The HTTP front-end (when --listen is given) starts before the
+  // producers so scripted clients can connect as soon as the "listening
+  // on" line appears.
+  std::unique_ptr<net::AnonHttpFrontend> frontend;
+  std::unique_ptr<net::HttpServer> server;
+  if (!options.listen.empty()) {
+    net::HttpServerOptions http_options;
+    uint16_t port = 0;
+    if (!ParseListenAddress(options.listen, &http_options.host, &port)) {
+      log << "invalid --listen address: " << options.listen << "\n";
+      return 1;
+    }
+    http_options.port = port;
+    http_options.num_threads = options.http_threads;
+    http_options.parser.max_body_bytes = options.max_body_bytes;
+    frontend = std::make_unique<net::AnonHttpFrontend>(&service);
+    server = std::make_unique<net::HttpServer>(
+        http_options, [f = frontend.get()](const net::HttpRequest& request) {
+          return f->Handle(request);
+        });
+    frontend->SetServerStats([s = server.get()] { return s->stats(); });
+    if (auto s = server->Start(); !s.ok()) {
+      log << s << "\n";
+      return 1;
+    }
+    g_signal.store(0, std::memory_order_relaxed);
+    InstallDrainSignalHandlers();
+    log << "listening on " << server->host() << ":" << server->port() << " ("
+        << (server->using_epoll() ? "epoll" : "poll") << ", "
+        << options.http_threads << " threads)\n";
+  }
+
   // Each producer streams a stripe of the file at its share of the target
   // rate, which interleaves into an approximately file-ordered stream.
   const size_t producers = options.producers;
@@ -383,7 +509,7 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
       options.rate > 0.0 ? options.rate / static_cast<double>(producers)
                          : 0.0;
   Timer timer;
-  if (!options.recover_only) {
+  if (!options.recover_only && dataset) {
     std::vector<JoinableThread> threads;
     for (size_t t = 0; t < producers; ++t) {
       threads.emplace_back([&, t] {
@@ -406,11 +532,41 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
       });
     }
   }  // joins the producers
+
+  if (server != nullptr) {
+    // Serve until SIGTERM/SIGINT (or --serve-seconds for scripted runs),
+    // then drain: the server finishes in-flight requests — every 200 the
+    // client saw is acknowledged — before the service flushes its WAL and
+    // publishes the final snapshot. No acknowledged record is lost.
+    Timer serving;
+    while (g_signal.load(std::memory_order_relaxed) == 0) {
+      if (options.serve_seconds > 0.0 &&
+          serving.ElapsedSeconds() >= options.serve_seconds) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    const int sig = g_signal.load(std::memory_order_relaxed);
+    log << "draining ("
+        << (sig != 0 ? (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+                     : "--serve-seconds elapsed")
+        << ")\n";
+    server->Shutdown();
+  }
   service.Stop();
   const double elapsed_s = timer.ElapsedSeconds();
 
   const ServiceStats stats = service.Stats();
   log << FormatServiceStats(stats) << "\n";
+  if (server != nullptr) {
+    const net::HttpServerStats hs = server->stats();
+    log << "http: accepted_conns=" << hs.connections_accepted
+        << " refused=" << hs.connections_refused
+        << " requests=" << hs.requests << " responses=" << hs.responses
+        << " parse_errors=" << hs.parse_errors
+        << " timeouts=" << hs.timeouts
+        << " http_accepted_records=" << frontend->accepted() << "\n";
+  }
   if (fault_env != nullptr) {
     log << "fault injection: ops=" << fault_env->ops()
         << " injected=" << fault_env->injected()
@@ -426,7 +582,7 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
     log << "service degraded to read-only: " << stats.degraded_reason
         << "\n";
   }
-  if (!options.recover_only) {
+  if (!options.recover_only && dataset) {
     log << "streamed " << n << " records with " << producers
         << " producers in " << elapsed_s << "s ("
         << static_cast<double>(stats.inserted) / elapsed_s << " rec/s)\n";
@@ -437,8 +593,9 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
     log << "no snapshot published: fewer than k=" << options.k
         << " records were ingested\n";
     // A recover-only pass over a near-empty log is not a failure, and
-    // neither is a fault run whose disk died before k records landed.
-    return options.recover_only ||
+    // neither is a fault run whose disk died before k records landed, nor
+    // an HTTP serve window in which no client happened to send records.
+    return options.recover_only || server != nullptr ||
                    stats.health == ServiceHealth::kDegraded
                ? 0
                : 1;

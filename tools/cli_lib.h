@@ -1,8 +1,10 @@
 #ifndef KANON_TOOLS_CLI_LIB_H_
 #define KANON_TOOLS_CLI_LIB_H_
 
+#include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -51,7 +53,10 @@ StatusOr<size_t> InferColumns(const std::string& path);
 int Run(const CliOptions& options, std::ostream& log = std::cerr);
 
 /// Options of the `kanon_cli serve` subcommand: stream a CSV through the
-/// concurrent AnonymizationService and report serving statistics.
+/// concurrent AnonymizationService and/or front it with the HTTP server
+/// (src/net/), and report serving statistics. At least one record source
+/// is required: --input, or --listen with --domain (records arrive over
+/// HTTP).
 struct ServeOptions {
   std::string input;
   std::string schema_path;
@@ -73,7 +78,26 @@ struct ServeOptions {
   size_t fsync_every = 256;
   uint64_t checkpoint_every = 100000;
   bool recover_only = false;  // recover + report, ingest nothing
+
+  // HTTP front-end (off unless --listen is given). --listen HOST:PORT
+  // (":PORT" and bare "PORT" default the host to 127.0.0.1; port 0 binds
+  // an ephemeral port, printed as "listening on HOST:PORT"). The server
+  // runs until SIGTERM/SIGINT, then drains: in-flight requests finish,
+  // the WAL flushes and a final snapshot publishes before exit.
+  std::string listen;
+  size_t http_threads = 4;
+  size_t max_body_bytes = 8u << 20;
+  /// Quasi-identifier domain for HTTP-only serving (no --input to infer it
+  /// from): "lo:hi,lo:hi,..." — its length is the record dimensionality.
+  std::vector<std::pair<double, double>> domain;
+  /// Stop serving after this many seconds even without a signal
+  /// (0 = until signaled). Primarily for scripted smoke tests.
+  double serve_seconds = 0.0;
 };
+
+/// Parses "HOST:PORT", ":PORT" or "PORT" (host defaults to 127.0.0.1).
+bool ParseListenAddress(const std::string& spec, std::string* host,
+                        uint16_t* port);
 
 /// Parses the argv *after* the `serve` token. Returns false on malformed
 /// or missing required flags.

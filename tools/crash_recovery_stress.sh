@@ -19,6 +19,10 @@
 # Env:   KANON_FAULT_SEED       base seed; enables fault injection
 #        KANON_FAULT_MEAN_OPS   mean data-plane ops between faults
 #        KANON_FAULT_BREAK_AFTER hard disk-death op index
+#        KANON_HTTP=1           drive ingest over the HTTP front-end
+#                               (curl POST /ingest against --listen) so the
+#                               SIGKILL lands mid-HTTP-request; the
+#                               durability invariants must hold identically
 
 set -u
 
@@ -54,13 +58,40 @@ for i in $(seq 1 "$ITERATIONS"); do
 
   # Rate-limit so the kill lands mid-ingest, then SIGKILL after a random
   # 0.1-0.7s — sometimes mid-WAL-append, sometimes mid-checkpoint.
-  "$CLI" serve --input "$INPUT" --k "$K" --rate 30000 \
-    --wal-dir "$WAL_DIR" --fsync-every 64 --checkpoint-every 2000 \
-    > "$LOG" 2>&1 &
-  PID=$!
+  PUMP=""
+  if [ -n "${KANON_HTTP:-}" ]; then
+    # HTTP mode: records arrive over POST /ingest instead of --input, so
+    # the kill also lands mid-request / mid-response on the socket path.
+    "$CLI" serve --listen 127.0.0.1:0 --domain "0:1000,0:1000" --k "$K" \
+      --wal-dir "$WAL_DIR" --fsync-every 64 --checkpoint-every 2000 \
+      > "$LOG" 2>&1 &
+    PID=$!
+    PORT=""
+    for _ in $(seq 1 100); do
+      PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")
+      [ -n "$PORT" ] && break
+      kill -0 "$PID" 2> /dev/null || break
+      sleep 0.05
+    done
+    [ -n "$PORT" ] || fail "iteration $i: server never printed its port"
+    # Stream the file as 200-row NDJSON batches until the server dies.
+    split -l 200 --filter="curl -s -o /dev/null -m 5 -H 'Expect:' \
+      --data-binary @- http://127.0.0.1:$PORT/ingest || true" \
+      "$INPUT" > /dev/null 2>&1 &
+    PUMP=$!
+  else
+    "$CLI" serve --input "$INPUT" --k "$K" --rate 30000 \
+      --wal-dir "$WAL_DIR" --fsync-every 64 --checkpoint-every 2000 \
+      > "$LOG" 2>&1 &
+    PID=$!
+  fi
   sleep "0.$(( (RANDOM % 7) + 1 ))"
   kill -9 "$PID" 2> /dev/null
   wait "$PID" 2> /dev/null
+  if [ -n "$PUMP" ]; then
+    kill "$PUMP" 2> /dev/null
+    wait "$PUMP" 2> /dev/null
+  fi
 
   # Recovery models restarting on healthy hardware: no fault injection.
   RECOVERY_LOG="$WORKDIR/recover_$i.log"

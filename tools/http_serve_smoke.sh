@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Loopback HTTP serve smoke: start `kanon_cli serve --listen` on an
+# ephemeral port, drive every endpoint with curl, SIGTERM the process and
+# assert a clean graceful drain:
+#
+#   1. every endpoint answers with the documented shape (ingest ack,
+#      release JSON, healthz, Prometheus /metrics),
+#   2. the process exits 0 on SIGTERM after printing "draining", and
+#   3. zero lost acknowledged records: the final snapshot holds at least
+#      every record a client saw {"accepted":N} for (here: exactly, since
+#      this script is the only writer).
+#
+# Usage: http_serve_smoke.sh <kanon_cli> [workdir]
+
+set -u
+
+CLI=${1:?usage: http_serve_smoke.sh <kanon_cli> [workdir]}
+WORKDIR=${2:-$(mktemp -d /tmp/kanon_http_smoke_XXXXXX)}
+K=5
+ROWS=4000
+BATCH=200
+
+mkdir -p "$WORKDIR"
+LOG="$WORKDIR/serve.log"
+WAL_DIR="$WORKDIR/wal"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# --- Start the server (ephemeral port, WAL on, HTTP-only ingest) ---------
+"$CLI" serve --listen 127.0.0.1:0 --domain "0:1000,0:1000" --k "$K" \
+  --snapshot-every 500 --wal-dir "$WAL_DIR" > "$LOG" 2>&1 &
+PID=$!
+trap 'kill -9 $PID 2> /dev/null' EXIT
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")
+  [ -n "$PORT" ] && break
+  kill -0 "$PID" 2> /dev/null || fail "server died at startup (see $LOG)"
+  sleep 0.05
+done
+[ -n "$PORT" ] || fail "server never printed its port (see $LOG)"
+BASE="http://127.0.0.1:$PORT"
+echo "server up on $BASE"
+
+# --- Ingest ROWS records in BATCH-row NDJSON posts -----------------------
+ACKED=0
+awk -v n="$ROWS" 'BEGIN {
+  srand(7);
+  for (i = 0; i < n; i++)
+    printf "%.6f,%.6f,%d\n", rand() * 1000, rand() * 1000, int(rand() * 8);
+}' > "$WORKDIR/rows.csv"
+while IFS= read -r resp; do
+  N=$(echo "$resp" | sed -n 's/.*"accepted":\([0-9]*\).*/\1/p')
+  [ -n "$N" ] || fail "ingest answered without an accepted count: $resp"
+  ACKED=$((ACKED + N))
+done < <(split -l "$BATCH" \
+  --filter="curl -sS -m 10 -H 'Expect:' --data-binary @- $BASE/ingest; echo" \
+  "$WORKDIR/rows.csv")
+[ "$ACKED" -eq "$ROWS" ] || fail "acked $ACKED of $ROWS ingested records"
+echo "ingested $ACKED records over HTTP"
+
+# --- Read side: release, multigranular query, healthz, metrics -----------
+RELEASE=$(curl -sS -m 10 "$BASE/release?summary=1")
+echo "$RELEASE" | grep -q '"records":' || fail "bad /release: $RELEASE"
+
+QUERY=$(curl -sS -m 10 "$BASE/release/query?k1=$((K * 4))&summary=1")
+echo "$QUERY" | grep -q "\"k1\":$((K * 4))" \
+  || fail "bad /release/query: $QUERY"
+
+HEALTH_CODE=$(curl -sS -m 10 -o "$WORKDIR/health.json" \
+  -w '%{http_code}' "$BASE/healthz")
+[ "$HEALTH_CODE" = 200 ] || fail "healthz answered $HEALTH_CODE"
+grep -q '"health":"serving"' "$WORKDIR/health.json" \
+  || fail "bad healthz body: $(cat "$WORKDIR/health.json")"
+
+curl -sS -m 10 "$BASE/metrics" > "$WORKDIR/metrics.txt"
+for metric in kanon_inserted_total kanon_wal_appended_total \
+              kanon_http_requests_total kanon_http_request_latency_ms; do
+  grep -q "$metric" "$WORKDIR/metrics.txt" \
+    || fail "/metrics is missing $metric"
+done
+grep -q "kanon_inserted_total $ROWS" "$WORKDIR/metrics.txt" \
+  || fail "/metrics inserted_total != $ROWS"
+echo "read side ok (release, query, healthz, metrics)"
+
+# --- Error mapping: malformed ingest is 400, unknown route 404 -----------
+CODE=$(curl -sS -m 10 -o /dev/null -w '%{http_code}' \
+  -H 'Expect:' --data-binary 'not-a-record' "$BASE/ingest")
+[ "$CODE" = 400 ] || fail "malformed ingest answered $CODE, want 400"
+CODE=$(curl -sS -m 10 -o /dev/null -w '%{http_code}' "$BASE/nope")
+[ "$CODE" = 404 ] || fail "unknown route answered $CODE, want 404"
+
+# --- Graceful drain on SIGTERM -------------------------------------------
+kill -TERM "$PID"
+DRAIN_OK=""
+for _ in $(seq 1 100); do
+  kill -0 "$PID" 2> /dev/null || { DRAIN_OK=1; break; }
+  sleep 0.1
+done
+[ -n "$DRAIN_OK" ] || fail "server did not exit within 10s of SIGTERM"
+wait "$PID"
+RC=$?
+trap - EXIT
+[ "$RC" -eq 0 ] || fail "server exited $RC after SIGTERM (see $LOG)"
+grep -q '^draining (SIGTERM)' "$LOG" || fail "no drain line in $LOG"
+
+# Zero lost acknowledged records: the final snapshot covers every acked
+# record (this script was the only writer, so exactly ROWS).
+FINAL=$(grep '^final snapshot:' "$LOG") \
+  || fail "no final snapshot line in $LOG"
+RECORDS=$(echo "$FINAL" | sed -n 's/.*records=\([0-9]*\).*/\1/p')
+[ "$RECORDS" -eq "$ROWS" ] \
+  || fail "final snapshot has $RECORDS records, acked $ROWS"
+HTTP_ACKED=$(sed -n 's/.*http_accepted_records=\([0-9]*\).*/\1/p' "$LOG")
+[ "$HTTP_ACKED" -eq "$ROWS" ] \
+  || fail "server counted $HTTP_ACKED accepted records, client acked $ROWS"
+
+echo "PASS: serve smoke (ingest=$ACKED, drain clean, snapshot=$RECORDS)"
+rm -rf "$WORKDIR"

@@ -21,12 +21,24 @@
 //             [--release K1[,K1...]]
 //             [--wal-dir DIR] [--fsync-every N] [--checkpoint-every N]
 //             [--recover-only]
+//             [--listen HOST:PORT] [--http-threads N]
+//             [--max-body-bytes N] [--domain LO:HI[,LO:HI...]]
+//             [--serve-seconds S]
 //
 // With --wal-dir the service write-ahead-logs every ingested record and
 // periodically checkpoints the index (src/durability/); restarting with
 // the same directory recovers the checkpoint plus the WAL tail before
 // ingesting. --recover-only performs the recovery, prints what it
 // restored, and exits without streaming the input.
+//
+// With --listen the serve mode also fronts the service with the epoll
+// HTTP/1.1 server (src/net/): POST /ingest, GET /release[/query],
+// GET /healthz, GET /metrics. Port 0 binds an ephemeral port; the actual
+// address is printed as "listening on HOST:PORT". Without --input the
+// record dimensionality and domain come from --domain (one LO:HI range
+// per quasi-identifier). The server runs until SIGTERM/SIGINT (or
+// --serve-seconds), then drains gracefully: in-flight requests finish,
+// the WAL flushes, and a final snapshot publishes before exit.
 //
 // The input's quasi-identifier fields are parsed as numbers (categoricals
 // numerically recoded upstream); an optional final integer column is the
@@ -58,7 +70,12 @@ void Usage() {
       "                 [--snapshot-every N] [--reject]\n"
       "                 [--release K1[,K1...]]\n"
       "                 [--wal-dir DIR] [--fsync-every N]\n"
-      "                 [--checkpoint-every N] [--recover-only]\n";
+      "                 [--checkpoint-every N] [--recover-only]\n"
+      "                 [--listen HOST:PORT] [--http-threads N]\n"
+      "                 [--max-body-bytes N]\n"
+      "                 [--domain LO:HI[,LO:HI...]] [--serve-seconds S]\n"
+      "(--input is optional when --listen and --domain are both given:\n"
+      " records then arrive over HTTP)\n";
 }
 
 }  // namespace
