@@ -1,16 +1,24 @@
-// serve_smoke — CI perf smoke for the HTTP serving subsystem (src/net/).
+// serve_smoke — CI perf smoke for the HTTP serving subsystem (src/net/ +
+// src/shard/).
 //
 //   serve_smoke [--records N] [--batch B] [--writers W] [--readers R]
-//               [--json PATH]
+//               [--shards S] [--shard-by hash|range] [--snapshot-every E]
+//               [--sweep "1,2,4,8"] [--json PATH]
 //
-// Starts the full serving stack in-process — AnonymizationService behind
-// the epoll HTTP server on an ephemeral loopback port — then drives it
-// the way a deployment would: W keep-alive writers POST /ingest NDJSON
-// batches of B records until N records are acknowledged, while R readers
-// issue GET /release/query?k1=...&summary=1 the whole time. Reports
-// ingest and release throughput with per-request latency percentiles,
-// and always writes BENCH_serve.json (CI uploads it) unless --json names
-// another path.
+// Starts the full serving stack in-process — the sharded anonymization
+// service behind the epoll HTTP server on an ephemeral loopback port —
+// then drives it the way a deployment would: W keep-alive writers POST
+// /ingest NDJSON batches of B records until N records are acknowledged,
+// while R readers issue GET /release/query?k1=...&summary=1 the whole
+// time. Reports ingest and release throughput with per-request latency
+// percentiles, and always writes BENCH_serve.json (CI uploads it) unless
+// --json names another path.
+//
+// --sweep runs the same workload once per shard count and writes
+// BENCH_shards.json with per-shard and aggregate ingest throughput — the
+// scaling evidence for the sharded tentpole. Writers scale with the shard
+// count in sweep mode (max(W, shards)) so client concurrency is never the
+// artificial ceiling.
 //
 // Exit codes: 0 on success, 1 when the stack misbehaves (failed request,
 // lost records, no snapshot) — so CI fails loudly, not just slowly.
@@ -31,7 +39,7 @@
 #include "net/anon_http.h"
 #include "net/http_client.h"
 #include "net/http_server.h"
-#include "service/anonymization_service.h"
+#include "shard/sharded_service.h"
 
 namespace {
 
@@ -63,66 +71,52 @@ std::string SideJson(const SideStats& s, double per_second) {
          ", \"p99_ms\": " + std::to_string(s.p99) + "}";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  size_t records = bench::Scaled(50000);
+struct RunConfig {
+  size_t records = 0;
   size_t batch = 50;
   size_t writers = 2;
   size_t readers = 2;
-  std::string json_path = "BENCH_serve.json";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--records") {
-      const char* v = next();
-      if (v == nullptr) return 2;
-      records = std::strtoul(v, nullptr, 10);
-    } else if (arg == "--batch") {
-      const char* v = next();
-      if (v == nullptr) return 2;
-      batch = std::strtoul(v, nullptr, 10);
-    } else if (arg == "--writers") {
-      const char* v = next();
-      if (v == nullptr) return 2;
-      writers = std::strtoul(v, nullptr, 10);
-    } else if (arg == "--readers") {
-      const char* v = next();
-      if (v == nullptr) return 2;
-      readers = std::strtoul(v, nullptr, 10);
-    } else if (arg == "--json") {
-      const char* v = next();
-      if (v == nullptr) return 2;
-      json_path = v;
-    } else {
-      std::cerr << "usage: serve_smoke [--records N] [--batch B] "
-                   "[--writers W] [--readers R] [--json PATH]\n";
-      return 2;
-    }
-  }
-  if (batch == 0 || writers == 0) return 2;
+  size_t shards = 1;
+  ShardBy shard_by = ShardBy::kHash;
+  /// Publication cadence (0 = pick a default: 5000 for a single run, and
+  /// records/5 in sweep mode). Snapshot builds run on each shard's ingest
+  /// thread and scan that shard's whole tree, so the cadence sets how much
+  /// of the ingest budget goes to publication — the cost sharding divides:
+  /// at the same cadence an N-shard service rebuilds trees 1/N the size.
+  uint64_t snapshot_every = 0;
+};
 
-  bench::PrintHeader("serve_smoke — loopback HTTP serving throughput",
-                     "CI perf smoke (src/net/ ingest + release path)");
+struct RunResult {
+  bool ok = false;
+  bool epoll = false;
+  double ingest_rec_per_s = 0;
+  double release_req_per_s = 0;
+  SideStats ingest;
+  SideStats release;
+  std::vector<uint64_t> per_shard_inserted;
+};
 
+RunResult RunOnce(const RunConfig& cfg) {
+  RunResult result;
   Domain domain;
   domain.lo = {0, 0};
   domain.hi = {100, 100};
-  ServiceOptions service_options;
-  service_options.anonymizer.base_k = 10;
-  service_options.snapshot_every = 5000;
-  auto service_or = AnonymizationService::Create(2, domain, service_options);
+  ShardedServiceOptions service_options;
+  service_options.service.anonymizer.base_k = 10;
+  service_options.service.snapshot_every = cfg.snapshot_every;
+  service_options.sharding.num_shards = cfg.shards;
+  service_options.sharding.shard_by = cfg.shard_by;
+  auto service_or =
+      ShardedAnonymizationService::Create(2, domain, service_options);
   if (!service_or.ok()) {
     std::cerr << "service: " << service_or.status() << "\n";
-    return 1;
+    return result;
   }
-  AnonymizationService& service = **service_or;
+  ShardedAnonymizationService& service = **service_or;
   net::AnonHttpFrontend frontend(&service);
   net::HttpServerOptions http_options;
   http_options.port = 0;
-  http_options.num_threads = writers + readers;
+  http_options.num_threads = cfg.writers + cfg.readers;
   net::HttpServer server(http_options,
                          [&frontend](const net::HttpRequest& request) {
                            return frontend.Handle(request);
@@ -130,12 +124,16 @@ int main(int argc, char** argv) {
   frontend.SetServerStats([&server] { return server.stats(); });
   if (auto s = server.Start(); !s.ok()) {
     std::cerr << "server: " << s << "\n";
-    return 1;
+    return result;
   }
-  std::cout << "listening on 127.0.0.1:" << server.port() << " ("
-            << (server.using_epoll() ? "epoll" : "poll") << ")\n";
+  frontend.SetBackendLabel(server.using_epoll() ? "epoll" : "poll");
+  result.epoll = server.using_epoll();
+  std::cout << "listening on 127.0.0.1:" << server.bound_port() << " ("
+            << (server.using_epoll() ? "epoll" : "poll") << ", "
+            << cfg.shards << " shard" << (cfg.shards == 1 ? "" : "s")
+            << ")\n";
 
-  const size_t posts_total = (records + batch - 1) / batch;
+  const size_t posts_total = (cfg.records + cfg.batch - 1) / cfg.batch;
   std::atomic<size_t> next_post{0};
   std::atomic<bool> writers_done{false};
   std::atomic<bool> failed{false};
@@ -146,18 +144,18 @@ int main(int argc, char** argv) {
 
   Timer wall;
   std::vector<std::thread> threads;
-  for (size_t w = 0; w < writers; ++w) {
+  for (size_t w = 0; w < cfg.writers; ++w) {
     threads.emplace_back([&] {
       net::HttpClient client;
-      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+      if (!client.Connect("127.0.0.1", server.bound_port()).ok()) {
         failed.store(true);
         return;
       }
       std::vector<double> lat;
       for (size_t p = next_post.fetch_add(1); p < posts_total;
            p = next_post.fetch_add(1)) {
-        const size_t base = p * batch;
-        const size_t n = std::min(batch, records - base);
+        const size_t base = p * cfg.batch;
+        const size_t n = std::min(cfg.batch, cfg.records - base);
         std::string body;
         body.reserve(n * 12);
         for (size_t i = 0; i < n; ++i) {
@@ -178,10 +176,10 @@ int main(int argc, char** argv) {
       ingest_lat_ms.insert(ingest_lat_ms.end(), lat.begin(), lat.end());
     });
   }
-  for (size_t r = 0; r < readers; ++r) {
+  for (size_t r = 0; r < cfg.readers; ++r) {
     threads.emplace_back([&, r] {
       net::HttpClient client;
-      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+      if (!client.Connect("127.0.0.1", server.bound_port()).ok()) {
         failed.store(true);
         return;
       }
@@ -205,70 +203,222 @@ int main(int argc, char** argv) {
       release_lat_ms.insert(release_lat_ms.end(), lat.begin(), lat.end());
     });
   }
-  for (size_t w = 0; w < writers; ++w) threads[w].join();
+  for (size_t w = 0; w < cfg.writers; ++w) threads[w].join();
   const double ingest_seconds = wall.ElapsedSeconds();
   writers_done.store(true, std::memory_order_relaxed);
-  for (size_t t = writers; t < threads.size(); ++t) threads[t].join();
+  for (size_t t = cfg.writers; t < threads.size(); ++t) threads[t].join();
   const double total_seconds = wall.ElapsedSeconds();
 
   server.Shutdown();
   service.Stop();
 
-  const auto snapshot = service.CurrentSnapshot();
+  const auto stitched = service.CurrentStitched();
   const uint64_t accepted = frontend.accepted();
-  if (failed.load() || snapshot == nullptr || accepted != records ||
-      snapshot->info().records != records) {
-    std::cerr << "FAIL: accepted=" << accepted << " want=" << records
+  if (failed.load() || stitched == nullptr || accepted != cfg.records ||
+      stitched->info().records != cfg.records) {
+    std::cerr << "FAIL: accepted=" << accepted << " want=" << cfg.records
               << " snapshot_records="
-              << (snapshot != nullptr ? snapshot->info().records : 0)
+              << (stitched != nullptr ? stitched->info().records : 0)
               << (failed.load() ? " (request failures)" : "") << "\n";
-    return 1;
+    return result;
   }
 
-  SideStats ingest;
-  ingest.requests = posts_total;
-  ingest.seconds = ingest_seconds;
-  ingest.p50 = Percentile(&ingest_lat_ms, 50);
-  ingest.p95 = Percentile(&ingest_lat_ms, 95);
-  ingest.p99 = Percentile(&ingest_lat_ms, 99);
-  const double rec_per_s =
-      static_cast<double>(records) / std::max(ingest_seconds, 1e-9);
+  result.ingest.requests = posts_total;
+  result.ingest.seconds = ingest_seconds;
+  result.ingest.p50 = Percentile(&ingest_lat_ms, 50);
+  result.ingest.p95 = Percentile(&ingest_lat_ms, 95);
+  result.ingest.p99 = Percentile(&ingest_lat_ms, 99);
+  result.ingest_rec_per_s =
+      static_cast<double>(cfg.records) / std::max(ingest_seconds, 1e-9);
 
-  SideStats release;
-  release.requests = release_requests;
-  release.seconds = total_seconds;
-  release.p50 = Percentile(&release_lat_ms, 50);
-  release.p95 = Percentile(&release_lat_ms, 95);
-  release.p99 = Percentile(&release_lat_ms, 99);
-  const double rel_per_s =
-      static_cast<double>(release_requests) / std::max(total_seconds, 1e-9);
+  result.release.requests = release_requests;
+  result.release.seconds = total_seconds;
+  result.release.p50 = Percentile(&release_lat_ms, 50);
+  result.release.p95 = Percentile(&release_lat_ms, 95);
+  result.release.p99 = Percentile(&release_lat_ms, 99);
+  result.release_req_per_s = static_cast<double>(release_requests) /
+                             std::max(total_seconds, 1e-9);
+
+  const ShardedServiceStats stats = service.Stats();
+  for (const ServiceStats& s : stats.shards) {
+    result.per_shard_inserted.push_back(s.inserted);
+  }
 
   bench::TablePrinter table(
       {"side", "requests", "throughput", "p50 ms", "p95 ms", "p99 ms"});
-  table.AddRow({"ingest", bench::FmtInt(ingest.requests),
-                bench::Fmt(rec_per_s, 0) + " rec/s", bench::Fmt(ingest.p50),
-                bench::Fmt(ingest.p95), bench::Fmt(ingest.p99)});
-  table.AddRow({"release", bench::FmtInt(release.requests),
-                bench::Fmt(rel_per_s, 0) + " req/s",
-                bench::Fmt(release.p50), bench::Fmt(release.p95),
-                bench::Fmt(release.p99)});
+  table.AddRow({"ingest", bench::FmtInt(result.ingest.requests),
+                bench::Fmt(result.ingest_rec_per_s, 0) + " rec/s",
+                bench::Fmt(result.ingest.p50),
+                bench::Fmt(result.ingest.p95),
+                bench::Fmt(result.ingest.p99)});
+  table.AddRow({"release", bench::FmtInt(result.release.requests),
+                bench::Fmt(result.release_req_per_s, 0) + " req/s",
+                bench::Fmt(result.release.p50),
+                bench::Fmt(result.release.p95),
+                bench::Fmt(result.release.p99)});
   table.Print();
-  std::cout << "final snapshot: epoch=" << snapshot->info().epoch
-            << " records=" << snapshot->info().records
-            << " partitions=" << snapshot->info().num_partitions << "\n";
+  const PartitionSet base_release =
+      stitched->Release(stitched->info().base_k);
+  std::cout << "final snapshot: epoch=" << stitched->info().epoch
+            << " records=" << stitched->info().records
+            << " partitions=" << base_release.num_partitions() << "\n";
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunConfig cfg;
+  cfg.records = bench::Scaled(50000);
+  std::string json_path;
+  std::vector<size_t> sweep;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--records") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cfg.records = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cfg.batch = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--writers") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cfg.writers = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--readers") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cfg.readers = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cfg.shards = std::strtoul(v, nullptr, 10);
+      if (cfg.shards == 0) return 2;
+    } else if (arg == "--snapshot-every" || arg == "--snapshot_every") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cfg.snapshot_every = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--shard-by" || arg == "--shard_by") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      auto by = ShardByFromName(v);
+      if (!by.ok()) return 2;
+      cfg.shard_by = *by;
+    } else if (arg == "--sweep") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      const std::string spec = v;
+      size_t start = 0;
+      while (start <= spec.size()) {
+        size_t end = spec.find(',', start);
+        if (end == std::string::npos) end = spec.size();
+        const size_t n =
+            std::strtoul(spec.substr(start, end - start).c_str(), nullptr,
+                         10);
+        if (n == 0) return 2;
+        sweep.push_back(n);
+        start = end + 1;
+      }
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      json_path = v;
+    } else {
+      std::cerr << "usage: serve_smoke [--records N] [--batch B] "
+                   "[--writers W] [--readers R] [--shards S] "
+                   "[--shard-by hash|range] [--snapshot-every E] "
+                   "[--sweep \"1,2,4,8\"] [--json PATH]\n";
+      return 2;
+    }
+  }
+  if (cfg.batch == 0 || cfg.writers == 0) return 2;
+
+  if (!sweep.empty()) {
+    // Shard-scaling sweep: the same record stream at each shard count.
+    if (json_path.empty()) json_path = "BENCH_shards.json";
+    // Cadence proportional to the run length: the unsharded baseline pays
+    // ~5 full-tree rebuilds over the run while an N-shard service rebuilds
+    // trees 1/N the size — the amortization the sweep demonstrates.
+    if (cfg.snapshot_every == 0) cfg.snapshot_every = cfg.records / 5;
+    bench::PrintHeader("serve_smoke — shard scaling sweep",
+                       "aggregate ingest throughput per shard count");
+    std::string entries;
+    double baseline = 0;
+    for (const size_t shards : sweep) {
+      RunConfig run = cfg;
+      run.shards = shards;
+      // Client concurrency tracks the shard count so the writers are
+      // never the ceiling that hides shard scaling.
+      run.writers = std::max(cfg.writers, shards);
+      std::cout << "\n== shards=" << shards << " writers=" << run.writers
+                << " ==\n";
+      const RunResult result = RunOnce(run);
+      if (!result.ok) return 1;
+      if (baseline == 0) baseline = result.ingest_rec_per_s;
+      std::cout << "aggregate ingest: "
+                << bench::Fmt(result.ingest_rec_per_s, 0) << " rec/s ("
+                << bench::Fmt(result.ingest_rec_per_s / baseline, 2)
+                << "x of first sweep point)\n";
+      std::string per_shard = "[";
+      for (size_t s = 0; s < result.per_shard_inserted.size(); ++s) {
+        if (s != 0) per_shard += ", ";
+        per_shard += std::to_string(result.per_shard_inserted[s]);
+      }
+      per_shard += "]";
+      if (!entries.empty()) entries += ",\n";
+      entries += "    {\"shards\": " + std::to_string(shards) +
+                 ", \"writers\": " + std::to_string(run.writers) +
+                 ", \"ingest_records_per_second\": " +
+                 std::to_string(result.ingest_rec_per_s) +
+                 ", \"release_requests_per_second\": " +
+                 std::to_string(result.release_req_per_s) +
+                 ", \"speedup_vs_first\": " +
+                 std::to_string(result.ingest_rec_per_s /
+                                std::max(baseline, 1e-9)) +
+                 ", \"per_shard_inserted\": " + per_shard + "}";
+    }
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"records\": " << cfg.records << ",\n"
+        << "  \"batch\": " << cfg.batch << ",\n"
+        << "  \"readers\": " << cfg.readers << ",\n"
+        << "  \"snapshot_every\": " << cfg.snapshot_every << ",\n"
+        << "  \"shard_by\": \"" << ShardByName(cfg.shard_by) << "\",\n"
+        << "  \"sweep\": [\n"
+        << entries << "\n  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+    return 0;
+  }
+
+  if (json_path.empty()) json_path = "BENCH_serve.json";
+  if (cfg.snapshot_every == 0) cfg.snapshot_every = 5000;
+  bench::PrintHeader("serve_smoke — loopback HTTP serving throughput",
+                     "CI perf smoke (src/net/ ingest + release path)");
+  const RunResult result = RunOnce(cfg);
+  if (!result.ok) return 1;
 
   std::ofstream out(json_path);
   out << "{\n"
-      << "  \"records\": " << records << ",\n"
-      << "  \"batch\": " << batch << ",\n"
-      << "  \"writers\": " << writers << ",\n"
-      << "  \"readers\": " << readers << ",\n"
-      << "  \"backend\": \""
-      << (server.using_epoll() ? "epoll" : "poll") << "\",\n"
-      << "  \"ingest_records_per_second\": " << rec_per_s << ",\n"
-      << "  \"release_requests_per_second\": " << rel_per_s << ",\n"
-      << "  \"ingest\": " << SideJson(ingest, rec_per_s) << ",\n"
-      << "  \"release\": " << SideJson(release, rel_per_s) << "\n"
+      << "  \"records\": " << cfg.records << ",\n"
+      << "  \"batch\": " << cfg.batch << ",\n"
+      << "  \"writers\": " << cfg.writers << ",\n"
+      << "  \"readers\": " << cfg.readers << ",\n"
+      << "  \"shards\": " << cfg.shards << ",\n"
+      << "  \"shard_by\": \"" << ShardByName(cfg.shard_by) << "\",\n"
+      << "  \"backend\": \"" << (result.epoll ? "epoll" : "poll") << "\",\n"
+      << "  \"ingest_records_per_second\": " << result.ingest_rec_per_s
+      << ",\n"
+      << "  \"release_requests_per_second\": " << result.release_req_per_s
+      << ",\n"
+      << "  \"ingest\": " << SideJson(result.ingest, result.ingest_rec_per_s)
+      << ",\n"
+      << "  \"release\": "
+      << SideJson(result.release, result.release_req_per_s) << "\n"
       << "}\n";
   std::cout << "wrote " << json_path << "\n";
   return 0;

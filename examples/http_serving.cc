@@ -20,7 +20,7 @@
 #include "net/anon_http.h"
 #include "net/http_client.h"
 #include "net/http_server.h"
-#include "service/anonymization_service.h"
+#include "shard/sharded_service.h"
 
 int main(int argc, char** argv) {
   using namespace kanon;
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   // --- A local stack unless a server address was given -------------------
   std::string host = "127.0.0.1";
   uint16_t port = 0;
-  std::unique_ptr<AnonymizationService> service;
+  std::unique_ptr<ShardedAnonymizationService> service;
   std::unique_ptr<net::AnonHttpFrontend> frontend;
   std::unique_ptr<net::HttpServer> server;
   if (argc > 1) {
@@ -47,10 +47,11 @@ int main(int argc, char** argv) {
         std::strtoul(spec.c_str() + colon + 1, nullptr, 10));
   } else {
     const Dataset sample = AgrawalGenerator(1).Generate(1000);
-    ServiceOptions options;
-    options.anonymizer.base_k = kBaseK;
-    options.snapshot_every = 2000;  // republish every 2000 inserts
-    auto service_or = AnonymizationService::Create(
+    ShardedServiceOptions options;
+    options.service.anonymizer.base_k = kBaseK;
+    options.service.snapshot_every = 2000;  // republish every 2000 inserts
+    options.sharding.num_shards = 2;  // hash-routed two-shard stack
+    auto service_or = ShardedAnonymizationService::Create(
         sample.dim(), sample.ComputeDomain(), options);
     if (!service_or.ok()) {
       std::cerr << service_or.status() << "\n";
@@ -68,8 +69,9 @@ int main(int argc, char** argv) {
       std::cerr << s << "\n";
       return 1;
     }
-    port = server->port();
-    std::cout << "started local server on 127.0.0.1:" << port << " ("
+    frontend->SetBackendLabel(server->using_epoll() ? "epoll" : "poll");
+    port = server->bound_port();
+    std::cout << "started local 2-shard server on 127.0.0.1:" << port << " ("
               << (server->using_epoll() ? "epoll" : "poll") << ")\n";
   }
 
@@ -147,9 +149,9 @@ int main(int argc, char** argv) {
   if (server != nullptr) {
     server->Shutdown();
     service->Stop();
-    const auto snapshot = service->CurrentSnapshot();
-    std::cout << "drained; final snapshot records="
-              << (snapshot != nullptr ? snapshot->info().records : 0)
+    const auto stitched = service->CurrentStitched();
+    std::cout << "drained; final stitched snapshot records="
+              << (stitched != nullptr ? stitched->info().records : 0)
               << " (accepted over HTTP: " << frontend->accepted() << ")\n";
   }
   return 0;

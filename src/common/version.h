@@ -1,0 +1,13 @@
+#ifndef KANON_COMMON_VERSION_H_
+#define KANON_COMMON_VERSION_H_
+
+namespace kanon {
+
+/// Library version, exported by /metrics as kanon_build_info{version=...}
+/// so dashboards can tell deployments apart. Bump per release-worthy
+/// change to the serving surface.
+inline constexpr const char kVersionString[] = "0.6.0";
+
+}  // namespace kanon
+
+#endif  // KANON_COMMON_VERSION_H_

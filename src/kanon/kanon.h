@@ -57,6 +57,9 @@
 #include "service/ingest_queue.h"
 #include "service/service_stats.h"
 #include "service/snapshot.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_service.h"
+#include "shard/stitched_snapshot.h"
 #include "storage/buffer_pool.h"
 #include "storage/external_sort.h"
 #include "storage/page.h"

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/timer.h"
+#include "common/version.h"
 #include "metrics/histogram.h"
 #include "net/http_parser.h"
 #include "net/http_status.h"
@@ -148,7 +149,7 @@ std::string PartitionsJson(const PartitionSet& ps, bool with_rids) {
   return out;
 }
 
-AnonHttpFrontend::AnonHttpFrontend(AnonymizationService* service,
+AnonHttpFrontend::AnonHttpFrontend(ShardedAnonymizationService* service,
                                    AnonHttpOptions options)
     : service_(service), options_(options) {}
 
@@ -272,22 +273,33 @@ HttpResponse AnonHttpFrontend::HandleRelease(const HttpRequest& request) {
     with_rids = *v != "0";
   }
 
-  const auto snapshot = service_->CurrentSnapshot();
-  if (snapshot == nullptr) {
+  const auto stitched = service_->CurrentStitched();
+  if (stitched == nullptr) {
     HttpResponse resp = HttpResponse::FromStatus(Status::Unavailable(
-        "no snapshot published yet; ingest at least base_k records"));
+        "no shard has published yet; ingest at least base_k records"));
     resp.headers.emplace_back("Retry-After",
                               std::to_string(options_.retry_after_s));
     return resp;
   }
-  const SnapshotInfo& info = snapshot->info();
+  const StitchedInfo& info = stitched->info();
   const size_t effective_k1 = std::max(k1, info.base_k);
-  const PartitionSet release = snapshot->Release(effective_k1);
+  const PartitionSet release = stitched->Release(effective_k1);
+
+  // Per-shard epochs make staleness observable: shard i's slice of this
+  // release is exactly as fresh as shard_epochs[i] (0 = not covered yet).
+  std::string shard_epochs = "[";
+  for (size_t i = 0; i < info.shard_epochs.size(); ++i) {
+    if (i != 0) shard_epochs += ",";
+    shard_epochs += std::to_string(info.shard_epochs[i]);
+  }
+  shard_epochs += "]";
 
   std::string body = "{\"epoch\":" + std::to_string(info.epoch) +
                      ",\"records\":" + std::to_string(info.records) +
                      ",\"base_k\":" + std::to_string(info.base_k) +
                      ",\"k1\":" + std::to_string(effective_k1) +
+                     ",\"shards\":" + std::to_string(info.num_shards) +
+                     ",\"shard_epochs\":" + shard_epochs +
                      ",\"num_partitions\":" +
                      std::to_string(release.num_partitions()) +
                      ",\"min_partition\":" +
@@ -295,7 +307,7 @@ HttpResponse AnonHttpFrontend::HandleRelease(const HttpRequest& request) {
                      ",\"max_partition\":" +
                      std::to_string(release.max_partition_size()) +
                      ",\"avg_ncp\":" +
-                     FmtDouble(AverageBoxNcp(release, snapshot->domain()));
+                     FmtDouble(AverageBoxNcp(release, stitched->domain()));
   if (!summary) {
     body += ",\"partitions\":" + PartitionsJson(release, with_rids);
   }
@@ -305,14 +317,21 @@ HttpResponse AnonHttpFrontend::HandleRelease(const HttpRequest& request) {
 
 HttpResponse AnonHttpFrontend::HandleHealthz() {
   const ServiceHealth health = service_->health();
-  const auto snapshot = service_->CurrentSnapshot();
+  const auto stitched = service_->CurrentStitched();
   std::string body = "{\"health\":\"" +
                      std::string(ServiceHealthName(health)) + "\"";
-  if (snapshot != nullptr) {
-    const SnapshotInfo& info = snapshot->info();
+  body += ",\"shards\":[";
+  for (size_t i = 0; i < service_->num_shards(); ++i) {
+    if (i != 0) body += ",";
+    body += "\"" +
+            std::string(ServiceHealthName(service_->shard(i)->health())) +
+            "\"";
+  }
+  body += "]";
+  if (stitched != nullptr) {
+    const StitchedInfo& info = stitched->info();
     body += ",\"epoch\":" + std::to_string(info.epoch) +
-            ",\"records\":" + std::to_string(info.records) +
-            ",\"snapshot_age_s\":" + FmtDoubleShort(info.AgeSeconds());
+            ",\"records\":" + std::to_string(info.records);
   }
   if (health != ServiceHealth::kServing) {
     // Reads still work in every state; only ingest is down. Say so.
@@ -325,11 +344,20 @@ HttpResponse AnonHttpFrontend::HandleHealthz() {
 }
 
 HttpResponse AnonHttpFrontend::HandleMetrics() {
-  const ServiceStats stats = service_->Stats();
+  const ShardedServiceStats sharded = service_->Stats();
+  const ServiceStats& stats = sharded.total;
   std::string out;
-  out.reserve(8 << 10);
+  out.reserve(16 << 10);
 
-  // Serving-layer counters.
+  // Build identity first: dashboards join every other series against it.
+  out += "# TYPE kanon_build_info gauge\n";
+  out += "kanon_build_info{version=\"" + std::string(kVersionString) +
+         "\",backend=\"" + backend_label_ + "\"} 1\n";
+  AppendMetric(&out, "kanon_shards", "gauge",
+               static_cast<double>(service_->num_shards()));
+
+  // Serving-layer counters (aggregated across shards; per-shard series
+  // with a shard label follow below).
   AppendMetric(&out, "kanon_enqueued_total", "counter",
                static_cast<double>(stats.enqueued));
   AppendMetric(&out, "kanon_rejected_total", "counter",
@@ -382,6 +410,43 @@ HttpResponse AnonHttpFrontend::HandleMetrics() {
                                 ServiceHealth::kStopped}) {
     out += "kanon_health{state=\"" + std::string(ServiceHealthName(h)) +
            "\"} " + (stats.health == h ? "1" : "0") + "\n";
+  }
+
+  // Per-shard series. Only the counters that vary interestingly across
+  // shards get a labeled breakdown; everything else stays aggregate to
+  // keep the exposition small at high shard counts.
+  struct PerShardSeries {
+    const char* name;
+    const char* type;
+    uint64_t ServiceStats::* field;
+  };
+  static constexpr PerShardSeries kPerShard[] = {
+      {"kanon_shard_enqueued_total", "counter", &ServiceStats::enqueued},
+      {"kanon_shard_rejected_total", "counter", &ServiceStats::rejected},
+      {"kanon_shard_inserted_total", "counter", &ServiceStats::inserted},
+      {"kanon_shard_snapshots_total", "counter", &ServiceStats::snapshots},
+      {"kanon_shard_recovered_total", "counter", &ServiceStats::recovered},
+      {"kanon_shard_wal_appended_total", "counter",
+       &ServiceStats::wal_appended},
+  };
+  for (const PerShardSeries& series : kPerShard) {
+    out += "# TYPE " + std::string(series.name) + " " + series.type + "\n";
+    for (size_t i = 0; i < sharded.shards.size(); ++i) {
+      out += std::string(series.name) + "{shard=\"" + std::to_string(i) +
+             "\"} " + std::to_string(sharded.shards[i].*series.field) + "\n";
+    }
+  }
+  out += "# TYPE kanon_shard_queue_depth gauge\n";
+  for (size_t i = 0; i < sharded.shards.size(); ++i) {
+    out += "kanon_shard_queue_depth{shard=\"" + std::to_string(i) + "\"} " +
+           std::to_string(sharded.shards[i].queue_depth) + "\n";
+  }
+  out += "# TYPE kanon_shard_degraded gauge\n";
+  for (size_t i = 0; i < sharded.shards.size(); ++i) {
+    out += "kanon_shard_degraded{shard=\"" + std::to_string(i) + "\"} " +
+           (sharded.shards[i].health == ServiceHealth::kDegraded ? "1"
+                                                                 : "0") +
+           "\n";
   }
 
   // Listener counters, when the server wired itself in.

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "net/http_server.h"
-#include "service/anonymization_service.h"
+#include "shard/sharded_service.h"
 
 namespace kanon::net {
 
@@ -37,33 +37,43 @@ struct AnonHttpOptions {
   unsigned retry_after_s = 1;
 };
 
-/// The HTTP face of AnonymizationService — maps the service's concurrency
-/// and health contracts onto protocol semantics:
+/// The HTTP face of the (sharded) anonymization service — maps the
+/// service's concurrency, routing and health contracts onto protocol
+/// semantics:
 ///
 ///   POST /ingest           NDJSON batch (or a single line): each line is a
 ///                          JSON array or bare CSV of dim (or dim+1, last =
-///                          sensitive code) numbers. 200 {"accepted":N};
-///                          429 on reject-backpressure, 503 while degraded
-///                          or stopping — both with the accepted count so
-///                          far, so clients know exactly what was acked.
-///   GET  /release          base-granularity release of the current
-///                          snapshot (lock-free; never blocks ingest).
-///   GET  /release/query    ?k1=N multigranular release; &summary=1 omits
-///                          the partition list; &rids=1 includes record
-///                          ids per partition.
-///   GET  /healthz          200 while serving, 503 degraded/stopped.
-///   GET  /metrics          Prometheus text exposition: ServiceStats,
-///                          WAL/checkpoint durability counters, queue
-///                          depth, listener stats and per-endpoint latency
-///                          histograms (built on metrics/histogram).
+///                          sensitive code) numbers, routed to its shard by
+///                          the service's ShardRouter. 200 {"accepted":N};
+///                          per-line errors keep their shard's semantics:
+///                          429 on reject-backpressure, 503 while that
+///                          shard is degraded or stopping — both with the
+///                          accepted count so far, so clients know exactly
+///                          what was acked.
+///   GET  /release          base-granularity stitched release of the
+///                          current per-shard epoch snapshots (lock-free;
+///                          never blocks ingest). The body records
+///                          "shards" and per-shard "shard_epochs" so the
+///                          staleness of every slice is observable.
+///   GET  /release/query    ?k1=N multigranular stitched release;
+///                          &summary=1 omits the partition list; &rids=1
+///                          includes (shard-local) record ids.
+///   GET  /healthz          200 while every shard serves; 503 when any
+///                          shard is degraded or the service stopped, with
+///                          per-shard health in the body.
+///   GET  /metrics          Prometheus text exposition: aggregate
+///                          ServiceStats and durability counters, per-shard
+///                          series with a shard label, kanon_build_info,
+///                          queue depth, listener stats and per-endpoint
+///                          latency histograms (built on metrics/histogram).
 ///
 /// Handle() is thread-safe and is exactly the HttpHandler the HttpServer
 /// worker pool runs; it may block inside Ingest under kBlock backpressure,
-/// which is the intended end-to-end backpressure path: a full queue slows
-/// HTTP clients down instead of growing memory.
+/// which is the intended end-to-end backpressure path: a full shard queue
+/// slows that shard's HTTP clients down instead of growing memory.
 class AnonHttpFrontend {
  public:
-  explicit AnonHttpFrontend(AnonymizationService* service,
+  explicit AnonHttpFrontend(ShardedAnonymizationService* service,
                             AnonHttpOptions options = {});
 
   /// The handler to hand to HttpServer.
@@ -73,6 +83,12 @@ class AnonHttpFrontend {
   /// the server starts taking traffic.
   void SetServerStats(std::function<HttpServerStats()> fn) {
     server_stats_ = std::move(fn);
+  }
+
+  /// Event backend label for kanon_build_info ("epoll" / "poll"). Set
+  /// after HttpServer::Start, before traffic.
+  void SetBackendLabel(std::string backend) {
+    backend_label_ = std::move(backend);
   }
 
   /// Records ingested over HTTP and acknowledged with 200 (the
@@ -98,9 +114,10 @@ class AnonHttpFrontend {
   HttpResponse HandleMetrics();
   void Observe(Endpoint endpoint, int http_status, double latency_ms);
 
-  AnonymizationService* const service_;
+  ShardedAnonymizationService* const service_;
   const AnonHttpOptions options_;
   std::function<HttpServerStats()> server_stats_;
+  std::string backend_label_ = "inproc";
   std::atomic<uint64_t> accepted_{0};
   std::array<EndpointMetrics, kNumEndpoints> metrics_;
 };

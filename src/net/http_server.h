@@ -117,6 +117,9 @@ class HttpServer {
   Status Start();
 
   uint16_t port() const { return port_; }
+  /// The actually-bound port — identical to port(), under the name the
+  /// serving CLI and scripts use when started with --listen :0.
+  uint16_t bound_port() const { return port_; }
   const std::string& host() const { return options_.host; }
   bool using_epoll() const { return using_epoll_; }
 

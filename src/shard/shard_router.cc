@@ -1,0 +1,72 @@
+#include "shard/shard_router.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace kanon {
+
+namespace {
+
+/// FNV-1a over the bit patterns of the point. -0.0 is canonicalized to
+/// +0.0 so two encodings of the same value never land on different shards.
+uint64_t HashPoint(std::span<const double> point) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const double v : point) {
+    const double canonical = v == 0.0 ? 0.0 : v;
+    uint64_t bits;
+    std::memcpy(&bits, &canonical, sizeof(bits));
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (bits >> shift) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* ShardByName(ShardBy shard_by) {
+  switch (shard_by) {
+    case ShardBy::kHash:
+      return "hash";
+    case ShardBy::kRange:
+      return "range";
+  }
+  return "hash";
+}
+
+StatusOr<ShardBy> ShardByFromName(const std::string& name) {
+  if (name == "hash") return ShardBy::kHash;
+  if (name == "range") return ShardBy::kRange;
+  return Status::InvalidArgument("unknown shard policy '" + name +
+                                 "' (have: hash, range)");
+}
+
+ShardRouter::ShardRouter(ShardingOptions options, const Domain& domain)
+    : options_(options),
+      range_lo_(domain.dim() > 0 ? domain.lo[0] : 0.0),
+      range_width_(domain.dim() > 0 ? domain.hi[0] - domain.lo[0] : 0.0) {
+  KANON_CHECK(options_.num_shards >= 1);
+  KANON_CHECK(domain.dim() >= 1);
+}
+
+size_t ShardRouter::ShardOf(std::span<const double> point) const {
+  const size_t n = options_.num_shards;
+  if (n == 1) return 0;
+  KANON_DCHECK(!point.empty());
+  if (options_.shard_by == ShardBy::kHash) {
+    return static_cast<size_t>(HashPoint(point) % n);
+  }
+  // Range: equi-width buckets of attribute 0 over the domain; outliers
+  // clamp into the boundary shards (every record must route somewhere).
+  if (range_width_ <= 0.0) return 0;
+  const double frac = (point[0] - range_lo_) / range_width_;
+  if (!(frac > 0.0)) return 0;  // also catches NaN
+  if (frac >= 1.0) return n - 1;
+  const size_t shard = static_cast<size_t>(frac * static_cast<double>(n));
+  return shard < n ? shard : n - 1;
+}
+
+}  // namespace kanon

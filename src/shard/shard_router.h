@@ -1,0 +1,62 @@
+#ifndef KANON_SHARD_SHARD_ROUTER_H_
+#define KANON_SHARD_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace kanon {
+
+/// How records are assigned to shards.
+enum class ShardBy {
+  /// Hash of the full quasi-identifier point (FNV-1a over the canonical
+  /// bit patterns). Spreads any workload uniformly; a record's shard is a
+  /// pure function of its values, so replaying the same stream after a
+  /// crash routes every record to the same shard again.
+  kHash,
+  /// Equi-width range partitioning of the first quasi-identifier over the
+  /// service domain. Keeps spatially close records together, so per-shard
+  /// releases generalize less at the cost of skew sensitivity.
+  kRange,
+};
+
+/// "hash" / "range".
+const char* ShardByName(ShardBy shard_by);
+/// Inverse of ShardByName. InvalidArgument on anything else.
+StatusOr<ShardBy> ShardByFromName(const std::string& name);
+
+struct ShardingOptions {
+  /// Number of independent single-writer shards. 1 degenerates to the
+  /// unsharded service (and is the default everywhere).
+  size_t num_shards = 1;
+  ShardBy shard_by = ShardBy::kHash;
+};
+
+/// Deterministically maps records to shards. Stateless after construction
+/// and safe to call from any number of threads concurrently — the HTTP
+/// worker pool routes every /ingest line through one shared router.
+class ShardRouter {
+ public:
+  /// `domain` anchors the kRange policy (first attribute's [lo, hi)); it
+  /// is copied, so the router does not dangle on a caller's temporary.
+  ShardRouter(ShardingOptions options, const Domain& domain);
+
+  size_t num_shards() const { return options_.num_shards; }
+  ShardBy shard_by() const { return options_.shard_by; }
+
+  /// The shard `point` belongs to, in [0, num_shards()). Range routing
+  /// clamps points outside the domain into the first/last shard.
+  size_t ShardOf(std::span<const double> point) const;
+
+ private:
+  const ShardingOptions options_;
+  const double range_lo_;
+  const double range_width_;  // domain extent of attribute 0 (>= 0)
+};
+
+}  // namespace kanon
+
+#endif  // KANON_SHARD_SHARD_ROUTER_H_

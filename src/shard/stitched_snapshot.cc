@@ -1,0 +1,17 @@
+#include "shard/stitched_snapshot.h"
+
+namespace kanon {
+
+PartitionSet StitchedSnapshot::Release(size_t k1) const {
+  PartitionSet out;
+  for (const std::shared_ptr<const Snapshot>& part : parts_) {
+    if (part == nullptr) continue;
+    PartitionSet ps = part->Release(k1);
+    out.partitions.insert(out.partitions.end(),
+                          std::make_move_iterator(ps.partitions.begin()),
+                          std::make_move_iterator(ps.partitions.end()));
+  }
+  return out;
+}
+
+}  // namespace kanon

@@ -312,6 +312,41 @@ TEST(CliServeParseTest, HttpFlags) {
                                    &bad_listen));
 }
 
+TEST(CliServeParseTest, ShardFlags) {
+  cli::ServeOptions o;
+  std::vector<const char*> argv = {"serve",      "--input", "a.csv",
+                                   "--shards",   "4",       "--shard-by",
+                                   "range"};
+  ASSERT_TRUE(cli::ParseServeArgs(static_cast<int>(argv.size()),
+                                  argv.data(), &o));
+  EXPECT_EQ(o.shards, 4u);
+  EXPECT_EQ(o.shard_by, "range");
+
+  cli::ServeOptions defaults;
+  std::vector<const char*> plain = {"serve", "--input", "a.csv"};
+  ASSERT_TRUE(cli::ParseServeArgs(static_cast<int>(plain.size()),
+                                  plain.data(), &defaults));
+  EXPECT_EQ(defaults.shards, 1u);
+  EXPECT_EQ(defaults.shard_by, "hash");
+
+  cli::ServeOptions underscore;
+  std::vector<const char*> us = {"serve", "--input", "a.csv", "--shard_by",
+                                 "hash"};
+  EXPECT_TRUE(cli::ParseServeArgs(static_cast<int>(us.size()), us.data(),
+                                  &underscore));
+
+  cli::ServeOptions zero;
+  std::vector<const char*> z = {"serve", "--input", "a.csv", "--shards",
+                                "0"};
+  EXPECT_FALSE(cli::ParseServeArgs(static_cast<int>(z.size()), z.data(),
+                                   &zero));
+  cli::ServeOptions bogus;
+  std::vector<const char*> b = {"serve", "--input", "a.csv", "--shard-by",
+                                "roundrobin"};
+  EXPECT_FALSE(cli::ParseServeArgs(static_cast<int>(b.size()), b.data(),
+                                   &bogus));
+}
+
 TEST(CliServeParseTest, ListenAddressForms) {
   std::string host;
   uint16_t port = 0;
@@ -377,6 +412,69 @@ TEST_F(CliRunTest, ServeModeDurableRestartRecovers) {
     EXPECT_NE(log.str().find("recovery: recovered=1000"), std::string::npos)
         << log.str();
     EXPECT_NE(log.str().find("records=1000"), std::string::npos);
+  }
+  std::filesystem::remove_all(wal_dir);
+}
+
+TEST_F(CliRunTest, ServeModeShardedEndToEnd) {
+  cli::ServeOptions o;
+  o.input = input_;
+  o.k = 10;
+  o.producers = 3;
+  o.shards = 4;
+  o.releases = {10, 40};
+  std::ostringstream log;
+  EXPECT_EQ(cli::RunServe(o, log), 0) << log.str();
+  EXPECT_NE(log.str().find("inserted=1000"), std::string::npos) << log.str();
+  EXPECT_NE(log.str().find("records=1000"), std::string::npos);
+  // Per-shard breakdown lines appear for every shard.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_NE(log.str().find("shard " + std::to_string(s) + ": inserted="),
+              std::string::npos)
+        << log.str();
+  }
+  EXPECT_NE(log.str().find("release k1=40"), std::string::npos);
+}
+
+TEST_F(CliRunTest, ServeModeShardedDurableRestartRecoversPerShard) {
+  const std::string wal_dir = ::testing::TempDir() + "/cli_shard_wal_dir";
+  std::filesystem::remove_all(wal_dir);
+
+  cli::ServeOptions o;
+  o.input = input_;
+  o.k = 10;
+  o.producers = 2;
+  o.shards = 2;
+  o.wal_dir = wal_dir;
+  o.fsync_every = 32;
+  o.checkpoint_every = 400;
+  {
+    std::ostringstream log;
+    EXPECT_EQ(cli::RunServe(o, log), 0) << log.str();
+    EXPECT_NE(log.str().find("recovery shard=0: recovered=0"),
+              std::string::npos)
+        << log.str();
+    EXPECT_NE(log.str().find("recovery shard=1: recovered=0"),
+              std::string::npos);
+  }
+  // Restart in recover-only mode: both shards replay their own WAL and
+  // the stitched snapshot holds every record exactly once.
+  o.recover_only = true;
+  {
+    std::ostringstream log;
+    EXPECT_EQ(cli::RunServe(o, log), 0) << log.str();
+    EXPECT_NE(log.str().find("recovery shard=0: recovered="),
+              std::string::npos)
+        << log.str();
+    EXPECT_NE(log.str().find("records=1000"), std::string::npos)
+        << log.str();
+  }
+  // Reopening the same directory with a different shard count is refused.
+  o.shards = 4;
+  {
+    std::ostringstream log;
+    EXPECT_EQ(cli::RunServe(o, log), 1);
+    EXPECT_NE(log.str().find("--shards=2"), std::string::npos) << log.str();
   }
   std::filesystem::remove_all(wal_dir);
 }

@@ -15,6 +15,7 @@
 #include "net/http_client.h"
 #include "net/http_status.h"
 #include "service/anonymization_service.h"
+#include "shard/sharded_service.h"
 
 namespace kanon::net {
 namespace {
@@ -48,16 +49,19 @@ std::string GridBody(size_t n, size_t offset = 0) {
 }
 
 struct ServerUnderTest {
-  std::unique_ptr<AnonymizationService> service;
+  std::unique_ptr<ShardedAnonymizationService> service;
   std::unique_ptr<AnonHttpFrontend> frontend;
   std::unique_ptr<HttpServer> server;
 };
 
 ServerUnderTest StartServer(ServiceOptions service_options, bool use_epoll,
-                            size_t num_threads = 2) {
+                            size_t num_threads = 2, size_t shards = 1) {
   ServerUnderTest s;
-  auto service_or = AnonymizationService::Create(2, SquareDomain(0, 100),
-                                                 service_options);
+  ShardedServiceOptions sharded_options;
+  sharded_options.service = service_options;
+  sharded_options.sharding.num_shards = shards;
+  auto service_or = ShardedAnonymizationService::Create(
+      2, SquareDomain(0, 100), sharded_options);
   EXPECT_TRUE(service_or.ok()) << service_or.status();
   s.service = std::move(*service_or);
   s.frontend = std::make_unique<AnonHttpFrontend>(s.service.get());
@@ -103,6 +107,7 @@ TEST_P(HttpServerBackendTest, LoopbackIngestThenReleaseEndToEnd) {
   const auto snapshot = s.service->PublishNow();
   ASSERT_NE(snapshot, nullptr);
   EXPECT_EQ(snapshot->info().records, 40u);
+  EXPECT_EQ(snapshot->info().num_shards, 1u);
 
   // The HTTP release must be byte-identical to the in-process release
   // serialized through the same deterministic formatter.
@@ -127,6 +132,9 @@ TEST_P(HttpServerBackendTest, LoopbackIngestThenReleaseEndToEnd) {
   ASSERT_TRUE(base.ok());
   ASSERT_EQ(base->status, 200);
   EXPECT_NE(base->body.find("\"k1\":5"), std::string::npos);
+  EXPECT_NE(base->body.find("\"shards\":1"), std::string::npos);
+  EXPECT_NE(base->body.find("\"shard_epochs\":[1]"), std::string::npos)
+      << base->body;
 
   // Health + metrics round out the read side.
   auto health = client.Get("/healthz");
@@ -139,6 +147,12 @@ TEST_P(HttpServerBackendTest, LoopbackIngestThenReleaseEndToEnd) {
   EXPECT_EQ(metrics->status, 200);
   EXPECT_NE(metrics->body.find("kanon_inserted_total 40"),
             std::string::npos);
+  EXPECT_NE(metrics->body.find("kanon_build_info{version=\""),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("kanon_shards 1"), std::string::npos);
+  EXPECT_NE(metrics->body.find("kanon_shard_inserted_total{shard=\"0\"} 40"),
+            std::string::npos)
+      << metrics->body;
   EXPECT_NE(metrics->body.find("kanon_http_requests_total{endpoint=\"ingest\""
                                ",code=\"200\"} 1"),
             std::string::npos)
@@ -349,20 +363,22 @@ TEST(HttpServerTest, ShutdownDrainLosesNoAcknowledgedRecords) {
   // Every record a client saw a 200 for is in the final snapshot. (The
   // snapshot may hold more: a request cut mid-drain after enqueueing some
   // of its lines was never acked but its lines still landed.)
-  const auto snapshot = s.service->CurrentSnapshot();
-  ASSERT_NE(snapshot, nullptr);
+  const auto stitched = s.service->CurrentStitched();
+  ASSERT_NE(stitched, nullptr);
   EXPECT_EQ(s.frontend->accepted(), acked.load());
-  EXPECT_GE(snapshot->info().records, acked.load());
-  EXPECT_EQ(s.service->Stats().inserted, snapshot->info().records);
+  EXPECT_GE(stitched->info().records, acked.load());
+  EXPECT_EQ(s.service->Stats().total.inserted, stitched->info().records);
 }
 
 // The TSan target: concurrent ingest POSTs and release GETs race against
-// snapshot publication. Run under -DKANON_SANITIZE=thread this validates
-// the lock discipline of the whole net + service stack.
+// snapshot publication, across four independently-publishing shards. Run
+// under -DKANON_SANITIZE=thread this validates the lock discipline of the
+// whole net + shard + service stack.
 TEST(HttpServerTest, ConcurrentIngestAndReleaseStress) {
   ServiceOptions options = SmallServiceOptions(4);
   options.snapshot_every = 50;  // publish frequently mid-traffic
-  ServerUnderTest s = StartServer(options, true, /*num_threads=*/4);
+  ServerUnderTest s =
+      StartServer(options, true, /*num_threads=*/4, /*shards=*/4);
 
   constexpr int kWriters = 2;
   constexpr int kReaders = 2;
@@ -404,6 +420,129 @@ TEST(HttpServerTest, ConcurrentIngestAndReleaseStress) {
             static_cast<uint64_t>(kWriters * kPostsPerWriter * 20));
   EXPECT_EQ(s.frontend->accepted(),
             static_cast<uint64_t>(kWriters * kPostsPerWriter * 20));
+}
+
+TEST(HttpServerTest, EmptyAndBlankIngestBodiesAcceptZero) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(3), true);
+  HttpClient client = ConnectTo(*s.server);
+  for (const char* body : {"", "\n", "\r\n\n  \n\t\n"}) {
+    auto post = client.Post("/ingest", body);
+    ASSERT_TRUE(post.ok()) << post.status();
+    EXPECT_EQ(post->status, 200) << post->body;
+    EXPECT_EQ(post->body, "{\"accepted\":0}");
+  }
+  EXPECT_EQ(s.frontend->accepted(), 0u);
+}
+
+// Sharded routing end-to-end: records spread across both shards, the
+// stitched release covers them all, and the k bound holds on the stitch.
+TEST(HttpServerTest, TwoShardIngestStitchesBothShards) {
+  ServerUnderTest s =
+      StartServer(SmallServiceOptions(5), true, /*num_threads=*/2,
+                  /*shards=*/2);
+  HttpClient client = ConnectTo(*s.server);
+  auto post = client.Post("/ingest", GridBody(200));
+  ASSERT_TRUE(post.ok());
+  ASSERT_EQ(post->status, 200);
+
+  const auto stitched = s.service->PublishNow();
+  ASSERT_NE(stitched, nullptr);
+  EXPECT_EQ(stitched->info().records, 200u);
+  EXPECT_GT(stitched->info().shard_records[0], 0u);
+  EXPECT_GT(stitched->info().shard_records[1], 0u);
+
+  auto get = client.Get("/release");
+  ASSERT_TRUE(get.ok());
+  ASSERT_EQ(get->status, 200);
+  EXPECT_NE(get->body.find("\"shards\":2"), std::string::npos);
+  EXPECT_NE(get->body.find("\"records\":200"), std::string::npos);
+  EXPECT_TRUE(stitched->Release(5).CheckKAnonymous(5).ok());
+}
+
+// When every shard's disk dies, ingest answers 503 on whichever shard a
+// record routes to and /healthz reports the fleet degraded.
+TEST(HttpServerTest, AllShardsDegradedSurfacesAs503) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       "kanon_http_all_degraded_test")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  FaultInjectionOptions fault;
+  fault.seed = 11;
+  // Past both shards' setup I/O, short of the stream: every durability
+  // operation fails once traffic is flowing, so both shards degrade.
+  fault.break_after_ops = 260;
+  fault.sync_faults = true;
+  FaultInjectionEnv env(Env::Default(), fault);
+
+  ServiceOptions options = SmallServiceOptions(3);
+  options.durability.wal_dir = dir;
+  options.durability.env = &env;
+  options.durability.retry_backoff_ms = 1;
+  options.durability.retry_backoff_max_ms = 2;
+  ServerUnderTest s =
+      StartServer(options, true, /*num_threads=*/2, /*shards=*/2);
+  HttpClient client = ConnectTo(*s.server);
+
+  // Alternate points that hash to both shards until every shard has
+  // degraded; from then on every ingest line must answer 503.
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    if (s.service->shard(0)->health() == ServiceHealth::kDegraded &&
+        s.service->shard(1)->health() == ServiceHealth::kDegraded) {
+      break;
+    }
+    (void)client.Post("/ingest", GridBody(20, attempt * 20));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(s.service->health(), ServiceHealth::kDegraded);
+
+  auto post = client.Post("/ingest", GridBody(20, 999000));
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->status, 503);
+  EXPECT_NE(post->body.find("\"error\":\"Unavailable\""), std::string::npos)
+      << post->body;
+
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 503);
+  EXPECT_NE(health->body.find("\"health\":\"degraded\""), std::string::npos);
+  EXPECT_NE(health->body.find("\"shards\":[\"degraded\",\"degraded\"]"),
+            std::string::npos)
+      << health->body;
+
+  std::filesystem::remove_all(dir);
+}
+
+// Differential guarantee of the stitched path: a single-shard sharded
+// service is byte-identical — over the same deterministic serializer — to
+// the plain unsharded service fed the same stream.
+TEST(HttpServerTest, SingleShardReleaseMatchesUnshardedByteForByte) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(4), true);
+  HttpClient client = ConnectTo(*s.server);
+  ASSERT_EQ(client.Post("/ingest", GridBody(150))->status, 200);
+  const auto stitched = s.service->PublishNow();
+  ASSERT_NE(stitched, nullptr);
+
+  auto unsharded_or = AnonymizationService::Create(2, SquareDomain(0, 100),
+                                                   SmallServiceOptions(4));
+  ASSERT_TRUE(unsharded_or.ok());
+  AnonymizationService& unsharded = **unsharded_or;
+  std::vector<double> point(2);
+  for (size_t i = 0; i < 150; ++i) {
+    point[0] = static_cast<double>(i % 97);
+    point[1] = static_cast<double>((i * 7) % 89);
+    ASSERT_TRUE(unsharded.Ingest(point, static_cast<int32_t>(i % 5)).ok());
+  }
+  const auto plain = unsharded.PublishNow();
+  ASSERT_NE(plain, nullptr);
+
+  for (const size_t k1 : {size_t{4}, size_t{8}, size_t{32}}) {
+    EXPECT_EQ(PartitionsJson(stitched->Release(k1), /*with_rids=*/true),
+              PartitionsJson(plain->Release(k1), /*with_rids=*/true))
+        << "k1=" << k1;
+  }
+  unsharded.Stop();
 }
 
 TEST(HttpServerTest, SerializeResponseFramesBody) {

@@ -367,6 +367,16 @@ bool ParseServeArgs(int argc, const char* const* argv,
       if (v == nullptr) return false;
       options->serve_seconds = std::strtod(v, nullptr);
       if (options->serve_seconds < 0.0) return false;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->shards = std::strtoul(v, nullptr, 10);
+      if (options->shards == 0) return false;
+    } else if (arg == "--shard-by" || arg == "--shard_by") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->shard_by = v;
+      if (!ShardByFromName(options->shard_by).ok()) return false;
     } else {
       return false;
     }
@@ -455,19 +465,40 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
         << " mean_ops=" << fault_options.mean_ops_between_faults
         << " break_after=" << fault_options.break_after_ops << "\n";
   }
+  ShardedServiceOptions sharded_options;
+  sharded_options.service = service_options;
+  sharded_options.sharding.num_shards = options.shards;
+  if (auto by = ShardByFromName(options.shard_by); by.ok()) {
+    sharded_options.sharding.shard_by = *by;
+  } else {
+    log << by.status() << "\n";
+    return 1;
+  }
   auto service_or =
-      AnonymizationService::Create(dim, domain, service_options);
+      ShardedAnonymizationService::Create(dim, domain, sharded_options);
   if (!service_or.ok()) {
     log << service_or.status() << "\n";
     return 1;
   }
-  AnonymizationService& service = **service_or;
+  ShardedAnonymizationService& service = **service_or;
   if (!options.wal_dir.empty()) {
-    const RecoveryResult& r = service.recovery();
-    log << "recovery: recovered=" << r.recovered
-        << " checkpoint_lsn=" << r.checkpoint_lsn
-        << " replayed=" << r.replayed << " next_lsn=" << r.next_lsn
-        << " torn_tail=" << (r.truncated_torn_tail ? 1 : 0) << "\n";
+    if (options.shards == 1) {
+      // The single-shard line keeps the exact pre-sharding format — the
+      // crash-recovery harness greps it.
+      const RecoveryResult& r = service.shard_recovery(0);
+      log << "recovery: recovered=" << r.recovered
+          << " checkpoint_lsn=" << r.checkpoint_lsn
+          << " replayed=" << r.replayed << " next_lsn=" << r.next_lsn
+          << " torn_tail=" << (r.truncated_torn_tail ? 1 : 0) << "\n";
+    } else {
+      for (size_t i = 0; i < service.num_shards(); ++i) {
+        const RecoveryResult& r = service.shard_recovery(i);
+        log << "recovery shard=" << i << ": recovered=" << r.recovered
+            << " checkpoint_lsn=" << r.checkpoint_lsn
+            << " replayed=" << r.replayed << " next_lsn=" << r.next_lsn
+            << " torn_tail=" << (r.truncated_torn_tail ? 1 : 0) << "\n";
+      }
+    }
   }
 
   // The HTTP front-end (when --listen is given) starts before the
@@ -495,11 +526,13 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
       log << s << "\n";
       return 1;
     }
+    frontend->SetBackendLabel(server->using_epoll() ? "epoll" : "poll");
     g_signal.store(0, std::memory_order_relaxed);
     InstallDrainSignalHandlers();
-    log << "listening on " << server->host() << ":" << server->port() << " ("
-        << (server->using_epoll() ? "epoll" : "poll") << ", "
-        << options.http_threads << " threads)\n";
+    log << "listening on " << server->host() << ":" << server->bound_port()
+        << " (" << (server->using_epoll() ? "epoll" : "poll") << ", "
+        << options.http_threads << " threads, " << options.shards
+        << " shard" << (options.shards == 1 ? "" : "s") << ")\n";
   }
 
   // Each producer streams a stripe of the file at its share of the target
@@ -556,8 +589,17 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
   service.Stop();
   const double elapsed_s = timer.ElapsedSeconds();
 
-  const ServiceStats stats = service.Stats();
+  const ShardedServiceStats sharded_stats = service.Stats();
+  const ServiceStats& stats = sharded_stats.total;
   log << FormatServiceStats(stats) << "\n";
+  if (options.shards > 1) {
+    for (size_t i = 0; i < sharded_stats.shards.size(); ++i) {
+      const ServiceStats& s = sharded_stats.shards[i];
+      log << "shard " << i << ": inserted=" << s.inserted
+          << " snapshots=" << s.snapshots << " rejected=" << s.rejected
+          << " health=" << ServiceHealthName(s.health) << "\n";
+    }
+  }
   if (server != nullptr) {
     const net::HttpServerStats hs = server->stats();
     log << "http: accepted_conns=" << hs.connections_accepted
@@ -588,8 +630,8 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
         << static_cast<double>(stats.inserted) / elapsed_s << " rec/s)\n";
   }
 
-  const auto snapshot = service.CurrentSnapshot();
-  if (snapshot == nullptr) {
+  const auto stitched = service.CurrentStitched();
+  if (stitched == nullptr) {
     log << "no snapshot published: fewer than k=" << options.k
         << " records were ingested\n";
     // A recover-only pass over a near-empty log is not a failure, and
@@ -600,12 +642,25 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
                ? 0
                : 1;
   }
-  const SnapshotInfo& info = snapshot->info();
+  const StitchedInfo& info = stitched->info();
+  const PartitionSet base_release = stitched->Release(info.base_k);
   log << "final snapshot: epoch=" << info.epoch
       << " records=" << info.records
-      << " partitions=" << info.num_partitions << " min_partition="
-      << info.min_partition << " max_partition=" << info.max_partition
-      << " avgNCP=" << info.avg_ncp << "\n";
+      << " partitions=" << base_release.num_partitions()
+      << " min_partition=" << base_release.min_partition_size()
+      << " max_partition=" << base_release.max_partition_size()
+      << " avgNCP=" << AverageBoxNcp(base_release, stitched->domain())
+      << "\n";
+
+  // A shard smaller than k1 caps what the stitched release can guarantee
+  // for its slice, exactly like info.records caps the unsharded check.
+  size_t min_covered_records = info.records;
+  for (size_t i = 0; i < info.shard_records.size(); ++i) {
+    if (info.shard_epochs[i] > 0) {
+      min_covered_records = std::min(min_covered_records,
+                                     info.shard_records[i]);
+    }
+  }
 
   for (const size_t k1 : options.releases) {
     auto release = service.GetRelease(k1);
@@ -613,8 +668,8 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
       log << release.status() << "\n";
       return 1;
     }
-    const size_t effective_k = std::min<size_t>(std::max(k1, options.k),
-                                                info.records);
+    const size_t effective_k = std::min(std::max(k1, options.k),
+                                        min_covered_records);
     if (auto s = release->CheckKAnonymous(effective_k); !s.ok()) {
       log << "internal error, refusing to publish k1=" << k1 << ": " << s
           << "\n";
@@ -623,7 +678,7 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
     log << "release k1=" << k1 << ": partitions="
         << release->num_partitions() << " min_partition="
         << release->min_partition_size() << " avgNCP="
-        << AverageBoxNcp(*release, snapshot->domain()) << "\n";
+        << AverageBoxNcp(*release, stitched->domain()) << "\n";
   }
   return 0;
 }

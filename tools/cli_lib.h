@@ -93,6 +93,14 @@ struct ServeOptions {
   /// Stop serving after this many seconds even without a signal
   /// (0 = until signaled). Primarily for scripted smoke tests.
   double serve_seconds = 0.0;
+
+  // Sharding (--shards N, --shard-by hash|range). Each shard is a full
+  // service with its own ingest thread and wal-dir/shard-<i>/ durability
+  // directory; releases stitch the per-shard snapshots. A durable
+  // directory remembers its layout: reopening with a different --shards
+  // or --shard-by is rejected.
+  size_t shards = 1;
+  std::string shard_by = "hash";
 };
 
 /// Parses "HOST:PORT", ":PORT" or "PORT" (host defaults to 127.0.0.1).

@@ -23,6 +23,10 @@
 #                               (curl POST /ingest against --listen) so the
 #                               SIGKILL lands mid-HTTP-request; the
 #                               durability invariants must hold identically
+#        KANON_SHARDS=N         serve and recover with N shards: the kill
+#                               lands across N independent WAL directories
+#                               and the conservation invariant must hold
+#                               per shard (recovered_i == next_lsn_i - 1)
 
 set -u
 
@@ -32,6 +36,12 @@ WORKDIR=${3:-$(mktemp -d /tmp/kanon_crash_stress_XXXXXX)}
 K=10
 ROWS=20000
 FAULT_BASE_SEED=${KANON_FAULT_SEED:-}
+SHARDS=${KANON_SHARDS:-1}
+
+SHARD_ARGS=""
+if [ "$SHARDS" -gt 1 ]; then
+  SHARD_ARGS="--shards $SHARDS"
+fi
 
 mkdir -p "$WORKDIR"
 INPUT="$WORKDIR/stream.csv"
@@ -64,7 +74,7 @@ for i in $(seq 1 "$ITERATIONS"); do
     # the kill also lands mid-request / mid-response on the socket path.
     "$CLI" serve --listen 127.0.0.1:0 --domain "0:1000,0:1000" --k "$K" \
       --wal-dir "$WAL_DIR" --fsync-every 64 --checkpoint-every 2000 \
-      > "$LOG" 2>&1 &
+      $SHARD_ARGS > "$LOG" 2>&1 &
     PID=$!
     PORT=""
     for _ in $(seq 1 100); do
@@ -82,7 +92,7 @@ for i in $(seq 1 "$ITERATIONS"); do
   else
     "$CLI" serve --input "$INPUT" --k "$K" --rate 30000 \
       --wal-dir "$WAL_DIR" --fsync-every 64 --checkpoint-every 2000 \
-      > "$LOG" 2>&1 &
+      $SHARD_ARGS > "$LOG" 2>&1 &
     PID=$!
   fi
   sleep "0.$(( (RANDOM % 7) + 1 ))"
@@ -96,22 +106,42 @@ for i in $(seq 1 "$ITERATIONS"); do
   # Recovery models restarting on healthy hardware: no fault injection.
   RECOVERY_LOG="$WORKDIR/recover_$i.log"
   env -u KANON_FAULT_SEED "$CLI" serve --input "$INPUT" --k "$K" \
-    --recover-only \
+    --recover-only $SHARD_ARGS \
     --wal-dir "$WAL_DIR" --fsync-every 64 --checkpoint-every 2000 \
     > "$RECOVERY_LOG" 2>&1 \
     || fail "iteration $i: recovery exited non-zero (see $RECOVERY_LOG)"
 
-  LINE=$(grep '^recovery:' "$RECOVERY_LOG") \
-    || fail "iteration $i: no recovery line in $RECOVERY_LOG"
-  RECOVERED=$(echo "$LINE" | sed -n 's/.*recovered=\([0-9]*\).*/\1/p')
-  NEXT_LSN=$(echo "$LINE" | sed -n 's/.*next_lsn=\([0-9]*\).*/\1/p')
+  if [ "$SHARDS" -gt 1 ]; then
+    # Per-shard conservation: every shard replays its own WAL directory
+    # and must hold exactly one record per assigned LSN.
+    RECOVERED=0
+    MAX_SHARD_RECOVERED=0
+    for s in $(seq 0 $((SHARDS - 1))); do
+      LINE=$(grep "^recovery shard=$s:" "$RECOVERY_LOG") \
+        || fail "iteration $i: no recovery line for shard $s in $RECOVERY_LOG"
+      R=$(echo "$LINE" | sed -n 's/.*recovered=\([0-9]*\).*/\1/p')
+      NL=$(echo "$LINE" | sed -n 's/.*next_lsn=\([0-9]*\).*/\1/p')
+      [ "$R" -eq $((NL - 1)) ] \
+        || fail "iteration $i shard $s: recovered=$R != next_lsn-1=$((NL - 1))"
+      RECOVERED=$((RECOVERED + R))
+      [ "$R" -gt "$MAX_SHARD_RECOVERED" ] && MAX_SHARD_RECOVERED=$R
+    done
+  else
+    LINE=$(grep '^recovery:' "$RECOVERY_LOG") \
+      || fail "iteration $i: no recovery line in $RECOVERY_LOG"
+    RECOVERED=$(echo "$LINE" | sed -n 's/.*recovered=\([0-9]*\).*/\1/p')
+    NEXT_LSN=$(echo "$LINE" | sed -n 's/.*next_lsn=\([0-9]*\).*/\1/p')
 
-  # Exactly-once: the tree holds one record per assigned LSN, no more, no
-  # fewer — double-replay or lost-acked-record both break this equality.
-  [ "$RECOVERED" -eq $((NEXT_LSN - 1)) ] \
-    || fail "iteration $i: recovered=$RECOVERED != next_lsn-1=$((NEXT_LSN - 1))"
+    # Exactly-once: the tree holds one record per assigned LSN, no more, no
+    # fewer — double-replay or lost-acked-record both break this equality.
+    [ "$RECOVERED" -eq $((NEXT_LSN - 1)) ] \
+      || fail "iteration $i: recovered=$RECOVERED != next_lsn-1=$((NEXT_LSN - 1))"
+    MAX_SHARD_RECOVERED=$RECOVERED
+  fi
 
-  if [ "$RECOVERED" -ge "$K" ]; then
+  # A shard publishes on recovery only once it holds >= k records, so the
+  # stitched snapshot (and its k bound) is owed whenever any shard does.
+  if [ "$MAX_SHARD_RECOVERED" -ge "$K" ]; then
     SNAP=$(grep '^final snapshot:' "$RECOVERY_LOG") \
       || fail "iteration $i: no final snapshot despite $RECOVERED records"
     MIN_PART=$(echo "$SNAP" | sed -n 's/.*min_partition=\([0-9]*\).*/\1/p')
@@ -121,8 +151,9 @@ for i in $(seq 1 "$ITERATIONS"); do
   SEED=$(sed -n 's/^fault injection: seed=\([0-9]*\).*/\1/p' "$LOG" \
          | head -n 1)
   echo "iteration $i: recovered=$RECOVERED" \
-       "min_partition=${MIN_PART:-n/a} fault_seed=${SEED:-off} ok"
+       "min_partition=${MIN_PART:-n/a} fault_seed=${SEED:-off}" \
+       "shards=$SHARDS ok"
 done
 
-echo "PASS: $ITERATIONS crash/recover iterations survived"
+echo "PASS: $ITERATIONS crash/recover iterations survived (shards=$SHARDS)"
 rm -rf "$WORKDIR"

@@ -11,6 +11,9 @@
 #      this script is the only writer).
 #
 # Usage: http_serve_smoke.sh <kanon_cli> [workdir]
+# Env:   KANON_SHARDS=N   serve with N shards (default 1): ingest fans out
+#                         across shard queues and the release below is the
+#                         stitched per-shard snapshot
 
 set -u
 
@@ -19,6 +22,12 @@ WORKDIR=${2:-$(mktemp -d /tmp/kanon_http_smoke_XXXXXX)}
 K=5
 ROWS=4000
 BATCH=200
+SHARDS=${KANON_SHARDS:-1}
+
+SHARD_ARGS=""
+if [ "$SHARDS" -gt 1 ]; then
+  SHARD_ARGS="--shards $SHARDS"
+fi
 
 mkdir -p "$WORKDIR"
 LOG="$WORKDIR/serve.log"
@@ -28,7 +37,7 @@ fail() { echo "FAIL: $*" >&2; exit 1; }
 
 # --- Start the server (ephemeral port, WAL on, HTTP-only ingest) ---------
 "$CLI" serve --listen 127.0.0.1:0 --domain "0:1000,0:1000" --k "$K" \
-  --snapshot-every 500 --wal-dir "$WAL_DIR" > "$LOG" 2>&1 &
+  --snapshot-every 500 --wal-dir "$WAL_DIR" $SHARD_ARGS > "$LOG" 2>&1 &
 PID=$!
 trap 'kill -9 $PID 2> /dev/null' EXIT
 
@@ -76,12 +85,22 @@ grep -q '"health":"serving"' "$WORKDIR/health.json" \
 
 curl -sS -m 10 "$BASE/metrics" > "$WORKDIR/metrics.txt"
 for metric in kanon_inserted_total kanon_wal_appended_total \
-              kanon_http_requests_total kanon_http_request_latency_ms; do
+              kanon_http_requests_total kanon_http_request_latency_ms \
+              kanon_build_info kanon_shards; do
   grep -q "$metric" "$WORKDIR/metrics.txt" \
     || fail "/metrics is missing $metric"
 done
 grep -q "kanon_inserted_total $ROWS" "$WORKDIR/metrics.txt" \
   || fail "/metrics inserted_total != $ROWS"
+grep -q "^kanon_shards $SHARDS$" "$WORKDIR/metrics.txt" \
+  || fail "/metrics kanon_shards != $SHARDS"
+if [ "$SHARDS" -gt 1 ]; then
+  for s in $(seq 0 $((SHARDS - 1))); do
+    grep -q "kanon_shard_inserted_total{shard=\"$s\"}" \
+      "$WORKDIR/metrics.txt" \
+      || fail "/metrics is missing per-shard series for shard $s"
+  done
+fi
 echo "read side ok (release, query, healthz, metrics)"
 
 # --- Error mapping: malformed ingest is 400, unknown route 404 -----------
