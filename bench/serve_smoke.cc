@@ -3,7 +3,9 @@
 //
 //   serve_smoke [--records N] [--batch B] [--writers W] [--readers R]
 //               [--shards S] [--shard-by hash|range] [--snapshot-every E]
-//               [--sweep "1,2,4,8"] [--json PATH]
+//               [--memtable-bytes N] [--merge-every N]
+//               [--sweep "1,2,4,8"] [--memtable-sweep "0,4,16,64"]
+//               [--json PATH]
 //
 // Starts the full serving stack in-process — the sharded anonymization
 // service behind the epoll HTTP server on an ephemeral loopback port —
@@ -19,6 +21,20 @@
 // scaling evidence for the sharded tentpole. Writers scale with the shard
 // count in sweep mode (max(W, shards)) so client concurrency is never the
 // artificial ceiling.
+//
+// --memtable-sweep runs the ingest workload once per memtable size (MiB,
+// 0 = the record-at-a-time path) and writes BENCH_ingest.json with
+// aggregate ingest throughput plus p99 release staleness — how many
+// acknowledged records the served snapshot trailed by when each release
+// was sampled. The pair is the write-absorption trade stated honestly:
+// absorbing acknowledgments into the memtable decouples them from tree
+// maintenance (ingest throughput rises), while the records reach the
+// index at the next merge (staleness bounds how far the published view
+// lags). The sweep drives the service in-process — producers call
+// Ingest() and readers poll the stitched snapshot directly — because the
+// loopback HTTP hop costs several microseconds per record and would bury
+// the ingest tier it measures; the HTTP path itself is exercised by the
+// main mode, which also accepts --memtable-bytes/--merge-every.
 //
 // Exit codes: 0 on success, 1 when the stack misbehaves (failed request,
 // lost records, no snapshot) — so CI fails loudly, not just slowly.
@@ -84,6 +100,9 @@ struct RunConfig {
   /// of the ingest budget goes to publication — the cost sharding divides:
   /// at the same cadence an N-shard service rebuilds trees 1/N the size.
   uint64_t snapshot_every = 0;
+  /// LSM ingest tier (0/0 = record-at-a-time path). See LsmOptions.
+  size_t memtable_bytes = 0;
+  uint64_t merge_every = 0;
 };
 
 struct RunResult {
@@ -94,6 +113,12 @@ struct RunResult {
   SideStats ingest;
   SideStats release;
   std::vector<uint64_t> per_shard_inserted;
+  /// Records the served snapshot trailed acknowledged ingest by, sampled
+  /// per successful /release request.
+  double staleness_p50 = 0, staleness_p99 = 0, staleness_max = 0;
+  uint64_t merges = 0;
+  double queue_wait_ms = 0, apply_ms = 0;
+  uint64_t batches = 0;
 };
 
 RunResult RunOnce(const RunConfig& cfg) {
@@ -104,6 +129,8 @@ RunResult RunOnce(const RunConfig& cfg) {
   ShardedServiceOptions service_options;
   service_options.service.anonymizer.base_k = 10;
   service_options.service.snapshot_every = cfg.snapshot_every;
+  service_options.service.lsm.memtable_bytes = cfg.memtable_bytes;
+  service_options.service.lsm.merge_every = cfg.merge_every;
   service_options.sharding.num_shards = cfg.shards;
   service_options.sharding.shard_by = cfg.shard_by;
   auto service_or =
@@ -140,6 +167,7 @@ RunResult RunOnce(const RunConfig& cfg) {
   std::mutex mu;
   std::vector<double> ingest_lat_ms;
   std::vector<double> release_lat_ms;
+  std::vector<double> staleness_records;
   uint64_t release_requests = 0;
 
   Timer wall;
@@ -187,7 +215,12 @@ RunResult RunOnce(const RunConfig& cfg) {
           "/release/query?k1=" + std::to_string(10 << (r % 3)) +
           "&summary=1";
       std::vector<double> lat;
+      std::vector<double> stale;
       while (!writers_done.load(std::memory_order_relaxed)) {
+        // Acknowledged count sampled before the request: every record
+        // acked by then but missing from the answered snapshot is
+        // staleness this reader observed.
+        const uint64_t acked = frontend.accepted();
         Timer t;
         auto resp = client.Get(target);
         // 503 before the first snapshot is expected early on.
@@ -196,11 +229,23 @@ RunResult RunOnce(const RunConfig& cfg) {
           failed.store(true);
           return;
         }
-        if (resp->status == 200) lat.push_back(t.ElapsedMillis());
+        if (resp->status == 200) {
+          lat.push_back(t.ElapsedMillis());
+          const size_t pos = resp->body.find("\"records\":");
+          if (pos != std::string::npos) {
+            const uint64_t covered =
+                std::strtoull(resp->body.c_str() + pos + 10, nullptr, 10);
+            stale.push_back(acked > covered
+                                ? static_cast<double>(acked - covered)
+                                : 0.0);
+          }
+        }
       }
       std::lock_guard<std::mutex> lock(mu);
       release_requests += lat.size();
       release_lat_ms.insert(release_lat_ms.end(), lat.begin(), lat.end());
+      staleness_records.insert(staleness_records.end(), stale.begin(),
+                               stale.end());
     });
   }
   for (size_t w = 0; w < cfg.writers; ++w) threads[w].join();
@@ -239,10 +284,20 @@ RunResult RunOnce(const RunConfig& cfg) {
   result.release_req_per_s = static_cast<double>(release_requests) /
                              std::max(total_seconds, 1e-9);
 
+  result.staleness_p50 = Percentile(&staleness_records, 50);
+  result.staleness_p99 = Percentile(&staleness_records, 99);
+  if (!staleness_records.empty()) {
+    result.staleness_max = staleness_records.back();  // sorted by Percentile
+  }
+
   const ShardedServiceStats stats = service.Stats();
   for (const ServiceStats& s : stats.shards) {
     result.per_shard_inserted.push_back(s.inserted);
   }
+  result.merges = stats.total.merges;
+  result.queue_wait_ms = stats.total.queue_wait_ms;
+  result.apply_ms = stats.total.apply_ms;
+  result.batches = stats.total.batches;
 
   bench::TablePrinter table(
       {"side", "requests", "throughput", "p50 ms", "p95 ms", "p99 ms"});
@@ -257,11 +312,129 @@ RunResult RunOnce(const RunConfig& cfg) {
                 bench::Fmt(result.release.p95),
                 bench::Fmt(result.release.p99)});
   table.Print();
+  if (cfg.memtable_bytes > 0 || cfg.merge_every > 0) {
+    std::cout << "memtable: merges=" << result.merges
+              << " staleness p50=" << bench::Fmt(result.staleness_p50, 0)
+              << " p99=" << bench::Fmt(result.staleness_p99, 0)
+              << " max=" << bench::Fmt(result.staleness_max, 0)
+              << " records behind\n";
+  }
   const PartitionSet base_release =
       stitched->Release(stitched->info().base_k);
   std::cout << "final snapshot: epoch=" << stitched->info().epoch
             << " records=" << stitched->info().records
             << " partitions=" << base_release.num_partitions() << "\n";
+  result.ok = true;
+  return result;
+}
+
+/// One point of the write-absorption sweep: W in-process producers push
+/// the record stream through Ingest() while R readers poll the stitched
+/// snapshot and log how far it trails acknowledged ingest. Ingest
+/// throughput is measured at acknowledgment (producers joined) — the
+/// quantity write absorption improves; Stop() (final flush + publish)
+/// runs after the clock so deferred merges show up as staleness, not as
+/// hidden ingest time.
+RunResult RunIngestPoint(const RunConfig& cfg) {
+  RunResult result;
+  Domain domain;
+  domain.lo = {0, 0};
+  domain.hi = {100, 100};
+  ShardedServiceOptions service_options;
+  service_options.service.anonymizer.base_k = 10;
+  service_options.service.snapshot_every = cfg.snapshot_every;
+  service_options.service.queue_capacity = 8192;
+  service_options.service.lsm.memtable_bytes = cfg.memtable_bytes;
+  service_options.service.lsm.merge_every = cfg.merge_every;
+  service_options.sharding.num_shards = cfg.shards;
+  service_options.sharding.shard_by = cfg.shard_by;
+  auto service_or =
+      ShardedAnonymizationService::Create(2, domain, service_options);
+  if (!service_or.ok()) {
+    std::cerr << "service: " << service_or.status() << "\n";
+    return result;
+  }
+  ShardedAnonymizationService& service = **service_or;
+
+  std::atomic<uint64_t> acked{0};
+  std::atomic<bool> writers_done{false};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::vector<double> staleness_records;
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < cfg.writers; ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<double> point(2);
+      for (size_t i = w; i < cfg.records; i += cfg.writers) {
+        point[0] = static_cast<double>(i % 97);
+        point[1] = static_cast<double>((i * 7) % 89);
+        if (!service.Ingest(point, static_cast<int32_t>(i % 5)).ok()) {
+          failed.store(true);
+          return;
+        }
+        acked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (size_t r = 0; r < cfg.readers; ++r) {
+    threads.emplace_back([&] {
+      std::vector<double> stale;
+      while (!writers_done.load(std::memory_order_relaxed)) {
+        const uint64_t acked_now = acked.load(std::memory_order_relaxed);
+        const auto stitched = service.CurrentStitched();
+        // No stitched release yet means every acked record is unreadable —
+        // staleness is the full acked count, not zero.
+        const uint64_t covered =
+            stitched != nullptr ? stitched->info().records : 0;
+        stale.push_back(acked_now > covered
+                            ? static_cast<double>(acked_now - covered)
+                            : 0.0);
+        std::this_thread::yield();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      staleness_records.insert(staleness_records.end(), stale.begin(),
+                               stale.end());
+    });
+  }
+  for (size_t w = 0; w < cfg.writers; ++w) threads[w].join();
+  const double ingest_seconds = wall.ElapsedSeconds();
+  writers_done.store(true, std::memory_order_relaxed);
+  for (size_t t = cfg.writers; t < threads.size(); ++t) threads[t].join();
+  service.Stop();
+
+  const auto stitched = service.CurrentStitched();
+  if (failed.load() || stitched == nullptr ||
+      stitched->info().records != cfg.records) {
+    std::cerr << "FAIL: acked=" << acked.load() << " want=" << cfg.records
+              << " snapshot_records="
+              << (stitched != nullptr ? stitched->info().records : 0)
+              << "\n";
+    return result;
+  }
+  result.ingest_rec_per_s =
+      static_cast<double>(cfg.records) / std::max(ingest_seconds, 1e-9);
+  // Each staleness sample is one snapshot poll — the sweep's analogue of
+  // a release request.
+  result.release_req_per_s = static_cast<double>(staleness_records.size()) /
+                             std::max(ingest_seconds, 1e-9);
+  result.staleness_p50 = Percentile(&staleness_records, 50);
+  result.staleness_p99 = Percentile(&staleness_records, 99);
+  if (!staleness_records.empty()) {
+    result.staleness_max = staleness_records.back();  // sorted by Percentile
+  }
+  const ShardedServiceStats stats = service.Stats();
+  result.merges = stats.total.merges;
+  result.queue_wait_ms = stats.total.queue_wait_ms;
+  result.apply_ms = stats.total.apply_ms;
+  result.batches = stats.total.batches;
+  std::cout << "ingest " << bench::Fmt(result.ingest_rec_per_s, 0)
+            << " rec/s; merges=" << result.merges << " apply="
+            << bench::Fmt(result.apply_ms, 0) << "ms over "
+            << result.batches << " batches; staleness p50="
+            << bench::Fmt(result.staleness_p50, 0) << " p99="
+            << bench::Fmt(result.staleness_p99, 0) << " records behind\n";
   result.ok = true;
   return result;
 }
@@ -273,6 +446,7 @@ int main(int argc, char** argv) {
   cfg.records = bench::Scaled(50000);
   std::string json_path;
   std::vector<size_t> sweep;
+  std::vector<size_t> memtable_sweep_mib;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -303,6 +477,26 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return 2;
       cfg.snapshot_every = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--memtable-bytes" || arg == "--memtable_bytes") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cfg.memtable_bytes = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--merge-every" || arg == "--merge_every") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      cfg.merge_every = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--memtable-sweep" || arg == "--memtable_sweep") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      const std::string spec = v;
+      size_t start = 0;
+      while (start <= spec.size()) {
+        size_t end = spec.find(',', start);
+        if (end == std::string::npos) end = spec.size();
+        memtable_sweep_mib.push_back(std::strtoul(
+            spec.substr(start, end - start).c_str(), nullptr, 10));
+        start = end + 1;
+      }
     } else if (arg == "--shard-by" || arg == "--shard_by") {
       const char* v = next();
       if (v == nullptr) return 2;
@@ -332,7 +526,9 @@ int main(int argc, char** argv) {
       std::cerr << "usage: serve_smoke [--records N] [--batch B] "
                    "[--writers W] [--readers R] [--shards S] "
                    "[--shard-by hash|range] [--snapshot-every E] "
-                   "[--sweep \"1,2,4,8\"] [--json PATH]\n";
+                   "[--memtable-bytes N] [--merge-every N] "
+                   "[--sweep \"1,2,4,8\"] "
+                   "[--memtable-sweep \"0,4,16,64\"] [--json PATH]\n";
       return 2;
     }
   }
@@ -389,6 +585,72 @@ int main(int argc, char** argv) {
         << "  \"readers\": " << cfg.readers << ",\n"
         << "  \"snapshot_every\": " << cfg.snapshot_every << ",\n"
         << "  \"shard_by\": \"" << ShardByName(cfg.shard_by) << "\",\n"
+        << "  \"sweep\": [\n"
+        << entries << "\n  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+    return 0;
+  }
+
+  if (!memtable_sweep_mib.empty()) {
+    // Write-absorption sweep: the same record stream, once per memtable
+    // size (0 = the record-at-a-time path). Snapshot cadence stays fixed
+    // across points so the staleness comparison is apples to apples. The
+    // default cadence is one publication per run: every publication builds
+    // a full stitched release — an O(total records) cost both modes pay
+    // identically — so frequent publishes measure release construction,
+    // not the ingest tier. Pass --snapshot-every for mixed workloads; the
+    // staleness columns always report the freshness cost of deferral.
+    if (json_path.empty()) json_path = "BENCH_ingest.json";
+    if (cfg.snapshot_every == 0) cfg.snapshot_every = cfg.records;
+    bench::PrintHeader("serve_smoke — write-absorbing ingest sweep",
+                       "ingest throughput and release staleness per "
+                       "memtable size");
+    std::string entries;
+    double baseline = 0;
+    for (const size_t mib : memtable_sweep_mib) {
+      RunConfig run = cfg;
+      run.memtable_bytes = mib << 20;
+      run.merge_every = 0;
+      std::cout << "\n== memtable="
+                << (mib == 0 ? std::string("off") : std::to_string(mib) +
+                                                        " MiB")
+                << " ==\n";
+      const RunResult result = RunIngestPoint(run);
+      if (!result.ok) return 1;
+      if (baseline == 0) baseline = result.ingest_rec_per_s;
+      std::cout << "aggregate ingest: "
+                << bench::Fmt(result.ingest_rec_per_s, 0) << " rec/s ("
+                << bench::Fmt(result.ingest_rec_per_s / baseline, 2)
+                << "x of memtable-off)\n";
+      if (!entries.empty()) entries += ",\n";
+      entries += "    {\"memtable_mib\": " + std::to_string(mib) +
+                 ", \"ingest_records_per_second\": " +
+                 std::to_string(result.ingest_rec_per_s) +
+                 ", \"speedup_vs_off\": " +
+                 std::to_string(result.ingest_rec_per_s /
+                                std::max(baseline, 1e-9)) +
+                 ", \"release_requests_per_second\": " +
+                 std::to_string(result.release_req_per_s) +
+                 ", \"staleness_p50_records\": " +
+                 std::to_string(result.staleness_p50) +
+                 ", \"staleness_p99_records\": " +
+                 std::to_string(result.staleness_p99) +
+                 ", \"staleness_max_records\": " +
+                 std::to_string(result.staleness_max) +
+                 ", \"merges\": " + std::to_string(result.merges) +
+                 ", \"queue_wait_ms\": " +
+                 std::to_string(result.queue_wait_ms) +
+                 ", \"apply_ms\": " + std::to_string(result.apply_ms) +
+                 ", \"batches\": " + std::to_string(result.batches) + "}";
+    }
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"records\": " << cfg.records << ",\n"
+        << "  \"batch\": " << cfg.batch << ",\n"
+        << "  \"writers\": " << cfg.writers << ",\n"
+        << "  \"readers\": " << cfg.readers << ",\n"
+        << "  \"shards\": " << cfg.shards << ",\n"
+        << "  \"snapshot_every\": " << cfg.snapshot_every << ",\n"
         << "  \"sweep\": [\n"
         << entries << "\n  ]\n}\n";
     std::cout << "\nwrote " << json_path << "\n";

@@ -1,0 +1,96 @@
+#include "lsm/memtable.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "index/hilbert.h"
+
+namespace kanon {
+
+Memtable::Memtable(size_t dim)
+    : dim_(dim),
+      record_bytes_(dim * sizeof(double) + sizeof(RecordId) +
+                    sizeof(int32_t)) {
+  KANON_CHECK(dim >= 1);
+}
+
+void Memtable::Append(std::span<const double> point, RecordId rid,
+                      int32_t sensitive) {
+  KANON_CHECK(point.size() == dim_);
+  points_.insert(points_.end(), point.begin(), point.end());
+  rids_.push_back(rid);
+  sensitives_.push_back(sensitive);
+}
+
+void Memtable::Clear() {
+  points_.clear();
+  rids_.clear();
+  sensitives_.clear();
+  sorted_.clear();
+  sorted_limit_ = 0;
+}
+
+std::vector<LeafGroup> Memtable::OverlayGroups(const Domain& domain,
+                                               CurveOrder order, int grid_bits,
+                                               size_t min_size,
+                                               size_t target_size,
+                                               size_t* held_back) const {
+  KANON_CHECK(domain.dim() == dim_ && target_size >= min_size &&
+              min_size >= 1);
+  const size_t n = size();
+  if (held_back != nullptr) *held_back = 0;
+  if (n < min_size) {
+    if (held_back != nullptr) *held_back = n;
+    return {};
+  }
+  if (order != sorted_order_ || grid_bits != sorted_grid_bits_ ||
+      domain.lo != sorted_domain_.lo || domain.hi != sorted_domain_.hi) {
+    sorted_.clear();
+    sorted_limit_ = 0;
+    sorted_order_ = order;
+    sorted_grid_bits_ = grid_bits;
+    sorted_domain_ = domain;
+  }
+  if (sorted_limit_ < n) {
+    const GridQuantizer quantizer(domain, grid_bits);
+    std::vector<uint32_t> grid(dim_);
+    const size_t prefix = sorted_.size();
+    sorted_.reserve(n);
+    for (size_t i = sorted_limit_; i < n; ++i) {
+      quantizer.Quantize(point(i), grid.data());
+      const std::span<const uint32_t> g(grid.data(), grid.size());
+      sorted_.emplace_back(order == CurveOrder::kHilbert
+                               ? HilbertKey(g, grid_bits)
+                               : ZOrderKey(g, grid_bits),
+                           i);
+    }
+    // Key ties break on slot so the overlay order matches the merge's
+    // (key, rid) total order (rids are appended in increasing order, so
+    // the slot index is a rid proxy).
+    std::sort(sorted_.begin() + prefix, sorted_.end());
+    std::inplace_merge(sorted_.begin(), sorted_.begin() + prefix,
+                       sorted_.end());
+    sorted_limit_ = n;
+  }
+  const auto& keyed = sorted_;
+  std::vector<LeafGroup> groups;
+  size_t begin = 0;
+  while (begin < n) {
+    size_t end = std::min(begin + target_size, n);
+    if (n - end > 0 && n - end < min_size) end = n;
+    LeafGroup g;
+    g.mbr = Mbr(dim_);
+    g.rids.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      const size_t slot = keyed[i].second;
+      g.rids.push_back(rids_[slot]);
+      g.mbr.ExpandToInclude(point(slot));
+    }
+    groups.push_back(std::move(g));
+    begin = end;
+  }
+  return groups;
+}
+
+}  // namespace kanon

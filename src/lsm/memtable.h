@@ -1,0 +1,93 @@
+#ifndef KANON_LSM_MEMTABLE_H_
+#define KANON_LSM_MEMTABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "index/bulk_load.h"
+#include "index/hilbert.h"
+
+namespace kanon {
+
+/// The write-absorbing tier of the LSM ingest path: an in-memory run of
+/// acknowledged records that have been WAL-logged but not yet merged into
+/// the R⁺-tree. Appends are O(dim) copies into flat columns — no tree
+/// maintenance at all — which is where the ingest-throughput win over
+/// record-at-a-time inserts comes from; the records reach the index later,
+/// in bulk, through MergeScheduler.
+///
+/// Single-writer like the tree it feeds: only the service's ingest thread
+/// touches a Memtable. Readers never see it directly — publication copies
+/// its contents into immutable overlay LeafGroups (OverlayGroups below),
+/// and durability never depends on it (the WAL already holds every record;
+/// crash recovery replays the tail right back into a fresh memtable).
+class Memtable {
+ public:
+  explicit Memtable(size_t dim);
+
+  /// Absorbs one acknowledged record. `rid` is the service's dense record
+  /// id (LSN - 1); the memtable preserves arrival order.
+  void Append(std::span<const double> point, RecordId rid, int32_t sensitive);
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return rids_.size(); }
+  bool empty() const { return rids_.empty(); }
+  /// Approximate resident footprint (payload columns only) — the quantity
+  /// the --memtable-bytes flush trigger is compared against.
+  size_t bytes() const { return rids_.size() * record_bytes_; }
+
+  std::span<const double> point(size_t i) const {
+    return {points_.data() + i * dim_, dim_};
+  }
+  RecordId rid(size_t i) const { return rids_[i]; }
+  int32_t sensitive(size_t i) const { return sensitives_[i]; }
+
+  /// Drops every record (after a merge adopted them into the tree).
+  /// Capacity is kept — the steady-state fill/flush cycle allocates
+  /// nothing.
+  void Clear();
+
+  /// The memtable's contribution to a published snapshot between flushes:
+  /// the resident records sorted by (curve key, rid) — the same order the
+  /// eventual merge will use — and chunked into leaf-sized groups of
+  /// `target_size` with any tail smaller than `min_size` folded into the
+  /// previous group. Every group therefore holds >= min_size (= base_k)
+  /// records, so overlay groups compose with tree leaves under LeafScan
+  /// without ever releasing a memtable resident below the k bound. When
+  /// fewer than min_size records are resident no group can be formed at
+  /// all; they are withheld and reported via `held_back`.
+  ///
+  /// The (curve key, slot) order is cached across calls: a publication only
+  /// keys and sorts the records appended since the previous one and merges
+  /// that delta into the cached sorted prefix, so steady-cadence snapshots
+  /// cost O(delta log delta + resident) instead of re-sorting every
+  /// resident record each time.
+  std::vector<LeafGroup> OverlayGroups(const Domain& domain, CurveOrder order,
+                                       int grid_bits, size_t min_size,
+                                       size_t target_size,
+                                       size_t* held_back) const;
+
+ private:
+  const size_t dim_;
+  const size_t record_bytes_;
+  std::vector<double> points_;  // row-major, size() * dim
+  std::vector<RecordId> rids_;
+  std::vector<int32_t> sensitives_;
+
+  // Publication-order cache: (curve key, slot) sorted pairs covering the
+  // first sorted_limit_ residents, plus the quantization parameters they
+  // were keyed under (a parameter change discards the cache). Only the
+  // single-writer ingest thread calls OverlayGroups, so the mutable cache
+  // needs no synchronization.
+  mutable std::vector<std::pair<CurveKey, size_t>> sorted_;
+  mutable size_t sorted_limit_ = 0;
+  mutable CurveOrder sorted_order_ = CurveOrder::kHilbert;
+  mutable int sorted_grid_bits_ = -1;
+  mutable Domain sorted_domain_;
+};
+
+}  // namespace kanon
+
+#endif  // KANON_LSM_MEMTABLE_H_

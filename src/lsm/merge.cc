@@ -1,0 +1,92 @@
+#include "lsm/merge.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "data/schema.h"
+#include "index/node.h"
+#include "storage/buffer_pool.h"
+#include "storage/external_sort.h"
+
+namespace kanon {
+
+namespace {
+
+size_t DeriveRunRecords(size_t dim, const MergeOptions& options) {
+  if (options.sort_run_records > 0) return options.sort_run_records;
+  // From the memory budget alone — run boundaries are part of the
+  // deterministic pipeline and must not vary with the thread count.
+  const RecordCodec spill_codec(dim + 1);
+  return std::max<size_t>(
+      1024, options.memory_budget_bytes / 4 / spill_codec.record_size());
+}
+
+}  // namespace
+
+MergeScheduler::MergeScheduler(size_t dim, MergeOptions options)
+    : dim_(dim),
+      options_(options),
+      run_records_(DeriveRunRecords(dim, options)) {
+  KANON_CHECK(dim >= 1);
+  KANON_CHECK_MSG(options_.memtable_bytes > 0 || options_.merge_every > 0,
+                  "MergeScheduler needs at least one flush trigger");
+  if (options_.threads > 1) {
+    workers_ = std::make_unique<ThreadPool>(options_.threads - 1);
+  }
+}
+
+bool MergeScheduler::ShouldMerge(const Memtable& run,
+                                 uint64_t since_merge) const {
+  if (run.empty()) return false;
+  if (options_.memtable_bytes > 0 && run.bytes() >= options_.memtable_bytes) {
+    return true;
+  }
+  return options_.merge_every > 0 && since_merge >= options_.merge_every;
+}
+
+StatusOr<RPlusTree> MergeScheduler::Merge(const RPlusTree& tree,
+                                          const Memtable& run) {
+  KANON_CHECK(tree.dim() == dim_ && run.dim() == dim_);
+  const uint64_t total = tree.size() + run.size();
+  // Gather the union addressed by rid. Dense rids make the rid the row
+  // index, so the rebuilt tree assigns every record its original id and
+  // successive merges compose without any translation table.
+  std::vector<double> points(total * dim_);
+  std::vector<int32_t> sensitives(total);
+  std::vector<uint8_t> seen(total, 0);
+  const auto put = [&](std::span<const double> point, RecordId rid,
+                       int32_t sensitive) {
+    KANON_CHECK_MSG(rid < total && !seen[rid],
+                    "merge requires dense, disjoint rids (rid=" << rid
+                                                                << ")");
+    seen[rid] = 1;
+    std::copy(point.begin(), point.end(), points.begin() + rid * dim_);
+    sensitives[rid] = sensitive;
+  };
+  for (const Node* leaf : tree.OrderedLeaves()) {
+    for (size_t i = 0; i < leaf->leaf_size(); ++i) {
+      put(leaf->point(i), leaf->rids[i], leaf->sensitive[i]);
+    }
+  }
+  for (size_t i = 0; i < run.size(); ++i) {
+    put(run.point(i), run.rid(i), run.sensitive(i));
+  }
+  Dataset dataset(Schema::Numeric(dim_));
+  for (uint64_t r = 0; r < total; ++r) {
+    dataset.Append({points.data() + r * dim_, dim_}, sensitives[r]);
+  }
+  // Spill traffic stays in memory: a merge must not introduce durable
+  // state of its own (the WAL is the only durability the run needs, and a
+  // crash mid-merge then costs nothing on recovery).
+  MemPager pager(options_.page_size);
+  const size_t frames =
+      std::max<size_t>(16, options_.memory_budget_bytes / options_.page_size);
+  BufferPool pool(&pager, frames);
+  return SortedBulkLoadTree(dataset, tree.config(), options_.curve,
+                            options_.grid_bits, &pool, run_records_,
+                            workers_.get());
+}
+
+}  // namespace kanon

@@ -1,0 +1,80 @@
+#ifndef KANON_LSM_MERGE_H_
+#define KANON_LSM_MERGE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "index/bulk_load.h"
+#include "index/rplus_tree.h"
+#include "lsm/memtable.h"
+#include "storage/pager.h"
+
+namespace kanon {
+
+/// When and how the memtable is folded back into the R⁺-tree.
+struct MergeOptions {
+  /// Flush once the memtable's resident footprint reaches this (0 = no
+  /// byte trigger).
+  size_t memtable_bytes = 16u << 20;
+  /// Flush every this many absorbed records (0 = no record trigger).
+  /// Either trigger firing flushes; checkpoints and Stop always force one.
+  uint64_t merge_every = 0;
+  /// Threads for the rebuild (1 = serial). The result is byte-identical
+  /// at every thread count — see SortedBulkLoadTree.
+  size_t threads = 1;
+  /// Curve + quantization of the sort order (match the anonymizer's).
+  CurveOrder curve = CurveOrder::kHilbert;
+  int grid_bits = 10;
+  /// Spill configuration for the external sort backing the rebuild.
+  size_t memory_budget_bytes = 64ull << 20;
+  size_t page_size = kDefaultPageSize;
+  size_t sort_run_records = 0;  // 0 derives from the memory budget
+};
+
+/// Merges flushed memtable runs into the live R⁺-tree. A merge is a full
+/// deterministic rebuild: every live record — current tree leaves plus the
+/// run — is gathered in rid order and fed through the parallel
+/// SortedBulkLoadTree pipeline (curve keys → external (key, rid) sort →
+/// top-down region-disciplined build). Because that pipeline is a pure
+/// function of the record multiset, the merged tree is byte-identical to
+/// the tree a from-scratch bulk load of the same records would produce,
+/// regardless of how the records were spread across earlier flushes, the
+/// thread count, or crash/recovery boundaries — the invariant the
+/// differential tests pin.
+///
+/// Merges run on the service's single ingest thread and touch no durable
+/// state (spill traffic goes through an in-memory pager): a crash mid-merge
+/// loses nothing the WAL doesn't already hold. The caller publishes the
+/// adopted tree as a new epoch snapshot, so readers flip atomically from
+/// the pre-merge view to the post-merge view and never observe a
+/// half-merged tree.
+class MergeScheduler {
+ public:
+  MergeScheduler(size_t dim, MergeOptions options);
+
+  const MergeOptions& options() const { return options_; }
+
+  /// Whether a trigger fires for the current run. `since_merge` counts
+  /// records absorbed since the last flush (it can exceed run.size() only
+  /// transiently; both triggers are checked against their own quantity).
+  bool ShouldMerge(const Memtable& run, uint64_t since_merge) const;
+
+  /// Rebuilds the tree over tree ∪ run. Requires dense rids across the
+  /// union (rid == LSN - 1, the service invariant): the union of a tree
+  /// holding rids [0, t) from earlier flushes and a run holding [t, n)
+  /// occupies exactly [0, n). The input tree is not modified; on success
+  /// the caller adopts the result and clears the run.
+  StatusOr<RPlusTree> Merge(const RPlusTree& tree, const Memtable& run);
+
+ private:
+  const size_t dim_;
+  const MergeOptions options_;
+  const size_t run_records_;
+  std::unique_ptr<ThreadPool> workers_;  // null when options_.threads <= 1
+};
+
+}  // namespace kanon
+
+#endif  // KANON_LSM_MERGE_H_

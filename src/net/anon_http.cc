@@ -403,6 +403,22 @@ HttpResponse AnonHttpFrontend::HandleMetrics() {
   AppendMetric(&out, "kanon_wal_poisoned", "gauge",
                stats.wal_poisoned ? 1 : 0);
 
+  // Write-absorbing LSM ingest tier (all zero while the memtable is off).
+  AppendMetric(&out, "kanon_memtable_enabled", "gauge",
+               stats.memtable_enabled ? 1 : 0);
+  AppendMetric(&out, "kanon_memtable_records", "gauge",
+               static_cast<double>(stats.memtable_records));
+  AppendMetric(&out, "kanon_memtable_bytes", "gauge",
+               static_cast<double>(stats.memtable_bytes));
+  AppendMetric(&out, "kanon_merges_total", "counter",
+               static_cast<double>(stats.merges));
+  AppendMetric(&out, "kanon_last_merge_ms", "gauge", stats.last_merge_ms);
+  // Ingest-thread time attribution: what the memtable actually absorbs.
+  AppendMetric(&out, "kanon_ingest_queue_wait_ms_total", "counter",
+               stats.queue_wait_ms);
+  AppendMetric(&out, "kanon_ingest_apply_ms_total", "counter",
+               stats.apply_ms);
+
   // Health as a one-hot state vector (the Prometheus idiom for enums).
   out += "# TYPE kanon_health gauge\n";
   for (const ServiceHealth h : {ServiceHealth::kServing,
@@ -428,6 +444,10 @@ HttpResponse AnonHttpFrontend::HandleMetrics() {
       {"kanon_shard_recovered_total", "counter", &ServiceStats::recovered},
       {"kanon_shard_wal_appended_total", "counter",
        &ServiceStats::wal_appended},
+      {"kanon_shard_memtable_records", "gauge",
+       &ServiceStats::memtable_records},
+      {"kanon_shard_memtable_bytes", "gauge", &ServiceStats::memtable_bytes},
+      {"kanon_shard_merges_total", "counter", &ServiceStats::merges},
   };
   for (const PerShardSeries& series : kPerShard) {
     out += "# TYPE " + std::string(series.name) + " " + series.type + "\n";
@@ -447,6 +467,37 @@ HttpResponse AnonHttpFrontend::HandleMetrics() {
            (sharded.shards[i].health == ServiceHealth::kDegraded ? "1"
                                                                  : "0") +
            "\n";
+  }
+
+  // Merge-duration distribution, one histogram per shard (each shard's
+  // single-writer thread merges independently, so mixing their samples
+  // would blur exactly the signal the label preserves). Buckets come from
+  // the shard's bounded sample ring; _count is the ring's exact size while
+  // _sum is reconstructed from bucket midpoints (the ring keeps no total).
+  out += "# TYPE kanon_merge_duration_ms histogram\n";
+  for (size_t i = 0; i < sharded.shards.size(); ++i) {
+    const ServiceStats& s = sharded.shards[i];
+    if (s.merge_samples == 0) continue;
+    const std::string shard_label = "shard=\"" + std::to_string(i) + "\"";
+    const Histogram& hist = s.merge_duration_ms;
+    const double n = static_cast<double>(s.merge_samples);
+    double cumulative = 0.0;
+    double sum = 0.0;
+    for (size_t b = 0; b < hist.num_bins(); ++b) {
+      cumulative += hist.mass[b] * n;
+      const double le =
+          hist.lo + hist.BinWidth() * static_cast<double>(b + 1);
+      sum += hist.mass[b] * n * (le - hist.BinWidth() / 2.0);
+      out += "kanon_merge_duration_ms_bucket{" + shard_label + ",le=\"" +
+             FmtDoubleShort(le) + "\"} " +
+             std::to_string(static_cast<uint64_t>(cumulative + 0.5)) + "\n";
+    }
+    out += "kanon_merge_duration_ms_bucket{" + shard_label +
+           ",le=\"+Inf\"} " + std::to_string(s.merge_samples) + "\n";
+    out += "kanon_merge_duration_ms_sum{" + shard_label + "} " +
+           FmtDoubleShort(sum) + "\n";
+    out += "kanon_merge_duration_ms_count{" + shard_label + "} " +
+           std::to_string(s.merge_samples) + "\n";
   }
 
   // Listener counters, when the server wired itself in.

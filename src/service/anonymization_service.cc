@@ -18,6 +18,19 @@ AnonymizationService::AnonymizationService(Deferred, size_t dim,
       anonymizer_(dim, options_.anonymizer, &domain_) {
   KANON_CHECK(dim >= 1 && domain_.dim() == dim);
   KANON_CHECK(options_.max_batch >= 1);
+  if (options_.lsm.enabled()) {
+    memtable_ = std::make_unique<Memtable>(dim);
+    MergeOptions merge;
+    merge.memtable_bytes = options_.lsm.memtable_bytes;
+    merge.merge_every = options_.lsm.merge_every;
+    merge.threads = options_.anonymizer.threads;
+    merge.curve = options_.anonymizer.curve;
+    merge.grid_bits = options_.anonymizer.grid_bits;
+    merge.memory_budget_bytes = options_.anonymizer.memory_budget_bytes;
+    merge.page_size = options_.anonymizer.page_size;
+    merge.sort_run_records = options_.anonymizer.sort_run_records;
+    merger_ = std::make_unique<MergeScheduler>(dim, merge);
+  }
 }
 
 AnonymizationService::AnonymizationService(size_t dim, Domain domain,
@@ -45,8 +58,24 @@ Status AnonymizationService::InitDurability() {
   RecoveryOptions recovery_options;
   recovery_options.dir = d.wal_dir;
   recovery_options.env = env;
-  KANON_ASSIGN_OR_RETURN(recovery_,
-                         RecoverInto(recovery_options, &anonymizer_));
+  if (memtable_ != nullptr) {
+    // The checkpoint tree is authoritative (checkpoints force a flush);
+    // the WAL tail replays into the memtable, exactly where un-flushed
+    // acknowledged records live in steady state.
+    KANON_ASSIGN_OR_RETURN(
+        recovery_,
+        RecoverInto(recovery_options, &anonymizer_,
+                    [this](uint64_t lsn, std::span<const double> point,
+                           int32_t sensitive) {
+                      memtable_->Append(point, lsn - 1, sensitive);
+                    }));
+    since_merge_ = memtable_->size();
+    memtable_records_.store(memtable_->size(), std::memory_order_relaxed);
+    memtable_bytes_.store(memtable_->bytes(), std::memory_order_relaxed);
+  } else {
+    KANON_ASSIGN_OR_RETURN(recovery_,
+                           RecoverInto(recovery_options, &anonymizer_));
+  }
   next_rid_ = recovery_.next_lsn - 1;
   WalOptions wal_options;
   wal_options.fsync_every = d.fsync_every;
@@ -134,7 +163,16 @@ ServiceStats AnonymizationService::Stats() const {
   {
     std::lock_guard<std::mutex> lock(samples_mu_);
     stats.batch_sizes = SampleHistogram(batch_samples_, 16);
+    stats.merge_duration_ms = SampleHistogram(merge_samples_, 16);
+    stats.merge_samples = merge_samples_.size();
   }
+  stats.queue_wait_ms = queue_wait_ms_.load(std::memory_order_relaxed);
+  stats.apply_ms = apply_ms_.load(std::memory_order_relaxed);
+  stats.memtable_enabled = memtable_ != nullptr;
+  stats.memtable_records = memtable_records_.load(std::memory_order_relaxed);
+  stats.memtable_bytes = memtable_bytes_.load(std::memory_order_relaxed);
+  stats.merges = merges_.load(std::memory_order_relaxed);
+  stats.last_merge_ms = last_merge_ms_.load(std::memory_order_relaxed);
   if (const auto snapshot = CurrentSnapshot()) {
     stats.snapshot_age_s = snapshot->info().AgeSeconds();
   }
@@ -168,9 +206,21 @@ void AnonymizationService::IngestLoop() {
   batch.sensitives.reserve(options_.max_batch);
   for (;;) {
     batch.Clear();
+    Timer wait_timer;
     const size_t n = queue_.DrainBatch(&batch, options_.max_batch,
                                        [this] { return PublishPending(); });
-    if (n > 0) ApplyBatch(batch);
+    // Single writer: load+add+store is race-free on these atomics.
+    queue_wait_ms_.store(queue_wait_ms_.load(std::memory_order_relaxed) +
+                             wait_timer.ElapsedMillis(),
+                         std::memory_order_relaxed);
+    if (n > 0) {
+      Timer apply_timer;
+      ApplyBatch(batch);
+      apply_ms_.store(apply_ms_.load(std::memory_order_relaxed) +
+                          apply_timer.ElapsedMillis(),
+                      std::memory_order_relaxed);
+    }
+    MaybeMerge(/*force=*/false);
     if (PublishPending()) {
       // Drain whatever producers managed to enqueue before the request so
       // the published snapshot is current, then service every waiter that
@@ -191,8 +241,17 @@ void AnonymizationService::IngestLoop() {
     MaybeCheckpoint(/*force=*/false);
     if (n == 0 && queue_.closed() && queue_.pending() == 0) break;
   }
-  // Final snapshot: cover every record that was ever ingested.
-  if (since_snapshot_ > 0 ||
+  // Flush the memtable so the final snapshot is a flush boundary: every
+  // acknowledged record sits in the tree, none is left pending below the
+  // k bound, and the release is the deterministic bulk-load view of the
+  // full stream. (Runs even when degraded — merging is pure memory work
+  // and the resident records are already WAL-acknowledged.)
+  MaybeMerge(/*force=*/true);
+  // Final snapshot: cover every record that was ever ingested (and, after
+  // a final flush, from tree leaves alone — no overlay groups).
+  // merged_since_publish_ catches flushes the current snapshot does not
+  // reflect, including ones from earlier iterations with no records after.
+  if (merged_since_publish_ || since_snapshot_ > 0 ||
       snapshots_.load(std::memory_order_relaxed) == 0) {
     Publish();
   }
@@ -247,9 +306,20 @@ void AnonymizationService::ApplyBatch(const IngestBatch& batch) {
     }
   }
   for (size_t i = 0; i < logged; ++i) {
-    anonymizer_.Insert(batch.point(i), next_rid_++, batch.sensitives[i]);
+    if (memtable_ != nullptr) {
+      // LSM path: absorb into the run — O(dim) copies, no tree
+      // maintenance. The record reaches the index at the next merge.
+      memtable_->Append(batch.point(i), next_rid_++, batch.sensitives[i]);
+    } else {
+      anonymizer_.Insert(batch.point(i), next_rid_++, batch.sensitives[i]);
+    }
   }
   if (logged == 0) return;
+  if (memtable_ != nullptr) {
+    since_merge_ += logged;
+    memtable_records_.store(memtable_->size(), std::memory_order_relaxed);
+    memtable_bytes_.store(memtable_->bytes(), std::memory_order_relaxed);
+  }
   inserted_.fetch_add(logged, std::memory_order_release);
   batches_.fetch_add(1, std::memory_order_relaxed);
   since_snapshot_ += logged;
@@ -289,6 +359,29 @@ void AnonymizationService::EnterDegraded(const std::string& reason) {
                                   std::memory_order_acq_rel);
 }
 
+bool AnonymizationService::MaybeMerge(bool force) {
+  if (memtable_ == nullptr || memtable_->empty()) return true;
+  if (!force && !merger_->ShouldMerge(*memtable_, since_merge_)) return true;
+  Timer timer;
+  StatusOr<RPlusTree> merged = merger_->Merge(anonymizer_.tree(), *memtable_);
+  if (!merged.ok()) {
+    EnterDegraded("memtable merge failed: " + merged.status().ToString());
+    return false;
+  }
+  anonymizer_.AdoptTree(std::move(*merged));
+  memtable_->Clear();
+  since_merge_ = 0;
+  merged_since_publish_ = true;
+  const double ms = timer.ElapsedMillis();
+  memtable_records_.store(0, std::memory_order_relaxed);
+  memtable_bytes_.store(0, std::memory_order_relaxed);
+  merges_.fetch_add(1, std::memory_order_relaxed);
+  last_merge_ms_.store(ms, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(samples_mu_);
+  if (merge_samples_.size() < kMaxBatchSamples) merge_samples_.push_back(ms);
+  return true;
+}
+
 void AnonymizationService::MaybeCheckpoint(bool force) {
   if (checkpointer_ == nullptr) return;
   if (health_.load(std::memory_order_acquire) != ServiceHealth::kServing) {
@@ -299,6 +392,12 @@ void AnonymizationService::MaybeCheckpoint(bool force) {
             : (cadence == 0 || since_checkpoint_ < cadence)) {
     return;
   }
+  // Flush first: the checkpoint claims everything at or below next_rid_,
+  // so memtable residents must be in the tree before it is written —
+  // otherwise a crash after the WAL truncation behind this checkpoint
+  // would lose them. This keeps the manifest authoritative and recovery's
+  // tail-into-memtable replay exact.
+  if (!MaybeMerge(/*force=*/true)) return;
   // Everything at or below the checkpoint LSN must survive a crash even if
   // its WAL segment is truncated right after, so sync first. A sync
   // failure poisons the WAL: nothing past synced_lsn can be proven
@@ -335,7 +434,10 @@ void AnonymizationService::MaybeCheckpoint(bool force) {
 
 bool AnonymizationService::Publish() {
   const RPlusTree& tree = anonymizer_.tree();
-  if (tree.size() < options_.anonymizer.base_k) return false;
+  const size_t base_k = options_.anonymizer.base_k;
+  const size_t resident = memtable_ != nullptr ? memtable_->size() : 0;
+  // Fewer than k records held in total cannot be k-anonymized at all.
+  if (tree.size() + resident < base_k) return false;
   Timer timer;
   std::vector<LeafGroup> leaves = ExtractLeafGroups(tree, &domain_);
   if (!options_.anonymizer.compact) {
@@ -344,9 +446,33 @@ bool AnonymizationService::Publish() {
       if (!group.region.empty()) group.mbr = group.region;
     }
   }
+  // Between flushes the memtable contributes curve-sorted overlay groups
+  // so releases cover tree + memtable consistently. Each group holds
+  // >= base_k records; a residue below base_k is withheld (never released
+  // under the k bound) and surfaces as memtable_pending.
+  size_t overlay_records = 0;
+  size_t pending = 0;
+  if (resident > 0) {
+    const size_t target = std::max(
+        base_k * options_.anonymizer.leaf_capacity_factor, 2 * base_k);
+    std::vector<LeafGroup> overlay = memtable_->OverlayGroups(
+        domain_, options_.anonymizer.curve, options_.anonymizer.grid_bits,
+        base_k, target, &pending);
+    for (const LeafGroup& group : overlay) {
+      overlay_records += group.rids.size();
+    }
+    leaves.insert(leaves.end(), std::make_move_iterator(overlay.begin()),
+                  std::make_move_iterator(overlay.end()));
+  }
+  // The releasable records (tree + overlay, excluding the withheld
+  // residue) must themselves clear the k bound — e.g. a tiny tree from an
+  // early forced flush plus a sub-k memtable cannot publish yet.
+  if (tree.size() + overlay_records < base_k) return false;
   SnapshotInfo info;
-  info.records = tree.size();
-  info.base_k = options_.anonymizer.base_k;
+  info.records = tree.size() + overlay_records;
+  info.memtable_records = overlay_records;
+  info.memtable_pending = pending;
+  info.base_k = base_k;
   const PartitionSet base = LeafScan(leaves, info.base_k);
   info.num_partitions = base.num_partitions();
   info.min_partition = base.min_partition_size();
@@ -363,6 +489,7 @@ bool AnonymizationService::Publish() {
     current_ = std::move(snapshot);
   }
   since_snapshot_ = 0;
+  merged_since_publish_ = false;
   return true;
 }
 

@@ -14,6 +14,8 @@
 #include "durability/checkpoint.h"
 #include "durability/recovery.h"
 #include "durability/wal.h"
+#include "lsm/memtable.h"
+#include "lsm/merge.h"
 #include "service/ingest_queue.h"
 #include "service/service_stats.h"
 #include "service/snapshot.h"
@@ -50,11 +52,31 @@ struct DurabilityOptions {
   bool enabled() const { return !wal_dir.empty(); }
 };
 
+/// The write-absorbing LSM ingest tier (off by default — zero triggers
+/// keep the seed record-at-a-time path). When enabled, the single-writer
+/// thread appends acknowledged records to an in-memory Memtable (after
+/// WAL-logging them as always) instead of inserting into the tree one at
+/// a time, and a MergeScheduler periodically folds the run back into the
+/// R⁺-tree with the parallel sorted bulk loader. Checkpoints and Stop()
+/// force a flush, so the checkpoint manifest stays authoritative and the
+/// final snapshot is always a flush boundary.
+struct LsmOptions {
+  /// Flush the memtable into the tree once it holds about this many bytes
+  /// (0 = no byte trigger).
+  size_t memtable_bytes = 0;
+  /// Flush every this many absorbed records (0 = no record trigger).
+  uint64_t merge_every = 0;
+
+  bool enabled() const { return memtable_bytes > 0 || merge_every > 0; }
+};
+
 /// Tuning knobs of the serving layer.
 struct ServiceOptions {
   /// Index configuration (base_k, split heuristics, constraints...). The
-  /// bulk-loading backend knobs are ignored — the service is the
-  /// record-at-a-time path by construction.
+  /// bulk-loading backend selector is ignored — live inserts go through
+  /// the record-at-a-time path, or through the memtable when the LSM tier
+  /// is on, in which case the kSortedBulkLoad knobs (threads, curve,
+  /// grid_bits, memory budget, sort_run_records) configure the merges.
   RTreeAnonymizerOptions anonymizer;
 
   /// Capacity of the ingest queue, in records. This is the burst the
@@ -76,6 +98,11 @@ struct ServiceOptions {
   /// Write-ahead logging, checkpointing and crash recovery (off unless a
   /// WAL directory is set — see DurabilityOptions).
   DurabilityOptions durability;
+
+  /// Write-absorbing memtable + batch merge (off unless a trigger is set —
+  /// see LsmOptions). The merge reuses the anonymizer's kSortedBulkLoad
+  /// knobs (threads, curve, grid_bits, memory budget).
+  LsmOptions lsm;
 };
 
 /// A concurrent incremental anonymization service (the serving layer of the
@@ -93,7 +120,11 @@ struct ServiceOptions {
 ///   readers  --GetRelease(k1)-- <--shared_ptr swap-- [current snapshot]
 ///
 /// The live tree is touched by exactly one thread, so the index needs no
-/// locks and keeps its single-threaded insert speed. Readers never see the
+/// locks and keeps its single-threaded insert speed. With the LSM tier on
+/// (ServiceOptions::lsm), the same thread absorbs batches into a Memtable
+/// instead and periodically merges the run into the tree in bulk — same
+/// single-writer architecture, an order of magnitude less per-record work.
+/// Readers never see the
 /// live tree: they copy the current Snapshot pointer (a constant-time
 /// critical section — snapshots are built entirely off-lock) and run the
 /// leaf scan over its frozen leaf groups, so GetRelease neither blocks
@@ -198,10 +229,16 @@ class AnonymizationService {
   /// Flips kServing -> kDegraded (read-only) recording the first reason.
   /// Idempotent; later calls keep the original reason.
   void EnterDegraded(const std::string& reason);
-  /// Checkpoints when since_checkpoint_ crosses the configured cadence.
+  /// Checkpoints when since_checkpoint_ crosses the configured cadence
+  /// (forcing a memtable flush first, so the checkpoint covers every
+  /// acknowledged record and the manifest stays authoritative).
   void MaybeCheckpoint(bool force);
-  /// Publishes iff at least base_k records are indexed. Returns true when
-  /// a snapshot was actually published.
+  /// Merges the memtable into the tree when a flush trigger fires (always
+  /// on force). Returns false only when the merge itself failed — the
+  /// service is degraded then. No-op when the LSM tier is off.
+  bool MaybeMerge(bool force);
+  /// Publishes iff at least base_k records are held (tree + memtable).
+  /// Returns true when a snapshot was actually published.
   bool Publish();
   bool PublishPending() const {
     return publish_requested_.load(std::memory_order_acquire) >
@@ -216,6 +253,22 @@ class AnonymizationService {
   IncrementalAnonymizer anonymizer_;  // ingest thread only
   uint64_t next_rid_ = 0;             // ingest thread only
   uint64_t since_snapshot_ = 0;       // ingest thread only
+
+  // LSM ingest tier (null when options_.lsm is disabled). Ingest thread
+  // only, like the tree the memtable feeds; readers see its records via
+  // snapshot overlay groups and the stats mirrors below.
+  std::unique_ptr<Memtable> memtable_;
+  std::unique_ptr<MergeScheduler> merger_;
+  uint64_t since_merge_ = 0;  // records absorbed since the last flush
+  // A merge adopted a rebuilt tree that no published snapshot reflects
+  // yet. Guarantees the final snapshot is a flush boundary even when the
+  // flush happened earlier (e.g. recovery replayed a WAL tail that the
+  // first scheduled merge absorbed with no records following it).
+  bool merged_since_publish_ = false;
+  std::atomic<uint64_t> memtable_records_{0};
+  std::atomic<uint64_t> memtable_bytes_{0};
+  std::atomic<uint64_t> merges_{0};
+  std::atomic<double> last_merge_ms_{0.0};
 
   // Durability (null / unused when options_.durability is disabled). The
   // WAL writer and checkpointer are driven exclusively by the ingest
@@ -253,11 +306,18 @@ class AnonymizationService {
   std::atomic<uint64_t> snapshots_{0};
   std::atomic<double> last_build_ms_{0.0};
 
-  // Batch-size samples for the histogram, capped so a long-running service
-  // cannot grow them unboundedly (counters keep exact totals regardless).
+  // Batch-size / merge-duration samples for the histograms, capped so a
+  // long-running service cannot grow them unboundedly (counters keep exact
+  // totals regardless).
   static constexpr size_t kMaxBatchSamples = 1 << 16;
   mutable std::mutex samples_mu_;
   std::vector<double> batch_samples_;
+  std::vector<double> merge_samples_;
+
+  // Ingest-thread time split (written by the ingest thread only; the
+  // load+store is not a race because there is exactly one writer).
+  std::atomic<double> queue_wait_ms_{0.0};
+  std::atomic<double> apply_ms_{0.0};
 
   // On-demand publication handshake (see PublishNow / IngestLoop).
   std::atomic<uint64_t> publish_requested_{0};

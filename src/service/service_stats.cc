@@ -30,6 +30,15 @@ std::string FormatServiceStats(const ServiceStats& stats) {
   }
   os << "\n";
   os.precision(2);
+  os << "ingest_thread: queue_wait_ms=" << stats.queue_wait_ms
+     << " apply_ms=" << stats.apply_ms
+     << " mean_queue_wait_ms=" << stats.mean_queue_wait_ms()
+     << " mean_apply_ms=" << stats.mean_apply_ms() << "\n";
+  if (stats.memtable_enabled) {
+    os << "memtable: records=" << stats.memtable_records
+       << " bytes=" << stats.memtable_bytes << " merges=" << stats.merges
+       << " last_merge_ms=" << stats.last_merge_ms << "\n";
+  }
   os << "snapshots: published=" << stats.snapshots
      << " last_build_ms=" << stats.last_snapshot_build_ms
      << " age_s=" << stats.snapshot_age_s;

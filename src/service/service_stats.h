@@ -40,6 +40,25 @@ struct ServiceStats {
   double last_snapshot_build_ms = 0.0;
   double snapshot_age_s = 0.0;  // 0 before the first publication
 
+  // Ingest-thread time attribution: of the thread's life, how much was
+  // spent waiting to drain the queue vs applying batches (WAL append +
+  // memtable/tree work). The per-batch apply cost is what the memtable
+  // absorbs — mean_apply_ms() is the attributable number.
+  double queue_wait_ms = 0.0;
+  double apply_ms = 0.0;
+
+  // Write-absorbing LSM ingest tier (see ServiceOptions::lsm; all zero
+  // when the memtable is off).
+  bool memtable_enabled = false;
+  uint64_t memtable_records = 0;  // resident (un-merged) records right now
+  uint64_t memtable_bytes = 0;    // approximate resident footprint
+  uint64_t merges = 0;            // memtable flushes merged into the tree
+  double last_merge_ms = 0.0;
+  /// Distribution of merge durations (over up to the last 64Ki merges;
+  /// `merges` keeps the exact total regardless).
+  Histogram merge_duration_ms;
+  uint64_t merge_samples = 0;  // samples backing merge_duration_ms
+
   // Durability counters (all zero when the service runs without a WAL).
   bool durable = false;          // a WAL directory is configured
   uint64_t recovered = 0;        // records restored at startup
@@ -63,6 +82,12 @@ struct ServiceStats {
     return batches == 0
                ? 0.0
                : static_cast<double>(inserted) / static_cast<double>(batches);
+  }
+  double mean_queue_wait_ms() const {
+    return batches == 0 ? 0.0 : queue_wait_ms / static_cast<double>(batches);
+  }
+  double mean_apply_ms() const {
+    return batches == 0 ? 0.0 : apply_ms / static_cast<double>(batches);
   }
 };
 

@@ -16,10 +16,20 @@ namespace kanon {
 /// base-granularity release.
 struct SnapshotInfo {
   uint64_t epoch = 0;       // monotonically increasing publication counter
-  uint64_t records = 0;     // live records covered by this snapshot
+  uint64_t records = 0;     // live records covered (releasable) by this snapshot
   size_t base_k = 0;        // minimum granularity any release can request
   double build_ms = 0.0;    // leaf extraction + base release + summary time
   std::chrono::steady_clock::time_point created{};
+
+  // LSM ingest tier (zero when the memtable is off or empty). Of `records`,
+  // `memtable_records` live in curve-sorted memtable overlay groups rather
+  // than tree leaves — still k-bound, Lemma 1 applies to them identically.
+  // `memtable_pending` counts residents withheld from this snapshot
+  // entirely: fewer than base_k were in the memtable, and releasing a
+  // group below the k bound is never allowed. They are acknowledged and
+  // durable, and the next flush covers them.
+  uint64_t memtable_records = 0;
+  uint64_t memtable_pending = 0;
 
   // Quality of the base_k release (the finest publishable view).
   size_t num_partitions = 0;

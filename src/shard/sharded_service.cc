@@ -186,6 +186,8 @@ ShardedAnonymizationService::CurrentStitched() const {
       info.shard_records[i] = si.records;
       info.records += si.records;
       info.epoch += si.epoch;
+      info.memtable_records += si.memtable_records;
+      info.memtable_pending += si.memtable_pending;
     }
     parts.push_back(std::move(part));
   }
@@ -257,6 +259,14 @@ ShardedServiceStats ShardedAnonymizationService::Stats() const {
     total.unavailable += s.unavailable;
     total.dropped += s.dropped;
     total.wal_poisoned = total.wal_poisoned || s.wal_poisoned;
+    total.queue_wait_ms += s.queue_wait_ms;
+    total.apply_ms += s.apply_ms;
+    total.memtable_enabled = total.memtable_enabled || s.memtable_enabled;
+    total.memtable_records += s.memtable_records;
+    total.memtable_bytes += s.memtable_bytes;
+    total.merges += s.merges;
+    total.last_merge_ms = std::max(total.last_merge_ms, s.last_merge_ms);
+    total.merge_samples += s.merge_samples;
     stats.shards.push_back(std::move(s));
   }
   // Staleness of the stitched view is its stalest covered slice.

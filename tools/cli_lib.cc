@@ -377,6 +377,14 @@ bool ParseServeArgs(int argc, const char* const* argv,
       if (v == nullptr) return false;
       options->shard_by = v;
       if (!ShardByFromName(options->shard_by).ok()) return false;
+    } else if (arg == "--memtable-bytes" || arg == "--memtable_bytes") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->memtable_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--merge-every" || arg == "--merge_every") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->merge_every = std::strtoull(v, nullptr, 10);
     } else {
       return false;
     }
@@ -431,6 +439,12 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
   service_options.durability.wal_dir = options.wal_dir;
   service_options.durability.fsync_every = options.fsync_every;
   service_options.durability.checkpoint_every = options.checkpoint_every;
+  service_options.lsm.memtable_bytes = options.memtable_bytes;
+  service_options.lsm.merge_every = options.merge_every;
+  if (service_options.lsm.enabled()) {
+    log << "memtable: bytes=" << options.memtable_bytes
+        << " merge_every=" << options.merge_every << "\n";
+  }
 
   // KANON_FAULT_SEED routes all durability I/O through a FaultInjectionEnv
   // — the operational fault drill. The same seed injects the same faults,

@@ -101,6 +101,14 @@ struct ServeOptions {
   // or --shard-by is rejected.
   size_t shards = 1;
   std::string shard_by = "hash";
+
+  // Write-absorbing LSM ingest tier (--memtable-bytes / --merge-every;
+  // off when both are 0). Acknowledged records accumulate in a per-shard
+  // in-memory sorted run and are merged into the R⁺-tree in bulk when the
+  // run reaches memtable_bytes, every merge_every records (if set), at
+  // checkpoints, and on shutdown.
+  size_t memtable_bytes = 0;
+  uint64_t merge_every = 0;
 };
 
 /// Parses "HOST:PORT", ":PORT" or "PORT" (host defaults to 127.0.0.1).

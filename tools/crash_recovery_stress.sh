@@ -27,6 +27,13 @@
 #                               lands across N independent WAL directories
 #                               and the conservation invariant must hold
 #                               per shard (recovered_i == next_lsn_i - 1)
+#        KANON_MEMTABLE=1       serve and recover with the write-absorbing
+#                               memtable on (small budget + short merge
+#                               cadence), so the SIGKILL lands while acked
+#                               records are memtable-resident — durable only
+#                               in the WAL — and sometimes mid-merge; the
+#                               same conservation and k-bound invariants
+#                               must hold from the replayed tail
 
 set -u
 
@@ -41,6 +48,13 @@ SHARDS=${KANON_SHARDS:-1}
 SHARD_ARGS=""
 if [ "$SHARDS" -gt 1 ]; then
   SHARD_ARGS="--shards $SHARDS"
+fi
+# Memtable mode: 1 MiB budget / 3000-record cadence keeps several merges in
+# flight over a 20k-row stream, so kills land both between and during
+# flushes. The same flags go to the recovery pass — replayed tail records
+# land in a fresh memtable there too.
+if [ -n "${KANON_MEMTABLE:-}" ]; then
+  SHARD_ARGS="$SHARD_ARGS --memtable-bytes 1048576 --merge-every 3000"
 fi
 
 mkdir -p "$WORKDIR"

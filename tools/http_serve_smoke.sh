@@ -14,6 +14,12 @@
 # Env:   KANON_SHARDS=N   serve with N shards (default 1): ingest fans out
 #                         across shard queues and the release below is the
 #                         stitched per-shard snapshot
+#        KANON_MEMTABLE=1 serve with the write-absorbing memtable on (small
+#                         budget + short merge cadence): the same endpoint
+#                         shapes and the zero-lost-acks drain invariant
+#                         must hold when acked records sit memtable-resident
+#                         at SIGTERM, and /metrics must export the
+#                         kanon_memtable_*/kanon_merges_total series
 
 set -u
 
@@ -27,6 +33,9 @@ SHARDS=${KANON_SHARDS:-1}
 SHARD_ARGS=""
 if [ "$SHARDS" -gt 1 ]; then
   SHARD_ARGS="--shards $SHARDS"
+fi
+if [ -n "${KANON_MEMTABLE:-}" ]; then
+  SHARD_ARGS="$SHARD_ARGS --memtable-bytes 262144 --merge-every 1500"
 fi
 
 mkdir -p "$WORKDIR"
@@ -100,6 +109,16 @@ if [ "$SHARDS" -gt 1 ]; then
       "$WORKDIR/metrics.txt" \
       || fail "/metrics is missing per-shard series for shard $s"
   done
+fi
+if [ -n "${KANON_MEMTABLE:-}" ]; then
+  for metric in kanon_memtable_enabled kanon_memtable_records \
+                kanon_memtable_bytes kanon_merges_total \
+                kanon_merge_duration_ms; do
+    grep -q "$metric" "$WORKDIR/metrics.txt" \
+      || fail "/metrics is missing $metric"
+  done
+  grep -q "^kanon_memtable_enabled 1$" "$WORKDIR/metrics.txt" \
+    || fail "/metrics kanon_memtable_enabled != 1"
 fi
 echo "read side ok (release, query, healthz, metrics)"
 

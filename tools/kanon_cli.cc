@@ -74,6 +74,8 @@ void Usage() {
       "                 [--listen HOST:PORT] [--http-threads N]\n"
       "                 [--max-body-bytes N]\n"
       "                 [--domain LO:HI[,LO:HI...]] [--serve-seconds S]\n"
+      "                 [--shards N] [--shard-by hash|range]\n"
+      "                 [--memtable-bytes N] [--merge-every N]\n"
       "(--input is optional when --listen and --domain are both given:\n"
       " records then arrive over HTTP)\n";
 }
