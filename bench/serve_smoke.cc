@@ -5,7 +5,7 @@
 //               [--shards S] [--shard-by hash|range] [--snapshot-every E]
 //               [--memtable-bytes N] [--merge-every N]
 //               [--sweep "1,2,4,8"] [--memtable-sweep "0,4,16,64"]
-//               [--json PATH]
+//               [--replicas "0,1,2,4"] [--json PATH]
 //
 // Starts the full serving stack in-process — the sharded anonymization
 // service behind the epoll HTTP server on an ephemeral loopback port —
@@ -36,15 +36,28 @@
 // the ingest tier it measures; the HTTP path itself is exercised by the
 // main mode, which also accepts --memtable-bytes/--merge-every.
 //
+// --replicas runs the read-scaling sweep and writes BENCH_replicas.json:
+// once per replica count N, a durable leader ingests the stream over HTTP
+// while N --follow-style read replicas (in-process ReplicatedFollower +
+// FollowerFrontend, each behind its own HTTP server) tail its WAL; readers
+// round-robin GET /release/query across the leader and every replica. The
+// sweep reports aggregate release QPS vs replica count plus the epoch lag
+// (leader epoch minus replica epoch, sampled under ingest, p50/p99) — the
+// capacity/freshness trade of read replication — and fails unless every
+// replica converges to a byte-identical /release after ingest quiesces.
+//
 // Exit codes: 0 on success, 1 when the stack misbehaves (failed request,
 // lost records, no snapshot) — so CI fails loudly, not just slowly.
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -55,6 +68,7 @@
 #include "net/anon_http.h"
 #include "net/http_client.h"
 #include "net/http_server.h"
+#include "net/replication.h"
 #include "shard/sharded_service.h"
 
 namespace {
@@ -439,6 +453,292 @@ RunResult RunIngestPoint(const RunConfig& cfg) {
   return result;
 }
 
+struct ReplicaResult {
+  bool ok = false;
+  double ingest_rec_per_s = 0;
+  double release_req_per_s = 0;
+  SideStats release;
+  double epoch_lag_p50 = 0, epoch_lag_p99 = 0, epoch_lag_max = 0;
+  bool byte_identical = false;
+  uint64_t repl_bytes = 0;
+  uint64_t reconnects = 0;
+};
+
+/// One point of the read-scaling sweep: a durable leader takes the record
+/// stream over POST /ingest while `replicas` in-process read replicas tail
+/// its WAL; readers round-robin releases across leader + replicas. Epoch
+/// lag (leader epoch − replica epoch) is sampled while ingest runs; after
+/// the writers join, every replica must converge to a byte-identical
+/// /release — the correctness gate the throughput numbers ride on.
+ReplicaResult RunReplicaPoint(const RunConfig& cfg, size_t replicas) {
+  namespace fs = std::filesystem;
+  ReplicaResult result;
+  char tmpl[] = "/tmp/kanon_replica_smoke_XXXXXX";
+  if (mkdtemp(tmpl) == nullptr) return result;
+  const std::string workdir = tmpl;
+
+  Domain domain;
+  domain.lo = {0, 0};
+  domain.hi = {100, 100};
+  ShardedServiceOptions service_options;
+  service_options.service.anonymizer.base_k = 10;
+  service_options.service.snapshot_every = cfg.snapshot_every;
+  service_options.service.durability.wal_dir = workdir + "/wal";
+  service_options.service.durability.fsync_every = 64;
+  auto service_or =
+      ShardedAnonymizationService::Create(2, domain, service_options);
+  if (!service_or.ok()) {
+    std::cerr << "service: " << service_or.status() << "\n";
+    return result;
+  }
+  ShardedAnonymizationService& service = **service_or;
+  net::AnonHttpFrontend frontend(&service);
+  net::HttpServerOptions http_options;
+  http_options.port = 0;
+  http_options.num_threads = cfg.writers + 2;
+  net::HttpServer leader(http_options,
+                         [&frontend](const net::HttpRequest& request) {
+                           return frontend.Handle(request);
+                         });
+  if (auto s = leader.Start(); !s.ok()) {
+    std::cerr << "leader: " << s << "\n";
+    return result;
+  }
+
+  struct Replica {
+    std::unique_ptr<net::ReplicatedFollower> follower;
+    std::unique_ptr<net::FollowerFrontend> frontend;
+    std::unique_ptr<net::HttpServer> server;
+  };
+  std::vector<Replica> fleet;
+  for (size_t r = 0; r < replicas; ++r) {
+    net::FollowerOptions fopts;
+    fopts.leader_port = leader.bound_port();
+    fopts.scratch_dir = workdir + "/replica_" + std::to_string(r);
+    fopts.poll_interval_ms = 5;
+    fopts.jitter_seed = r + 1;
+    fopts.core.max_staleness_ms = 60000;  // lag is measured, not enforced
+    Replica replica;
+    replica.follower =
+        std::make_unique<net::ReplicatedFollower>(domain, fopts);
+    replica.frontend =
+        std::make_unique<net::FollowerFrontend>(replica.follower.get());
+    net::HttpServerOptions ropts;
+    ropts.port = 0;
+    ropts.num_threads = 2;
+    replica.server = std::make_unique<net::HttpServer>(
+        ropts, [f = replica.frontend.get()](const net::HttpRequest& req) {
+          return f->Handle(req);
+        });
+    if (auto s = replica.server->Start(); !s.ok()) {
+      std::cerr << "replica " << r << ": " << s << "\n";
+      return result;
+    }
+    replica.follower->Start();
+    fleet.push_back(std::move(replica));
+  }
+
+  // Readers round-robin the whole serving set. Client concurrency tracks
+  // the server count so the readers are never the ceiling that hides
+  // replica scaling.
+  std::vector<uint16_t> read_ports = {leader.bound_port()};
+  for (const Replica& r : fleet) read_ports.push_back(r.server->port());
+  const size_t readers = std::max(cfg.readers, 2 * read_ports.size());
+
+  const size_t posts_total = (cfg.records + cfg.batch - 1) / cfg.batch;
+  std::atomic<size_t> next_post{0};
+  std::atomic<bool> writers_done{false};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::vector<double> release_lat_ms;
+  uint64_t release_requests = 0;
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < cfg.writers; ++w) {
+    threads.emplace_back([&] {
+      net::HttpClient client;
+      if (!client.Connect("127.0.0.1", leader.bound_port()).ok()) {
+        failed.store(true);
+        return;
+      }
+      for (size_t p = next_post.fetch_add(1); p < posts_total;
+           p = next_post.fetch_add(1)) {
+        const size_t base = p * cfg.batch;
+        const size_t n = std::min(cfg.batch, cfg.records - base);
+        std::string body;
+        body.reserve(n * 12);
+        for (size_t i = 0; i < n; ++i) {
+          const size_t v = base + i;
+          body += std::to_string(v % 97) + "," +
+                  std::to_string((v * 7) % 89) + "," +
+                  std::to_string(v % 5) + "\n";
+        }
+        auto resp = client.Post("/ingest", body);
+        if (!resp.ok() || resp->status != 200) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (size_t r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      net::HttpClient client;
+      const uint16_t port = read_ports[r % read_ports.size()];
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        failed.store(true);
+        return;
+      }
+      const std::string target =
+          "/release/query?k1=" + std::to_string(10 << (r % 3)) +
+          "&summary=1";
+      std::vector<double> lat;
+      while (!writers_done.load(std::memory_order_relaxed)) {
+        Timer t;
+        auto resp = client.Get(target);
+        // 503 before the first snapshot reaches this server is expected.
+        if (!resp.ok() || (resp->status != 200 && resp->status != 503)) {
+          failed.store(true);
+          return;
+        }
+        if (resp->status == 200) lat.push_back(t.ElapsedMillis());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      release_requests += lat.size();
+      release_lat_ms.insert(release_lat_ms.end(), lat.begin(), lat.end());
+    });
+  }
+  // Epoch-lag sampler: how many publications each replica trails the
+  // leader by while ingest is in flight — the freshness side of the trade.
+  std::vector<double> lag_samples;
+  std::thread sampler([&] {
+    while (!writers_done.load(std::memory_order_relaxed)) {
+      const auto stitched = service.CurrentStitched();
+      if (stitched != nullptr) {
+        const uint64_t leader_epoch = stitched->info().epoch;
+        std::vector<double> local;
+        for (const Replica& r : fleet) {
+          const uint64_t e = r.follower->core()->epoch();
+          local.push_back(
+              leader_epoch > e ? static_cast<double>(leader_epoch - e) : 0);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        lag_samples.insert(lag_samples.end(), local.begin(), local.end());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  for (size_t w = 0; w < cfg.writers; ++w) threads[w].join();
+  const double ingest_seconds = wall.ElapsedSeconds();
+  writers_done.store(true, std::memory_order_relaxed);
+  for (size_t t = cfg.writers; t < threads.size(); ++t) threads[t].join();
+  const double total_seconds = wall.ElapsedSeconds();
+  sampler.join();
+
+  // Convergence gate: after ingest quiesces every replica must reach the
+  // leader's last publication point and serve the same bytes.
+  bool converged = true;
+  const auto final_stitched = service.CurrentStitched();
+  if (final_stitched == nullptr) {
+    converged = false;
+  } else {
+    const uint64_t want_epoch = final_stitched->info().epoch;
+    const uint64_t want_records = final_stitched->info().records;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (const Replica& r : fleet) {
+      while (r.follower->core()->epoch() != want_epoch ||
+             r.follower->core()->published_records() != want_records) {
+        if (std::chrono::steady_clock::now() > deadline) {
+          converged = false;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  }
+  result.byte_identical = converged;
+  if (converged) {
+    net::HttpClient probe;
+    std::string leader_body;
+    if (probe.Connect("127.0.0.1", leader.bound_port()).ok()) {
+      if (auto resp = probe.Get("/release"); resp.ok()) {
+        leader_body = std::move(resp->body);
+      }
+    }
+    for (const Replica& r : fleet) {
+      net::HttpClient rc;
+      if (!rc.Connect("127.0.0.1", r.server->port()).ok()) {
+        result.byte_identical = false;
+        break;
+      }
+      auto resp = rc.Get("/release");
+      if (!resp.ok() || leader_body.empty() || resp->body != leader_body) {
+        result.byte_identical = false;
+        break;
+      }
+    }
+  }
+
+  for (Replica& r : fleet) {
+    result.repl_bytes += r.follower->bytes_total();
+    result.reconnects += r.follower->reconnects();
+    r.server->Shutdown();
+    r.follower->Stop();
+  }
+  leader.Shutdown();
+  service.Stop();
+
+  const uint64_t accepted = frontend.accepted();
+  if (failed.load() || !converged || !result.byte_identical ||
+      accepted != cfg.records) {
+    std::cerr << "FAIL: replicas=" << replicas << " accepted=" << accepted
+              << " want=" << cfg.records << " converged=" << converged
+              << " identical=" << result.byte_identical
+              << (failed.load() ? " (request failures)" : "") << "\n";
+    std::error_code ec;
+    fs::remove_all(workdir, ec);
+    return result;
+  }
+
+  result.ingest_rec_per_s =
+      static_cast<double>(cfg.records) / std::max(ingest_seconds, 1e-9);
+  result.release.requests = release_requests;
+  result.release.seconds = total_seconds;
+  result.release.p50 = Percentile(&release_lat_ms, 50);
+  result.release.p95 = Percentile(&release_lat_ms, 95);
+  result.release.p99 = Percentile(&release_lat_ms, 99);
+  result.release_req_per_s =
+      static_cast<double>(release_requests) / std::max(total_seconds, 1e-9);
+  result.epoch_lag_p50 = Percentile(&lag_samples, 50);
+  result.epoch_lag_p99 = Percentile(&lag_samples, 99);
+  if (!lag_samples.empty()) {
+    result.epoch_lag_max = lag_samples.back();  // sorted by Percentile
+  }
+
+  std::cout << "release: " << bench::Fmt(result.release_req_per_s, 0)
+            << " req/s across " << read_ports.size() << " server"
+            << (read_ports.size() == 1 ? "" : "s")
+            << " (p50=" << bench::Fmt(result.release.p50)
+            << "ms p99=" << bench::Fmt(result.release.p99) << "ms), ingest "
+            << bench::Fmt(result.ingest_rec_per_s, 0) << " rec/s\n";
+  if (replicas > 0) {
+    std::cout << "epoch lag under ingest: p50="
+              << bench::Fmt(result.epoch_lag_p50, 1)
+              << " p99=" << bench::Fmt(result.epoch_lag_p99, 1)
+              << " max=" << bench::Fmt(result.epoch_lag_max, 0)
+              << " epochs; converged byte-identical, repl_bytes="
+              << result.repl_bytes << " reconnects=" << result.reconnects
+              << "\n";
+  }
+  std::error_code ec;
+  fs::remove_all(workdir, ec);
+  result.ok = true;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -447,6 +747,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::vector<size_t> sweep;
   std::vector<size_t> memtable_sweep_mib;
+  std::vector<size_t> replica_sweep;
+  bool have_replica_sweep = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -518,6 +820,19 @@ int main(int argc, char** argv) {
         sweep.push_back(n);
         start = end + 1;
       }
+    } else if (arg == "--replicas") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      have_replica_sweep = true;
+      const std::string spec = v;
+      size_t start = 0;
+      while (start <= spec.size()) {
+        size_t end = spec.find(',', start);
+        if (end == std::string::npos) end = spec.size();
+        replica_sweep.push_back(std::strtoul(
+            spec.substr(start, end - start).c_str(), nullptr, 10));
+        start = end + 1;
+      }
     } else if (arg == "--json") {
       const char* v = next();
       if (v == nullptr) return 2;
@@ -528,7 +843,8 @@ int main(int argc, char** argv) {
                    "[--shard-by hash|range] [--snapshot-every E] "
                    "[--memtable-bytes N] [--merge-every N] "
                    "[--sweep \"1,2,4,8\"] "
-                   "[--memtable-sweep \"0,4,16,64\"] [--json PATH]\n";
+                   "[--memtable-sweep \"0,4,16,64\"] "
+                   "[--replicas \"0,1,2,4\"] [--json PATH]\n";
       return 2;
     }
   }
@@ -650,6 +966,63 @@ int main(int argc, char** argv) {
         << "  \"writers\": " << cfg.writers << ",\n"
         << "  \"readers\": " << cfg.readers << ",\n"
         << "  \"shards\": " << cfg.shards << ",\n"
+        << "  \"snapshot_every\": " << cfg.snapshot_every << ",\n"
+        << "  \"sweep\": [\n"
+        << entries << "\n  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+    return 0;
+  }
+
+  if (have_replica_sweep) {
+    // Read-scaling sweep: the same ingest workload once per replica count,
+    // reads spread across the whole serving set. Frequent publications
+    // keep the followers' epoch chase honest — every epoch is a
+    // convergence obligation the sweep verifies byte-for-byte at the end.
+    if (json_path.empty()) json_path = "BENCH_replicas.json";
+    if (cfg.snapshot_every == 0) {
+      cfg.snapshot_every = std::max<uint64_t>(cfg.records / 20, 1000);
+    }
+    bench::PrintHeader("serve_smoke — read replica scaling sweep",
+                       "aggregate release QPS and epoch lag per replica "
+                       "count");
+    std::string entries;
+    double baseline = 0;
+    for (const size_t replicas : replica_sweep) {
+      std::cout << "\n== replicas=" << replicas << " ==\n";
+      const ReplicaResult result = RunReplicaPoint(cfg, replicas);
+      if (!result.ok) return 1;
+      if (baseline == 0) baseline = result.release_req_per_s;
+      std::cout << "aggregate release: "
+                << bench::Fmt(result.release_req_per_s, 0) << " req/s ("
+                << bench::Fmt(result.release_req_per_s / baseline, 2)
+                << "x of leader-only)\n";
+      if (!entries.empty()) entries += ",\n";
+      entries += "    {\"replicas\": " + std::to_string(replicas) +
+                 ", \"release_requests_per_second\": " +
+                 std::to_string(result.release_req_per_s) +
+                 ", \"scaling_vs_leader_only\": " +
+                 std::to_string(result.release_req_per_s /
+                                std::max(baseline, 1e-9)) +
+                 ", \"release\": " +
+                 SideJson(result.release, result.release_req_per_s) +
+                 ", \"ingest_records_per_second\": " +
+                 std::to_string(result.ingest_rec_per_s) +
+                 ", \"epoch_lag_p50\": " +
+                 std::to_string(result.epoch_lag_p50) +
+                 ", \"epoch_lag_p99\": " +
+                 std::to_string(result.epoch_lag_p99) +
+                 ", \"epoch_lag_max\": " +
+                 std::to_string(result.epoch_lag_max) +
+                 ", \"repl_bytes\": " + std::to_string(result.repl_bytes) +
+                 ", \"reconnects\": " + std::to_string(result.reconnects) +
+                 ", \"byte_identical\": " +
+                 (result.byte_identical ? "true" : "false") + "}";
+    }
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"records\": " << cfg.records << ",\n"
+        << "  \"batch\": " << cfg.batch << ",\n"
+        << "  \"writers\": " << cfg.writers << ",\n"
         << "  \"snapshot_every\": " << cfg.snapshot_every << ",\n"
         << "  \"sweep\": [\n"
         << entries << "\n  ]\n}\n";

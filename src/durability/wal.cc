@@ -410,6 +410,146 @@ Status ReplayWal(
   return Status::OK();
 }
 
+StatusOr<WalRangeResult> ReadWalRange(const std::string& dir, size_t dim,
+                                      uint64_t from_lsn, uint64_t max_lsn,
+                                      size_t max_bytes, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  KANON_CHECK(from_lsn >= 1);
+  WalRangeResult result;
+  if (!env->FileExists(dir)) return result;
+  KANON_ASSIGN_OR_RETURN(const std::vector<SegmentFile> segments,
+                         ListSegments(dir, env));
+  if (segments.empty()) return result;
+  result.oldest_lsn = segments[0].first_lsn;
+  if (from_lsn < result.oldest_lsn) {
+    return Status::NotFound(
+        "wal entries before lsn " + std::to_string(result.oldest_lsn) +
+        " were truncated by a checkpoint; bootstrap from a newer checkpoint");
+  }
+
+  const size_t payload_size = PayloadSize(dim);
+  std::vector<char> entry(EntrySize(dim));
+  char* const frame = entry.data();
+  char* const payload = entry.data() + 2 * sizeof(uint32_t);
+  uint64_t prev_lsn = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    // Entirely below the requested range: every entry here has an LSN below
+    // the next segment's first.
+    if (i + 1 < segments.size() && segments[i + 1].first_lsn <= from_lsn) {
+      continue;
+    }
+    const bool newest = i + 1 == segments.size();
+    // The newest segment is being actively appended to; any anomaly there
+    // is an in-flight tail, which ends the scan without error. The caller's
+    // max_lsn (<= synced_lsn) keeps everything actually shipped on the
+    // fully-fsynced prefix.
+    auto seal_error = [&](const char* what) -> StatusOr<WalRangeResult> {
+      return Status::Corruption(std::string(what) +
+                                " in sealed wal segment " + segments[i].path);
+    };
+    KANON_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                           env->NewRandomAccessFile(segments[i].path));
+    char header[kSegmentHeaderSize];
+    size_t got = 0;
+    KANON_RETURN_IF_ERROR(file->ReadAt(0, header, sizeof(header), &got));
+    if (got != sizeof(header)) {
+      if (newest) break;
+      return seal_error("short header");
+    }
+    uint64_t first_lsn = 0;
+    {
+      const Status s = DecodeHeader(header, dim, &first_lsn);
+      if (s.code() == StatusCode::kCorruption) {
+        if (newest) break;
+        return seal_error("corrupt header");
+      }
+      KANON_RETURN_IF_ERROR(s);
+    }
+    uint64_t offset = sizeof(header);
+    for (;;) {
+      KANON_RETURN_IF_ERROR(
+          file->ReadAt(offset, frame, 2 * sizeof(uint32_t), &got));
+      if (got == 0) break;  // clean end of segment
+      if (got != 2 * sizeof(uint32_t)) {
+        if (newest) break;
+        return seal_error("torn frame");
+      }
+      uint32_t stored_size = 0, stored_crc = 0;
+      std::memcpy(&stored_size, frame, sizeof(stored_size));
+      std::memcpy(&stored_crc, frame + sizeof(stored_size),
+                  sizeof(stored_crc));
+      if (stored_size != payload_size) {
+        if (newest) break;
+        return seal_error("frame size mismatch");
+      }
+      KANON_RETURN_IF_ERROR(file->ReadAt(offset + 2 * sizeof(uint32_t),
+                                         payload, payload_size, &got));
+      if (got != payload_size) {
+        if (newest) break;
+        return seal_error("torn payload");
+      }
+      if (Crc32(payload, payload_size) != stored_crc) {
+        if (newest) break;
+        return seal_error("payload checksum mismatch");
+      }
+      uint64_t lsn = 0;
+      std::memcpy(&lsn, payload, sizeof(lsn));
+      if (lsn <= prev_lsn || lsn < first_lsn) {
+        if (newest) break;
+        return seal_error("non-monotonic LSN");
+      }
+      prev_lsn = lsn;
+      offset += entry.size();
+      if (lsn > max_lsn) return result;
+      if (lsn >= from_lsn) {
+        if (result.first_lsn == 0) result.first_lsn = lsn;
+        result.last_lsn = lsn;
+        result.frames.append(entry.data(), entry.size());
+        if (result.frames.size() >= max_bytes) return result;
+      }
+    }
+  }
+  return result;
+}
+
+Status DecodeWalFrames(
+    std::string_view frames, size_t dim,
+    const std::function<void(uint64_t lsn, std::span<const double> point,
+                             int32_t sensitive)>& apply) {
+  const size_t payload_size = PayloadSize(dim);
+  std::vector<double> point(dim);
+  size_t off = 0;
+  while (off < frames.size()) {
+    if (frames.size() - off < 2 * sizeof(uint32_t)) {
+      return Status::Corruption("short wal frame header");
+    }
+    uint32_t stored_size = 0, stored_crc = 0;
+    std::memcpy(&stored_size, frames.data() + off, sizeof(stored_size));
+    std::memcpy(&stored_crc, frames.data() + off + sizeof(stored_size),
+                sizeof(stored_crc));
+    off += 2 * sizeof(uint32_t);
+    if (stored_size != payload_size) {
+      return Status::Corruption("wal frame size mismatch");
+    }
+    if (frames.size() - off < payload_size) {
+      return Status::Corruption("short wal frame payload");
+    }
+    const char* payload = frames.data() + off;
+    if (Crc32(payload, payload_size) != stored_crc) {
+      return Status::Corruption("wal frame failed checksum");
+    }
+    uint64_t lsn = 0;
+    int32_t sensitive = 0;
+    std::memcpy(&lsn, payload, sizeof(lsn));
+    std::memcpy(&sensitive, payload + sizeof(lsn), sizeof(sensitive));
+    std::memcpy(point.data(), payload + sizeof(lsn) + sizeof(sensitive),
+                dim * sizeof(double));
+    off += payload_size;
+    apply(lsn, point, sensitive);
+  }
+  return Status::OK();
+}
+
 StatusOr<size_t> TruncateWalBefore(const std::string& dir,
                                    uint64_t checkpoint_lsn, Env* env) {
   if (env == nullptr) env = Env::Default();

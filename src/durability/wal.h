@@ -7,6 +7,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/env.h"
@@ -157,6 +158,51 @@ Status ReplayWal(
     const std::function<void(uint64_t lsn, std::span<const double> point,
                              int32_t sensitive)>& apply,
     WalReplayResult* result, Env* env = nullptr);
+
+/// A contiguous run of raw CRC-framed WAL entries read back from the
+/// segment files, in wire format — the unit a replication leader ships to a
+/// tailing follower. `frames` is a concatenation of intact
+/// `[u32 len][u32 crc][payload]` entries exactly as they sit on disk.
+struct WalRangeResult {
+  std::string frames;       // wire-format entries, possibly empty
+  uint64_t first_lsn = 0;   // first LSN included (0 = none)
+  uint64_t last_lsn = 0;    // last LSN included (0 = none)
+  uint64_t oldest_lsn = 0;  // first LSN any on-disk segment may hold (0 =
+                            // the log has no segments at all)
+};
+
+/// Reads intact entries with from_lsn <= lsn <= max_lsn in log order,
+/// stopping once `frames` holds at least `max_bytes` (the range always
+/// includes at least one entry when one is available, so a single oversized
+/// cap still makes progress). Strictly read-only — unlike ReplayWal it
+/// never truncates anything.
+///
+/// Callers serving replication must pass max_lsn <= the writer's
+/// synced_lsn: entries past the durable horizon could vanish in a crash
+/// and have their LSNs reassigned to different records, which a follower
+/// that already applied the old bytes could never detect.
+///
+/// Typed failures:
+///  * NotFound — `from_lsn` predates the oldest surviving segment (a
+///    checkpoint truncated that range away). The caller needs a fresh
+///    checkpoint, not a retry.
+///  * Corruption — damage in a sealed (non-newest) segment: bit rot, a
+///    serving-side disk problem. A torn or damaged tail of the *newest*
+///    segment is not an error; the scan just ends before it (those bytes
+///    are an in-flight append, not yet durable).
+StatusOr<WalRangeResult> ReadWalRange(const std::string& dir, size_t dim,
+                                      uint64_t from_lsn, uint64_t max_lsn,
+                                      size_t max_bytes, Env* env = nullptr);
+
+/// Decodes a WalRangeResult::frames byte string (the follower half of
+/// ReadWalRange). Any defect — short frame, size or checksum mismatch —
+/// returns Corruption without delivering the defective entry or anything
+/// after it; a tailing client must drop the connection and re-request from
+/// its last applied LSN rather than resynchronize mid-stream.
+Status DecodeWalFrames(
+    std::string_view frames, size_t dim,
+    const std::function<void(uint64_t lsn, std::span<const double> point,
+                             int32_t sensitive)>& apply);
 
 /// Deletes segments made obsolete by a checkpoint at `checkpoint_lsn`: a
 /// segment is removable when the next segment starts at or below

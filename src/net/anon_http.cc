@@ -1,11 +1,16 @@
 #include "net/anon_http.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
+#include "common/env.h"
 #include "common/timer.h"
 #include "common/version.h"
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
 #include "metrics/histogram.h"
 #include "net/http_parser.h"
 #include "net/http_status.h"
@@ -40,9 +45,11 @@ std::string_view TrimWs(std::string_view s) {
   return s;
 }
 
-void AppendMetric(std::string* out, std::string_view name,
-                  std::string_view type, double value,
-                  std::string_view labels = "") {
+}  // namespace
+
+void AppendPromMetric(std::string* out, std::string_view name,
+                      std::string_view type, double value,
+                      std::string_view labels) {
   out->append("# TYPE ");
   out->append(name);
   out->append(" ");
@@ -59,14 +66,13 @@ void AppendMetric(std::string* out, std::string_view name,
   out->append("\n");
 }
 
-}  // namespace
-
 const char* EndpointName(Endpoint endpoint) {
   switch (endpoint) {
     case Endpoint::kIngest: return "ingest";
     case Endpoint::kRelease: return "release";
     case Endpoint::kHealthz: return "healthz";
     case Endpoint::kMetrics: return "metrics";
+    case Endpoint::kRepl: return "repl";
     case Endpoint::kOther: return "other";
   }
   return "other";
@@ -191,11 +197,21 @@ HttpResponse AnonHttpFrontend::Route(const HttpRequest& request,
     *endpoint = Endpoint::kMetrics;
     return HandleMetrics();
   }
+  if (path == "/repl/manifest" || path == "/repl/wal" ||
+      path.rfind("/repl/checkpoint/", 0) == 0) {
+    *endpoint = Endpoint::kRepl;
+    if (request.method != "GET") {
+      return HttpResponse::Json(
+          405, HttpErrorBody(Status::InvalidArgument(
+                   "GET " + path + " (got " + request.method + ")")));
+    }
+    return HandleRepl(request);
+  }
   *endpoint = Endpoint::kOther;
   return HttpResponse::FromStatus(
       Status::NotFound("no route for " + path +
                        " (have /ingest, /release, /release/query, /healthz, "
-                       "/metrics)"));
+                       "/metrics, /repl/*)"));
 }
 
 HttpResponse AnonHttpFrontend::HandleIngest(const HttpRequest& request) {
@@ -252,6 +268,13 @@ HttpResponse AnonHttpFrontend::HandleIngest(const HttpRequest& request) {
 }
 
 HttpResponse AnonHttpFrontend::HandleRelease(const HttpRequest& request) {
+  return RenderRelease(service_->CurrentStitched().get(), request,
+                       options_.retry_after_s);
+}
+
+HttpResponse RenderRelease(const StitchedSnapshot* stitched,
+                           const HttpRequest& request,
+                           unsigned retry_after_s) {
   const auto params = ParseQuery(request.query);
   size_t k1 = 0;  // 0 = the snapshot's base granularity
   bool summary = false;
@@ -273,12 +296,14 @@ HttpResponse AnonHttpFrontend::HandleRelease(const HttpRequest& request) {
     with_rids = *v != "0";
   }
 
-  const auto stitched = service_->CurrentStitched();
   if (stitched == nullptr) {
+    // FromStatus attaches the generic Retry-After; callers with a
+    // configured cadence override it below.
     HttpResponse resp = HttpResponse::FromStatus(Status::Unavailable(
         "no shard has published yet; ingest at least base_k records"));
-    resp.headers.emplace_back("Retry-After",
-                              std::to_string(options_.retry_after_s));
+    for (auto& [name, value] : resp.headers) {
+      if (name == "Retry-After") value = std::to_string(retry_after_s);
+    }
     return resp;
   }
   const StitchedInfo& info = stitched->info();
@@ -339,8 +364,217 @@ HttpResponse AnonHttpFrontend::HandleHealthz() {
             JsonEscape(service_->degraded_reason()) + "\"";
   }
   body += "}";
-  return HttpResponse::Json(
+  HttpResponse resp = HttpResponse::Json(
       health == ServiceHealth::kServing ? 200 : 503, std::move(body));
+  if (resp.status == 503) {
+    // Degraded healthz backs probers off like every other 503.
+    resp.headers.emplace_back("Retry-After",
+                              std::to_string(options_.retry_after_s));
+  }
+  return resp;
+}
+
+HttpResponse AnonHttpFrontend::HandleRepl(const HttpRequest& request) {
+  const DurabilityOptions& durability = service_->options().service.durability;
+  if (!durability.enabled()) {
+    return HttpResponse::FromStatus(Status::FailedPrecondition(
+        "replication requires a durable leader (start with --wal-dir)"));
+  }
+  const auto params = ParseQuery(request.query);
+  size_t shard = 0;
+  if (const std::string* v = QueryParam(params, "shard")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0' ||
+        parsed >= service_->num_shards()) {
+      return HttpResponse::FromStatus(Status::InvalidArgument(
+          "shard must be in [0, " + std::to_string(service_->num_shards()) +
+          "), got '" + *v + "'"));
+    }
+    shard = static_cast<size_t>(parsed);
+  }
+  const std::string dir = ShardWalDir(durability.wal_dir, shard);
+  Env* env = options_.repl_env != nullptr ? options_.repl_env : Env::Default();
+  if (request.path == "/repl/manifest") {
+    return HandleReplManifest(dir, shard, env);
+  }
+  if (request.path == "/repl/wal") {
+    return HandleReplWal(request, dir, shard, env);
+  }
+  return HandleReplCheckpoint(dir, request.path, env);
+}
+
+namespace {
+
+/// 410 Gone with the standard error-body shape: the requested replication
+/// artifact was superseded (checkpoint GC'd, WAL range truncated). The
+/// client's move is a fresh /repl/manifest, not a retry.
+HttpResponse ReplGone(const std::string& message) {
+  return HttpResponse::Json(
+      410, "{\"error\":\"Gone\",\"message\":\"" + JsonEscape(message) + "\"}");
+}
+
+}  // namespace
+
+HttpResponse AnonHttpFrontend::HandleReplManifest(const std::string& dir,
+                                                  size_t shard, Env* env) {
+  const AnonymizationService* svc = service_->shard(shard);
+  const ServiceStats stats = svc->Stats();
+  uint64_t epoch = 0;
+  uint64_t epoch_records = 0;
+  if (const auto snapshot = svc->CurrentSnapshot()) {
+    epoch = snapshot->info().epoch;
+    epoch_records = snapshot->info().records;
+  }
+  const ServiceOptions& opts = service_->options().service;
+  std::string body =
+      "{\"shards\":" + std::to_string(service_->num_shards()) +
+      ",\"shard\":" + std::to_string(shard) +
+      ",\"dim\":" + std::to_string(service_->dim()) +
+      ",\"base_k\":" + std::to_string(opts.anonymizer.base_k) +
+      ",\"leaf_capacity_factor\":" +
+      std::to_string(opts.anonymizer.leaf_capacity_factor) +
+      ",\"max_fanout\":" + std::to_string(opts.anonymizer.max_fanout) +
+      ",\"compact\":" + std::string(opts.anonymizer.compact ? "1" : "0") +
+      ",\"lsm\":" + std::string(opts.lsm.enabled() ? "1" : "0") +
+      ",\"durable_lsn\":" + std::to_string(stats.wal_synced_lsn) +
+      ",\"epoch\":" + std::to_string(epoch) +
+      ",\"epoch_records\":" + std::to_string(epoch_records);
+  const auto manifest_or = LoadManifest(dir, env);
+  if (manifest_or.ok()) {
+    const CheckpointManifest& m = *manifest_or;
+    body += ",\"checkpoint_lsn\":" + std::to_string(m.checkpoint_lsn) +
+            ",\"checkpoint\":{\"file\":\"" + JsonEscape(m.file) +
+            "\",\"page_size\":" + std::to_string(m.page_size) +
+            ",\"min_leaf\":" + std::to_string(m.min_leaf) +
+            ",\"max_leaf\":" + std::to_string(m.max_leaf) +
+            ",\"max_fanout\":" + std::to_string(m.max_fanout) +
+            ",\"first_page\":" + std::to_string(m.snapshot.first_page) +
+            ",\"byte_size\":" + std::to_string(m.snapshot.byte_size) +
+            ",\"record_count\":" + std::to_string(m.snapshot.record_count) +
+            ",\"crc32\":" + std::to_string(m.snapshot.crc32) + "}";
+  } else if (manifest_or.status().code() == StatusCode::kNotFound) {
+    body += ",\"checkpoint_lsn\":0";  // fresh leader: bootstrap is WAL-only
+  } else {
+    return HttpResponse::FromStatus(manifest_or.status());
+  }
+  body += "}";
+  return HttpResponse::Json(200, std::move(body));
+}
+
+HttpResponse AnonHttpFrontend::HandleReplCheckpoint(const std::string& dir,
+                                                    const std::string& path,
+                                                    Env* env) {
+  const std::string lsn_str = path.substr(std::strlen("/repl/checkpoint/"));
+  char* end = nullptr;
+  const unsigned long long lsn = std::strtoull(lsn_str.c_str(), &end, 10);
+  if (end == lsn_str.c_str() || *end != '\0' || lsn == 0) {
+    return HttpResponse::FromStatus(Status::InvalidArgument(
+        "expected /repl/checkpoint/<lsn>, got '" + path + "'"));
+  }
+  const auto manifest_or = LoadManifest(dir, env);
+  if (!manifest_or.ok()) {
+    if (manifest_or.status().code() == StatusCode::kNotFound) {
+      return ReplGone("no checkpoint exists yet; re-fetch /repl/manifest");
+    }
+    return HttpResponse::FromStatus(manifest_or.status());
+  }
+  const CheckpointManifest& m = *manifest_or;
+  if (m.checkpoint_lsn != lsn) {
+    return ReplGone("checkpoint at lsn " + lsn_str +
+                    " was superseded (current: lsn " +
+                    std::to_string(m.checkpoint_lsn) +
+                    "); re-fetch /repl/manifest");
+  }
+  std::string bytes;
+  const Status read = ReadFileToString(env, dir + "/" + m.file, &bytes);
+  if (!read.ok()) {
+    if (read.code() == StatusCode::kNotFound) {
+      // GC'd between the manifest load and this read.
+      return ReplGone("checkpoint file " + m.file +
+                      " disappeared mid-fetch; re-fetch /repl/manifest");
+    }
+    return HttpResponse::FromStatus(read);
+  }
+  HttpResponse resp;
+  resp.status = 200;
+  resp.content_type = "application/octet-stream";
+  resp.body = std::move(bytes);
+  resp.headers.emplace_back("X-Kanon-Checkpoint-Lsn", std::to_string(lsn));
+  return resp;
+}
+
+HttpResponse AnonHttpFrontend::HandleReplWal(const HttpRequest& request,
+                                             const std::string& dir,
+                                             size_t shard, Env* env) {
+  const auto params = ParseQuery(request.query);
+  uint64_t from_lsn = 0;
+  if (const std::string* v = QueryParam(params, "from_lsn")) {
+    char* end = nullptr;
+    from_lsn = std::strtoull(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0') from_lsn = 0;
+  }
+  if (from_lsn == 0) {
+    return HttpResponse::FromStatus(Status::InvalidArgument(
+        "from_lsn must be a positive integer (the first LSN wanted)"));
+  }
+  size_t max_bytes = 1u << 20;
+  if (const std::string* v = QueryParam(params, "max_bytes")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
+    if (end != v->c_str() && *end == '\0' && parsed > 0) {
+      max_bytes = static_cast<size_t>(parsed);
+    }
+  }
+  max_bytes = std::min(max_bytes, options_.repl_max_batch_bytes);
+  uint64_t max_lsn = 0;  // 0 = durable horizon only
+  if (const std::string* v = QueryParam(params, "max_lsn")) {
+    char* end = nullptr;
+    max_lsn = std::strtoull(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0') max_lsn = 0;
+  }
+
+  const AnonymizationService* svc = service_->shard(shard);
+  const uint64_t durable_lsn = svc->Stats().wal_synced_lsn;
+  // Never ship past the durable horizon: un-fsynced entries could vanish in
+  // a crash and have their LSNs reassigned — a follower that applied the
+  // old bytes could never tell.
+  uint64_t cap = durable_lsn;
+  if (max_lsn > 0) cap = std::min(cap, max_lsn);
+
+  auto range_or = ReadWalRange(dir, service_->dim(), from_lsn, cap,
+                               max_bytes, env);
+  if (!range_or.ok()) {
+    if (range_or.status().code() == StatusCode::kNotFound) {
+      return ReplGone(range_or.status().message());
+    }
+    return HttpResponse::FromStatus(range_or.status());
+  }
+  WalRangeResult range = std::move(range_or).value();
+
+  // The epoch target rides along on every poll, so a caught-up follower
+  // needs no second request to learn the leader published again. Read
+  // *after* the WAL so the advertised (epoch, records) never refers to
+  // entries the follower cannot fetch on its next poll.
+  uint64_t epoch = 0;
+  uint64_t epoch_records = 0;
+  if (const auto snapshot = svc->CurrentSnapshot()) {
+    epoch = snapshot->info().epoch;
+    epoch_records = snapshot->info().records;
+  }
+  HttpResponse resp;
+  resp.status = 200;
+  resp.content_type = "application/octet-stream";
+  resp.body = std::move(range.frames);
+  resp.headers.emplace_back("X-Kanon-First-Lsn",
+                            std::to_string(range.first_lsn));
+  resp.headers.emplace_back("X-Kanon-Last-Lsn", std::to_string(range.last_lsn));
+  resp.headers.emplace_back("X-Kanon-Durable-Lsn",
+                            std::to_string(durable_lsn));
+  resp.headers.emplace_back("X-Kanon-Epoch", std::to_string(epoch));
+  resp.headers.emplace_back("X-Kanon-Epoch-Records",
+                            std::to_string(epoch_records));
+  return resp;
 }
 
 HttpResponse AnonHttpFrontend::HandleMetrics() {
@@ -353,70 +587,70 @@ HttpResponse AnonHttpFrontend::HandleMetrics() {
   out += "# TYPE kanon_build_info gauge\n";
   out += "kanon_build_info{version=\"" + std::string(kVersionString) +
          "\",backend=\"" + backend_label_ + "\"} 1\n";
-  AppendMetric(&out, "kanon_shards", "gauge",
+  AppendPromMetric(&out, "kanon_shards", "gauge",
                static_cast<double>(service_->num_shards()));
 
   // Serving-layer counters (aggregated across shards; per-shard series
   // with a shard label follow below).
-  AppendMetric(&out, "kanon_enqueued_total", "counter",
+  AppendPromMetric(&out, "kanon_enqueued_total", "counter",
                static_cast<double>(stats.enqueued));
-  AppendMetric(&out, "kanon_rejected_total", "counter",
+  AppendPromMetric(&out, "kanon_rejected_total", "counter",
                static_cast<double>(stats.rejected));
-  AppendMetric(&out, "kanon_inserted_total", "counter",
+  AppendPromMetric(&out, "kanon_inserted_total", "counter",
                static_cast<double>(stats.inserted));
-  AppendMetric(&out, "kanon_batches_total", "counter",
+  AppendPromMetric(&out, "kanon_batches_total", "counter",
                static_cast<double>(stats.batches));
-  AppendMetric(&out, "kanon_snapshots_total", "counter",
+  AppendPromMetric(&out, "kanon_snapshots_total", "counter",
                static_cast<double>(stats.snapshots));
-  AppendMetric(&out, "kanon_queue_depth", "gauge",
+  AppendPromMetric(&out, "kanon_queue_depth", "gauge",
                static_cast<double>(stats.queue_depth));
-  AppendMetric(&out, "kanon_snapshot_age_seconds", "gauge",
+  AppendPromMetric(&out, "kanon_snapshot_age_seconds", "gauge",
                stats.snapshot_age_s);
-  AppendMetric(&out, "kanon_last_snapshot_build_ms", "gauge",
+  AppendPromMetric(&out, "kanon_last_snapshot_build_ms", "gauge",
                stats.last_snapshot_build_ms);
 
   // Durability counters (all zero without a WAL; exported regardless so
   // dashboards need no conditional wiring).
-  AppendMetric(&out, "kanon_durable", "gauge", stats.durable ? 1 : 0);
-  AppendMetric(&out, "kanon_recovered_total", "counter",
+  AppendPromMetric(&out, "kanon_durable", "gauge", stats.durable ? 1 : 0);
+  AppendPromMetric(&out, "kanon_recovered_total", "counter",
                static_cast<double>(stats.recovered));
-  AppendMetric(&out, "kanon_wal_appended_total", "counter",
+  AppendPromMetric(&out, "kanon_wal_appended_total", "counter",
                static_cast<double>(stats.wal_appended));
-  AppendMetric(&out, "kanon_wal_bytes_total", "counter",
+  AppendPromMetric(&out, "kanon_wal_bytes_total", "counter",
                static_cast<double>(stats.wal_bytes));
-  AppendMetric(&out, "kanon_wal_syncs_total", "counter",
+  AppendPromMetric(&out, "kanon_wal_syncs_total", "counter",
                static_cast<double>(stats.wal_syncs));
-  AppendMetric(&out, "kanon_wal_synced_lsn", "gauge",
+  AppendPromMetric(&out, "kanon_wal_synced_lsn", "gauge",
                static_cast<double>(stats.wal_synced_lsn));
-  AppendMetric(&out, "kanon_checkpoints_total", "counter",
+  AppendPromMetric(&out, "kanon_checkpoints_total", "counter",
                static_cast<double>(stats.checkpoints));
-  AppendMetric(&out, "kanon_last_checkpoint_lsn", "gauge",
+  AppendPromMetric(&out, "kanon_last_checkpoint_lsn", "gauge",
                static_cast<double>(stats.last_checkpoint_lsn));
-  AppendMetric(&out, "kanon_wal_retries_total", "counter",
+  AppendPromMetric(&out, "kanon_wal_retries_total", "counter",
                static_cast<double>(stats.wal_retries));
-  AppendMetric(&out, "kanon_wal_recoveries_total", "counter",
+  AppendPromMetric(&out, "kanon_wal_recoveries_total", "counter",
                static_cast<double>(stats.wal_recoveries));
-  AppendMetric(&out, "kanon_unavailable_total", "counter",
+  AppendPromMetric(&out, "kanon_unavailable_total", "counter",
                static_cast<double>(stats.unavailable));
-  AppendMetric(&out, "kanon_dropped_total", "counter",
+  AppendPromMetric(&out, "kanon_dropped_total", "counter",
                static_cast<double>(stats.dropped));
-  AppendMetric(&out, "kanon_wal_poisoned", "gauge",
+  AppendPromMetric(&out, "kanon_wal_poisoned", "gauge",
                stats.wal_poisoned ? 1 : 0);
 
   // Write-absorbing LSM ingest tier (all zero while the memtable is off).
-  AppendMetric(&out, "kanon_memtable_enabled", "gauge",
+  AppendPromMetric(&out, "kanon_memtable_enabled", "gauge",
                stats.memtable_enabled ? 1 : 0);
-  AppendMetric(&out, "kanon_memtable_records", "gauge",
+  AppendPromMetric(&out, "kanon_memtable_records", "gauge",
                static_cast<double>(stats.memtable_records));
-  AppendMetric(&out, "kanon_memtable_bytes", "gauge",
+  AppendPromMetric(&out, "kanon_memtable_bytes", "gauge",
                static_cast<double>(stats.memtable_bytes));
-  AppendMetric(&out, "kanon_merges_total", "counter",
+  AppendPromMetric(&out, "kanon_merges_total", "counter",
                static_cast<double>(stats.merges));
-  AppendMetric(&out, "kanon_last_merge_ms", "gauge", stats.last_merge_ms);
+  AppendPromMetric(&out, "kanon_last_merge_ms", "gauge", stats.last_merge_ms);
   // Ingest-thread time attribution: what the memtable actually absorbs.
-  AppendMetric(&out, "kanon_ingest_queue_wait_ms_total", "counter",
+  AppendPromMetric(&out, "kanon_ingest_queue_wait_ms_total", "counter",
                stats.queue_wait_ms);
-  AppendMetric(&out, "kanon_ingest_apply_ms_total", "counter",
+  AppendPromMetric(&out, "kanon_ingest_apply_ms_total", "counter",
                stats.apply_ms);
 
   // Health as a one-hot state vector (the Prometheus idiom for enums).
@@ -503,15 +737,15 @@ HttpResponse AnonHttpFrontend::HandleMetrics() {
   // Listener counters, when the server wired itself in.
   if (server_stats_ != nullptr) {
     const HttpServerStats http = server_stats_();
-    AppendMetric(&out, "kanon_http_connections_accepted_total", "counter",
+    AppendPromMetric(&out, "kanon_http_connections_accepted_total", "counter",
                  static_cast<double>(http.connections_accepted));
-    AppendMetric(&out, "kanon_http_connections_refused_total", "counter",
+    AppendPromMetric(&out, "kanon_http_connections_refused_total", "counter",
                  static_cast<double>(http.connections_refused));
-    AppendMetric(&out, "kanon_http_open_connections", "gauge",
+    AppendPromMetric(&out, "kanon_http_open_connections", "gauge",
                  static_cast<double>(http.open_connections));
-    AppendMetric(&out, "kanon_http_parse_errors_total", "counter",
+    AppendPromMetric(&out, "kanon_http_parse_errors_total", "counter",
                  static_cast<double>(http.parse_errors));
-    AppendMetric(&out, "kanon_http_timeouts_total", "counter",
+    AppendPromMetric(&out, "kanon_http_timeouts_total", "counter",
                  static_cast<double>(http.timeouts));
   }
 

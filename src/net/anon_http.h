@@ -21,9 +21,10 @@ enum class Endpoint : size_t {
   kRelease,
   kHealthz,
   kMetrics,
+  kRepl,
   kOther,
 };
-constexpr size_t kNumEndpoints = 5;
+constexpr size_t kNumEndpoints = 6;
 const char* EndpointName(Endpoint endpoint);
 
 struct AnonHttpOptions {
@@ -35,6 +36,14 @@ struct AnonHttpOptions {
   size_t latency_bins = 12;
   /// Advisory Retry-After (seconds) attached to 429/503 ingest responses.
   unsigned retry_after_s = 1;
+  /// Env for the replication endpoints' reads of WAL segments and
+  /// checkpoint files (nullptr = Env::Default()). Kept separate from the
+  /// service's durability env so fault injection on the write path does
+  /// not leak into replication serving unless a test wires it there.
+  Env* repl_env = nullptr;
+  /// Hard cap on one /repl/wal response body; requests asking for more are
+  /// clamped (the follower just asks again from its new position).
+  size_t repl_max_batch_bytes = 8u << 20;
 };
 
 /// The HTTP face of the (sharded) anonymization service — maps the
@@ -66,6 +75,24 @@ struct AnonHttpOptions {
 ///                          series with a shard label, kanon_build_info,
 ///                          queue depth, listener stats and per-endpoint
 ///                          latency histograms (built on metrics/histogram).
+///   GET  /repl/manifest    Replication bootstrap metadata for one shard
+///                          (?shard=i, default 0): checkpoint manifest,
+///                          durable (fsynced) LSN horizon and the current
+///                          published epoch. 409 unless the leader runs
+///                          with durability on.
+///   GET  /repl/checkpoint/<lsn>  The raw checkpoint file bytes named by
+///                          the manifest (verifiable against its recorded
+///                          CRC32). 410 Gone once that checkpoint has been
+///                          superseded and GC'd — re-fetch the manifest.
+///   GET  /repl/wal         ?from_lsn=&max_bytes=&max_lsn=&shard= —
+///                          CRC-framed WAL entries straight from the
+///                          segment files, capped at the durable horizon.
+///                          410 Gone when from_lsn was truncated behind a
+///                          checkpoint (the typed "need a new checkpoint"
+///                          signal); response headers X-Kanon-First-Lsn,
+///                          X-Kanon-Last-Lsn, X-Kanon-Durable-Lsn,
+///                          X-Kanon-Epoch, X-Kanon-Epoch-Records carry the
+///                          tailing state machine's inputs.
 ///
 /// Handle() is thread-safe and is exactly the HttpHandler the HttpServer
 /// worker pool runs; it may block inside Ingest under kBlock backpressure,
@@ -112,6 +139,13 @@ class AnonHttpFrontend {
   HttpResponse HandleRelease(const HttpRequest& request);
   HttpResponse HandleHealthz();
   HttpResponse HandleMetrics();
+  HttpResponse HandleRepl(const HttpRequest& request);
+  HttpResponse HandleReplManifest(const std::string& dir, size_t shard,
+                                  Env* env);
+  HttpResponse HandleReplCheckpoint(const std::string& dir,
+                                    const std::string& path, Env* env);
+  HttpResponse HandleReplWal(const HttpRequest& request,
+                             const std::string& dir, size_t shard, Env* env);
   void Observe(Endpoint endpoint, int http_status, double latency_ms);
 
   ShardedAnonymizationService* const service_;
@@ -133,6 +167,20 @@ Status ParseRecordLine(std::string_view line, size_t dim,
 /// formatting: %.17g round-trips doubles exactly). Shared by the endpoint
 /// and by tests asserting HTTP and in-process releases are identical.
 std::string PartitionsJson(const PartitionSet& ps, bool with_rids);
+
+/// Renders a full GET /release(/query) response off a stitched snapshot —
+/// deterministic byte-for-byte in the snapshot's contents, which is what
+/// lets a replication follower at the same epoch serve the identical body.
+/// `stitched` == nullptr yields the 503 "nothing published yet" response.
+/// Shared by AnonHttpFrontend and the follower frontend.
+HttpResponse RenderRelease(const StitchedSnapshot* stitched,
+                           const HttpRequest& request, unsigned retry_after_s);
+
+/// Appends one `# TYPE` + sample line in the Prometheus text exposition.
+/// Shared by the leader's /metrics and the follower's.
+void AppendPromMetric(std::string* out, std::string_view name,
+                      std::string_view type, double value,
+                      std::string_view labels = "");
 
 }  // namespace kanon::net
 

@@ -7,11 +7,16 @@
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/time.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <chrono>
+#include <thread>
 
 namespace kanon::net {
 
@@ -75,12 +80,41 @@ Status HttpClient::Connect(const std::string& host, uint16_t port,
     Close();
     return Status::InvalidArgument("unparseable IPv4 host: " + host);
   }
+  // Bounded connect: a plain blocking connect() ignores SO_SNDTIMEO on
+  // Linux and can hang for minutes against a dead or blackholed peer.
+  // Flip to non-blocking, poll for writability, read SO_ERROR, flip back.
+  const int flags = fcntl(fd_, F_GETFL, 0);
+  fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
   if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Status s = Errno(("connect " + resolved + ":" +
-                            std::to_string(port)).c_str());
-    Close();
-    return s;
+    if (errno != EINPROGRESS) {
+      const Status s = Errno(("connect " + resolved + ":" +
+                              std::to_string(port)).c_str());
+      Close();
+      return s;
+    }
+    pollfd pfd{fd_, POLLOUT, 0};
+    int rc;
+    do {
+      rc = poll(&pfd, 1, static_cast<int>(timeout_s * 1000));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      Close();
+      return Status::IoError("connect " + resolved + ":" +
+                             std::to_string(port) + " timed out");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (rc < 0 ||
+        getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+        err != 0) {
+      if (err != 0) errno = err;
+      const Status s = Errno(("connect " + resolved + ":" +
+                              std::to_string(port)).c_str());
+      Close();
+      return s;
+    }
   }
+  fcntl(fd_, F_SETFL, flags);
   host_ = resolved + ":" + std::to_string(port);
   return Status::OK();
 }
@@ -188,6 +222,31 @@ StatusOr<ClientResponse> HttpClient::RoundTrip(
     }
     buf.append(chunk, static_cast<size_t>(n));
   }
+}
+
+StatusOr<ClientResponse> GetWithRetry(HttpClient& client,
+                                      const std::string& host, uint16_t port,
+                                      const std::string& target,
+                                      const RetryOptions& retry) {
+  Status last = Status::IoError("no attempts made");
+  double backoff_s = retry.backoff_initial_s;
+  for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+      backoff_s = std::min(backoff_s * 2, retry.backoff_max_s);
+    }
+    if (!client.connected()) {
+      const Status s = client.Connect(host, port, retry.timeout_s);
+      if (!s.ok()) {
+        last = s;
+        continue;
+      }
+    }
+    StatusOr<ClientResponse> resp = client.Get(target);
+    if (resp.ok()) return resp;
+    last = resp.status();
+  }
+  return last;
 }
 
 }  // namespace kanon::net

@@ -20,10 +20,12 @@ struct ClientResponse {
   const std::string* FindHeader(std::string_view name) const;
 };
 
-/// A minimal blocking HTTP/1.1 client over one keep-alive connection —
-/// enough to drive the server from tests, the serve_smoke bench and the
-/// examples without external tooling. Not a general client: no TLS, no
-/// redirects, no chunked responses (the server never sends them).
+/// A blocking HTTP/1.1 client over one keep-alive connection — drives the
+/// server from tests, the serve_smoke bench, the examples, and the
+/// replication tailer. Not a general client: no TLS, no redirects, no
+/// chunked responses (the server never sends them). Every socket operation
+/// — including connect — is bounded by the timeout passed to Connect, so a
+/// peer that dies mid-request surfaces as an IoError instead of a hang.
 class HttpClient {
  public:
   HttpClient() = default;
@@ -34,8 +36,9 @@ class HttpClient {
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
 
-  /// Connects to host:port (IPv4 numeric or "localhost") with the given
-  /// socket send/receive timeout.
+  /// Connects to host:port (IPv4 numeric or "localhost"). `timeout_s`
+  /// bounds the connect itself (non-blocking connect + poll) as well as
+  /// every later send/receive on the socket.
   Status Connect(const std::string& host, uint16_t port,
                  double timeout_s = 10.0);
 
@@ -58,6 +61,26 @@ class HttpClient {
   std::string host_;
   std::string residual_;  // bytes read past the previous response
 };
+
+/// Caps for GetWithRetry.
+struct RetryOptions {
+  int max_attempts = 3;            // total tries, including the first
+  double backoff_initial_s = 0.05; // sleep before the 2nd try
+  double backoff_max_s = 1.0;      // exponential backoff cap
+  double timeout_s = 5.0;          // per-attempt connect + socket timeout
+};
+
+/// Issues a GET, (re)connecting `client` to host:port as needed, and
+/// retries *transport* failures (connect refused, timeout, torn response)
+/// up to max_attempts with capped exponential backoff. HTTP error statuses
+/// are returned as-is — a 503 is an answer, not a transport fault, and the
+/// caller decides how to react to it. On a transport failure the
+/// connection is already closed (RoundTrip's contract), so the next
+/// attempt reconnects from scratch.
+StatusOr<ClientResponse> GetWithRetry(HttpClient& client,
+                                      const std::string& host, uint16_t port,
+                                      const std::string& target,
+                                      const RetryOptions& retry = {});
 
 }  // namespace kanon::net
 

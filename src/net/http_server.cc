@@ -49,7 +49,15 @@ HttpResponse HttpResponse::Text(int status, std::string body) {
 }
 
 HttpResponse HttpResponse::FromStatus(const Status& status) {
-  return Json(HttpStatusFromStatusCode(status.code()), HttpErrorBody(status));
+  HttpResponse resp =
+      Json(HttpStatusFromStatusCode(status.code()), HttpErrorBody(status));
+  // Every overload/degraded answer — not just /ingest backpressure —
+  // carries Retry-After, so load balancers, health checks and replication
+  // tailers all back off the same way.
+  if (resp.status == 429 || resp.status == 503) {
+    resp.headers.emplace_back("Retry-After", "1");
+  }
+  return resp;
 }
 
 std::string SerializeResponse(const HttpResponse& resp, bool keep_alive) {

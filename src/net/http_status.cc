@@ -41,9 +41,11 @@ const char* HttpReasonPhrase(int http_status) {
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
     case 409: return "Conflict";
+    case 410: return "Gone";
     case 411: return "Length Required";
     case 413: return "Payload Too Large";
     case 414: return "URI Too Long";
+    case 421: return "Misdirected Request";
     case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";

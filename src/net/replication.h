@@ -1,0 +1,257 @@
+#ifndef KANON_NET_REPLICATION_H_
+#define KANON_NET_REPLICATION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "net/anon_http.h"
+#include "net/http_client.h"
+#include "service/follower_core.h"
+
+namespace kanon::net {
+
+/// Replication state machine of a follower, exported one-hot in /metrics.
+enum class ReplState : int {
+  kBootstrapping = 0,  // fetching manifest / downloading a checkpoint
+  kFollowing,          // tailing the leader WAL; within the staleness bound
+  kLagging,            // connected but past --max-staleness-ms
+  kDisconnected,       // leader unreachable; backing off before a retry
+};
+constexpr int kNumReplStates = 4;
+const char* ReplStateName(ReplState state);
+
+/// Everything /repl/manifest reports, parsed.
+struct LeaderManifest {
+  size_t shards = 1;
+  size_t shard = 0;
+  size_t dim = 0;
+  size_t base_k = 0;
+  size_t leaf_capacity_factor = 0;
+  size_t max_fanout = 0;
+  bool compact = true;
+  bool lsm = false;
+  uint64_t durable_lsn = 0;
+  uint64_t epoch = 0;
+  uint64_t epoch_records = 0;
+  uint64_t checkpoint_lsn = 0;  // 0 = no checkpoint, bootstrap is WAL-only
+  CheckpointManifest checkpoint;  // valid only when checkpoint_lsn > 0
+};
+
+/// One /repl/wal response: raw CRC-framed entries plus the tailing state
+/// machine's inputs from the X-Kanon-* headers.
+struct WalBatch {
+  std::string frames;
+  uint64_t first_lsn = 0;
+  uint64_t last_lsn = 0;      // 0 = empty batch
+  uint64_t durable_lsn = 0;   // leader's fsynced horizon at response time
+  uint64_t epoch = 0;         // leader's latest published epoch (0 = none)
+  uint64_t epoch_records = 0; // records covered by that epoch
+};
+
+/// Typed HTTP client for the leader's /repl endpoints. Maps protocol
+/// signals onto Status codes the state machine dispatches on:
+///   410 Gone            -> NotFound     (artifact superseded: re-fetch the
+///                                        manifest / re-bootstrap)
+///   other HTTP >= 400   -> Unavailable  (leader up but not serving this;
+///                                        retry with backoff)
+///   transport faults    -> IoError      (as reported by HttpClient —
+///                                        includes timeouts and torn
+///                                        responses; reconnect + backoff)
+/// A torn or CRC-damaged body is never partially surfaced: the caller
+/// re-requests everything after its last applied LSN.
+class ReplicationClient {
+ public:
+  ReplicationClient(std::string host, uint16_t port, size_t shard,
+                    double timeout_s);
+
+  StatusOr<LeaderManifest> FetchManifest();
+  StatusOr<std::string> FetchCheckpoint(uint64_t lsn);
+  StatusOr<WalBatch> FetchWal(uint64_t from_lsn, uint64_t max_lsn,
+                              size_t max_bytes);
+
+  /// Drops the connection so the next fetch reconnects from scratch.
+  void Disconnect() { client_.Close(); }
+
+  uint64_t bytes_total() const {
+    return bytes_total_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  StatusOr<ClientResponse> Fetch(const std::string& target);
+
+  const std::string host_;
+  const uint16_t port_;
+  const size_t shard_;
+  const double timeout_s_;
+  HttpClient client_;
+  std::atomic<uint64_t> bytes_total_{0};
+};
+
+struct FollowerOptions {
+  std::string leader_host = "127.0.0.1";
+  uint16_t leader_port = 0;
+  size_t shard = 0;
+  /// Core publication/staleness knobs. The anonymizer configuration inside
+  /// is overwritten from the leader manifest at bootstrap (base_k and tree
+  /// shape must match the leader or releases would diverge).
+  FollowerCoreOptions core;
+  /// Directory for the checkpoint download (must exist or be creatable).
+  std::string scratch_dir = "/tmp";
+  /// With stale reads rejected, /release answers 503 past the staleness
+  /// bound instead of serving with a degraded-health header.
+  bool reject_stale_reads = false;
+  double request_timeout_s = 5.0;
+  /// Idle poll cadence while caught up.
+  uint64_t poll_interval_ms = 50;
+  /// Reconnect backoff: initial, doubling per consecutive failure, capped,
+  /// with up to 25% multiplicative jitter (decorrelates a replica fleet
+  /// re-connecting after a leader restart).
+  uint64_t backoff_initial_ms = 100;
+  uint64_t backoff_max_ms = 5000;
+  uint64_t jitter_seed = 0;  // 0 = seed from the clock
+  size_t max_batch_bytes = 1u << 20;
+  /// Retry-After attached to follower 503s.
+  unsigned retry_after_s = 1;
+  Env* env = nullptr;  // nullptr = Env::Default()
+};
+
+/// A read replica: bootstraps a FollowerCore from the leader's checkpoint,
+/// tails its WAL, and publishes epoch snapshots — all on one background
+/// thread, resilient to every fault the protocol can express. The thread
+/// never exits on error: leader down means capped-backoff reconnects, a
+/// GC'd WAL range means an automatic re-bootstrap, a torn batch means
+/// re-requesting from the last applied LSN. Serving threads read the core
+/// lock-free the whole time.
+class ReplicatedFollower {
+ public:
+  ReplicatedFollower(Domain domain, FollowerOptions options);
+  ~ReplicatedFollower();
+
+  ReplicatedFollower(const ReplicatedFollower&) = delete;
+  ReplicatedFollower& operator=(const ReplicatedFollower&) = delete;
+
+  /// Starts the replication thread. Returns immediately; bootstrap and
+  /// catch-up happen in the background (watch state() / healthz).
+  void Start();
+  void Stop();
+
+  ReplState state() const {
+    return static_cast<ReplState>(state_.load(std::memory_order_acquire));
+  }
+  FollowerCore* core() { return core_.get(); }
+  const FollowerCore* core() const { return core_.get(); }
+
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  uint64_t batches() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_total() const { return client_.bytes_total(); }
+  /// Leader's durable LSN / epoch as of the last successful poll.
+  uint64_t leader_durable_lsn() const {
+    return leader_durable_lsn_.load(std::memory_order_relaxed);
+  }
+  uint64_t leader_epoch() const {
+    return leader_epoch_.load(std::memory_order_relaxed);
+  }
+  /// LSNs known durable on the leader but not yet applied here.
+  uint64_t lag_lsn() const {
+    const uint64_t durable = leader_durable_lsn();
+    const uint64_t applied = core_->applied_lsn();
+    return durable > applied ? durable - applied : 0;
+  }
+
+  const FollowerOptions& options() const { return options_; }
+
+ private:
+  enum class TailResult {
+    kImmediate,  // a batch was applied; poll again right away
+    kIdle,       // caught up; idle-wait one poll interval
+    kFault,      // transport/decode fault; backoff before retrying
+  };
+
+  void RunLoop();
+  /// One bootstrap attempt; true on success (core adopted a starting
+  /// point), false on a retryable failure (backoff applied by the caller).
+  bool BootstrapOnce();
+  /// One tail poll against the leader's /repl/wal.
+  TailResult TailOnce();
+  void OnTransportFault(const Status& status);
+  /// Sleeps the capped-exponential-backoff delay (interruptible by Stop).
+  void Backoff();
+  bool SleepFor(uint64_t ms);  // false when Stop interrupted the wait
+  void SetState(ReplState state) {
+    state_.store(static_cast<int>(state), std::memory_order_release);
+  }
+
+  const FollowerOptions options_;
+  std::unique_ptr<FollowerCore> core_;
+  ReplicationClient client_;
+  Env* const env_;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+
+  std::atomic<int> state_{static_cast<int>(ReplState::kBootstrapping)};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> leader_durable_lsn_{0};
+  std::atomic<uint64_t> leader_epoch_{0};
+  std::atomic<uint64_t> leader_epoch_records_{0};
+
+  // Replication-thread-only state (no synchronization needed).
+  bool bootstrapped_ = false;
+  bool lsm_warned_ = false;
+  uint64_t consecutive_failures_ = 0;
+  uint64_t jitter_state_ = 0;
+};
+
+/// The HTTP face of a follower: read endpoints served lock-free off the
+/// core's published snapshot, writes redirected to the leader, health and
+/// metrics wired to the replication state machine.
+///
+///   GET  /release, /release/query   RenderRelease off the follower's
+///         snapshot — byte-identical to the leader's at the same epoch —
+///         plus X-Kanon-Staleness-Ms (ms since last confirmed caught-up;
+///         -1 = never). Past --max-staleness-ms: either served anyway
+///         (default) or 503 with --stale-reads=reject.
+///   POST /ingest   421 Misdirected Request + Location on the leader: a
+///         replica never takes writes.
+///   GET  /healthz  200 only while following within the staleness bound;
+///         503 (with Retry-After) while bootstrapping, lagging or
+///         disconnected.
+///   GET  /metrics  kanon_repl_* series: one-hot state, lag in LSNs and
+///         ms, reconnect/bootstrap/batch/byte counters, applied LSN and
+///         published epoch.
+class FollowerFrontend {
+ public:
+  explicit FollowerFrontend(ReplicatedFollower* follower)
+      : follower_(follower) {}
+
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  HttpResponse HandleReadRelease(const HttpRequest& request);
+  HttpResponse HandleHealthz();
+  HttpResponse HandleMetrics();
+
+  ReplicatedFollower* const follower_;
+  std::atomic<uint64_t> requests_{0};
+};
+
+}  // namespace kanon::net
+
+#endif  // KANON_NET_REPLICATION_H_

@@ -438,6 +438,15 @@ bool AnonymizationService::Publish() {
   const size_t resident = memtable_ != nullptr ? memtable_->size() : 0;
   // Fewer than k records held in total cannot be k-anonymized at all.
   if (tree.size() + resident < base_k) return false;
+  // Publish implies durable: a release should never cover records a crash
+  // could still un-assign (the WAL would hand their LSNs to different
+  // records on restart). This also pins the replication contract — a
+  // follower chasing a published epoch never needs WAL entries past the
+  // leader's durable horizon. On sync failure the WAL poisons itself and
+  // the next append degrades the service through the usual path; the
+  // snapshot is still published (the records are in the tree and serving
+  // reads is exactly what a degraded service keeps doing).
+  if (wal_ != nullptr && !wal_->poisoned()) (void)wal_->Sync();
   Timer timer;
   std::vector<LeafGroup> leaves = ExtractLeafGroups(tree, &domain_);
   if (!options_.anonymizer.compact) {

@@ -1,0 +1,183 @@
+#include "service/follower_core.h"
+
+#include <chrono>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "anon/leaf_scan.h"
+#include "common/timer.h"
+#include "index/tree_persistence.h"
+#include "service/snapshot.h"
+
+namespace kanon {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+FollowerCore::FollowerCore(size_t dim, Domain domain,
+                           FollowerCoreOptions options)
+    : dim_(dim), domain_(std::move(domain)), options_(std::move(options)) {
+  anonymizer_ = std::make_unique<IncrementalAnonymizer>(
+      dim_, options_.anonymizer, &domain_);
+}
+
+void FollowerCore::ConfigureFromLeader(size_t base_k,
+                                       size_t leaf_capacity_factor,
+                                       size_t max_fanout, bool compact) {
+  RTreeAnonymizerOptions& opts = options_.anonymizer;
+  if (opts.base_k == base_k &&
+      opts.leaf_capacity_factor == leaf_capacity_factor &&
+      opts.max_fanout == max_fanout && opts.compact == compact) {
+    return;
+  }
+  opts.base_k = base_k;
+  opts.leaf_capacity_factor = leaf_capacity_factor;
+  opts.max_fanout = max_fanout;
+  opts.compact = compact;
+  anonymizer_ = std::make_unique<IncrementalAnonymizer>(
+      dim_, options_.anonymizer, &domain_);
+  records_.store(0, std::memory_order_release);
+  applied_lsn_.store(0, std::memory_order_release);
+}
+
+Status FollowerCore::AdoptCheckpoint(const CheckpointManifest& manifest,
+                                     const std::string& local_path,
+                                     Env* env) {
+  if (anonymizer_->size() != 0) {
+    return Status::FailedPrecondition(
+        "checkpoint adoption requires a fresh core (ResetForBootstrap "
+        "first)");
+  }
+  if (manifest.dim != dim_) {
+    return Status::InvalidArgument(
+        "leader checkpoint dimensionality mismatch");
+  }
+  const RTreeConfig& config = anonymizer_->tree().config();
+  if (manifest.min_leaf != config.min_leaf ||
+      manifest.max_leaf != config.max_leaf ||
+      manifest.max_fanout != config.max_fanout) {
+    return Status::InvalidArgument(
+        "leader checkpoint tree configuration mismatch (is the follower "
+        "running with the leader's k?)");
+  }
+  // LoadTreeFromFile verifies manifest.snapshot.crc32 over the page image
+  // before any page is trusted — a truncated or corrupted download fails
+  // here instead of becoming a silently wrong replica.
+  KANON_ASSIGN_OR_RETURN(
+      RPlusTree tree,
+      LoadTreeFromFile(local_path, manifest.snapshot, dim_, config,
+                       manifest.page_size, env));
+  anonymizer_->AdoptTree(std::move(tree));
+  records_.store(anonymizer_->size(), std::memory_order_release);
+  applied_lsn_.store(manifest.checkpoint_lsn, std::memory_order_release);
+  return Status::OK();
+}
+
+void FollowerCore::ResetForBootstrap() {
+  anonymizer_ = std::make_unique<IncrementalAnonymizer>(
+      dim_, options_.anonymizer, &domain_);
+  records_.store(0, std::memory_order_release);
+  applied_lsn_.store(0, std::memory_order_release);
+  // current_ is deliberately kept: readers hold the last good release until
+  // the re-bootstrap catches up and publishes a newer leader epoch.
+}
+
+Status FollowerCore::Apply(uint64_t lsn, std::span<const double> point,
+                           int32_t sensitive) {
+  const uint64_t applied = applied_lsn_.load(std::memory_order_relaxed);
+  if (lsn != applied + 1) {
+    return Status::Internal("replication gap: expected lsn " +
+                            std::to_string(applied + 1) + ", got " +
+                            std::to_string(lsn));
+  }
+  if (point.size() != dim_) {
+    return Status::Corruption("replicated entry has wrong dimensionality");
+  }
+  // Same identity as leader recovery replay: record id == lsn - 1, so the
+  // follower's rid space is bit-compatible with the leader's.
+  anonymizer_->Insert(point, static_cast<RecordId>(lsn - 1), sensitive);
+  records_.store(anonymizer_->size(), std::memory_order_release);
+  applied_lsn_.store(lsn, std::memory_order_release);
+  return Status::OK();
+}
+
+bool FollowerCore::PublishEpoch(uint64_t epoch) {
+  const RPlusTree& tree = anonymizer_->tree();
+  const size_t base_k = options_.anonymizer.base_k;
+  if (tree.size() < base_k) return false;
+  // Idempotence is on the (epoch, records) pair, not a monotonic epoch: a
+  // restarted leader renumbers epochs from 1, and the follower must keep
+  // matching its publication points rather than freeze on the old number.
+  if (epoch == epoch_.load(std::memory_order_relaxed) &&
+      tree.size() == published_records_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  // Mirrors AnonymizationService::Publish() minus WAL and memtable: the
+  // follower replays records in LSN order into an identically-configured
+  // tree, so the leaf groups — and therefore every k1 release — come out
+  // identical to the leader's at the same (epoch, records) point.
+  Timer timer;
+  std::vector<LeafGroup> leaves = ExtractLeafGroups(tree, &domain_);
+  if (!options_.anonymizer.compact) {
+    for (LeafGroup& group : leaves) {
+      if (!group.region.empty()) group.mbr = group.region;
+    }
+  }
+  SnapshotInfo info;
+  info.records = tree.size();
+  info.base_k = base_k;
+  const PartitionSet base = LeafScan(leaves, info.base_k);
+  info.num_partitions = base.num_partitions();
+  info.min_partition = base.min_partition_size();
+  info.max_partition = base.max_partition_size();
+  info.avg_ncp = AverageBoxNcp(base, domain_);
+  info.build_ms = timer.ElapsedMillis();
+  info.created = std::chrono::steady_clock::now();
+  info.epoch = epoch;
+  auto snapshot =
+      std::make_shared<const Snapshot>(std::move(leaves), domain_, info);
+
+  StitchedInfo stitched;
+  stitched.records = info.records;
+  stitched.base_k = base_k;
+  stitched.num_shards = 1;
+  stitched.epoch = epoch;
+  stitched.shard_epochs = {epoch};
+  stitched.shard_records = {info.records};
+  auto current = std::make_shared<const StitchedSnapshot>(
+      std::vector<std::shared_ptr<const Snapshot>>{std::move(snapshot)},
+      domain_, stitched);
+  {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    current_ = std::move(current);
+  }
+  epoch_.store(epoch, std::memory_order_release);
+  published_records_.store(info.records, std::memory_order_release);
+  return true;
+}
+
+void FollowerCore::MarkCaughtUp() {
+  caught_up_ns_.store(NowNs(), std::memory_order_release);
+}
+
+double FollowerCore::staleness_ms() const {
+  const int64_t at = caught_up_ns_.load(std::memory_order_acquire);
+  if (at == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(NowNs() - at) / 1e6;
+}
+
+std::shared_ptr<const StitchedSnapshot> FollowerCore::CurrentStitched()
+    const {
+  std::lock_guard<std::mutex> lock(current_mu_);
+  return current_;
+}
+
+}  // namespace kanon

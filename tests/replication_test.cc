@@ -1,0 +1,701 @@
+// Replication protocol tests: WAL range reads and frame decoding, client
+// timeout/retry hardening, the leader's /repl endpoints, and loopback
+// leader+follower end-to-end — including byte-identical releases, leader
+// restart with automatic reconnect, checkpoint bootstrap, WAL-GC-driven
+// re-bootstrap, and staleness-degraded health.
+
+#include "net/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "durability/wal.h"
+#include "net/anon_http.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+#include "shard/sharded_service.h"
+
+namespace kanon::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/kanon_repl_XXXXXX";
+    KANON_CHECK(mkdtemp(tmpl) != nullptr);
+    path_ = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct Entry {
+  uint64_t lsn;
+  std::vector<double> point;
+  int32_t sensitive;
+};
+
+/// Writes `n` deterministic entries (dim 2) and fsyncs.
+void WriteWal(const std::string& dir, uint64_t n, size_t segment_bytes) {
+  WalOptions options;
+  options.fsync_every = 0;
+  options.segment_bytes = segment_bytes;
+  auto wal = WalWriter::Open(dir, 2, /*next_lsn=*/1, options);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  for (uint64_t lsn = 1; lsn <= n; ++lsn) {
+    const std::vector<double> p = {static_cast<double>(lsn % 97),
+                                   static_cast<double>((lsn * 7) % 89)};
+    ASSERT_TRUE((*wal)->Append(lsn, p, static_cast<int32_t>(lsn % 5)).ok());
+  }
+  ASSERT_TRUE((*wal)->Sync().ok());
+}
+
+std::vector<Entry> Decode(std::string_view frames, Status* status) {
+  std::vector<Entry> entries;
+  *status = DecodeWalFrames(
+      frames, 2,
+      [&](uint64_t lsn, std::span<const double> point, int32_t sensitive) {
+        entries.push_back({lsn, {point.begin(), point.end()}, sensitive});
+      });
+  return entries;
+}
+
+TEST(ReadWalRangeTest, MidLogStartAndLsnCap) {
+  TempDir dir;
+  WriteWal(dir.path(), 100, /*segment_bytes=*/1024);
+  auto range = ReadWalRange(dir.path(), 2, /*from_lsn=*/41, /*max_lsn=*/100,
+                            /*max_bytes=*/1u << 20);
+  ASSERT_TRUE(range.ok()) << range.status();
+  EXPECT_EQ(range->first_lsn, 41u);
+  EXPECT_EQ(range->last_lsn, 100u);
+  Status status;
+  const auto entries = Decode(range->frames, &status);
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_EQ(entries.size(), 60u);
+  EXPECT_EQ(entries.front().lsn, 41u);
+  EXPECT_EQ(entries.back().lsn, 100u);
+  EXPECT_EQ(entries.front().point[0], 41.0);
+
+  // The cap is inclusive and exact.
+  range = ReadWalRange(dir.path(), 2, 1, /*max_lsn=*/60, 1u << 20);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(range->last_lsn, 60u);
+
+  // from_lsn beyond the cap: empty, not an error (the caught-up poll).
+  range = ReadWalRange(dir.path(), 2, 101, 100, 1u << 20);
+  ASSERT_TRUE(range.ok()) << range.status();
+  EXPECT_TRUE(range->frames.empty());
+  EXPECT_EQ(range->first_lsn, 0u);
+  EXPECT_EQ(range->last_lsn, 0u);
+}
+
+TEST(ReadWalRangeTest, MaxBytesBatchesAndResumes) {
+  TempDir dir;
+  WriteWal(dir.path(), 100, 1024);
+  // Tiny budget: every batch still makes progress (>= 1 entry), and
+  // resuming from last_lsn + 1 walks the whole log without gaps or dups.
+  uint64_t next = 1;
+  size_t batches = 0;
+  while (next <= 100) {
+    auto range = ReadWalRange(dir.path(), 2, next, 100, /*max_bytes=*/64);
+    ASSERT_TRUE(range.ok()) << range.status();
+    ASSERT_GT(range->last_lsn, 0u) << "no progress at lsn " << next;
+    ASSERT_EQ(range->first_lsn, next);
+    Status status;
+    const auto entries = Decode(range->frames, &status);
+    ASSERT_TRUE(status.ok());
+    ASSERT_FALSE(entries.empty());
+    EXPECT_EQ(entries.back().lsn, range->last_lsn);
+    next = range->last_lsn + 1;
+    ++batches;
+  }
+  EXPECT_GT(batches, 10u);  // the budget actually bit
+}
+
+TEST(ReadWalRangeTest, GcdPrefixIsTypedNotFound) {
+  TempDir dir;
+  WriteWal(dir.path(), 200, /*segment_bytes=*/512);  // many small segments
+  auto removed = TruncateWalBefore(dir.path(), /*checkpoint_lsn=*/100);
+  ASSERT_TRUE(removed.ok());
+  ASSERT_GT(*removed, 0u);
+
+  // The GC'd prefix is a typed NotFound — the "need a new checkpoint"
+  // signal — not a 500-shaped corruption.
+  auto range = ReadWalRange(dir.path(), 2, 1, 200, 1u << 20);
+  ASSERT_FALSE(range.ok());
+  EXPECT_EQ(range.status().code(), StatusCode::kNotFound);
+
+  // The surviving suffix still reads fine.
+  auto ok_range = ReadWalRange(dir.path(), 2, 101, 200, 1u << 20);
+  ASSERT_TRUE(ok_range.ok()) << ok_range.status();
+  EXPECT_EQ(ok_range->last_lsn, 200u);
+  EXPECT_LE(ok_range->oldest_lsn, 101u);
+}
+
+TEST(ReadWalRangeTest, TornTailOnNewestSegmentIsNeverShipped) {
+  TempDir dir;
+  WriteWal(dir.path(), 50, 1u << 20);
+  // Append garbage to the newest (only) segment — a torn in-flight write.
+  std::vector<std::string> files;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    files.push_back(e.path().string());
+  }
+  ASSERT_EQ(files.size(), 1u);
+  {
+    std::ofstream out(files[0], std::ios::binary | std::ios::app);
+    out.write("\x13\x37\xde\xad\xbe", 5);
+  }
+  auto range = ReadWalRange(dir.path(), 2, 1, 50, 1u << 20);
+  ASSERT_TRUE(range.ok()) << range.status();
+  EXPECT_EQ(range->last_lsn, 50u);
+  Status status;
+  const auto entries = Decode(range->frames, &status);
+  EXPECT_TRUE(status.ok()) << status;  // the garbage never made the wire
+  EXPECT_EQ(entries.size(), 50u);
+}
+
+TEST(ReadWalRangeTest, SealedSegmentDamageIsCorruption) {
+  TempDir dir;
+  WriteWal(dir.path(), 200, /*segment_bytes=*/512);
+  std::vector<std::string> files;
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    files.push_back(e.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GT(files.size(), 2u);
+  {
+    // Flip one payload byte mid-file in a sealed (non-newest) segment.
+    std::fstream f(files[0],
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(40);
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(40);
+    c = static_cast<char>(c ^ 0x40);
+    f.write(&c, 1);
+  }
+  auto range = ReadWalRange(dir.path(), 2, 1, 200, 1u << 20);
+  ASSERT_FALSE(range.ok());
+  EXPECT_EQ(range.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DecodeWalFramesTest, CrcDamageStopsDeliveryAtTheBadFrame) {
+  TempDir dir;
+  WriteWal(dir.path(), 20, 1u << 20);
+  auto range = ReadWalRange(dir.path(), 2, 1, 20, 1u << 20);
+  ASSERT_TRUE(range.ok());
+  std::string frames = range->frames;
+  // Damage a payload byte somewhere past the first few frames.
+  frames[frames.size() / 2] = static_cast<char>(frames[frames.size() / 2] ^ 1);
+  Status status;
+  const auto entries = Decode(frames, &status);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  // Only the clean prefix was delivered, in order, starting at 1.
+  ASSERT_FALSE(entries.empty());
+  EXPECT_LT(entries.size(), 20u);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].lsn, i + 1);
+  }
+}
+
+TEST(HttpClientHardeningTest, ReadTimeoutAgainstSilentServer) {
+  // A socket that listens but never accepts: connects succeed via the
+  // backlog, then the response never comes. The bounded client must
+  // surface an IoError instead of hanging.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port, /*timeout_s=*/0.3).ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto resp = client.Get("/healthz");
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kIoError);
+  EXPECT_LT(elapsed, 5.0);  // bounded, not hung
+  ::close(fd);
+}
+
+TEST(HttpClientHardeningTest, GetWithRetryGivesUpAfterCappedAttempts) {
+  // Nothing listens on this port (bound then closed, so the OS rejects).
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+
+  HttpClient client;
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.backoff_initial_s = 0.01;
+  retry.backoff_max_s = 0.02;
+  retry.timeout_s = 0.3;
+  const auto start = std::chrono::steady_clock::now();
+  auto resp = GetWithRetry(client, "127.0.0.1", port, "/healthz", retry);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(resp.ok());
+  // Two backoff sleeps happened (attempt 1..3), and the whole thing stayed
+  // bounded.
+  EXPECT_GE(elapsed, 0.02);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(RetryAfterTest, FromStatusAttachesRetryAfterOn429And503) {
+  for (const Status& status :
+       {Status::Unavailable("degraded"),
+        Status::ResourceExhausted("queue full")}) {
+    const HttpResponse resp = HttpResponse::FromStatus(status);
+    bool found = false;
+    for (const auto& [name, value] : resp.headers) {
+      if (name == "Retry-After") found = true;
+    }
+    EXPECT_TRUE(found) << "no Retry-After on " << resp.status;
+  }
+  // And not on other errors.
+  const HttpResponse not_found =
+      HttpResponse::FromStatus(Status::NotFound("x"));
+  EXPECT_TRUE(not_found.headers.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Leader endpoint + follower end-to-end fixtures.
+
+struct Leader {
+  std::unique_ptr<ShardedAnonymizationService> service;
+  std::unique_ptr<AnonHttpFrontend> frontend;
+  std::unique_ptr<HttpServer> server;
+
+  uint16_t port() const { return server->port(); }
+};
+
+Domain SquareDomain() {
+  Domain d;
+  d.lo = {0, 0};
+  d.hi = {100, 100};
+  return d;
+}
+
+Leader StartLeader(const std::string& wal_dir, size_t k = 5,
+                   uint64_t checkpoint_every = 100000,
+                   size_t segment_bytes = 16u << 20, uint16_t port = 0) {
+  Leader leader;
+  ShardedServiceOptions options;
+  options.service.anonymizer.base_k = k;
+  options.service.queue_capacity = 512;
+  options.service.max_batch = 32;
+  options.service.snapshot_every = 0;  // publish on demand
+  options.service.durability.wal_dir = wal_dir;
+  options.service.durability.fsync_every = 8;
+  options.service.durability.checkpoint_every = checkpoint_every;
+  options.service.durability.segment_bytes = segment_bytes;
+  auto service_or =
+      ShardedAnonymizationService::Create(2, SquareDomain(), options);
+  KANON_CHECK(service_or.ok());
+  leader.service = std::move(*service_or);
+  leader.frontend = std::make_unique<AnonHttpFrontend>(leader.service.get());
+  HttpServerOptions http;
+  http.port = port;
+  http.num_threads = 2;
+  leader.server = std::make_unique<HttpServer>(
+      http, [f = leader.frontend.get()](const HttpRequest& request) {
+        return f->Handle(request);
+      });
+  KANON_CHECK(leader.server->Start().ok());
+  return leader;
+}
+
+/// Ingests `n` grid records directly (not over HTTP — these tests exercise
+/// the replication path, not the ingest path) and publishes.
+void IngestAndPublish(Leader& leader, size_t n, size_t offset = 0) {
+  for (size_t i = 0; i < n; ++i) {
+    const size_t v = offset + i;
+    const std::vector<double> p = {static_cast<double>(v % 97),
+                                   static_cast<double>((v * 7) % 89)};
+    ASSERT_TRUE(
+        leader.service->Ingest(p, static_cast<int32_t>(v % 5)).ok());
+  }
+  ASSERT_NE(leader.service->PublishNow(), nullptr);
+}
+
+FollowerOptions FastFollowerOptions(uint16_t leader_port,
+                                    const std::string& scratch) {
+  FollowerOptions options;
+  options.leader_port = leader_port;
+  options.scratch_dir = scratch;
+  options.poll_interval_ms = 5;
+  options.backoff_initial_ms = 10;
+  options.backoff_max_ms = 100;
+  options.jitter_seed = 42;
+  options.request_timeout_s = 2.0;
+  return options;
+}
+
+/// Spins until `pred` holds (or fails the test after `timeout_s`).
+void WaitFor(const std::function<bool()>& pred, double timeout_s = 10.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (!pred()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "condition not reached in " << timeout_s << "s";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+std::string Fetch(uint16_t port, const std::string& target,
+                  int* status = nullptr) {
+  HttpClient client;
+  KANON_CHECK(client.Connect("127.0.0.1", port, 5.0).ok());
+  auto resp = client.Get(target);
+  KANON_CHECK(resp.ok());
+  if (status != nullptr) *status = resp->status;
+  return std::move(resp->body);
+}
+
+TEST(ReplEndpointsTest, ManifestReportsLeaderStateAnd409WithoutDurability) {
+  TempDir dir;
+  Leader leader = StartLeader(dir.path());
+  IngestAndPublish(leader, 60);
+  int status = 0;
+  const std::string body = Fetch(leader.port(), "/repl/manifest", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"dim\":2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"base_k\":5"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"durable_lsn\":60"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"epoch\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"epoch_records\":60"), std::string::npos) << body;
+  leader.service->Stop();
+
+  // Without --wal-dir there is nothing to replicate from: typed 409.
+  Leader bare = StartLeader("");
+  status = 0;
+  (void)Fetch(bare.port(), "/repl/manifest", &status);
+  EXPECT_EQ(status, 409);
+  bare.service->Stop();
+}
+
+TEST(ReplEndpointsTest, WalEndpointShipsDecodableFramesWithHeaders) {
+  TempDir dir;
+  Leader leader = StartLeader(dir.path());
+  IngestAndPublish(leader, 40);
+
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", leader.port(), 5.0).ok());
+  auto resp = client.Get("/repl/wal?from_lsn=1&max_bytes=1048576");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->status, 200);
+  EXPECT_EQ(*resp->FindHeader("x-kanon-first-lsn"), "1");
+  EXPECT_EQ(*resp->FindHeader("x-kanon-last-lsn"), "40");
+  EXPECT_EQ(*resp->FindHeader("x-kanon-durable-lsn"), "40");
+  EXPECT_EQ(*resp->FindHeader("x-kanon-epoch"), "1");
+  EXPECT_EQ(*resp->FindHeader("x-kanon-epoch-records"), "40");
+  Status status;
+  const auto entries = Decode(resp->body, &status);
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_EQ(entries.size(), 40u);
+  EXPECT_EQ(entries.front().lsn, 1u);
+  EXPECT_EQ(entries.back().lsn, 40u);
+
+  // Bad requests are typed, not 500s.
+  resp = client.Get("/repl/wal");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 400);
+  resp = client.Get("/repl/checkpoint/999");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 410);  // no checkpoint yet: re-fetch the manifest
+  resp = client.Get("/repl/wal?from_lsn=1&shard=9");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 400);
+  leader.service->Stop();
+}
+
+TEST(ReplEndpointsTest, GcdWalRangeIs410OverHttp) {
+  TempDir dir;
+  // Small segments + frequent checkpoints: ingesting enough rotates and
+  // then GCs the early WAL segments.
+  Leader leader = StartLeader(dir.path(), 5, /*checkpoint_every=*/64,
+                              /*segment_bytes=*/512);
+  IngestAndPublish(leader, 300);
+  // The checkpoint + WAL truncation happen on the writer thread right
+  // after the publish ticket is released, so poll rather than fetch once.
+  int status = 0;
+  WaitFor([&] {
+    (void)Fetch(leader.port(), "/repl/wal?from_lsn=1", &status);
+    return status == 410;
+  });
+  // And the manifest now names a checkpoint to bootstrap from instead.
+  const std::string body = Fetch(leader.port(), "/repl/manifest", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body.find("\"checkpoint_lsn\":0"), std::string::npos) << body;
+  leader.service->Stop();
+}
+
+TEST(ReplicationE2eTest, FollowerConvergesToByteIdenticalRelease) {
+  TempDir wal;
+  TempDir scratch;
+  Leader leader = StartLeader(wal.path());
+  IngestAndPublish(leader, 80);
+
+  ReplicatedFollower follower(
+      SquareDomain(), FastFollowerOptions(leader.port(), scratch.path()));
+  follower.Start();
+  WaitFor([&] { return follower.core()->epoch() >= 1; });
+  WaitFor([&] {
+    return follower.state() == ReplState::kFollowing &&
+           follower.core()->fresh();
+  });
+  EXPECT_EQ(follower.core()->applied_lsn(), 80u);
+
+  // The follower's own HTTP face serves the same bytes as the leader's.
+  FollowerFrontend frontend(&follower);
+  HttpServerOptions http;
+  http.port = 0;
+  http.num_threads = 2;
+  HttpServer server(http, [&frontend](const HttpRequest& request) {
+    return frontend.Handle(request);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  for (const std::string target :
+       {"/release", "/release/query?k1=10", "/release/query?k1=7&rids=1"}) {
+    SCOPED_TRACE(target);
+    EXPECT_EQ(Fetch(leader.port(), target), Fetch(server.port(), target));
+  }
+
+  // More records + a new epoch: the follower catches up incrementally.
+  IngestAndPublish(leader, 40, /*offset=*/80);
+  WaitFor([&] { return follower.core()->epoch() >= 2; });
+  EXPECT_EQ(Fetch(leader.port(), "/release"), Fetch(server.port(), "/release"));
+
+  // Write redirection and health.
+  HttpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), 5.0).ok());
+  auto post = client.Post("/ingest", "1,2,3\n");
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->status, 421);
+  const std::string* location = post->FindHeader("location");
+  ASSERT_NE(location, nullptr);
+  EXPECT_NE(location->find(std::to_string(leader.port())),
+            std::string::npos);
+  int status = 0;
+  (void)Fetch(server.port(), "/healthz", &status);
+  EXPECT_EQ(status, 200);
+  const std::string metrics = Fetch(server.port(), "/metrics", &status);
+  EXPECT_NE(metrics.find("kanon_repl_state{state=\"following\"} 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("kanon_repl_applied_lsn 120"), std::string::npos);
+
+  server.Shutdown();
+  follower.Stop();
+  leader.service->Stop();
+}
+
+TEST(ReplicationE2eTest, FollowerBootstrapsFromCheckpointThenTails) {
+  TempDir wal;
+  TempDir scratch;
+  // Frequent checkpoints + tiny segments: by 300 records the WAL prefix is
+  // gone and a follower MUST use the checkpoint (WAL-only would 410).
+  Leader leader = StartLeader(wal.path(), 5, /*checkpoint_every=*/64,
+                              /*segment_bytes=*/512);
+  IngestAndPublish(leader, 300);
+
+  ReplicatedFollower follower(
+      SquareDomain(), FastFollowerOptions(leader.port(), scratch.path()));
+  follower.Start();
+  WaitFor([&] { return follower.core()->epoch() >= 1; });
+  EXPECT_EQ(follower.core()->applied_lsn(), 300u);
+  EXPECT_GE(follower.core()->bootstraps(), 1u);
+  EXPECT_EQ(Fetch(leader.port(), "/release/query?k1=12&rids=1"),
+            [&] {
+              FollowerFrontend frontend(&follower);
+              HttpRequest request;
+              request.method = "GET";
+              request.path = "/release/query";
+              request.query = "k1=12&rids=1";
+              return frontend.Handle(request).body;
+            }());
+  follower.Stop();
+  leader.service->Stop();
+}
+
+TEST(ReplicationE2eTest, FollowerReBootstrapsWhenTailedRangeIsGcd) {
+  TempDir wal;
+  TempDir scratch;
+  Leader leader = StartLeader(wal.path(), 5, /*checkpoint_every=*/64,
+                              /*segment_bytes=*/512);
+  IngestAndPublish(leader, 80);
+
+  ReplicatedFollower follower(
+      SquareDomain(), FastFollowerOptions(leader.port(), scratch.path()));
+  follower.Start();
+  WaitFor([&] { return follower.core()->epoch() >= 1; });
+  const uint64_t bootstraps_before = follower.core()->bootstraps();
+
+  // Pile on enough records to checkpoint + GC the segments the follower
+  // already consumed, then keep going: if its position is ever truncated
+  // away it re-bootstraps without operator action.
+  IngestAndPublish(leader, 400, /*offset=*/80);
+  WaitFor([&] { return follower.core()->published_records() == 480u; });
+  EXPECT_EQ(Fetch(leader.port(), "/release"), [&] {
+    FollowerFrontend frontend(&follower);
+    HttpRequest request;
+    request.method = "GET";
+    request.path = "/release";
+    return frontend.Handle(request).body;
+  }());
+  // (The re-bootstrap is opportunistic: it only triggers if the poll gap
+  // spanned the GC. Either way the follower converged; when it did
+  // re-bootstrap the counter says so.)
+  EXPECT_GE(follower.core()->bootstraps(), bootstraps_before);
+  follower.Stop();
+  leader.service->Stop();
+}
+
+TEST(ReplicationE2eTest, FollowerReconnectsAfterLeaderRestartOnSamePort) {
+  TempDir wal;
+  TempDir scratch;
+  Leader leader = StartLeader(wal.path());
+  IngestAndPublish(leader, 60);
+  const uint16_t port = leader.port();
+
+  ReplicatedFollower follower(
+      SquareDomain(), FastFollowerOptions(port, scratch.path()));
+  follower.Start();
+  WaitFor([&] { return follower.core()->epoch() >= 1; });
+
+  // Leader goes away; the follower keeps serving its snapshot and enters
+  // reconnect backoff.
+  leader.server->Shutdown();
+  leader.service->Stop();
+  leader.server.reset();
+  leader.frontend.reset();
+  leader.service.reset();
+  WaitFor([&] { return follower.state() == ReplState::kDisconnected; });
+  EXPECT_NE(follower.core()->CurrentStitched(), nullptr);
+
+  // Same port, same WAL dir: recovery brings the records back, the
+  // follower reconnects by itself and resumes from its applied LSN. The
+  // revived leader's epoch counter renumbers from 1 (it is in-memory) —
+  // the follower must still republish, keying on (epoch, records).
+  Leader revived = StartLeader(wal.path(), 5, 100000, 16u << 20, port);
+  IngestAndPublish(revived, 30, /*offset=*/60);
+  WaitFor([&] { return follower.core()->applied_lsn() == 90u; });
+  WaitFor([&] { return follower.core()->published_records() == 90u; });
+  EXPECT_GE(follower.reconnects(), 1u);
+  EXPECT_EQ(Fetch(revived.port(), "/release"), [&] {
+    FollowerFrontend frontend(&follower);
+    HttpRequest request;
+    request.method = "GET";
+    request.path = "/release";
+    return frontend.Handle(request).body;
+  }());
+  follower.Stop();
+  revived.service->Stop();
+}
+
+TEST(ReplicationE2eTest, StalenessDegradesHealthAndOptionallyRejectsReads) {
+  TempDir wal;
+  TempDir scratch;
+  Leader leader = StartLeader(wal.path());
+  IngestAndPublish(leader, 40);
+
+  FollowerOptions options = FastFollowerOptions(leader.port(), scratch.path());
+  options.core.max_staleness_ms = 200;  // tight bound for the test
+  options.reject_stale_reads = true;
+  ReplicatedFollower follower(SquareDomain(), options);
+  follower.Start();
+  WaitFor([&] { return follower.core()->epoch() >= 1; });
+
+  FollowerFrontend frontend(&follower);
+  HttpRequest release;
+  release.method = "GET";
+  release.path = "/release";
+  {
+    const HttpResponse resp = frontend.Handle(release);
+    EXPECT_EQ(resp.status, 200);
+    bool found = false;
+    for (const auto& [name, value] : resp.headers) {
+      if (name == "X-Kanon-Staleness-Ms") {
+        found = true;
+        EXPECT_NE(value, "-1");
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+
+  // Kill the leader; once the bound lapses the follower reports itself
+  // degraded and (with --stale-reads=reject) refuses reads with a 503
+  // that carries Retry-After.
+  leader.server->Shutdown();
+  leader.service->Stop();
+  WaitFor([&] { return !follower.core()->fresh(); });
+  {
+    HttpRequest healthz;
+    healthz.method = "GET";
+    healthz.path = "/healthz";
+    const HttpResponse resp = frontend.Handle(healthz);
+    EXPECT_EQ(resp.status, 503);
+    bool retry_after = false;
+    for (const auto& [name, value] : resp.headers) {
+      if (name == "Retry-After") retry_after = true;
+    }
+    EXPECT_TRUE(retry_after);
+    EXPECT_NE(resp.body.find("\"status\":\"degraded\""), std::string::npos);
+  }
+  {
+    const HttpResponse resp = frontend.Handle(release);
+    EXPECT_EQ(resp.status, 503);
+  }
+  const HttpRequest metrics_req = [] {
+    HttpRequest r;
+    r.method = "GET";
+    r.path = "/metrics";
+    return r;
+  }();
+  const std::string metrics = frontend.Handle(metrics_req).body;
+  EXPECT_NE(metrics.find("kanon_repl_reconnects_total"), std::string::npos);
+  follower.Stop();
+}
+
+}  // namespace
+}  // namespace kanon::net

@@ -10,11 +10,14 @@
 #include <optional>
 #include <thread>
 
+#include <unistd.h>
+
 #include "common/env.h"
 #include "common/thread.h"
 #include "kanon/kanon.h"
 #include "net/anon_http.h"
 #include "net/http_server.h"
+#include "net/replication.h"
 
 namespace kanon::cli {
 
@@ -385,9 +388,39 @@ bool ParseServeArgs(int argc, const char* const* argv,
       const char* v = next();
       if (v == nullptr) return false;
       options->merge_every = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--follow") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->follow = v;
+    } else if (arg == "--max-staleness-ms" || arg == "--max_staleness_ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->max_staleness_ms = std::strtoull(v, nullptr, 10);
+      if (options->max_staleness_ms == 0) return false;
+    } else if (arg == "--stale-reads" || arg == "--stale_reads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->stale_reads = v;
+      if (options->stale_reads != "serve" &&
+          options->stale_reads != "reject") {
+        return false;
+      }
+    } else if (arg == "--repl-poll-ms" || arg == "--repl_poll_ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->repl_poll_ms = std::strtoull(v, nullptr, 10);
+      if (options->repl_poll_ms == 0) return false;
     } else {
       return false;
     }
+  }
+  if (!options->follow.empty()) {
+    // A follower's records arrive only via replication: local ingest and
+    // durability paths are contradictions, not defaults to ignore.
+    return !options->listen.empty() && !options->domain.empty() &&
+           options->input.empty() && options->wal_dir.empty() &&
+           options->shards == 1 && options->memtable_bytes == 0 &&
+           options->merge_every == 0 && !options->recover_only;
   }
   // A record source is required: --input, or HTTP ingest (--listen plus
   // --domain, which supplies the dimensionality --input would have), or a
@@ -401,7 +434,111 @@ bool ParseServeArgs(int argc, const char* const* argv,
          (!options->recover_only || !options->wal_dir.empty());
 }
 
+namespace {
+
+/// `kanon_cli serve --follow`: run as a read replica. Mirrors RunServe's
+/// operational surface (the "listening on" line, signal-driven drain,
+/// --serve-seconds, the "final snapshot:" report) so the same harnesses
+/// drive leaders and followers.
+int RunFollower(const ServeOptions& options, std::ostream& log) {
+  std::string leader = options.follow;
+  if (leader.rfind("http://", 0) == 0) leader = leader.substr(7);
+  if (!leader.empty() && leader.back() == '/') leader.pop_back();
+  net::FollowerOptions fopts;
+  if (!ParseListenAddress(leader, &fopts.leader_host, &fopts.leader_port) ||
+      fopts.leader_port == 0) {
+    log << "invalid --follow address: " << options.follow << "\n";
+    return 1;
+  }
+  Domain domain;
+  for (const auto& [lo, hi] : options.domain) {
+    domain.lo.push_back(lo);
+    domain.hi.push_back(hi);
+  }
+  fopts.core.anonymizer.base_k = options.k;  // manifest overrides at bootstrap
+  fopts.core.max_staleness_ms = options.max_staleness_ms;
+  fopts.reject_stale_reads = options.stale_reads == "reject";
+  fopts.poll_interval_ms = options.repl_poll_ms;
+  fopts.scratch_dir =
+      "/tmp/kanon-follower-" + std::to_string(::getpid());
+
+  net::ReplicatedFollower follower(std::move(domain), fopts);
+  net::FollowerFrontend frontend(&follower);
+
+  net::HttpServerOptions http_options;
+  uint16_t port = 0;
+  if (!ParseListenAddress(options.listen, &http_options.host, &port)) {
+    log << "invalid --listen address: " << options.listen << "\n";
+    return 1;
+  }
+  http_options.port = port;
+  http_options.num_threads = options.http_threads;
+  http_options.parser.max_body_bytes = options.max_body_bytes;
+  net::HttpServer server(http_options,
+                         [&frontend](const net::HttpRequest& request) {
+                           return frontend.Handle(request);
+                         });
+  if (auto s = server.Start(); !s.ok()) {
+    log << s << "\n";
+    return 1;
+  }
+  g_signal.store(0, std::memory_order_relaxed);
+  InstallDrainSignalHandlers();
+  log << "listening on " << server.host() << ":" << server.bound_port()
+      << " (" << (server.using_epoll() ? "epoll" : "poll") << ", "
+      << options.http_threads << " threads, follower)\n";
+  log << "following http://" << fopts.leader_host << ":"
+      << fopts.leader_port << " max_staleness_ms="
+      << options.max_staleness_ms << " stale_reads="
+      << options.stale_reads << "\n";
+  follower.Start();
+
+  Timer serving;
+  while (g_signal.load(std::memory_order_relaxed) == 0) {
+    if (options.serve_seconds > 0.0 &&
+        serving.ElapsedSeconds() >= options.serve_seconds) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const int sig = g_signal.load(std::memory_order_relaxed);
+  log << "draining ("
+      << (sig != 0 ? (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+                   : "--serve-seconds elapsed")
+      << ")\n";
+  server.Shutdown();
+  follower.Stop();
+
+  const FollowerCore* core = follower.core();
+  log << "repl: state=" << net::ReplStateName(follower.state())
+      << " applied_lsn=" << core->applied_lsn()
+      << " epoch=" << core->epoch()
+      << " reconnects=" << follower.reconnects()
+      << " bootstraps=" << core->bootstraps()
+      << " batches=" << follower.batches()
+      << " bytes=" << follower.bytes_total() << "\n";
+  const auto stitched = core->CurrentStitched();
+  if (stitched == nullptr) {
+    log << "no snapshot published: the leader published nothing the "
+           "follower could replicate\n";
+    return 0;
+  }
+  const StitchedInfo& info = stitched->info();
+  const PartitionSet base_release = stitched->Release(info.base_k);
+  log << "final snapshot: epoch=" << info.epoch
+      << " records=" << info.records
+      << " partitions=" << base_release.num_partitions()
+      << " min_partition=" << base_release.min_partition_size()
+      << " max_partition=" << base_release.max_partition_size()
+      << " avgNCP=" << AverageBoxNcp(base_release, stitched->domain())
+      << "\n";
+  return 0;
+}
+
+}  // namespace
+
 int RunServe(const ServeOptions& options, std::ostream& log) {
+  if (!options.follow.empty()) return RunFollower(options, log);
   // Two record sources: a CSV replayed by producer threads (--input) and
   // records POSTed over HTTP (--listen). HTTP-only serving has no file to
   // infer the dimensionality and domain from, so --domain supplies both.

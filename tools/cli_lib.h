@@ -102,6 +102,26 @@ struct ServeOptions {
   size_t shards = 1;
   std::string shard_by = "hash";
 
+  // Read replica (--follow LEADER[:PORT], e.g. "127.0.0.1:8080" or
+  // "http://127.0.0.1:8080"). The process becomes a follower: it
+  // bootstraps from the leader's checkpoint, tails its WAL, and serves
+  // /release, /healthz and /metrics from its own snapshots while
+  // redirecting POST /ingest to the leader (421). Requires --listen and
+  // --domain; mutually exclusive with --input, --wal-dir, --shards > 1
+  // and the memtable flags (replication of an LSM leader is epoch-aligned
+  // but not byte-identical, so the follower refuses local write paths).
+  std::string follow;
+  /// Staleness bound: when the follower has not confirmed being caught up
+  /// with the leader for this long, /healthz degrades to 503 (and
+  /// /release too with --stale-reads=reject).
+  uint64_t max_staleness_ms = 5000;
+  /// "serve" (default): stale reads are answered, flagged via the
+  /// X-Kanon-Staleness-Ms header and a degraded /healthz. "reject":
+  /// stale /release requests get 503.
+  std::string stale_reads = "serve";
+  /// Idle poll cadence against the leader's /repl/wal.
+  uint64_t repl_poll_ms = 50;
+
   // Write-absorbing LSM ingest tier (--memtable-bytes / --merge-every;
   // off when both are 0). Acknowledged records accumulate in a per-shard
   // in-memory sorted run and are merged into the R⁺-tree in bulk when the

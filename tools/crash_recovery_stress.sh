@@ -34,6 +34,14 @@
 #                               in the WAL — and sometimes mid-merge; the
 #                               same conservation and k-bound invariants
 #                               must hold from the replayed tail
+#        KANON_REPL=1           replication chaos mode: one leader + one
+#                               --follow read replica; each iteration
+#                               SIGKILLs the leader mid-tail and restarts it
+#                               on the same port. The follower must
+#                               reconnect without operator action and
+#                               converge to a byte-identical /release.
+#                               (Replaces the recover-only loop; fault-seed
+#                               composition does not apply here.)
 
 set -u
 
@@ -69,6 +77,124 @@ awk -v n="$ROWS" 'BEGIN {
 }' > "$INPUT"
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# Waits for "listening on 127.0.0.1:PORT" in $1 while pid $2 stays alive;
+# prints the port (empty on failure).
+wait_port() {
+  local log=$1 pid=$2 port=""
+  for _ in $(seq 1 200); do
+    port=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log")
+    [ -n "$port" ] && break
+    kill -0 "$pid" 2> /dev/null || break
+    sleep 0.05
+  done
+  echo "$port"
+}
+
+if [ -n "${KANON_REPL:-}" ]; then
+  # Replication chaos: a leader and a follower stay up across the whole
+  # run; every iteration kills the leader mid-tail (SIGKILL, no drain) and
+  # restarts it on the same port from the same WAL directory. The follower
+  # must ride every outage by itself: reconnect, re-fetch from its applied
+  # LSN (or re-bootstrap if the range was checkpoint-truncated), chase the
+  # restarted leader's renumbered epochs, and end byte-identical.
+  ROWS_PER_ROUND=2000
+  LEADER_LOG="$WORKDIR/leader_0.log"
+  rm -rf "$WAL_DIR"
+
+  "$CLI" serve --listen 127.0.0.1:0 --domain "0:1000,0:1000" --k "$K" \
+    --wal-dir "$WAL_DIR" --fsync-every 64 --checkpoint-every 2000 \
+    --snapshot-every 500 > "$LEADER_LOG" 2>&1 &
+  LEADER_PID=$!
+  LEADER_PORT=$(wait_port "$LEADER_LOG" "$LEADER_PID")
+  [ -n "$LEADER_PORT" ] || fail "leader never printed its port"
+
+  FOLLOWER_LOG="$WORKDIR/follower.log"
+  "$CLI" serve --follow "127.0.0.1:$LEADER_PORT" \
+    --listen 127.0.0.1:0 --domain "0:1000,0:1000" --k "$K" \
+    --repl-poll-ms 10 --max-staleness-ms 30000 \
+    > "$FOLLOWER_LOG" 2>&1 &
+  FOLLOWER_PID=$!
+  FOLLOWER_PORT=$(wait_port "$FOLLOWER_LOG" "$FOLLOWER_PID")
+  [ -n "$FOLLOWER_PORT" ] || fail "follower never printed its port"
+
+  for i in $(seq 1 "$ITERATIONS"); do
+    # Pump this round's slice while the kill timer runs: the SIGKILL lands
+    # mid-ingest and mid-tail.
+    FIRST=$(( (i - 1) * ROWS_PER_ROUND + 1 ))
+    LAST=$(( i * ROWS_PER_ROUND ))
+    sed -n "${FIRST},${LAST}p" "$INPUT" \
+      | split -l 200 --filter="curl -s -o /dev/null -m 5 -H 'Expect:' \
+        --data-binary @- http://127.0.0.1:$LEADER_PORT/ingest || true" \
+        - > /dev/null 2>&1 &
+    PUMP=$!
+    sleep "0.$(( (RANDOM % 7) + 2 ))"
+    kill -9 "$LEADER_PID" 2> /dev/null
+    wait "$LEADER_PID" 2> /dev/null
+    wait "$PUMP" 2> /dev/null
+
+    # Restart on the same port (retry while the old socket lingers). The
+    # restarted leader recovers from the WAL and renumbers epochs from 1 —
+    # the follower must converge regardless.
+    LEADER_LOG="$WORKDIR/leader_$i.log"
+    STARTED=""
+    for _ in $(seq 1 40); do
+      "$CLI" serve --listen "127.0.0.1:$LEADER_PORT" \
+        --domain "0:1000,0:1000" --k "$K" \
+        --wal-dir "$WAL_DIR" --fsync-every 64 --checkpoint-every 2000 \
+        --snapshot-every 500 > "$LEADER_LOG" 2>&1 &
+      LEADER_PID=$!
+      PORT=$(wait_port "$LEADER_LOG" "$LEADER_PID")
+      if [ "$PORT" = "$LEADER_PORT" ]; then STARTED=1; break; fi
+      wait "$LEADER_PID" 2> /dev/null
+      sleep 0.25
+    done
+    [ -n "$STARTED" ] \
+      || fail "iteration $i: leader would not rebind port $LEADER_PORT"
+    echo "iteration $i: leader killed and restarted on port $LEADER_PORT"
+  done
+
+  # Quiesce: a final slice lands entirely on the last incarnation, so the
+  # leader publishes a fresh epoch for the follower to chase.
+  FIRST=$(( ITERATIONS * ROWS_PER_ROUND + 1 ))
+  LAST=$(( FIRST + ROWS_PER_ROUND - 1 ))
+  sed -n "${FIRST},${LAST}p" "$INPUT" \
+    | split -l 200 --filter="curl -s -o /dev/null -m 5 -H 'Expect:' \
+      --data-binary @- http://127.0.0.1:$LEADER_PORT/ingest || true" \
+      - > /dev/null 2>&1
+
+  # Convergence: the follower's /release must become byte-identical to the
+  # leader's (same epoch, same partitions, same bytes).
+  CONVERGED=""
+  for _ in $(seq 1 240); do
+    L=$(curl -s -m 5 "http://127.0.0.1:$LEADER_PORT/release")
+    F=$(curl -s -m 5 "http://127.0.0.1:$FOLLOWER_PORT/release")
+    if [ -n "$L" ] && [ "$L" = "$F" ] \
+       && echo "$L" | grep -q '"records"'; then
+      CONVERGED=1
+      break
+    fi
+    sleep 0.25
+  done
+  [ -n "$CONVERGED" ] || fail "follower never converged to the leader's \
+release (leader: ${L:0:120}... follower: ${F:0:120}...)"
+
+  RECONNECTS=$(curl -s -m 5 "http://127.0.0.1:$FOLLOWER_PORT/metrics" \
+    | sed -n 's/^kanon_repl_reconnects_total \([0-9]*\).*/\1/p')
+  [ -n "$RECONNECTS" ] && [ "$RECONNECTS" -ge 1 ] \
+    || fail "follower reconnects=$RECONNECTS after $ITERATIONS leader kills"
+  HEALTH=$(curl -s -m 5 -o /dev/null -w '%{http_code}' \
+    "http://127.0.0.1:$FOLLOWER_PORT/healthz")
+  [ "$HEALTH" = "200" ] || fail "follower healthz=$HEALTH after convergence"
+
+  kill "$LEADER_PID" "$FOLLOWER_PID" 2> /dev/null
+  wait "$LEADER_PID" 2> /dev/null
+  wait "$FOLLOWER_PID" 2> /dev/null
+  echo "PASS: follower survived $ITERATIONS leader SIGKILLs" \
+       "(reconnects=$RECONNECTS) and converged byte-identical"
+  rm -rf "$WORKDIR"
+  exit 0
+fi
 
 for i in $(seq 1 "$ITERATIONS"); do
   rm -rf "$WAL_DIR"

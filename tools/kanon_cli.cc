@@ -40,6 +40,17 @@
 // --serve-seconds), then drains gracefully: in-flight requests finish,
 // the WAL flushes, and a final snapshot publishes before exit.
 //
+// With --follow LEADER:PORT the process is a read replica instead: it
+// bootstraps from the leader's checkpoint (GET /repl/checkpoint/<lsn>),
+// tails its WAL (GET /repl/wal), and serves /release, /healthz and
+// /metrics from its own epoch snapshots — byte-identical to the leader's
+// at the same epoch. POST /ingest answers 421 with a Location on the
+// leader. --max-staleness-ms bounds how stale the replica may get before
+// /healthz degrades; --stale-reads reject turns stale /release into 503.
+// Requires --listen and --domain (which must match the leader's
+// dimensionality); the anonymizer configuration is taken from the
+// leader's manifest, not local flags.
+//
 // The input's quasi-identifier fields are parsed as numbers (categoricals
 // numerically recoded upstream); an optional final integer column is the
 // sensitive attribute. With --schema (see data/schema_spec.h) attributes
@@ -76,8 +87,11 @@ void Usage() {
       "                 [--domain LO:HI[,LO:HI...]] [--serve-seconds S]\n"
       "                 [--shards N] [--shard-by hash|range]\n"
       "                 [--memtable-bytes N] [--merge-every N]\n"
+      "                 [--follow LEADER:PORT] [--max-staleness-ms MS]\n"
+      "                 [--stale-reads serve|reject] [--repl-poll-ms MS]\n"
       "(--input is optional when --listen and --domain are both given:\n"
-      " records then arrive over HTTP)\n";
+      " records then arrive over HTTP; --follow makes the process a read\n"
+      " replica of LEADER and requires --listen and --domain)\n";
 }
 
 }  // namespace
