@@ -4,6 +4,7 @@
 //   serve_smoke [--records N] [--batch B] [--writers W] [--readers R]
 //               [--shards S] [--shard-by hash|range] [--snapshot-every E]
 //               [--memtable-bytes N] [--merge-every N]
+//               [--merge-mode full|delta]
 //               [--sweep "1,2,4,8"] [--memtable-sweep "0,4,16,64"]
 //               [--replicas "0,1,2,4"] [--json PATH]
 //
@@ -23,8 +24,12 @@
 // artificial ceiling.
 //
 // --memtable-sweep runs the ingest workload once per memtable size (MiB,
-// 0 = the record-at-a-time path) and writes BENCH_ingest.json with
-// aggregate ingest throughput plus p99 release staleness — how many
+// 0 = the record-at-a-time path) — and, for each nonzero size, once per
+// merge mode (full rebuild vs in-place delta merge, at identical flush
+// cadence; pass --merge-every to force a record-count cadence) — and
+// writes BENCH_ingest.json with aggregate ingest throughput, per-merge
+// and total merge times, snapshot publish times with fragment-reuse
+// counts, plus p99 release staleness — how many
 // acknowledged records the served snapshot trailed by when each release
 // was sampled. The pair is the write-absorption trade stated honestly:
 // absorbing acknowledgments into the memtable decouples them from tree
@@ -117,7 +122,13 @@ struct RunConfig {
   /// LSM ingest tier (0/0 = record-at-a-time path). See LsmOptions.
   size_t memtable_bytes = 0;
   uint64_t merge_every = 0;
+  /// How flushes reach the tree (full rebuild vs in-place delta merge).
+  MergeMode merge_mode = MergeMode::kFull;
 };
+
+const char* MergeModeName(MergeMode mode) {
+  return mode == MergeMode::kDelta ? "delta" : "full";
+}
 
 struct RunResult {
   bool ok = false;
@@ -131,6 +142,11 @@ struct RunResult {
   /// per successful /release request.
   double staleness_p50 = 0, staleness_p99 = 0, staleness_max = 0;
   uint64_t merges = 0;
+  uint64_t delta_merges = 0;
+  uint64_t merge_escalations = 0;
+  double last_merge_ms = 0, merge_ms_total = 0;
+  double snapshot_build_ms_total = 0;
+  uint64_t fragments_reused = 0, fragments_built = 0;
   double queue_wait_ms = 0, apply_ms = 0;
   uint64_t batches = 0;
 };
@@ -145,6 +161,7 @@ RunResult RunOnce(const RunConfig& cfg) {
   service_options.service.snapshot_every = cfg.snapshot_every;
   service_options.service.lsm.memtable_bytes = cfg.memtable_bytes;
   service_options.service.lsm.merge_every = cfg.merge_every;
+  service_options.service.lsm.merge_mode = cfg.merge_mode;
   service_options.sharding.num_shards = cfg.shards;
   service_options.sharding.shard_by = cfg.shard_by;
   auto service_or =
@@ -309,6 +326,13 @@ RunResult RunOnce(const RunConfig& cfg) {
     result.per_shard_inserted.push_back(s.inserted);
   }
   result.merges = stats.total.merges;
+  result.delta_merges = stats.total.delta_merges;
+  result.merge_escalations = stats.total.merge_escalations;
+  result.last_merge_ms = stats.total.last_merge_ms;
+  result.merge_ms_total = stats.total.merge_ms_total;
+  result.snapshot_build_ms_total = stats.total.snapshot_build_ms_total;
+  result.fragments_reused = stats.total.fragments_reused;
+  result.fragments_built = stats.total.fragments_built;
   result.queue_wait_ms = stats.total.queue_wait_ms;
   result.apply_ms = stats.total.apply_ms;
   result.batches = stats.total.batches;
@@ -360,6 +384,7 @@ RunResult RunIngestPoint(const RunConfig& cfg) {
   service_options.service.queue_capacity = 8192;
   service_options.service.lsm.memtable_bytes = cfg.memtable_bytes;
   service_options.service.lsm.merge_every = cfg.merge_every;
+  service_options.service.lsm.merge_mode = cfg.merge_mode;
   service_options.sharding.num_shards = cfg.shards;
   service_options.sharding.shard_by = cfg.shard_by;
   auto service_or =
@@ -440,12 +465,23 @@ RunResult RunIngestPoint(const RunConfig& cfg) {
   }
   const ShardedServiceStats stats = service.Stats();
   result.merges = stats.total.merges;
+  result.delta_merges = stats.total.delta_merges;
+  result.merge_escalations = stats.total.merge_escalations;
+  result.last_merge_ms = stats.total.last_merge_ms;
+  result.merge_ms_total = stats.total.merge_ms_total;
+  result.snapshot_build_ms_total = stats.total.snapshot_build_ms_total;
+  result.fragments_reused = stats.total.fragments_reused;
+  result.fragments_built = stats.total.fragments_built;
   result.queue_wait_ms = stats.total.queue_wait_ms;
   result.apply_ms = stats.total.apply_ms;
   result.batches = stats.total.batches;
   std::cout << "ingest " << bench::Fmt(result.ingest_rec_per_s, 0)
-            << " rec/s; merges=" << result.merges << " apply="
-            << bench::Fmt(result.apply_ms, 0) << "ms over "
+            << " rec/s; merges=" << result.merges << " (delta="
+            << result.delta_merges << ", merge_ms_total="
+            << bench::Fmt(result.merge_ms_total, 0) << ", publish_ms_total="
+            << bench::Fmt(result.snapshot_build_ms_total, 0)
+            << ", fragments_reused=" << result.fragments_reused
+            << ") apply=" << bench::Fmt(result.apply_ms, 0) << "ms over "
             << result.batches << " batches; staleness p50="
             << bench::Fmt(result.staleness_p50, 0) << " p99="
             << bench::Fmt(result.staleness_p99, 0) << " records behind\n";
@@ -787,6 +823,17 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return 2;
       cfg.merge_every = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--merge-mode" || arg == "--merge_mode") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      const std::string mode = v;
+      if (mode == "full") {
+        cfg.merge_mode = MergeMode::kFull;
+      } else if (mode == "delta") {
+        cfg.merge_mode = MergeMode::kDelta;
+      } else {
+        return 2;
+      }
     } else if (arg == "--memtable-sweep" || arg == "--memtable_sweep") {
       const char* v = next();
       if (v == nullptr) return 2;
@@ -842,6 +889,7 @@ int main(int argc, char** argv) {
                    "[--writers W] [--readers R] [--shards S] "
                    "[--shard-by hash|range] [--snapshot-every E] "
                    "[--memtable-bytes N] [--merge-every N] "
+                   "[--merge-mode full|delta] "
                    "[--sweep \"1,2,4,8\"] "
                    "[--memtable-sweep \"0,4,16,64\"] "
                    "[--replicas \"0,1,2,4\"] [--json PATH]\n";
@@ -924,40 +972,75 @@ int main(int argc, char** argv) {
     std::string entries;
     double baseline = 0;
     for (const size_t mib : memtable_sweep_mib) {
-      RunConfig run = cfg;
-      run.memtable_bytes = mib << 20;
-      run.merge_every = 0;
-      std::cout << "\n== memtable="
-                << (mib == 0 ? std::string("off") : std::to_string(mib) +
-                                                        " MiB")
-                << " ==\n";
-      const RunResult result = RunIngestPoint(run);
-      if (!result.ok) return 1;
-      if (baseline == 0) baseline = result.ingest_rec_per_s;
-      std::cout << "aggregate ingest: "
-                << bench::Fmt(result.ingest_rec_per_s, 0) << " rec/s ("
-                << bench::Fmt(result.ingest_rec_per_s / baseline, 2)
-                << "x of memtable-off)\n";
-      if (!entries.empty()) entries += ",\n";
-      entries += "    {\"memtable_mib\": " + std::to_string(mib) +
-                 ", \"ingest_records_per_second\": " +
-                 std::to_string(result.ingest_rec_per_s) +
-                 ", \"speedup_vs_off\": " +
-                 std::to_string(result.ingest_rec_per_s /
-                                std::max(baseline, 1e-9)) +
-                 ", \"release_requests_per_second\": " +
-                 std::to_string(result.release_req_per_s) +
-                 ", \"staleness_p50_records\": " +
-                 std::to_string(result.staleness_p50) +
-                 ", \"staleness_p99_records\": " +
-                 std::to_string(result.staleness_p99) +
-                 ", \"staleness_max_records\": " +
-                 std::to_string(result.staleness_max) +
-                 ", \"merges\": " + std::to_string(result.merges) +
-                 ", \"queue_wait_ms\": " +
-                 std::to_string(result.queue_wait_ms) +
-                 ", \"apply_ms\": " + std::to_string(result.apply_ms) +
-                 ", \"batches\": " + std::to_string(result.batches) + "}";
+      // Each nonzero point runs twice — once per merge mode — so the sweep
+      // emits the full-vs-delta merge-time and publish-time comparison at
+      // identical cadence. The memtable-off point has no merges to mode.
+      std::vector<MergeMode> modes =
+          mib == 0 ? std::vector<MergeMode>{MergeMode::kFull}
+                   : std::vector<MergeMode>{MergeMode::kFull,
+                                            MergeMode::kDelta};
+      for (const MergeMode mode : modes) {
+        RunConfig run = cfg;
+        run.memtable_bytes = mib << 20;
+        // The off point is the record-at-a-time baseline: neither trigger
+        // may enable the LSM tier there, whatever --merge-every says.
+        if (mib == 0) run.merge_every = 0;
+        run.merge_mode = mode;
+        std::cout << "\n== memtable="
+                  << (mib == 0 ? std::string("off")
+                               : std::to_string(mib) + " MiB, merge_mode=" +
+                                     MergeModeName(mode))
+                  << " ==\n";
+        const RunResult result = RunIngestPoint(run);
+        if (!result.ok) return 1;
+        if (baseline == 0) baseline = result.ingest_rec_per_s;
+        std::cout << "aggregate ingest: "
+                  << bench::Fmt(result.ingest_rec_per_s, 0) << " rec/s ("
+                  << bench::Fmt(result.ingest_rec_per_s / baseline, 2)
+                  << "x of memtable-off)\n";
+        const double avg_merge_ms =
+            result.merges == 0
+                ? 0.0
+                : result.merge_ms_total /
+                      static_cast<double>(result.merges);
+        if (!entries.empty()) entries += ",\n";
+        entries += "    {\"memtable_mib\": " + std::to_string(mib) +
+                   ", \"merge_mode\": \"" +
+                   (mib == 0 ? "off" : MergeModeName(mode)) + "\"" +
+                   ", \"ingest_records_per_second\": " +
+                   std::to_string(result.ingest_rec_per_s) +
+                   ", \"speedup_vs_off\": " +
+                   std::to_string(result.ingest_rec_per_s /
+                                  std::max(baseline, 1e-9)) +
+                   ", \"release_requests_per_second\": " +
+                   std::to_string(result.release_req_per_s) +
+                   ", \"staleness_p50_records\": " +
+                   std::to_string(result.staleness_p50) +
+                   ", \"staleness_p99_records\": " +
+                   std::to_string(result.staleness_p99) +
+                   ", \"staleness_max_records\": " +
+                   std::to_string(result.staleness_max) +
+                   ", \"merges\": " + std::to_string(result.merges) +
+                   ", \"delta_merges\": " +
+                   std::to_string(result.delta_merges) +
+                   ", \"merge_escalations\": " +
+                   std::to_string(result.merge_escalations) +
+                   ", \"avg_merge_ms\": " + std::to_string(avg_merge_ms) +
+                   ", \"last_merge_ms\": " +
+                   std::to_string(result.last_merge_ms) +
+                   ", \"merge_ms_total\": " +
+                   std::to_string(result.merge_ms_total) +
+                   ", \"snapshot_build_ms_total\": " +
+                   std::to_string(result.snapshot_build_ms_total) +
+                   ", \"fragments_reused\": " +
+                   std::to_string(result.fragments_reused) +
+                   ", \"fragments_built\": " +
+                   std::to_string(result.fragments_built) +
+                   ", \"queue_wait_ms\": " +
+                   std::to_string(result.queue_wait_ms) +
+                   ", \"apply_ms\": " + std::to_string(result.apply_ms) +
+                   ", \"batches\": " + std::to_string(result.batches) + "}";
+      }
     }
     std::ofstream out(json_path);
     out << "{\n"

@@ -50,15 +50,22 @@ StatusOr<std::vector<LeafGroup>> ExtractLeafGroups(const BufferTree& tree,
   return out;
 }
 
-PartitionSet LeafScan(std::span<const LeafGroup> leaves, size_t k1) {
+namespace {
+
+// The LS1-LS4 scan, parameterized over how a range element becomes a
+// LeafGroup so the owned-array and shared-fragment entry points share one
+// implementation.
+template <typename Range, typename Deref>
+PartitionSet LeafScanImpl(const Range& leaves, size_t k1, Deref deref) {
   PartitionSet out;
   Partition current;
-  size_t dim = leaves.empty() ? 0 : leaves.front().mbr.dim();
+  size_t dim = leaves.empty() ? 0 : deref(leaves.front()).mbr.dim();
   current.box = Mbr(dim);
   size_t remaining = 0;
-  for (const LeafGroup& g : leaves) remaining += g.rids.size();
+  for (const auto& e : leaves) remaining += deref(e).rids.size();
 
-  for (const LeafGroup& g : leaves) {
+  for (const auto& e : leaves) {
+    const LeafGroup& g = deref(e);
     current.rids.insert(current.rids.end(), g.rids.begin(), g.rids.end());
     current.box.ExpandToInclude(g.mbr);
     remaining -= g.rids.size();
@@ -72,6 +79,22 @@ PartitionSet LeafScan(std::span<const LeafGroup> leaves, size_t k1) {
   }
   if (!current.rids.empty()) out.partitions.push_back(std::move(current));
   return out;
+}
+
+}  // namespace
+
+PartitionSet LeafScan(std::span<const LeafGroup> leaves, size_t k1) {
+  return LeafScanImpl(leaves, k1,
+                      [](const LeafGroup& g) -> const LeafGroup& { return g; });
+}
+
+PartitionSet LeafScan(std::span<const std::shared_ptr<const LeafGroup>> leaves,
+                      size_t k1) {
+  return LeafScanImpl(
+      leaves, k1,
+      [](const std::shared_ptr<const LeafGroup>& g) -> const LeafGroup& {
+        return *g;
+      });
 }
 
 PartitionSet LeafScanWithConstraint(std::span<const LeafGroup> leaves,

@@ -1,6 +1,7 @@
 #ifndef KANON_ANON_LEAF_SCAN_H_
 #define KANON_ANON_LEAF_SCAN_H_
 
+#include <memory>
 #include <span>
 
 #include "anon/constraints.h"
@@ -33,6 +34,13 @@ Mbr ClipRegionToDomain(const Region& region, const Domain& domain);
 /// Partition boxes are the union of member-leaf MBRs, which equals the MBR
 /// of the member records (leaf MBRs are tight) — i.e. output is compacted.
 PartitionSet LeafScan(std::span<const LeafGroup> leaves, size_t k1);
+
+/// Shared-fragment variant: the same scan over leaves held by pointer. The
+/// service's snapshots share unchanged per-leaf fragments across
+/// publications (a delta merge retires only the leaves it spliced), so the
+/// scan must not require a contiguous owned array.
+PartitionSet LeafScan(
+    std::span<const std::shared_ptr<const LeafGroup>> leaves, size_t k1);
 
 /// Generalized leaf scan: accumulate leaves until `constraint` admits the
 /// group (monotone constraints only). Needs the dataset to read sensitive

@@ -144,20 +144,6 @@ std::vector<LeafGroup> StrBulkLoad(const Dataset& dataset,
 
 namespace {
 
-/// The record arrays being carved into a tree, in externally-sorted
-/// curve order. Concurrent subtree builds touch disjoint index ranges,
-/// so no synchronization is needed.
-struct BuildArrays {
-  size_t dim = 0;
-  std::vector<double> points;  // row-major, rids.size() * dim
-  std::vector<uint64_t> rids;
-  std::vector<int32_t> sensitive;
-
-  std::span<const double> row(size_t i) const {
-    return {points.data() + i * dim, dim};
-  }
-};
-
 /// One contiguous range of the arrays with its region of space. `open`
 /// means a further cut may still be attempted.
 struct Piece {
@@ -185,7 +171,7 @@ bool TryCutPiece(BuildArrays* arrays, const RTreeConfig& config, Piece* piece,
       config.min_leaf, config.split, &piece->region);
   if (!split.has_value()) return false;
 
-  BuildArrays left{dim}, right{dim};
+  BuildArrays left(dim), right(dim);
   for (size_t i = piece->begin; i < piece->end; ++i) {
     BuildArrays& side =
         arrays->points[i * dim + split->axis] < split->value ? left : right;
@@ -266,9 +252,8 @@ std::unique_ptr<Node> MakeLeaf(const BuildArrays& arrays,
   return leaf;
 }
 
-/// Builds the subtree over [begin, end) within `region`: a leaf when the
-/// range fits (or refuses every cut — the overfull-leaf rule), otherwise
-/// an internal node over recursively built children.
+}  // namespace
+
 std::unique_ptr<Node> BuildSubtree(BuildArrays* arrays,
                                    const RTreeConfig& config,
                                    const Region& region, size_t begin,
@@ -290,8 +275,6 @@ std::unique_ptr<Node> BuildSubtree(BuildArrays* arrays,
   }
   return node;
 }
-
-}  // namespace
 
 StatusOr<RPlusTree> SortedBulkLoadTree(const Dataset& dataset,
                                        const RTreeConfig& config,
@@ -340,7 +323,7 @@ StatusOr<RPlusTree> SortedBulkLoadTree(const Dataset& dataset,
   }
   keys.clear();
   keys.shrink_to_fit();
-  BuildArrays arrays{dim};
+  BuildArrays arrays(dim);
   arrays.rids.reserve(n);
   arrays.sensitive.reserve(n);
   arrays.points.reserve(n * dim);

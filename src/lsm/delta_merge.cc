@@ -1,0 +1,262 @@
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "index/hilbert.h"
+#include "index/node.h"
+#include "lsm/merge.h"
+
+namespace kanon {
+
+namespace {
+
+/// Leaf pointers under `node` in left-to-right order.
+void CollectLeaves(const Node* node, std::vector<const Node*>* out) {
+  if (node->is_leaf) {
+    out->push_back(node);
+    return;
+  }
+  for (const auto& child : node->children) CollectLeaves(child.get(), out);
+}
+
+/// Subtree height (leaf = 0), memoized per merge. Only nodes on touched
+/// root paths are ever queried, and a node's height is needed at most
+/// once per flush.
+size_t SubtreeHeight(const Node* node,
+                     std::unordered_map<const Node*, size_t>* memo) {
+  if (node->is_leaf) return 0;
+  const auto it = memo->find(node);
+  if (it != memo->end()) return it->second;
+  size_t h = 0;
+  for (const auto& child : node->children) {
+    h = std::max(h, 1 + SubtreeHeight(child.get(), memo));
+  }
+  (*memo)[node] = h;
+  return h;
+}
+
+/// The record budget one node at `node`'s level can own without its leaf
+/// count overflowing a single node's fanout per level: max_leaf records
+/// per leaf, max_fanout children per internal level. Saturates instead of
+/// overflowing.
+size_t LevelCapacity(const RTreeConfig& config, size_t height) {
+  size_t cap = config.max_leaf;
+  for (size_t i = 0; i < height; ++i) {
+    if (cap > std::numeric_limits<size_t>::max() / config.max_fanout) {
+      return std::numeric_limits<size_t>::max();
+    }
+    cap *= config.max_fanout;
+  }
+  return cap;
+}
+
+/// Appends every record under `node` to `arrays` (tree order).
+void GatherSubtree(const Node* node, BuildArrays* arrays) {
+  if (node->is_leaf) {
+    for (size_t i = 0; i < node->leaf_size(); ++i) {
+      arrays->rids.push_back(node->rids[i]);
+      arrays->sensitive.push_back(node->sensitive[i]);
+      const auto p = node->point(i);
+      arrays->points.insert(arrays->points.end(), p.begin(), p.end());
+    }
+    return;
+  }
+  for (const auto& child : node->children) GatherSubtree(child.get(), arrays);
+}
+
+}  // namespace
+
+StatusOr<MergeStats> MergeScheduler::MergeInto(RPlusTree* tree,
+                                               const Memtable& run,
+                                               const Domain& domain) {
+  KANON_CHECK(tree != nullptr && tree->dim() == dim_ && run.dim() == dim_ &&
+              domain.dim() == dim_);
+  MergeStats stats;
+  if (run.empty()) {
+    // An empty-delta flush is a no-op on either path: nothing to route,
+    // nothing to rebuild, nothing retired.
+    stats.mode = MergeMode::kDelta;
+    return stats;
+  }
+  const RTreeConfig& config = tree->config();
+  // The full rebuild remains the reference backend: requested explicitly,
+  // for trees too small to have sub-ranges worth isolating, and for runs
+  // so large relative to the tree that local rebuilds would touch most
+  // leaves anyway.
+  const bool full_path =
+      options_.mode == MergeMode::kFull || tree->size() == 0 ||
+      tree->root()->is_leaf ||
+      (options_.delta_full_fraction > 0 &&
+       run.size() * options_.delta_full_fraction >= tree->size());
+  if (full_path) {
+    KANON_ASSIGN_OR_RETURN(RPlusTree merged, Merge(*tree, run));
+    *tree = std::move(merged);
+    stats.mode = MergeMode::kFull;
+    return stats;
+  }
+  stats.mode = MergeMode::kDelta;
+
+  // 1. Route every run record to the unique leaf whose region contains
+  // it. Regions are half-open and tile all of space from the root's
+  // Region::Whole, so routing is total and unambiguous.
+  Node* root = tree->mutable_root();
+  std::unordered_map<Node*, std::vector<size_t>> routed;  // leaf -> slots
+  std::vector<Node*> touched;  // first-touch order: deterministic
+  for (size_t i = 0; i < run.size(); ++i) {
+    Node* node = root;
+    while (!node->is_leaf) {
+      Node* next = nullptr;
+      for (const auto& child : node->children) {
+        if (child->region.ContainsPoint(run.point(i))) {
+          next = child.get();
+          break;
+        }
+      }
+      KANON_CHECK_MSG(next != nullptr,
+                      "run record escapes the region tiling");
+      node = next;
+    }
+    const auto [it, inserted] = routed.try_emplace(node);
+    if (inserted) touched.push_back(node);
+    it->second.push_back(i);
+  }
+
+  // 2. Compaction trigger: pick each touched leaf's rebuild site by
+  // escalating to the parent region while the sub-range's projected
+  // record count overflows its level's capacity — i.e. while the rebuilt
+  // subtree's leaf count would exceed one node's fanout per level it
+  // already spans. Escalation folds siblings into the rebuild, which is
+  // what redistributes a delta that concentrated in one region. Reaching
+  // the root means the whole tree overflowed its shape: full rebuild.
+  std::unordered_map<const Node*, size_t> delta_count;
+  for (Node* leaf : touched) {
+    const size_t d = routed[leaf].size();
+    for (Node* a = leaf; a != nullptr; a = a->parent) delta_count[a] += d;
+  }
+  std::unordered_map<const Node*, size_t> heights;
+  std::unordered_set<const Node*> site_set;
+  for (Node* leaf : touched) {
+    Node* site = leaf;
+    while (site->parent != nullptr &&
+           site->record_count + delta_count[site] >
+               LevelCapacity(config, SubtreeHeight(site, &heights))) {
+      site = site->parent;
+      ++stats.escalations;
+    }
+    if (site->parent == nullptr) {
+      KANON_ASSIGN_OR_RETURN(RPlusTree merged, Merge(*tree, run));
+      *tree = std::move(merged);
+      stats.mode = MergeMode::kFull;
+      return stats;
+    }
+    site_set.insert(site);
+  }
+
+  // 3. Collapse nested sites: each touched leaf belongs to the highest
+  // site on its root path, so the final sites are pairwise disjoint
+  // subtrees and every routed record lands in exactly one rebuild.
+  std::vector<Node*> sites;                              // first-seen order
+  std::unordered_map<Node*, std::vector<size_t>> site_slots;
+  for (Node* leaf : touched) {
+    Node* chosen = nullptr;
+    for (Node* a = leaf; a != nullptr; a = a->parent) {
+      if (site_set.contains(a)) chosen = a;
+    }
+    KANON_CHECK(chosen != nullptr);
+    const auto [it, inserted] = site_slots.try_emplace(chosen);
+    if (inserted) sites.push_back(chosen);
+    const std::vector<size_t>& mine = routed[leaf];
+    it->second.insert(it->second.end(), mine.begin(), mine.end());
+  }
+
+  // 4. Rebuild each site's record set through the same region-disciplined
+  // build the full pipeline uses, sorted by (curve key, rid) under the
+  // *fixed service domain* — not the data-dependent ComputeDomain of the
+  // full pipeline — so the local order is stable across flush cadences.
+  // Sites are disjoint subtrees, so builds run concurrently; the result
+  // is identical at every thread count because each build is a pure
+  // function of its own site.
+  const GridQuantizer quantizer(domain, options_.grid_bits);
+  const int shift =
+      std::max(0, options_.grid_bits * static_cast<int>(dim_) - 64);
+  std::vector<std::unique_ptr<Node>> rebuilt(sites.size());
+  std::vector<size_t> gathered(sites.size(), 0);
+  const auto build_site = [&](size_t s) {
+    Node* site = sites[s];
+    const std::vector<size_t>& slots = site_slots.find(site)->second;
+    const size_t total = site->record_count + slots.size();
+    BuildArrays raw(dim_);
+    raw.rids.reserve(total);
+    raw.sensitive.reserve(total);
+    raw.points.reserve(total * dim_);
+    GatherSubtree(site, &raw);
+    for (const size_t slot : slots) {
+      raw.rids.push_back(run.rid(slot));
+      raw.sensitive.push_back(run.sensitive(slot));
+      const auto p = run.point(slot);
+      raw.points.insert(raw.points.end(), p.begin(), p.end());
+    }
+    std::vector<uint64_t> keys(total);
+    std::vector<uint32_t> grid(dim_);
+    for (size_t i = 0; i < total; ++i) {
+      quantizer.Quantize(raw.row(i), grid.data());
+      const std::span<const uint32_t> g(grid.data(), grid.size());
+      const CurveKey key = options_.curve == CurveOrder::kHilbert
+                               ? HilbertKey(g, options_.grid_bits)
+                               : ZOrderKey(g, options_.grid_bits);
+      keys[i] = static_cast<uint64_t>(key >> shift);
+    }
+    std::vector<size_t> perm(total);
+    for (size_t i = 0; i < total; ++i) perm[i] = i;
+    std::sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+      if (keys[a] != keys[b]) return keys[a] < keys[b];
+      return raw.rids[a] < raw.rids[b];
+    });
+    BuildArrays arrays(dim_);
+    arrays.rids.reserve(total);
+    arrays.sensitive.reserve(total);
+    arrays.points.reserve(total * dim_);
+    for (const size_t i : perm) {
+      arrays.rids.push_back(raw.rids[i]);
+      arrays.sensitive.push_back(raw.sensitive[i]);
+      const auto p = raw.row(i);
+      arrays.points.insert(arrays.points.end(), p.begin(), p.end());
+    }
+    rebuilt[s] = BuildSubtree(&arrays, config, site->region, 0, total);
+    gathered[s] = total;
+  };
+  if (workers_ != nullptr) {
+    workers_->ParallelFor(sites.size(), build_site);
+  } else {
+    for (size_t s = 0; s < sites.size(); ++s) build_site(s);
+  }
+
+  // 5. Splice. A rebuilt subtree owns exactly its site's region, so the
+  // 1-for-1 child swap preserves the sibling tiling; the parent's fanout
+  // is unchanged. Records are only ever added by a merge, so ancestor
+  // MBRs grow monotonically and expand-only updates stay exact.
+  for (size_t s = 0; s < sites.size(); ++s) {
+    Node* site = sites[s];
+    Node* parent = site->parent;
+    CollectLeaves(site, &stats.retired_leaves);
+    const size_t added = rebuilt[s]->record_count - site->record_count;
+    const Mbr grown = rebuilt[s]->mbr;
+    rebuilt[s]->parent = parent;
+    parent->children[site->IndexInParent()] = std::move(rebuilt[s]);
+    for (Node* a = parent; a != nullptr; a = a->parent) {
+      a->record_count += added;
+      a->mbr.ExpandToInclude(grown);
+    }
+    ++stats.sites_rebuilt;
+    stats.records_reindexed += gathered[s];
+  }
+  return stats;
+}
+
+}  // namespace kanon

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -12,6 +13,43 @@
 #include "storage/pager.h"
 
 namespace kanon {
+
+/// How a flush reaches the tree.
+///
+///  * kFull — rebuild the whole tree from tree ∪ run through the sorted
+///    bulk-load pipeline. O(total records) per flush, but byte-identical
+///    to a from-scratch load of the same records: the reference backend
+///    every differential test compares against.
+///  * kDelta — route the run's records to the leaves whose regions
+///    contain them and locally rebuild only those sub-ranges, splicing
+///    the results back in place. O(delta · fanout-neighborhood) per
+///    flush — flat-ish in the dataset size — at the cost of abandoning
+///    byte-identity with the full rebuild; equivalence is pinned by the
+///    differential oracle instead (same record multiset, every leaf ≥ k,
+///    disjoint covering partitions, equal range-query answers).
+enum class MergeMode { kFull, kDelta };
+
+/// What one MergeInto call actually did — the observability surface the
+/// delta-merge tests and the service's fragment cache both key off.
+struct MergeStats {
+  /// The path taken. A kDelta request can legitimately come back kFull:
+  /// empty/leaf-only trees, deltas large relative to the tree, and
+  /// compaction escalations that reach the root all fall back.
+  MergeMode mode = MergeMode::kFull;
+  /// Disjoint sub-ranges locally rebuilt and spliced (0 on the full path).
+  size_t sites_rebuilt = 0;
+  /// Records gathered through local rebuilds (tree records re-indexed
+  /// plus routed delta records). The sublinearity claim is about this
+  /// number staying proportional to the delta, not the dataset.
+  size_t records_reindexed = 0;
+  /// Rebuild sites escalated to a parent region because the sub-range's
+  /// projected leaf count overflowed one node's fanout.
+  size_t escalations = 0;
+  /// Leaf nodes removed from the tree by splices. The pointers are
+  /// already freed — they are identity keys for cache eviction (the
+  /// service's per-leaf release-fragment cache), never dereferenced.
+  std::vector<const Node*> retired_leaves;
+};
 
 /// When and how the memtable is folded back into the R⁺-tree.
 struct MergeOptions {
@@ -31,6 +69,13 @@ struct MergeOptions {
   size_t memory_budget_bytes = 64ull << 20;
   size_t page_size = kDefaultPageSize;
   size_t sort_run_records = 0;  // 0 derives from the memory budget
+  /// Full rebuild vs in-place delta merge (see MergeMode).
+  MergeMode mode = MergeMode::kFull;
+  /// Delta merges fall back to a full rebuild when the run holds at least
+  /// 1/this of the tree's records (local rebuilds would touch most leaves
+  /// anyway, and the full path yields the better-packed tree). 0 never
+  /// falls back on size.
+  size_t delta_full_fraction = 4;
 };
 
 /// Merges flushed memtable runs into the live R⁺-tree. A merge is a full
@@ -67,6 +112,25 @@ class MergeScheduler {
   /// occupies exactly [0, n). The input tree is not modified; on success
   /// the caller adopts the result and clears the run.
   StatusOr<RPlusTree> Merge(const RPlusTree& tree, const Memtable& run);
+
+  /// Folds `run` into `*tree` honoring options().mode. On the delta path
+  /// the tree is mutated in place: each run record is routed to the leaf
+  /// whose region contains it, touched sub-ranges are rebuilt through the
+  /// same region-disciplined BuildSubtree the full pipeline uses — sorted
+  /// by (curve key, rid) under the fixed service `domain`, so the local
+  /// order is stable across flush cadences — and the results are spliced
+  /// back 1-for-1 (regions tile space, so a rebuilt sub-range owns
+  /// exactly its old region and the tiling is preserved). A sub-range
+  /// whose projected leaf count overflows one node's fanout escalates the
+  /// rebuild to its parent's region (the compaction trigger); reaching
+  /// the root, an empty or single-leaf tree, or a run ≥ tree /
+  /// delta_full_fraction falls back to the full rebuild. Unlike Merge,
+  /// the delta path needs no dense-rid invariant.
+  ///
+  /// Runs on the single ingest thread; readers are unaffected because
+  /// they only ever see copied snapshot groups, never the live tree.
+  StatusOr<MergeStats> MergeInto(RPlusTree* tree, const Memtable& run,
+                                 const Domain& domain);
 
  private:
   const size_t dim_;

@@ -646,7 +646,19 @@ HttpResponse AnonHttpFrontend::HandleMetrics() {
                static_cast<double>(stats.memtable_bytes));
   AppendPromMetric(&out, "kanon_merges_total", "counter",
                static_cast<double>(stats.merges));
+  AppendPromMetric(&out, "kanon_delta_merges_total", "counter",
+               static_cast<double>(stats.delta_merges));
+  AppendPromMetric(&out, "kanon_merge_escalations_total", "counter",
+               static_cast<double>(stats.merge_escalations));
   AppendPromMetric(&out, "kanon_last_merge_ms", "gauge", stats.last_merge_ms);
+  AppendPromMetric(&out, "kanon_merge_ms_total", "counter",
+               stats.merge_ms_total);
+  AppendPromMetric(&out, "kanon_snapshot_build_ms_total", "counter",
+               stats.snapshot_build_ms_total);
+  AppendPromMetric(&out, "kanon_fragments_reused_total", "counter",
+               static_cast<double>(stats.fragments_reused));
+  AppendPromMetric(&out, "kanon_fragments_built_total", "counter",
+               static_cast<double>(stats.fragments_built));
   // Ingest-thread time attribution: what the memtable actually absorbs.
   AppendPromMetric(&out, "kanon_ingest_queue_wait_ms_total", "counter",
                stats.queue_wait_ms);

@@ -29,6 +29,7 @@ AnonymizationService::AnonymizationService(Deferred, size_t dim,
     merge.memory_budget_bytes = options_.anonymizer.memory_budget_bytes;
     merge.page_size = options_.anonymizer.page_size;
     merge.sort_run_records = options_.anonymizer.sort_run_records;
+    merge.mode = options_.lsm.merge_mode;
     merger_ = std::make_unique<MergeScheduler>(dim, merge);
   }
 }
@@ -160,6 +161,10 @@ ServiceStats AnonymizationService::Stats() const {
   stats.queue_depth = queue_.pending();
   stats.last_snapshot_build_ms =
       last_build_ms_.load(std::memory_order_relaxed);
+  stats.snapshot_build_ms_total =
+      build_ms_total_.load(std::memory_order_relaxed);
+  stats.fragments_reused = fragments_reused_.load(std::memory_order_relaxed);
+  stats.fragments_built = fragments_built_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(samples_mu_);
     stats.batch_sizes = SampleHistogram(batch_samples_, 16);
@@ -172,7 +177,11 @@ ServiceStats AnonymizationService::Stats() const {
   stats.memtable_records = memtable_records_.load(std::memory_order_relaxed);
   stats.memtable_bytes = memtable_bytes_.load(std::memory_order_relaxed);
   stats.merges = merges_.load(std::memory_order_relaxed);
+  stats.delta_merges = delta_merges_.load(std::memory_order_relaxed);
+  stats.merge_escalations =
+      merge_escalations_.load(std::memory_order_relaxed);
   stats.last_merge_ms = last_merge_ms_.load(std::memory_order_relaxed);
+  stats.merge_ms_total = merge_ms_total_.load(std::memory_order_relaxed);
   if (const auto snapshot = CurrentSnapshot()) {
     stats.snapshot_age_s = snapshot->info().AgeSeconds();
   }
@@ -363,12 +372,26 @@ bool AnonymizationService::MaybeMerge(bool force) {
   if (memtable_ == nullptr || memtable_->empty()) return true;
   if (!force && !merger_->ShouldMerge(*memtable_, since_merge_)) return true;
   Timer timer;
-  StatusOr<RPlusTree> merged = merger_->Merge(anonymizer_.tree(), *memtable_);
+  StatusOr<MergeStats> merged =
+      merger_->MergeInto(anonymizer_.mutable_tree(), *memtable_, domain_);
   if (!merged.ok()) {
     EnterDegraded("memtable merge failed: " + merged.status().ToString());
     return false;
   }
-  anonymizer_.AdoptTree(std::move(*merged));
+  // Keep the fragment cache truthful about the post-merge tree: a delta
+  // merge retired exactly the leaves it spliced out, a full rebuild
+  // replaced every node. Evicting before any new leaves are cached also
+  // makes freed-pointer key collisions (allocator address reuse) harmless.
+  if (merged->mode == MergeMode::kDelta) {
+    for (const Node* leaf : merged->retired_leaves) {
+      fragment_cache_.erase(leaf);
+    }
+    delta_merges_.fetch_add(1, std::memory_order_relaxed);
+    merge_escalations_.fetch_add(merged->escalations,
+                                 std::memory_order_relaxed);
+  } else {
+    fragment_cache_.clear();
+  }
   memtable_->Clear();
   since_merge_ = 0;
   merged_since_publish_ = true;
@@ -377,6 +400,8 @@ bool AnonymizationService::MaybeMerge(bool force) {
   memtable_bytes_.store(0, std::memory_order_relaxed);
   merges_.fetch_add(1, std::memory_order_relaxed);
   last_merge_ms_.store(ms, std::memory_order_relaxed);
+  merge_ms_total_.store(merge_ms_total_.load(std::memory_order_relaxed) + ms,
+                        std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(samples_mu_);
   if (merge_samples_.size() < kMaxBatchSamples) merge_samples_.push_back(ms);
   return true;
@@ -448,17 +473,42 @@ bool AnonymizationService::Publish() {
   // reads is exactly what a degraded service keeps doing).
   if (wal_ != nullptr && !wal_->poisoned()) (void)wal_->Sync();
   Timer timer;
-  std::vector<LeafGroup> leaves = ExtractLeafGroups(tree, &domain_);
-  if (!options_.anonymizer.compact) {
-    // Publish index regions instead of tight MBRs (the uncompacted view).
-    for (LeafGroup& group : leaves) {
-      if (!group.region.empty()) group.mbr = group.region;
+  // Assemble the snapshot as shared per-leaf fragments. In LSM mode the
+  // tree changes only through merges, and every merge evicts exactly the
+  // leaves it replaced from fragment_cache_, so a surviving entry is still
+  // byte-accurate — publication cost tracks the merge churn, not the tree
+  // size. Without the memtable the tree mutates record-at-a-time between
+  // publications (leaf contents change in place), so nothing is cacheable
+  // and every fragment is built fresh.
+  const bool cache_fragments = memtable_ != nullptr;
+  std::vector<LeafFragment> fragments;
+  for (const Node* leaf : tree.OrderedLeaves()) {
+    if (leaf->leaf_size() == 0) continue;  // post-deletion empty leaf
+    if (cache_fragments) {
+      const auto it = fragment_cache_.find(leaf);
+      if (it != fragment_cache_.end()) {
+        fragments.push_back(it->second);
+        fragments_reused_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
     }
+    auto group = std::make_shared<LeafGroup>();
+    group->rids = leaf->rids;
+    group->mbr = leaf->mbr;
+    group->region = ClipRegionToDomain(leaf->region, domain_);
+    if (!options_.anonymizer.compact && !group->region.empty()) {
+      // Publish index regions instead of tight MBRs (the uncompacted view).
+      group->mbr = group->region;
+    }
+    if (cache_fragments) fragment_cache_.emplace(leaf, group);
+    fragments_built_.fetch_add(1, std::memory_order_relaxed);
+    fragments.push_back(std::move(group));
   }
   // Between flushes the memtable contributes curve-sorted overlay groups
   // so releases cover tree + memtable consistently. Each group holds
   // >= base_k records; a residue below base_k is withheld (never released
-  // under the k bound) and surfaces as memtable_pending.
+  // under the k bound) and surfaces as memtable_pending. Overlay groups
+  // change with every absorbed record, so they are never cached.
   size_t overlay_records = 0;
   size_t pending = 0;
   if (resident > 0) {
@@ -467,11 +517,11 @@ bool AnonymizationService::Publish() {
     std::vector<LeafGroup> overlay = memtable_->OverlayGroups(
         domain_, options_.anonymizer.curve, options_.anonymizer.grid_bits,
         base_k, target, &pending);
-    for (const LeafGroup& group : overlay) {
+    for (LeafGroup& group : overlay) {
       overlay_records += group.rids.size();
+      fragments.push_back(
+          std::make_shared<const LeafGroup>(std::move(group)));
     }
-    leaves.insert(leaves.end(), std::make_move_iterator(overlay.begin()),
-                  std::make_move_iterator(overlay.end()));
   }
   // The releasable records (tree + overlay, excluding the withheld
   // residue) must themselves clear the k bound — e.g. a tiny tree from an
@@ -482,7 +532,7 @@ bool AnonymizationService::Publish() {
   info.memtable_records = overlay_records;
   info.memtable_pending = pending;
   info.base_k = base_k;
-  const PartitionSet base = LeafScan(leaves, info.base_k);
+  const PartitionSet base = LeafScan(fragments, info.base_k);
   info.num_partitions = base.num_partitions();
   info.min_partition = base.min_partition_size();
   info.max_partition = base.max_partition_size();
@@ -491,8 +541,11 @@ bool AnonymizationService::Publish() {
   info.created = std::chrono::steady_clock::now();
   info.epoch = snapshots_.fetch_add(1, std::memory_order_relaxed) + 1;
   last_build_ms_.store(info.build_ms, std::memory_order_relaxed);
+  build_ms_total_.store(
+      build_ms_total_.load(std::memory_order_relaxed) + info.build_ms,
+      std::memory_order_relaxed);
   auto snapshot =
-      std::make_shared<const Snapshot>(std::move(leaves), domain_, info);
+      std::make_shared<const Snapshot>(std::move(fragments), domain_, info);
   {
     std::lock_guard<std::mutex> lock(current_mu_);
     current_ = std::move(snapshot);

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "anon/rtree_anonymizer.h"
@@ -66,6 +67,12 @@ struct LsmOptions {
   size_t memtable_bytes = 0;
   /// Flush every this many absorbed records (0 = no record trigger).
   uint64_t merge_every = 0;
+  /// How a flush reaches the tree: kFull rebuilds the whole tree per flush
+  /// (the reference backend); kDelta routes the run onto the live tree and
+  /// locally rebuilds only the touched sub-ranges (see MergeMode). Delta
+  /// merges also make publication incremental: per-leaf release fragments
+  /// untouched by merges are reused across snapshots.
+  MergeMode merge_mode = MergeMode::kFull;
 
   bool enabled() const { return memtable_bytes > 0 || merge_every > 0; }
 };
@@ -268,7 +275,20 @@ class AnonymizationService {
   std::atomic<uint64_t> memtable_records_{0};
   std::atomic<uint64_t> memtable_bytes_{0};
   std::atomic<uint64_t> merges_{0};
+  std::atomic<uint64_t> delta_merges_{0};
+  std::atomic<uint64_t> merge_escalations_{0};
   std::atomic<double> last_merge_ms_{0.0};
+  std::atomic<double> merge_ms_total_{0.0};
+
+  // Per-leaf release-fragment cache (ingest thread only), keyed by leaf
+  // node identity. Valid because in LSM mode the tree mutates only through
+  // merges, which report exactly which leaves they retired: a delta merge
+  // evicts its retired leaves, a full rebuild clears the cache. Entries
+  // are shared with published snapshots, so eviction never invalidates a
+  // reader's release — it only stops future reuse.
+  std::unordered_map<const Node*, LeafFragment> fragment_cache_;
+  std::atomic<uint64_t> fragments_reused_{0};
+  std::atomic<uint64_t> fragments_built_{0};
 
   // Durability (null / unused when options_.durability is disabled). The
   // WAL writer and checkpointer are driven exclusively by the ingest
@@ -305,6 +325,7 @@ class AnonymizationService {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> snapshots_{0};
   std::atomic<double> last_build_ms_{0.0};
+  std::atomic<double> build_ms_total_{0.0};
 
   // Batch-size / merge-duration samples for the histograms, capped so a
   // long-running service cannot grow them unboundedly (counters keep exact

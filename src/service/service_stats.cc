@@ -37,10 +37,16 @@ std::string FormatServiceStats(const ServiceStats& stats) {
   if (stats.memtable_enabled) {
     os << "memtable: records=" << stats.memtable_records
        << " bytes=" << stats.memtable_bytes << " merges=" << stats.merges
-       << " last_merge_ms=" << stats.last_merge_ms << "\n";
+       << " delta_merges=" << stats.delta_merges
+       << " escalations=" << stats.merge_escalations
+       << " last_merge_ms=" << stats.last_merge_ms
+       << " merge_ms_total=" << stats.merge_ms_total << "\n";
   }
   os << "snapshots: published=" << stats.snapshots
      << " last_build_ms=" << stats.last_snapshot_build_ms
+     << " build_ms_total=" << stats.snapshot_build_ms_total
+     << " fragments_reused=" << stats.fragments_reused
+     << " fragments_built=" << stats.fragments_built
      << " age_s=" << stats.snapshot_age_s;
   if (stats.durable) {
     os << "\ndurability: recovered=" << stats.recovered

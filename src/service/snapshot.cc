@@ -5,7 +5,7 @@
 namespace kanon {
 
 PartitionSet Snapshot::Release(size_t k1) const {
-  return LeafScan(leaves_, std::max(k1, info_.base_k));
+  return LeafScan(fragments_, std::max(k1, info_.base_k));
 }
 
 double AverageBoxNcp(const PartitionSet& ps, const Domain& domain) {

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "anon/leaf_scan.h"
@@ -51,19 +52,39 @@ struct SnapshotInfo {
 /// k1 >= base_k — and any number of them — jointly k-anonymous, so a
 /// snapshot can serve arbitrarily many Release calls from arbitrarily many
 /// threads with no synchronization at all.
+/// One immutable per-leaf release fragment, shareable between snapshots.
+/// Consecutive snapshots of a delta-merged tree differ only in the leaves
+/// the merges spliced, so the service reuses every other fragment verbatim
+/// and publication cost tracks the churn, not the dataset size.
+using LeafFragment = std::shared_ptr<const LeafGroup>;
+
 class Snapshot {
  public:
-  Snapshot(std::vector<LeafGroup> leaves, Domain domain, SnapshotInfo info)
-      : leaves_(std::move(leaves)),
+  /// Shared-fragment constructor — the service's publication path. The
+  /// snapshot holds refcounts; fragments also alive in the service's
+  /// cache (or in older snapshots) are never copied.
+  Snapshot(std::vector<LeafFragment> fragments, Domain domain,
+           SnapshotInfo info)
+      : fragments_(std::move(fragments)),
         domain_(std::move(domain)),
         info_(info) {}
+
+  /// Owning constructor: wraps each group in its own fragment (followers
+  /// and tests that build leaf groups directly).
+  Snapshot(std::vector<LeafGroup> leaves, Domain domain, SnapshotInfo info)
+      : domain_(std::move(domain)), info_(info) {
+    fragments_.reserve(leaves.size());
+    for (LeafGroup& g : leaves) {
+      fragments_.push_back(std::make_shared<const LeafGroup>(std::move(g)));
+    }
+  }
 
   Snapshot(const Snapshot&) = delete;
   Snapshot& operator=(const Snapshot&) = delete;
 
   const SnapshotInfo& info() const { return info_; }
   const Domain& domain() const { return domain_; }
-  const std::vector<LeafGroup>& leaves() const { return leaves_; }
+  const std::vector<LeafFragment>& fragments() const { return fragments_; }
 
   /// Emits the k1-granular anonymization of this snapshot's records via the
   /// leaf-scan algorithm. k1 below base_k is clamped up to base_k (the index
@@ -72,7 +93,7 @@ class Snapshot {
   PartitionSet Release(size_t k1) const;
 
  private:
-  std::vector<LeafGroup> leaves_;
+  std::vector<LeafFragment> fragments_;
   Domain domain_;
   SnapshotInfo info_;
 };

@@ -265,8 +265,14 @@ ShardedServiceStats ShardedAnonymizationService::Stats() const {
     total.memtable_records += s.memtable_records;
     total.memtable_bytes += s.memtable_bytes;
     total.merges += s.merges;
+    total.delta_merges += s.delta_merges;
+    total.merge_escalations += s.merge_escalations;
     total.last_merge_ms = std::max(total.last_merge_ms, s.last_merge_ms);
+    total.merge_ms_total += s.merge_ms_total;
     total.merge_samples += s.merge_samples;
+    total.snapshot_build_ms_total += s.snapshot_build_ms_total;
+    total.fragments_reused += s.fragments_reused;
+    total.fragments_built += s.fragments_built;
     stats.shards.push_back(std::move(s));
   }
   // Staleness of the stitched view is its stalest covered slice.

@@ -1,0 +1,623 @@
+// Tests of the incremental delta merge (MergeMode::kDelta): flushed
+// memtable runs are routed onto the live R⁺-tree and only the touched
+// sub-ranges are rebuilt and spliced back. The delta path abandons the
+// full rebuild's byte-identity across cadences; what it promises instead
+// is pinned here by the differential equivalence oracle
+// (tests/differential.h): the delta-merged tree holds exactly the same
+// record multiset as the full-rebuild reference, keeps every structural
+// invariant (leaf occupancy ≥ k, disjoint regions, exactly-once
+// coverage), answers every range query identically, and releases the
+// same record sets — across flush cadences, thread counts, shard
+// counts, concentrated/duplicate/out-of-range deltas, and crash/recovery
+// boundaries. At a FIXED cadence the delta path is still byte-
+// deterministic across thread counts, and that stronger claim is pinned
+// too.
+
+#include "lsm/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "anon/leaf_scan.h"
+#include "anon/rtree_anonymizer.h"
+#include "common/check.h"
+#include "common/env.h"
+#include "common/random.h"
+#include "differential.h"
+#include "durability/wal.h"
+#include "lsm/memtable.h"
+#include "service/anonymization_service.h"
+#include "service/service_stats.h"
+#include "shard/sharded_service.h"
+#include "shard/stitched_snapshot.h"
+
+namespace kanon {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testutil::ExpectEquivalentTrees;
+using testutil::ExpectKBoundCoveringRelease;
+using testutil::GridPoint;
+using testutil::GridSensitive;
+using testutil::SnapshotBytes;
+using testutil::SortedRids;
+using testutil::SquareDomain;
+using testutil::TempDir;
+
+/// Spread (duplicate-light) 2-D stream: the regime where delta merges
+/// actually run local rebuilds instead of falling back. (The grid stream
+/// in differential.h is duplicate-heavy; it is used below where key ties
+/// are the point.)
+std::vector<std::vector<double>> SpreadPoints(size_t n, uint64_t seed,
+                                              double lo, double hi) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points(n);
+  for (auto& p : points) {
+    p = {rng.UniformDouble(lo, hi), rng.UniformDouble(lo, hi)};
+  }
+  return points;
+}
+
+int32_t Sensitive(size_t i) { return static_cast<int32_t>(i % 7); }
+
+/// Feeds `points` through MergeInto in `chunk`-record flushes with the
+/// given mode/threads; rids are the stream indices (dense, the service
+/// invariant). Collects per-flush MergeStats when asked.
+std::unique_ptr<IncrementalAnonymizer> BuildByFlushes(
+    const std::vector<std::vector<double>>& points, const Domain& domain,
+    const RTreeAnonymizerOptions& anon, MergeMode mode, size_t chunk,
+    size_t threads, std::vector<MergeStats>* flush_stats = nullptr) {
+  MergeOptions mo;
+  mo.merge_every = 1;
+  mo.threads = threads;
+  mo.mode = mode;
+  MergeScheduler scheduler(2, mo);
+  auto anonymizer = std::make_unique<IncrementalAnonymizer>(2, anon, &domain);
+  size_t next = 0;
+  while (next < points.size()) {
+    Memtable run(2);
+    const size_t end = std::min(next + chunk, points.size());
+    for (; next < end; ++next) {
+      run.Append(points[next], static_cast<RecordId>(next), Sensitive(next));
+    }
+    auto stats = scheduler.MergeInto(anonymizer->mutable_tree(), run, domain);
+    KANON_CHECK_MSG(stats.ok(), "MergeInto failed");
+    if (flush_stats != nullptr) flush_stats->push_back(std::move(stats).value());
+  }
+  return anonymizer;
+}
+
+size_t CountDelta(const std::vector<MergeStats>& stats) {
+  size_t n = 0;
+  for (const MergeStats& s : stats) n += s.mode == MergeMode::kDelta ? 1 : 0;
+  return n;
+}
+
+PartitionSet ReleaseAt(const IncrementalAnonymizer& anonymizer,
+                       const Domain& domain, size_t k1) {
+  return LeafScan(ExtractLeafGroups(anonymizer.tree(), &domain), k1);
+}
+
+TEST(DeltaMergeTest, EquivalentToFullRebuildAcrossFlushCadences) {
+  const Domain domain = SquareDomain(0, 1000);
+  RTreeAnonymizerOptions anon;
+  anon.base_k = 5;
+  const auto points = SpreadPoints(800, /*seed=*/7, 0, 1000);
+
+  const auto reference = BuildByFlushes(points, domain, anon, MergeMode::kFull,
+                                        points.size(), 1);
+  ASSERT_EQ(reference->size(), points.size());
+
+  for (const size_t chunk : {size_t{40}, size_t{100}}) {
+    std::vector<MergeStats> stats;
+    const auto delta = BuildByFlushes(points, domain, anon, MergeMode::kDelta,
+                                      chunk, 1, &stats);
+    ASSERT_EQ(delta->size(), points.size()) << "chunk " << chunk;
+    // Early flushes legitimately fall back (a run of chunk records is
+    // large relative to the infant tree until the tree outgrows
+    // chunk · delta_full_fraction); every later flush must take the
+    // delta path.
+    size_t expected_delta = 0;
+    for (size_t at = 0; at < points.size(); at += chunk) {
+      const size_t run = std::min(chunk, points.size() - at);
+      if (run * MergeOptions{}.delta_full_fraction < at) ++expected_delta;
+    }
+    ASSERT_GE(expected_delta, 1u) << "chunk " << chunk;
+    EXPECT_EQ(CountDelta(stats), expected_delta) << "chunk " << chunk;
+    ExpectEquivalentTrees(delta->tree(), reference->tree(), anon.base_k,
+                          domain, /*seed=*/chunk);
+    for (const size_t k1 : {size_t{5}, size_t{12}}) {
+      const PartitionSet from_delta = ReleaseAt(*delta, domain, k1);
+      ExpectKBoundCoveringRelease(
+          from_delta, k1, SortedRids(ReleaseAt(*reference, domain, k1)));
+    }
+  }
+}
+
+TEST(DeltaMergeTest, ByteDeterministicAcrossThreadCountsAtFixedCadence) {
+  const Domain domain = SquareDomain(0, 1000);
+  RTreeAnonymizerOptions anon;
+  anon.base_k = 5;
+  const auto points = SpreadPoints(700, /*seed=*/13, 0, 1000);
+
+  std::vector<MergeStats> stats;
+  const auto serial = BuildByFlushes(points, domain, anon, MergeMode::kDelta,
+                                     /*chunk=*/80, /*threads=*/1, &stats);
+  ASSERT_GE(CountDelta(stats), 1u);
+  const std::vector<char> want = SnapshotBytes(serial->tree());
+  ASSERT_FALSE(want.empty());
+  for (const size_t threads : {size_t{2}, size_t{4}}) {
+    const auto parallel = BuildByFlushes(points, domain, anon,
+                                         MergeMode::kDelta, 80, threads);
+    EXPECT_EQ(SnapshotBytes(parallel->tree()), want) << "threads=" << threads;
+  }
+}
+
+TEST(DeltaMergeTest, EmptyRunIsANoOp) {
+  const Domain domain = SquareDomain(0, 1000);
+  RTreeAnonymizerOptions anon;
+  anon.base_k = 5;
+  const auto points = SpreadPoints(200, /*seed=*/3, 0, 1000);
+  auto built = BuildByFlushes(points, domain, anon, MergeMode::kFull,
+                              points.size(), 1);
+  const std::vector<char> before = SnapshotBytes(built->tree());
+
+  MergeOptions mo;
+  mo.merge_every = 1;
+  mo.mode = MergeMode::kDelta;
+  MergeScheduler scheduler(2, mo);
+  Memtable empty(2);
+  auto stats = scheduler.MergeInto(built->mutable_tree(), empty, domain);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->mode, MergeMode::kDelta);
+  EXPECT_EQ(stats->sites_rebuilt, 0u);
+  EXPECT_EQ(stats->records_reindexed, 0u);
+  EXPECT_TRUE(stats->retired_leaves.empty());
+  EXPECT_EQ(SnapshotBytes(built->tree()), before);
+}
+
+TEST(DeltaMergeTest, FallsBackToFullWhereLocalRebuildsCannotWin) {
+  const Domain domain = SquareDomain(0, 1000);
+  RTreeAnonymizerOptions anon;
+  anon.base_k = 5;
+  MergeOptions mo;
+  mo.merge_every = 1;
+  mo.mode = MergeMode::kDelta;
+  MergeScheduler scheduler(2, mo);
+  const auto points = SpreadPoints(400, /*seed=*/21, 0, 1000);
+
+  // Empty tree: nothing to delta against.
+  IncrementalAnonymizer empty(2, anon, &domain);
+  Memtable first(2);
+  for (size_t i = 0; i < 100; ++i) {
+    first.Append(points[i], static_cast<RecordId>(i), Sensitive(i));
+  }
+  auto stats = scheduler.MergeInto(empty.mutable_tree(), first, domain);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->mode, MergeMode::kFull);
+  EXPECT_EQ(empty.tree().size(), 100u);
+
+  // Single-root-leaf tree: no interior structure to splice into.
+  IncrementalAnonymizer tiny(2, anon, &domain);
+  Memtable seed_run(2);
+  for (size_t i = 0; i < 8; ++i) {
+    seed_run.Append(points[i], static_cast<RecordId>(i), Sensitive(i));
+  }
+  ASSERT_TRUE(scheduler.MergeInto(tiny.mutable_tree(), seed_run, domain).ok());
+  ASSERT_TRUE(tiny.tree().root()->is_leaf);
+  Memtable next_run(2);
+  for (size_t i = 8; i < 16; ++i) {
+    next_run.Append(points[i], static_cast<RecordId>(i), Sensitive(i));
+  }
+  stats = scheduler.MergeInto(tiny.mutable_tree(), next_run, domain);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->mode, MergeMode::kFull);
+
+  // A run holding >= tree/delta_full_fraction of the records: the full
+  // rebuild yields the better-packed tree and is taken instead.
+  Memtable big(2);
+  for (size_t i = 100; i < 200; ++i) {
+    big.Append(points[i], static_cast<RecordId>(i), Sensitive(i));
+  }
+  stats = scheduler.MergeInto(empty.mutable_tree(), big, domain);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->mode, MergeMode::kFull);
+
+  // A small run on a big tree stays on the delta path, rebuilds at least
+  // one site, retires the spliced-out leaves, and — the sublinearity
+  // claim — re-indexes far fewer records than the tree holds.
+  Memtable small(2);
+  for (size_t i = 200; i < 220; ++i) {
+    small.Append(points[i], static_cast<RecordId>(i), Sensitive(i));
+  }
+  stats = scheduler.MergeInto(empty.mutable_tree(), small, domain);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->mode, MergeMode::kDelta);
+  EXPECT_GE(stats->sites_rebuilt, 1u);
+  EXPECT_FALSE(stats->retired_leaves.empty());
+  EXPECT_LT(stats->records_reindexed, empty.tree().size());
+  EXPECT_EQ(empty.tree().size(), 220u);
+  EXPECT_TRUE(empty.tree().CheckInvariants().ok());
+}
+
+TEST(DeltaMergeTest, ConcentratedDeltasEscalateAndStayValid) {
+  // Every delta record lands in one tiny square: the touched leaf's
+  // projected occupancy overflows a single node's fanout, so the rebuild
+  // site must escalate to ancestor regions (the compaction trigger).
+  const Domain domain = SquareDomain(0, 1000);
+  RTreeAnonymizerOptions anon;
+  anon.base_k = 5;
+  auto points = SpreadPoints(600, /*seed=*/31, 0, 1000);
+  Rng rng(77);
+  for (size_t i = 0; i < 400; ++i) {
+    points.push_back(
+        {100.0 + rng.NextDouble(), 100.0 + rng.NextDouble()});
+  }
+
+  const auto reference = BuildByFlushes(points, domain, anon, MergeMode::kFull,
+                                        points.size(), 1);
+  std::vector<MergeStats> stats;
+  const auto delta = BuildByFlushes(points, domain, anon, MergeMode::kDelta,
+                                    /*chunk=*/80, 1, &stats);
+  size_t escalations = 0;
+  for (const MergeStats& s : stats) escalations += s.escalations;
+  EXPECT_GE(escalations, 1u);
+  ExpectEquivalentTrees(delta->tree(), reference->tree(), anon.base_k, domain,
+                        /*seed=*/31);
+}
+
+TEST(DeltaMergeTest, DeltaEntirelyOutsideTheTreesDataRange) {
+  // The base tree's data sits in the middle of the domain; every delta
+  // record lands left/below or right/above it on the curve. Regions tile
+  // the whole space, so the extreme records must route into the boundary
+  // leaves and the result must still be equivalent to the full rebuild.
+  const Domain domain = SquareDomain(0, 1000);
+  RTreeAnonymizerOptions anon;
+  anon.base_k = 5;
+  auto points = SpreadPoints(300, /*seed=*/41, 400, 600);
+  Rng rng(5);
+  for (size_t i = 0; i < 60; ++i) {
+    points.push_back({rng.UniformDouble(0, 5), rng.UniformDouble(0, 5)});
+    points.push_back(
+        {rng.UniformDouble(995, 1000), rng.UniformDouble(995, 1000)});
+  }
+
+  const auto reference = BuildByFlushes(points, domain, anon, MergeMode::kFull,
+                                        points.size(), 1);
+  std::vector<MergeStats> stats;
+  const auto delta = BuildByFlushes(points, domain, anon, MergeMode::kDelta,
+                                    /*chunk=*/60, 1, &stats);
+  EXPECT_GE(CountDelta(stats), 1u);
+  ExpectEquivalentTrees(delta->tree(), reference->tree(), anon.base_k, domain,
+                        /*seed=*/41);
+}
+
+TEST(DeltaMergeTest, DuplicateCurveKeysStraddlingALeafBoundary) {
+  // Spread base plus a growing pile of identical points: the duplicates
+  // share one curve key, concentrate in one leaf neighborhood, and force
+  // ties that straddle rebuilt-site boundaries. Unsplittable groups may
+  // go overfull but never underfull or double-covered.
+  const Domain domain = SquareDomain(0, 1000);
+  RTreeAnonymizerOptions anon;
+  anon.base_k = 5;
+  auto points = SpreadPoints(240, /*seed=*/53, 0, 1000);
+  for (size_t i = 0; i < 120; ++i) points.push_back({500.0, 500.0});
+
+  const auto reference = BuildByFlushes(points, domain, anon, MergeMode::kFull,
+                                        points.size(), 1);
+  std::vector<MergeStats> stats;
+  const auto delta = BuildByFlushes(points, domain, anon, MergeMode::kDelta,
+                                    /*chunk=*/40, 1, &stats);
+  EXPECT_GE(CountDelta(stats), 1u);
+  ExpectEquivalentTrees(delta->tree(), reference->tree(), anon.base_k, domain,
+                        /*seed=*/53);
+}
+
+// ---------------------------------------------------------------------------
+// Service level: --merge-mode=delta against the full-rebuild service.
+
+ServiceOptions DeltaServiceOptions(size_t k, uint64_t merge_every,
+                                   MergeMode mode) {
+  ServiceOptions options;
+  options.anonymizer.base_k = k;
+  options.queue_capacity = 256;
+  options.max_batch = 16;
+  options.snapshot_every = 0;  // publish on demand
+  options.lsm.merge_every = merge_every;
+  options.lsm.merge_mode = mode;
+  return options;
+}
+
+void Drain(AnonymizationService& s, uint64_t n) {
+  while (s.Stats().inserted < n) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(DeltaServiceTest, ReleasesMatchFullModeAcrossCadences) {
+  const Domain domain = SquareDomain(0, 1000);
+  const auto points = SpreadPoints(600, /*seed=*/61, 0, 1000);
+  auto full_or = AnonymizationService::Create(
+      2, domain, DeltaServiceOptions(5, 64, MergeMode::kFull));
+  auto coarse_or = AnonymizationService::Create(
+      2, domain, DeltaServiceOptions(5, 64, MergeMode::kDelta));
+  auto fine_or = AnonymizationService::Create(
+      2, domain, DeltaServiceOptions(5, 16, MergeMode::kDelta));
+  ASSERT_TRUE(full_or.ok()) << full_or.status();
+  ASSERT_TRUE(coarse_or.ok()) << coarse_or.status();
+  ASSERT_TRUE(fine_or.ok()) << fine_or.status();
+
+  for (size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE((*full_or)->Ingest(points[i], Sensitive(i)).ok());
+    ASSERT_TRUE((*coarse_or)->Ingest(points[i], Sensitive(i)).ok());
+    ASSERT_TRUE((*fine_or)->Ingest(points[i], Sensitive(i)).ok());
+  }
+  (*full_or)->Stop();
+  (*coarse_or)->Stop();
+  (*fine_or)->Stop();
+
+  const auto reference = (*full_or)->CurrentSnapshot();
+  ASSERT_NE(reference, nullptr);
+  for (const auto* service : {&coarse_or, &fine_or}) {
+    const auto snapshot = (**service)->CurrentSnapshot();
+    ASSERT_NE(snapshot, nullptr);
+    EXPECT_EQ(snapshot->info().records, points.size());
+    EXPECT_EQ(snapshot->info().memtable_pending, 0u);
+    for (const size_t k1 : {size_t{5}, size_t{10}}) {
+      ExpectKBoundCoveringRelease(snapshot->Release(k1), k1,
+                                  SortedRids(reference->Release(k1)));
+    }
+    const ServiceStats stats = (**service)->Stats();
+    EXPECT_GE(stats.delta_merges, 1u);
+    EXPECT_GE(stats.merges, stats.delta_merges);
+  }
+  EXPECT_EQ((*full_or)->Stats().delta_merges, 0u);
+}
+
+TEST(DeltaServiceTest, FragmentsAreReusedAcrossSnapshots) {
+  // Publication is incremental under delta merges: per-leaf release
+  // fragments untouched by a merge carry over to the next snapshot. The
+  // second wave's records all land in one corner, so most of the tree's
+  // leaves — and their fragments — survive the flush unchanged.
+  const Domain domain = SquareDomain(0, 1000);
+  auto service_or = AnonymizationService::Create(
+      2, domain, DeltaServiceOptions(5, 50, MergeMode::kDelta));
+  ASSERT_TRUE(service_or.ok()) << service_or.status();
+  AnonymizationService& service = **service_or;
+
+  const auto base = SpreadPoints(400, /*seed=*/71, 0, 1000);
+  for (size_t i = 0; i < base.size(); ++i) {
+    ASSERT_TRUE(service.Ingest(base[i], Sensitive(i)).ok());
+  }
+  Drain(service, base.size());
+  ASSERT_NE(service.PublishNow(), nullptr);
+  const ServiceStats first = service.Stats();
+  EXPECT_GT(first.fragments_built, 0u);
+
+  Rng rng(9);
+  const size_t wave = 50;
+  for (size_t i = 0; i < wave; ++i) {
+    const std::vector<double> p = {rng.UniformDouble(0, 40),
+                                   rng.UniformDouble(0, 40)};
+    ASSERT_TRUE(service.Ingest(p, Sensitive(base.size() + i)).ok());
+  }
+  Drain(service, base.size() + wave);
+  ASSERT_NE(service.PublishNow(), nullptr);
+  const ServiceStats second = service.Stats();
+  EXPECT_GT(second.fragments_reused, 0u);
+  EXPECT_GE(second.delta_merges, 1u);
+
+  service.Stop();
+  const auto final_snapshot = service.CurrentSnapshot();
+  ASSERT_NE(final_snapshot, nullptr);
+  EXPECT_EQ(final_snapshot->info().records, base.size() + wave);
+  std::vector<RecordId> everyone(base.size() + wave);
+  for (size_t i = 0; i < everyone.size(); ++i) everyone[i] = i;
+  ExpectKBoundCoveringRelease(final_snapshot->Release(5), 5, everyone);
+}
+
+TEST(DeltaShardedTest, StitchedReleasesMatchFullModeAcrossShards) {
+  // Four shards per service, the duplicate-heavy grid stream, delta vs
+  // full merges: the stitched releases must cover the same record sets
+  // and stay k-bound shard-for-shard.
+  const Domain domain = SquareDomain(0, 100);
+  auto sharded = [&](MergeMode mode) {
+    ShardedServiceOptions options;
+    options.service = DeltaServiceOptions(4, 32, mode);
+    options.sharding.num_shards = 4;
+    return ShardedAnonymizationService::Create(2, domain, options);
+  };
+  auto full_or = sharded(MergeMode::kFull);
+  auto delta_or = sharded(MergeMode::kDelta);
+  ASSERT_TRUE(full_or.ok()) << full_or.status();
+  ASSERT_TRUE(delta_or.ok()) << delta_or.status();
+
+  const size_t n = 600;
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double> p = GridPoint(i);
+    ASSERT_TRUE((*full_or)->Ingest(p, GridSensitive(i)).ok());
+    ASSERT_TRUE((*delta_or)->Ingest(p, GridSensitive(i)).ok());
+  }
+  (*full_or)->Stop();
+  (*delta_or)->Stop();
+
+  const auto full = (*full_or)->CurrentStitched();
+  const auto delta = (*delta_or)->CurrentStitched();
+  ASSERT_NE(full, nullptr);
+  ASSERT_NE(delta, nullptr);
+  EXPECT_EQ(delta->info().records, n);
+  EXPECT_EQ(delta->info().memtable_pending, 0u);
+  for (const size_t k1 : {size_t{4}, size_t{8}}) {
+    ExpectKBoundCoveringRelease(delta->Release(k1), k1,
+                                SortedRids(full->Release(k1)));
+  }
+  EXPECT_GE((*delta_or)->Stats().total.delta_merges, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash boundaries.
+
+TEST(DeltaFaultTest, SeededFaultMatrixKeepsEquivalenceWithFullMode) {
+  // The durability fault battery with delta merges in the loop: random
+  // torn-write / failed-fsync schedules, then TWO fault-free restarts
+  // from copies of the same damaged directory — one merging delta, one
+  // full. Both must recover the same dense prefix and release the same
+  // record sets: crash/recovery boundaries leave no observable trace of
+  // the merge strategy.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    TempDir dir;
+    const Domain domain = SquareDomain(0, 100);
+    const size_t n = 300;
+    FaultInjectionOptions fault_options;
+    fault_options.seed = seed;
+    fault_options.mean_ops_between_faults = 60;
+    fault_options.sync_faults = true;
+    FaultInjectionEnv env(Env::Default(), fault_options);
+    ServiceOptions options = DeltaServiceOptions(5, 16, MergeMode::kDelta);
+    options.durability.wal_dir = dir.path();
+    options.durability.fsync_every = 8;
+    options.durability.checkpoint_every = 50;
+    options.durability.retry_backoff_ms = 0;
+    options.durability.env = &env;
+
+    {
+      auto service = AnonymizationService::Create(2, domain, options);
+      if (service.ok()) {
+        for (size_t i = 0; i < n; ++i) {
+          const Status status =
+              (*service)->Ingest(GridPoint(i), GridSensitive(i));
+          if (!status.ok()) {
+            ASSERT_EQ(status.code(), StatusCode::kUnavailable)
+                << "seed " << seed << ": " << status;
+          }
+        }
+        (*service)->Stop();
+      }
+    }
+
+    // Second copy of the damaged state for the full-mode restart.
+    TempDir full_dir;
+    std::error_code ec;
+    fs::copy(dir.path(), full_dir.path(),
+             fs::copy_options::recursive | fs::copy_options::overwrite_existing,
+             ec);
+    ASSERT_FALSE(ec) << "seed " << seed << ": " << ec.message();
+
+    options.durability.env = nullptr;
+    auto delta_restart = AnonymizationService::Create(2, domain, options);
+    ASSERT_TRUE(delta_restart.ok())
+        << "seed " << seed << ": " << delta_restart.status();
+    ServiceOptions full_options = options;
+    full_options.lsm.merge_mode = MergeMode::kFull;
+    full_options.durability.wal_dir = full_dir.path();
+    auto full_restart = AnonymizationService::Create(2, domain, full_options);
+    ASSERT_TRUE(full_restart.ok())
+        << "seed " << seed << ": " << full_restart.status();
+
+    const RecoveryResult& recovery = (*delta_restart)->recovery();
+    EXPECT_EQ(recovery.recovered, recovery.next_lsn - 1) << "seed " << seed;
+    EXPECT_EQ((*full_restart)->recovery().recovered, recovery.recovered)
+        << "seed " << seed;
+    (*delta_restart)->Stop();
+    (*full_restart)->Stop();
+    if (recovery.recovered >= 5) {
+      const auto from_delta = (*delta_restart)->CurrentSnapshot();
+      const auto from_full = (*full_restart)->CurrentSnapshot();
+      ASSERT_NE(from_delta, nullptr) << "seed " << seed;
+      ASSERT_NE(from_full, nullptr) << "seed " << seed;
+      EXPECT_EQ(from_delta->info().records, recovery.recovered)
+          << "seed " << seed;
+      ExpectKBoundCoveringRelease(from_delta->Release(5), 5,
+                                  SortedRids(from_full->Release(5)));
+    }
+  }
+}
+
+TEST(DeltaFuzzTest, RandomizedMergeCadencesWithCrashBoundaries) {
+  // Seeded fuzz over the whole lifecycle: random flush cadence, random
+  // mid-stream publishes, a simulated crash that leaves acknowledged-
+  // but-uncheckpointed records in the WAL tail, a delta-mode restart that
+  // ingests more on top of the recovered state. The final release must
+  // cover every acknowledged record exactly once, k-bound, with the
+  // record set a full-mode service over the same stream releases.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed * 1000003);
+    TempDir dir;
+    const Domain domain = SquareDomain(0, 100);
+    const uint64_t merge_every = 8 + rng.Uniform(57);  // [8, 64]
+    const size_t phase1 = 80 + rng.Uniform(120);
+    const size_t tail = rng.Uniform(30);
+    const size_t phase2 = 40 + rng.Uniform(100);
+
+    ServiceOptions options =
+        DeltaServiceOptions(5, merge_every, MergeMode::kDelta);
+    options.durability.wal_dir = dir.path();
+    options.durability.fsync_every = 4;
+    options.durability.checkpoint_every = rng.Bernoulli(0.5) ? 40 : 0;
+    {
+      auto service = AnonymizationService::Create(2, domain, options);
+      ASSERT_TRUE(service.ok()) << "seed " << seed << ": " << service.status();
+      for (size_t i = 0; i < phase1; ++i) {
+        ASSERT_TRUE(
+            (*service)->Ingest(GridPoint(i), GridSensitive(i)).ok());
+        if (rng.Bernoulli(0.02)) (*service)->PublishNow();
+      }
+      (*service)->Stop();
+    }
+
+    // The crash: records acknowledged after the final checkpoint exist
+    // only in the WAL, exactly as a SIGKILL would leave them.
+    if (tail > 0) {
+      auto wal = WalWriter::Open(dir.path(), 2, /*next_lsn=*/phase1 + 1);
+      ASSERT_TRUE(wal.ok()) << wal.status();
+      for (uint64_t lsn = phase1 + 1; lsn <= phase1 + tail; ++lsn) {
+        const size_t i = lsn - 1;
+        ASSERT_TRUE(
+            (*wal)->Append(lsn, GridPoint(i), GridSensitive(i)).ok());
+      }
+      ASSERT_TRUE((*wal)->Sync().ok());
+    }
+
+    auto restarted = AnonymizationService::Create(2, domain, options);
+    ASSERT_TRUE(restarted.ok()) << "seed " << seed << ": "
+                                << restarted.status();
+    EXPECT_EQ((*restarted)->recovery().recovered, phase1 + tail)
+        << "seed " << seed;
+    const size_t total = phase1 + tail + phase2;
+    for (size_t i = phase1 + tail; i < total; ++i) {
+      ASSERT_TRUE((*restarted)->Ingest(GridPoint(i), GridSensitive(i)).ok());
+      if (rng.Bernoulli(0.02)) (*restarted)->PublishNow();
+    }
+    (*restarted)->Stop();
+    const auto snapshot = (*restarted)->CurrentSnapshot();
+    ASSERT_NE(snapshot, nullptr) << "seed " << seed;
+    EXPECT_EQ(snapshot->info().records, total) << "seed " << seed;
+    EXPECT_EQ(snapshot->info().memtable_pending, 0u) << "seed " << seed;
+
+    // Full-mode reference over the identical stream, no crash: the merge
+    // strategy and the crash boundary must both be unobservable in the
+    // released record set.
+    auto reference_or = AnonymizationService::Create(
+        2, domain, DeltaServiceOptions(5, merge_every, MergeMode::kFull));
+    ASSERT_TRUE(reference_or.ok());
+    for (size_t i = 0; i < total; ++i) {
+      ASSERT_TRUE(
+          (*reference_or)->Ingest(GridPoint(i), GridSensitive(i)).ok());
+    }
+    (*reference_or)->Stop();
+    const auto reference = (*reference_or)->CurrentSnapshot();
+    ASSERT_NE(reference, nullptr);
+    ExpectKBoundCoveringRelease(snapshot->Release(5), 5,
+                                SortedRids(reference->Release(5)));
+  }
+}
+
+}  // namespace
+}  // namespace kanon

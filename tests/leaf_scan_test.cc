@@ -63,7 +63,7 @@ TEST(LeafScanTest, BoxesAreUnionsOfMemberLeafMbrs) {
 }
 
 TEST(LeafScanTest, EmptyInput) {
-  const PartitionSet ps = LeafScan({}, 5);
+  const PartitionSet ps = LeafScan(std::span<const LeafGroup>{}, 5);
   EXPECT_EQ(ps.num_partitions(), 0u);
 }
 

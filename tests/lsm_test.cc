@@ -4,14 +4,14 @@
 // merge is a full deterministic rebuild over the record multiset, every
 // flush-boundary snapshot is byte-identical to a from-scratch bulk load
 // of the same records — regardless of merge cadence, thread count, shard
-// count, or crash/recovery boundaries in between.
+// count, or crash/recovery boundaries in between. The comparison
+// vocabulary lives in tests/differential.h (shared with the delta-merge
+// and parallel-bulk-load differentials).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
-#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +21,7 @@
 #include "common/check.h"
 #include "common/env.h"
 #include "common/random.h"
+#include "differential.h"
 #include "durability/wal.h"
 #include "lsm/memtable.h"
 #include "lsm/merge.h"
@@ -32,38 +33,12 @@
 namespace kanon {
 namespace {
 
-namespace fs = std::filesystem;
-
-class TempDir {
- public:
-  TempDir() {
-    char tmpl[] = "/tmp/kanon_lsm_XXXXXX";
-    KANON_CHECK(mkdtemp(tmpl) != nullptr);
-    path_ = tmpl;
-  }
-  ~TempDir() {
-    std::error_code ec;
-    fs::remove_all(path_, ec);
-  }
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-};
-
-Domain SquareDomain(double lo, double hi) {
-  Domain d;
-  d.lo = {lo, lo};
-  d.hi = {hi, hi};
-  return d;
-}
-
-/// The deterministic pseudo-grid stream the shard and HTTP tests also use.
-std::vector<double> GridPoint(size_t i) {
-  return {static_cast<double>(i % 97), static_cast<double>((i * 7) % 89)};
-}
-
-int32_t GridSensitive(size_t i) { return static_cast<int32_t>(i % 5); }
+using testutil::ExpectSameRelease;
+using testutil::GridPoint;
+using testutil::GridSensitive;
+using testutil::SortedRids;
+using testutil::SquareDomain;
+using testutil::TempDir;
 
 ServiceOptions SmallLsmOptions(size_t k, uint64_t merge_every) {
   ServiceOptions options;
@@ -73,27 +48,6 @@ ServiceOptions SmallLsmOptions(size_t k, uint64_t merge_every) {
   options.snapshot_every = 0;  // publish on demand
   options.lsm.merge_every = merge_every;
   return options;
-}
-
-void ExpectSameRelease(const PartitionSet& a, const PartitionSet& b) {
-  ASSERT_EQ(a.partitions.size(), b.partitions.size());
-  for (size_t p = 0; p < a.partitions.size(); ++p) {
-    EXPECT_EQ(a.partitions[p].rids, b.partitions[p].rids) << "partition " << p;
-    ASSERT_EQ(a.partitions[p].box.dim(), b.partitions[p].box.dim());
-    for (size_t d = 0; d < a.partitions[p].box.dim(); ++d) {
-      EXPECT_EQ(a.partitions[p].box.lo(d), b.partitions[p].box.lo(d));
-      EXPECT_EQ(a.partitions[p].box.hi(d), b.partitions[p].box.hi(d));
-    }
-  }
-}
-
-std::vector<RecordId> SortedRids(const PartitionSet& ps) {
-  std::vector<RecordId> rids;
-  for (const Partition& p : ps.partitions) {
-    rids.insert(rids.end(), p.rids.begin(), p.rids.end());
-  }
-  std::sort(rids.begin(), rids.end());
-  return rids;
 }
 
 /// The from-scratch reference: bulk-merge the first `n` grid records into

@@ -10,20 +10,21 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <cstring>
 #include <vector>
 
 #include "anon/rtree_anonymizer.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "data/agrawal_generator.h"
-#include "index/tree_persistence.h"
+#include "differential.h"
 #include "invariants.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
 
 namespace kanon {
 namespace {
+
+using testutil::SnapshotBytes;
 
 Dataset MakeData(size_t n, size_t dim, uint64_t seed) {
   Dataset d(Schema::Numeric(dim));
@@ -58,25 +59,6 @@ StatusOr<RPlusTree> BuildWithThreads(const Dataset& data,
   return SortedBulkLoadTree(data, config, CurveOrder::kHilbert,
                             /*grid_bits=*/10, &pool, run_records,
                             threads > 1 ? &workers : nullptr);
-}
-
-/// The tree's logical serialized byte stream (page framing stripped), the
-/// medium of the byte-identity comparison.
-std::vector<char> SnapshotBytes(const RPlusTree& tree) {
-  MemPager pager;
-  auto snapshot = SaveTree(tree, &pager);
-  EXPECT_TRUE(snapshot.ok());
-  if (!snapshot.ok()) return {};
-  std::vector<char> page(pager.page_size());
-  std::vector<char> bytes;
-  PageId pid = snapshot->first_page;
-  while (pid != kInvalidPageId) {
-    EXPECT_TRUE(pager.Read(pid, page.data()).ok());
-    bytes.insert(bytes.end(), page.begin() + sizeof(PageId), page.end());
-    std::memcpy(&pid, page.data(), sizeof(pid));
-  }
-  bytes.resize(snapshot->byte_size);
-  return bytes;
 }
 
 struct DiffParams {
@@ -128,11 +110,17 @@ INSTANTIATE_TEST_SUITE_P(
         // Duplicate-heavy 1-D data: unsplittable groups, overfull leaves.
         DiffParams{900, 1, 11, 64, 32}),
     [](const ::testing::TestParamInfo<DiffParams>& info) {
-      return "n" + std::to_string(info.param.n) + "_d" +
-             std::to_string(info.param.dim) + "_s" +
-             std::to_string(info.param.seed) + "_r" +
-             std::to_string(info.param.run_records) + "_f" +
-             std::to_string(info.param.pool_frames);
+      std::string name = "n";
+      name += std::to_string(info.param.n);
+      name += "_d";
+      name += std::to_string(info.param.dim);
+      name += "_s";
+      name += std::to_string(info.param.seed);
+      name += "_r";
+      name += std::to_string(info.param.run_records);
+      name += "_f";
+      name += std::to_string(info.param.pool_frames);
+      return name;
     });
 
 TEST(ParallelBulkLoadTest, EmptyAndTinyDatasets) {

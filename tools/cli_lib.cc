@@ -388,6 +388,13 @@ bool ParseServeArgs(int argc, const char* const* argv,
       const char* v = next();
       if (v == nullptr) return false;
       options->merge_every = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--merge-mode" || arg == "--merge_mode") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->merge_mode = v;
+      if (options->merge_mode != "full" && options->merge_mode != "delta") {
+        return false;
+      }
     } else if (arg == "--follow") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -413,6 +420,12 @@ bool ParseServeArgs(int argc, const char* const* argv,
     } else {
       return false;
     }
+  }
+  // --merge-mode=delta is a memtable flush policy: without the LSM tier
+  // there is no flush to pick a mode for.
+  if (options->merge_mode == "delta" && options->memtable_bytes == 0 &&
+      options->merge_every == 0) {
+    return false;
   }
   if (!options->follow.empty()) {
     // A follower's records arrive only via replication: local ingest and
@@ -578,9 +591,12 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
   service_options.durability.checkpoint_every = options.checkpoint_every;
   service_options.lsm.memtable_bytes = options.memtable_bytes;
   service_options.lsm.merge_every = options.merge_every;
+  service_options.lsm.merge_mode =
+      options.merge_mode == "delta" ? MergeMode::kDelta : MergeMode::kFull;
   if (service_options.lsm.enabled()) {
     log << "memtable: bytes=" << options.memtable_bytes
-        << " merge_every=" << options.merge_every << "\n";
+        << " merge_every=" << options.merge_every
+        << " merge_mode=" << options.merge_mode << "\n";
   }
 
   // KANON_FAULT_SEED routes all durability I/O through a FaultInjectionEnv

@@ -129,6 +129,12 @@ struct ServeOptions {
   // checkpoints, and on shutdown.
   size_t memtable_bytes = 0;
   uint64_t merge_every = 0;
+  // How a flush reaches the tree (--merge-mode full|delta): "full"
+  // rebuilds the whole tree per flush (the reference backend), "delta"
+  // locally rebuilds only the sub-ranges the flushed run touches and
+  // reuses unchanged per-leaf release fragments across snapshots.
+  // Requires the memtable to be on.
+  std::string merge_mode = "full";
 };
 
 /// Parses "HOST:PORT", ":PORT" or "PORT" (host defaults to 127.0.0.1).

@@ -87,6 +87,7 @@ void Usage() {
       "                 [--domain LO:HI[,LO:HI...]] [--serve-seconds S]\n"
       "                 [--shards N] [--shard-by hash|range]\n"
       "                 [--memtable-bytes N] [--merge-every N]\n"
+      "                 [--merge-mode full|delta]\n"
       "                 [--follow LEADER:PORT] [--max-staleness-ms MS]\n"
       "                 [--stale-reads serve|reject] [--repl-poll-ms MS]\n"
       "(--input is optional when --listen and --domain are both given:\n"
