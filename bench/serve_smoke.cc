@@ -6,7 +6,8 @@
 //               [--memtable-bytes N] [--merge-every N]
 //               [--merge-mode full|delta]
 //               [--sweep "1,2,4,8"] [--memtable-sweep "0,4,16,64"]
-//               [--replicas "0,1,2,4"] [--json PATH]
+//               [--replicas "0,1,2,4"] [--dp-sweep "0.1,0.5,1,2"]
+//               [--json PATH]
 //
 // Starts the full serving stack in-process — the sharded anonymization
 // service behind the epoll HTTP server on an ephemeral loopback port —
@@ -51,6 +52,13 @@
 // capacity/freshness trade of read replication — and fails unless every
 // replica converges to a byte-identical /release after ingest quiesces.
 //
+// --dp-sweep runs the differentially-private release sweep and writes
+// BENCH_dp.json: one publication of the standard grid stream, then per
+// epsilon the cost (noisy-hierarchy build latency) and the utility
+// (average relative range-query error over the fixed grid-box workload,
+// both for the DP hierarchy and for the k-anonymous release it competes
+// with) — the fig-12-style privacy/utility curve as a CI artifact.
+//
 // Exit codes: 0 on success, 1 when the stack misbehaves (failed request,
 // lost records, no snapshot) — so CI fails loudly, not just slowly.
 
@@ -70,6 +78,7 @@
 
 #include "bench_util.h"
 #include "common/timer.h"
+#include "dp/dp_release.h"
 #include "net/anon_http.h"
 #include "net/http_client.h"
 #include "net/http_server.h"
@@ -785,6 +794,7 @@ int main(int argc, char** argv) {
   std::vector<size_t> memtable_sweep_mib;
   std::vector<size_t> replica_sweep;
   bool have_replica_sweep = false;
+  std::vector<double> dp_sweep;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -880,6 +890,20 @@ int main(int argc, char** argv) {
             spec.substr(start, end - start).c_str(), nullptr, 10));
         start = end + 1;
       }
+    } else if (arg == "--dp-sweep" || arg == "--dp_sweep") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      const std::string spec = v;
+      size_t start = 0;
+      while (start <= spec.size()) {
+        size_t end = spec.find(',', start);
+        if (end == std::string::npos) end = spec.size();
+        const double epsilon =
+            std::strtod(spec.substr(start, end - start).c_str(), nullptr);
+        if (!(epsilon > 0.0) || !std::isfinite(epsilon)) return 2;
+        dp_sweep.push_back(epsilon);
+        start = end + 1;
+      }
     } else if (arg == "--json") {
       const char* v = next();
       if (v == nullptr) return 2;
@@ -892,11 +916,100 @@ int main(int argc, char** argv) {
                    "[--merge-mode full|delta] "
                    "[--sweep \"1,2,4,8\"] "
                    "[--memtable-sweep \"0,4,16,64\"] "
-                   "[--replicas \"0,1,2,4\"] [--json PATH]\n";
+                   "[--replicas \"0,1,2,4\"] "
+                   "[--dp-sweep \"0.1,0.5,1,2\"] [--json PATH]\n";
       return 2;
     }
   }
   if (cfg.batch == 0 || cfg.writers == 0) return 2;
+
+  if (!dp_sweep.empty()) {
+    // Privacy/utility sweep: one publication of the standard grid stream,
+    // then every epsilon priced against the same exact cells and the same
+    // k-anonymous release.
+    if (json_path.empty()) json_path = "BENCH_dp.json";
+    bench::PrintHeader("serve_smoke — DP release sweep",
+                       "noisy-hierarchy build latency and range-query "
+                       "error vs epsilon");
+    Domain domain;
+    domain.lo = {0, 0};
+    domain.hi = {100, 100};
+    ShardedServiceOptions service_options;
+    service_options.service.anonymizer.base_k = 10;
+    service_options.service.snapshot_every = 0;
+    auto service_or =
+        ShardedAnonymizationService::Create(2, domain, service_options);
+    if (!service_or.ok()) {
+      std::cerr << "service: " << service_or.status() << "\n";
+      return 1;
+    }
+    ShardedAnonymizationService& service = **service_or;
+    for (size_t i = 0; i < cfg.records; ++i) {
+      const std::vector<double> p = {static_cast<double>(i % 97),
+                                     static_cast<double>((i * 7) % 89)};
+      if (!service.Ingest(p, static_cast<int32_t>(i % 5)).ok()) return 1;
+    }
+    const auto stitched = service.PublishNow();
+    service.Stop();
+    if (stitched == nullptr) return 1;
+    size_t height = 0;
+    auto cells_or = stitched->SummedDpCells(&height);
+    if (!cells_or.ok()) {
+      std::cerr << "dp cells: " << cells_or.status() << "\n";
+      return 1;
+    }
+    const DpGrid grid(stitched->domain(), height);
+    const PartitionSet kanon =
+        stitched->Release(stitched->info().base_k);
+
+    std::string entries;
+    for (const double epsilon : dp_sweep) {
+      // Median-of-5 builds: each is a full noise + consistency pass over
+      // the 2^height-cell hierarchy, the cost a /release/dp cache miss
+      // pays.
+      std::vector<double> build_ms;
+      std::shared_ptr<const DpRelease> release;
+      for (int rep = 0; rep < 5; ++rep) {
+        Timer t;
+        release = BuildDpRelease(**cells_or, stitched->domain(), height,
+                                 epsilon, /*seed=*/7);
+        build_ms.push_back(t.ElapsedSeconds() * 1000.0);
+      }
+      std::sort(build_ms.begin(), build_ms.end());
+      const double build_median_ms = build_ms[build_ms.size() / 2];
+      const DpUtilityReport report =
+          EvaluateReleaseUtility(**cells_or, grid, release->counts, kanon);
+      std::cout << "epsilon=" << bench::Fmt(epsilon, 2) << ": build "
+                << bench::Fmt(build_median_ms, 2) << " ms, dp avg rel err "
+                << bench::Fmt(report.dp_avg_rel_error, 4) << " (kanon "
+                << bench::Fmt(report.kanon_avg_rel_error, 4) << ") over "
+                << report.num_queries << " range queries; noisy total "
+                << release->counts.counts[1] << " (exact "
+                << stitched->info().records << ")\n";
+      if (!entries.empty()) entries += ",\n";
+      entries += "    {\"epsilon\": " + std::to_string(epsilon) +
+                 ", \"build_ms\": " + std::to_string(build_median_ms) +
+                 ", \"dp_avg_rel_error\": " +
+                 std::to_string(report.dp_avg_rel_error) +
+                 ", \"kanon_avg_rel_error\": " +
+                 std::to_string(report.kanon_avg_rel_error) +
+                 ", \"num_queries\": " +
+                 std::to_string(report.num_queries) +
+                 ", \"noisy_records\": " +
+                 std::to_string(release->counts.counts[1]) +
+                 ", \"exact_records\": " +
+                 std::to_string(stitched->info().records) + "}";
+    }
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"records\": " << cfg.records << ",\n"
+        << "  \"dp_height\": " << height << ",\n"
+        << "  \"base_k\": " << stitched->info().base_k << ",\n"
+        << "  \"sweep\": [\n"
+        << entries << "\n  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+    return 0;
+  }
 
   if (!sweep.empty()) {
     // Shard-scaling sweep: the same record stream at each shard count.

@@ -1,0 +1,78 @@
+#include "dp/dp_hierarchy.h"
+
+#include <bit>
+#include <utility>
+
+#include "common/check.h"
+
+namespace kanon {
+
+DpGrid::DpGrid(Domain domain, size_t height)
+    : domain_(std::move(domain)), height_(height) {
+  KANON_CHECK(domain_.dim() > 0);
+  KANON_CHECK(height_ < 40);
+}
+
+size_t DpGrid::NodeLevel(size_t node) {
+  KANON_DCHECK(node >= 1);
+  return std::bit_width(node) - 1;
+}
+
+size_t DpGrid::LeafCell(std::span<const double> point) const {
+  KANON_DCHECK(point.size() == dim());
+  std::vector<double> lo = domain_.lo;
+  std::vector<double> hi = domain_.hi;
+  size_t cell = 0;
+  for (size_t depth = 0; depth < height_; ++depth) {
+    const size_t axis = depth % dim();
+    const double mid = lo[axis] + (hi[axis] - lo[axis]) / 2.0;
+    // Half-open cut [lo, mid) | [mid, hi): a point exactly at the midpoint
+    // goes right, and out-of-domain points clamp into the boundary cell.
+    if (point[axis] < mid) {
+      hi[axis] = mid;
+      cell = cell * 2;
+    } else {
+      lo[axis] = mid;
+      cell = cell * 2 + 1;
+    }
+  }
+  return cell;
+}
+
+Mbr DpGrid::NodeBox(size_t node) const {
+  KANON_DCHECK(node >= 1 && node < num_nodes());
+  std::vector<double> lo = domain_.lo;
+  std::vector<double> hi = domain_.hi;
+  const size_t level = NodeLevel(node);
+  for (size_t depth = 0; depth < level; ++depth) {
+    const size_t axis = depth % dim();
+    const double mid = lo[axis] + (hi[axis] - lo[axis]) / 2.0;
+    if ((node >> (level - 1 - depth)) & 1) {
+      lo[axis] = mid;
+    } else {
+      hi[axis] = mid;
+    }
+  }
+  return Mbr::FromBounds(std::move(lo), std::move(hi));
+}
+
+void DpGrid::LeafRange(size_t node, size_t* first, size_t* last) const {
+  const size_t level = NodeLevel(node);
+  const size_t below = height_ - level;  // levels between node and leaves
+  const size_t index_in_level = node - (size_t{1} << level);
+  *first = index_in_level << below;
+  *last = (index_in_level + 1) << below;
+}
+
+void AccumulateCells(const DpGrid& grid, const double* points, size_t n,
+                     std::vector<uint64_t>* cells) {
+  if (cells->size() != grid.num_leaves()) {
+    cells->assign(grid.num_leaves(), 0);
+  }
+  const size_t dim = grid.dim();
+  for (size_t i = 0; i < n; ++i) {
+    ++(*cells)[grid.LeafCell({points + i * dim, dim})];
+  }
+}
+
+}  // namespace kanon

@@ -1,0 +1,60 @@
+#include "dp/dp_ledger.h"
+
+#include <bit>
+#include <cmath>
+
+namespace kanon {
+
+DpBudgetLedger::DpBudgetLedger(double budget, size_t max_points)
+    : budget_(budget), max_points_(max_points == 0 ? 1 : max_points) {}
+
+DpBudgetLedger::Point* DpBudgetLedger::FindOrCreatePointLocked(
+    uint64_t epoch, uint64_t records) {
+  for (Point& p : points_) {
+    if (p.epoch == epoch && p.records == records) return &p;
+  }
+  while (points_.size() >= max_points_) points_.pop_front();
+  points_.push_back(Point{epoch, records, 0.0, {}});
+  return &points_.back();
+}
+
+StatusOr<std::shared_ptr<const DpRelease>> DpBudgetLedger::Acquire(
+    uint64_t epoch, uint64_t records, double epsilon, uint64_t seed,
+    const std::function<std::shared_ptr<const DpRelease>()>& build) {
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be a positive finite number");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Point* point = FindOrCreatePointLocked(epoch, records);
+  const auto key = std::make_pair(std::bit_cast<uint64_t>(epsilon), seed);
+  const auto it = point->releases.find(key);
+  if (it != point->releases.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  if (budget_ > 0.0 && point->spent + epsilon > budget_) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "dp budget exhausted for this release point: spent " +
+        std::to_string(point->spent) + " of " + std::to_string(budget_) +
+        ", requested epsilon " + std::to_string(epsilon));
+  }
+  std::shared_ptr<const DpRelease> release = build();
+  if (release == nullptr) {
+    return Status::Internal("dp release build failed");
+  }
+  point->spent += epsilon;
+  point->releases.emplace(key, release);
+  built_.fetch_add(1, std::memory_order_relaxed);
+  return release;
+}
+
+double DpBudgetLedger::Spent(uint64_t epoch, uint64_t records) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Point& p : points_) {
+    if (p.epoch == epoch && p.records == records) return p.spent;
+  }
+  return 0.0;
+}
+
+}  // namespace kanon

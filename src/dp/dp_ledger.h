@@ -1,0 +1,86 @@
+#ifndef KANON_DP_DP_LEDGER_H_
+#define KANON_DP_DP_LEDGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "dp/dp_release.h"
+
+namespace kanon {
+
+/// Per-epoch privacy-budget accounting for DP releases.
+///
+/// The unit of spending is one *distinct* (epsilon, seed) release per
+/// release point: by sequential composition, answering n distinct noisy
+/// hierarchies of one dataset costs the sum of their epsilons, while
+/// re-serving a memoized hierarchy is free (post-processing). The ledger
+/// therefore memoizes every built release and only charges on first build;
+/// a build that would push the release point's spend past `budget` is
+/// refused with ResourceExhausted *before* any noise is drawn — an
+/// over-budget request burns nothing.
+///
+/// A release point is the (epoch, records) pair — the same key replication
+/// uses to name publication points, so a follower's ledger lines up with
+/// its leader's. Entries for old release points are retained up to
+/// `max_points` and evicted oldest-first (their budget is spent forever in
+/// the formal sense; the ledger just stops tracking what can no longer be
+/// requested).
+class DpBudgetLedger {
+ public:
+  /// `budget` <= 0 means unlimited (no accounting, memoization only).
+  explicit DpBudgetLedger(double budget, size_t max_points = 8);
+
+  /// The memoized release for (epoch, records, epsilon, seed), building it
+  /// via `build` (charged against the budget) on first request.
+  /// InvalidArgument for a non-finite or non-positive epsilon;
+  /// ResourceExhausted when building would exceed the budget.
+  StatusOr<std::shared_ptr<const DpRelease>> Acquire(
+      uint64_t epoch, uint64_t records, double epsilon, uint64_t seed,
+      const std::function<std::shared_ptr<const DpRelease>()>& build);
+
+  double budget() const { return budget_; }
+  /// Epsilon charged so far against the given release point.
+  double Spent(uint64_t epoch, uint64_t records) const;
+
+  uint64_t releases_built() const {
+    return built_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Point {
+    uint64_t epoch = 0;
+    uint64_t records = 0;
+    double spent = 0.0;
+    /// Keyed by (bit pattern of epsilon, seed): distinct doubles — even
+    /// ones comparing equal like -0.0 and 0.0 — are distinct charges.
+    std::map<std::pair<uint64_t, uint64_t>,
+             std::shared_ptr<const DpRelease>>
+        releases;
+  };
+
+  Point* FindOrCreatePointLocked(uint64_t epoch, uint64_t records);
+
+  const double budget_;
+  const size_t max_points_;
+  mutable std::mutex mu_;
+  std::deque<Point> points_;
+  std::atomic<uint64_t> built_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace kanon
+
+#endif  // KANON_DP_DP_LEDGER_H_

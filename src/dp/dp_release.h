@@ -1,0 +1,97 @@
+#ifndef KANON_DP_DP_RELEASE_H_
+#define KANON_DP_DP_RELEASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anon/partition.h"
+#include "dp/dp_hierarchy.h"
+
+namespace kanon {
+
+/// Per-level budget split of an (epsilon)-DP hierarchical release of
+/// `height`+1 levels (root = level 0, leaves = level height). Geometric
+/// schedule per Cormode et al.'s Private Spatial Decompositions: level i
+/// gets epsilon * 2^(i/3) / sum_j 2^(j/3), so deeper levels — whose counts
+/// are both smaller and more numerous — receive geometrically more budget.
+/// The levels observe *disjoint* record partitions only within a level, so
+/// sequential composition across the height+1 levels spends exactly
+/// `epsilon` in total.
+std::vector<double> SplitDpBudget(double epsilon, size_t height);
+
+/// The noisy hierarchy of one DP release: counts[v] for heap node v in
+/// [1, 2 << height), after consistency post-processing — every count is a
+/// non-negative integer and counts[v] == counts[2v] + counts[2v+1] at
+/// every internal node, exactly.
+struct DpHierarchyCounts {
+  size_t height = 0;
+  std::vector<int64_t> counts;
+};
+
+/// Builds the noisy consistent hierarchy from exact leaf-cell counts:
+///
+///   1. exact up-sum of `cells` into a heap of height `height`;
+///   2. two-sided geometric noise per node, the level-i nodes at decay
+///      alpha_i = exp(-eps_i) with eps_i from SplitDpBudget, drawn from a
+///      CounterRng keyed by (seed, bits-of-epsilon) at counters 2v/2v+1 —
+///      a pure function of (cells, epsilon, seed), nothing else;
+///   3. Hay-style consistency: an inverse-variance-weighted up pass
+///      combines each node's own noisy count with the sum of its
+///      children's estimates, a down pass distributes the residual so
+///      parent == sum(children) in the reals;
+///   4. deterministic top-down integerization: the rounded non-negative
+///      root total is recursively split among children proportionally to
+///      their (clamped) real estimates, keeping both non-negativity and
+///      exact parent == sum(children) at every node.
+DpHierarchyCounts NoisyConsistentHierarchy(const std::vector<uint64_t>& cells,
+                                           size_t height, double epsilon,
+                                           uint64_t seed);
+
+/// Estimated count of `query` from the noisy hierarchy: nodes fully inside
+/// contribute their count, disjoint nodes zero, and partially covered leaf
+/// cells contribute count * volume-fraction (the uniformity assumption of
+/// Section 2.3, applied to the noisy cell). Never touches raw records.
+double DpRangeCount(const DpHierarchyCounts& h, const DpGrid& grid,
+                    const Mbr& query);
+
+/// One immutable memoized DP release: the noisy hierarchy plus its
+/// canonical serialized body. The body is a pure function of
+/// (cells, domain, height, epsilon, seed) — deliberately *excluding* the
+/// publication epoch, which is transport metadata (X-Kanon-Epoch): a
+/// stitched release's epoch is the sum of per-shard epochs and so differs
+/// across shard counts even when the released data is identical.
+struct DpRelease {
+  double epsilon = 0.0;
+  uint64_t seed = 0;
+  DpGrid grid;
+  DpHierarchyCounts counts;
+  std::string body;
+};
+
+/// Builds the release for exact cell counts over `domain`. `cells` must
+/// have 2^height entries.
+std::shared_ptr<const DpRelease> BuildDpRelease(
+    const std::vector<uint64_t>& cells, const Domain& domain, size_t height,
+    double epsilon, uint64_t seed);
+
+/// Fig-12-style utility summary comparable across release semantics: the
+/// average relative error of a fixed, deterministic range-query workload
+/// (the grid's node boxes at two coarse levels), answered (a) from the
+/// k-anonymous partition boxes under the uniformity assumption and (b)
+/// from the DP noisy hierarchy, against exact truth from `cells`.
+struct DpUtilityReport {
+  size_t num_queries = 0;
+  double kanon_avg_rel_error = 0.0;
+  double dp_avg_rel_error = 0.0;
+};
+
+DpUtilityReport EvaluateReleaseUtility(const std::vector<uint64_t>& cells,
+                                       const DpGrid& grid,
+                                       const DpHierarchyCounts& dp,
+                                       const PartitionSet& kanon);
+
+}  // namespace kanon
+
+#endif  // KANON_DP_DP_RELEASE_H_

@@ -1,0 +1,53 @@
+#include "dp/dp_rng.h"
+
+#include <cmath>
+
+namespace kanon {
+
+uint64_t DpMix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+CounterRng::CounterRng(uint64_t seed, uint64_t stream)
+    : key0_(DpMix64(seed ^ 0x9e3779b97f4a7c15ull)),
+      key1_(DpMix64(stream ^ 0x6a09e667f3bcc909ull)) {}
+
+uint64_t CounterRng::Bits(uint64_t counter) const {
+  // Two mixing rounds with the key injected between them: enough diffusion
+  // that consecutive counters share no visible structure, while staying a
+  // pure function of (key0, key1, counter).
+  return DpMix64(DpMix64(counter + key0_) ^ key1_);
+}
+
+double CounterRng::Uniform(uint64_t counter) const {
+  // Top 53 bits, centered in the unit lattice: (k + 0.5) * 2^-53 lies
+  // strictly inside (0, 1) for every k in [0, 2^53).
+  const uint64_t k = Bits(counter) >> 11;
+  return (static_cast<double>(k) + 0.5) * 0x1.0p-53;
+}
+
+int64_t SampleTwoSidedGeometric(const CounterRng& rng, uint64_t counter,
+                                double alpha) {
+  if (!(alpha > 0.0)) return 0;
+  const double log_alpha = std::log(alpha);  // < 0
+  const auto one_sided = [&](uint64_t c) {
+    const double u = rng.Uniform(c);
+    // floor(log(u) / log(alpha)) is geometric on {0, 1, ...} with success
+    // probability 1 - alpha: P(G >= k) = alpha^k.
+    return static_cast<int64_t>(std::floor(std::log(u) / log_alpha));
+  };
+  return one_sided(counter) - one_sided(counter + 1);
+}
+
+double TwoSidedGeometricVariance(double alpha) {
+  if (!(alpha > 0.0)) return 0.0;
+  const double q = 1.0 - alpha;
+  return 2.0 * alpha / (q * q);
+}
+
+}  // namespace kanon

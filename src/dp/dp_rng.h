@@ -1,0 +1,52 @@
+#ifndef KANON_DP_DP_RNG_H_
+#define KANON_DP_DP_RNG_H_
+
+#include <cstdint>
+
+namespace kanon {
+
+/// SplitMix64 finalizer: a fixed bijective mixer with full avalanche, the
+/// primitive under the counter-based generator below.
+uint64_t DpMix64(uint64_t x);
+
+/// A stateless counter-based generator: a keyed PRF from a 64-bit counter
+/// to 64 random-looking bits. Unlike a sequential PRNG there is no hidden
+/// state to advance, so the value drawn for a given counter is a pure
+/// function of (seed, stream, counter) — independent of evaluation order,
+/// thread count, shard count, or which process (leader or follower) asks.
+/// That is exactly the determinism contract the DP release needs: noise for
+/// tree node v is drawn at counters 2v and 2v+1, and any party holding the
+/// same (epsilon, seed) reproduces it bit-for-bit.
+class CounterRng {
+ public:
+  /// `stream` separates independent uses under one seed (the release keys
+  /// it off the epsilon bit pattern, so different epsilons never share
+  /// noise).
+  CounterRng(uint64_t seed, uint64_t stream);
+
+  /// The 64 PRF bits at `counter`.
+  uint64_t Bits(uint64_t counter) const;
+
+  /// A uniform double in the open interval (0, 1) at `counter` — never 0,
+  /// so log(u) is always finite.
+  double Uniform(uint64_t counter) const;
+
+ private:
+  uint64_t key0_;
+  uint64_t key1_;
+};
+
+/// One draw of two-sided geometric noise with decay `alpha` = exp(-eps):
+/// P(X = k) proportional to alpha^|k| — the discrete analogue of the
+/// Laplace mechanism, exact for integer counts (Ghosh et al.). Sampled as
+/// the difference of two one-sided geometrics read at `counter` and
+/// `counter + 1`. alpha <= 0 degenerates to zero noise (infinite budget).
+int64_t SampleTwoSidedGeometric(const CounterRng& rng, uint64_t counter,
+                                double alpha);
+
+/// Variance of one SampleTwoSidedGeometric draw: 2*alpha / (1-alpha)^2.
+double TwoSidedGeometricVariance(double alpha);
+
+}  // namespace kanon
+
+#endif  // KANON_DP_DP_RNG_H_

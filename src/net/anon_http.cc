@@ -1,6 +1,7 @@
 #include "net/anon_http.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +46,109 @@ std::string_view TrimWs(std::string_view s) {
   return s;
 }
 
+/// First query key not in `allowed`, or nullptr. Read endpoints reject
+/// unknown parameters instead of ignoring them: a typo (epsilo=0.1) that
+/// silently serves the default would look honored while it is not.
+const std::string* UnknownQueryParam(
+    const std::vector<std::pair<std::string, std::string>>& params,
+    std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : params) {
+    bool known = false;
+    for (const std::string_view a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return &key;
+  }
+  return nullptr;
+}
+
+/// Strict boolean flag: only "0" and "1" are meaningful; anything else is
+/// the caller asking for something this server does not do.
+Status ParseFlagParam(const std::string& value, std::string_view name,
+                      bool* out) {
+  if (value != "0" && value != "1") {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be 0 or 1, got '" + value + "'");
+  }
+  *out = value == "1";
+  return Status::OK();
+}
+
+/// The shared "no shard has published yet" 503, with the caller's
+/// configured Retry-After cadence.
+HttpResponse NothingPublished(unsigned retry_after_s) {
+  HttpResponse resp = HttpResponse::FromStatus(Status::Unavailable(
+      "no shard has published yet; ingest at least base_k records"));
+  for (auto& [name, value] : resp.headers) {
+    if (name == "Retry-After") value = std::to_string(retry_after_s);
+  }
+  return resp;
+}
+
+/// Parses the optional epsilon/seed pair of the DP endpoints. Absent
+/// epsilon means 1.0; absent seed means the server's configured default.
+Status ParseEpsilonSeed(
+    const std::vector<std::pair<std::string, std::string>>& params,
+    uint64_t default_seed, double* epsilon, uint64_t* seed) {
+  *epsilon = 1.0;
+  *seed = default_seed;
+  if (const std::string* v = QueryParam(params, "epsilon")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0' || !std::isfinite(parsed) ||
+        parsed <= 0.0) {
+      return Status::InvalidArgument(
+          "epsilon must be a positive finite number, got '" + *v + "'");
+    }
+    *epsilon = parsed;
+  }
+  if (const std::string* v = QueryParam(params, "seed")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
+    // strtoull silently wraps a leading '-'; only plain digits are a seed.
+    if (v->empty() || !std::isdigit(static_cast<unsigned char>((*v)[0])) ||
+        end == v->c_str() || *end != '\0') {
+      return Status::InvalidArgument(
+          "seed must be an unsigned integer, got '" + *v + "'");
+    }
+    *seed = parsed;
+  }
+  return Status::OK();
+}
+
+/// Parses a comma-separated list of exactly `dim` finite numbers (the
+/// per-dimension bounds of a DP range query).
+Status ParseBoundsParam(const std::string& value, size_t dim,
+                        std::string_view name, std::vector<double>* out) {
+  out->clear();
+  size_t start = 0;
+  while (start <= value.size()) {
+    size_t end = value.find(',', start);
+    if (end == std::string::npos) end = value.size();
+    const std::string field(
+        TrimWs(std::string_view(value.data() + start, end - start)));
+    char* parse_end = nullptr;
+    const double v = std::strtod(field.c_str(), &parse_end);
+    if (field.empty() || parse_end == field.c_str() || *parse_end != '\0' ||
+        !std::isfinite(v)) {
+      return Status::InvalidArgument(std::string(name) +
+                                     " has an unparseable number in '" +
+                                     value + "'");
+    }
+    out->push_back(v);
+    start = end + 1;
+  }
+  if (out->size() != dim) {
+    return Status::InvalidArgument(
+        std::string(name) + " has " + std::to_string(out->size()) +
+        " values, want " + std::to_string(dim) + " (one per dimension)");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 void AppendPromMetric(std::string* out, std::string_view name,
@@ -70,6 +174,7 @@ const char* EndpointName(Endpoint endpoint) {
   switch (endpoint) {
     case Endpoint::kIngest: return "ingest";
     case Endpoint::kRelease: return "release";
+    case Endpoint::kDp: return "dp";
     case Endpoint::kHealthz: return "healthz";
     case Endpoint::kMetrics: return "metrics";
     case Endpoint::kRepl: return "repl";
@@ -157,7 +262,9 @@ std::string PartitionsJson(const PartitionSet& ps, bool with_rids) {
 
 AnonHttpFrontend::AnonHttpFrontend(ShardedAnonymizationService* service,
                                    AnonHttpOptions options)
-    : service_(service), options_(options) {}
+    : service_(service),
+      options_(options),
+      dp_(options_.dp_budget, options_.dp_seed, options_.retry_after_s) {}
 
 HttpResponse AnonHttpFrontend::Handle(const HttpRequest& request) {
   Timer timer;
@@ -189,6 +296,16 @@ HttpResponse AnonHttpFrontend::Route(const HttpRequest& request,
     }
     return HandleRelease(request);
   }
+  if (path == "/release/dp" || path == "/release/dp/query") {
+    *endpoint = Endpoint::kDp;
+    if (request.method != "GET") {
+      return HttpResponse::Json(
+          405, HttpErrorBody(Status::InvalidArgument(
+                   "GET releases from " + path + " (got " + request.method +
+                   ")")));
+    }
+    return HandleDp(request);
+  }
   if (path == "/healthz") {
     *endpoint = Endpoint::kHealthz;
     return HandleHealthz();
@@ -210,8 +327,9 @@ HttpResponse AnonHttpFrontend::Route(const HttpRequest& request,
   *endpoint = Endpoint::kOther;
   return HttpResponse::FromStatus(
       Status::NotFound("no route for " + path +
-                       " (have /ingest, /release, /release/query, /healthz, "
-                       "/metrics, /repl/*)"));
+                       " (have /ingest, /release, /release/query, "
+                       "/release/dp, /release/dp/query, /healthz, /metrics, "
+                       "/repl/*)"));
 }
 
 HttpResponse AnonHttpFrontend::HandleIngest(const HttpRequest& request) {
@@ -272,10 +390,23 @@ HttpResponse AnonHttpFrontend::HandleRelease(const HttpRequest& request) {
                        options_.retry_after_s);
 }
 
+HttpResponse AnonHttpFrontend::HandleDp(const HttpRequest& request) {
+  const auto stitched = service_->CurrentStitched();
+  if (request.path == "/release/dp") {
+    return dp_.HandleRelease(stitched.get(), request);
+  }
+  return dp_.HandleQuery(stitched.get(), request);
+}
+
 HttpResponse RenderRelease(const StitchedSnapshot* stitched,
                            const HttpRequest& request,
                            unsigned retry_after_s) {
   const auto params = ParseQuery(request.query);
+  if (const std::string* bad =
+          UnknownQueryParam(params, {"k1", "summary", "rids"})) {
+    return HttpResponse::FromStatus(Status::InvalidArgument(
+        "unknown query parameter '" + *bad + "' (have k1, summary, rids)"));
+  }
   size_t k1 = 0;  // 0 = the snapshot's base granularity
   bool summary = false;
   bool with_rids = false;
@@ -290,22 +421,17 @@ HttpResponse RenderRelease(const StitchedSnapshot* stitched,
     k1 = static_cast<size_t>(parsed);
   }
   if (const std::string* v = QueryParam(params, "summary")) {
-    summary = *v != "0";
+    if (Status s = ParseFlagParam(*v, "summary", &summary); !s.ok()) {
+      return HttpResponse::FromStatus(s);
+    }
   }
   if (const std::string* v = QueryParam(params, "rids")) {
-    with_rids = *v != "0";
+    if (Status s = ParseFlagParam(*v, "rids", &with_rids); !s.ok()) {
+      return HttpResponse::FromStatus(s);
+    }
   }
 
-  if (stitched == nullptr) {
-    // FromStatus attaches the generic Retry-After; callers with a
-    // configured cadence override it below.
-    HttpResponse resp = HttpResponse::FromStatus(Status::Unavailable(
-        "no shard has published yet; ingest at least base_k records"));
-    for (auto& [name, value] : resp.headers) {
-      if (name == "Retry-After") value = std::to_string(retry_after_s);
-    }
-    return resp;
-  }
+  if (stitched == nullptr) return NothingPublished(retry_after_s);
   const StitchedInfo& info = stitched->info();
   const size_t effective_k1 = std::max(k1, info.base_k);
   const PartitionSet release = stitched->Release(effective_k1);
@@ -338,6 +464,176 @@ HttpResponse RenderRelease(const StitchedSnapshot* stitched,
   }
   body += "}";
   return HttpResponse::Json(200, std::move(body));
+}
+
+DpServing::DpServing(double budget, uint64_t default_seed,
+                     unsigned retry_after_s)
+    : default_seed_(default_seed),
+      retry_after_s_(retry_after_s),
+      ledger_(budget) {}
+
+StatusOr<std::shared_ptr<const DpRelease>> DpServing::Acquire(
+    const StitchedSnapshot& stitched, double epsilon, uint64_t seed) {
+  size_t height = 0;
+  KANON_ASSIGN_OR_RETURN(DpCells cells, stitched.SummedDpCells(&height));
+  const StitchedInfo& info = stitched.info();
+  // The ledger memoizes per (release point, epsilon, seed): only the first
+  // build of a distinct (epsilon, seed) pair draws noise and is charged.
+  return ledger_.Acquire(info.epoch, info.records, epsilon, seed, [&] {
+    return BuildDpRelease(*cells, stitched.domain(), height, epsilon, seed);
+  });
+}
+
+HttpResponse DpServing::HandleRelease(const StitchedSnapshot* stitched,
+                                      const HttpRequest& request) {
+  const auto params = ParseQuery(request.query);
+  if (const std::string* bad =
+          UnknownQueryParam(params, {"epsilon", "seed"})) {
+    return HttpResponse::FromStatus(Status::InvalidArgument(
+        "unknown query parameter '" + *bad + "' (have epsilon, seed)"));
+  }
+  double epsilon = 0.0;
+  uint64_t seed = 0;
+  if (Status s = ParseEpsilonSeed(params, default_seed_, &epsilon, &seed);
+      !s.ok()) {
+    return HttpResponse::FromStatus(s);
+  }
+  if (stitched == nullptr) return NothingPublished(retry_after_s_);
+  auto release_or = Acquire(*stitched, epsilon, seed);
+  if (!release_or.ok()) {
+    // kResourceExhausted -> 429 (budget spent for this release point),
+    // kFailedPrecondition -> 409 (publisher runs with DP off).
+    HttpResponse resp = HttpResponse::FromStatus(release_or.status());
+    for (auto& [name, value] : resp.headers) {
+      if (name == "Retry-After") value = std::to_string(retry_after_s_);
+    }
+    return resp;
+  }
+  // The epoch is transport metadata, not part of the released body: a
+  // stitched epoch is the sum of per-shard epochs and would differ across
+  // shard counts even when the released data is byte-identical.
+  HttpResponse resp = HttpResponse::Json(200, (*release_or)->body);
+  resp.headers.emplace_back("X-Kanon-Epoch",
+                            std::to_string(stitched->info().epoch));
+  return resp;
+}
+
+HttpResponse DpServing::HandleQuery(const StitchedSnapshot* stitched,
+                                    const HttpRequest& request) {
+  const auto params = ParseQuery(request.query);
+  if (const std::string* bad =
+          UnknownQueryParam(params, {"epsilon", "seed", "lo", "hi"})) {
+    return HttpResponse::FromStatus(Status::InvalidArgument(
+        "unknown query parameter '" + *bad +
+        "' (have lo, hi, epsilon, seed)"));
+  }
+  double epsilon = 0.0;
+  uint64_t seed = 0;
+  if (Status s = ParseEpsilonSeed(params, default_seed_, &epsilon, &seed);
+      !s.ok()) {
+    return HttpResponse::FromStatus(s);
+  }
+  const std::string* lo_s = QueryParam(params, "lo");
+  const std::string* hi_s = QueryParam(params, "hi");
+  if (lo_s == nullptr || hi_s == nullptr) {
+    return HttpResponse::FromStatus(Status::InvalidArgument(
+        "lo and hi are required (comma-separated per-dimension bounds)"));
+  }
+  if (stitched == nullptr) return NothingPublished(retry_after_s_);
+  const size_t dim = stitched->domain().dim();
+  std::vector<double> lo;
+  std::vector<double> hi;
+  if (Status s = ParseBoundsParam(*lo_s, dim, "lo", &lo); !s.ok()) {
+    return HttpResponse::FromStatus(s);
+  }
+  if (Status s = ParseBoundsParam(*hi_s, dim, "hi", &hi); !s.ok()) {
+    return HttpResponse::FromStatus(s);
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    if (lo[d] > hi[d]) {
+      return HttpResponse::FromStatus(Status::InvalidArgument(
+          "lo[" + std::to_string(d) + "] > hi[" + std::to_string(d) +
+          "]: empty query box"));
+    }
+  }
+  auto release_or = Acquire(*stitched, epsilon, seed);
+  if (!release_or.ok()) {
+    HttpResponse resp = HttpResponse::FromStatus(release_or.status());
+    for (auto& [name, value] : resp.headers) {
+      if (name == "Retry-After") value = std::to_string(retry_after_s_);
+    }
+    return resp;
+  }
+  const DpRelease& release = **release_or;
+  const Mbr query = Mbr::FromBounds(lo, hi);
+  // Answered from the memoized noisy hierarchy only — post-processing of
+  // an already-released hierarchy, so repeat queries cost no budget and
+  // raw records are never touched.
+  const double count = DpRangeCount(release.counts, release.grid, query);
+  std::string body = "{\"semantics\":\"dp\",\"epsilon\":" +
+                     FmtDouble(release.epsilon) +
+                     ",\"seed\":" + std::to_string(release.seed) + ",\"lo\":[";
+  for (size_t d = 0; d < dim; ++d) {
+    if (d != 0) body += ",";
+    body += FmtDouble(lo[d]);
+  }
+  body += "],\"hi\":[";
+  for (size_t d = 0; d < dim; ++d) {
+    if (d != 0) body += ",";
+    body += FmtDouble(hi[d]);
+  }
+  body += "],\"count\":" + FmtDouble(count) + "}";
+  HttpResponse resp = HttpResponse::Json(200, std::move(body));
+  resp.headers.emplace_back("X-Kanon-Epoch",
+                            std::to_string(stitched->info().epoch));
+  return resp;
+}
+
+void DpServing::AppendMetrics(std::string* out,
+                              const StitchedSnapshot* stitched) {
+  AppendPromMetric(out, "kanon_dp_budget", "gauge", ledger_.budget());
+  AppendPromMetric(out, "kanon_dp_releases_total", "counter",
+                   static_cast<double>(ledger_.releases_built()));
+  AppendPromMetric(out, "kanon_dp_cache_hits_total", "counter",
+                   static_cast<double>(ledger_.cache_hits()));
+  AppendPromMetric(out, "kanon_dp_rejected_total", "counter",
+                   static_cast<double>(ledger_.rejected()));
+  if (stitched == nullptr) return;
+  const StitchedInfo& info = stitched->info();
+  AppendPromMetric(out, "kanon_dp_budget_spent", "gauge",
+                   ledger_.Spent(info.epoch, info.records));
+  size_t height = 0;
+  const auto cells_or = stitched->SummedDpCells(&height);
+  if (!cells_or.ok()) return;  // DP cell accounting disabled on the publisher
+  AppendPromMetric(out, "kanon_dp_height", "gauge",
+                   static_cast<double>(height));
+
+  // Fig-12-style utility pair, cached per release point. Evaluated at a
+  // fixed internal (epsilon=1, default seed) release so scraping /metrics
+  // is deterministic and never draws on the request budget.
+  DpUtilityReport report;
+  {
+    std::lock_guard<std::mutex> lock(util_mu_);
+    if (!util_valid_ || util_epoch_ != info.epoch ||
+        util_records_ != info.records) {
+      const DpGrid grid(stitched->domain(), height);
+      const DpHierarchyCounts dp =
+          NoisyConsistentHierarchy(**cells_or, height, 1.0, default_seed_);
+      util_ = EvaluateReleaseUtility(**cells_or, grid, dp,
+                                     stitched->Release(info.base_k));
+      util_valid_ = true;
+      util_epoch_ = info.epoch;
+      util_records_ = info.records;
+    }
+    report = util_;
+  }
+  AppendPromMetric(out, "kanon_release_utility_queries", "gauge",
+                   static_cast<double>(report.num_queries));
+  out->append("# TYPE kanon_release_avg_range_error gauge\n");
+  out->append("kanon_release_avg_range_error{semantics=\"kanon\"} " +
+              FmtDoubleShort(report.kanon_avg_rel_error) + "\n");
+  out->append("kanon_release_avg_range_error{semantics=\"dp\"} " +
+              FmtDoubleShort(report.dp_avg_rel_error) + "\n");
 }
 
 HttpResponse AnonHttpFrontend::HandleHealthz() {
@@ -437,6 +733,7 @@ HttpResponse AnonHttpFrontend::HandleReplManifest(const std::string& dir,
       ",\"max_fanout\":" + std::to_string(opts.anonymizer.max_fanout) +
       ",\"compact\":" + std::string(opts.anonymizer.compact ? "1" : "0") +
       ",\"lsm\":" + std::string(opts.lsm.enabled() ? "1" : "0") +
+      ",\"dp_height\":" + std::to_string(opts.dp_height) +
       ",\"durable_lsn\":" + std::to_string(stats.wal_synced_lsn) +
       ",\"epoch\":" + std::to_string(epoch) +
       ",\"epoch_records\":" + std::to_string(epoch_records);
@@ -664,6 +961,10 @@ HttpResponse AnonHttpFrontend::HandleMetrics() {
                stats.queue_wait_ms);
   AppendPromMetric(&out, "kanon_ingest_apply_ms_total", "counter",
                stats.apply_ms);
+
+  // Differentially private release subsystem: ledger counters plus the
+  // per-release-point utility pair (k-anon vs DP range-query error).
+  dp_.AppendMetrics(&out, service_->CurrentStitched().get());
 
   // Health as a one-hot state vector (the Prometheus idiom for enums).
   out += "# TYPE kanon_health gauge\n";

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dp/dp_ledger.h"
 #include "net/http_server.h"
 #include "shard/sharded_service.h"
 
@@ -19,12 +20,13 @@ namespace kanon::net {
 enum class Endpoint : size_t {
   kIngest = 0,
   kRelease,
+  kDp,
   kHealthz,
   kMetrics,
   kRepl,
   kOther,
 };
-constexpr size_t kNumEndpoints = 6;
+constexpr size_t kNumEndpoints = 7;
 const char* EndpointName(Endpoint endpoint);
 
 struct AnonHttpOptions {
@@ -44,6 +46,59 @@ struct AnonHttpOptions {
   /// Hard cap on one /repl/wal response body; requests asking for more are
   /// clamped (the follower just asks again from its new position).
   size_t repl_max_batch_bytes = 8u << 20;
+  /// Total epsilon spendable per release point on /release/dp (<= 0 =
+  /// unlimited) and the seed used when the request names none.
+  double dp_budget = 4.0;
+  uint64_t dp_seed = 0;
+};
+
+/// The DP serving half shared by the leader frontend and the replication
+/// follower: parameter parsing, the per-release-point budget ledger, the
+/// memoized noisy hierarchies, range queries answered from them, and the
+/// kanon_dp_* / utility metrics. Both sides delegating here is what makes a
+/// follower's /release/dp body byte-identical to its leader's at the same
+/// publication point — there is exactly one serializer and one noise path.
+///
+///   GET /release/dp?epsilon=&seed=       the full noisy hierarchy's leaf
+///        cells (consistent, non-negative, parent == sum(children)); a pure
+///        function of (record multiset, domain, height, epsilon, seed), so
+///        identical at any shard count. Epoch rides in X-Kanon-Epoch.
+///        429 once the release point's distinct (epsilon, seed) builds
+///        would exceed the budget; re-serving a memoized release is free.
+///   GET /release/dp/query?lo=&hi=&epsilon=&seed=   a range count answered
+///        from the memoized hierarchy — never from raw records.
+///
+/// Unknown or malformed query parameters are 400s, never ignored.
+class DpServing {
+ public:
+  DpServing(double budget, uint64_t default_seed, unsigned retry_after_s);
+
+  HttpResponse HandleRelease(const StitchedSnapshot* stitched,
+                             const HttpRequest& request);
+  HttpResponse HandleQuery(const StitchedSnapshot* stitched,
+                           const HttpRequest& request);
+
+  /// Appends kanon_dp_* series plus the fig-12-style
+  /// kanon_release_avg_range_error{semantics=...} utility pair for the
+  /// current release point (cached per point; evaluated at a fixed
+  /// internal epsilon so scraping /metrics never draws on the budget).
+  void AppendMetrics(std::string* out, const StitchedSnapshot* stitched);
+
+  const DpBudgetLedger& ledger() const { return ledger_; }
+
+ private:
+  StatusOr<std::shared_ptr<const DpRelease>> Acquire(
+      const StitchedSnapshot& stitched, double epsilon, uint64_t seed);
+
+  const uint64_t default_seed_;
+  const unsigned retry_after_s_;
+  DpBudgetLedger ledger_;
+
+  std::mutex util_mu_;
+  bool util_valid_ = false;
+  uint64_t util_epoch_ = 0;
+  uint64_t util_records_ = 0;
+  DpUtilityReport util_;
 };
 
 /// The HTTP face of the (sharded) anonymization service — maps the
@@ -67,6 +122,12 @@ struct AnonHttpOptions {
 ///   GET  /release/query    ?k1=N multigranular stitched release;
 ///                          &summary=1 omits the partition list; &rids=1
 ///                          includes (shard-local) record ids.
+///   GET  /release/dp       ?epsilon=&seed= (epsilon)-DP release of the
+///                          stitched record multiset (see DpServing):
+///                          byte-identical at any shard count, 429 once
+///                          the release point's budget is spent.
+///   GET  /release/dp/query ?lo=&hi=&epsilon=&seed= range count answered
+///                          from the memoized noisy hierarchy.
 ///   GET  /healthz          200 while every shard serves; 503 when any
 ///                          shard is degraded or the service stopped, with
 ///                          per-shard health in the body.
@@ -124,6 +185,9 @@ class AnonHttpFrontend {
     return accepted_.load(std::memory_order_relaxed);
   }
 
+  /// The DP budget ledger behind /release/dp (read-only counters).
+  const DpBudgetLedger& dp_ledger() const { return dp_.ledger(); }
+
  private:
   struct EndpointMetrics {
     std::mutex mu;
@@ -137,6 +201,7 @@ class AnonHttpFrontend {
   HttpResponse Route(const HttpRequest& request, Endpoint* endpoint);
   HttpResponse HandleIngest(const HttpRequest& request);
   HttpResponse HandleRelease(const HttpRequest& request);
+  HttpResponse HandleDp(const HttpRequest& request);
   HttpResponse HandleHealthz();
   HttpResponse HandleMetrics();
   HttpResponse HandleRepl(const HttpRequest& request);
@@ -150,6 +215,7 @@ class AnonHttpFrontend {
 
   ShardedAnonymizationService* const service_;
   const AnonHttpOptions options_;
+  DpServing dp_;
   std::function<HttpServerStats()> server_stats_;
   std::string backend_label_ = "inproc";
   std::atomic<uint64_t> accepted_{0};

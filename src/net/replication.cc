@@ -90,6 +90,7 @@ StatusOr<LeaderManifest> ReplicationClient::FetchManifest() {
   m.max_fanout = JsonU64(body, "max_fanout", 16);
   m.compact = JsonU64(body, "compact", 1) != 0;
   m.lsm = JsonU64(body, "lsm") != 0;
+  m.dp_height = JsonU64(body, "dp_height", 10);
   m.durable_lsn = JsonU64(body, "durable_lsn");
   m.epoch = JsonU64(body, "epoch");
   m.epoch_records = JsonU64(body, "epoch_records");
@@ -252,7 +253,7 @@ bool ReplicatedFollower::BootstrapOnce() {
     return false;
   }
   core_->ConfigureFromLeader(m.base_k, m.leaf_capacity_factor, m.max_fanout,
-                             m.compact);
+                             m.compact, m.dp_height);
   if (m.lsm && !lsm_warned_) {
     lsm_warned_ = true;
     std::fprintf(stderr,
@@ -428,6 +429,13 @@ HttpResponse FollowerFrontend::Handle(const HttpRequest& request) {
     }
     return HandleReadRelease(request);
   }
+  if (path == "/release/dp" || path == "/release/dp/query") {
+    if (request.method != "GET" && request.method != "HEAD") {
+      return HttpResponse::Json(
+          405, "{\"error\":\"method not allowed\",\"allow\":\"GET\"}");
+    }
+    return HandleDpRead(request);
+  }
   if (path == "/ingest") {
     // A replica never takes writes; 421 tells a misconfigured client which
     // server does. (308 would make well-behaved clients resubmit there
@@ -460,25 +468,44 @@ HttpResponse FollowerFrontend::Handle(const HttpRequest& request) {
   return HttpResponse::Json(
       404,
       "{\"error\":\"not found\",\"paths\":[\"/release\",\"/release/query\","
-      "\"/healthz\",\"/metrics\"]}");
+      "\"/release/dp\",\"/release/dp/query\",\"/healthz\",\"/metrics\"]}");
+}
+
+std::unique_ptr<HttpResponse> FollowerFrontend::StaleRejection(
+    double staleness) const {
+  const FollowerCore* core = follower_->core();
+  const bool stale =
+      staleness > static_cast<double>(core->max_staleness_ms());
+  if (!stale || !follower_->options().reject_stale_reads) return nullptr;
+  auto resp = std::make_unique<HttpResponse>(
+      HttpResponse::FromStatus(Status::Unavailable(
+          "replica is stale (" + StalenessValue(staleness) +
+          " ms since last caught up, bound " +
+          std::to_string(core->max_staleness_ms()) + " ms)")));
+  resp->headers.emplace_back("X-Kanon-Staleness-Ms",
+                             StalenessValue(staleness));
+  return resp;
 }
 
 HttpResponse FollowerFrontend::HandleReadRelease(const HttpRequest& request) {
   const FollowerCore* core = follower_->core();
   const double staleness = core->staleness_ms();
-  const bool stale =
-      staleness > static_cast<double>(core->max_staleness_ms());
-  if (stale && follower_->options().reject_stale_reads) {
-    HttpResponse resp = HttpResponse::FromStatus(Status::Unavailable(
-        "replica is stale (" + StalenessValue(staleness) +
-        " ms since last caught up, bound " +
-        std::to_string(core->max_staleness_ms()) + " ms)"));
-    resp.headers.emplace_back("X-Kanon-Staleness-Ms",
-                              StalenessValue(staleness));
-    return resp;
-  }
+  if (auto rejection = StaleRejection(staleness)) return *rejection;
   HttpResponse resp = RenderRelease(core->CurrentStitched().get(), request,
                                     follower_->options().retry_after_s);
+  resp.headers.emplace_back("X-Kanon-Staleness-Ms",
+                            StalenessValue(staleness));
+  return resp;
+}
+
+HttpResponse FollowerFrontend::HandleDpRead(const HttpRequest& request) {
+  const FollowerCore* core = follower_->core();
+  const double staleness = core->staleness_ms();
+  if (auto rejection = StaleRejection(staleness)) return *rejection;
+  const auto stitched = core->CurrentStitched();
+  HttpResponse resp = request.path == "/release/dp"
+                          ? dp_.HandleRelease(stitched.get(), request)
+                          : dp_.HandleQuery(stitched.get(), request);
   resp.headers.emplace_back("X-Kanon-Staleness-Ms",
                             StalenessValue(staleness));
   return resp;
@@ -546,6 +573,9 @@ HttpResponse FollowerFrontend::HandleMetrics() {
   AppendPromMetric(&out, "kanon_follower_requests_total", "counter",
                    static_cast<double>(
                        requests_.load(std::memory_order_relaxed)));
+  // DP serving: ledger counters + the per-release-point utility pair, same
+  // series names as the leader so one dashboard covers both roles.
+  dp_.AppendMetrics(&out, core->CurrentStitched().get());
   HttpResponse resp;
   resp.status = 200;
   resp.content_type = "text/plain; version=0.0.4";

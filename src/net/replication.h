@@ -37,6 +37,9 @@ struct LeaderManifest {
   size_t max_fanout = 0;
   bool compact = true;
   bool lsm = false;
+  /// DP grid height the leader bins publication cells at (0 = DP off).
+  /// Adopted by the follower so both sides' DP releases share one grid.
+  size_t dp_height = 10;
   uint64_t durable_lsn = 0;
   uint64_t epoch = 0;
   uint64_t epoch_records = 0;
@@ -122,6 +125,11 @@ struct FollowerOptions {
   size_t max_batch_bytes = 1u << 20;
   /// Retry-After attached to follower 503s.
   unsigned retry_after_s = 1;
+  /// DP serving knobs (see AnonHttpOptions): the follower keeps its own
+  /// budget ledger, but its releases are byte-identical to the leader's at
+  /// the same publication point and (epsilon, seed).
+  double dp_budget = 4.0;
+  uint64_t dp_seed = 0;
   Env* env = nullptr;  // nullptr = Env::Default()
 };
 
@@ -225,9 +233,14 @@ class ReplicatedFollower {
 ///
 ///   GET  /release, /release/query   RenderRelease off the follower's
 ///         snapshot — byte-identical to the leader's at the same epoch —
-///         plus X-Kanon-Staleness-Ms (ms since last confirmed caught-up;
+///         plus X-Kanon-Staleness-Ms (ms since last caught up;
 ///         -1 = never). Past --max-staleness-ms: either served anyway
 ///         (default) or 503 with --stale-reads=reject.
+///   GET  /release/dp, /release/dp/query   DP reads off the same snapshot
+///         via the shared DpServing: at a leader publication point the
+///         body is byte-identical to the leader's for the same
+///         (epsilon, seed). Budget-ledgered locally, staleness-gated like
+///         the other reads.
 ///   POST /ingest   421 Misdirected Request + Location on the leader: a
 ///         replica never takes writes.
 ///   GET  /healthz  200 only while following within the staleness bound;
@@ -239,16 +252,22 @@ class ReplicatedFollower {
 class FollowerFrontend {
  public:
   explicit FollowerFrontend(ReplicatedFollower* follower)
-      : follower_(follower) {}
+      : follower_(follower),
+        dp_(follower->options().dp_budget, follower->options().dp_seed,
+            follower->options().retry_after_s) {}
 
   HttpResponse Handle(const HttpRequest& request);
 
  private:
   HttpResponse HandleReadRelease(const HttpRequest& request);
+  HttpResponse HandleDpRead(const HttpRequest& request);
   HttpResponse HandleHealthz();
   HttpResponse HandleMetrics();
+  /// Non-null when the staleness policy forbids serving this read.
+  std::unique_ptr<HttpResponse> StaleRejection(double staleness) const;
 
   ReplicatedFollower* const follower_;
+  DpServing dp_;
   std::atomic<uint64_t> requests_{0};
 };
 

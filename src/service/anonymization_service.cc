@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "dp/dp_hierarchy.h"
 
 namespace kanon {
 
@@ -544,8 +545,30 @@ bool AnonymizationService::Publish() {
   build_ms_total_.store(
       build_ms_total_.load(std::memory_order_relaxed) + info.build_ms,
       std::memory_order_relaxed);
-  auto snapshot =
-      std::make_shared<const Snapshot>(std::move(fragments), domain_, info);
+  // Exact DP grid cell counts over every resident — tree records plus all
+  // memtable residents, *including* the sub-k residue withheld from the
+  // k-anonymous view above (DP protects them with noise, not suppression;
+  // leaving them out would bias every noisy count near their cells). The
+  // counts are a pure multiset accumulation, so per-shard vectors sum and
+  // a follower replaying the same records reproduces them exactly.
+  DpCells dp_cells;
+  if (options_.dp_height > 0) {
+    const DpGrid grid(domain_, options_.dp_height);
+    auto cells = std::make_shared<std::vector<uint64_t>>();
+    for (const Node* leaf : tree.OrderedLeaves()) {
+      AccumulateCells(grid, leaf->points.data(), leaf->leaf_size(),
+                      cells.get());
+    }
+    if (memtable_ != nullptr && memtable_->size() > 0) {
+      AccumulateCells(grid, memtable_->point(0).data(), memtable_->size(),
+                      cells.get());
+    }
+    if (cells->empty()) cells->assign(grid.num_leaves(), 0);
+    dp_cells = std::move(cells);
+  }
+  auto snapshot = std::make_shared<const Snapshot>(
+      std::move(fragments), domain_, info, std::move(dp_cells),
+      options_.dp_height);
   {
     std::lock_guard<std::mutex> lock(current_mu_);
     current_ = std::move(snapshot);

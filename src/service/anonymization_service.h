@@ -110,6 +110,14 @@ struct ServiceOptions {
   /// see LsmOptions). The merge reuses the anonymizer's kSortedBulkLoad
   /// knobs (threads, curve, grid_bits, memory budget).
   LsmOptions lsm;
+
+  /// Height of the canonical DP bisection grid (dp/dp_hierarchy.h) whose
+  /// exact per-cell counts every published snapshot carries, enabling the
+  /// serving layer's /release/dp endpoints. The grid is data-independent,
+  /// so per-shard cell vectors sum and a follower reproduces the leader's
+  /// exactly — the root of the cross-deployment byte-identity of DP
+  /// releases. 0 disables DP cell accounting entirely.
+  size_t dp_height = 10;
 };
 
 /// A concurrent incremental anonymization service (the serving layer of the

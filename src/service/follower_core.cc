@@ -7,6 +7,7 @@
 
 #include "anon/leaf_scan.h"
 #include "common/timer.h"
+#include "dp/dp_hierarchy.h"
 #include "index/tree_persistence.h"
 #include "service/snapshot.h"
 
@@ -31,7 +32,11 @@ FollowerCore::FollowerCore(size_t dim, Domain domain,
 
 void FollowerCore::ConfigureFromLeader(size_t base_k,
                                        size_t leaf_capacity_factor,
-                                       size_t max_fanout, bool compact) {
+                                       size_t max_fanout, bool compact,
+                                       size_t dp_height) {
+  // The DP grid height only affects publication (cell binning), not the
+  // tree: adopting it never requires a rebuild.
+  options_.dp_height = dp_height;
   RTreeAnonymizerOptions& opts = options_.anonymizer;
   if (opts.base_k == base_k &&
       opts.leaf_capacity_factor == leaf_capacity_factor &&
@@ -142,8 +147,24 @@ bool FollowerCore::PublishEpoch(uint64_t epoch) {
   info.build_ms = timer.ElapsedMillis();
   info.created = std::chrono::steady_clock::now();
   info.epoch = epoch;
-  auto snapshot =
-      std::make_shared<const Snapshot>(std::move(leaves), domain_, info);
+  // DP cell counts from the replayed tree: the leader computed the same
+  // accumulation over the same record multiset, so a follower at the
+  // leader's (epoch, records) point carries an identical vector — which is
+  // what makes its /release/dp bodies byte-identical to the leader's.
+  DpCells dp_cells;
+  if (options_.dp_height > 0) {
+    const DpGrid grid(domain_, options_.dp_height);
+    auto cells = std::make_shared<std::vector<uint64_t>>();
+    for (const Node* leaf : tree.OrderedLeaves()) {
+      AccumulateCells(grid, leaf->points.data(), leaf->leaf_size(),
+                      cells.get());
+    }
+    if (cells->empty()) cells->assign(grid.num_leaves(), 0);
+    dp_cells = std::move(cells);
+  }
+  auto snapshot = std::make_shared<const Snapshot>(
+      std::move(leaves), domain_, info, std::move(dp_cells),
+      options_.dp_height);
 
   StitchedInfo stitched;
   stitched.records = info.records;

@@ -22,6 +22,10 @@ struct FollowerCoreOptions {
   /// stale: its releases may lag the leader arbitrarily. The serving layer
   /// degrades /healthz (and optionally rejects reads) off fresh().
   uint64_t max_staleness_ms = 5000;
+  /// DP grid height (see ServiceOptions::dp_height). Overwritten from the
+  /// leader's manifest by ConfigureFromLeader — follower and leader must
+  /// bin records into the same cells or their DP releases would diverge.
+  size_t dp_height = 10;
 };
 
 /// The network-free half of a read replica: an IncrementalAnonymizer fed by
@@ -47,7 +51,8 @@ class FollowerCore {
   /// Apply-thread only, and only while the core is empty (bootstrap).
   /// No-op when the configuration already matches.
   void ConfigureFromLeader(size_t base_k, size_t leaf_capacity_factor,
-                           size_t max_fanout, bool compact);
+                           size_t max_fanout, bool compact,
+                           size_t dp_height);
 
   /// Adopts a leader checkpoint already downloaded to `local_path` (and
   /// CRC-verified by LoadTreeFromFile against manifest.snapshot.crc32).

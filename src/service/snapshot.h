@@ -58,21 +58,36 @@ struct SnapshotInfo {
 /// and publication cost tracks the churn, not the dataset size.
 using LeafFragment = std::shared_ptr<const LeafGroup>;
 
+/// Exact per-cell resident counts over the canonical DP bisection grid
+/// (dp/dp_hierarchy.h): entry i counts the records in leaf cell i of the
+/// DpGrid of the snapshot's domain at the publisher's dp_height. These are
+/// raw exact counts and are NEVER served; the serving layer feeds them
+/// through the geometric mechanism (dp/dp_release.h) and only the noisy
+/// hierarchy leaves the process.
+using DpCells = std::shared_ptr<const std::vector<uint64_t>>;
+
 class Snapshot {
  public:
   /// Shared-fragment constructor — the service's publication path. The
   /// snapshot holds refcounts; fragments also alive in the service's
   /// cache (or in older snapshots) are never copied.
   Snapshot(std::vector<LeafFragment> fragments, Domain domain,
-           SnapshotInfo info)
+           SnapshotInfo info, DpCells dp_cells = nullptr,
+           size_t dp_height = 0)
       : fragments_(std::move(fragments)),
         domain_(std::move(domain)),
-        info_(info) {}
+        info_(info),
+        dp_cells_(std::move(dp_cells)),
+        dp_height_(dp_height) {}
 
   /// Owning constructor: wraps each group in its own fragment (followers
   /// and tests that build leaf groups directly).
-  Snapshot(std::vector<LeafGroup> leaves, Domain domain, SnapshotInfo info)
-      : domain_(std::move(domain)), info_(info) {
+  Snapshot(std::vector<LeafGroup> leaves, Domain domain, SnapshotInfo info,
+           DpCells dp_cells = nullptr, size_t dp_height = 0)
+      : domain_(std::move(domain)),
+        info_(info),
+        dp_cells_(std::move(dp_cells)),
+        dp_height_(dp_height) {
     fragments_.reserve(leaves.size());
     for (LeafGroup& g : leaves) {
       fragments_.push_back(std::make_shared<const LeafGroup>(std::move(g)));
@@ -86,6 +101,14 @@ class Snapshot {
   const Domain& domain() const { return domain_; }
   const std::vector<LeafFragment>& fragments() const { return fragments_; }
 
+  /// Exact DP grid cell counts of every resident this snapshot's publisher
+  /// held — including sub-k memtable residue withheld from the k-anonymous
+  /// view (the DP mechanism protects individuals with noise, not
+  /// suppression, so withholding them would bias the noisy counts). Null
+  /// when the publisher ran with DP accounting off (dp_height 0).
+  const DpCells& dp_cells() const { return dp_cells_; }
+  size_t dp_height() const { return dp_height_; }
+
   /// Emits the k1-granular anonymization of this snapshot's records via the
   /// leaf-scan algorithm. k1 below base_k is clamped up to base_k (the index
   /// cannot publish finer than its leaves). Const, allocation-local,
@@ -96,6 +119,8 @@ class Snapshot {
   std::vector<LeafFragment> fragments_;
   Domain domain_;
   SnapshotInfo info_;
+  DpCells dp_cells_;
+  size_t dp_height_ = 0;
 };
 
 /// Mean per-record, per-attribute extent ratio of a partition set against

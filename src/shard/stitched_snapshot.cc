@@ -2,6 +2,37 @@
 
 namespace kanon {
 
+StatusOr<DpCells> StitchedSnapshot::SummedDpCells(size_t* height) const {
+  auto sum = std::make_shared<std::vector<uint64_t>>();
+  size_t h = 0;
+  bool any = false;
+  for (const std::shared_ptr<const Snapshot>& part : parts_) {
+    if (part == nullptr) continue;
+    if (part->dp_cells() == nullptr) {
+      return Status::FailedPrecondition(
+          "snapshot carries no dp cell counts (service runs with "
+          "dp_height 0)");
+    }
+    const std::vector<uint64_t>& cells = *part->dp_cells();
+    if (!any) {
+      h = part->dp_height();
+      sum->assign(cells.size(), 0);
+      any = true;
+    } else if (part->dp_height() != h || cells.size() != sum->size()) {
+      return Status::Internal(
+          "dp grid height differs between shards; cell vectors cannot be "
+          "summed");
+    }
+    for (size_t i = 0; i < cells.size(); ++i) (*sum)[i] += cells[i];
+  }
+  if (!any) {
+    return Status::FailedPrecondition(
+        "no covered shard carries dp cell counts");
+  }
+  *height = h;
+  return DpCells(std::move(sum));
+}
+
 PartitionSet StitchedSnapshot::Release(size_t k1) const {
   PartitionSet out;
   for (const std::shared_ptr<const Snapshot>& part : parts_) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "service/snapshot.h"
 
 namespace kanon {
@@ -66,6 +67,16 @@ class StitchedSnapshot {
   /// this is byte-for-byte the shard's own Snapshot::Release — the
   /// differential anchor the shard tests pin down.
   PartitionSet Release(size_t k1) const;
+
+  /// The element-wise sum of the covered shards' exact DP cell vectors
+  /// (see Snapshot::dp_cells), with the shared grid height in *height.
+  /// Because the DP grid is data-independent, the sum depends only on the
+  /// union multiset of the shards' records — not on how the router spread
+  /// them — which is what makes a DP release built from it byte-identical
+  /// at any shard count. FailedPrecondition when no covered shard carries
+  /// DP cells (publisher ran with dp_height 0); Internal on a height
+  /// mismatch between shards (a misconfigured fleet).
+  StatusOr<DpCells> SummedDpCells(size_t* height) const;
 
  private:
   std::vector<std::shared_ptr<const Snapshot>> parts_;

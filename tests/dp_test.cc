@@ -1,0 +1,407 @@
+#include "dp/dp_release.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "dp/dp_hierarchy.h"
+#include "dp/dp_ledger.h"
+#include "dp/dp_rng.h"
+#include "shard/sharded_service.h"
+
+namespace kanon {
+namespace {
+
+Domain SquareDomain(double lo, double hi) {
+  Domain d;
+  d.lo = {lo, lo};
+  d.hi = {hi, hi};
+  return d;
+}
+
+/// The deterministic pseudo-grid stream the HTTP and shard tests use.
+std::vector<double> GridPoint(size_t i) {
+  return {static_cast<double>(i % 97), static_cast<double>((i * 7) % 89)};
+}
+
+// ---------------------------------------------------------------------------
+// Counter-based RNG
+
+TEST(CounterRngTest, PureFunctionOfSeedStreamCounter) {
+  const CounterRng a(42, 7);
+  const CounterRng b(42, 7);
+  for (uint64_t c = 0; c < 64; ++c) {
+    EXPECT_EQ(a.Bits(c), b.Bits(c)) << "counter " << c;
+    EXPECT_EQ(a.Uniform(c), b.Uniform(c));
+  }
+  const CounterRng other_seed(43, 7);
+  const CounterRng other_stream(42, 8);
+  size_t seed_diffs = 0;
+  size_t stream_diffs = 0;
+  for (uint64_t c = 0; c < 64; ++c) {
+    seed_diffs += a.Bits(c) != other_seed.Bits(c);
+    stream_diffs += a.Bits(c) != other_stream.Bits(c);
+  }
+  EXPECT_GE(seed_diffs, 60u) << "seed barely changes the stream";
+  EXPECT_GE(stream_diffs, 60u) << "stream barely changes the stream";
+}
+
+TEST(CounterRngTest, UniformIsInOpenUnitInterval) {
+  const CounterRng rng(123, 456);
+  double sum = 0.0;
+  const size_t n = 20000;
+  for (uint64_t c = 0; c < n; ++c) {
+    const double u = rng.Uniform(c);
+    ASSERT_GT(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(n), 0.5, 0.01);
+}
+
+// Seeded statistical check of the two-sided geometric sampler: with
+// P(X = k) proportional to alpha^|k|, the mean is 0 and the variance is
+// 2 alpha / (1 - alpha)^2. At a fixed seed this is a deterministic
+// assertion, not a flaky one.
+TEST(GeometricSamplerTest, EmpiricalMomentsMatchTheory) {
+  for (const double alpha : {0.2, 0.5, 0.8}) {
+    const CounterRng rng(2024, 1);
+    const size_t n = 200000;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      const int64_t x = SampleTwoSidedGeometric(rng, 2 * i, alpha);
+      sum += static_cast<double>(x);
+      sum_sq += static_cast<double>(x) * static_cast<double>(x);
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double var = sum_sq / static_cast<double>(n) - mean * mean;
+    const double want_var = TwoSidedGeometricVariance(alpha);
+    const double sd = std::sqrt(want_var / static_cast<double>(n));
+    EXPECT_NEAR(mean, 0.0, 6.0 * sd) << "alpha=" << alpha;
+    EXPECT_NEAR(var, want_var, 0.05 * want_var) << "alpha=" << alpha;
+  }
+}
+
+TEST(GeometricSamplerTest, DegenerateAlphaIsNoiseless) {
+  const CounterRng rng(1, 1);
+  EXPECT_EQ(SampleTwoSidedGeometric(rng, 0, 0.0), 0);
+  EXPECT_EQ(SampleTwoSidedGeometric(rng, 0, -1.0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Budget split and grid
+
+TEST(SplitDpBudgetTest, SumsToEpsilonAndGrowsWithDepth) {
+  const std::vector<double> eps = SplitDpBudget(2.0, 8);
+  ASSERT_EQ(eps.size(), 9u);
+  double total = 0.0;
+  for (size_t i = 0; i < eps.size(); ++i) {
+    EXPECT_GT(eps[i], 0.0);
+    if (i > 0) {
+      EXPECT_GT(eps[i], eps[i - 1]) << "level " << i;
+    }
+    total += eps[i];
+  }
+  EXPECT_NEAR(total, 2.0, 1e-12);
+}
+
+TEST(DpGridTest, CellMappingAndNodeInvariants) {
+  const DpGrid grid(SquareDomain(0, 100), 6);
+  EXPECT_EQ(grid.num_leaves(), 64u);
+  EXPECT_EQ(grid.num_nodes(), 128u);
+  // Every leaf node's range is one cell; every internal node's children
+  // exactly split its range and sit inside its box.
+  for (size_t v = 1; v < grid.num_nodes(); ++v) {
+    size_t first = 0;
+    size_t last = 0;
+    grid.LeafRange(v, &first, &last);
+    ASSERT_LT(first, last);
+    if (DpGrid::NodeLevel(v) == grid.height()) {
+      EXPECT_EQ(last - first, 1u);
+      continue;
+    }
+    size_t lf = 0, ll = 0, rf = 0, rl = 0;
+    grid.LeafRange(2 * v, &lf, &ll);
+    grid.LeafRange(2 * v + 1, &rf, &rl);
+    EXPECT_EQ(lf, first);
+    EXPECT_EQ(ll, rf);
+    EXPECT_EQ(rl, last);
+    const Mbr box = grid.NodeBox(v);
+    EXPECT_TRUE(box.ContainsBox(grid.NodeBox(2 * v)));
+    EXPECT_TRUE(box.ContainsBox(grid.NodeBox(2 * v + 1)));
+  }
+  // Out-of-domain coordinates clamp into a valid cell.
+  const std::vector<double> outside = {-5.0, 1e9};
+  EXPECT_LT(grid.LeafCell(outside), grid.num_leaves());
+}
+
+TEST(DpGridTest, AccumulateCountsEveryPointExactlyOnce) {
+  const DpGrid grid(SquareDomain(0, 100), 8);
+  std::vector<double> flat;
+  const size_t n = 500;
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double> p = GridPoint(i);
+    flat.insert(flat.end(), p.begin(), p.end());
+  }
+  std::vector<uint64_t> cells;
+  AccumulateCells(grid, flat.data(), n, &cells);
+  ASSERT_EQ(cells.size(), grid.num_leaves());
+  uint64_t total = 0;
+  for (const uint64_t c : cells) total += c;
+  EXPECT_EQ(total, n);
+}
+
+// ---------------------------------------------------------------------------
+// Noisy consistent hierarchy
+
+std::vector<uint64_t> SomeCells(size_t height, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> cells(size_t{1} << height);
+  for (uint64_t& c : cells) c = rng.Uniform(20);
+  return cells;
+}
+
+TEST(NoisyHierarchyTest, ConsistencyHoldsAtEveryNode) {
+  for (const double epsilon : {0.1, 1.0, 8.0}) {
+    const size_t height = 6;
+    const DpHierarchyCounts h =
+        NoisyConsistentHierarchy(SomeCells(height, 99), height, epsilon, 7);
+    ASSERT_EQ(h.counts.size(), size_t{2} << height);
+    for (size_t v = 1; v < (size_t{1} << height); ++v) {
+      EXPECT_EQ(h.counts[v], h.counts[2 * v] + h.counts[2 * v + 1])
+          << "node " << v << " epsilon " << epsilon;
+    }
+    for (size_t v = 1; v < h.counts.size(); ++v) {
+      EXPECT_GE(h.counts[v], 0) << "node " << v;
+    }
+  }
+}
+
+TEST(NoisyHierarchyTest, HugeEpsilonRecoversExactCounts) {
+  const size_t height = 5;
+  const std::vector<uint64_t> cells = SomeCells(height, 3);
+  const DpHierarchyCounts h =
+      NoisyConsistentHierarchy(cells, height, 200.0, 11);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(h.counts[(size_t{1} << height) + i],
+              static_cast<int64_t>(cells[i]))
+        << "cell " << i;
+  }
+}
+
+TEST(NoisyHierarchyTest, PureFunctionOfInputsAndSeedSensitive) {
+  const std::vector<uint64_t> cells = SomeCells(6, 1);
+  const DpHierarchyCounts a = NoisyConsistentHierarchy(cells, 6, 0.5, 42);
+  const DpHierarchyCounts b = NoisyConsistentHierarchy(cells, 6, 0.5, 42);
+  EXPECT_EQ(a.counts, b.counts);
+  const DpHierarchyCounts c = NoisyConsistentHierarchy(cells, 6, 0.5, 43);
+  EXPECT_NE(a.counts, c.counts) << "a different seed must change the noise";
+}
+
+TEST(DpRangeCountTest, FullDisjointAndPartialBoxes) {
+  const Domain domain = SquareDomain(0, 100);
+  const size_t height = 6;
+  const DpGrid grid(domain, height);
+  std::vector<double> flat;
+  for (size_t i = 0; i < 400; ++i) {
+    const std::vector<double> p = GridPoint(i);
+    flat.insert(flat.end(), p.begin(), p.end());
+  }
+  std::vector<uint64_t> cells;
+  AccumulateCells(grid, flat.data(), 400, &cells);
+  const DpHierarchyCounts h =
+      NoisyConsistentHierarchy(cells, height, 100.0, 5);
+
+  const Mbr everything = Mbr::FromBounds({0, 0}, {100, 100});
+  EXPECT_NEAR(DpRangeCount(h, grid, everything),
+              static_cast<double>(h.counts[1]), 1e-9);
+  const Mbr nothing = Mbr::FromBounds({200, 200}, {300, 300});
+  EXPECT_EQ(DpRangeCount(h, grid, nothing), 0.0);
+  // A strict sub-box answers in (0, total); at epsilon 100 the hierarchy
+  // is nearly exact, so the estimate must be close to the true count.
+  const Mbr half = Mbr::FromBounds({0, 0}, {50, 100});
+  uint64_t truth = 0;
+  for (size_t i = 0; i < 400; ++i) {
+    if (GridPoint(i)[0] < 50.0) ++truth;
+  }
+  // Cell-boundary uniformity smearing bounds the error by a few cells'
+  // worth of mass, not a proportion of the total.
+  EXPECT_NEAR(DpRangeCount(h, grid, half), static_cast<double>(truth), 25.0);
+}
+
+TEST(DpReleaseTest, BodyIsDeterministicAndSeedSensitive) {
+  const Domain domain = SquareDomain(0, 100);
+  const std::vector<uint64_t> cells = SomeCells(6, 12);
+  const auto a = BuildDpRelease(cells, domain, 6, 1.5, 9);
+  const auto b = BuildDpRelease(cells, domain, 6, 1.5, 9);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->body, b->body);
+  const auto c = BuildDpRelease(cells, domain, 6, 1.5, 10);
+  EXPECT_NE(a->body, c->body);
+  EXPECT_NE(a->body.find("\"semantics\":\"dp\""), std::string::npos);
+  EXPECT_NE(a->body.find("\"epsilon\":1.5"), std::string::npos);
+  EXPECT_EQ(a->body.find("\"epoch\""), std::string::npos)
+      << "the epoch is transport metadata, not part of the DP body";
+}
+
+TEST(DpUtilityTest, ReportsFiniteErrorsOverTheFixedWorkload) {
+  const Domain domain = SquareDomain(0, 100);
+  const size_t height = 6;
+  const DpGrid grid(domain, height);
+  std::vector<double> flat;
+  for (size_t i = 0; i < 300; ++i) {
+    const std::vector<double> p = GridPoint(i);
+    flat.insert(flat.end(), p.begin(), p.end());
+  }
+  std::vector<uint64_t> cells;
+  AccumulateCells(grid, flat.data(), 300, &cells);
+  const DpHierarchyCounts dp = NoisyConsistentHierarchy(cells, height, 1.0, 1);
+  // One giant k-anonymous box: maximal smearing, so its error should be
+  // clearly worse than the DP hierarchy's at a healthy epsilon.
+  PartitionSet kanon;
+  Partition everything;
+  everything.rids.resize(300);
+  everything.box = Mbr::FromBounds({0, 0}, {100, 100});
+  kanon.partitions.push_back(everything);
+  const DpUtilityReport report =
+      EvaluateReleaseUtility(cells, grid, dp, kanon);
+  EXPECT_GT(report.num_queries, 0u);
+  EXPECT_TRUE(std::isfinite(report.kanon_avg_rel_error));
+  EXPECT_TRUE(std::isfinite(report.dp_avg_rel_error));
+  EXPECT_GE(report.kanon_avg_rel_error, 0.0);
+  EXPECT_GE(report.dp_avg_rel_error, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Budget ledger
+
+std::shared_ptr<const DpRelease> TinyRelease(double epsilon, uint64_t seed) {
+  return BuildDpRelease(SomeCells(4, 1), SquareDomain(0, 10), 4, epsilon,
+                        seed);
+}
+
+TEST(DpBudgetLedgerTest, ChargesOncePerDistinctReleaseAndRejectsOverBudget) {
+  DpBudgetLedger ledger(1.0);
+  auto first = ledger.Acquire(1, 100, 0.6, 7,
+                              [] { return TinyRelease(0.6, 7); });
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(ledger.releases_built(), 1u);
+  EXPECT_NEAR(ledger.Spent(1, 100), 0.6, 1e-12);
+
+  // Re-serving the memoized release is post-processing: free, identical.
+  auto again = ledger.Acquire(1, 100, 0.6, 7,
+                              [] { return TinyRelease(0.6, 7); });
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->get(), first->get());
+  EXPECT_EQ(ledger.cache_hits(), 1u);
+  EXPECT_NEAR(ledger.Spent(1, 100), 0.6, 1e-12);
+
+  // A distinct seed is a fresh draw: 0.6 + 0.6 > 1.0 is refused with the
+  // typed budget error before any noise is drawn.
+  auto over = ledger.Acquire(1, 100, 0.6, 8,
+                             [] { return TinyRelease(0.6, 8); });
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ledger.rejected(), 1u);
+  EXPECT_NEAR(ledger.Spent(1, 100), 0.6, 1e-12) << "a reject burns nothing";
+
+  // A smaller epsilon still fits under the cap.
+  auto fits = ledger.Acquire(1, 100, 0.25, 8,
+                             [] { return TinyRelease(0.25, 8); });
+  ASSERT_TRUE(fits.ok());
+  EXPECT_NEAR(ledger.Spent(1, 100), 0.85, 1e-12);
+
+  // A new release point starts from a fresh budget.
+  auto next_epoch = ledger.Acquire(2, 220, 0.6, 7,
+                                   [] { return TinyRelease(0.6, 7); });
+  ASSERT_TRUE(next_epoch.ok());
+  EXPECT_NEAR(ledger.Spent(2, 220), 0.6, 1e-12);
+}
+
+TEST(DpBudgetLedgerTest, RejectsMalformedEpsilonAndHonorsUnlimited) {
+  DpBudgetLedger ledger(0.0);  // <= 0 = unlimited
+  for (const double bad : {0.0, -1.0, std::nan(""),
+                           std::numeric_limits<double>::infinity()}) {
+    auto r = ledger.Acquire(1, 10, bad, 1, [] { return TinyRelease(1, 1); });
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  for (int i = 0; i < 32; ++i) {
+    auto r = ledger.Acquire(1, 10, 10.0, static_cast<uint64_t>(i),
+                            [i] { return TinyRelease(10.0, i); });
+    ASSERT_TRUE(r.ok()) << "unlimited budget refused draw " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The cross-shard byte-identity acceptance criterion: the same record
+// multiset produces the same DP release body at 1, 2 and 4 shards, because
+// the data-independent grid makes per-shard cell vectors summable.
+
+std::string DpBodyAtShards(size_t shards, size_t n) {
+  ShardedServiceOptions options;
+  options.service.anonymizer.base_k = 4;
+  options.service.snapshot_every = 0;
+  options.service.dp_height = 8;
+  options.sharding.num_shards = shards;
+  auto service_or = ShardedAnonymizationService::Create(
+      2, SquareDomain(0, 100), options);
+  EXPECT_TRUE(service_or.ok()) << service_or.status();
+  ShardedAnonymizationService& service = **service_or;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(
+        service.Ingest(GridPoint(i), static_cast<int32_t>(i % 5)).ok());
+  }
+  const auto stitched = service.PublishNow();
+  EXPECT_NE(stitched, nullptr);
+  if (stitched == nullptr) return "";
+  size_t height = 0;
+  auto cells_or = stitched->SummedDpCells(&height);
+  EXPECT_TRUE(cells_or.ok()) << cells_or.status();
+  if (!cells_or.ok()) return "";
+  const auto release = BuildDpRelease(**cells_or, stitched->domain(), height,
+                                      0.8, 2024);
+  service.Stop();
+  return release->body;
+}
+
+TEST(DpShardingTest, ReleaseBodyIsByteIdenticalAcrossShardCounts) {
+  const std::string one = DpBodyAtShards(1, 300);
+  const std::string two = DpBodyAtShards(2, 300);
+  const std::string four = DpBodyAtShards(4, 300);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+}
+
+TEST(DpShardingTest, SummedCellsFailWhenDpDisabled) {
+  ShardedServiceOptions options;
+  options.service.anonymizer.base_k = 4;
+  options.service.snapshot_every = 0;
+  options.service.dp_height = 0;  // DP cell accounting off
+  auto service_or = ShardedAnonymizationService::Create(
+      2, SquareDomain(0, 100), options);
+  ASSERT_TRUE(service_or.ok());
+  ShardedAnonymizationService& service = **service_or;
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(service.Ingest(GridPoint(i), 0).ok());
+  }
+  const auto stitched = service.PublishNow();
+  ASSERT_NE(stitched, nullptr);
+  size_t height = 0;
+  auto cells_or = stitched->SummedDpCells(&height);
+  ASSERT_FALSE(cells_or.ok());
+  EXPECT_EQ(cells_or.status().code(), StatusCode::kFailedPrecondition);
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace kanon

@@ -55,7 +55,8 @@ struct ServerUnderTest {
 };
 
 ServerUnderTest StartServer(ServiceOptions service_options, bool use_epoll,
-                            size_t num_threads = 2, size_t shards = 1) {
+                            size_t num_threads = 2, size_t shards = 1,
+                            AnonHttpOptions frontend_options = {}) {
   ServerUnderTest s;
   ShardedServiceOptions sharded_options;
   sharded_options.service = service_options;
@@ -64,7 +65,8 @@ ServerUnderTest StartServer(ServiceOptions service_options, bool use_epoll,
       2, SquareDomain(0, 100), sharded_options);
   EXPECT_TRUE(service_or.ok()) << service_or.status();
   s.service = std::move(*service_or);
-  s.frontend = std::make_unique<AnonHttpFrontend>(s.service.get());
+  s.frontend =
+      std::make_unique<AnonHttpFrontend>(s.service.get(), frontend_options);
   HttpServerOptions options;
   options.port = 0;  // ephemeral
   options.num_threads = num_threads;
@@ -543,6 +545,217 @@ TEST(HttpServerTest, SingleShardReleaseMatchesUnshardedByteForByte) {
         << "k1=" << k1;
   }
   unsharded.Stop();
+}
+
+// --------------------------------------------------------------------------
+// Query-parameter hygiene: unknown or malformed parameters are 400s with an
+// error body on every read endpoint, never silently ignored.
+
+TEST(HttpServerTest, UnknownOrMalformedQueryParamsAre400) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(4), true);
+  HttpClient client = ConnectTo(*s.server);
+  ASSERT_EQ(client.Post("/ingest", GridBody(60))->status, 200);
+  ASSERT_NE(s.service->PublishNow(), nullptr);
+
+  const std::vector<std::string> bad_targets = {
+      // /release/query: typo'd and unknown keys, malformed flag values.
+      "/release/query?k1=8&summery=1",
+      "/release/query?epsilon=1",
+      "/release/query?k1=8&summary=yes",
+      "/release/query?k1=8&rids=2",
+      // /release/dp: unknown key, junk epsilon/seed.
+      "/release/dp?eps=1",
+      "/release/dp?epsilon=0",
+      "/release/dp?epsilon=-2",
+      "/release/dp?epsilon=abc",
+      "/release/dp?epsilon=1&seed=-1",
+      "/release/dp?epsilon=1&seed=abc",
+      // /release/dp/query: unknown key, missing/short/unordered bounds.
+      "/release/dp/query?lo=0,0&hi=9,9&k1=4",
+      "/release/dp/query?epsilon=1",
+      "/release/dp/query?lo=0&hi=9,9",
+      "/release/dp/query?lo=0,0,0&hi=9,9,9",
+      "/release/dp/query?lo=5,5&hi=1,9",
+      "/release/dp/query?lo=a,b&hi=9,9",
+  };
+  for (const std::string& target : bad_targets) {
+    auto resp = client.Get(target);
+    ASSERT_TRUE(resp.ok()) << target;
+    EXPECT_EQ(resp->status, 400) << target << "\n" << resp->body;
+    EXPECT_NE(resp->body.find("\"error\":\"InvalidArgument\""),
+              std::string::npos)
+        << target << "\n" << resp->body;
+  }
+
+  // The well-formed spellings of the same requests succeed.
+  EXPECT_EQ(client.Get("/release/query?k1=8&summary=1")->status, 200);
+  EXPECT_EQ(client.Get("/release/dp?epsilon=1&seed=3")->status, 200);
+  EXPECT_EQ(
+      client.Get("/release/dp/query?lo=0,0&hi=9,9&epsilon=1&seed=3")->status,
+      200);
+}
+
+// --------------------------------------------------------------------------
+// The DP read path end to end.
+
+TEST_P(HttpServerBackendTest, DpReleaseServesNoisyHierarchy) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(4), GetParam());
+  HttpClient client = ConnectTo(*s.server);
+
+  // Nothing published yet: DP reads share the 503-with-Retry-After shape.
+  auto early = client.Get("/release/dp");
+  ASSERT_TRUE(early.ok());
+  EXPECT_EQ(early->status, 503);
+  ASSERT_NE(early->FindHeader("retry-after"), nullptr);
+
+  ASSERT_EQ(client.Post("/ingest", GridBody(200))->status, 200);
+  const auto stitched = s.service->PublishNow();
+  ASSERT_NE(stitched, nullptr);
+
+  auto dp = client.Get("/release/dp?epsilon=0.8&seed=11");
+  ASSERT_TRUE(dp.ok()) << dp.status();
+  ASSERT_EQ(dp->status, 200) << dp->body;
+  EXPECT_NE(dp->body.find("\"semantics\":\"dp\""), std::string::npos);
+  EXPECT_NE(dp->body.find("\"epsilon\":0.8"), std::string::npos);
+  EXPECT_NE(dp->body.find("\"seed\":11"), std::string::npos);
+  EXPECT_NE(dp->body.find("\"cells\":["), std::string::npos);
+  const std::string* epoch = dp->FindHeader("x-kanon-epoch");
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_EQ(*epoch, std::to_string(stitched->info().epoch));
+  // The DP body never names records or partitions.
+  EXPECT_EQ(dp->body.find("\"partitions\""), std::string::npos);
+  EXPECT_EQ(dp->body.find("\"rids\""), std::string::npos);
+
+  // Memoized: the repeat is byte-identical and served from cache.
+  auto again = client.Get("/release/dp?epsilon=0.8&seed=11");
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->status, 200);
+  EXPECT_EQ(again->body, dp->body);
+  EXPECT_GE(s.frontend->dp_ledger().cache_hits(), 1u);
+
+  // The HTTP body equals the in-process release built from the summed
+  // cells — one serializer, one noise path.
+  size_t height = 0;
+  auto cells_or = stitched->SummedDpCells(&height);
+  ASSERT_TRUE(cells_or.ok()) << cells_or.status();
+  const auto inproc = BuildDpRelease(**cells_or, stitched->domain(), height,
+                                     0.8, 11);
+  EXPECT_EQ(dp->body, inproc->body);
+
+  // Range queries answer from the hierarchy; the full domain returns the
+  // noisy total, and the count field parses as a number.
+  auto range = client.Get(
+      "/release/dp/query?lo=0,0&hi=100,100&epsilon=0.8&seed=11");
+  ASSERT_TRUE(range.ok());
+  ASSERT_EQ(range->status, 200) << range->body;
+  const std::string want_count =
+      "\"count\":" + std::to_string(inproc->counts.counts[1]);
+  EXPECT_NE(range->body.find(want_count), std::string::npos)
+      << range->body << "\nexpected " << want_count;
+}
+
+TEST(HttpServerTest, DpBudgetExhaustionIs429AndMemoizedReadsStayFree) {
+  AnonHttpOptions frontend_options;
+  frontend_options.dp_budget = 1.0;
+  ServerUnderTest s = StartServer(SmallServiceOptions(4), true,
+                                  /*num_threads=*/2, /*shards=*/1,
+                                  frontend_options);
+  HttpClient client = ConnectTo(*s.server);
+  ASSERT_EQ(client.Post("/ingest", GridBody(80))->status, 200);
+  ASSERT_NE(s.service->PublishNow(), nullptr);
+
+  ASSERT_EQ(client.Get("/release/dp?epsilon=0.7&seed=1")->status, 200);
+
+  // A second distinct draw would spend 1.4 > 1.0: typed 429, not silent
+  // truncation — and it burns nothing.
+  auto over = client.Get("/release/dp?epsilon=0.7&seed=2");
+  ASSERT_TRUE(over.ok());
+  EXPECT_EQ(over->status, 429) << over->body;
+  EXPECT_NE(over->body.find("\"error\":\"ResourceExhausted\""),
+            std::string::npos)
+      << over->body;
+  ASSERT_NE(over->FindHeader("retry-after"), nullptr);
+
+  // The memoized release (and its range queries) keep serving for free.
+  EXPECT_EQ(client.Get("/release/dp?epsilon=0.7&seed=1")->status, 200);
+  EXPECT_EQ(
+      client.Get("/release/dp/query?lo=0,0&hi=50,50&epsilon=0.7&seed=1")
+          ->status,
+      200);
+  EXPECT_EQ(s.frontend->dp_ledger().rejected(), 1u);
+
+  // A fresh publication is a fresh release point with a fresh budget.
+  ASSERT_EQ(client.Post("/ingest", GridBody(80, 1000))->status, 200);
+  ASSERT_NE(s.service->PublishNow(), nullptr);
+  EXPECT_EQ(client.Get("/release/dp?epsilon=0.7&seed=2")->status, 200);
+}
+
+TEST(HttpServerTest, DpDisabledAnswers409) {
+  ServiceOptions options = SmallServiceOptions(4);
+  options.dp_height = 0;  // DP cell accounting off
+  ServerUnderTest s = StartServer(options, true);
+  HttpClient client = ConnectTo(*s.server);
+  ASSERT_EQ(client.Post("/ingest", GridBody(40))->status, 200);
+  ASSERT_NE(s.service->PublishNow(), nullptr);
+
+  auto dp = client.Get("/release/dp");
+  ASSERT_TRUE(dp.ok());
+  EXPECT_EQ(dp->status, 409) << dp->body;
+  EXPECT_NE(dp->body.find("\"error\":\"FailedPrecondition\""),
+            std::string::npos)
+      << dp->body;
+}
+
+TEST(HttpServerTest, MetricsExposeDpCountersAndUtilityPair) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(4), true);
+  HttpClient client = ConnectTo(*s.server);
+  ASSERT_EQ(client.Post("/ingest", GridBody(120))->status, 200);
+  ASSERT_NE(s.service->PublishNow(), nullptr);
+  ASSERT_EQ(client.Get("/release/dp?epsilon=1&seed=1")->status, 200);
+
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics->status, 200);
+  for (const std::string& series : {
+           std::string("kanon_dp_budget "),
+           std::string("kanon_dp_budget_spent 1"),
+           std::string("kanon_dp_releases_total 1"),
+           std::string("kanon_dp_cache_hits_total"),
+           std::string("kanon_dp_rejected_total 0"),
+           std::string("kanon_dp_height"),
+           std::string("kanon_release_utility_queries"),
+           std::string("kanon_release_avg_range_error{semantics=\"kanon\"}"),
+           std::string("kanon_release_avg_range_error{semantics=\"dp\"}"),
+       }) {
+    EXPECT_NE(metrics->body.find(series), std::string::npos)
+        << "missing " << series << " in\n"
+        << metrics->body;
+  }
+  EXPECT_NE(metrics->body.find(
+                "kanon_http_requests_total{endpoint=\"dp\",code=\"200\"}"),
+            std::string::npos)
+      << metrics->body;
+}
+
+// The acceptance criterion over HTTP: the same record multiset produces a
+// byte-identical DP body at 1, 2 and 4 shards (partition releases cannot
+// promise this — shard routing changes the trees — but the DP grid is
+// data-independent).
+TEST(HttpServerTest, DpReleaseByteIdenticalAcrossShardCounts) {
+  std::vector<std::string> bodies;
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
+    ServerUnderTest s = StartServer(SmallServiceOptions(4), true,
+                                    /*num_threads=*/2, shards);
+    HttpClient client = ConnectTo(*s.server);
+    ASSERT_EQ(client.Post("/ingest", GridBody(240))->status, 200);
+    ASSERT_NE(s.service->PublishNow(), nullptr);
+    auto dp = client.Get("/release/dp?epsilon=0.9&seed=5");
+    ASSERT_TRUE(dp.ok());
+    ASSERT_EQ(dp->status, 200) << "shards=" << shards << "\n" << dp->body;
+    bodies.push_back(dp->body);
+  }
+  EXPECT_EQ(bodies[0], bodies[1]);
+  EXPECT_EQ(bodies[0], bodies[2]);
 }
 
 TEST(HttpServerTest, SerializeResponseFramesBody) {

@@ -530,6 +530,70 @@ TEST(ReplicationE2eTest, FollowerConvergesToByteIdenticalRelease) {
   leader.service->Stop();
 }
 
+// The DP acceptance criterion across replication: at the leader's
+// publication point the follower serves the *byte-identical* DP release —
+// same grid (dp_height pinned via the manifest), same cells (same record
+// multiset), same noise (pure function of (epsilon, seed)) — and answers
+// range queries and budget rejections through the same DpServing path.
+TEST(ReplicationE2eTest, FollowerServesByteIdenticalDpRelease) {
+  TempDir wal;
+  TempDir scratch;
+  Leader leader = StartLeader(wal.path());
+  IngestAndPublish(leader, 90);
+
+  FollowerOptions options = FastFollowerOptions(leader.port(), scratch.path());
+  options.dp_budget = 1.0;
+  ReplicatedFollower follower(SquareDomain(), options);
+  follower.Start();
+  WaitFor([&] { return follower.core()->epoch() >= 1; });
+
+  FollowerFrontend frontend(&follower);
+  HttpServerOptions http;
+  http.port = 0;
+  http.num_threads = 2;
+  HttpServer server(http, [&frontend](const HttpRequest& request) {
+    return frontend.Handle(request);
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  for (const std::string target :
+       {"/release/dp?epsilon=0.6&seed=21",
+        "/release/dp/query?lo=10,10&hi=60,80&epsilon=0.6&seed=21"}) {
+    SCOPED_TRACE(target);
+    int leader_status = 0;
+    int follower_status = 0;
+    const std::string leader_body =
+        Fetch(leader.port(), target, &leader_status);
+    const std::string follower_body =
+        Fetch(server.port(), target, &follower_status);
+    EXPECT_EQ(leader_status, 200) << leader_body;
+    EXPECT_EQ(follower_status, 200) << follower_body;
+    EXPECT_EQ(leader_body, follower_body);
+  }
+
+  // The follower enforces its own budget ledger: a second distinct draw
+  // past its 1.0 budget is a typed 429 with the DP counters in /metrics.
+  int status = 0;
+  (void)Fetch(server.port(), "/release/dp?epsilon=0.6&seed=22", &status);
+  EXPECT_EQ(status, 429);
+  const std::string metrics = Fetch(server.port(), "/metrics", &status);
+  EXPECT_NE(metrics.find("kanon_dp_rejected_total 1"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("kanon_dp_releases_total 1"), std::string::npos);
+  EXPECT_NE(metrics.find("kanon_release_avg_range_error{semantics=\"dp\"}"),
+            std::string::npos);
+
+  // The next publication point is again byte-identical once caught up.
+  IngestAndPublish(leader, 30, /*offset=*/90);
+  WaitFor([&] { return follower.core()->epoch() >= 2; });
+  EXPECT_EQ(Fetch(leader.port(), "/release/dp?epsilon=0.5&seed=3"),
+            Fetch(server.port(), "/release/dp?epsilon=0.5&seed=3"));
+
+  server.Shutdown();
+  follower.Stop();
+  leader.service->Stop();
+}
+
 TEST(ReplicationE2eTest, FollowerBootstrapsFromCheckpointThenTails) {
   TempDir wal;
   TempDir scratch;

@@ -417,6 +417,24 @@ bool ParseServeArgs(int argc, const char* const* argv,
       if (v == nullptr) return false;
       options->repl_poll_ms = std::strtoull(v, nullptr, 10);
       if (options->repl_poll_ms == 0) return false;
+    } else if (arg == "--dp-height" || arg == "--dp_height") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      options->dp_height = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || options->dp_height >= 40) return false;
+    } else if (arg == "--dp-budget" || arg == "--dp_budget") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      options->dp_budget = std::strtod(v, &end);
+      if (end == v || *end != '\0') return false;
+    } else if (arg == "--dp-seed" || arg == "--dp_seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      options->dp_seed = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') return false;
     } else {
       return false;
     }
@@ -470,8 +488,11 @@ int RunFollower(const ServeOptions& options, std::ostream& log) {
   }
   fopts.core.anonymizer.base_k = options.k;  // manifest overrides at bootstrap
   fopts.core.max_staleness_ms = options.max_staleness_ms;
+  fopts.core.dp_height = options.dp_height;  // manifest overrides at bootstrap
   fopts.reject_stale_reads = options.stale_reads == "reject";
   fopts.poll_interval_ms = options.repl_poll_ms;
+  fopts.dp_budget = options.dp_budget;
+  fopts.dp_seed = options.dp_seed;
   fopts.scratch_dir =
       "/tmp/kanon-follower-" + std::to_string(::getpid());
 
@@ -593,6 +614,7 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
   service_options.lsm.merge_every = options.merge_every;
   service_options.lsm.merge_mode =
       options.merge_mode == "delta" ? MergeMode::kDelta : MergeMode::kFull;
+  service_options.dp_height = options.dp_height;
   if (service_options.lsm.enabled()) {
     log << "memtable: bytes=" << options.memtable_bytes
         << " merge_every=" << options.merge_every
@@ -683,7 +705,11 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
     http_options.port = port;
     http_options.num_threads = options.http_threads;
     http_options.parser.max_body_bytes = options.max_body_bytes;
-    frontend = std::make_unique<net::AnonHttpFrontend>(&service);
+    net::AnonHttpOptions frontend_options;
+    frontend_options.dp_budget = options.dp_budget;
+    frontend_options.dp_seed = options.dp_seed;
+    frontend = std::make_unique<net::AnonHttpFrontend>(&service,
+                                                       frontend_options);
     server = std::make_unique<net::HttpServer>(
         http_options, [f = frontend.get()](const net::HttpRequest& request) {
           return f->Handle(request);

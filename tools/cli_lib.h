@@ -135,6 +135,16 @@ struct ServeOptions {
   // reuses unchanged per-leaf release fragments across snapshots.
   // Requires the memtable to be on.
   std::string merge_mode = "full";
+
+  // Differentially private releases (--dp-height / --dp-budget /
+  // --dp-seed). dp_height sets the publication-time DP grid height
+  // (0 disables DP cell accounting and the /release/dp endpoints answer
+  // 409); dp_budget is the total epsilon spendable per release point over
+  // HTTP (<= 0 = unlimited); dp_seed is the noise seed used when a request
+  // names none — fix it to make DP releases reproducible across servers.
+  size_t dp_height = 10;
+  double dp_budget = 4.0;
+  uint64_t dp_seed = 0;
 };
 
 /// Parses "HOST:PORT", ":PORT" or "PORT" (host defaults to 127.0.0.1).

@@ -25,6 +25,13 @@
 #                         /metrics must additionally export the
 #                         kanon_delta_merges_total series with a non-zero
 #                         value by drain time
+#        KANON_DP=1       serve with a small --dp-budget and drive the DP
+#                         read side: /release/dp must answer the same bytes
+#                         twice (memoized release), /release/dp/query must
+#                         answer a range count, over-budget draws must be
+#                         429, malformed params 400, and /metrics must
+#                         export the kanon_dp_* and
+#                         kanon_release_avg_range_error series
 
 set -u
 
@@ -47,6 +54,12 @@ if [ -n "${KANON_DELTA:-}" ]; then
   SHARD_ARGS="$SHARD_ARGS --merge-mode delta"
 elif [ -n "${KANON_MEMTABLE:-}" ]; then
   SHARD_ARGS="$SHARD_ARGS --memtable-bytes 262144 --merge-every 1500"
+fi
+if [ -n "${KANON_DP:-}" ]; then
+  # A budget that fits exactly one 0.9-epsilon draw: the second distinct
+  # draw below must be the typed 429. The fixed seed makes the
+  # byte-identical re-serve assertion meaningful across runs too.
+  SHARD_ARGS="$SHARD_ARGS --dp-budget 1.0 --dp-seed 7"
 fi
 
 mkdir -p "$WORKDIR"
@@ -144,6 +157,49 @@ if [ -n "${KANON_DELTA:-}" ]; then
     "$WORKDIR/metrics.txt")
   [ -n "$DELTA_MERGES" ] && [ "$DELTA_MERGES" -ge 1 ] \
     || fail "/metrics kanon_delta_merges_total=$DELTA_MERGES, want >= 1"
+fi
+if [ -n "${KANON_DP:-}" ]; then
+  # The DP release must be memoized: two GETs with the same (epsilon, seed)
+  # return byte-identical bodies and the epoch in a header, not the body.
+  curl -sS -m 10 "$BASE/release/dp?epsilon=0.9&seed=7" > "$WORKDIR/dp1.json"
+  grep -q '"semantics":"dp"' "$WORKDIR/dp1.json" \
+    || fail "bad /release/dp: $(cat "$WORKDIR/dp1.json")"
+  grep -q '"cells":\[' "$WORKDIR/dp1.json" \
+    || fail "/release/dp carries no cells: $(cat "$WORKDIR/dp1.json")"
+  grep -q '"epoch"' "$WORKDIR/dp1.json" \
+    && fail "/release/dp leaks the epoch into the DP body"
+  curl -sS -m 10 "$BASE/release/dp?epsilon=0.9&seed=7" > "$WORKDIR/dp2.json"
+  cmp -s "$WORKDIR/dp1.json" "$WORKDIR/dp2.json" \
+    || fail "two /release/dp GETs with one (epsilon, seed) differ"
+
+  DP_QUERY=$(curl -sS -m 10 \
+    "$BASE/release/dp/query?lo=0,0&hi=500,1000&epsilon=0.9&seed=7")
+  echo "$DP_QUERY" | grep -q '"count":' \
+    || fail "bad /release/dp/query: $DP_QUERY"
+
+  # A second distinct draw would spend 1.8 > 1.0: typed 429.
+  CODE=$(curl -sS -m 10 -o /dev/null -w '%{http_code}' \
+    "$BASE/release/dp?epsilon=0.9&seed=8")
+  [ "$CODE" = 429 ] || fail "over-budget /release/dp answered $CODE, want 429"
+  # Unknown and malformed params are 400s, never ignored.
+  CODE=$(curl -sS -m 10 -o /dev/null -w '%{http_code}' \
+    "$BASE/release/dp?eps=1")
+  [ "$CODE" = 400 ] || fail "unknown DP param answered $CODE, want 400"
+  CODE=$(curl -sS -m 10 -o /dev/null -w '%{http_code}' \
+    "$BASE/release/dp/query?lo=0&hi=1,1&epsilon=0.9&seed=7")
+  [ "$CODE" = 400 ] || fail "short DP bounds answered $CODE, want 400"
+
+  curl -sS -m 10 "$BASE/metrics" > "$WORKDIR/metrics.txt"
+  for metric in kanon_dp_budget kanon_dp_budget_spent \
+                kanon_dp_releases_total kanon_dp_cache_hits_total \
+                kanon_dp_rejected_total kanon_dp_height \
+                kanon_release_avg_range_error; do
+    grep -q "$metric" "$WORKDIR/metrics.txt" \
+      || fail "/metrics is missing $metric"
+  done
+  grep -q '^kanon_dp_rejected_total 1$' "$WORKDIR/metrics.txt" \
+    || fail "/metrics kanon_dp_rejected_total != 1 after the 429"
+  echo "dp read side ok (release memoized, query, 429, 400s, metrics)"
 fi
 echo "read side ok (release, query, healthz, metrics)"
 

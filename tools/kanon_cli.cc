@@ -51,6 +51,15 @@
 // dimensionality); the anonymizer configuration is taken from the
 // leader's manifest, not local flags.
 //
+// Every serving role also exposes differentially private releases:
+// GET /release/dp?epsilon=&seed= serves noisy consistent hierarchical
+// counts over a data-independent grid (--dp-height levels), and
+// /release/dp/query answers range counts from them. --dp-budget caps the
+// total epsilon spendable per release point (served 429 past it);
+// --dp-seed fixes the default noise seed so two servers over the same
+// records serve byte-identical DP bodies. --dp-height 0 disables DP cell
+// accounting entirely (the endpoints then answer 409).
+//
 // The input's quasi-identifier fields are parsed as numbers (categoricals
 // numerically recoded upstream); an optional final integer column is the
 // sensitive attribute. With --schema (see data/schema_spec.h) attributes
@@ -90,6 +99,7 @@ void Usage() {
       "                 [--merge-mode full|delta]\n"
       "                 [--follow LEADER:PORT] [--max-staleness-ms MS]\n"
       "                 [--stale-reads serve|reject] [--repl-poll-ms MS]\n"
+      "                 [--dp-height H] [--dp-budget EPS] [--dp-seed N]\n"
       "(--input is optional when --listen and --domain are both given:\n"
       " records then arrive over HTTP; --follow makes the process a read\n"
       " replica of LEADER and requires --listen and --domain)\n";
