@@ -969,10 +969,11 @@ int main(int argc, char** argv) {
       // pays.
       std::vector<double> build_ms;
       std::shared_ptr<const DpRelease> release;
+      const DpNoiseKey key = DeriveDpNoiseKey("serve-smoke-dp-sweep");
       for (int rep = 0; rep < 5; ++rep) {
         Timer t;
         release = BuildDpRelease(**cells_or, stitched->domain(), height,
-                                 epsilon, /*seed=*/7);
+                                 epsilon, key);
         build_ms.push_back(t.ElapsedSeconds() * 1000.0);
       }
       std::sort(build_ms.begin(), build_ms.end());

@@ -1,50 +1,105 @@
 #include "dp/dp_ledger.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
 namespace kanon {
 
-DpBudgetLedger::DpBudgetLedger(double budget, size_t max_points)
-    : budget_(budget), max_points_(max_points == 0 ? 1 : max_points) {}
+DpBudgetLedger::DpBudgetLedger(DpLedgerOptions options)
+    : options_([&options] {
+        options.max_points = std::max<size_t>(options.max_points, 1);
+        options.max_releases_per_point =
+            std::max<size_t>(options.max_releases_per_point, 1);
+        if (!(options.min_epsilon > 0.0)) options.min_epsilon = 0.0;
+        return options;
+      }()) {}
 
 DpBudgetLedger::Point* DpBudgetLedger::FindOrCreatePointLocked(
     uint64_t epoch, uint64_t records) {
   for (Point& p : points_) {
     if (p.epoch == epoch && p.records == records) return &p;
   }
-  while (points_.size() >= max_points_) points_.pop_front();
-  points_.push_back(Point{epoch, records, 0.0, {}});
+  while (points_.size() >= options_.max_points) points_.pop_front();
+  points_.push_back(Point{epoch, records, 0.0, {}, {}, {}});
   return &points_.back();
 }
 
+void DpBudgetLedger::TouchLocked(Point* point, uint64_t eps_bits) {
+  point->lru.remove(eps_bits);
+  point->lru.push_back(eps_bits);
+}
+
 StatusOr<std::shared_ptr<const DpRelease>> DpBudgetLedger::Acquire(
-    uint64_t epoch, uint64_t records, double epsilon, uint64_t seed,
+    uint64_t epoch, uint64_t records, double epsilon,
     const std::function<std::shared_ptr<const DpRelease>()>& build) {
   if (!std::isfinite(epsilon) || epsilon <= 0.0) {
     return Status::InvalidArgument("epsilon must be a positive finite number");
   }
+  // The granularity floor keeps budget accounting meaningful as a memory
+  // bound too: without it, epsilon = 1e-300 builds are charged ~nothing
+  // and an attacker can force unbounded distinct builds.
+  if (epsilon < options_.min_epsilon) {
+    return Status::InvalidArgument(
+        "epsilon below the server's granularity floor of " +
+        std::to_string(options_.min_epsilon));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   Point* point = FindOrCreatePointLocked(epoch, records);
-  const auto key = std::make_pair(std::bit_cast<uint64_t>(epsilon), seed);
-  const auto it = point->releases.find(key);
-  if (it != point->releases.end()) {
+  const uint64_t eps_bits = std::bit_cast<uint64_t>(epsilon);
+  if (const auto it = point->releases.find(eps_bits);
+      it != point->releases.end()) {
+    TouchLocked(point, eps_bits);
     hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
-  if (budget_ > 0.0 && point->spent + epsilon > budget_) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
-    return Status::ResourceExhausted(
-        "dp budget exhausted for this release point: spent " +
-        std::to_string(point->spent) + " of " + std::to_string(budget_) +
-        ", requested epsilon " + std::to_string(epsilon));
+  // Rebuilding an already-charged epsilon (its release was LRU-evicted)
+  // reproduces the identical bytes from the same (epsilon, key) noise —
+  // post-processing, charged nothing. Only a genuinely new epsilon is a
+  // fresh draw that must clear both budgets. With no budget configured the
+  // charge record is skipped entirely (it would be an unbounded set with
+  // nothing to enforce; the spent gauges may then double-count a rebuild
+  // after eviction).
+  const bool accounting =
+      options_.budget > 0.0 || options_.lifetime_budget > 0.0;
+  const bool already_charged =
+      accounting && point->charged.count(eps_bits) > 0;
+  if (!already_charged) {
+    if (options_.budget > 0.0 && point->spent + epsilon > options_.budget) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "dp budget exhausted for this release point: spent " +
+          std::to_string(point->spent) + " of " +
+          std::to_string(options_.budget) + ", requested epsilon " +
+          std::to_string(epsilon));
+    }
+    if (options_.lifetime_budget > 0.0 &&
+        lifetime_spent_ + epsilon > options_.lifetime_budget) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "dp lifetime budget exhausted: spent " +
+          std::to_string(lifetime_spent_) + " of " +
+          std::to_string(options_.lifetime_budget) +
+          " across all release points, requested epsilon " +
+          std::to_string(epsilon));
+    }
   }
   std::shared_ptr<const DpRelease> release = build();
   if (release == nullptr) {
     return Status::Internal("dp release build failed");
   }
-  point->spent += epsilon;
-  point->releases.emplace(key, release);
+  if (!already_charged) {
+    point->spent += epsilon;
+    lifetime_spent_ += epsilon;
+    if (accounting) point->charged.insert(eps_bits);
+  }
+  point->releases.emplace(eps_bits, release);
+  TouchLocked(point, eps_bits);
+  while (point->releases.size() > options_.max_releases_per_point) {
+    point->releases.erase(point->lru.front());
+    point->lru.pop_front();
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+  }
   built_.fetch_add(1, std::memory_order_relaxed);
   return release;
 }
@@ -55,6 +110,11 @@ double DpBudgetLedger::Spent(uint64_t epoch, uint64_t records) const {
     if (p.epoch == epoch && p.records == records) return p.spent;
   }
   return 0.0;
+}
+
+double DpBudgetLedger::LifetimeSpent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lifetime_spent_;
 }
 
 }  // namespace kanon

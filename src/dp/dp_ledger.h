@@ -5,25 +5,51 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 
 #include "common/status.h"
 #include "dp/dp_release.h"
 
 namespace kanon {
 
+struct DpLedgerOptions {
+  /// Total epsilon spendable per release point. <= 0 means unlimited (no
+  /// accounting, memoization only).
+  double budget = 4.0;
+  /// Total epsilon spendable across *all* release points over the ledger's
+  /// lifetime. <= 0 means unlimited. See the cumulative-loss caveat below:
+  /// without this cap, a record present across N epochs suffers up to
+  /// N * budget of composed privacy loss over the service lifetime.
+  double lifetime_budget = 0.0;
+  /// Smallest admissible epsilon per build. A granularity floor, not a
+  /// privacy knob: together with the budget it bounds how many distinct
+  /// charged builds one release point can accumulate (budget/min_epsilon),
+  /// so budget accounting also bounds ledger memory.
+  double min_epsilon = 1e-3;
+  /// Release points tracked, evicted oldest-first beyond this.
+  size_t max_points = 8;
+  /// Memoized releases retained per point, LRU-evicted beyond this. An
+  /// evicted release that is requested again is rebuilt bit-identically
+  /// (the noise is a pure function of (epsilon, key)) and is *not*
+  /// re-charged — the charge record survives eviction.
+  size_t max_releases_per_point = 32;
+};
+
 /// Per-epoch privacy-budget accounting for DP releases.
 ///
-/// The unit of spending is one *distinct* (epsilon, seed) release per
-/// release point: by sequential composition, answering n distinct noisy
-/// hierarchies of one dataset costs the sum of their epsilons, while
-/// re-serving a memoized hierarchy is free (post-processing). The ledger
-/// therefore memoizes every built release and only charges on first build;
-/// a build that would push the release point's spend past `budget` is
-/// refused with ResourceExhausted *before* any noise is drawn — an
-/// over-budget request burns nothing.
+/// The unit of spending is one *distinct* epsilon build per release point:
+/// by sequential composition, answering n distinct noisy hierarchies of
+/// one dataset costs the sum of their epsilons, while re-serving a
+/// memoized (or bit-identically rebuilt) hierarchy is free
+/// (post-processing). The ledger charges each epsilon at most once per
+/// release point; a build that would push the point's spend past `budget`
+/// — or the whole ledger past `lifetime_budget` — is refused with
+/// ResourceExhausted *before* any noise is drawn, so an over-budget
+/// request burns nothing.
 ///
 /// A release point is the (epoch, records) pair — the same key replication
 /// uses to name publication points, so a follower's ledger lines up with
@@ -31,22 +57,35 @@ namespace kanon {
 /// `max_points` and evicted oldest-first (their budget is spent forever in
 /// the formal sense; the ledger just stops tracking what can no longer be
 /// requested).
+///
+/// Cumulative-loss caveat: the per-point budget bounds the loss of each
+/// *publication*, not of each *record*. Successive epochs largely contain
+/// the same records, so a record present across N published epochs suffers
+/// up to N * budget of total epsilon by sequential composition — unbounded
+/// over the service lifetime unless `lifetime_budget` (or an external
+/// epoch-rate limit) caps it. DESIGN.md §17 spells this out.
 class DpBudgetLedger {
  public:
-  /// `budget` <= 0 means unlimited (no accounting, memoization only).
-  explicit DpBudgetLedger(double budget, size_t max_points = 8);
+  explicit DpBudgetLedger(DpLedgerOptions options);
+  /// Convenience: a ledger with only the per-point budget customized.
+  explicit DpBudgetLedger(double budget) : DpBudgetLedger(With(budget)) {}
 
-  /// The memoized release for (epoch, records, epsilon, seed), building it
-  /// via `build` (charged against the budget) on first request.
-  /// InvalidArgument for a non-finite or non-positive epsilon;
-  /// ResourceExhausted when building would exceed the budget.
+  /// The memoized release for (epoch, records, epsilon), building it via
+  /// `build` (charged against the budgets) on first request.
+  /// InvalidArgument for a non-finite, non-positive, or below-granularity
+  /// epsilon; ResourceExhausted when charging would exceed a budget.
   StatusOr<std::shared_ptr<const DpRelease>> Acquire(
-      uint64_t epoch, uint64_t records, double epsilon, uint64_t seed,
+      uint64_t epoch, uint64_t records, double epsilon,
       const std::function<std::shared_ptr<const DpRelease>()>& build);
 
-  double budget() const { return budget_; }
+  double budget() const { return options_.budget; }
+  double lifetime_budget() const { return options_.lifetime_budget; }
+  double min_epsilon() const { return options_.min_epsilon; }
   /// Epsilon charged so far against the given release point.
   double Spent(uint64_t epoch, uint64_t records) const;
+  /// Epsilon charged so far across every release point this ledger has
+  /// ever tracked (survives point eviction).
+  double LifetimeSpent() const;
 
   uint64_t releases_built() const {
     return built_.load(std::memory_order_relaxed);
@@ -57,28 +96,43 @@ class DpBudgetLedger {
   uint64_t rejected() const {
     return rejected_.load(std::memory_order_relaxed);
   }
+  /// Memoized releases LRU-evicted under max_releases_per_point.
+  uint64_t evicted() const {
+    return evicted_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Point {
     uint64_t epoch = 0;
     uint64_t records = 0;
     double spent = 0.0;
-    /// Keyed by (bit pattern of epsilon, seed): distinct doubles — even
-    /// ones comparing equal like -0.0 and 0.0 — are distinct charges.
-    std::map<std::pair<uint64_t, uint64_t>,
-             std::shared_ptr<const DpRelease>>
-        releases;
+    /// Epsilons (by bit pattern: distinct doubles — even ones comparing
+    /// equal like -0.0 and 0.0 — are distinct charges) already charged at
+    /// this point. Bounded by budget/min_epsilon when a budget applies.
+    std::set<uint64_t> charged;
+    /// Memoized releases keyed by epsilon bit pattern, LRU order in `lru`
+    /// (most recent at the back). Bounded by max_releases_per_point.
+    std::map<uint64_t, std::shared_ptr<const DpRelease>> releases;
+    std::list<uint64_t> lru;
   };
 
-  Point* FindOrCreatePointLocked(uint64_t epoch, uint64_t records);
+  static DpLedgerOptions With(double budget) {
+    DpLedgerOptions options;
+    options.budget = budget;
+    return options;
+  }
 
-  const double budget_;
-  const size_t max_points_;
+  Point* FindOrCreatePointLocked(uint64_t epoch, uint64_t records);
+  void TouchLocked(Point* point, uint64_t eps_bits);
+
+  const DpLedgerOptions options_;
   mutable std::mutex mu_;
   std::deque<Point> points_;
+  double lifetime_spent_ = 0.0;
   std::atomic<uint64_t> built_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> evicted_{0};
 };
 
 }  // namespace kanon

@@ -41,7 +41,7 @@ std::vector<double> SplitDpBudget(double epsilon, size_t height) {
 
 DpHierarchyCounts NoisyConsistentHierarchy(const std::vector<uint64_t>& cells,
                                            size_t height, double epsilon,
-                                           uint64_t seed) {
+                                           const DpNoiseKey& key) {
   const size_t leaves = size_t{1} << height;
   const size_t nodes = size_t{2} << height;  // [0] unused
   KANON_CHECK(cells.size() == leaves);
@@ -56,7 +56,7 @@ DpHierarchyCounts NoisyConsistentHierarchy(const std::vector<uint64_t>& cells,
   }
 
   // Per-level noise scales. The RNG stream is the epsilon bit pattern, so
-  // two releases at different epsilons never reuse noise under one seed.
+  // two releases at different epsilons never reuse noise under one key.
   const std::vector<double> level_eps = SplitDpBudget(epsilon, height);
   std::vector<double> level_alpha(height + 1);
   std::vector<double> level_var(height + 1);
@@ -68,7 +68,7 @@ DpHierarchyCounts NoisyConsistentHierarchy(const std::vector<uint64_t>& cells,
     level_var[i] =
         std::max(TwoSidedGeometricVariance(level_alpha[i]), 1e-12);
   }
-  const CounterRng rng(seed, std::bit_cast<uint64_t>(epsilon));
+  const CounterRng rng(key, std::bit_cast<uint64_t>(epsilon));
 
   std::vector<double> noisy(nodes, 0.0);
   for (size_t v = 1; v < nodes; ++v) {
@@ -162,17 +162,16 @@ double DpRangeCount(const DpHierarchyCounts& h, const DpGrid& grid,
 
 std::shared_ptr<const DpRelease> BuildDpRelease(
     const std::vector<uint64_t>& cells, const Domain& domain, size_t height,
-    double epsilon, uint64_t seed) {
+    double epsilon, const DpNoiseKey& key) {
   DpGrid grid(domain, height);
   DpHierarchyCounts counts =
-      NoisyConsistentHierarchy(cells, height, epsilon, seed);
+      NoisyConsistentHierarchy(cells, height, epsilon, key);
 
   // Canonical body. The consistent hierarchy is fully determined by its
   // leaf row (parents are exact sums), so the leaves are the release;
   // "records" is the *noisy* root total — no exact count ever leaves the
-  // mechanism.
+  // mechanism, and no noise-key material does either.
   std::string body = "{\"semantics\":\"dp\",\"epsilon\":" + FmtG17(epsilon) +
-                     ",\"seed\":" + std::to_string(seed) +
                      ",\"height\":" + std::to_string(height) +
                      ",\"dim\":" + std::to_string(domain.dim());
   body += ",\"domain\":[";
@@ -190,7 +189,7 @@ std::shared_ptr<const DpRelease> BuildDpRelease(
   body += "]}";
 
   return std::make_shared<const DpRelease>(DpRelease{
-      epsilon, seed, std::move(grid), std::move(counts), std::move(body)});
+      epsilon, std::move(grid), std::move(counts), std::move(body)});
 }
 
 DpUtilityReport EvaluateReleaseUtility(const std::vector<uint64_t>& cells,
@@ -202,8 +201,13 @@ DpUtilityReport EvaluateReleaseUtility(const std::vector<uint64_t>& cells,
   double dp_err = 0.0;
   // Node boxes at two coarse levels: deterministic, cell-aligned (truth is
   // exact), and spanning two selectivities like the paper's fig-12 sweep.
-  for (const size_t level :
-       {std::min<size_t>(grid.height(), 2), std::min<size_t>(grid.height(), 4)}) {
+  // On grids of height <= 2 both picks clamp to the same level; evaluate
+  // that query set once, not twice.
+  const size_t coarse = std::min<size_t>(grid.height(), 2);
+  const size_t fine = std::min<size_t>(grid.height(), 4);
+  std::vector<size_t> levels = {coarse};
+  if (fine != coarse) levels.push_back(fine);
+  for (const size_t level : levels) {
     const size_t first = size_t{1} << level;
     for (size_t v = first; v < first * 2; ++v) {
       size_t lo, hi;

@@ -8,6 +8,7 @@
 
 #include "anon/partition.h"
 #include "dp/dp_hierarchy.h"
+#include "dp/dp_rng.h"
 
 namespace kanon {
 
@@ -35,8 +36,10 @@ struct DpHierarchyCounts {
 ///   1. exact up-sum of `cells` into a heap of height `height`;
 ///   2. two-sided geometric noise per node, the level-i nodes at decay
 ///      alpha_i = exp(-eps_i) with eps_i from SplitDpBudget, drawn from a
-///      CounterRng keyed by (seed, bits-of-epsilon) at counters 2v/2v+1 —
-///      a pure function of (cells, epsilon, seed), nothing else;
+///      CounterRng keyed by (key, bits-of-epsilon) at counters 2v/2v+1 —
+///      a pure function of (cells, epsilon, key), nothing else. The key is
+///      the server-held secret of DpNoiseKey: it never appears in any
+///      request, release body, or metric;
 ///   3. Hay-style consistency: an inverse-variance-weighted up pass
 ///      combines each node's own noisy count with the sum of its
 ///      children's estimates, a down pass distributes the residual so
@@ -47,7 +50,7 @@ struct DpHierarchyCounts {
 ///      exact parent == sum(children) at every node.
 DpHierarchyCounts NoisyConsistentHierarchy(const std::vector<uint64_t>& cells,
                                            size_t height, double epsilon,
-                                           uint64_t seed);
+                                           const DpNoiseKey& key);
 
 /// Estimated count of `query` from the noisy hierarchy: nodes fully inside
 /// contribute their count, disjoint nodes zero, and partially covered leaf
@@ -58,13 +61,14 @@ double DpRangeCount(const DpHierarchyCounts& h, const DpGrid& grid,
 
 /// One immutable memoized DP release: the noisy hierarchy plus its
 /// canonical serialized body. The body is a pure function of
-/// (cells, domain, height, epsilon, seed) — deliberately *excluding* the
+/// (cells, domain, height, epsilon, key) — deliberately *excluding* the
 /// publication epoch, which is transport metadata (X-Kanon-Epoch): a
 /// stitched release's epoch is the sum of per-shard epochs and so differs
-/// across shard counts even when the released data is identical.
+/// across shard counts even when the released data is identical. The noise
+/// key is deliberately *not* stored or serialized: the release carries no
+/// material a consumer could use to regenerate the noise.
 struct DpRelease {
   double epsilon = 0.0;
-  uint64_t seed = 0;
   DpGrid grid;
   DpHierarchyCounts counts;
   std::string body;
@@ -74,7 +78,7 @@ struct DpRelease {
 /// have 2^height entries.
 std::shared_ptr<const DpRelease> BuildDpRelease(
     const std::vector<uint64_t>& cells, const Domain& domain, size_t height,
-    double epsilon, uint64_t seed);
+    double epsilon, const DpNoiseKey& key);
 
 /// Fig-12-style utility summary comparable across release semantics: the
 /// average relative error of a fixed, deterministic range-query workload

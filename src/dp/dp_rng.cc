@@ -1,27 +1,187 @@
 #include "dp/dp_rng.h"
 
 #include <cmath>
+#include <cstring>
+#include <random>
+#include <string>
 
 namespace kanon {
+namespace {
 
-uint64_t DpMix64(uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ull;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebull;
-  x ^= x >> 31;
-  return x;
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4), used only for key derivation — a few dozen bytes
+// once per server start, so clarity beats throughput.
+
+constexpr uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+uint32_t Rotr32(uint32_t x, unsigned n) { return (x >> n) | (x << (32 - n)); }
+
+void Sha256Compress(uint32_t state[8], const uint8_t block[64]) {
+  uint32_t w[64];
+  for (size_t i = 0; i < 16; ++i) {
+    w[i] = static_cast<uint32_t>(block[4 * i]) << 24 |
+           static_cast<uint32_t>(block[4 * i + 1]) << 16 |
+           static_cast<uint32_t>(block[4 * i + 2]) << 8 |
+           static_cast<uint32_t>(block[4 * i + 3]);
+  }
+  for (size_t i = 16; i < 64; ++i) {
+    const uint32_t s0 =
+        Rotr32(w[i - 15], 7) ^ Rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const uint32_t s1 =
+        Rotr32(w[i - 2], 17) ^ Rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+  for (size_t i = 0; i < 64; ++i) {
+    const uint32_t s1 = Rotr32(e, 6) ^ Rotr32(e, 11) ^ Rotr32(e, 25);
+    const uint32_t ch = (e & f) ^ (~e & g);
+    const uint32_t t1 = h + s1 + ch + kSha256K[i] + w[i];
+    const uint32_t s0 = Rotr32(a, 2) ^ Rotr32(a, 13) ^ Rotr32(a, 22);
+    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
 }
 
-CounterRng::CounterRng(uint64_t seed, uint64_t stream)
-    : key0_(DpMix64(seed ^ 0x9e3779b97f4a7c15ull)),
-      key1_(DpMix64(stream ^ 0x6a09e667f3bcc909ull)) {}
+// ---------------------------------------------------------------------------
+// ChaCha20 block function, djb's original layout: a 64-bit block counter in
+// words 12-13 and a 64-bit nonce in words 14-15 (the counter must cover
+// 2 * 2^(height+1) draws, which overflows the RFC 8439 32-bit counter at
+// the tall grids the CLI admits).
+
+uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}
+
+void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = Rotr32(d ^ a, 16);
+  c += d;
+  b = Rotr32(b ^ c, 20);
+  a += b;
+  d = Rotr32(d ^ a, 24);
+  c += d;
+  b = Rotr32(b ^ c, 25);
+}
+
+}  // namespace
+
+std::array<uint8_t, 32> Sha256(std::string_view data) {
+  uint32_t state[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                       0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data.data());
+  size_t remaining = data.size();
+  while (remaining >= 64) {
+    Sha256Compress(state, p);
+    p += 64;
+    remaining -= 64;
+  }
+  // Final block(s): message tail, 0x80, zero pad, 64-bit bit length.
+  uint8_t tail[128] = {0};
+  std::memcpy(tail, p, remaining);
+  tail[remaining] = 0x80;
+  const size_t tail_blocks = remaining + 9 <= 64 ? 1 : 2;
+  const uint64_t bit_len = static_cast<uint64_t>(data.size()) * 8;
+  for (size_t i = 0; i < 8; ++i) {
+    tail[tail_blocks * 64 - 1 - i] = static_cast<uint8_t>(bit_len >> (8 * i));
+  }
+  Sha256Compress(state, tail);
+  if (tail_blocks == 2) Sha256Compress(state, tail + 64);
+  std::array<uint8_t, 32> out;
+  for (size_t i = 0; i < 8; ++i) {
+    out[4 * i] = static_cast<uint8_t>(state[i] >> 24);
+    out[4 * i + 1] = static_cast<uint8_t>(state[i] >> 16);
+    out[4 * i + 2] = static_cast<uint8_t>(state[i] >> 8);
+    out[4 * i + 3] = static_cast<uint8_t>(state[i]);
+  }
+  return out;
+}
+
+void ChaCha20Block(const std::array<uint8_t, 32>& key, uint64_t counter,
+                   uint64_t nonce, uint32_t out[16]) {
+  uint32_t state[16];
+  state[0] = 0x61707865;  // "expa"
+  state[1] = 0x3320646e;  // "nd 3"
+  state[2] = 0x79622d32;  // "2-by"
+  state[3] = 0x6b206574;  // "te k"
+  for (size_t i = 0; i < 8; ++i) state[4 + i] = LoadLe32(&key[4 * i]);
+  state[12] = static_cast<uint32_t>(counter);
+  state[13] = static_cast<uint32_t>(counter >> 32);
+  state[14] = static_cast<uint32_t>(nonce);
+  state[15] = static_cast<uint32_t>(nonce >> 32);
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (size_t i = 0; i < 16; ++i) out[i] = x[i] + state[i];
+}
+
+DpNoiseKey DeriveDpNoiseKey(std::string_view secret) {
+  std::string tagged = "kanon-dp-noise-key-v1:";
+  tagged.append(secret.data(), secret.size());
+  DpNoiseKey key;
+  key.bytes = Sha256(tagged);
+  return key;
+}
+
+DpNoiseKey RandomDpNoiseKey() {
+  std::random_device entropy;
+  DpNoiseKey key;
+  for (size_t i = 0; i < key.bytes.size(); i += 4) {
+    const uint32_t word = entropy();
+    key.bytes[i] = static_cast<uint8_t>(word);
+    key.bytes[i + 1] = static_cast<uint8_t>(word >> 8);
+    key.bytes[i + 2] = static_cast<uint8_t>(word >> 16);
+    key.bytes[i + 3] = static_cast<uint8_t>(word >> 24);
+  }
+  return key;
+}
+
+CounterRng::CounterRng(const DpNoiseKey& key, uint64_t stream)
+    : key_bytes_(key.bytes), stream_(stream) {}
 
 uint64_t CounterRng::Bits(uint64_t counter) const {
-  // Two mixing rounds with the key injected between them: enough diffusion
-  // that consecutive counters share no visible structure, while staying a
-  // pure function of (key0, key1, counter).
-  return DpMix64(DpMix64(counter + key0_) ^ key1_);
+  uint32_t block[16];
+  ChaCha20Block(key_bytes_, counter, stream_, block);
+  return static_cast<uint64_t>(block[0]) |
+         static_cast<uint64_t>(block[1]) << 32;
 }
 
 double CounterRng::Uniform(uint64_t counter) const {

@@ -1,28 +1,65 @@
 #ifndef KANON_DP_DP_RNG_H_
 #define KANON_DP_DP_RNG_H_
 
+#include <array>
 #include <cstdint>
+#include <string_view>
 
 namespace kanon {
 
-/// SplitMix64 finalizer: a fixed bijective mixer with full avalanche, the
-/// primitive under the counter-based generator below.
-uint64_t DpMix64(uint64_t x);
+/// SHA-256 of `data` — the key-derivation hash under DpNoiseKey. Exposed
+/// so tests can pin the implementation against the FIPS 180-4 vectors.
+std::array<uint8_t, 32> Sha256(std::string_view data);
+
+/// One 64-byte ChaCha20 keystream block (djb's original 64-bit-counter /
+/// 64-bit-nonce layout, 20 rounds) as 16 little-endian words. Exposed so
+/// tests can pin the block function against the published vectors.
+void ChaCha20Block(const std::array<uint8_t, 32>& key, uint64_t counter,
+                   uint64_t nonce, uint32_t out[16]);
+
+/// The 256-bit secret key all DP noise is drawn from. The key is
+/// *server-held*: it is never accepted from a request, never serialized
+/// into a release body, and never exported through /metrics — a consumer
+/// who could learn it could regenerate the noise vector and subtract it,
+/// voiding the epsilon-DP guarantee. Determinism across processes (shards
+/// of one deployment, a leader and its followers) comes from the operator
+/// distributing the same secret out-of-band (--dp-key), exactly like any
+/// other shared credential.
+struct DpNoiseKey {
+  std::array<uint8_t, 32> bytes{};
+
+  bool operator==(const DpNoiseKey& other) const {
+    return bytes == other.bytes;
+  }
+};
+
+/// Derives the noise key from an operator secret: SHA-256 over a
+/// domain-separation tag plus the secret, so the same secret always yields
+/// the same key and the key never reveals the secret.
+DpNoiseKey DeriveDpNoiseKey(std::string_view secret);
+
+/// A fresh key from OS entropy — the default when no --dp-key is
+/// configured. Releases are still epsilon-DP (the key is secret and
+/// unpredictable); they are just not reproducible across independently
+/// started processes.
+DpNoiseKey RandomDpNoiseKey();
 
 /// A stateless counter-based generator: a keyed PRF from a 64-bit counter
-/// to 64 random-looking bits. Unlike a sequential PRNG there is no hidden
-/// state to advance, so the value drawn for a given counter is a pure
-/// function of (seed, stream, counter) — independent of evaluation order,
-/// thread count, shard count, or which process (leader or follower) asks.
-/// That is exactly the determinism contract the DP release needs: noise for
-/// tree node v is drawn at counters 2v and 2v+1, and any party holding the
-/// same (epsilon, seed) reproduces it bit-for-bit.
+/// to 64 pseudorandom bits, computed as the first two words of a ChaCha20
+/// keystream block at (key, counter, nonce = stream). Unlike a sequential
+/// PRNG there is no hidden state to advance, so the value drawn for a
+/// given counter is a pure function of (key, stream, counter) —
+/// independent of evaluation order, thread count, shard count, or which
+/// process (leader or follower) asks. That is exactly the determinism
+/// contract the DP release needs: noise for tree node v is drawn at
+/// counters 2v and 2v+1, and any party holding the same (epsilon, key)
+/// reproduces it bit-for-bit — and nobody else can.
 class CounterRng {
  public:
-  /// `stream` separates independent uses under one seed (the release keys
+  /// `stream` separates independent uses under one key (the release keys
   /// it off the epsilon bit pattern, so different epsilons never share
   /// noise).
-  CounterRng(uint64_t seed, uint64_t stream);
+  CounterRng(const DpNoiseKey& key, uint64_t stream);
 
   /// The 64 PRF bits at `counter`.
   uint64_t Bits(uint64_t counter) const;
@@ -32,8 +69,8 @@ class CounterRng {
   double Uniform(uint64_t counter) const;
 
  private:
-  uint64_t key0_;
-  uint64_t key1_;
+  std::array<uint8_t, 32> key_bytes_;
+  uint64_t stream_;
 };
 
 /// One draw of two-sided geometric noise with decay `alpha` = exp(-eps):

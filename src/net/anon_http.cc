@@ -88,13 +88,14 @@ HttpResponse NothingPublished(unsigned retry_after_s) {
   return resp;
 }
 
-/// Parses the optional epsilon/seed pair of the DP endpoints. Absent
-/// epsilon means 1.0; absent seed means the server's configured default.
-Status ParseEpsilonSeed(
+/// Parses the optional epsilon of the DP endpoints. Absent epsilon means
+/// 1.0. There is deliberately no seed parameter: the noise is drawn from
+/// the server-held secret key, and a client-choosable seed would let the
+/// client regenerate and subtract the noise.
+Status ParseEpsilonParam(
     const std::vector<std::pair<std::string, std::string>>& params,
-    uint64_t default_seed, double* epsilon, uint64_t* seed) {
+    double* epsilon) {
   *epsilon = 1.0;
-  *seed = default_seed;
   if (const std::string* v = QueryParam(params, "epsilon")) {
     char* end = nullptr;
     const double parsed = std::strtod(v->c_str(), &end);
@@ -104,17 +105,6 @@ Status ParseEpsilonSeed(
           "epsilon must be a positive finite number, got '" + *v + "'");
     }
     *epsilon = parsed;
-  }
-  if (const std::string* v = QueryParam(params, "seed")) {
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(v->c_str(), &end, 10);
-    // strtoull silently wraps a leading '-'; only plain digits are a seed.
-    if (v->empty() || !std::isdigit(static_cast<unsigned char>((*v)[0])) ||
-        end == v->c_str() || *end != '\0') {
-      return Status::InvalidArgument(
-          "seed must be an unsigned integer, got '" + *v + "'");
-    }
-    *seed = parsed;
   }
   return Status::OK();
 }
@@ -264,7 +254,9 @@ AnonHttpFrontend::AnonHttpFrontend(ShardedAnonymizationService* service,
                                    AnonHttpOptions options)
     : service_(service),
       options_(options),
-      dp_(options_.dp_budget, options_.dp_seed, options_.retry_after_s) {}
+      dp_(DpServingOptions{options_.dp_budget, options_.dp_lifetime_budget,
+                           options_.dp_key, options_.dp_metrics_utility,
+                           options_.retry_after_s}) {}
 
 HttpResponse AnonHttpFrontend::Handle(const HttpRequest& request) {
   Timer timer;
@@ -466,40 +458,53 @@ HttpResponse RenderRelease(const StitchedSnapshot* stitched,
   return HttpResponse::Json(200, std::move(body));
 }
 
-DpServing::DpServing(double budget, uint64_t default_seed,
-                     unsigned retry_after_s)
-    : default_seed_(default_seed),
-      retry_after_s_(retry_after_s),
-      ledger_(budget) {}
+namespace {
+
+/// The serving key: the configured shared secret, or a fresh random key
+/// when none is configured (releases stay DP; they are just not
+/// reproducible across independently started processes).
+DpNoiseKey ServingKey(const std::string& secret) {
+  return secret.empty() ? RandomDpNoiseKey() : DeriveDpNoiseKey(secret);
+}
+
+}  // namespace
+
+DpServing::DpServing(const DpServingOptions& options)
+    : key_(ServingKey(options.key_secret)),
+      utility_in_metrics_(options.utility_in_metrics),
+      retry_after_s_(options.retry_after_s),
+      ledger_([&options] {
+        DpLedgerOptions ledger_options;
+        ledger_options.budget = options.budget;
+        ledger_options.lifetime_budget = options.lifetime_budget;
+        return ledger_options;
+      }()) {}
 
 StatusOr<std::shared_ptr<const DpRelease>> DpServing::Acquire(
-    const StitchedSnapshot& stitched, double epsilon, uint64_t seed) {
+    const StitchedSnapshot& stitched, double epsilon) {
   size_t height = 0;
   KANON_ASSIGN_OR_RETURN(DpCells cells, stitched.SummedDpCells(&height));
   const StitchedInfo& info = stitched.info();
-  // The ledger memoizes per (release point, epsilon, seed): only the first
-  // build of a distinct (epsilon, seed) pair draws noise and is charged.
-  return ledger_.Acquire(info.epoch, info.records, epsilon, seed, [&] {
-    return BuildDpRelease(*cells, stitched.domain(), height, epsilon, seed);
+  // The ledger memoizes per (release point, epsilon): only the first build
+  // of a distinct epsilon draws noise and is charged.
+  return ledger_.Acquire(info.epoch, info.records, epsilon, [&] {
+    return BuildDpRelease(*cells, stitched.domain(), height, epsilon, key_);
   });
 }
 
 HttpResponse DpServing::HandleRelease(const StitchedSnapshot* stitched,
                                       const HttpRequest& request) {
   const auto params = ParseQuery(request.query);
-  if (const std::string* bad =
-          UnknownQueryParam(params, {"epsilon", "seed"})) {
+  if (const std::string* bad = UnknownQueryParam(params, {"epsilon"})) {
     return HttpResponse::FromStatus(Status::InvalidArgument(
-        "unknown query parameter '" + *bad + "' (have epsilon, seed)"));
+        "unknown query parameter '" + *bad + "' (have epsilon)"));
   }
   double epsilon = 0.0;
-  uint64_t seed = 0;
-  if (Status s = ParseEpsilonSeed(params, default_seed_, &epsilon, &seed);
-      !s.ok()) {
+  if (Status s = ParseEpsilonParam(params, &epsilon); !s.ok()) {
     return HttpResponse::FromStatus(s);
   }
   if (stitched == nullptr) return NothingPublished(retry_after_s_);
-  auto release_or = Acquire(*stitched, epsilon, seed);
+  auto release_or = Acquire(*stitched, epsilon);
   if (!release_or.ok()) {
     // kResourceExhausted -> 429 (budget spent for this release point),
     // kFailedPrecondition -> 409 (publisher runs with DP off).
@@ -522,15 +527,12 @@ HttpResponse DpServing::HandleQuery(const StitchedSnapshot* stitched,
                                     const HttpRequest& request) {
   const auto params = ParseQuery(request.query);
   if (const std::string* bad =
-          UnknownQueryParam(params, {"epsilon", "seed", "lo", "hi"})) {
+          UnknownQueryParam(params, {"epsilon", "lo", "hi"})) {
     return HttpResponse::FromStatus(Status::InvalidArgument(
-        "unknown query parameter '" + *bad +
-        "' (have lo, hi, epsilon, seed)"));
+        "unknown query parameter '" + *bad + "' (have lo, hi, epsilon)"));
   }
   double epsilon = 0.0;
-  uint64_t seed = 0;
-  if (Status s = ParseEpsilonSeed(params, default_seed_, &epsilon, &seed);
-      !s.ok()) {
+  if (Status s = ParseEpsilonParam(params, &epsilon); !s.ok()) {
     return HttpResponse::FromStatus(s);
   }
   const std::string* lo_s = QueryParam(params, "lo");
@@ -556,7 +558,7 @@ HttpResponse DpServing::HandleQuery(const StitchedSnapshot* stitched,
           "]: empty query box"));
     }
   }
-  auto release_or = Acquire(*stitched, epsilon, seed);
+  auto release_or = Acquire(*stitched, epsilon);
   if (!release_or.ok()) {
     HttpResponse resp = HttpResponse::FromStatus(release_or.status());
     for (auto& [name, value] : resp.headers) {
@@ -571,8 +573,7 @@ HttpResponse DpServing::HandleQuery(const StitchedSnapshot* stitched,
   // raw records are never touched.
   const double count = DpRangeCount(release.counts, release.grid, query);
   std::string body = "{\"semantics\":\"dp\",\"epsilon\":" +
-                     FmtDouble(release.epsilon) +
-                     ",\"seed\":" + std::to_string(release.seed) + ",\"lo\":[";
+                     FmtDouble(release.epsilon) + ",\"lo\":[";
   for (size_t d = 0; d < dim; ++d) {
     if (d != 0) body += ",";
     body += FmtDouble(lo[d]);
@@ -592,12 +593,18 @@ HttpResponse DpServing::HandleQuery(const StitchedSnapshot* stitched,
 void DpServing::AppendMetrics(std::string* out,
                               const StitchedSnapshot* stitched) {
   AppendPromMetric(out, "kanon_dp_budget", "gauge", ledger_.budget());
+  AppendPromMetric(out, "kanon_dp_lifetime_budget", "gauge",
+                   ledger_.lifetime_budget());
+  AppendPromMetric(out, "kanon_dp_lifetime_spent", "gauge",
+                   ledger_.LifetimeSpent());
   AppendPromMetric(out, "kanon_dp_releases_total", "counter",
                    static_cast<double>(ledger_.releases_built()));
   AppendPromMetric(out, "kanon_dp_cache_hits_total", "counter",
                    static_cast<double>(ledger_.cache_hits()));
   AppendPromMetric(out, "kanon_dp_rejected_total", "counter",
                    static_cast<double>(ledger_.rejected()));
+  AppendPromMetric(out, "kanon_dp_evicted_total", "counter",
+                   static_cast<double>(ledger_.evicted()));
   if (stitched == nullptr) return;
   const StitchedInfo& info = stitched->info();
   AppendPromMetric(out, "kanon_dp_budget_spent", "gauge",
@@ -608,9 +615,13 @@ void DpServing::AppendMetrics(std::string* out,
   AppendPromMetric(out, "kanon_dp_height", "gauge",
                    static_cast<double>(height));
 
-  // Fig-12-style utility pair, cached per release point. Evaluated at a
-  // fixed internal (epsilon=1, default seed) release so scraping /metrics
-  // is deterministic and never draws on the request budget.
+  // Fig-12-style utility pair, cached per release point and evaluated at a
+  // fixed internal epsilon=1 release off the server key, so repeat scrapes
+  // are deterministic and never draw on the request budget. It is still a
+  // truth-derived statistic (|est - truth| / truth against exact counts),
+  // published *outside* the DP accounting — which is why it is off unless
+  // the operator opted in for a trusted-plane /metrics (DESIGN.md §17).
+  if (!utility_in_metrics_) return;
   DpUtilityReport report;
   {
     std::lock_guard<std::mutex> lock(util_mu_);
@@ -618,7 +629,7 @@ void DpServing::AppendMetrics(std::string* out,
         util_records_ != info.records) {
       const DpGrid grid(stitched->domain(), height);
       const DpHierarchyCounts dp =
-          NoisyConsistentHierarchy(**cells_or, height, 1.0, default_seed_);
+          NoisyConsistentHierarchy(**cells_or, height, 1.0, key_);
       util_ = EvaluateReleaseUtility(**cells_or, grid, dp,
                                      stitched->Release(info.base_k));
       util_valid_ = true;

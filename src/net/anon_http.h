@@ -47,50 +47,85 @@ struct AnonHttpOptions {
   /// clamped (the follower just asks again from its new position).
   size_t repl_max_batch_bytes = 8u << 20;
   /// Total epsilon spendable per release point on /release/dp (<= 0 =
-  /// unlimited) and the seed used when the request names none.
+  /// unlimited).
   double dp_budget = 4.0;
-  uint64_t dp_seed = 0;
+  /// Total epsilon spendable across *all* release points (<= 0 =
+  /// unlimited): the cap on cumulative per-record loss over the service
+  /// lifetime (see DpBudgetLedger).
+  double dp_lifetime_budget = 0.0;
+  /// Operator secret the server-held noise key is derived from. Empty =
+  /// a fresh random key per process (still DP; not reproducible across
+  /// servers). Give every shard/leader/follower of one deployment the
+  /// same secret (--dp-key) for byte-identical releases. Never accepted
+  /// from requests, never serialized anywhere.
+  std::string dp_key;
+  /// Publish the truth-derived kanon_release_avg_range_error utility pair
+  /// in /metrics. Off by default: the statistic is computed against exact
+  /// counts outside the DP accounting, so it is only safe when /metrics
+  /// is scraped from a trusted operator plane (see DESIGN.md §17).
+  bool dp_metrics_utility = false;
+};
+
+/// Configuration of the shared DP serving half (see DpServing).
+struct DpServingOptions {
+  double budget = 4.0;           // per release point, <= 0 = unlimited
+  double lifetime_budget = 0.0;  // across all points, <= 0 = unlimited
+  /// Operator secret the noise key is derived from; empty = random
+  /// per-process key. See AnonHttpOptions::dp_key.
+  std::string key_secret;
+  /// Publish the truth-derived utility pair in /metrics (trusted-plane
+  /// only; see AnonHttpOptions::dp_metrics_utility).
+  bool utility_in_metrics = false;
+  unsigned retry_after_s = 1;
 };
 
 /// The DP serving half shared by the leader frontend and the replication
 /// follower: parameter parsing, the per-release-point budget ledger, the
 /// memoized noisy hierarchies, range queries answered from them, and the
-/// kanon_dp_* / utility metrics. Both sides delegating here is what makes a
+/// kanon_dp_* metrics. Both sides delegating here is what makes a
 /// follower's /release/dp body byte-identical to its leader's at the same
-/// publication point — there is exactly one serializer and one noise path.
+/// publication point — there is exactly one serializer and one noise path,
+/// provided the operator configured both with the same noise-key secret.
 ///
-///   GET /release/dp?epsilon=&seed=       the full noisy hierarchy's leaf
-///        cells (consistent, non-negative, parent == sum(children)); a pure
-///        function of (record multiset, domain, height, epsilon, seed), so
-///        identical at any shard count. Epoch rides in X-Kanon-Epoch.
-///        429 once the release point's distinct (epsilon, seed) builds
-///        would exceed the budget; re-serving a memoized release is free.
-///   GET /release/dp/query?lo=&hi=&epsilon=&seed=   a range count answered
-///        from the memoized hierarchy — never from raw records.
+///   GET /release/dp?epsilon=     the full noisy hierarchy's leaf cells
+///        (consistent, non-negative, parent == sum(children)); a pure
+///        function of (record multiset, domain, height, epsilon, server
+///        key), so identical at any shard count. Epoch rides in
+///        X-Kanon-Epoch. 429 once the release point's distinct epsilon
+///        builds would exceed a budget; re-serving a memoized release is
+///        free.
+///   GET /release/dp/query?lo=&hi=&epsilon=   a range count answered from
+///        the memoized hierarchy — never from raw records.
 ///
-/// Unknown or malformed query parameters are 400s, never ignored.
+/// The noise is drawn from a server-held secret key; there is no seed
+/// parameter (a client-choosable or published seed would let any consumer
+/// regenerate and subtract the noise, voiding the DP guarantee). Unknown
+/// or malformed query parameters — including `seed` — are 400s, never
+/// ignored.
 class DpServing {
  public:
-  DpServing(double budget, uint64_t default_seed, unsigned retry_after_s);
+  explicit DpServing(const DpServingOptions& options);
 
   HttpResponse HandleRelease(const StitchedSnapshot* stitched,
                              const HttpRequest& request);
   HttpResponse HandleQuery(const StitchedSnapshot* stitched,
                            const HttpRequest& request);
 
-  /// Appends kanon_dp_* series plus the fig-12-style
-  /// kanon_release_avg_range_error{semantics=...} utility pair for the
-  /// current release point (cached per point; evaluated at a fixed
-  /// internal epsilon so scraping /metrics never draws on the budget).
+  /// Appends kanon_dp_* series; with utility_in_metrics also the
+  /// fig-12-style kanon_release_avg_range_error{semantics=...} pair for
+  /// the current release point (cached per point; evaluated at a fixed
+  /// internal epsilon so scraping /metrics never draws on the budget —
+  /// but computed against exact truth, hence the trusted-plane gate).
   void AppendMetrics(std::string* out, const StitchedSnapshot* stitched);
 
   const DpBudgetLedger& ledger() const { return ledger_; }
 
  private:
   StatusOr<std::shared_ptr<const DpRelease>> Acquire(
-      const StitchedSnapshot& stitched, double epsilon, uint64_t seed);
+      const StitchedSnapshot& stitched, double epsilon);
 
-  const uint64_t default_seed_;
+  const DpNoiseKey key_;
+  const bool utility_in_metrics_;
   const unsigned retry_after_s_;
   DpBudgetLedger ledger_;
 
@@ -122,11 +157,12 @@ class DpServing {
 ///   GET  /release/query    ?k1=N multigranular stitched release;
 ///                          &summary=1 omits the partition list; &rids=1
 ///                          includes (shard-local) record ids.
-///   GET  /release/dp       ?epsilon=&seed= (epsilon)-DP release of the
-///                          stitched record multiset (see DpServing):
+///   GET  /release/dp       ?epsilon= (epsilon)-DP release of the
+///                          stitched record multiset (see DpServing),
+///                          noised from the server-held secret key:
 ///                          byte-identical at any shard count, 429 once
 ///                          the release point's budget is spent.
-///   GET  /release/dp/query ?lo=&hi=&epsilon=&seed= range count answered
+///   GET  /release/dp/query ?lo=&hi=&epsilon= range count answered
 ///                          from the memoized noisy hierarchy.
 ///   GET  /healthz          200 while every shard serves; 503 when any
 ///                          shard is degraded or the service stopped, with

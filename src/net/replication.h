@@ -127,9 +127,13 @@ struct FollowerOptions {
   unsigned retry_after_s = 1;
   /// DP serving knobs (see AnonHttpOptions): the follower keeps its own
   /// budget ledger, but its releases are byte-identical to the leader's at
-  /// the same publication point and (epsilon, seed).
+  /// the same publication point and epsilon — provided the operator gave
+  /// both the same noise-key secret (dp_key). An empty dp_key means a
+  /// random per-process key: still DP, not leader-identical.
   double dp_budget = 4.0;
-  uint64_t dp_seed = 0;
+  double dp_lifetime_budget = 0.0;
+  std::string dp_key;
+  bool dp_metrics_utility = false;
   Env* env = nullptr;  // nullptr = Env::Default()
 };
 
@@ -238,9 +242,9 @@ class ReplicatedFollower {
 ///         (default) or 503 with --stale-reads=reject.
 ///   GET  /release/dp, /release/dp/query   DP reads off the same snapshot
 ///         via the shared DpServing: at a leader publication point the
-///         body is byte-identical to the leader's for the same
-///         (epsilon, seed). Budget-ledgered locally, staleness-gated like
-///         the other reads.
+///         body is byte-identical to the leader's for the same epsilon
+///         when both share one noise-key secret. Budget-ledgered locally,
+///         staleness-gated like the other reads.
 ///   POST /ingest   421 Misdirected Request + Location on the leader: a
 ///         replica never takes writes.
 ///   GET  /healthz  200 only while following within the staleness bound;
@@ -253,8 +257,11 @@ class FollowerFrontend {
  public:
   explicit FollowerFrontend(ReplicatedFollower* follower)
       : follower_(follower),
-        dp_(follower->options().dp_budget, follower->options().dp_seed,
-            follower->options().retry_after_s) {}
+        dp_(DpServingOptions{follower->options().dp_budget,
+                             follower->options().dp_lifetime_budget,
+                             follower->options().dp_key,
+                             follower->options().dp_metrics_utility,
+                             follower->options().retry_after_s}) {}
 
   HttpResponse Handle(const HttpRequest& request);
 

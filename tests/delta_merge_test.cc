@@ -444,6 +444,16 @@ TEST(DeltaShardedTest, StitchedReleasesMatchFullModeAcrossShards) {
     const std::vector<double> p = GridPoint(i);
     ASSERT_TRUE((*full_or)->Ingest(p, GridSensitive(i)).ok());
     ASSERT_TRUE((*delta_or)->Ingest(p, GridSensitive(i)).ok());
+    // Pace the producer: with every record consumed before the next is
+    // queued, each shard's memtable flushes at exactly the merge_every
+    // cadence, so the delta-vs-full path choice (run size vs tree size)
+    // — and the delta_merges assertion below — is independent of how
+    // the scheduler batches the queue (otherwise flaky under sanitizer
+    // slowdown on loaded boxes).
+    while ((*full_or)->Stats().total.inserted < i + 1 ||
+           (*delta_or)->Stats().total.inserted < i + 1) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
   }
   (*full_or)->Stop();
   (*delta_or)->Stop();

@@ -31,29 +31,81 @@ std::vector<double> GridPoint(size_t i) {
 }
 
 // ---------------------------------------------------------------------------
+// Key derivation and the PRF primitives
+
+std::string HexOf(const std::array<uint8_t, 32>& bytes) {
+  std::string hex;
+  for (const uint8_t b : bytes) {
+    const char digits[] = "0123456789abcdef";
+    hex += digits[b >> 4];
+    hex += digits[b & 0xf];
+  }
+  return hex;
+}
+
+// FIPS 180-4 vectors: the key derivation is only as good as the hash under
+// it, so pin the implementation, not just its self-consistency.
+TEST(DpKeyTest, Sha256MatchesPublishedVectors) {
+  EXPECT_EQ(HexOf(Sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b8"
+            "55");
+  EXPECT_EQ(HexOf(Sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015"
+            "ad");
+  // 56 bytes: exercises the two-block padding tail.
+  EXPECT_EQ(HexOf(Sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06"
+            "c1");
+}
+
+// The first ChaCha20 keystream block at an all-zero key/counter/nonce is a
+// published vector (the layout-independent one: counter and nonce are both
+// zero, so djb's 64/64 split and RFC 8439's 32/96 split agree).
+TEST(DpKeyTest, ChaCha20BlockMatchesPublishedVector) {
+  std::array<uint8_t, 32> key{};
+  uint32_t block[16];
+  ChaCha20Block(key, 0, 0, block);
+  EXPECT_EQ(block[0], 0xade0b876u);
+  EXPECT_EQ(block[1], 0x903df1a0u);
+  EXPECT_EQ(block[2], 0xe56a5d40u);
+  EXPECT_EQ(block[3], 0x28bd8653u);
+}
+
+TEST(DpKeyTest, DerivationIsDeterministicAndSecretSensitive) {
+  const DpNoiseKey a = DeriveDpNoiseKey("deployment-secret");
+  const DpNoiseKey b = DeriveDpNoiseKey("deployment-secret");
+  EXPECT_TRUE(a == b);
+  const DpNoiseKey c = DeriveDpNoiseKey("deployment-secret2");
+  EXPECT_FALSE(a == c);
+  // Two random keys must not collide (they come from OS entropy).
+  EXPECT_FALSE(RandomDpNoiseKey() == RandomDpNoiseKey());
+}
+
+// ---------------------------------------------------------------------------
 // Counter-based RNG
 
-TEST(CounterRngTest, PureFunctionOfSeedStreamCounter) {
-  const CounterRng a(42, 7);
-  const CounterRng b(42, 7);
+TEST(CounterRngTest, PureFunctionOfKeyStreamCounter) {
+  const CounterRng a(DeriveDpNoiseKey("k"), 7);
+  const CounterRng b(DeriveDpNoiseKey("k"), 7);
   for (uint64_t c = 0; c < 64; ++c) {
     EXPECT_EQ(a.Bits(c), b.Bits(c)) << "counter " << c;
     EXPECT_EQ(a.Uniform(c), b.Uniform(c));
   }
-  const CounterRng other_seed(43, 7);
-  const CounterRng other_stream(42, 8);
-  size_t seed_diffs = 0;
+  const CounterRng other_key(DeriveDpNoiseKey("k2"), 7);
+  const CounterRng other_stream(DeriveDpNoiseKey("k"), 8);
+  size_t key_diffs = 0;
   size_t stream_diffs = 0;
   for (uint64_t c = 0; c < 64; ++c) {
-    seed_diffs += a.Bits(c) != other_seed.Bits(c);
+    key_diffs += a.Bits(c) != other_key.Bits(c);
     stream_diffs += a.Bits(c) != other_stream.Bits(c);
   }
-  EXPECT_GE(seed_diffs, 60u) << "seed barely changes the stream";
+  EXPECT_GE(key_diffs, 60u) << "key barely changes the stream";
   EXPECT_GE(stream_diffs, 60u) << "stream barely changes the stream";
 }
 
 TEST(CounterRngTest, UniformIsInOpenUnitInterval) {
-  const CounterRng rng(123, 456);
+  const CounterRng rng(DeriveDpNoiseKey("uniform"), 456);
   double sum = 0.0;
   const size_t n = 20000;
   for (uint64_t c = 0; c < n; ++c) {
@@ -71,7 +123,7 @@ TEST(CounterRngTest, UniformIsInOpenUnitInterval) {
 // assertion, not a flaky one.
 TEST(GeometricSamplerTest, EmpiricalMomentsMatchTheory) {
   for (const double alpha : {0.2, 0.5, 0.8}) {
-    const CounterRng rng(2024, 1);
+    const CounterRng rng(DeriveDpNoiseKey("moments"), 1);
     const size_t n = 200000;
     double sum = 0.0;
     double sum_sq = 0.0;
@@ -90,7 +142,7 @@ TEST(GeometricSamplerTest, EmpiricalMomentsMatchTheory) {
 }
 
 TEST(GeometricSamplerTest, DegenerateAlphaIsNoiseless) {
-  const CounterRng rng(1, 1);
+  const CounterRng rng(DeriveDpNoiseKey("degenerate"), 1);
   EXPECT_EQ(SampleTwoSidedGeometric(rng, 0, 0.0), 0);
   EXPECT_EQ(SampleTwoSidedGeometric(rng, 0, -1.0), 0);
 }
@@ -171,8 +223,8 @@ std::vector<uint64_t> SomeCells(size_t height, uint64_t seed) {
 TEST(NoisyHierarchyTest, ConsistencyHoldsAtEveryNode) {
   for (const double epsilon : {0.1, 1.0, 8.0}) {
     const size_t height = 6;
-    const DpHierarchyCounts h =
-        NoisyConsistentHierarchy(SomeCells(height, 99), height, epsilon, 7);
+    const DpHierarchyCounts h = NoisyConsistentHierarchy(
+        SomeCells(height, 99), height, epsilon, DeriveDpNoiseKey("c"));
     ASSERT_EQ(h.counts.size(), size_t{2} << height);
     for (size_t v = 1; v < (size_t{1} << height); ++v) {
       EXPECT_EQ(h.counts[v], h.counts[2 * v] + h.counts[2 * v + 1])
@@ -188,7 +240,7 @@ TEST(NoisyHierarchyTest, HugeEpsilonRecoversExactCounts) {
   const size_t height = 5;
   const std::vector<uint64_t> cells = SomeCells(height, 3);
   const DpHierarchyCounts h =
-      NoisyConsistentHierarchy(cells, height, 200.0, 11);
+      NoisyConsistentHierarchy(cells, height, 200.0, DeriveDpNoiseKey("h"));
   for (size_t i = 0; i < cells.size(); ++i) {
     EXPECT_EQ(h.counts[(size_t{1} << height) + i],
               static_cast<int64_t>(cells[i]))
@@ -196,13 +248,15 @@ TEST(NoisyHierarchyTest, HugeEpsilonRecoversExactCounts) {
   }
 }
 
-TEST(NoisyHierarchyTest, PureFunctionOfInputsAndSeedSensitive) {
+TEST(NoisyHierarchyTest, PureFunctionOfInputsAndKeySensitive) {
   const std::vector<uint64_t> cells = SomeCells(6, 1);
-  const DpHierarchyCounts a = NoisyConsistentHierarchy(cells, 6, 0.5, 42);
-  const DpHierarchyCounts b = NoisyConsistentHierarchy(cells, 6, 0.5, 42);
+  const DpNoiseKey key = DeriveDpNoiseKey("one");
+  const DpHierarchyCounts a = NoisyConsistentHierarchy(cells, 6, 0.5, key);
+  const DpHierarchyCounts b = NoisyConsistentHierarchy(cells, 6, 0.5, key);
   EXPECT_EQ(a.counts, b.counts);
-  const DpHierarchyCounts c = NoisyConsistentHierarchy(cells, 6, 0.5, 43);
-  EXPECT_NE(a.counts, c.counts) << "a different seed must change the noise";
+  const DpHierarchyCounts c =
+      NoisyConsistentHierarchy(cells, 6, 0.5, DeriveDpNoiseKey("two"));
+  EXPECT_NE(a.counts, c.counts) << "a different key must change the noise";
 }
 
 TEST(DpRangeCountTest, FullDisjointAndPartialBoxes) {
@@ -216,8 +270,8 @@ TEST(DpRangeCountTest, FullDisjointAndPartialBoxes) {
   }
   std::vector<uint64_t> cells;
   AccumulateCells(grid, flat.data(), 400, &cells);
-  const DpHierarchyCounts h =
-      NoisyConsistentHierarchy(cells, height, 100.0, 5);
+  const DpHierarchyCounts h = NoisyConsistentHierarchy(
+      cells, height, 100.0, DeriveDpNoiseKey("range"));
 
   const Mbr everything = Mbr::FromBounds({0, 0}, {100, 100});
   EXPECT_NEAR(DpRangeCount(h, grid, everything),
@@ -236,20 +290,26 @@ TEST(DpRangeCountTest, FullDisjointAndPartialBoxes) {
   EXPECT_NEAR(DpRangeCount(h, grid, half), static_cast<double>(truth), 25.0);
 }
 
-TEST(DpReleaseTest, BodyIsDeterministicAndSeedSensitive) {
+TEST(DpReleaseTest, BodyIsDeterministicAndKeySensitive) {
   const Domain domain = SquareDomain(0, 100);
   const std::vector<uint64_t> cells = SomeCells(6, 12);
-  const auto a = BuildDpRelease(cells, domain, 6, 1.5, 9);
-  const auto b = BuildDpRelease(cells, domain, 6, 1.5, 9);
+  const DpNoiseKey key = DeriveDpNoiseKey("release");
+  const auto a = BuildDpRelease(cells, domain, 6, 1.5, key);
+  const auto b = BuildDpRelease(cells, domain, 6, 1.5, key);
   ASSERT_NE(a, nullptr);
   ASSERT_NE(b, nullptr);
   EXPECT_EQ(a->body, b->body);
-  const auto c = BuildDpRelease(cells, domain, 6, 1.5, 10);
+  const auto c =
+      BuildDpRelease(cells, domain, 6, 1.5, DeriveDpNoiseKey("other"));
   EXPECT_NE(a->body, c->body);
   EXPECT_NE(a->body.find("\"semantics\":\"dp\""), std::string::npos);
   EXPECT_NE(a->body.find("\"epsilon\":1.5"), std::string::npos);
   EXPECT_EQ(a->body.find("\"epoch\""), std::string::npos)
       << "the epoch is transport metadata, not part of the DP body";
+  EXPECT_EQ(a->body.find("seed"), std::string::npos)
+      << "the DP body must carry no noise-source material";
+  EXPECT_EQ(a->body.find("key"), std::string::npos)
+      << "the DP body must carry no noise-source material";
 }
 
 TEST(DpUtilityTest, ReportsFiniteErrorsOverTheFixedWorkload) {
@@ -263,7 +323,8 @@ TEST(DpUtilityTest, ReportsFiniteErrorsOverTheFixedWorkload) {
   }
   std::vector<uint64_t> cells;
   AccumulateCells(grid, flat.data(), 300, &cells);
-  const DpHierarchyCounts dp = NoisyConsistentHierarchy(cells, height, 1.0, 1);
+  const DpHierarchyCounts dp =
+      NoisyConsistentHierarchy(cells, height, 1.0, DeriveDpNoiseKey("u"));
   // One giant k-anonymous box: maximal smearing, so its error should be
   // clearly worse than the DP hierarchy's at a healthy epsilon.
   PartitionSet kanon;
@@ -283,62 +344,125 @@ TEST(DpUtilityTest, ReportsFiniteErrorsOverTheFixedWorkload) {
 // ---------------------------------------------------------------------------
 // Budget ledger
 
-std::shared_ptr<const DpRelease> TinyRelease(double epsilon, uint64_t seed) {
+std::shared_ptr<const DpRelease> TinyRelease(double epsilon) {
   return BuildDpRelease(SomeCells(4, 1), SquareDomain(0, 10), 4, epsilon,
-                        seed);
+                        DeriveDpNoiseKey("ledger"));
 }
 
 TEST(DpBudgetLedgerTest, ChargesOncePerDistinctReleaseAndRejectsOverBudget) {
   DpBudgetLedger ledger(1.0);
-  auto first = ledger.Acquire(1, 100, 0.6, 7,
-                              [] { return TinyRelease(0.6, 7); });
+  auto first = ledger.Acquire(1, 100, 0.6, [] { return TinyRelease(0.6); });
   ASSERT_TRUE(first.ok()) << first.status();
   EXPECT_EQ(ledger.releases_built(), 1u);
   EXPECT_NEAR(ledger.Spent(1, 100), 0.6, 1e-12);
 
   // Re-serving the memoized release is post-processing: free, identical.
-  auto again = ledger.Acquire(1, 100, 0.6, 7,
-                              [] { return TinyRelease(0.6, 7); });
+  auto again = ledger.Acquire(1, 100, 0.6, [] { return TinyRelease(0.6); });
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again->get(), first->get());
   EXPECT_EQ(ledger.cache_hits(), 1u);
   EXPECT_NEAR(ledger.Spent(1, 100), 0.6, 1e-12);
 
-  // A distinct seed is a fresh draw: 0.6 + 0.6 > 1.0 is refused with the
-  // typed budget error before any noise is drawn.
-  auto over = ledger.Acquire(1, 100, 0.6, 8,
-                             [] { return TinyRelease(0.6, 8); });
+  // A distinct epsilon is a fresh draw: 0.6 + 0.6 > 1.0 is refused with
+  // the typed budget error before any noise is drawn.
+  auto over =
+      ledger.Acquire(1, 100, 0.6000001, [] { return TinyRelease(0.6000001); });
   ASSERT_FALSE(over.ok());
   EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(ledger.rejected(), 1u);
   EXPECT_NEAR(ledger.Spent(1, 100), 0.6, 1e-12) << "a reject burns nothing";
 
   // A smaller epsilon still fits under the cap.
-  auto fits = ledger.Acquire(1, 100, 0.25, 8,
-                             [] { return TinyRelease(0.25, 8); });
+  auto fits = ledger.Acquire(1, 100, 0.25, [] { return TinyRelease(0.25); });
   ASSERT_TRUE(fits.ok());
   EXPECT_NEAR(ledger.Spent(1, 100), 0.85, 1e-12);
 
-  // A new release point starts from a fresh budget.
-  auto next_epoch = ledger.Acquire(2, 220, 0.6, 7,
-                                   [] { return TinyRelease(0.6, 7); });
+  // A new release point starts from a fresh per-point budget; the lifetime
+  // gauge keeps accumulating across points.
+  auto next_epoch =
+      ledger.Acquire(2, 220, 0.6, [] { return TinyRelease(0.6); });
   ASSERT_TRUE(next_epoch.ok());
   EXPECT_NEAR(ledger.Spent(2, 220), 0.6, 1e-12);
+  EXPECT_NEAR(ledger.LifetimeSpent(), 1.45, 1e-12);
 }
 
 TEST(DpBudgetLedgerTest, RejectsMalformedEpsilonAndHonorsUnlimited) {
   DpBudgetLedger ledger(0.0);  // <= 0 = unlimited
   for (const double bad : {0.0, -1.0, std::nan(""),
                            std::numeric_limits<double>::infinity()}) {
-    auto r = ledger.Acquire(1, 10, bad, 1, [] { return TinyRelease(1, 1); });
+    auto r = ledger.Acquire(1, 10, bad, [] { return TinyRelease(1); });
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   }
-  for (int i = 0; i < 32; ++i) {
-    auto r = ledger.Acquire(1, 10, 10.0, static_cast<uint64_t>(i),
-                            [i] { return TinyRelease(10.0, i); });
+  for (int i = 1; i <= 32; ++i) {
+    const double epsilon = 10.0 + i;
+    auto r = ledger.Acquire(1, 10, epsilon,
+                            [epsilon] { return TinyRelease(epsilon); });
     ASSERT_TRUE(r.ok()) << "unlimited budget refused draw " << i;
   }
+}
+
+// The granularity floor: epsilon = 1e-300 would be charged ~nothing per
+// build, so without a floor the memoized-release map is a memory DoS.
+TEST(DpBudgetLedgerTest, RejectsEpsilonBelowGranularityFloor) {
+  DpLedgerOptions options;
+  options.budget = 0.0;  // even with no budget to protect
+  DpBudgetLedger ledger(options);
+  auto r = ledger.Acquire(1, 10, 1e-300, [] { return TinyRelease(1e-300); });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  auto ok = ledger.Acquire(1, 10, options.min_epsilon,
+                           [&] { return TinyRelease(options.min_epsilon); });
+  EXPECT_TRUE(ok.ok()) << ok.status();
+}
+
+// LRU cap on memoized releases: old hierarchies are evicted, but their
+// charge record survives, so re-requesting an evicted epsilon rebuilds the
+// identical bytes for free instead of double-charging.
+TEST(DpBudgetLedgerTest, EvictsLruReleasesWithoutDoubleCharging) {
+  DpLedgerOptions options;
+  options.budget = 100.0;
+  options.max_releases_per_point = 2;
+  DpBudgetLedger ledger(options);
+  std::string first_body;
+  for (const double epsilon : {1.0, 2.0, 3.0}) {
+    auto r = ledger.Acquire(7, 50, epsilon,
+                            [epsilon] { return TinyRelease(epsilon); });
+    ASSERT_TRUE(r.ok()) << r.status();
+    if (epsilon == 1.0) first_body = (*r)->body;
+  }
+  EXPECT_EQ(ledger.evicted(), 1u);  // epsilon=1.0 fell out of the cache
+  EXPECT_NEAR(ledger.Spent(7, 50), 6.0, 1e-12);
+
+  // Re-requesting the evicted epsilon: a rebuild (not a cache hit), byte
+  // identical, and the spend does not move.
+  const uint64_t built_before = ledger.releases_built();
+  auto again = ledger.Acquire(7, 50, 1.0, [] { return TinyRelease(1.0); });
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->body, first_body);
+  EXPECT_EQ(ledger.releases_built(), built_before + 1);
+  EXPECT_NEAR(ledger.Spent(7, 50), 6.0, 1e-12)
+      << "an evicted rebuild must not re-charge";
+}
+
+// The cross-epoch cap: per-point budgets refresh every publication, but
+// the lifetime budget bounds the total composed loss a long-lived record
+// can suffer across release points.
+TEST(DpBudgetLedgerTest, LifetimeBudgetCapsSpendAcrossReleasePoints) {
+  DpLedgerOptions options;
+  options.budget = 1.0;
+  options.lifetime_budget = 1.5;
+  DpBudgetLedger ledger(options);
+  ASSERT_TRUE(ledger.Acquire(1, 10, 0.9, [] { return TinyRelease(0.9); }).ok());
+  // A fresh release point has per-point room, but 0.9 + 0.9 > 1.5 overall.
+  auto over = ledger.Acquire(2, 20, 0.9, [] { return TinyRelease(0.9); });
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ledger.rejected(), 1u);
+  // A smaller draw still fits under both caps.
+  EXPECT_TRUE(
+      ledger.Acquire(2, 20, 0.5, [] { return TinyRelease(0.5); }).ok());
+  EXPECT_NEAR(ledger.LifetimeSpent(), 1.4, 1e-12);
 }
 
 // ---------------------------------------------------------------------------
@@ -368,7 +492,7 @@ std::string DpBodyAtShards(size_t shards, size_t n) {
   EXPECT_TRUE(cells_or.ok()) << cells_or.status();
   if (!cells_or.ok()) return "";
   const auto release = BuildDpRelease(**cells_or, stitched->domain(), height,
-                                      0.8, 2024);
+                                      0.8, DeriveDpNoiseKey("shards"));
   service.Stop();
   return release->body;
 }

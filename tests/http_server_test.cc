@@ -563,13 +563,14 @@ TEST(HttpServerTest, UnknownOrMalformedQueryParamsAre400) {
       "/release/query?epsilon=1",
       "/release/query?k1=8&summary=yes",
       "/release/query?k1=8&rids=2",
-      // /release/dp: unknown key, junk epsilon/seed.
+      // /release/dp: unknown key, junk epsilon, and the retired client
+      // seed parameter (noise now comes only from the server-held key).
       "/release/dp?eps=1",
       "/release/dp?epsilon=0",
       "/release/dp?epsilon=-2",
       "/release/dp?epsilon=abc",
-      "/release/dp?epsilon=1&seed=-1",
-      "/release/dp?epsilon=1&seed=abc",
+      "/release/dp?epsilon=1&seed=3",
+      "/release/dp/query?lo=0,0&hi=9,9&seed=3",
       // /release/dp/query: unknown key, missing/short/unordered bounds.
       "/release/dp/query?lo=0,0&hi=9,9&k1=4",
       "/release/dp/query?epsilon=1",
@@ -589,17 +590,20 @@ TEST(HttpServerTest, UnknownOrMalformedQueryParamsAre400) {
 
   // The well-formed spellings of the same requests succeed.
   EXPECT_EQ(client.Get("/release/query?k1=8&summary=1")->status, 200);
-  EXPECT_EQ(client.Get("/release/dp?epsilon=1&seed=3")->status, 200);
-  EXPECT_EQ(
-      client.Get("/release/dp/query?lo=0,0&hi=9,9&epsilon=1&seed=3")->status,
-      200);
+  EXPECT_EQ(client.Get("/release/dp?epsilon=1")->status, 200);
+  EXPECT_EQ(client.Get("/release/dp/query?lo=0,0&hi=9,9&epsilon=1")->status,
+            200);
 }
 
 // --------------------------------------------------------------------------
 // The DP read path end to end.
 
 TEST_P(HttpServerBackendTest, DpReleaseServesNoisyHierarchy) {
-  ServerUnderTest s = StartServer(SmallServiceOptions(4), GetParam());
+  AnonHttpOptions frontend_options;
+  frontend_options.dp_key = "test-secret";
+  ServerUnderTest s = StartServer(SmallServiceOptions(4), GetParam(),
+                                  /*num_threads=*/2, /*shards=*/1,
+                                  frontend_options);
   HttpClient client = ConnectTo(*s.server);
 
   // Nothing published yet: DP reads share the 503-with-Retry-After shape.
@@ -612,40 +616,43 @@ TEST_P(HttpServerBackendTest, DpReleaseServesNoisyHierarchy) {
   const auto stitched = s.service->PublishNow();
   ASSERT_NE(stitched, nullptr);
 
-  auto dp = client.Get("/release/dp?epsilon=0.8&seed=11");
+  auto dp = client.Get("/release/dp?epsilon=0.8");
   ASSERT_TRUE(dp.ok()) << dp.status();
   ASSERT_EQ(dp->status, 200) << dp->body;
   EXPECT_NE(dp->body.find("\"semantics\":\"dp\""), std::string::npos);
   EXPECT_NE(dp->body.find("\"epsilon\":0.8"), std::string::npos);
-  EXPECT_NE(dp->body.find("\"seed\":11"), std::string::npos);
   EXPECT_NE(dp->body.find("\"cells\":["), std::string::npos);
   const std::string* epoch = dp->FindHeader("x-kanon-epoch");
   ASSERT_NE(epoch, nullptr);
   EXPECT_EQ(*epoch, std::to_string(stitched->info().epoch));
-  // The DP body never names records or partitions.
+  // The DP body never names records, partitions, or noise-source material:
+  // publishing the seed/key would let a consumer re-derive and subtract
+  // the noise.
   EXPECT_EQ(dp->body.find("\"partitions\""), std::string::npos);
   EXPECT_EQ(dp->body.find("\"rids\""), std::string::npos);
+  EXPECT_EQ(dp->body.find("seed"), std::string::npos);
+  EXPECT_EQ(dp->body.find("key"), std::string::npos);
 
   // Memoized: the repeat is byte-identical and served from cache.
-  auto again = client.Get("/release/dp?epsilon=0.8&seed=11");
+  auto again = client.Get("/release/dp?epsilon=0.8");
   ASSERT_TRUE(again.ok());
   ASSERT_EQ(again->status, 200);
   EXPECT_EQ(again->body, dp->body);
   EXPECT_GE(s.frontend->dp_ledger().cache_hits(), 1u);
 
   // The HTTP body equals the in-process release built from the summed
-  // cells — one serializer, one noise path.
+  // cells under the same derived key — one serializer, one noise path.
   size_t height = 0;
   auto cells_or = stitched->SummedDpCells(&height);
   ASSERT_TRUE(cells_or.ok()) << cells_or.status();
   const auto inproc = BuildDpRelease(**cells_or, stitched->domain(), height,
-                                     0.8, 11);
+                                     0.8, DeriveDpNoiseKey("test-secret"));
   EXPECT_EQ(dp->body, inproc->body);
 
   // Range queries answer from the hierarchy; the full domain returns the
   // noisy total, and the count field parses as a number.
-  auto range = client.Get(
-      "/release/dp/query?lo=0,0&hi=100,100&epsilon=0.8&seed=11");
+  auto range =
+      client.Get("/release/dp/query?lo=0,0&hi=100,100&epsilon=0.8");
   ASSERT_TRUE(range.ok());
   ASSERT_EQ(range->status, 200) << range->body;
   const std::string want_count =
@@ -664,11 +671,11 @@ TEST(HttpServerTest, DpBudgetExhaustionIs429AndMemoizedReadsStayFree) {
   ASSERT_EQ(client.Post("/ingest", GridBody(80))->status, 200);
   ASSERT_NE(s.service->PublishNow(), nullptr);
 
-  ASSERT_EQ(client.Get("/release/dp?epsilon=0.7&seed=1")->status, 200);
+  ASSERT_EQ(client.Get("/release/dp?epsilon=0.6")->status, 200);
 
-  // A second distinct draw would spend 1.4 > 1.0: typed 429, not silent
-  // truncation — and it burns nothing.
-  auto over = client.Get("/release/dp?epsilon=0.7&seed=2");
+  // A second distinct draw would spend 0.6 + 0.7 > 1.0: typed 429, not
+  // silent truncation — and it burns nothing.
+  auto over = client.Get("/release/dp?epsilon=0.7");
   ASSERT_TRUE(over.ok());
   EXPECT_EQ(over->status, 429) << over->body;
   EXPECT_NE(over->body.find("\"error\":\"ResourceExhausted\""),
@@ -677,17 +684,16 @@ TEST(HttpServerTest, DpBudgetExhaustionIs429AndMemoizedReadsStayFree) {
   ASSERT_NE(over->FindHeader("retry-after"), nullptr);
 
   // The memoized release (and its range queries) keep serving for free.
-  EXPECT_EQ(client.Get("/release/dp?epsilon=0.7&seed=1")->status, 200);
+  EXPECT_EQ(client.Get("/release/dp?epsilon=0.6")->status, 200);
   EXPECT_EQ(
-      client.Get("/release/dp/query?lo=0,0&hi=50,50&epsilon=0.7&seed=1")
-          ->status,
+      client.Get("/release/dp/query?lo=0,0&hi=50,50&epsilon=0.6")->status,
       200);
   EXPECT_EQ(s.frontend->dp_ledger().rejected(), 1u);
 
   // A fresh publication is a fresh release point with a fresh budget.
   ASSERT_EQ(client.Post("/ingest", GridBody(80, 1000))->status, 200);
   ASSERT_NE(s.service->PublishNow(), nullptr);
-  EXPECT_EQ(client.Get("/release/dp?epsilon=0.7&seed=2")->status, 200);
+  EXPECT_EQ(client.Get("/release/dp?epsilon=0.7")->status, 200);
 }
 
 TEST(HttpServerTest, DpDisabledAnswers409) {
@@ -706,12 +712,16 @@ TEST(HttpServerTest, DpDisabledAnswers409) {
       << dp->body;
 }
 
-TEST(HttpServerTest, MetricsExposeDpCountersAndUtilityPair) {
-  ServerUnderTest s = StartServer(SmallServiceOptions(4), true);
+TEST(HttpServerTest, MetricsExposeDpCountersAndOptInUtilityPair) {
+  AnonHttpOptions frontend_options;
+  frontend_options.dp_metrics_utility = true;  // trusted scrape plane
+  ServerUnderTest s = StartServer(SmallServiceOptions(4), true,
+                                  /*num_threads=*/2, /*shards=*/1,
+                                  frontend_options);
   HttpClient client = ConnectTo(*s.server);
   ASSERT_EQ(client.Post("/ingest", GridBody(120))->status, 200);
   ASSERT_NE(s.service->PublishNow(), nullptr);
-  ASSERT_EQ(client.Get("/release/dp?epsilon=1&seed=1")->status, 200);
+  ASSERT_EQ(client.Get("/release/dp?epsilon=1")->status, 200);
 
   auto metrics = client.Get("/metrics");
   ASSERT_TRUE(metrics.ok());
@@ -719,9 +729,12 @@ TEST(HttpServerTest, MetricsExposeDpCountersAndUtilityPair) {
   for (const std::string& series : {
            std::string("kanon_dp_budget "),
            std::string("kanon_dp_budget_spent 1"),
+           std::string("kanon_dp_lifetime_budget"),
+           std::string("kanon_dp_lifetime_spent 1"),
            std::string("kanon_dp_releases_total 1"),
            std::string("kanon_dp_cache_hits_total"),
            std::string("kanon_dp_rejected_total 0"),
+           std::string("kanon_dp_evicted_total 0"),
            std::string("kanon_dp_height"),
            std::string("kanon_release_utility_queries"),
            std::string("kanon_release_avg_range_error{semantics=\"kanon\"}"),
@@ -737,25 +750,64 @@ TEST(HttpServerTest, MetricsExposeDpCountersAndUtilityPair) {
       << metrics->body;
 }
 
-// The acceptance criterion over HTTP: the same record multiset produces a
-// byte-identical DP body at 1, 2 and 4 shards (partition releases cannot
-// promise this — shard routing changes the trees — but the DP grid is
-// data-independent).
+// By default the truth-derived utility pair stays off /metrics: it is
+// computed from exact counts, so on an untrusted scrape plane it would be
+// an un-noised, un-charged side channel.
+TEST(HttpServerTest, MetricsOmitTruthDerivedUtilityPairByDefault) {
+  ServerUnderTest s = StartServer(SmallServiceOptions(4), true);
+  HttpClient client = ConnectTo(*s.server);
+  ASSERT_EQ(client.Post("/ingest", GridBody(120))->status, 200);
+  ASSERT_NE(s.service->PublishNow(), nullptr);
+  ASSERT_EQ(client.Get("/release/dp?epsilon=1")->status, 200);
+
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("kanon_dp_budget "), std::string::npos);
+  EXPECT_EQ(metrics->body.find("kanon_release_utility_queries"),
+            std::string::npos)
+      << metrics->body;
+  EXPECT_EQ(metrics->body.find("kanon_release_avg_range_error"),
+            std::string::npos)
+      << metrics->body;
+}
+
+// The acceptance criterion over HTTP: servers configured with the same
+// noise-key secret produce a byte-identical DP body for the same record
+// multiset at 1, 2 and 4 shards (partition releases cannot promise this —
+// shard routing changes the trees — but the DP grid is data-independent).
 TEST(HttpServerTest, DpReleaseByteIdenticalAcrossShardCounts) {
+  AnonHttpOptions frontend_options;
+  frontend_options.dp_key = "deployment-secret";
   std::vector<std::string> bodies;
   for (const size_t shards : {size_t{1}, size_t{2}, size_t{4}}) {
     ServerUnderTest s = StartServer(SmallServiceOptions(4), true,
-                                    /*num_threads=*/2, shards);
+                                    /*num_threads=*/2, shards,
+                                    frontend_options);
     HttpClient client = ConnectTo(*s.server);
     ASSERT_EQ(client.Post("/ingest", GridBody(240))->status, 200);
     ASSERT_NE(s.service->PublishNow(), nullptr);
-    auto dp = client.Get("/release/dp?epsilon=0.9&seed=5");
+    auto dp = client.Get("/release/dp?epsilon=0.9");
     ASSERT_TRUE(dp.ok());
     ASSERT_EQ(dp->status, 200) << "shards=" << shards << "\n" << dp->body;
     bodies.push_back(dp->body);
   }
   EXPECT_EQ(bodies[0], bodies[1]);
   EXPECT_EQ(bodies[0], bodies[2]);
+
+  // A server with a different secret draws different noise: the body
+  // cannot be predicted without the key.
+  frontend_options.dp_key = "other-secret";
+  ServerUnderTest other = StartServer(SmallServiceOptions(4), true,
+                                      /*num_threads=*/2, /*shards=*/1,
+                                      frontend_options);
+  HttpClient client = ConnectTo(*other.server);
+  ASSERT_EQ(client.Post("/ingest", GridBody(240))->status, 200);
+  ASSERT_NE(other.service->PublishNow(), nullptr);
+  auto dp = client.Get("/release/dp?epsilon=0.9");
+  ASSERT_TRUE(dp.ok());
+  ASSERT_EQ(dp->status, 200);
+  EXPECT_NE(dp->body, bodies[0]);
 }
 
 TEST(HttpServerTest, SerializeResponseFramesBody) {

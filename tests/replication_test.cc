@@ -319,7 +319,8 @@ Domain SquareDomain() {
 
 Leader StartLeader(const std::string& wal_dir, size_t k = 5,
                    uint64_t checkpoint_every = 100000,
-                   size_t segment_bytes = 16u << 20, uint16_t port = 0) {
+                   size_t segment_bytes = 16u << 20, uint16_t port = 0,
+                   AnonHttpOptions frontend_options = {}) {
   Leader leader;
   ShardedServiceOptions options;
   options.service.anonymizer.base_k = k;
@@ -334,7 +335,8 @@ Leader StartLeader(const std::string& wal_dir, size_t k = 5,
       ShardedAnonymizationService::Create(2, SquareDomain(), options);
   KANON_CHECK(service_or.ok());
   leader.service = std::move(*service_or);
-  leader.frontend = std::make_unique<AnonHttpFrontend>(leader.service.get());
+  leader.frontend = std::make_unique<AnonHttpFrontend>(leader.service.get(),
+                                                       frontend_options);
   HttpServerOptions http;
   http.port = port;
   http.num_threads = 2;
@@ -533,16 +535,24 @@ TEST(ReplicationE2eTest, FollowerConvergesToByteIdenticalRelease) {
 // The DP acceptance criterion across replication: at the leader's
 // publication point the follower serves the *byte-identical* DP release —
 // same grid (dp_height pinned via the manifest), same cells (same record
-// multiset), same noise (pure function of (epsilon, seed)) — and answers
-// range queries and budget rejections through the same DpServing path.
+// multiset), same noise (pure function of (epsilon, shared noise-key
+// secret)) — and answers range queries and budget rejections through the
+// same DpServing path.
 TEST(ReplicationE2eTest, FollowerServesByteIdenticalDpRelease) {
   TempDir wal;
   TempDir scratch;
-  Leader leader = StartLeader(wal.path());
+  AnonHttpOptions leader_frontend;
+  leader_frontend.dp_key = "replicated-secret";
+  Leader leader = StartLeader(wal.path(), /*k=*/5,
+                              /*checkpoint_every=*/100000,
+                              /*segment_bytes=*/16u << 20, /*port=*/0,
+                              leader_frontend);
   IngestAndPublish(leader, 90);
 
   FollowerOptions options = FastFollowerOptions(leader.port(), scratch.path());
   options.dp_budget = 1.0;
+  options.dp_key = "replicated-secret";
+  options.dp_metrics_utility = true;
   ReplicatedFollower follower(SquareDomain(), options);
   follower.Start();
   WaitFor([&] { return follower.core()->epoch() >= 1; });
@@ -557,8 +567,8 @@ TEST(ReplicationE2eTest, FollowerServesByteIdenticalDpRelease) {
   ASSERT_TRUE(server.Start().ok());
 
   for (const std::string target :
-       {"/release/dp?epsilon=0.6&seed=21",
-        "/release/dp/query?lo=10,10&hi=60,80&epsilon=0.6&seed=21"}) {
+       {"/release/dp?epsilon=0.6",
+        "/release/dp/query?lo=10,10&hi=60,80&epsilon=0.6"}) {
     SCOPED_TRACE(target);
     int leader_status = 0;
     int follower_status = 0;
@@ -574,7 +584,7 @@ TEST(ReplicationE2eTest, FollowerServesByteIdenticalDpRelease) {
   // The follower enforces its own budget ledger: a second distinct draw
   // past its 1.0 budget is a typed 429 with the DP counters in /metrics.
   int status = 0;
-  (void)Fetch(server.port(), "/release/dp?epsilon=0.6&seed=22", &status);
+  (void)Fetch(server.port(), "/release/dp?epsilon=0.7", &status);
   EXPECT_EQ(status, 429);
   const std::string metrics = Fetch(server.port(), "/metrics", &status);
   EXPECT_NE(metrics.find("kanon_dp_rejected_total 1"), std::string::npos)
@@ -586,8 +596,8 @@ TEST(ReplicationE2eTest, FollowerServesByteIdenticalDpRelease) {
   // The next publication point is again byte-identical once caught up.
   IngestAndPublish(leader, 30, /*offset=*/90);
   WaitFor([&] { return follower.core()->epoch() >= 2; });
-  EXPECT_EQ(Fetch(leader.port(), "/release/dp?epsilon=0.5&seed=3"),
-            Fetch(server.port(), "/release/dp?epsilon=0.5&seed=3"));
+  EXPECT_EQ(Fetch(leader.port(), "/release/dp?epsilon=0.5"),
+            Fetch(server.port(), "/release/dp?epsilon=0.5"));
 
   server.Shutdown();
   follower.Stop();

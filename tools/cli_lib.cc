@@ -429,12 +429,20 @@ bool ParseServeArgs(int argc, const char* const* argv,
       char* end = nullptr;
       options->dp_budget = std::strtod(v, &end);
       if (end == v || *end != '\0') return false;
-    } else if (arg == "--dp-seed" || arg == "--dp_seed") {
+    } else if (arg == "--dp-lifetime-budget" ||
+               arg == "--dp_lifetime_budget") {
       const char* v = next();
       if (v == nullptr) return false;
       char* end = nullptr;
-      options->dp_seed = std::strtoull(v, &end, 10);
+      options->dp_lifetime_budget = std::strtod(v, &end);
       if (end == v || *end != '\0') return false;
+    } else if (arg == "--dp-key" || arg == "--dp_key") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->dp_key = v;
+    } else if (arg == "--dp-metrics-utility" ||
+               arg == "--dp_metrics_utility") {
+      options->dp_metrics_utility = true;
     } else {
       return false;
     }
@@ -492,7 +500,9 @@ int RunFollower(const ServeOptions& options, std::ostream& log) {
   fopts.reject_stale_reads = options.stale_reads == "reject";
   fopts.poll_interval_ms = options.repl_poll_ms;
   fopts.dp_budget = options.dp_budget;
-  fopts.dp_seed = options.dp_seed;
+  fopts.dp_lifetime_budget = options.dp_lifetime_budget;
+  fopts.dp_key = options.dp_key;
+  fopts.dp_metrics_utility = options.dp_metrics_utility;
   fopts.scratch_dir =
       "/tmp/kanon-follower-" + std::to_string(::getpid());
 
@@ -707,7 +717,9 @@ int RunServe(const ServeOptions& options, std::ostream& log) {
     http_options.parser.max_body_bytes = options.max_body_bytes;
     net::AnonHttpOptions frontend_options;
     frontend_options.dp_budget = options.dp_budget;
-    frontend_options.dp_seed = options.dp_seed;
+    frontend_options.dp_lifetime_budget = options.dp_lifetime_budget;
+    frontend_options.dp_key = options.dp_key;
+    frontend_options.dp_metrics_utility = options.dp_metrics_utility;
     frontend = std::make_unique<net::AnonHttpFrontend>(&service,
                                                        frontend_options);
     server = std::make_unique<net::HttpServer>(

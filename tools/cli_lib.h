@@ -137,14 +137,22 @@ struct ServeOptions {
   std::string merge_mode = "full";
 
   // Differentially private releases (--dp-height / --dp-budget /
-  // --dp-seed). dp_height sets the publication-time DP grid height
-  // (0 disables DP cell accounting and the /release/dp endpoints answer
-  // 409); dp_budget is the total epsilon spendable per release point over
-  // HTTP (<= 0 = unlimited); dp_seed is the noise seed used when a request
-  // names none — fix it to make DP releases reproducible across servers.
+  // --dp-lifetime-budget / --dp-key / --dp-metrics-utility). dp_height
+  // sets the publication-time DP grid height (0 disables DP cell
+  // accounting and the /release/dp endpoints answer 409); dp_budget is
+  // the total epsilon spendable per release point over HTTP (<= 0 =
+  // unlimited); dp_lifetime_budget caps the spend across all release
+  // points (<= 0 = unlimited) — the guard against unbounded per-record
+  // composition over many epochs; dp_key is the server-held secret the
+  // noise key derives from (empty = random per-process key) — give every
+  // server of one deployment the same secret to make DP releases
+  // byte-identical across them; dp_metrics_utility opts in to the
+  // truth-derived utility pair in /metrics (trusted scrape plane only).
   size_t dp_height = 10;
   double dp_budget = 4.0;
-  uint64_t dp_seed = 0;
+  double dp_lifetime_budget = 0.0;
+  std::string dp_key;
+  bool dp_metrics_utility = false;
 };
 
 /// Parses "HOST:PORT", ":PORT" or "PORT" (host defaults to 127.0.0.1).

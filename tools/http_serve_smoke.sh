@@ -56,10 +56,13 @@ elif [ -n "${KANON_MEMTABLE:-}" ]; then
   SHARD_ARGS="$SHARD_ARGS --memtable-bytes 262144 --merge-every 1500"
 fi
 if [ -n "${KANON_DP:-}" ]; then
-  # A budget that fits exactly one 0.9-epsilon draw: the second distinct
-  # draw below must be the typed 429. The fixed seed makes the
-  # byte-identical re-serve assertion meaningful across runs too.
-  SHARD_ARGS="$SHARD_ARGS --dp-budget 1.0 --dp-seed 7"
+  # A budget that fits one 0.9-epsilon draw but not a second distinct one:
+  # the 0.2 draw below must be the typed 429. The fixed --dp-key secret
+  # makes the DP bodies reproducible across runs (noise is a server-held
+  # key derivation, never a client seed); --dp-metrics-utility opts the
+  # truth-derived utility pair into /metrics (this scrape is trusted).
+  SHARD_ARGS="$SHARD_ARGS --dp-budget 1.0 --dp-key smoke-secret"
+  SHARD_ARGS="$SHARD_ARGS --dp-metrics-utility"
 fi
 
 mkdir -p "$WORKDIR"
@@ -159,41 +162,49 @@ if [ -n "${KANON_DELTA:-}" ]; then
     || fail "/metrics kanon_delta_merges_total=$DELTA_MERGES, want >= 1"
 fi
 if [ -n "${KANON_DP:-}" ]; then
-  # The DP release must be memoized: two GETs with the same (epsilon, seed)
-  # return byte-identical bodies and the epoch in a header, not the body.
-  curl -sS -m 10 "$BASE/release/dp?epsilon=0.9&seed=7" > "$WORKDIR/dp1.json"
+  # The DP release must be memoized: two GETs with the same epsilon return
+  # byte-identical bodies and the epoch in a header, not the body. The
+  # body must carry no noise-source material (no seed, no key).
+  curl -sS -m 10 "$BASE/release/dp?epsilon=0.9" > "$WORKDIR/dp1.json"
   grep -q '"semantics":"dp"' "$WORKDIR/dp1.json" \
     || fail "bad /release/dp: $(cat "$WORKDIR/dp1.json")"
   grep -q '"cells":\[' "$WORKDIR/dp1.json" \
     || fail "/release/dp carries no cells: $(cat "$WORKDIR/dp1.json")"
   grep -q '"epoch"' "$WORKDIR/dp1.json" \
     && fail "/release/dp leaks the epoch into the DP body"
-  curl -sS -m 10 "$BASE/release/dp?epsilon=0.9&seed=7" > "$WORKDIR/dp2.json"
+  grep -qE '"(seed|key)"' "$WORKDIR/dp1.json" \
+    && fail "/release/dp leaks noise-source material into the DP body"
+  curl -sS -m 10 "$BASE/release/dp?epsilon=0.9" > "$WORKDIR/dp2.json"
   cmp -s "$WORKDIR/dp1.json" "$WORKDIR/dp2.json" \
-    || fail "two /release/dp GETs with one (epsilon, seed) differ"
+    || fail "two /release/dp GETs with one epsilon differ"
 
   DP_QUERY=$(curl -sS -m 10 \
-    "$BASE/release/dp/query?lo=0,0&hi=500,1000&epsilon=0.9&seed=7")
+    "$BASE/release/dp/query?lo=0,0&hi=500,1000&epsilon=0.9")
   echo "$DP_QUERY" | grep -q '"count":' \
     || fail "bad /release/dp/query: $DP_QUERY"
 
-  # A second distinct draw would spend 1.8 > 1.0: typed 429.
+  # A second distinct draw would spend 0.9 + 0.2 > 1.0: typed 429.
   CODE=$(curl -sS -m 10 -o /dev/null -w '%{http_code}' \
-    "$BASE/release/dp?epsilon=0.9&seed=8")
+    "$BASE/release/dp?epsilon=0.2")
   [ "$CODE" = 429 ] || fail "over-budget /release/dp answered $CODE, want 429"
-  # Unknown and malformed params are 400s, never ignored.
+  # Unknown and malformed params are 400s, never ignored — including the
+  # retired client seed parameter (noise comes only from the server key).
   CODE=$(curl -sS -m 10 -o /dev/null -w '%{http_code}' \
     "$BASE/release/dp?eps=1")
   [ "$CODE" = 400 ] || fail "unknown DP param answered $CODE, want 400"
   CODE=$(curl -sS -m 10 -o /dev/null -w '%{http_code}' \
-    "$BASE/release/dp/query?lo=0&hi=1,1&epsilon=0.9&seed=7")
+    "$BASE/release/dp?epsilon=0.9&seed=7")
+  [ "$CODE" = 400 ] || fail "client seed param answered $CODE, want 400"
+  CODE=$(curl -sS -m 10 -o /dev/null -w '%{http_code}' \
+    "$BASE/release/dp/query?lo=0&hi=1,1&epsilon=0.9")
   [ "$CODE" = 400 ] || fail "short DP bounds answered $CODE, want 400"
 
   curl -sS -m 10 "$BASE/metrics" > "$WORKDIR/metrics.txt"
   for metric in kanon_dp_budget kanon_dp_budget_spent \
+                kanon_dp_lifetime_budget kanon_dp_lifetime_spent \
                 kanon_dp_releases_total kanon_dp_cache_hits_total \
-                kanon_dp_rejected_total kanon_dp_height \
-                kanon_release_avg_range_error; do
+                kanon_dp_rejected_total kanon_dp_evicted_total \
+                kanon_dp_height kanon_release_avg_range_error; do
     grep -q "$metric" "$WORKDIR/metrics.txt" \
       || fail "/metrics is missing $metric"
   done

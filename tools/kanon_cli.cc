@@ -52,13 +52,18 @@
 // leader's manifest, not local flags.
 //
 // Every serving role also exposes differentially private releases:
-// GET /release/dp?epsilon=&seed= serves noisy consistent hierarchical
-// counts over a data-independent grid (--dp-height levels), and
-// /release/dp/query answers range counts from them. --dp-budget caps the
-// total epsilon spendable per release point (served 429 past it);
-// --dp-seed fixes the default noise seed so two servers over the same
-// records serve byte-identical DP bodies. --dp-height 0 disables DP cell
-// accounting entirely (the endpoints then answer 409).
+// GET /release/dp?epsilon= serves noisy consistent hierarchical counts
+// over a data-independent grid (--dp-height levels), and
+// /release/dp/query answers range counts from them. The noise comes from
+// a server-held secret key — never from a client-suppliable seed —
+// derived from --dp-key (empty = random per process); give every server
+// of one deployment the same secret and they serve byte-identical DP
+// bodies over the same records. --dp-budget caps the epsilon spendable
+// per release point (served 429 past it), --dp-lifetime-budget caps it
+// across all release points, and --dp-metrics-utility opts the
+// truth-derived utility pair into /metrics (trusted scrape planes only).
+// --dp-height 0 disables DP cell accounting entirely (the endpoints then
+// answer 409).
 //
 // The input's quasi-identifier fields are parsed as numbers (categoricals
 // numerically recoded upstream); an optional final integer column is the
@@ -99,7 +104,9 @@ void Usage() {
       "                 [--merge-mode full|delta]\n"
       "                 [--follow LEADER:PORT] [--max-staleness-ms MS]\n"
       "                 [--stale-reads serve|reject] [--repl-poll-ms MS]\n"
-      "                 [--dp-height H] [--dp-budget EPS] [--dp-seed N]\n"
+      "                 [--dp-height H] [--dp-budget EPS]\n"
+      "                 [--dp-lifetime-budget EPS] [--dp-key SECRET]\n"
+      "                 [--dp-metrics-utility]\n"
       "(--input is optional when --listen and --domain are both given:\n"
       " records then arrive over HTTP; --follow makes the process a read\n"
       " replica of LEADER and requires --listen and --domain)\n";
